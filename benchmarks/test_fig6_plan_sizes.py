@@ -1,0 +1,48 @@
+"""Figure 6 — plan sizes for static and dynamic plans.
+
+Paper: static plans stay tiny (21 nodes for query 5) while dynamic plans
+grow steeply with the number of uncertain variables (14,090 nodes), yet
+adding the uncertain-memory variable "only barely increases" plan sizes —
+evidence that the number of potentially optimal plans is bounded.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure6_rows
+from repro.experiments.report import render_figure6
+from repro.physical.plan import count_plan_nodes
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+
+
+def test_fig6_plan_sizes(
+    suite_records, suite_records_with_memory, catalog, model, publish, benchmark
+):
+    rows = figure6_rows(suite_records)
+    rows_memory = figure6_rows(suite_records_with_memory)
+    publish(
+        "fig6_plan_sizes",
+        render_figure6(rows)
+        + "\n\n"
+        + render_figure6(rows_memory).replace(
+            "Figure 6", "Figure 6 (with uncertain memory)"
+        ),
+    )
+
+    # Static plans stay small and grow linearly with the join count.
+    assert [r.static_nodes for r in rows] == sorted(r.static_nodes for r in rows)
+    assert rows[-1].static_nodes < 50
+    # Dynamic plans grow much faster than static plans.
+    for row in rows:
+        assert row.dynamic_nodes > row.static_nodes
+    assert rows[-1].dynamic_nodes / rows[-1].static_nodes > 10
+    # Dynamic plan sizes increase monotonically with uncertain variables.
+    dynamic_sizes = [r.dynamic_nodes for r in rows]
+    assert dynamic_sizes == sorted(dynamic_sizes)
+    # Memory uncertainty barely moves plan sizes (paper's observation).
+    for plain, with_memory in zip(rows, rows_memory):
+        assert with_memory.dynamic_nodes <= plain.dynamic_nodes * 2
+
+    # Benchmark: DAG node counting on the largest dynamic plan.
+    query = suite_records[-1].query.graph
+    dynamic = optimize_query(query, catalog, model, mode=OptimizationMode.DYNAMIC)
+    assert benchmark(lambda: count_plan_nodes(dynamic.plan)) == rows[-1].dynamic_nodes

@@ -1,0 +1,45 @@
+"""Figure 8 — run-time optimization versus dynamic plans.
+
+Paper: "for other than the simplest queries, there is a significant
+overall decrease in execution time when using dynamic plans", exceeding a
+factor of 2 for query 5, because re-optimizing at every invocation costs
+far more than activating a pre-computed dynamic plan.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure8_rows
+from repro.experiments.report import render_figure8
+from repro.experiments.workload import generate_bindings
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+
+
+def test_fig8_runtime_opt_vs_dynamic(suite_records, catalog, model, publish, benchmark):
+    rows = figure8_rows(suite_records, model)
+    publish("fig8_runtime_opt", render_figure8(rows))
+
+    # g_i = d_i underpins the whole comparison.
+    for record in suite_records:
+        for g, d in zip(
+            record.dynamic_execution_costs, record.runtime_execution_costs
+        ):
+            assert abs(g - d) < 1e-6 * max(d, 1.0)
+
+    # Dynamic plans beat per-invocation re-optimization for all but the
+    # simplest query, by more than 2x for query 5 (the paper's headline).
+    for row in rows[1:]:
+        assert row.ratio > 1.0
+    assert rows[-1].ratio > 2.0
+    # The advantage grows with query complexity.
+    ratios = [row.ratio for row in rows]
+    assert ratios[-1] == max(ratios)
+
+    # Benchmark: one full run-time optimization of query 5 (the cost the
+    # run-time scenario pays on every single invocation).
+    query = suite_records[-1].query.graph
+    (binding,) = generate_bindings(query.parameters, n=1, seed=3)
+    benchmark(
+        lambda: optimize_query(
+            query, catalog, model, mode=OptimizationMode.RUN_TIME, binding=binding
+        )
+    )

@@ -1,0 +1,50 @@
+"""Plan diagram — the parametric-optimization view of a dynamic plan.
+
+[INS92]-style analysis (discussed in the paper's Section 3): sweep the
+uncertain selectivity and chart where the dynamic plan's decisions switch.
+Each region is one effective plan; the dynamic plan is exactly the union of
+the regions' plans, which is why it stays optimal across the whole domain.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.queries import build_chain_query
+from repro.experiments.regions import selectivity_regions
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.util.fmt import format_table
+
+
+def test_plan_diagram(catalog, model, publish, benchmark):
+    query = build_chain_query(catalog, 2)
+    result = optimize_query(query, catalog, model, mode=OptimizationMode.DYNAMIC)
+    regions = benchmark.pedantic(
+        lambda: selectivity_regions(result, "sel1", fixed={"sel2": 0.3}),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        (
+            f"[{region.low:.4f}, {region.high:.4f}]",
+            f"{region.width:.4f}",
+            f"{region.cost_high:.3f}",
+            region.description,
+        )
+        for region in regions
+    ]
+    publish(
+        "plan_diagram",
+        format_table(
+            ["sel1 region", "width", "cost at high end [s]", "effective plan"],
+            rows,
+            title="Plan diagram — 2-way join, sel2 fixed at 0.3",
+        ),
+    )
+
+    # A dynamic plan must have at least two regions (else a static plan
+    # would have sufficed), the regions must tile [0, 1]...
+    assert len(regions) >= 2
+    assert regions[0].low == 0.0 and regions[-1].high == 1.0
+    # ...and every region's plan must differ from its neighbour's.
+    for before, after in zip(regions, regions[1:]):
+        assert before.signature != after.signature

@@ -1,0 +1,59 @@
+"""Scaling study — search effort vs logical plan-space size.
+
+The worst-case complexity of join-order search grows exponentially with the
+number of joins ([OnL90] in the paper), but memoization keeps the *actual*
+work polynomial in the number of memo groups.  This bench sweeps chain
+length and tabulates the gap, for both static and dynamic optimization.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.queries import build_chain_query
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.util.fmt import format_table
+
+
+def test_scaling_with_chain_length(catalog, model, publish, benchmark):
+    rows = []
+    for n in (2, 4, 6, 8, 10):
+        query = build_chain_query(catalog, n)
+        alternatives = query.count_join_trees()
+        static = optimize_query(query, catalog, model, mode=OptimizationMode.STATIC)
+        dynamic = optimize_query(query, catalog, model, mode=OptimizationMode.DYNAMIC)
+        rows.append(
+            (
+                n,
+                alternatives,
+                static.stats.groups_completed,
+                static.stats.candidates_considered,
+                dynamic.stats.candidates_considered,
+                dynamic.plan_node_count,
+            )
+        )
+    publish(
+        "scaling",
+        format_table(
+            [
+                "relations",
+                "logical plans",
+                "memo groups",
+                "static costed",
+                "dynamic costed",
+                "dynamic plan nodes",
+            ],
+            rows,
+            title="Scaling — exponential plan space, polynomial search effort",
+        ),
+    )
+
+    # The logical plan space explodes...
+    plans = [row[1] for row in rows]
+    assert plans[-1] / plans[0] > 100_000
+    # ...while costed candidates grow far slower than the plan space.
+    costed = [row[4] for row in rows]
+    assert costed[-1] / costed[0] < plans[-1] / plans[0] / 100
+
+    query = build_chain_query(catalog, 8)
+    benchmark(
+        lambda: optimize_query(query, catalog, model, mode=OptimizationMode.DYNAMIC)
+    )

@@ -1,0 +1,102 @@
+"""Table 1 — the logical and physical algebra inventory.
+
+Asserts that every operator/algorithm pair of the paper's Table 1 exists
+and is reachable from the optimizer (each algorithm appears in some plan),
+and benchmarks optimization of the motivating example (Figure 1).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.catalogs import make_experiment_catalog
+from repro.experiments.queries import build_chain_query
+from repro.logical.algebra import GetSet, Join, Select
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.optimizer.rules import (
+    BtreeScanRule,
+    FileScanRule,
+    FilterBtreeScanRule,
+    HashJoinRule,
+    IndexJoinRule,
+    MergeJoinRule,
+)
+from repro.physical.plan import (
+    BtreeScanNode,
+    ChoosePlanNode,
+    FileScanNode,
+    FilterNode,
+    HashJoinNode,
+    IndexJoinNode,
+    MergeJoinNode,
+    SortNode,
+    iter_plan_nodes,
+)
+from repro.util.fmt import format_table
+
+TABLE1 = [
+    ("Data Retrieval", "Get-Set", "File-Scan", FileScanNode),
+    ("Data Retrieval", "Get-Set", "B-tree-Scan", BtreeScanNode),
+    ("Select, Project", "Select", "Filter", FilterNode),
+    ("Select, Project", "Select", "Filter-B-tree-Scan", BtreeScanNode),
+    ("Join", "Join", "Hash-Join", HashJoinNode),
+    ("Join", "Join", "Merge-Join", MergeJoinNode),
+    ("Join", "Join", "Index-Join", IndexJoinNode),
+    ("Enforcer", "Sort Order", "Sort", SortNode),
+    ("Enforcer", "Plan Robustness", "Choose-Plan", ChoosePlanNode),
+]
+
+
+def test_table1_inventory(catalog, publish, benchmark):
+    query = build_chain_query(catalog, 4)
+    result = benchmark.pedantic(
+        lambda: optimize_query(query, catalog, mode=OptimizationMode.DYNAMIC),
+        rounds=3,
+        iterations=1,
+    )
+    present = {type(node) for node in iter_plan_nodes(result.plan)}
+
+    rows = []
+    for group, logical, physical, node_type in TABLE1:
+        rows.append((group, logical, physical, "yes" if node_type in present else "-"))
+    publish(
+        "table1_algebra",
+        format_table(
+            ["operator type", "logical", "physical algorithm", "in Q3 plan"],
+            rows,
+            title="Table 1 — logical and physical algebra operators",
+        ),
+    )
+
+    # Every Table 1 algorithm must appear in the 4-way dynamic plan.
+    required = {
+        FileScanNode,
+        BtreeScanNode,
+        FilterNode,
+        HashJoinNode,
+        MergeJoinNode,
+        IndexJoinNode,
+        SortNode,
+        ChoosePlanNode,
+    }
+    assert required <= present
+
+    # Logical algebra (Table 1, left column): one class per logical operator.
+    assert all(cls.__name__ for cls in (GetSet, Select, Join))
+
+    # Implementation rules mirror the algorithm column.
+    rule_names = {
+        FileScanRule.name,
+        BtreeScanRule.name,
+        FilterBtreeScanRule.name,
+        HashJoinRule.name,
+        MergeJoinRule.name,
+        IndexJoinRule.name,
+    }
+    assert len(rule_names) == 6
+
+
+def test_table1_uses_session_catalog(catalog, benchmark):
+    """The shared experiment catalog provides the indexes Table 1 needs."""
+    fresh = benchmark(make_experiment_catalog)
+    for name in fresh.relation_names:
+        assert len(fresh.relation(name).indexes) == 3
+    assert catalog.relation_names == fresh.relation_names

@@ -1,0 +1,93 @@
+"""Adapting to run-time memory: the paper's Figure 2 scenario.
+
+A hash join performs much better when the smaller input is the build
+input, and it spills to disk when the build input exceeds memory.  With an
+unbound selection on R *and* uncertain memory, neither the join roles nor
+the scan methods can be fixed at compile time — the dynamic plan keeps the
+alternatives and the choose-plan operators pick per invocation.
+
+Run:  python examples/memory_adaptive.py
+"""
+
+from repro import (
+    Catalog,
+    CompareOp,
+    HostVariable,
+    JoinPredicate,
+    OptimizationMode,
+    QueryGraph,
+    SelectionPredicate,
+    optimize_query,
+    resolve_plan,
+)
+from repro.params import ParameterSpace
+from repro.physical import ChoosePlanNode, HashJoinNode, MergeJoinNode
+
+
+def describe(node, choices) -> str:
+    """One-line rendering of the effective plan under the given decisions."""
+    if isinstance(node, ChoosePlanNode):
+        return describe(choices[id(node)], choices)
+    if isinstance(node, HashJoinNode):
+        build, probe = node.inputs
+        return (
+            f"HashJoin(build={describe(build, choices)}, "
+            f"probe={describe(probe, choices)})"
+        )
+    if isinstance(node, MergeJoinNode):
+        left, right = node.inputs
+        return (
+            f"MergeJoin({describe(left, choices)}, {describe(right, choices)})"
+        )
+    name = node.label.split(" [")[0]
+    if node.inputs:
+        inner = ", ".join(describe(child, choices) for child in node.inputs)
+        return f"{name}({inner})"
+    return name
+
+
+def main() -> None:
+    catalog = Catalog()
+    catalog.add_relation("R", [("a", 600), ("k", 200)], cardinality=2000)
+    catalog.add_relation("S", [("j", 200), ("b", 300)], cardinality=900)
+    for rel, attr in [("R", "a"), ("R", "k"), ("S", "j")]:
+        catalog.create_index(f"{rel}_{attr}", rel, attr)
+
+    space = ParameterSpace()
+    space.add_selectivity("sel_v")
+    space.add_memory("memory", low=16, high=112, expected=64)
+    predicate = SelectionPredicate(
+        catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "sel_v")
+    )
+    query = QueryGraph(
+        relations=("R", "S"),
+        selections={"R": (predicate,)},
+        joins=(JoinPredicate(catalog.attribute("R.k"), catalog.attribute("S.j")),),
+        parameters=space,
+    )
+
+    dynamic = optimize_query(query, catalog, mode=OptimizationMode.DYNAMIC)
+    print(
+        f"dynamic plan: {dynamic.plan_node_count} nodes, "
+        f"{dynamic.choose_plan_count} choose-plan operators\n"
+    )
+
+    print(f"{'sel':>5}  {'memory':>6}  {'cost [s]':>9}  effective plan (top-down)")
+    for sel in (0.01, 0.8):
+        for memory in (16, 112):
+            env = space.bind({"sel_v": sel, "memory": memory})
+            decision = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env))
+            print(
+                f"{sel:5.2f}  {memory:6d}  {decision.execution_cost:9.3f}  "
+                f"{describe(dynamic.plan, decision.choices)}"
+            )
+    print(
+        "\nExactly the paper's Figure 2: when :v is selective the filtered R"
+        "\nis the hash-join build input; when it is not, the roles swap and S"
+        "\nbuilds.  Memory enters the start-up cost comparison too — here it"
+        "\nchanges the predicted cost (spill fraction) of the chosen plan."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Regenerate the paper's complete evaluation (Section 6, Figures 4-8).
+
+Runs the five experiment queries over N random binding sets and prints the
+data series behind every figure plus the break-even analysis, in the same
+row structure the paper plots.
+
+Run:  python examples/paper_experiments.py [--n 100] [--memory]
+"""
+
+import argparse
+import time
+
+from repro.cost.model import CostModel
+from repro.experiments import (
+    figures,
+    generate_bindings,
+    make_experiment_catalog,
+    paper_queries,
+    report,
+    run_experiment,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--n", type=int, default=100, help="random binding sets per query (paper: 100)"
+    )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="also run the uncertain-memory variants",
+    )
+    args = parser.parse_args()
+
+    model = CostModel()
+    catalog = make_experiment_catalog()
+    started = time.perf_counter()
+    records = []
+    for query in paper_queries(catalog, with_memory=args.memory):
+        bindings = generate_bindings(query.graph.parameters, n=args.n)
+        print(f"running {query.label} ({query.n_relations} relations) ...")
+        records.append(run_experiment(query, catalog, bindings, model))
+    print(f"\nsuite completed in {time.perf_counter() - started:.1f} s\n")
+
+    print(report.render_figure4(figures.figure4_rows(records)), end="\n\n")
+    print(report.render_figure5(figures.figure5_rows(records)), end="\n\n")
+    print(report.render_figure6(figures.figure6_rows(records)), end="\n\n")
+    print(report.render_figure7(figures.figure7_rows(records, model)), end="\n\n")
+    print(report.render_figure8(figures.figure8_rows(records, model)), end="\n\n")
+    print(report.render_break_even(figures.break_even_rows(records, model)))
+
+
+if __name__ == "__main__":
+    main()

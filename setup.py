@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs cannot build. This shim enables the legacy
+editable path: ``pip install -e . --no-build-isolation --no-use-pep517``.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""repro — dynamic query evaluation plans (Cole & Graefe, SIGMOD 1994).
+
+A complete reproduction of *Optimization of Dynamic Query Evaluation
+Plans*: a Volcano-style query optimizer extended with interval costs and
+partially ordered plans, choose-plan operators linking compile-time
+incomparable alternatives into dynamic plans, a start-up-time decision
+procedure, access-module modeling, a real iterator execution engine over
+simulated storage, a small SQL front end, and the paper's full experiment
+suite (Figures 3–8 and the break-even analysis).
+
+Quickstart::
+
+    from repro import (
+        Catalog, CostModel, OptimizationMode, optimize_query, explain,
+    )
+    from repro.logical import GetSet, Select, SelectionPredicate, CompareOp, HostVariable
+    from repro.params import ParameterSpace
+
+    catalog = Catalog()
+    catalog.add_relation("R", [("a", 500), ("b", 500)], cardinality=1000)
+    catalog.create_index("R_a", "R", "a")
+
+    space = ParameterSpace()
+    space.add_selectivity("sel_v")
+    predicate = SelectionPredicate(
+        catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "sel_v"),
+    )
+    query = normalize(Select(GetSet("R"), predicate), space)
+
+    result = optimize_query(query, catalog, mode=OptimizationMode.DYNAMIC)
+    print(explain(result.plan))
+"""
+
+from repro.catalog import Attribute, Catalog, IndexInfo, RelationInfo, Schema
+from repro.cost import Comparison, Cost, CostModel, IntervalCost
+from repro.cost.context import CostContext
+from repro.errors import (
+    BindingError,
+    CatalogError,
+    ExecutionError,
+    OptimizationError,
+    ParseError,
+    PlanError,
+    ReproError,
+)
+from repro.logical import (
+    CompareOp,
+    GetSet,
+    HostVariable,
+    Join,
+    JoinPredicate,
+    Literal,
+    QueryGraph,
+    Select,
+    SelectionPredicate,
+    normalize,
+)
+from repro.optimizer import (
+    OptimizationMode,
+    OptimizationResult,
+    optimize_query,
+)
+from repro.params import Environment, Parameter, ParameterKind, ParameterSpace
+from repro.physical import (
+    ChoosePlanNode,
+    PlanNode,
+    count_choose_plan_nodes,
+    count_plan_nodes,
+    explain,
+    to_dot,
+)
+from repro.runtime import (
+    AccessModule,
+    ActivationDecision,
+    PreparedQuery,
+    resolve_plan,
+)
+from repro.util import Interval
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "IndexInfo",
+    "RelationInfo",
+    "Schema",
+    "Comparison",
+    "Cost",
+    "CostModel",
+    "CostContext",
+    "IntervalCost",
+    "Interval",
+    "BindingError",
+    "CatalogError",
+    "ExecutionError",
+    "OptimizationError",
+    "ParseError",
+    "PlanError",
+    "ReproError",
+    "CompareOp",
+    "GetSet",
+    "HostVariable",
+    "Join",
+    "JoinPredicate",
+    "Literal",
+    "QueryGraph",
+    "Select",
+    "SelectionPredicate",
+    "normalize",
+    "OptimizationMode",
+    "OptimizationResult",
+    "optimize_query",
+    "Environment",
+    "Parameter",
+    "ParameterKind",
+    "ParameterSpace",
+    "ChoosePlanNode",
+    "PlanNode",
+    "count_choose_plan_nodes",
+    "count_plan_nodes",
+    "explain",
+    "to_dot",
+    "AccessModule",
+    "ActivationDecision",
+    "PreparedQuery",
+    "resolve_plan",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Catalog: relations, attributes, indexes, and statistics.
+
+The catalog is the optimizer's source of *known* parameters — cardinalities,
+record widths, attribute domain sizes, and which B-tree indexes exist.  The
+*uncertain* parameters (host-variable selectivities, run-time memory) live
+in :mod:`repro.params` instead.
+"""
+
+from repro.catalog.schema import Attribute, Schema
+from repro.catalog.statistics import RelationStats
+from repro.catalog.catalog import Catalog, IndexInfo, RelationInfo
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "RelationStats",
+    "Catalog",
+    "IndexInfo",
+    "RelationInfo",
+]

@@ -1,0 +1,255 @@
+"""The catalog proper: a registry of relations and indexes.
+
+The catalog carries a monotonically increasing *version* so access modules
+can validate at start-up that the metadata they were compiled against is
+still current (System R-style plan validation, [CAK81] in the paper).
+Creating or dropping an index bumps the version.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Attribute, Schema
+from repro.catalog.statistics import RelationStats
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True, slots=True)
+class IndexInfo:
+    """Metadata for a B-tree index on a single attribute.
+
+    The paper's experiments use *unclustered* B-trees on every selection and
+    join attribute; clustered indexes are supported because the cost model
+    distinguishes them.
+    """
+
+    name: str
+    relation: str
+    attribute: Attribute
+    clustered: bool = False
+
+
+@dataclass(frozen=True)
+class RelationInfo:
+    """A stored relation: schema, statistics, and its indexes."""
+
+    name: str
+    schema: Schema
+    stats: RelationStats
+    indexes: tuple[IndexInfo, ...] = ()
+
+    def index_on(self, attribute: Attribute) -> IndexInfo | None:
+        """The index whose key is ``attribute``, or None."""
+        for index in self.indexes:
+            if index.attribute == attribute:
+                return index
+        return None
+
+
+@dataclass
+class Catalog:
+    """Mutable registry of relations; the optimizer's view of the database."""
+
+    _relations: dict[str, RelationInfo] = field(default_factory=dict)
+    _histograms: dict[str, object] = field(default_factory=dict)
+    _version: int = 0
+
+    @property
+    def version(self) -> int:
+        """Schema version, bumped on every DDL-like change."""
+        return self._version
+
+    @property
+    def relation_names(self) -> list[str]:
+        """Names of all registered relations, in registration order."""
+        return list(self._relations)
+
+    def add_relation(
+        self,
+        name: str,
+        attributes: list[tuple[str, int]],
+        cardinality: int,
+        record_bytes: int = 512,
+    ) -> RelationInfo:
+        """Register a relation.
+
+        ``attributes`` is a list of ``(attribute_name, domain_size)`` pairs.
+        Returns the created :class:`RelationInfo`.
+        """
+        if name in self._relations:
+            raise CatalogError(f"relation {name} already exists")
+        if not attributes:
+            raise CatalogError(f"relation {name} must have at least one attribute")
+        schema = Schema(
+            tuple(Attribute(name, attr, domain) for attr, domain in attributes)
+        )
+        info = RelationInfo(
+            name=name,
+            schema=schema,
+            stats=RelationStats(cardinality=cardinality, record_bytes=record_bytes),
+        )
+        self._relations[name] = info
+        self._version += 1
+        return info
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation (and implicitly its indexes)."""
+        if name not in self._relations:
+            raise CatalogError(f"relation {name} does not exist")
+        del self._relations[name]
+        self._version += 1
+
+    def relation(self, name: str) -> RelationInfo:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(f"unknown relation {name}") from None
+
+    def attribute(self, qualified_name: str) -> Attribute:
+        """Resolve ``relation.attribute`` to an :class:`Attribute`."""
+        relation_name, _, attr_name = qualified_name.partition(".")
+        if not attr_name:
+            raise CatalogError(
+                f"attribute reference {qualified_name!r} must be qualified "
+                "as relation.attribute"
+            )
+        return self.relation(relation_name).schema.find(qualified_name)
+
+    def create_index(
+        self,
+        index_name: str,
+        relation_name: str,
+        attribute_name: str,
+        clustered: bool = False,
+    ) -> IndexInfo:
+        """Create a B-tree index on one attribute of a relation."""
+        info = self.relation(relation_name)
+        attribute = info.schema.find(f"{relation_name}.{attribute_name}")
+        if any(ix.name == index_name for ix in info.indexes):
+            raise CatalogError(f"index {index_name} already exists")
+        if info.index_on(attribute) is not None:
+            raise CatalogError(
+                f"attribute {attribute.qualified_name} already indexed"
+            )
+        if clustered and any(ix.clustered for ix in info.indexes):
+            raise CatalogError(
+                f"relation {relation_name} already has a clustered index"
+            )
+        index = IndexInfo(
+            name=index_name,
+            relation=relation_name,
+            attribute=attribute,
+            clustered=clustered,
+        )
+        self._relations[relation_name] = RelationInfo(
+            name=info.name,
+            schema=info.schema,
+            stats=info.stats,
+            indexes=info.indexes + (index,),
+        )
+        self._version += 1
+        return index
+
+    def drop_index(self, index_name: str) -> None:
+        """Drop an index by name (searches all relations)."""
+        for name, info in self._relations.items():
+            remaining = tuple(ix for ix in info.indexes if ix.name != index_name)
+            if len(remaining) != len(info.indexes):
+                self._relations[name] = RelationInfo(
+                    name=info.name,
+                    schema=info.schema,
+                    stats=info.stats,
+                    indexes=remaining,
+                )
+                self._version += 1
+                return
+        raise CatalogError(f"unknown index {index_name}")
+
+    def index_on(self, attribute: Attribute) -> IndexInfo | None:
+        """The index keyed on ``attribute``, or None."""
+        return self.relation(attribute.relation).index_on(attribute)
+
+    def set_histogram(self, attribute: Attribute, histogram) -> None:
+        """Attach a value histogram to an attribute (ANALYZE output).
+
+        Statistics updates do not bump the catalog version: better
+        statistics never invalidate a compiled plan, they only improve
+        future optimizations.
+        """
+        # Validate the attribute exists before storing.
+        self.attribute(attribute.qualified_name)
+        self._histograms[attribute.qualified_name] = histogram
+
+    def histogram(self, attribute: Attribute):
+        """The histogram attached to ``attribute``, or None."""
+        return self._histograms.get(attribute.qualified_name)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize the catalog's schema and statistics to JSON.
+
+        Histograms are not serialized (rebuild them with
+        ``Database.analyze()``); the version counter restarts on load.
+        """
+        payload = {
+            "relations": [
+                {
+                    "name": info.name,
+                    "cardinality": info.stats.cardinality,
+                    "record_bytes": info.stats.record_bytes,
+                    "attributes": [
+                        {"name": a.name, "domain_size": a.domain_size}
+                        for a in info.schema
+                    ],
+                    "indexes": [
+                        {
+                            "name": ix.name,
+                            "attribute": ix.attribute.name,
+                            "clustered": ix.clustered,
+                        }
+                        for ix in info.indexes
+                    ],
+                }
+                for info in self._relations.values()
+            ]
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Catalog":
+        """Rebuild a catalog from :meth:`to_json` output."""
+        payload = json.loads(text)
+        catalog = cls()
+        for rel in payload["relations"]:
+            catalog.add_relation(
+                rel["name"],
+                [(a["name"], a["domain_size"]) for a in rel["attributes"]],
+                cardinality=rel["cardinality"],
+                record_bytes=rel.get("record_bytes", 512),
+            )
+            for ix in rel.get("indexes", ()):
+                catalog.create_index(
+                    ix["name"],
+                    rel["name"],
+                    ix["attribute"],
+                    clustered=ix.get("clustered", False),
+                )
+        return catalog
+
+    def set_cardinality(self, relation_name: str, cardinality: int) -> None:
+        """Update a relation's cardinality (simulates database growth)."""
+        info = self.relation(relation_name)
+        self._relations[relation_name] = RelationInfo(
+            name=info.name,
+            schema=info.schema,
+            stats=RelationStats(
+                cardinality=cardinality, record_bytes=info.stats.record_bytes
+            ),
+            indexes=info.indexes,
+        )
+        self._version += 1

@@ -1,0 +1,121 @@
+"""Equi-depth histograms for selectivity estimation.
+
+The paper's experiments only need the selectivity *parameters* of unbound
+predicates, but a production optimizer also estimates literal predicates
+from data statistics.  This module provides classic equi-depth (equal
+frequency) histograms: built by ``Database.analyze()``, registered in the
+catalog, and consulted by :mod:`repro.logical.estimation` in place of the
+System R magic numbers whenever available.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class EquiDepthHistogram:
+    """An equi-depth histogram over a numeric attribute.
+
+    ``boundaries`` has ``buckets + 1`` entries; bucket *i* covers values in
+    ``[boundaries[i], boundaries[i+1])`` (the last bucket is closed) and
+    holds ``total / buckets`` values by construction.
+    """
+
+    boundaries: tuple[float, ...]
+    total: int
+    distinct: int
+
+    def __post_init__(self) -> None:
+        if len(self.boundaries) < 2:
+            raise CatalogError("histogram needs at least one bucket")
+        if any(
+            self.boundaries[i] > self.boundaries[i + 1]
+            for i in range(len(self.boundaries) - 1)
+        ):
+            raise CatalogError("histogram boundaries must be non-decreasing")
+        if self.total <= 0 or self.distinct <= 0:
+            raise CatalogError("histogram requires a non-empty value set")
+
+    @property
+    def buckets(self) -> int:
+        """Number of buckets."""
+        return len(self.boundaries) - 1
+
+    @property
+    def minimum(self) -> float:
+        """Smallest value seen at build time."""
+        return self.boundaries[0]
+
+    @property
+    def maximum(self) -> float:
+        """Largest value seen at build time."""
+        return self.boundaries[-1]
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[float], buckets: int = 20
+    ) -> "EquiDepthHistogram":
+        """Build a histogram from a sample of attribute values."""
+        if not values:
+            raise CatalogError("cannot build a histogram from no values")
+        if buckets < 1:
+            raise CatalogError("histogram needs at least one bucket")
+        ordered = sorted(float(v) for v in values)
+        buckets = min(buckets, len(ordered))
+        boundaries = [ordered[0]]
+        for i in range(1, buckets):
+            boundaries.append(ordered[(i * len(ordered)) // buckets])
+        boundaries.append(ordered[-1])
+        return cls(
+            boundaries=tuple(boundaries),
+            total=len(ordered),
+            distinct=len(set(ordered)),
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def fraction_below(self, value: float, inclusive: bool = False) -> float:
+        """Estimated fraction of values ``< value`` (or ``<=``).
+
+        Linear interpolation inside the containing bucket, the standard
+        equi-depth assumption.  Duplicated boundaries (heavy hitters) form
+        zero-width buckets whose full mass is excluded by the strict form
+        and included by the inclusive form, which keeps both forms monotone
+        in ``value``.
+        """
+        value = float(value)
+        if inclusive:
+            index = bisect.bisect_right(self.boundaries, value)
+        else:
+            index = bisect.bisect_left(self.boundaries, value)
+        if index == 0:
+            return 0.0
+        if index >= len(self.boundaries):
+            return 1.0
+        low = self.boundaries[index - 1]
+        high = self.boundaries[index]
+        within = 0.0 if high == low else (value - low) / (high - low)
+        fraction = ((index - 1) + within) / self.buckets
+        return min(max(fraction, 0.0), 1.0)
+
+    def equality_selectivity(self) -> float:
+        """Estimated selectivity of ``attribute = literal``: 1 / distinct."""
+        return 1.0 / self.distinct
+
+    def selectivity_between(
+        self,
+        low: float | None,
+        high: float | None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> float:
+        """Estimated selectivity of a (possibly half-open) range."""
+        upper = 1.0 if high is None else self.fraction_below(high, include_high)
+        lower = 0.0 if low is None else self.fraction_below(low, not include_low)
+        return min(max(upper - lower, 0.0), 1.0)

@@ -1,0 +1,96 @@
+"""Relational schemas: attributes and ordered attribute lists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A named column of a relation.
+
+    ``domain_size`` is the number of distinct values the attribute can take;
+    the paper derives join selectivities from it (Section 6: join output =
+    cross product divided by the larger of the join attributes' domain
+    sizes).
+    """
+
+    relation: str
+    name: str
+    domain_size: int
+
+    def __post_init__(self) -> None:
+        if self.domain_size <= 0:
+            raise CatalogError(
+                f"attribute {self.relation}.{self.name} must have a positive "
+                f"domain size, got {self.domain_size}"
+            )
+
+    @property
+    def qualified_name(self) -> str:
+        """The ``relation.attribute`` form used in plans and queries."""
+        return f"{self.relation}.{self.name}"
+
+    def __str__(self) -> str:
+        return self.qualified_name
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, duplicate-free list of attributes.
+
+    Schemas are value objects: joining two subplans concatenates their
+    schemas, and equality is positional.
+    """
+
+    attributes: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for attribute in self.attributes:
+            key = attribute.qualified_name
+            if key in seen:
+                raise CatalogError(f"duplicate attribute {key} in schema")
+            seen.add(key)
+
+    @staticmethod
+    def of(*attributes: Attribute) -> "Schema":
+        """Build a schema from attributes given positionally."""
+        return Schema(tuple(attributes))
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, attribute: Attribute) -> bool:
+        return attribute in self.attributes
+
+    def index_of(self, attribute: Attribute) -> int:
+        """Position of ``attribute`` in this schema.
+
+        Raises :class:`CatalogError` when absent — callers use this to map
+        predicate attributes to tuple slots during execution.
+        """
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise CatalogError(
+                f"attribute {attribute.qualified_name} not in schema "
+                f"[{', '.join(a.qualified_name for a in self.attributes)}]"
+            ) from None
+
+    def find(self, qualified_name: str) -> Attribute:
+        """Look up an attribute by its ``relation.name`` string."""
+        for attribute in self.attributes:
+            if attribute.qualified_name == qualified_name:
+                return attribute
+        raise CatalogError(f"no attribute named {qualified_name} in schema")
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a join output: this schema followed by ``other``."""
+        return Schema(self.attributes + other.attributes)

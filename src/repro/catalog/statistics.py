@@ -1,0 +1,37 @@
+"""Per-relation statistics used by the cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True, slots=True)
+class RelationStats:
+    """Cardinality and record width of a stored relation.
+
+    The paper's experiments use cardinalities in [100, 1000] and 512-byte
+    records on 2048-byte pages; both are configurable here, and the page
+    size lives in :class:`repro.cost.model.CostModel` so that statistics
+    remain device-independent.
+    """
+
+    cardinality: int
+    record_bytes: int = 512
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 0:
+            raise CatalogError(f"negative cardinality {self.cardinality}")
+        if self.record_bytes <= 0:
+            raise CatalogError(f"non-positive record size {self.record_bytes}")
+
+    def pages(self, page_bytes: int) -> int:
+        """Number of data pages at the given page size (at least 1)."""
+        if page_bytes < self.record_bytes:
+            raise CatalogError(
+                f"page size {page_bytes} smaller than record size "
+                f"{self.record_bytes}"
+            )
+        records_per_page = page_bytes // self.record_bytes
+        return max(1, -(-self.cardinality // records_per_page))

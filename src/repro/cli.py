@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``explain``
+    Parse a SQL query against a catalog and print the optimized plan
+    (static or dynamic), optionally as Graphviz DOT.
+``choose``
+    Optimize dynamically, bind the supplied parameter values, and show
+    which alternative every choose-plan operator activates.
+``experiments``
+    Regenerate the paper's Section 6 evaluation tables.
+``demo``
+    The motivating example (Figure 1) in one command.
+
+Catalogs are JSON files (see ``Catalog.to_json``); ``--demo-catalog`` uses
+the built-in experiment catalog instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel
+from repro.experiments.catalogs import make_experiment_catalog
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.physical.explain import explain, to_dot
+from repro.query.parser import parse_query
+from repro.runtime.chooser import effective_plan_nodes, resolve_plan
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except Exception as error:  # surfaced as a clean CLI message
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Dynamic query evaluation plans (SIGMOD 1994)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    explain_cmd = commands.add_parser(
+        "explain", help="optimize a SQL query and print the plan"
+    )
+    _add_catalog_options(explain_cmd)
+    explain_cmd.add_argument("sql", help="query text, e.g. 'SELECT * FROM R1 ...'")
+    explain_cmd.add_argument(
+        "--mode",
+        choices=[m.value for m in OptimizationMode],
+        default=OptimizationMode.DYNAMIC.value,
+    )
+    explain_cmd.add_argument(
+        "--dot", action="store_true", help="emit Graphviz DOT instead of text"
+    )
+    explain_cmd.set_defaults(handler=_cmd_explain)
+
+    choose_cmd = commands.add_parser(
+        "choose", help="show start-up-time decisions for given bindings"
+    )
+    _add_catalog_options(choose_cmd)
+    choose_cmd.add_argument("sql")
+    choose_cmd.add_argument(
+        "--bind",
+        action="append",
+        default=[],
+        metavar="PARAM=VALUE",
+        help="parameter binding, e.g. --bind sel:v=0.3 (repeatable)",
+    )
+    choose_cmd.set_defaults(handler=_cmd_choose)
+
+    experiments_cmd = commands.add_parser(
+        "experiments", help="regenerate the paper's Section 6 tables"
+    )
+    experiments_cmd.add_argument("--n", type=int, default=100)
+    experiments_cmd.add_argument("--memory", action="store_true")
+    experiments_cmd.set_defaults(handler=_cmd_experiments)
+
+    demo_cmd = commands.add_parser("demo", help="the Figure 1 motivating example")
+    demo_cmd.set_defaults(handler=_cmd_demo)
+    return parser
+
+
+def _add_catalog_options(command: argparse.ArgumentParser) -> None:
+    group = command.add_mutually_exclusive_group()
+    group.add_argument(
+        "--catalog", type=Path, help="catalog JSON file (Catalog.to_json format)"
+    )
+    group.add_argument(
+        "--demo-catalog",
+        action="store_true",
+        help="use the built-in 10-relation experiment catalog (R1..R10)",
+    )
+
+
+def _load_catalog(args: argparse.Namespace) -> Catalog:
+    if getattr(args, "catalog", None):
+        return Catalog.from_json(args.catalog.read_text())
+    return make_experiment_catalog()
+
+
+# ----------------------------------------------------------------------
+# Command handlers
+# ----------------------------------------------------------------------
+def _cmd_explain(args: argparse.Namespace) -> int:
+    catalog = _load_catalog(args)
+    parsed = parse_query(args.sql, catalog)
+    result = optimize_query(
+        parsed.graph,
+        catalog,
+        CostModel(),
+        mode=OptimizationMode(args.mode),
+        required_order=parsed.order_by,
+    )
+    if args.dot:
+        print(to_dot(result.plan, title=args.sql.strip()))
+    else:
+        print(explain(result.plan))
+        print(
+            f"\n{result.plan_node_count} operator nodes, "
+            f"{result.choose_plan_count} choose-plan operators, "
+            f"optimized in {result.optimization_seconds * 1000:.2f} ms "
+            f"({result.stats.candidates_considered} candidates costed)"
+        )
+    return 0
+
+
+def _cmd_choose(args: argparse.Namespace) -> int:
+    catalog = _load_catalog(args)
+    parsed = parse_query(args.sql, catalog)
+    result = optimize_query(
+        parsed.graph, catalog, CostModel(), mode=OptimizationMode.DYNAMIC
+    )
+    values: dict[str, float] = {}
+    for item in args.bind:
+        name, _, raw = item.partition("=")
+        if not raw:
+            raise ValueError(f"--bind expects PARAM=VALUE, got {item!r}")
+        values[name] = float(raw)
+    env = parsed.graph.parameters.bind(values)
+    decision = resolve_plan(result.plan, result.ctx.with_env(env))
+    used = {id(node) for node in effective_plan_nodes(result.plan, decision.choices)}
+    print(explain(result.plan))
+    print(f"\ndecisions under {values}:")
+    for choose_id, chosen in decision.choices.items():
+        marker = "active" if choose_id in used else "unreached"
+        print(f"  choose-plan -> {chosen.label}  [{marker}]")
+    print(f"predicted execution cost: {decision.execution_cost:.4f} s")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        figures,
+        generate_bindings,
+        paper_queries,
+        report,
+        run_experiment,
+    )
+
+    model = CostModel()
+    catalog = make_experiment_catalog()
+    records = []
+    for query in paper_queries(catalog, with_memory=args.memory):
+        bindings = generate_bindings(query.graph.parameters, n=args.n)
+        print(f"running {query.label} ...", file=sys.stderr)
+        records.append(run_experiment(query, catalog, bindings, model))
+    print(report.render_figure4(figures.figure4_rows(records)), end="\n\n")
+    print(report.render_figure5(figures.figure5_rows(records)), end="\n\n")
+    print(report.render_figure6(figures.figure6_rows(records)), end="\n\n")
+    print(report.render_figure7(figures.figure7_rows(records, model)), end="\n\n")
+    print(report.render_figure8(figures.figure8_rows(records, model)), end="\n\n")
+    print(report.render_break_even(figures.break_even_rows(records, model)))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    del args
+    catalog = make_experiment_catalog(1)
+    parsed = parse_query("SELECT * FROM R1 WHERE R1.a < :v", catalog)
+    dynamic = optimize_query(
+        parsed.graph, catalog, CostModel(), mode=OptimizationMode.DYNAMIC
+    )
+    print("dynamic plan for  SELECT * FROM R1 WHERE R1.a < :v\n")
+    print(explain(dynamic.plan))
+    for selectivity in (0.01, 0.9):
+        env = parsed.graph.parameters.bind({"sel:v": selectivity})
+        decision = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env))
+        chosen = decision.choices[id(dynamic.plan)]
+        print(
+            f"\nselectivity {selectivity:4.2f} -> {chosen.label} "
+            f"(cost {decision.execution_cost:.3f} s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Cost abstraction: interval costs, model constants, operator formulas.
+
+The paper encapsulates cost in an abstract data type whose comparison may
+return *incomparable* in addition to less/equal/greater.  This package
+provides that ADT (:class:`Cost` / :class:`IntervalCost`), the device and
+algorithm constants (:class:`CostModel`), and the per-operator cost
+formulas used by both the optimizer and the start-up-time decision
+procedure (:mod:`repro.cost.formulas`).
+"""
+
+from repro.cost.cost import Comparison, Cost, IntervalCost
+from repro.cost.model import CostModel
+from repro.cost import formulas
+
+__all__ = ["Comparison", "Cost", "IntervalCost", "CostModel", "formulas"]

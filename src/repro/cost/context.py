@@ -1,0 +1,40 @@
+"""Costing context: everything a cost formula needs to evaluate.
+
+A :class:`CostContext` bundles the catalog (known statistics), the cost
+model (device constants), and a parameter environment (uncertain values as
+intervals, or run-time points).  The optimizer costs plans under a
+compile-time context; the choose-plan decision procedure re-costs the same
+plan nodes under a start-up-time context whose environment is fully bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel
+from repro.params.parameter import Environment
+from repro.util.interval import Interval
+
+MEMORY_PARAMETER = "memory"
+
+
+@dataclass(frozen=True)
+class CostContext:
+    """Immutable bundle of catalog, model, and parameter environment."""
+
+    catalog: Catalog
+    model: CostModel
+    env: Environment
+
+    @property
+    def memory_pages(self) -> Interval:
+        """Available memory: the ``memory`` parameter when declared uncertain,
+        otherwise the model's fixed default."""
+        if MEMORY_PARAMETER in self.env.space:
+            return self.env.interval(MEMORY_PARAMETER)
+        return Interval.point(float(self.model.default_memory_pages))
+
+    def with_env(self, env: Environment) -> "CostContext":
+        """The same catalog and model under a different environment."""
+        return CostContext(catalog=self.catalog, model=self.model, env=env)

@@ -1,0 +1,158 @@
+"""The cost abstract data type.
+
+Traditional optimizers require cost comparison to return one of
+less / equal / greater.  The paper's essential extension (Section 3) is a
+fourth outcome, **incomparable**, produced when missing run-time bindings
+make it impossible to rank two plans at compile time.  The search engine
+(:mod:`repro.optimizer.engine`) is written against the abstract
+:class:`Cost` interface; :class:`IntervalCost` is the concrete model used
+by the prototype — cost as a ``[lower, upper]`` interval, incomparable when
+intervals overlap.
+
+Database implementors may substitute any other partially ordered cost model
+(e.g. multi-dimensional resource vectors) by subclassing :class:`Cost`.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.util.interval import Interval
+
+
+class Comparison(enum.Enum):
+    """Outcome of comparing two costs under a partial order."""
+
+    LESS = "less"
+    EQUAL = "equal"
+    GREATER = "greater"
+    INCOMPARABLE = "incomparable"
+
+
+class Cost(ABC):
+    """Abstract cost: the operations the search engine relies on."""
+
+    @abstractmethod
+    def compare(self, other: "Cost") -> Comparison:
+        """Partial-order comparison; may return ``INCOMPARABLE``."""
+
+    @abstractmethod
+    def __add__(self, other: "Cost") -> "Cost":
+        """Combine the costs of independent work (children + operator)."""
+
+    @abstractmethod
+    def choose_min(self, other: "Cost") -> "Cost":
+        """Cost of a choose-plan over two alternatives (pointwise minimum)."""
+
+    @abstractmethod
+    def lower_bound(self) -> float:
+        """Scalar certainly incurred — usable in branch-and-bound budgets."""
+
+    @abstractmethod
+    def upper_bound(self) -> float:
+        """Scalar never exceeded — usable as a branch-and-bound limit."""
+
+    def dominates(self, other: "Cost") -> bool:
+        """True when this cost is certainly no worse than ``other``."""
+        return self.compare(other) in (Comparison.LESS, Comparison.EQUAL)
+
+
+class IntervalCost(Cost):
+    """Cost as a closed interval of seconds, the paper's prototype model.
+
+    Two interval costs are comparable only when their intervals are
+    disjoint; overlapping intervals are declared incomparable (Section 5).
+    A traditional point cost is the degenerate case ``[c, c]``.
+    """
+
+    __slots__ = ("interval",)
+
+    def __init__(self, interval: Interval) -> None:
+        self.interval = interval
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, low: float, high: float) -> "IntervalCost":
+        """Cost interval ``[low, high]`` (subclass-preserving)."""
+        return cls(Interval.of(low, high))
+
+    @classmethod
+    def point(cls, value: float) -> "IntervalCost":
+        """A fully known (traditional) cost (subclass-preserving)."""
+        return cls(Interval.point(value))
+
+    @staticmethod
+    def zero() -> "IntervalCost":
+        """The additive identity."""
+        return _ZERO
+
+    @staticmethod
+    def sum(costs: Iterable["IntervalCost"]) -> "IntervalCost":
+        """Sum of several costs (empty sum is zero)."""
+        total = _ZERO
+        for cost in costs:
+            total = total + cost
+        return total
+
+    # ------------------------------------------------------------------
+    # Cost interface
+    # ------------------------------------------------------------------
+    def compare(self, other: Cost) -> Comparison:
+        if not isinstance(other, IntervalCost):
+            raise TypeError(f"cannot compare IntervalCost with {type(other).__name__}")
+        a, b = self.interval, other.interval
+        if a.low == b.low and a.high == b.high:
+            if a.is_point:
+                return Comparison.EQUAL
+            # Identical non-point intervals: the actual costs may still
+            # differ either way at run time, so they are incomparable
+            # (the paper's conservative treatment of "consistently equal"
+            # plans keeps both alternatives).
+            return Comparison.INCOMPARABLE
+        if a.high <= b.low:
+            return Comparison.LESS
+        if b.high <= a.low:
+            return Comparison.GREATER
+        return Comparison.INCOMPARABLE
+
+    def __add__(self, other: Cost) -> "IntervalCost":
+        if not isinstance(other, IntervalCost):
+            raise TypeError(f"cannot add IntervalCost and {type(other).__name__}")
+        return IntervalCost(self.interval + other.interval)
+
+    def choose_min(self, other: Cost) -> "IntervalCost":
+        if not isinstance(other, IntervalCost):
+            raise TypeError(
+                f"cannot combine IntervalCost with {type(other).__name__}"
+            )
+        return IntervalCost(self.interval.min_with(other.interval))
+
+    def lower_bound(self) -> float:
+        return self.interval.low
+
+    def upper_bound(self) -> float:
+        return self.interval.high
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    @property
+    def is_point(self) -> bool:
+        """True when the cost is fully known."""
+        return self.interval.is_point
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntervalCost) and self.interval == other.interval
+
+    def __hash__(self) -> int:
+        return hash(self.interval)
+
+    def __repr__(self) -> str:
+        return f"IntervalCost({self.interval})"
+
+
+_ZERO = IntervalCost(Interval.point(0.0))

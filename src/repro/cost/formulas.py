@@ -1,0 +1,352 @@
+"""Per-operator cost formulas, lifted from points to intervals.
+
+Every formula is written as an ordinary scalar function and lifted to
+intervals by :func:`monotone_interval`, exactly the paper's recipe
+(Section 5): "the upper and lower bounds of the cost intervals are computed
+using traditional cost formulas supplied with the appropriate upper and
+lower bound values for the parameters ... assuming that cost functions are
+monotonic in all their arguments."  Costs are monotonically *increasing* in
+cardinalities and selectivities and *decreasing* in available memory.
+
+All costs are in seconds and cover only the work of the operator itself;
+the search engine adds the costs of the input plans.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.catalog.statistics import RelationStats
+from repro.cost.model import CostModel
+from repro.util.interval import Interval
+
+INCREASING = 1
+DECREASING = -1
+
+
+def monotone_interval(
+    func: Callable[..., float], *args: tuple[Interval, int]
+) -> Interval:
+    """Lift a monotone scalar ``func`` to interval arguments.
+
+    ``args`` pairs each interval with its monotonicity direction
+    (:data:`INCREASING` or :data:`DECREASING`).  The lower bound of the
+    result evaluates ``func`` at each increasing argument's low end and each
+    decreasing argument's high end; the upper bound at the opposite corner.
+    """
+    low = func(
+        *(iv.low if direction == INCREASING else iv.high for iv, direction in args)
+    )
+    high = func(
+        *(iv.high if direction == INCREASING else iv.low for iv, direction in args)
+    )
+    if low > high:
+        raise ValueError(
+            f"cost function {func.__name__} is not monotone as declared: "
+            f"low corner {low} > high corner {high}"
+        )
+    return Interval(low, high)
+
+
+def pages_for(cardinality: float, record_bytes: int, model: CostModel) -> float:
+    """Fractional pages occupied by ``cardinality`` records."""
+    return cardinality * record_bytes / model.page_bytes
+
+
+def distinct_pages_touched(fetches: float, pages: float) -> float:
+    """Cardenas' formula: expected distinct pages hit by random fetches.
+
+    ``pages * (1 - (1 - 1/pages)^k)`` — the basis of the Mackert/Lohman
+    buffer-aware I/O model [MaL89].  Monotone increasing in both arguments
+    and never exceeds ``min(fetches, pages)``.
+    """
+    if pages <= 0 or fetches <= 0:
+        return 0.0
+    if pages < 1.0:
+        return min(fetches, pages)
+    return pages * (1.0 - (1.0 - 1.0 / pages) ** fetches)
+
+
+def _unclustered_fetch_io(model: CostModel, matching: float, data_pages: float) -> float:
+    """Random-I/O charge for fetching ``matching`` unclustered records."""
+    if model.buffer_aware_fetches:
+        return distinct_pages_touched(matching, data_pages) * model.random_page_io
+    return matching * model.random_page_io
+
+
+# ----------------------------------------------------------------------
+# Data retrieval
+# ----------------------------------------------------------------------
+def file_scan_cost(model: CostModel, stats: RelationStats) -> Interval:
+    """Sequential scan of the whole heap file.
+
+    No uncertain inputs: the result is always a point cost.
+    """
+    io = model.data_pages(stats) * model.sequential_page_io
+    cpu = stats.cardinality * model.cpu_per_tuple
+    return Interval.point(io + cpu)
+
+
+def btree_scan_cost(
+    model: CostModel,
+    stats: RelationStats,
+    selectivity: Interval,
+    clustered: bool = False,
+) -> Interval:
+    """Range scan through a B-tree retrieving a ``selectivity`` fraction.
+
+    Unclustered indexes (the paper's setup) pay one random I/O per
+    qualifying record to fetch it from the heap file; clustered indexes read
+    the qualifying fraction of data pages sequentially.  Very selective
+    predicates make this far cheaper than a file scan; unselective ones make
+    it far more expensive — the motivating example of Figure 1.
+    """
+    descend = model.btree_height(stats) * model.random_page_io
+    leaf_pages = model.leaf_pages(stats)
+    data_pages = model.data_pages(stats)
+
+    def cost(sel: float) -> float:
+        matching = sel * stats.cardinality
+        leaf_io = sel * leaf_pages * model.sequential_page_io
+        if clustered:
+            fetch_io = sel * data_pages * model.sequential_page_io
+        else:
+            fetch_io = _unclustered_fetch_io(model, matching, data_pages)
+        cpu = matching * model.cpu_per_tuple
+        return descend + leaf_io + fetch_io + cpu
+
+    return monotone_interval(cost, (selectivity, INCREASING))
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+def filter_cost(
+    model: CostModel, input_cardinality: Interval, selectivity: Interval
+) -> Interval:
+    """Apply one predicate to a stream of tuples."""
+
+    def cost(card: float, sel: float) -> float:
+        return card * model.cpu_per_predicate + sel * card * model.cpu_per_tuple
+
+    return monotone_interval(
+        cost, (input_cardinality, INCREASING), (selectivity, INCREASING)
+    )
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+def hash_join_cost(
+    model: CostModel,
+    build_cardinality: Interval,
+    probe_cardinality: Interval,
+    output_cardinality: Interval,
+    record_bytes: int,
+    memory_pages: Interval,
+) -> Interval:
+    """Hybrid hash join: in-memory when the build input fits, else it
+    partitions both inputs to disk for the overflowing fraction.
+
+    The memory dependence is the reason hash-join build-side choice belongs
+    in a dynamic plan (the paper's Figure 2 example): which input is smaller
+    may be unknown at compile time.
+    """
+
+    def cost(build: float, probe: float, out: float, memory: float) -> float:
+        build_pages = pages_for(build, record_bytes, model)
+        probe_pages = pages_for(probe, record_bytes, model)
+        spill_fraction = 0.0
+        if build_pages > memory and build_pages > 0:
+            spill_fraction = 1.0 - memory / build_pages
+        partition_io = (
+            2.0
+            * (build_pages + probe_pages)
+            * spill_fraction
+            * model.sequential_page_io
+        )
+        cpu = (build + probe) * model.cpu_per_hash + out * model.cpu_per_tuple
+        return partition_io + cpu
+
+    return monotone_interval(
+        cost,
+        (build_cardinality, INCREASING),
+        (probe_cardinality, INCREASING),
+        (output_cardinality, INCREASING),
+        (memory_pages, DECREASING),
+    )
+
+
+def nested_loops_join_cost(
+    model: CostModel,
+    outer_cardinality: Interval,
+    inner_cardinality: Interval,
+    output_cardinality: Interval,
+    record_bytes: int,
+    memory_pages: Interval,
+) -> Interval:
+    """Block nested-loops join (extension; enables cross products).
+
+    The inner input is materialized once, then re-read for every block of
+    the outer that fits in memory.  Every outer×inner pair is compared.
+    """
+
+    def cost(outer: float, inner: float, out: float, memory: float) -> float:
+        outer_pages = pages_for(outer, record_bytes, model)
+        inner_pages = pages_for(inner, record_bytes, model)
+        block_pages = max(1.0, memory - 2.0)
+        passes = max(1.0, math.ceil(outer_pages / block_pages)) if outer > 0 else 0.0
+        materialize_io = 2.0 * inner_pages * model.sequential_page_io
+        rescan_io = inner_pages * max(0.0, passes - 1.0) * model.sequential_page_io
+        cpu = outer * inner * model.cpu_per_compare + out * model.cpu_per_tuple
+        return materialize_io + rescan_io + cpu
+
+    return monotone_interval(
+        cost,
+        (outer_cardinality, INCREASING),
+        (inner_cardinality, INCREASING),
+        (output_cardinality, INCREASING),
+        (memory_pages, DECREASING),
+    )
+
+
+def merge_join_cost(
+    model: CostModel,
+    left_cardinality: Interval,
+    right_cardinality: Interval,
+    output_cardinality: Interval,
+) -> Interval:
+    """Merge two sorted streams; sorting is the Sort enforcer's business."""
+
+    def cost(left: float, right: float, out: float) -> float:
+        return (left + right) * model.cpu_per_compare + out * model.cpu_per_tuple
+
+    return monotone_interval(
+        cost,
+        (left_cardinality, INCREASING),
+        (right_cardinality, INCREASING),
+        (output_cardinality, INCREASING),
+    )
+
+
+def index_join_cost(
+    model: CostModel,
+    outer_cardinality: Interval,
+    inner_stats: RelationStats,
+    output_cardinality: Interval,
+    clustered: bool = False,
+) -> Interval:
+    """Index nested-loops join probing a B-tree on the inner relation.
+
+    Each outer tuple pays one descent plus (for unclustered indexes) one
+    random fetch per matching inner record.
+    """
+    descend = model.btree_height(inner_stats) * model.random_page_io
+
+    def cost(outer: float, out: float) -> float:
+        if clustered:
+            fetch_io = (
+                pages_for(out, inner_stats.record_bytes, model)
+                * model.random_page_io
+            )
+        else:
+            # One random heap-page fetch per matching inner record (or the
+            # buffer-aware distinct-page cap when enabled).
+            inner_pages = float(model.data_pages(inner_stats))
+            fetch_io = _unclustered_fetch_io(model, out, inner_pages)
+        probe_io = outer * descend
+        cpu = outer * model.cpu_per_predicate + out * model.cpu_per_tuple
+        return probe_io + fetch_io + cpu
+
+    return monotone_interval(
+        cost, (outer_cardinality, INCREASING), (output_cardinality, INCREASING)
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregation (extension)
+# ----------------------------------------------------------------------
+def hash_aggregate_cost(
+    model: CostModel,
+    input_cardinality: Interval,
+    group_cardinality: Interval,
+    record_bytes: int,
+    memory_pages: Interval,
+) -> Interval:
+    """Hash aggregation: build a table of groups, spill when it overflows."""
+
+    def cost(inputs: float, groups: float, memory: float) -> float:
+        group_pages = pages_for(groups, record_bytes, model)
+        spill_fraction = 0.0
+        if group_pages > memory and group_pages > 0:
+            spill_fraction = 1.0 - memory / group_pages
+        partition_io = (
+            2.0
+            * pages_for(inputs, record_bytes, model)
+            * spill_fraction
+            * model.sequential_page_io
+        )
+        cpu = inputs * model.cpu_per_hash + groups * model.cpu_per_tuple
+        return partition_io + cpu
+
+    return monotone_interval(
+        cost,
+        (input_cardinality, INCREASING),
+        (group_cardinality, INCREASING),
+        (memory_pages, DECREASING),
+    )
+
+
+def sorted_aggregate_cost(
+    model: CostModel,
+    input_cardinality: Interval,
+    group_cardinality: Interval,
+) -> Interval:
+    """Streaming aggregation over an input sorted on the grouping key."""
+
+    def cost(inputs: float, groups: float) -> float:
+        return inputs * model.cpu_per_compare + groups * model.cpu_per_tuple
+
+    return monotone_interval(
+        cost, (input_cardinality, INCREASING), (group_cardinality, INCREASING)
+    )
+
+
+# ----------------------------------------------------------------------
+# Enforcers
+# ----------------------------------------------------------------------
+def sort_cost(
+    model: CostModel,
+    cardinality: Interval,
+    record_bytes: int,
+    memory_pages: Interval,
+) -> Interval:
+    """External merge sort: free of I/O when the input fits in memory."""
+
+    def cost(card: float, memory: float) -> float:
+        cpu = card * math.log2(max(card, 2.0)) * model.cpu_per_compare
+        data_pages = pages_for(card, record_bytes, model)
+        if data_pages <= memory:
+            return cpu
+        fan_in = max(2.0, memory - 1.0)
+        runs = data_pages / max(memory, 1.0)
+        passes = max(1.0, math.ceil(math.log(max(runs, 2.0), fan_in)))
+        io = 2.0 * data_pages * passes * model.sequential_page_io
+        return cpu + io
+
+    return monotone_interval(
+        cost, (cardinality, INCREASING), (memory_pages, DECREASING)
+    )
+
+
+def choose_plan_cost(model: CostModel, alternatives: int) -> Interval:
+    """Start-up-time overhead of one choose-plan decision.
+
+    The paper charges a small constant per decision (its Section 5 example
+    uses [0.01, 0.01]); with more than two alternatives the comparisons
+    scale linearly.
+    """
+    if alternatives < 2:
+        raise ValueError("choose-plan needs at least two alternatives")
+    return Interval.point(model.choose_plan_overhead * (alternatives - 1))

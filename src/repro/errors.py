@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so applications
+can catch everything from this package with one handler while still
+distinguishing catalog, optimization, binding, parsing, and execution
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """Unknown relation/attribute/index, or inconsistent catalog metadata."""
+
+
+class BindingError(ReproError):
+    """A run-time binding is missing, out of range, or of the wrong kind."""
+
+
+class OptimizationError(ReproError):
+    """The search engine could not produce a plan (e.g. no implementation
+    rule applies, or an internal invariant was violated)."""
+
+
+class PlanError(ReproError):
+    """A physical plan is structurally invalid (bad arity, dangling input,
+    or an operation applied to the wrong node kind)."""
+
+
+class ParseError(ReproError):
+    """The SQL front end rejected the query text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class ExecutionError(ReproError):
+    """The execution engine failed while evaluating a physical plan."""

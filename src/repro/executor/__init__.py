@@ -1,0 +1,31 @@
+"""A real execution engine over simulated storage.
+
+The paper's prototype reports *predicted* execution costs; this package
+goes further and actually executes physical plans, in the Volcano iterator
+style, over a simulated disk with page-level I/O accounting.  It serves
+three purposes: the examples run real queries end to end, the cost model is
+validated against observed simulated I/O/CPU, and choose-plan activation is
+demonstrated on live data rather than on estimates alone.
+
+Components: simulated disk and clock (:mod:`repro.executor.storage`), an
+LRU buffer pool (:mod:`repro.executor.buffer`), a paged B-tree
+(:mod:`repro.executor.btree`), external sort (:mod:`repro.executor.sort`),
+one iterator per physical operator (:mod:`repro.executor.iterators`), the
+database container with synthetic data loading
+(:mod:`repro.executor.database`), and the plan driver
+(:mod:`repro.executor.executor`).
+"""
+
+from repro.executor.database import Database
+from repro.executor.executor import ExecutionMetrics, ExecutionResult, execute_plan
+from repro.executor.storage import SimulatedDisk
+from repro.executor.tuples import RowSchema
+
+__all__ = [
+    "Database",
+    "ExecutionMetrics",
+    "ExecutionResult",
+    "execute_plan",
+    "SimulatedDisk",
+    "RowSchema",
+]

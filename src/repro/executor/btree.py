@@ -1,0 +1,214 @@
+"""A paged B-tree index over the simulated disk.
+
+Leaf pages hold sorted ``(key, rid)`` entries and are chained left to
+right, so range scans read leaves sequentially after the initial descent —
+exactly the access pattern :func:`repro.cost.formulas.btree_scan_cost`
+charges for.  Internal pages hold separator keys and child page numbers.
+
+The tree supports bulk loading from sorted input (used by data loading),
+single inserts with page splits (used by index maintenance tests), exact
+and range lookups.  All page reads go through a caller-supplied reader so
+the buffer pool can cache upper levels, matching the cost model's
+root-cached assumption.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterator
+
+from repro.errors import ExecutionError
+from repro.executor.storage import SimulatedDisk
+
+Rid = tuple[int, int]
+Entry = tuple[object, Rid]
+PageReader = Callable[[str, int], object]
+
+
+def _leaf(entries: list[Entry], next_leaf: int | None) -> dict:
+    return {"leaf": True, "entries": entries, "next": next_leaf}
+
+
+def _internal(keys: list, children: list[int]) -> dict:
+    return {"leaf": False, "keys": keys, "children": children}
+
+
+class BTree:
+    """One B-tree index stored in one simulated file."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        file_name: str,
+        capacity: int | None = None,
+        reader: PageReader | None = None,
+    ) -> None:
+        self.disk = disk
+        self.file_name = file_name
+        self.capacity = capacity or max(
+            4, disk.model.page_bytes // disk.model.btree_key_bytes
+        )
+        self._read = reader if reader is not None else disk.read_page
+        if not disk.file_exists(file_name):
+            disk.create_file(file_name)
+        self.root_page: int | None = None
+        self.height = 0
+        self.entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def bulk_build(self, entries: list[Entry]) -> None:
+        """Build the tree from entries sorted by key.
+
+        Leaves are written contiguously (so chained scans are sequential),
+        then each internal level above them.
+        """
+        if self.root_page is not None:
+            raise ExecutionError(f"B-tree {self.file_name} already built")
+        if any(entries[i][0] > entries[i + 1][0] for i in range(len(entries) - 1)):
+            raise ExecutionError("bulk_build requires entries sorted by key")
+        self.entry_count = len(entries)
+        if not entries:
+            self.root_page = self.disk.append_page(self.file_name, _leaf([], None))
+            self.height = 1
+            return
+
+        # Leaf level.
+        fill = max(2, (self.capacity * 2) // 3)  # classic 2/3 bulk-load fill
+        leaf_pages: list[int] = []
+        first_keys: list = []
+        chunks = [entries[i : i + fill] for i in range(0, len(entries), fill)]
+        for chunk in chunks:
+            page_no = self.disk.append_page(self.file_name, _leaf(list(chunk), None))
+            leaf_pages.append(page_no)
+            first_keys.append(chunk[0][0])
+        for i in range(len(leaf_pages) - 1):
+            payload = self.disk.read_page(self.file_name, leaf_pages[i])
+            payload["next"] = leaf_pages[i + 1]
+            self.disk.write_page(self.file_name, leaf_pages[i], payload)
+
+        # Internal levels.
+        level_pages, level_keys = leaf_pages, first_keys
+        self.height = 1
+        while len(level_pages) > 1:
+            parent_pages: list[int] = []
+            parent_keys: list = []
+            for i in range(0, len(level_pages), fill):
+                children = level_pages[i : i + fill]
+                keys = level_keys[i + 1 : i + len(children)]
+                page_no = self.disk.append_page(
+                    self.file_name, _internal(list(keys), list(children))
+                )
+                parent_pages.append(page_no)
+                parent_keys.append(level_keys[i])
+            level_pages, level_keys = parent_pages, parent_keys
+            self.height += 1
+        self.root_page = level_pages[0]
+
+    def insert(self, key: object, rid: Rid) -> None:
+        """Insert one entry, splitting pages as needed."""
+        if self.root_page is None:
+            self.bulk_build([(key, rid)])
+            return
+        split = self._insert_into(self.root_page, key, rid)
+        if split is not None:
+            separator, new_child = split
+            new_root = self.disk.append_page(
+                self.file_name, _internal([separator], [self.root_page, new_child])
+            )
+            self.root_page = new_root
+            self.height += 1
+        self.entry_count += 1
+
+    def _insert_into(
+        self, page_no: int, key: object, rid: Rid
+    ) -> tuple[object, int] | None:
+        """Insert under ``page_no``; returns (separator, new page) on split."""
+        node = self.disk.read_page(self.file_name, page_no)
+        if node["leaf"]:
+            entries: list[Entry] = node["entries"]
+            bisect.insort(entries, (key, rid))
+            if len(entries) <= self.capacity:
+                self.disk.write_page(self.file_name, page_no, node)
+                return None
+            mid = len(entries) // 2
+            right_entries = entries[mid:]
+            node["entries"] = entries[:mid]
+            right_page = self.disk.append_page(
+                self.file_name, _leaf(right_entries, node["next"])
+            )
+            node["next"] = right_page
+            self.disk.write_page(self.file_name, page_no, node)
+            return right_entries[0][0], right_page
+
+        position = bisect.bisect_right(node["keys"], key)
+        split = self._insert_into(node["children"][position], key, rid)
+        if split is None:
+            return None
+        separator, new_child = split
+        node["keys"].insert(position, separator)
+        node["children"].insert(position + 1, new_child)
+        if len(node["children"]) <= self.capacity:
+            self.disk.write_page(self.file_name, page_no, node)
+            return None
+        mid = len(node["keys"]) // 2
+        up_key = node["keys"][mid]
+        right = _internal(node["keys"][mid + 1 :], node["children"][mid + 1 :])
+        node["keys"] = node["keys"][:mid]
+        node["children"] = node["children"][: mid + 1]
+        right_page = self.disk.append_page(self.file_name, right)
+        self.disk.write_page(self.file_name, page_no, node)
+        return up_key, right_page
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def range_scan(
+        self,
+        low: object | None = None,
+        high: object | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Entry]:
+        """Yield entries with keys in the given range, in key order.
+
+        ``None`` bounds are open-ended; a full scan is
+        ``range_scan(None, None)``.
+        """
+        if self.root_page is None:
+            raise ExecutionError(f"B-tree {self.file_name} is empty/unbuilt")
+        page_no = self._descend_to_leaf(low)
+        while page_no is not None:
+            node = self._read(self.file_name, page_no)
+            for key, rid in node["entries"]:
+                if low is not None:
+                    if key < low or (key == low and not include_low):
+                        continue
+                if high is not None:
+                    if key > high or (key == high and not include_high):
+                        return
+                yield key, rid
+            page_no = node["next"]
+
+    def lookup(self, key: object) -> list[Rid]:
+        """All rids with exactly ``key``."""
+        return [rid for _, rid in self.range_scan(key, key)]
+
+    def _descend_to_leaf(self, low: object | None) -> int:
+        assert self.root_page is not None
+        page_no = self.root_page
+        for _ in range(self.height - 1):
+            node = self._read(self.file_name, page_no)
+            if node["leaf"]:
+                break
+            if low is None:
+                page_no = node["children"][0]
+            else:
+                # bisect_left, not bisect_right: duplicates of ``low`` may
+                # end the leaf to the LEFT of the separator equal to it, so
+                # the descent must take the leftmost child that can still
+                # hold the key.
+                position = bisect.bisect_left(node["keys"], low)
+                page_no = node["children"][position]
+        return page_no

@@ -1,0 +1,59 @@
+"""LRU buffer pool over the simulated disk.
+
+A fixed number of page frames caches reads; hits cost nothing, misses go to
+the disk (charging simulated time).  The pool deliberately implements only
+what the reproduction needs — read caching with LRU replacement — because
+every write path in this engine is append-only (loads, sort runs, hash
+partitions) and bypasses the pool.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ExecutionError
+from repro.executor.storage import PageId, SimulatedDisk
+
+
+class BufferPool:
+    """Read-through page cache with least-recently-used replacement."""
+
+    def __init__(self, disk: SimulatedDisk, capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise ExecutionError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.capacity = capacity_pages
+        self._frames: OrderedDict[PageId, list] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def read_page(self, file_name: str, page_no: int) -> list:
+        """Read a page through the cache."""
+        key: PageId = (file_name, page_no)
+        cached = self._frames.get(key)
+        if cached is not None:
+            self._frames.move_to_end(key)
+            self.hits += 1
+            return cached
+        payload = self.disk.read_page(file_name, page_no)
+        self.misses += 1
+        self._frames[key] = payload
+        if len(self._frames) > self.capacity:
+            self._frames.popitem(last=False)
+        return payload
+
+    def invalidate_file(self, file_name: str) -> None:
+        """Drop all cached frames of one file (after drop/rewrite)."""
+        stale = [key for key in self._frames if key[0] == file_name]
+        for key in stale:
+            del self._frames[key]
+
+    def clear(self) -> None:
+        """Empty the pool (between experiment runs)."""
+        self._frames.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of reads served from the pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,198 @@
+"""The database container: storage, buffer pool, heaps, and indexes.
+
+A :class:`Database` realizes a catalog on the simulated disk: one heap file
+per relation, one B-tree per index, and a shared buffer pool.  Synthetic
+data loading follows the paper's experimental setup — integer attributes
+uniformly distributed over their domains — so observed selectivities match
+the catalog's estimates in expectation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Attribute
+from repro.cost.model import CostModel
+from repro.errors import CatalogError, ExecutionError
+from repro.executor.btree import BTree
+from repro.executor.buffer import BufferPool
+from repro.executor.storage import HeapFile, SimulatedDisk
+from repro.logical.predicates import CompareOp, HostVariable, SelectionPredicate
+from repro.util.rng import make_rng
+
+
+class Database:
+    """Catalog + stored data + indexes over one simulated disk."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        model: CostModel | None = None,
+        buffer_pages: int = 64,
+    ) -> None:
+        self.catalog = catalog
+        self.model = model if model is not None else CostModel()
+        self.disk = SimulatedDisk(self.model)
+        self.buffer = BufferPool(self.disk, buffer_pages)
+        self._heaps: dict[str, HeapFile] = {}
+        self._btrees: dict[str, BTree] = {}
+
+    @property
+    def intermediate_rows_per_page(self) -> int:
+        """Rows per page assumed for intermediate results (512-byte rows)."""
+        return max(1, self.model.page_bytes // 512)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load_synthetic(self, seed: int = 0) -> None:
+        """Populate every catalog relation with uniform random integers.
+
+        Each attribute draws uniformly from ``range(domain_size)``; indexes
+        are bulk-built from the loaded data.  Deterministic given ``seed``.
+        """
+        rng = make_rng(seed)
+        for name in self.catalog.relation_names:
+            info = self.catalog.relation(name)
+            rows = [
+                tuple(
+                    rng.randrange(attribute.domain_size)
+                    for attribute in info.schema
+                )
+                for _ in range(info.stats.cardinality)
+            ]
+            self.load_relation(name, rows)
+
+    def load_relation(self, name: str, rows: list[tuple]) -> None:
+        """Store explicit rows for one relation and build its indexes."""
+        info = self.catalog.relation(name)
+        if name in self._heaps:
+            raise ExecutionError(f"relation {name} already loaded")
+        if len(rows) != info.stats.cardinality:
+            raise ExecutionError(
+                f"catalog says {info.stats.cardinality} rows for {name}, "
+                f"got {len(rows)}"
+            )
+        heap = HeapFile(
+            self.disk,
+            f"heap_{name}",
+            records_per_page=self.model.records_per_page(info.stats),
+        )
+        rids = [heap.append(row) for row in rows]
+        heap.flush()
+        self._heaps[name] = heap
+        for index in info.indexes:
+            position = info.schema.index_of(index.attribute)
+            entries = sorted(
+                (row[position], rid) for row, rid in zip(rows, rids)
+            )
+            btree = BTree(
+                self.disk,
+                f"index_{index.name}",
+                reader=self.buffer.read_page,
+            )
+            btree.bulk_build(entries)
+            self._btrees[index.name] = btree
+
+    def insert_row(self, relation: str, row: tuple, update_statistics: bool = True) -> None:
+        """Append one row, maintaining every index on the relation.
+
+        With ``update_statistics`` the catalog cardinality follows the data
+        — the paper's opening motivation ("changes in the database
+        contents") — which bumps the catalog version and thereby invalidates
+        compiled access modules so they re-optimize against fresh numbers.
+        """
+        info = self.catalog.relation(relation)
+        heap = self.heap(relation)
+        if len(row) != len(info.schema):
+            raise ExecutionError(
+                f"row has {len(row)} values, schema has {len(info.schema)}"
+            )
+        rid = heap.append(row)
+        heap.flush()
+        for index in info.indexes:
+            position = info.schema.index_of(index.attribute)
+            self._btrees[index.name].insert(row[position], rid)
+            self.buffer.invalidate_file(f"index_{index.name}")
+        if update_statistics:
+            self.catalog.set_cardinality(relation, heap.record_count)
+
+    def analyze(self, buckets: int = 20) -> int:
+        """Build equi-depth histograms for every loaded attribute.
+
+        The histograms are registered in the catalog and picked up by
+        selectivity estimation (:mod:`repro.logical.estimation`) for
+        literal predicates — the ANALYZE command of a production system.
+        Returns the number of histograms built.
+        """
+        from repro.catalog.histogram import EquiDepthHistogram
+
+        built = 0
+        for name, heap in self._heaps.items():
+            info = self.catalog.relation(name)
+            rows = [row for _, row in heap.scan()]
+            if not rows:
+                continue
+            for position, attribute in enumerate(info.schema):
+                values = [row[position] for row in rows]
+                histogram = EquiDepthHistogram.from_values(values, buckets)
+                self.catalog.set_histogram(attribute, histogram)
+                built += 1
+        return built
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def heap(self, relation: str) -> HeapFile:
+        """The heap file of a loaded relation."""
+        try:
+            return self._heaps[relation]
+        except KeyError:
+            raise ExecutionError(f"relation {relation} is not loaded") from None
+
+    def btree(self, index_name: str) -> BTree:
+        """A loaded index by name."""
+        try:
+            return self._btrees[index_name]
+        except KeyError:
+            raise ExecutionError(f"index {index_name} is not loaded") from None
+
+    def btree_on(self, attribute: Attribute) -> BTree:
+        """The index keyed on ``attribute``."""
+        index = self.catalog.index_on(attribute)
+        if index is None:
+            raise CatalogError(f"no index on {attribute.qualified_name}")
+        return self.btree(index.name)
+
+    # ------------------------------------------------------------------
+    # Selectivity helpers
+    # ------------------------------------------------------------------
+    def implied_selectivity(
+        self, predicate: SelectionPredicate, bindings: Mapping[str, object]
+    ) -> float:
+        """Selectivity a bound predicate implies under uniform data.
+
+        This is the bridge between value bindings (what an application
+        supplies for its host variables) and selectivity parameters (what
+        the optimizer's cost model consumes): ``a < v`` over a uniform
+        domain of size D has selectivity ``v / D``.
+        """
+        if isinstance(predicate.operand, HostVariable):
+            value = bindings[predicate.operand.name]
+        else:
+            value = predicate.operand.value
+        if not isinstance(value, (int, float)):
+            raise ExecutionError(
+                f"cannot derive a selectivity for non-numeric value {value!r}"
+            )
+        domain = predicate.attribute.domain_size
+        fraction_below = min(max(float(value) / domain, 0.0), 1.0)
+        op = predicate.op
+        if op is CompareOp.LT or op is CompareOp.LE:
+            return fraction_below
+        if op is CompareOp.GT or op is CompareOp.GE:
+            return 1.0 - fraction_below
+        if op is CompareOp.EQ:
+            return 1.0 / domain
+        return 1.0 - 1.0 / domain

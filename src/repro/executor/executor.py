@@ -1,0 +1,229 @@
+"""Plan driver: physical plan DAG → iterator tree → rows + metrics.
+
+Choose-plan operators are resolved *before* execution, exactly as at
+start-up time: either the caller passes the decision map produced by
+:func:`repro.runtime.chooser.resolve_plan`, or the driver resolves the plan
+itself from the supplied parameter binding.  Only the chosen alternative is
+instantiated — unchosen subplans cost nothing at run time, which is the
+whole point of dynamic plans.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cost.context import CostContext
+from repro.errors import ExecutionError
+from repro.executor.database import Database
+from repro.executor.iterators import (
+    BtreeScanIterator,
+    FileScanIterator,
+    FilterIterator,
+    HashAggregateIterator,
+    HashJoinIterator,
+    IndexJoinIterator,
+    MaterializedIterator,
+    MergeJoinIterator,
+    NestedLoopsJoinIterator,
+    PlanIterator,
+    ProjectIterator,
+    SortedAggregateIterator,
+    SortIterator,
+)
+from repro.executor.tuples import Row, RowSchema
+from repro.physical.plan import (
+    BtreeScanNode,
+    ChoosePlanNode,
+    FileScanNode,
+    FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
+    IndexJoinNode,
+    MergeJoinNode,
+    NestedLoopsJoinNode,
+    PlanNode,
+    ProjectNode,
+    SortedAggregateNode,
+    SortNode,
+    leaf_access_info,
+)
+from repro.runtime.chooser import resolve_plan
+
+
+@dataclass(frozen=True)
+class ExecutionMetrics:
+    """Observed (simulated) resource usage of one plan execution."""
+
+    rows: int
+    io_seconds: float
+    sequential_reads: int
+    random_reads: int
+    writes: int
+    buffer_hits: int
+    buffer_misses: int
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Rows plus metrics; ``schema`` maps attributes to row positions.
+
+    Column order follows the executed plan's shape (a commuted hash join
+    swaps sides); use :meth:`project` to read rows in a fixed attribute
+    order regardless of which alternative plan ran.
+    """
+
+    rows: list[Row]
+    schema: RowSchema
+    metrics: ExecutionMetrics
+
+    def project(self, attributes) -> list[Row]:
+        """Rows restricted/reordered to ``attributes``.
+
+        Accepts :class:`~repro.catalog.schema.Attribute` objects; raises
+        :class:`~repro.errors.ExecutionError` when one is not produced by
+        the plan.
+        """
+        positions = [self.schema.position(a) for a in attributes]
+        return [tuple(row[p] for p in positions) for row in self.rows]
+
+
+MaterializedKey = tuple[str, frozenset]
+
+
+def execute_plan(
+    plan: PlanNode,
+    db: Database,
+    bindings: Mapping[str, object] | None = None,
+    choices: Mapping[int, PlanNode] | None = None,
+    ctx: CostContext | None = None,
+    parameter_values: Mapping[str, float] | None = None,
+    memory_pages: int | None = None,
+    materialized: Mapping[MaterializedKey, MaterializedIterator] | None = None,
+) -> ExecutionResult:
+    """Execute ``plan`` against ``db``.
+
+    ``bindings`` maps host-variable names to values for predicate
+    evaluation.  For dynamic plans, pass either ``choices`` (a decision map
+    from :func:`resolve_plan`) or ``ctx`` + ``parameter_values`` so the
+    driver can make the decisions itself.  ``memory_pages`` bounds hash-join
+    and sort memory (defaults to the model's expected memory).
+    ``materialized`` maps leaf-access identities (see
+    :func:`repro.physical.plan.leaf_access_info`) to temporaries that
+    substitute for the corresponding access subtrees (run-time adaptation).
+    """
+    bindings = dict(bindings or {})
+    if choices is None and _contains_choose(plan):
+        if ctx is None or parameter_values is None:
+            raise ExecutionError(
+                "dynamic plan execution needs either a decision map or a "
+                "cost context plus parameter values to resolve choose-plans"
+            )
+        env = ctx.env.space.bind(parameter_values)
+        choices = resolve_plan(plan, ctx.with_env(env)).choices
+    memory = memory_pages if memory_pages is not None else db.model.default_memory_pages
+
+    before = _snapshot(db)
+    started = time.perf_counter()
+    iterator = _build_iterator(plan, db, bindings, choices or {}, memory, materialized or {})
+    rows = list(iterator.rows())
+    elapsed = time.perf_counter() - started
+    after = _snapshot(db)
+
+    metrics = ExecutionMetrics(
+        rows=len(rows),
+        io_seconds=after[0] - before[0],
+        sequential_reads=after[1] - before[1],
+        random_reads=after[2] - before[2],
+        writes=after[3] - before[3],
+        buffer_hits=after[4] - before[4],
+        buffer_misses=after[5] - before[5],
+        wall_seconds=elapsed,
+    )
+    return ExecutionResult(rows=rows, schema=iterator.schema, metrics=metrics)
+
+
+def _snapshot(db: Database) -> tuple[float, int, int, int, int, int]:
+    counters = db.disk.counters
+    return (
+        counters.seconds,
+        counters.sequential_reads,
+        counters.random_reads,
+        counters.writes,
+        db.buffer.hits,
+        db.buffer.misses,
+    )
+
+
+def _contains_choose(plan: PlanNode) -> bool:
+    stack = [plan]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, ChoosePlanNode):
+            return True
+        stack.extend(node.inputs)
+    return False
+
+
+def _build_iterator(
+    node: PlanNode,
+    db: Database,
+    bindings: Mapping[str, object],
+    choices: Mapping[int, PlanNode],
+    memory: int,
+    materialized: Mapping[MaterializedKey, MaterializedIterator],
+) -> PlanIterator:
+    if isinstance(node, ChoosePlanNode):
+        try:
+            chosen = choices[id(node)]
+        except KeyError:
+            raise ExecutionError(
+                "decision map lacks an entry for a choose-plan operator"
+            ) from None
+        return _build_iterator(chosen, db, bindings, choices, memory, materialized)
+    if materialized:
+        info = leaf_access_info(node)
+        if info is not None and info in materialized:
+            return materialized[info]
+
+    def build(child: PlanNode) -> PlanIterator:
+        return _build_iterator(child, db, bindings, choices, memory, materialized)
+
+    if isinstance(node, FileScanNode):
+        return FileScanIterator(db, node.relation)
+    if isinstance(node, BtreeScanNode):
+        return BtreeScanIterator(db, node.relation, node.key, node.predicate, bindings)
+    if isinstance(node, FilterNode):
+        return FilterIterator(build(node.inputs[0]), node.predicate, bindings)
+    if isinstance(node, HashJoinNode):
+        return HashJoinIterator(
+            build(node.inputs[0]), build(node.inputs[1]), node.predicates, db, memory
+        )
+    if isinstance(node, MergeJoinNode):
+        return MergeJoinIterator(
+            build(node.inputs[0]), build(node.inputs[1]), node.predicates
+        )
+    if isinstance(node, NestedLoopsJoinNode):
+        return NestedLoopsJoinIterator(
+            build(node.inputs[0]), build(node.inputs[1]), node.predicates, db, memory
+        )
+    if isinstance(node, IndexJoinNode):
+        return IndexJoinIterator(
+            build(node.inputs[0]), db, node.inner_relation, node.inner_key,
+            node.predicates,
+        )
+    if isinstance(node, SortNode):
+        return SortIterator(build(node.inputs[0]), node.key, db, memory)
+    if isinstance(node, ProjectNode):
+        return ProjectIterator(build(node.inputs[0]), node.attributes)
+    if isinstance(node, HashAggregateNode):
+        return HashAggregateIterator(build(node.inputs[0]), node.spec)
+    if isinstance(node, SortedAggregateNode):
+        return SortedAggregateIterator(build(node.inputs[0]), node.spec)
+    raise ExecutionError(f"no iterator for node type {type(node).__name__}")

@@ -1,0 +1,609 @@
+"""Volcano-style iterators, one per physical algorithm of Table 1.
+
+Each iterator exposes an output :class:`~repro.executor.tuples.RowSchema`
+and a ``rows()`` generator.  Iterators pull from their inputs on demand —
+the Volcano execution model — and all storage access is metered through the
+database's simulated disk, so observed I/O can be compared against the cost
+model's predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.catalog.schema import Attribute
+from repro.errors import BindingError, ExecutionError
+from repro.executor.database import Database
+from repro.executor.sort import external_sort
+from repro.executor.tuples import Row, RowSchema
+from repro.logical.predicates import (
+    CompareOp,
+    HostVariable,
+    JoinPredicate,
+    SelectionPredicate,
+)
+
+ValueBindings = Mapping[str, object]
+
+
+class PlanIterator:
+    """Base class: an output schema plus a row generator."""
+
+    schema: RowSchema
+
+    def rows(self) -> Iterator[Row]:
+        """Produce the operator's output stream."""
+        raise NotImplementedError
+
+
+class MaterializedIterator(PlanIterator):
+    """Serves a temporary result that was materialized earlier.
+
+    Used by run-time adaptation (Section 7): a subplan evaluated to observe
+    its actual cardinality is not re-executed; its rows feed the final plan
+    directly.
+    """
+
+    def __init__(self, schema: RowSchema, rows: tuple[Row, ...]) -> None:
+        self.schema = schema
+        self._rows = rows
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+
+# ----------------------------------------------------------------------
+# Scans
+# ----------------------------------------------------------------------
+class FileScanIterator(PlanIterator):
+    """Sequential heap-file scan."""
+
+    def __init__(self, db: Database, relation: str) -> None:
+        self.db = db
+        self.relation = relation
+        self.schema = RowSchema.from_schema(db.catalog.relation(relation).schema)
+
+    def rows(self) -> Iterator[Row]:
+        for _, record in self.db.heap(self.relation).scan():
+            yield record
+
+
+class BtreeScanIterator(PlanIterator):
+    """Index range scan: descend, walk leaves, fetch records by rid.
+
+    With a predicate this is Filter-B-tree-Scan; without one it is a full
+    scan whose value is the key order it delivers.  Unclustered, so every
+    qualifying record costs one (possibly buffered) heap-page fetch.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        relation: str,
+        key: Attribute,
+        predicate: SelectionPredicate | None,
+        bindings: ValueBindings,
+    ) -> None:
+        self.db = db
+        self.relation = relation
+        self.key = key
+        self.schema = RowSchema.from_schema(db.catalog.relation(relation).schema)
+        self.low, self.high, self.include_low, self.include_high = _predicate_range(
+            predicate, bindings
+        )
+        self.residual = predicate if predicate is not None and not predicate.op.is_range else None
+        self.bindings = bindings
+
+    def rows(self) -> Iterator[Row]:
+        btree = self.db.btree_on(self.key)
+        heap = self.db.heap(self.relation)
+        key_position = self.schema.position(self.key)
+        for _, rid in btree.range_scan(
+            self.low, self.high, self.include_low, self.include_high
+        ):
+            record = heap.fetch(rid)
+            if self.residual is not None and not self.residual.evaluate(
+                record[key_position], self.bindings
+            ):
+                continue
+            yield record
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+class FilterIterator(PlanIterator):
+    """Predicate filter over any input."""
+
+    def __init__(
+        self,
+        child: PlanIterator,
+        predicate: SelectionPredicate,
+        bindings: ValueBindings,
+    ) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.bindings = bindings
+        self.schema = child.schema
+
+    def rows(self) -> Iterator[Row]:
+        position = self.schema.position(self.predicate.attribute)
+        for row in self.child.rows():
+            if self.predicate.evaluate(row[position], self.bindings):
+                yield row
+
+
+class ProjectIterator(PlanIterator):
+    """Restrict/reorder output columns."""
+
+    def __init__(self, child: PlanIterator, attributes) -> None:
+        self.child = child
+        self.schema = RowSchema(tuple(attributes))
+        self._positions = [child.schema.position(a) for a in attributes]
+
+    def rows(self) -> Iterator[Row]:
+        for row in self.child.rows():
+            yield tuple(row[p] for p in self._positions)
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+def _join_key_positions(
+    schema: RowSchema, predicates: tuple[JoinPredicate, ...], side_schema_of: RowSchema
+) -> list[int]:
+    del side_schema_of  # clarity only; positions come from `schema`
+    positions = []
+    for predicate in predicates:
+        attribute = (
+            predicate.left
+            if any(a == predicate.left for a in schema.attributes)
+            else predicate.right
+        )
+        positions.append(schema.position(attribute))
+    return positions
+
+
+class HashJoinIterator(PlanIterator):
+    """Hybrid hash join; partitions to simulated disk when the build side
+    exceeds the memory budget (Grace-style, one partitioning pass)."""
+
+    def __init__(
+        self,
+        build: PlanIterator,
+        probe: PlanIterator,
+        predicates: tuple[JoinPredicate, ...],
+        db: Database,
+        memory_pages: int,
+    ) -> None:
+        self.build = build
+        self.probe = probe
+        self.predicates = predicates
+        self.db = db
+        self.memory_pages = max(1, memory_pages)
+        self.schema = build.schema.concat(probe.schema)
+        self._build_keys = _join_key_positions(build.schema, predicates, build.schema)
+        self._probe_keys = _join_key_positions(probe.schema, predicates, probe.schema)
+
+    def rows(self) -> Iterator[Row]:
+        rows_per_page = self.db.intermediate_rows_per_page
+        budget_rows = self.memory_pages * rows_per_page
+        build_rows = list(self.build.rows())
+        if len(build_rows) <= budget_rows:
+            yield from self._in_memory(build_rows, self.probe.rows())
+            return
+
+        # Grace partitioning: both inputs hashed to the same partitions.
+        partitions = -(-len(build_rows) // budget_rows)
+        build_files = self._partition(iter(build_rows), self._build_keys, partitions)
+        probe_files = self._partition(self.probe.rows(), self._probe_keys, partitions)
+        try:
+            for build_file, probe_file in zip(build_files, probe_files):
+                part_build = list(self._read_partition(build_file))
+                yield from self._in_memory(
+                    part_build, self._read_partition(probe_file)
+                )
+        finally:
+            for name in build_files + probe_files:
+                self.db.disk.drop_file(name)
+
+    def _in_memory(
+        self, build_rows: list[Row], probe_rows: Iterator[Row]
+    ) -> Iterator[Row]:
+        table: dict[tuple, list[Row]] = {}
+        for row in build_rows:
+            key = tuple(row[p] for p in self._build_keys)
+            table.setdefault(key, []).append(row)
+        for probe_row in probe_rows:
+            key = tuple(probe_row[p] for p in self._probe_keys)
+            for build_row in table.get(key, ()):
+                yield build_row + probe_row
+
+    def _partition(
+        self, rows: Iterator[Row], key_positions: list[int], partitions: int
+    ) -> list[str]:
+        files = [self.db.disk.create_temp_file() for _ in range(partitions)]
+        pages: list[list[Row]] = [[] for _ in range(partitions)]
+        rows_per_page = self.db.intermediate_rows_per_page
+        for row in rows:
+            index = hash(tuple(row[p] for p in key_positions)) % partitions
+            pages[index].append(row)
+            if len(pages[index]) == rows_per_page:
+                self.db.disk.append_page(files[index], pages[index])
+                pages[index] = []
+        for index, page in enumerate(pages):
+            if page:
+                self.db.disk.append_page(files[index], page)
+        return files
+
+    def _read_partition(self, name: str) -> Iterator[Row]:
+        for _, payload in self.db.disk.scan_pages(name):
+            yield from payload
+
+
+class NestedLoopsJoinIterator(PlanIterator):
+    """Block nested-loops join; the only iterator that handles an empty
+    predicate set (cross product).
+
+    The inner input is materialized to a temporary file once (charging
+    simulated I/O), then re-read for every memory-sized block of the outer.
+    """
+
+    def __init__(
+        self,
+        outer: PlanIterator,
+        inner: PlanIterator,
+        predicates: tuple[JoinPredicate, ...],
+        db: Database,
+        memory_pages: int,
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.predicates = predicates
+        self.db = db
+        self.memory_pages = max(3, memory_pages)
+        self.schema = outer.schema.concat(inner.schema)
+        self._outer_keys = _join_key_positions(outer.schema, predicates, outer.schema)
+        self._inner_keys = _join_key_positions(inner.schema, predicates, inner.schema)
+
+    def rows(self) -> Iterator[Row]:
+        rows_per_page = self.db.intermediate_rows_per_page
+        block_rows = max(1, (self.memory_pages - 2) * rows_per_page)
+
+        # Materialize the inner once.
+        inner_file = self.db.disk.create_temp_file()
+        page: list[Row] = []
+        inner_count = 0
+        for row in self.inner.rows():
+            page.append(row)
+            inner_count += 1
+            if len(page) == rows_per_page:
+                self.db.disk.append_page(inner_file, page)
+                page = []
+        if page:
+            self.db.disk.append_page(inner_file, page)
+
+        try:
+            block: list[Row] = []
+            outer_iter = self.outer.rows()
+            while True:
+                block.clear()
+                for row in outer_iter:
+                    block.append(row)
+                    if len(block) == block_rows:
+                        break
+                if not block:
+                    return
+                for _, payload in self.db.disk.scan_pages(inner_file):
+                    for inner_row in payload:
+                        inner_key = tuple(inner_row[p] for p in self._inner_keys)
+                        for outer_row in block:
+                            if (
+                                tuple(outer_row[p] for p in self._outer_keys)
+                                == inner_key
+                            ):
+                                yield outer_row + inner_row
+                if len(block) < block_rows:
+                    return
+        finally:
+            self.db.disk.drop_file(inner_file)
+
+
+class MergeJoinIterator(PlanIterator):
+    """Merge join of inputs sorted on the join attributes."""
+
+    def __init__(
+        self,
+        left: PlanIterator,
+        right: PlanIterator,
+        predicates: tuple[JoinPredicate, ...],
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.predicates = predicates
+        self.schema = left.schema.concat(right.schema)
+        self._left_keys = _join_key_positions(left.schema, predicates, left.schema)
+        self._right_keys = _join_key_positions(right.schema, predicates, right.schema)
+
+    def rows(self) -> Iterator[Row]:
+        left_iter = self.left.rows()
+        right_iter = self.right.rows()
+        left_row = next(left_iter, None)
+        right_group: list[Row] = []
+        right_key: tuple | None = None
+        right_row = next(right_iter, None)
+
+        def left_key_of(row: Row) -> tuple:
+            return tuple(row[p] for p in self._left_keys)
+
+        def right_key_of(row: Row) -> tuple:
+            return tuple(row[p] for p in self._right_keys)
+
+        while left_row is not None and (right_row is not None or right_group):
+            lk = left_key_of(left_row)
+            if right_key is not None and lk == right_key:
+                for row in right_group:
+                    yield left_row + row
+                left_row = next(left_iter, None)
+                continue
+            if right_row is None:
+                break
+            rk = right_key_of(right_row)
+            if lk < rk:
+                left_row = next(left_iter, None)
+            elif lk > rk:
+                right_row = next(right_iter, None)
+            else:
+                right_key = rk
+                right_group = []
+                while right_row is not None and right_key_of(right_row) == rk:
+                    right_group.append(right_row)
+                    right_row = next(right_iter, None)
+                # loop re-enters the lk == right_key branch
+
+
+class IndexJoinIterator(PlanIterator):
+    """Index nested-loops: probe the inner relation's B-tree per outer row."""
+
+    def __init__(
+        self,
+        outer: PlanIterator,
+        db: Database,
+        inner_relation: str,
+        inner_key: Attribute,
+        predicates: tuple[JoinPredicate, ...],
+    ) -> None:
+        self.outer = outer
+        self.db = db
+        self.inner_relation = inner_relation
+        self.inner_key = inner_key
+        self.predicates = predicates
+        inner_schema = RowSchema.from_schema(db.catalog.relation(inner_relation).schema)
+        self.inner_schema = inner_schema
+        self.schema = outer.schema.concat(inner_schema)
+
+    def rows(self) -> Iterator[Row]:
+        btree = self.db.btree_on(self.inner_key)
+        heap = self.db.heap(self.inner_relation)
+        # The predicate served by the index probe, plus residual equijoins.
+        probe_predicate = next(
+            p
+            for p in self.predicates
+            if self.inner_key in (p.left, p.right)
+        )
+        outer_probe_position = self.outer.schema.position(
+            probe_predicate.left
+            if probe_predicate.right == self.inner_key
+            else probe_predicate.right
+        )
+        residuals = [
+            (
+                self.outer.schema.position(_outer_side(p, self.inner_relation)),
+                self.inner_schema.position(_inner_side(p, self.inner_relation)),
+            )
+            for p in self.predicates
+            if p is not probe_predicate
+        ]
+        for outer_row in self.outer.rows():
+            probe_value = outer_row[outer_probe_position]
+            for rid in btree.lookup(probe_value):
+                inner_row = heap.fetch(rid)
+                if all(
+                    outer_row[op] == inner_row[ip] for op, ip in residuals
+                ):
+                    yield outer_row + inner_row
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+class _Accumulator:
+    """Running state of one group's aggregates."""
+
+    __slots__ = ("count", "sums", "mins", "maxs")
+
+    def __init__(self, n_aggregates: int) -> None:
+        self.count = 0
+        self.sums = [0.0] * n_aggregates
+        self.mins: list[object] = [None] * n_aggregates
+        self.maxs: list[object] = [None] * n_aggregates
+
+    def add(self, values: list) -> None:
+        self.count += 1
+        for i, value in enumerate(values):
+            if value is None:
+                continue
+            self.sums[i] += value
+            if self.mins[i] is None or value < self.mins[i]:  # type: ignore[operator]
+                self.mins[i] = value
+            if self.maxs[i] is None or value > self.maxs[i]:  # type: ignore[operator]
+                self.maxs[i] = value
+
+
+def _finalize(spec, key: tuple, accumulator: _Accumulator) -> tuple:
+    from repro.logical.aggregates import AggregateFunction
+
+    out: list[object] = list(key)
+    for i, expr in enumerate(spec.aggregates):
+        func = expr.function
+        if func is AggregateFunction.COUNT:
+            out.append(accumulator.count)
+        elif func is AggregateFunction.SUM:
+            out.append(accumulator.sums[i])
+        elif func is AggregateFunction.MIN:
+            out.append(accumulator.mins[i])
+        elif func is AggregateFunction.MAX:
+            out.append(accumulator.maxs[i])
+        else:  # AVG
+            out.append(
+                accumulator.sums[i] / accumulator.count if accumulator.count else None
+            )
+    return tuple(out)
+
+
+class _AggregateBase(PlanIterator):
+    """Shared plumbing for both aggregate implementations."""
+
+    def __init__(self, child: PlanIterator, spec) -> None:
+        self.child = child
+        self.spec = spec
+        self.schema = RowSchema(spec.output_attributes())
+        self._key_positions = [
+            child.schema.position(a) for a in spec.group_by
+        ]
+        self._value_positions = [
+            child.schema.position(e.attribute) if e.attribute is not None else None
+            for e in spec.aggregates
+        ]
+
+    def _key_of(self, row: Row) -> tuple:
+        return tuple(row[p] for p in self._key_positions)
+
+    def _values_of(self, row: Row) -> list:
+        return [
+            row[p] if p is not None else 1 for p in self._value_positions
+        ]
+
+
+class HashAggregateIterator(_AggregateBase):
+    """Hash aggregation: a dict of accumulators keyed by the group key."""
+
+    def rows(self) -> Iterator[Row]:
+        table: dict[tuple, _Accumulator] = {}
+        n = len(self.spec.aggregates)
+        saw_input = False
+        for row in self.child.rows():
+            saw_input = True
+            key = self._key_of(row)
+            accumulator = table.get(key)
+            if accumulator is None:
+                accumulator = table[key] = _Accumulator(n)
+            accumulator.add(self._values_of(row))
+        if not table and not self.spec.group_by and saw_input is False:
+            # SQL scalar-aggregate semantics: no input still yields one row.
+            yield _finalize(self.spec, (), _Accumulator(n))
+            return
+        for key, accumulator in table.items():
+            yield _finalize(self.spec, key, accumulator)
+
+
+class SortedAggregateIterator(_AggregateBase):
+    """Streaming aggregation; the input must arrive sorted on the keys."""
+
+    def rows(self) -> Iterator[Row]:
+        n = len(self.spec.aggregates)
+        current_key: tuple | None = None
+        accumulator: _Accumulator | None = None
+        for row in self.child.rows():
+            key = self._key_of(row)
+            if key != current_key:
+                if accumulator is not None:
+                    yield _finalize(self.spec, current_key, accumulator)
+                current_key = key
+                accumulator = _Accumulator(n)
+            accumulator.add(self._values_of(row))
+        if accumulator is not None:
+            yield _finalize(self.spec, current_key, accumulator)
+
+
+# ----------------------------------------------------------------------
+# Enforcers
+# ----------------------------------------------------------------------
+class SortIterator(PlanIterator):
+    """Sort enforcer via external merge sort."""
+
+    def __init__(
+        self,
+        child: PlanIterator,
+        key: Attribute,
+        db: Database,
+        memory_pages: int,
+    ) -> None:
+        self.child = child
+        self.key = key
+        self.db = db
+        self.memory_pages = max(3, memory_pages)
+        self.schema = child.schema
+
+    def rows(self) -> Iterator[Row]:
+        position = self.schema.position(self.key)
+        yield from external_sort(
+            self.db.disk,
+            self.child.rows(),
+            key=lambda row: row[position],
+            memory_pages=self.memory_pages,
+            rows_per_page=self.db.intermediate_rows_per_page,
+        )
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _outer_side(predicate: JoinPredicate, inner_relation: str) -> Attribute:
+    return (
+        predicate.left
+        if predicate.right.relation == inner_relation
+        else predicate.right
+    )
+
+
+def _inner_side(predicate: JoinPredicate, inner_relation: str) -> Attribute:
+    return (
+        predicate.left
+        if predicate.left.relation == inner_relation
+        else predicate.right
+    )
+
+
+def _predicate_range(
+    predicate: SelectionPredicate | None, bindings: ValueBindings
+) -> tuple[object | None, object | None, bool, bool]:
+    """Translate a predicate into B-tree range bounds.
+
+    ``<>`` predicates cannot be served by a contiguous range: the scan runs
+    unbounded and the predicate is re-checked as a residual.
+    """
+    if predicate is None:
+        return None, None, True, True
+    if isinstance(predicate.operand, HostVariable):
+        if predicate.operand.name not in bindings:
+            raise BindingError(
+                f"host variable :{predicate.operand.name} is unbound"
+            )
+        value = bindings[predicate.operand.name]
+    else:
+        value = predicate.operand.value
+    op = predicate.op
+    if op is CompareOp.EQ:
+        return value, value, True, True
+    if op is CompareOp.LT:
+        return None, value, True, False
+    if op is CompareOp.LE:
+        return None, value, True, True
+    if op is CompareOp.GT:
+        return value, None, False, True
+    if op is CompareOp.GE:
+        return value, None, True, True
+    if op is CompareOp.NE:
+        return None, None, True, True
+    raise ExecutionError(f"unsupported operator {op}")

@@ -1,0 +1,103 @@
+"""External merge sort over the simulated disk.
+
+Inputs that fit into the memory budget are sorted in place with no I/O;
+larger inputs are cut into sorted runs spilled to temporary files and
+merged with a bounded fan-in, charging simulated I/O for every spilled and
+re-read page — the behaviour :func:`repro.cost.formulas.sort_cost` models.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import ExecutionError
+from repro.executor.storage import SimulatedDisk
+
+Row = tuple
+KeyFunc = Callable[[Row], object]
+
+
+def external_sort(
+    disk: SimulatedDisk,
+    rows: Iterable[Row],
+    key: KeyFunc,
+    memory_pages: int,
+    rows_per_page: int,
+) -> Iterator[Row]:
+    """Yield ``rows`` in ascending ``key`` order within ``memory_pages``."""
+    if memory_pages < 3:
+        raise ExecutionError(
+            "external sort needs at least 3 pages (2-way merge + output)"
+        )
+    budget_rows = memory_pages * rows_per_page
+
+    # Phase 1: run formation.
+    runs: list[str] = []
+    buffer: list[Row] = []
+    for row in rows:
+        buffer.append(row)
+        if len(buffer) >= budget_rows:
+            runs.append(_spill_run(disk, buffer, key, rows_per_page))
+            buffer = []
+    if not runs:
+        buffer.sort(key=key)
+        yield from buffer
+        return
+    if buffer:
+        runs.append(_spill_run(disk, buffer, key, rows_per_page))
+
+    # Phase 2: multi-pass merge down to one stream.
+    fan_in = max(2, memory_pages - 1)
+    while len(runs) > fan_in:
+        merged_level: list[str] = []
+        for i in range(0, len(runs), fan_in):
+            group = runs[i : i + fan_in]
+            merged_level.append(
+                _spill_stream(
+                    disk, _merge_runs(disk, group, key), rows_per_page
+                )
+            )
+            for name in group:
+                disk.drop_file(name)
+        runs = merged_level
+
+    try:
+        yield from _merge_runs(disk, runs, key)
+    finally:
+        for name in runs:
+            disk.drop_file(name)
+
+
+def _spill_run(
+    disk: SimulatedDisk, buffer: list[Row], key: KeyFunc, rows_per_page: int
+) -> str:
+    buffer.sort(key=key)
+    return _spill_stream(disk, iter(buffer), rows_per_page)
+
+
+def _spill_stream(
+    disk: SimulatedDisk, rows: Iterator[Row], rows_per_page: int
+) -> str:
+    name = disk.create_temp_file()
+    page: list[Row] = []
+    for row in rows:
+        page.append(row)
+        if len(page) == rows_per_page:
+            disk.append_page(name, page)
+            page = []
+    if page:
+        disk.append_page(name, page)
+    return name
+
+
+def _read_run(disk: SimulatedDisk, name: str) -> Iterator[Row]:
+    for _, payload in disk.scan_pages(name):
+        yield from payload
+
+
+def _merge_runs(
+    disk: SimulatedDisk, run_names: list[str], key: KeyFunc
+) -> Iterator[Row]:
+    streams = [_read_run(disk, name) for name in run_names]
+    yield from heapq.merge(*streams, key=key)

@@ -1,0 +1,202 @@
+"""Simulated disk: pages, files, and an I/O clock.
+
+Pages live in memory but every access is metered: the simulated clock
+advances by the cost model's sequential or random page time, and counters
+record the traffic.  A page read is *sequential* when it touches the page
+immediately following the same file's previously accessed page, otherwise
+*random* — the same distinction the cost formulas make.
+
+Temporary files (hash-join partitions, sort runs) are first-class: they are
+created and dropped through the same interface and their I/O is charged
+identically, so measured execution validates the operators' spill formulas.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.cost.model import CostModel
+from repro.errors import ExecutionError
+
+PageId = tuple[str, int]  # (file name, page number)
+
+
+@dataclass
+class IoCounters:
+    """Cumulative I/O traffic of a simulated disk."""
+
+    sequential_reads: int = 0
+    random_reads: int = 0
+    writes: int = 0
+    seconds: float = 0.0
+
+    @property
+    def total_reads(self) -> int:
+        """All page reads, sequential plus random."""
+        return self.sequential_reads + self.random_reads
+
+
+@dataclass
+class _File:
+    """One simulated file: a growable list of page payloads."""
+
+    name: str
+    pages: list[list] = field(default_factory=list)
+    last_page_read: int | None = None
+
+
+class SimulatedDisk:
+    """Page store with metered access times."""
+
+    def __init__(self, model: CostModel) -> None:
+        self.model = model
+        self.counters = IoCounters()
+        self._files: dict[str, _File] = {}
+        self._temp_names = (f"__temp_{i}" for i in itertools.count())
+
+    # ------------------------------------------------------------------
+    # File lifecycle
+    # ------------------------------------------------------------------
+    def create_file(self, name: str) -> None:
+        """Create an empty file; names must be unique."""
+        if name in self._files:
+            raise ExecutionError(f"file {name} already exists")
+        self._files[name] = _File(name)
+
+    def create_temp_file(self) -> str:
+        """Create a uniquely named temporary file and return its name."""
+        name = next(self._temp_names)
+        self.create_file(name)
+        return name
+
+    def drop_file(self, name: str) -> None:
+        """Delete a file and free its pages."""
+        if name not in self._files:
+            raise ExecutionError(f"file {name} does not exist")
+        del self._files[name]
+
+    def file_exists(self, name: str) -> bool:
+        """True when ``name`` is a live file."""
+        return name in self._files
+
+    def page_count(self, name: str) -> int:
+        """Number of pages currently in the file."""
+        return len(self._file(name).pages)
+
+    # ------------------------------------------------------------------
+    # Page access
+    # ------------------------------------------------------------------
+    def append_page(self, name: str, payload: list) -> int:
+        """Write a new page at the end of the file; returns its number."""
+        file = self._file(name)
+        file.pages.append(payload)
+        self.counters.writes += 1
+        self.counters.seconds += self.model.sequential_page_io
+        return len(file.pages) - 1
+
+    def write_page(self, name: str, page_no: int, payload: list) -> None:
+        """Overwrite an existing page in place."""
+        file = self._file(name)
+        self._check_page(file, page_no)
+        file.pages[page_no] = payload
+        self.counters.writes += 1
+        self.counters.seconds += self.model.random_page_io
+
+    def read_page(self, name: str, page_no: int) -> list:
+        """Read one page, charging sequential or random time.
+
+        The access is sequential when it follows the previously read page of
+        the same file; the payload is returned by reference (callers must
+        not mutate it unless they own the file).
+        """
+        file = self._file(name)
+        self._check_page(file, page_no)
+        if file.last_page_read is not None and page_no == file.last_page_read + 1:
+            self.counters.sequential_reads += 1
+            self.counters.seconds += self.model.sequential_page_io
+        else:
+            self.counters.random_reads += 1
+            self.counters.seconds += self.model.random_page_io
+        file.last_page_read = page_no
+        return file.pages[page_no]
+
+    def scan_pages(self, name: str) -> Iterator[tuple[int, list]]:
+        """Read every page of a file in order (sequential after the first)."""
+        for page_no in range(self.page_count(name)):
+            yield page_no, self.read_page(name, page_no)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _file(self, name: str) -> _File:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise ExecutionError(f"unknown file {name}") from None
+
+    @staticmethod
+    def _check_page(file: _File, page_no: int) -> None:
+        if not 0 <= page_no < len(file.pages):
+            raise ExecutionError(
+                f"page {page_no} out of range for file {file.name} "
+                f"({len(file.pages)} pages)"
+            )
+
+
+class HeapFile:
+    """Record-oriented view over a simulated file.
+
+    Records are stored ``records_per_page`` to a page; record ids are
+    ``(page number, slot)`` pairs used by unclustered indexes.
+    """
+
+    def __init__(self, disk: SimulatedDisk, name: str, records_per_page: int) -> None:
+        if records_per_page <= 0:
+            raise ExecutionError("records_per_page must be positive")
+        self.disk = disk
+        self.name = name
+        self.records_per_page = records_per_page
+        self._tail: list = []  # records not yet flushed to a full page
+        self._count = 0
+        disk.create_file(name)
+
+    @property
+    def record_count(self) -> int:
+        """Total records inserted."""
+        return self._count
+
+    def append(self, record: tuple) -> tuple[int, int]:
+        """Append a record; returns its record id."""
+        slot = len(self._tail)
+        page_no = self.disk.page_count(self.name)
+        self._tail.append(record)
+        self._count += 1
+        if len(self._tail) == self.records_per_page:
+            self.disk.append_page(self.name, self._tail)
+            self._tail = []
+        return (page_no, slot)
+
+    def flush(self) -> None:
+        """Flush a partially filled trailing page, if any."""
+        if self._tail:
+            self.disk.append_page(self.name, self._tail)
+            self._tail = []
+
+    def scan(self) -> Iterator[tuple[tuple[int, int], tuple]]:
+        """Yield ``(rid, record)`` for every record, sequentially."""
+        self.flush()
+        for page_no, payload in self.disk.scan_pages(self.name):
+            for slot, record in enumerate(payload):
+                yield (page_no, slot), record
+
+    def fetch(self, rid: tuple[int, int]) -> tuple:
+        """Fetch one record by record id (a random page read)."""
+        self.flush()
+        page_no, slot = rid
+        payload = self.disk.read_page(self.name, page_no)
+        try:
+            return payload[slot]
+        except IndexError:
+            raise ExecutionError(f"invalid rid {rid} in file {self.name}") from None

@@ -1,0 +1,51 @@
+"""Row representation for the execution engine.
+
+Rows are plain Python tuples; a :class:`RowSchema` maps qualified attribute
+names to tuple positions.  Joins concatenate rows and schemas, mirroring
+:meth:`repro.catalog.schema.Schema.concat`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.schema import Attribute, Schema
+from repro.errors import ExecutionError
+
+Row = tuple
+
+
+@dataclass(frozen=True)
+class RowSchema:
+    """Positional layout of rows flowing between iterators."""
+
+    attributes: tuple[Attribute, ...]
+
+    @staticmethod
+    def from_schema(schema: Schema) -> "RowSchema":
+        """Layout matching a catalog schema's attribute order."""
+        return RowSchema(schema.attributes)
+
+    def position(self, attribute: Attribute) -> int:
+        """Tuple slot of ``attribute``.
+
+        Raises :class:`ExecutionError` when absent — a plan wiring bug.
+        """
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise ExecutionError(
+                f"attribute {attribute.qualified_name} not produced by this "
+                f"subplan (have: {[a.qualified_name for a in self.attributes]})"
+            ) from None
+
+    def value(self, row: Row, attribute: Attribute) -> object:
+        """The value of ``attribute`` within ``row``."""
+        return row[self.position(attribute)]
+
+    def concat(self, other: "RowSchema") -> "RowSchema":
+        """Layout of a join output: this row followed by ``other``."""
+        return RowSchema(self.attributes + other.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)

@@ -1,0 +1,27 @@
+"""The paper's experimental evaluation (Section 6), reproducible end to end.
+
+Five queries of increasing complexity (1 to 10 relations, each with an
+unbound selection), optimized statically, dynamically, and at run time over
+N randomly drawn binding sets; the harness regenerates the data behind
+Figures 4–8 and the break-even analysis.
+"""
+
+from repro.experiments.catalogs import make_experiment_catalog
+from repro.experiments.queries import ExperimentQuery, paper_queries
+from repro.experiments.workload import generate_bindings
+from repro.experiments.harness import ExperimentRecord, run_experiment
+from repro.experiments import figures, report
+from repro.experiments.regions import PlanRegion, selectivity_regions
+
+__all__ = [
+    "make_experiment_catalog",
+    "ExperimentQuery",
+    "paper_queries",
+    "generate_bindings",
+    "ExperimentRecord",
+    "run_experiment",
+    "figures",
+    "report",
+    "PlanRegion",
+    "selectivity_regions",
+]

@@ -1,0 +1,242 @@
+"""Row generators for every figure of the paper's evaluation.
+
+Each ``figureN_rows`` function turns :class:`ExperimentRecord` lists into
+the series the corresponding paper figure plots; ``repro.experiments.report``
+renders them as text tables.  Records with and without the uncertain-memory
+parameter supply the two curve families of Figures 4–7 (circles vs squares
+in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cost.model import CostModel
+from repro.experiments.harness import ExperimentRecord
+
+
+@dataclass(frozen=True)
+class Figure4Row:
+    """Average execution time, static vs dynamic (Figure 4)."""
+
+    label: str
+    uncertain_variables: int
+    static_avg_execution: float  # c̄
+    dynamic_avg_execution: float  # ḡ
+    speedup: float  # c̄ / ḡ — the paper reports factors 5 → 24
+
+
+def figure4_rows(records: Sequence[ExperimentRecord]) -> list[Figure4Row]:
+    """One row per query: average predicted execution costs over N bindings."""
+    rows = []
+    for record in records:
+        static_avg = record.avg_static_execution
+        dynamic_avg = record.avg_dynamic_execution
+        rows.append(
+            Figure4Row(
+                label=record.query.label,
+                uncertain_variables=record.uncertain_variables,
+                static_avg_execution=static_avg,
+                dynamic_avg_execution=dynamic_avg,
+                speedup=static_avg / dynamic_avg if dynamic_avg else math.inf,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Figure5Row:
+    """Optimization time, static vs dynamic (Figure 5)."""
+
+    label: str
+    uncertain_variables: int
+    static_seconds: float  # a
+    dynamic_seconds: float  # e
+    ratio: float  # e / a — the paper's worst case is < 3
+
+
+def figure5_rows(records: Sequence[ExperimentRecord]) -> list[Figure5Row]:
+    """One row per query: measured optimization times."""
+    rows = []
+    for record in records:
+        rows.append(
+            Figure5Row(
+                label=record.query.label,
+                uncertain_variables=record.uncertain_variables,
+                static_seconds=record.static_optimization_seconds,
+                dynamic_seconds=record.dynamic_optimization_seconds,
+                ratio=(
+                    record.dynamic_optimization_seconds
+                    / record.static_optimization_seconds
+                    if record.static_optimization_seconds
+                    else math.inf
+                ),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Figure6Row:
+    """Plan sizes in operator nodes (Figure 6)."""
+
+    label: str
+    uncertain_variables: int
+    static_nodes: int
+    dynamic_nodes: int
+    choose_plan_nodes: int
+
+
+def figure6_rows(records: Sequence[ExperimentRecord]) -> list[Figure6Row]:
+    """One row per query: DAG node counts of both plans."""
+    return [
+        Figure6Row(
+            label=record.query.label,
+            uncertain_variables=record.uncertain_variables,
+            static_nodes=record.static_plan_nodes,
+            dynamic_nodes=record.dynamic_plan_nodes,
+            choose_plan_nodes=record.choose_plan_count,
+        )
+        for record in records
+    ]
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    """Start-up CPU time of dynamic plans (Figure 7)."""
+
+    label: str
+    uncertain_variables: int
+    startup_cpu_seconds: float  # measured decision CPU per start-up
+    cost_evaluations: int  # one per distinct DAG node (sharing!)
+    activation_io_seconds: float  # modeled module read + validation
+
+
+def figure7_rows(
+    records: Sequence[ExperimentRecord], model: CostModel
+) -> list[Figure7Row]:
+    """One row per query: measured decision CPU plus modeled module I/O."""
+    return [
+        Figure7Row(
+            label=record.query.label,
+            uncertain_variables=record.uncertain_variables,
+            startup_cpu_seconds=record.avg_dynamic_startup_cpu,
+            cost_evaluations=record.dynamic_cost_evaluations,
+            activation_io_seconds=record.dynamic_activation_io_seconds(model),
+        )
+        for record in records
+    ]
+
+
+@dataclass(frozen=True)
+class Figure8Row:
+    """Per-invocation run-time effort: run-time opt vs dynamic (Figure 8).
+
+    All quantities are in deterministic model time: optimization and
+    decision effort are counted work × the cost model's calibration
+    constants; execution and module I/O come from the analytic model.
+    """
+
+    label: str
+    uncertain_variables: int
+    runtime_opt_seconds: float  # ā + d̄
+    dynamic_seconds: float  # f̄ + ḡ
+    ratio: float  # the paper reports > 2 for query 5
+    break_even: int | None  # ⌈e / (ā − f̄)⌉, paper: 2–4
+
+
+def figure8_rows(
+    records: Sequence[ExperimentRecord],
+    model: CostModel,
+) -> list[Figure8Row]:
+    """One row per query: the Figure 8 comparison plus break-even points."""
+    rows = []
+    for record in records:
+        if not record.runtime_modeled_optimization_seconds:
+            raise ValueError(
+                f"record for {record.query.label} lacks run-time optimization "
+                "measurements; run the harness with "
+                "include_runtime_optimization=True"
+            )
+        runtime_total = (
+            record.avg_runtime_modeled_optimization + record.avg_runtime_execution
+        )
+        startup = (
+            record.dynamic_activation_io_seconds(model)
+            + record.modeled_startup_cpu_seconds(model)
+        )
+        dynamic_total = startup + record.avg_dynamic_execution
+        dynamic_compile = record.dynamic_modeled_optimization_seconds
+        gain = runtime_total - dynamic_total
+        break_even = max(1, math.ceil(dynamic_compile / gain)) if gain > 0 else None
+        rows.append(
+            Figure8Row(
+                label=record.query.label,
+                uncertain_variables=record.uncertain_variables,
+                runtime_opt_seconds=runtime_total,
+                dynamic_seconds=dynamic_total,
+                ratio=runtime_total / dynamic_total if dynamic_total else math.inf,
+                break_even=break_even,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class BreakEvenRow:
+    """Break-even invocation counts (Section 6)."""
+
+    label: str
+    uncertain_variables: int
+    vs_static: int | None  # paper: consistently 1
+    vs_runtime: int | None  # paper: 2–4
+
+
+def break_even_rows(
+    records: Sequence[ExperimentRecord],
+    model: CostModel,
+) -> list[BreakEvenRow]:
+    """Break-even points of dynamic plans vs both alternatives (model time)."""
+    rows = []
+    for record in records:
+        dynamic_compile = record.dynamic_modeled_optimization_seconds
+        static_compile = record.static_modeled_optimization_seconds
+        dynamic_per_invocation = (
+            record.dynamic_activation_io_seconds(model)
+            + record.modeled_startup_cpu_seconds(model)
+            + record.avg_dynamic_execution
+        )
+        static_per_invocation = (
+            record.static_activation_io_seconds(model)
+            + record.avg_static_execution
+        )
+        gain_vs_static = static_per_invocation - dynamic_per_invocation
+        vs_static = (
+            max(1, math.ceil((dynamic_compile - static_compile) / gain_vs_static))
+            if gain_vs_static > 0
+            else None
+        )
+
+        vs_runtime: int | None = None
+        if record.runtime_modeled_optimization_seconds:
+            runtime_per_invocation = (
+                record.avg_runtime_modeled_optimization
+                + record.avg_runtime_execution
+            )
+            gain_vs_runtime = runtime_per_invocation - dynamic_per_invocation
+            vs_runtime = (
+                max(1, math.ceil(dynamic_compile / gain_vs_runtime))
+                if gain_vs_runtime > 0
+                else None
+            )
+        rows.append(
+            BreakEvenRow(
+                label=record.query.label,
+                uncertain_variables=record.uncertain_variables,
+                vs_static=vs_static,
+                vs_runtime=vs_runtime,
+            )
+        )
+    return rows

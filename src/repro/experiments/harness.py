@@ -1,0 +1,171 @@
+"""The experiment harness: everything Section 6 measures, in one record.
+
+For one query the harness runs static optimization, dynamic optimization,
+and (optionally) run-time optimization per binding; it then evaluates every
+plan at each of the N random bindings.  As in the paper, execution times
+are the optimizer's *predicted* costs at the true bindings ("plans should
+be compared on the basis of anticipated execution costs", footnote 4),
+while optimization and start-up decision times are truly measured.
+
+Measured CPU seconds on this machine and the 1994-calibrated I/O model are
+not directly commensurable; where they must be combined (Figure 8, the
+break-even analysis) the harness uses *counted-work model time* instead:
+optimizer effort is candidates-costed × a per-candidate constant, start-up
+effort is cost-evaluations × a per-evaluation constant, both calibrated to
+the paper's DECstation measurements (see
+:class:`repro.cost.model.CostModel`).  This keeps the combined figures
+deterministic and machine-independent while Figures 5 and 7 still report
+truly measured wall-clock times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel
+from repro.experiments.queries import ExperimentQuery
+from repro.optimizer.engine import SearchStats
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.runtime.chooser import resolve_plan
+
+@dataclass
+class ExperimentRecord:
+    """All measurements for one experiment query."""
+
+    query: ExperimentQuery
+    logical_alternatives: int
+
+    static_optimization_seconds: float = 0.0  # measured wall-clock
+    dynamic_optimization_seconds: float = 0.0  # measured wall-clock
+    static_modeled_optimization_seconds: float = 0.0  # counted work
+    dynamic_modeled_optimization_seconds: float = 0.0  # counted work
+    static_plan_nodes: int = 0
+    dynamic_plan_nodes: int = 0
+    choose_plan_count: int = 0
+    static_stats: SearchStats = field(default_factory=SearchStats)
+    dynamic_stats: SearchStats = field(default_factory=SearchStats)
+
+    static_execution_costs: list[float] = field(default_factory=list)  # c_i
+    dynamic_execution_costs: list[float] = field(default_factory=list)  # g_i
+    runtime_execution_costs: list[float] = field(default_factory=list)  # d_i
+    runtime_optimization_seconds: list[float] = field(default_factory=list)
+    runtime_modeled_optimization_seconds: list[float] = field(default_factory=list)
+    dynamic_startup_cpu_seconds: list[float] = field(default_factory=list)
+    dynamic_cost_evaluations: int = 0
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def uncertain_variables(self) -> int:
+        """Number of uncertain cost-model parameters (the figures' x-axis)."""
+        return self.query.uncertain_variables
+
+    @property
+    def avg_static_execution(self) -> float:
+        """Mean static-plan execution cost, c̄."""
+        return _mean(self.static_execution_costs)
+
+    @property
+    def avg_dynamic_execution(self) -> float:
+        """Mean dynamic-plan execution cost, ḡ."""
+        return _mean(self.dynamic_execution_costs)
+
+    @property
+    def avg_runtime_execution(self) -> float:
+        """Mean run-time-optimized execution cost, d̄."""
+        return _mean(self.runtime_execution_costs)
+
+    @property
+    def avg_runtime_optimization(self) -> float:
+        """Mean per-invocation run-time optimization time, ā (measured)."""
+        return _mean(self.runtime_optimization_seconds)
+
+    @property
+    def avg_runtime_modeled_optimization(self) -> float:
+        """Mean per-invocation run-time optimization effort, model time."""
+        return _mean(self.runtime_modeled_optimization_seconds)
+
+    def modeled_startup_cpu_seconds(self, model: CostModel) -> float:
+        """Choose-plan decision effort per start-up, in model time."""
+        return self.dynamic_cost_evaluations * model.startup_eval_seconds
+
+    @property
+    def avg_dynamic_startup_cpu(self) -> float:
+        """Mean measured choose-plan decision CPU per start-up."""
+        return _mean(self.dynamic_startup_cpu_seconds)
+
+    def dynamic_activation_io_seconds(self, model: CostModel) -> float:
+        """Modeled I/O to read + validate the dynamic access module."""
+        return model.activation_time(self.dynamic_plan_nodes)
+
+    def static_activation_io_seconds(self, model: CostModel) -> float:
+        """Modeled I/O to read + validate the static access module."""
+        return model.activation_time(self.static_plan_nodes)
+
+
+def run_experiment(
+    query: ExperimentQuery,
+    catalog: Catalog,
+    bindings: Sequence[dict[str, float]],
+    model: CostModel | None = None,
+    include_runtime_optimization: bool = True,
+) -> ExperimentRecord:
+    """Run all of Section 6's measurements for one query."""
+    model = model if model is not None else CostModel()
+    record = ExperimentRecord(
+        query=query,
+        logical_alternatives=query.graph.count_join_trees(),
+    )
+
+    static = optimize_query(
+        query.graph, catalog, model, mode=OptimizationMode.STATIC
+    )
+    record.static_optimization_seconds = static.optimization_seconds
+    record.static_modeled_optimization_seconds = static.modeled_optimization_seconds
+    record.static_plan_nodes = static.plan_node_count
+    record.static_stats = static.stats
+
+    dynamic = optimize_query(
+        query.graph, catalog, model, mode=OptimizationMode.DYNAMIC
+    )
+    record.dynamic_optimization_seconds = dynamic.optimization_seconds
+    record.dynamic_modeled_optimization_seconds = dynamic.modeled_optimization_seconds
+    record.dynamic_plan_nodes = dynamic.plan_node_count
+    record.choose_plan_count = dynamic.choose_plan_count
+    record.dynamic_stats = dynamic.stats
+
+    for binding in bindings:
+        env = query.graph.parameters.bind(binding)
+        static_eval = resolve_plan(static.plan, static.ctx.with_env(env))
+        record.static_execution_costs.append(static_eval.execution_cost)
+
+        dynamic_eval = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env))
+        record.dynamic_execution_costs.append(dynamic_eval.execution_cost)
+        record.dynamic_startup_cpu_seconds.append(dynamic_eval.cpu_seconds)
+        record.dynamic_cost_evaluations = dynamic_eval.cost_evaluations
+
+        if include_runtime_optimization:
+            runtime = optimize_query(
+                query.graph,
+                catalog,
+                model,
+                mode=OptimizationMode.RUN_TIME,
+                binding=binding,
+            )
+            record.runtime_optimization_seconds.append(
+                runtime.optimization_seconds
+            )
+            record.runtime_modeled_optimization_seconds.append(
+                runtime.modeled_optimization_seconds
+            )
+            record.runtime_execution_costs.append(runtime.plan.cost.low)
+    return record
+
+
+def _mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

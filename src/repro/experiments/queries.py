@@ -1,0 +1,127 @@
+"""The five experiment queries (Section 6).
+
+Query i joins the first n_i relations of the experiment catalog in a chain
+(R1.k = R2.j, R2.k = R3.j, ...), with one unbound selection predicate per
+relation: query 1 — single relation, single predicate (the motivating
+example); query 2 — two-way join; query 3 — four-way; query 4 — six-way;
+query 5 — ten-way.  Selection selectivities are uncertain over [0, 1] with
+the traditional expected value 0.05; join selectivities are derived from
+domain sizes and fully known.  An optional uncertain memory parameter
+(uniform over [16, 112] pages, expected 64) adds one more uncertain
+variable per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.experiments.catalogs import (
+    JOIN_IN_ATTRIBUTE,
+    JOIN_OUT_ATTRIBUTE,
+    SELECTION_ATTRIBUTE,
+    relation_name,
+)
+from repro.logical.predicates import (
+    CompareOp,
+    HostVariable,
+    JoinPredicate,
+    SelectionPredicate,
+)
+from repro.logical.query import QueryGraph
+from repro.params.parameter import ParameterSpace
+
+PAPER_QUERY_SIZES = (1, 2, 4, 6, 10)
+EXPECTED_SELECTIVITY = 0.05
+MEMORY_LOW, MEMORY_HIGH, MEMORY_EXPECTED = 16, 112, 64
+
+
+def selectivity_parameter(index: int) -> str:
+    """Name of the i-th selection's selectivity parameter."""
+    return f"sel{index + 1}"
+
+
+def host_variable_name(index: int) -> str:
+    """Name of the i-th selection's host variable."""
+    return f"v{index + 1}"
+
+
+@dataclass(frozen=True)
+class ExperimentQuery:
+    """One experiment query plus its bookkeeping."""
+
+    number: int  # 1..5, the paper's numbering
+    n_relations: int
+    with_memory: bool
+    graph: QueryGraph
+
+    @property
+    def uncertain_variables(self) -> int:
+        """Uncertain parameters: one per selection, +1 with memory."""
+        return self.n_relations + (1 if self.with_memory else 0)
+
+    @property
+    def label(self) -> str:
+        """Human-readable identifier for report rows."""
+        suffix = "+mem" if self.with_memory else ""
+        return f"Q{self.number}{suffix}"
+
+
+def build_chain_query(
+    catalog: Catalog, n_relations: int, with_memory: bool = False
+) -> QueryGraph:
+    """A chain query over the first ``n_relations`` experiment relations."""
+    space = ParameterSpace()
+    selections: dict[str, tuple[SelectionPredicate, ...]] = {}
+    joins: list[JoinPredicate] = []
+    relations: list[str] = []
+    for i in range(n_relations):
+        name = relation_name(i)
+        relations.append(name)
+        parameter = space.add_selectivity(
+            selectivity_parameter(i), expected=EXPECTED_SELECTIVITY
+        )
+        predicate = SelectionPredicate(
+            attribute=catalog.attribute(f"{name}.{SELECTION_ATTRIBUTE}"),
+            op=CompareOp.LT,
+            operand=HostVariable(host_variable_name(i), parameter.name),
+        )
+        selections[name] = (predicate,)
+        if i > 0:
+            joins.append(
+                JoinPredicate(
+                    left=catalog.attribute(
+                        f"{relation_name(i - 1)}.{JOIN_OUT_ATTRIBUTE}"
+                    ),
+                    right=catalog.attribute(f"{name}.{JOIN_IN_ATTRIBUTE}"),
+                )
+            )
+    if with_memory:
+        space.add_memory(
+            "memory", low=MEMORY_LOW, high=MEMORY_HIGH, expected=MEMORY_EXPECTED
+        )
+    return QueryGraph(
+        relations=tuple(relations),
+        selections=selections,
+        joins=tuple(joins),
+        parameters=space,
+    )
+
+
+def paper_queries(
+    catalog: Catalog,
+    with_memory: bool = False,
+    sizes: tuple[int, ...] = PAPER_QUERY_SIZES,
+) -> list[ExperimentQuery]:
+    """All five experiment queries over one shared catalog."""
+    queries = []
+    for number, n_relations in enumerate(sizes, start=1):
+        queries.append(
+            ExperimentQuery(
+                number=number,
+                n_relations=n_relations,
+                with_memory=with_memory,
+                graph=build_chain_query(catalog, n_relations, with_memory),
+            )
+        )
+    return queries

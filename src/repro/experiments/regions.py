@@ -1,0 +1,181 @@
+"""Plan diagrams: optimality regions of a dynamic plan over one parameter.
+
+Parametric query optimization ([INS92], discussed in the paper's Section 3)
+studies how the optimal plan partitions the parameter space into regions.
+A dynamic plan embodies that partition implicitly: the choose-plan decision
+procedure switches plans exactly at the cost crossovers.  This module makes
+the partition explicit for a single parameter — the classic 1-D "plan
+diagram" — by probing the decision function on a grid and refining each
+boundary by bisection.
+
+Besides being an analysis tool, the diagram quantifies dynamic-plan
+structure: the number of regions equals the number of distinct effective
+plans the dynamic plan actually uses along the swept axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BindingError
+from repro.optimizer.optimizer import OptimizationResult
+from repro.runtime.chooser import effective_plan_nodes, resolve_plan
+
+
+@dataclass(frozen=True)
+class PlanRegion:
+    """One maximal interval of the swept parameter with a stable decision."""
+
+    low: float
+    high: float
+    signature: tuple[int, ...]  # identities of the chosen alternatives
+    description: str  # operator labels of the effective plan
+    cost_low: float  # chosen plan cost at the region's low end
+    cost_high: float  # chosen plan cost at the region's high end
+
+    @property
+    def width(self) -> float:
+        """Length of the region."""
+        return self.high - self.low
+
+
+def selectivity_regions(
+    result: OptimizationResult,
+    parameter: str,
+    fixed: dict[str, float] | None = None,
+    grid: int = 64,
+    tolerance: float = 1e-5,
+) -> list[PlanRegion]:
+    """Partition one parameter's domain by the dynamic plan's decisions.
+
+    ``fixed`` pins every *other* parameter (required when the query has
+    more than one).  ``grid`` initial probes locate decision changes;
+    bisection then refines each boundary to ``tolerance``.
+    """
+    space = result.env.space
+    declared = space.get(parameter)
+    fixed = dict(fixed or {})
+    for other in space:
+        if other.name != parameter and other.name not in fixed:
+            raise BindingError(
+                f"parameter {other.name} must be fixed to sweep {parameter}"
+            )
+
+    def decide(value: float):
+        binding = dict(fixed)
+        binding[parameter] = value
+        env = space.bind(binding)
+        decision = resolve_plan(result.plan, result.ctx.with_env(env))
+        signature = tuple(sorted(id(chosen) for chosen in decision.choices.values()))
+        return signature, decision
+
+    low, high = declared.domain.low, declared.domain.high
+    if low == high:
+        signature, decision = decide(low)
+        return [
+            _region(result, low, high, signature, decision, decision)
+        ]
+
+    points = [low + (high - low) * i / grid for i in range(grid + 1)]
+    signatures = [decide(p) for p in points]
+
+    regions: list[PlanRegion] = []
+    start = points[0]
+    start_decision = signatures[0][1]
+    for i in range(1, len(points)):
+        if signatures[i][0] == signatures[i - 1][0]:
+            continue
+        boundary = _bisect_boundary(
+            decide, points[i - 1], points[i], signatures[i - 1][0], tolerance
+        )
+        regions.append(
+            _region(
+                result,
+                start,
+                boundary,
+                signatures[i - 1][0],
+                start_decision,
+                signatures[i - 1][1],
+            )
+        )
+        start = boundary
+        start_decision = signatures[i][1]
+    regions.append(
+        _region(
+            result, start, points[-1], signatures[-1][0], start_decision,
+            signatures[-1][1],
+        )
+    )
+    return regions
+
+
+def decision_grid(
+    result: OptimizationResult,
+    x_parameter: str,
+    y_parameter: str,
+    fixed: dict[str, float] | None = None,
+    steps: int = 24,
+) -> tuple[list[list[int]], int]:
+    """2-D plan diagram: decision-signature indices over two parameters.
+
+    Returns ``(grid, distinct)`` where ``grid[row][col]`` is a small integer
+    identifying the effective plan at that (y, x) cell — rows sweep
+    ``y_parameter`` from high to low, columns sweep ``x_parameter`` from
+    low to high — and ``distinct`` is the number of distinct plans seen.
+    """
+    space = result.env.space
+    x_domain = space.get(x_parameter).domain
+    y_domain = space.get(y_parameter).domain
+    fixed = dict(fixed or {})
+    for other in space:
+        if other.name not in (x_parameter, y_parameter) and other.name not in fixed:
+            raise BindingError(
+                f"parameter {other.name} must be fixed for the 2-D grid"
+            )
+
+    signatures: dict[tuple, int] = {}
+    grid: list[list[int]] = []
+    for row in range(steps, 0, -1):
+        y = y_domain.low + (y_domain.high - y_domain.low) * row / (steps + 1)
+        line: list[int] = []
+        for col in range(1, steps + 1):
+            x = x_domain.low + (x_domain.high - x_domain.low) * col / (steps + 1)
+            binding = dict(fixed)
+            binding[x_parameter] = x
+            binding[y_parameter] = y
+            env = space.bind(binding)
+            decision = resolve_plan(result.plan, result.ctx.with_env(env))
+            signature = tuple(
+                sorted(id(chosen) for chosen in decision.choices.values())
+            )
+            line.append(signatures.setdefault(signature, len(signatures)))
+        grid.append(line)
+    return grid, len(signatures)
+
+
+def _bisect_boundary(decide, low, high, low_signature, tolerance) -> float:
+    """Locate the decision switch between two grid points."""
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if decide(mid)[0] == low_signature:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2
+
+
+def _region(result, low, high, signature, low_decision, high_decision) -> PlanRegion:
+    used = effective_plan_nodes(result.plan, high_decision.choices)
+    description = " / ".join(
+        node.label.split(" [")[0]
+        for node in reversed(used)
+        if not node.label.startswith("Choose-Plan")
+    )
+    return PlanRegion(
+        low=low,
+        high=high,
+        signature=signature,
+        description=description,
+        cost_low=low_decision.execution_cost,
+        cost_high=high_decision.execution_cost,
+    )

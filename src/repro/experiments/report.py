@@ -1,0 +1,102 @@
+"""Text rendering of the figure data (paper-style tables).
+
+The paper plots log-scale curves; we print the underlying series as aligned
+tables, one row per query, so the shapes (who wins, by what factor, where
+crossovers fall) are directly readable in benchmark output and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.figures import (
+    BreakEvenRow,
+    Figure4Row,
+    Figure5Row,
+    Figure6Row,
+    Figure7Row,
+    Figure8Row,
+)
+from repro.util.fmt import format_table
+
+
+def render_figure4(rows: Sequence[Figure4Row]) -> str:
+    """Figure 4: execution times of static and dynamic plans."""
+    return format_table(
+        ["query", "uncertain", "static c̄ [s]", "dynamic ḡ [s]", "speedup"],
+        [
+            (r.label, r.uncertain_variables, r.static_avg_execution,
+             r.dynamic_avg_execution, r.speedup)
+            for r in rows
+        ],
+        title="Figure 4 — average execution time over N random bindings",
+    )
+
+
+def render_figure5(rows: Sequence[Figure5Row]) -> str:
+    """Figure 5: optimization times for static and dynamic plans."""
+    return format_table(
+        ["query", "uncertain", "static a [s]", "dynamic e [s]", "e/a"],
+        [
+            (r.label, r.uncertain_variables, r.static_seconds,
+             r.dynamic_seconds, r.ratio)
+            for r in rows
+        ],
+        title="Figure 5 — measured optimization time",
+    )
+
+
+def render_figure6(rows: Sequence[Figure6Row]) -> str:
+    """Figure 6: plan sizes in operator nodes."""
+    return format_table(
+        ["query", "uncertain", "static nodes", "dynamic nodes", "choose-plans"],
+        [
+            (r.label, r.uncertain_variables, r.static_nodes,
+             r.dynamic_nodes, r.choose_plan_nodes)
+            for r in rows
+        ],
+        title="Figure 6 — plan sizes (DAG operator nodes)",
+    )
+
+
+def render_figure7(rows: Sequence[Figure7Row]) -> str:
+    """Figure 7: start-up CPU times for dynamic plans."""
+    return format_table(
+        ["query", "uncertain", "decision CPU [s]", "cost evals", "module I/O [s]"],
+        [
+            (r.label, r.uncertain_variables, r.startup_cpu_seconds,
+             r.cost_evaluations, r.activation_io_seconds)
+            for r in rows
+        ],
+        title="Figure 7 — dynamic-plan start-up (measured CPU, modeled I/O)",
+    )
+
+
+def render_figure8(rows: Sequence[Figure8Row]) -> str:
+    """Figure 8: run-time optimization versus dynamic plans."""
+    return format_table(
+        ["query", "uncertain", "run-time opt ā+d̄ [s]", "dynamic f̄+ḡ [s]",
+         "ratio", "break-even N"],
+        [
+            (r.label, r.uncertain_variables, r.runtime_opt_seconds,
+             r.dynamic_seconds, r.ratio,
+             r.break_even if r.break_even is not None else "never")
+            for r in rows
+        ],
+        title="Figure 8 — per-invocation run-time effort",
+    )
+
+
+def render_break_even(rows: Sequence[BreakEvenRow]) -> str:
+    """Section 6 break-even table."""
+    return format_table(
+        ["query", "uncertain", "vs static", "vs run-time opt"],
+        [
+            (r.label, r.uncertain_variables,
+             r.vs_static if r.vs_static is not None else "never",
+             r.vs_runtime if r.vs_runtime is not None else "never")
+            for r in rows
+        ],
+        title="Break-even invocation counts (paper: 1 vs static, 2-4 vs run-time)",
+    )

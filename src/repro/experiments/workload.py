@@ -1,0 +1,39 @@
+"""Random binding generation (Section 6).
+
+"Average run-times for static and dynamic plans were determined using
+N = 100 sets of randomly generated values for the uncertain cost-model
+parameters.  The random values for selectivities of selection operations
+are chosen from a uniform distribution over the interval [0, 1] ...  When
+memory was considered an unbound parameter, a run-time value for the number
+of pages was chosen from a uniform distribution over [16, 112]."
+"""
+
+from __future__ import annotations
+
+from repro.params.parameter import ParameterKind, ParameterSpace
+from repro.util.rng import make_rng
+
+PAPER_INVOCATIONS = 100
+
+
+def generate_bindings(
+    space: ParameterSpace,
+    n: int = PAPER_INVOCATIONS,
+    seed: int = 5_1994,
+) -> list[dict[str, float]]:
+    """Draw ``n`` independent binding sets, uniform over each domain.
+
+    Memory values are rounded to whole pages; selectivities stay
+    continuous.  Deterministic given ``seed``.
+    """
+    rng = make_rng(seed)
+    bindings = []
+    for _ in range(n):
+        values: dict[str, float] = {}
+        for parameter in space:
+            value = rng.uniform(parameter.domain.low, parameter.domain.high)
+            if parameter.kind is ParameterKind.MEMORY_PAGES:
+                value = float(round(value))
+            values[parameter.name] = value
+        bindings.append(values)
+    return bindings

@@ -1,0 +1,42 @@
+"""Logical algebra: the optimizer's input language.
+
+Queries are trees of Get-Set / Select / Join operators (Table 1 of the
+paper) over predicates that may reference *host variables* — the unbound
+user variables of embedded SQL whose selectivities are unknown until
+start-up time.  :func:`repro.logical.query.normalize` flattens a logical
+tree into the :class:`repro.logical.query.QueryGraph` form the search
+engine enumerates over.
+"""
+
+from repro.logical.predicates import (
+    CompareOp,
+    HostVariable,
+    JoinPredicate,
+    Literal,
+    SelectionPredicate,
+)
+from repro.logical.aggregates import (
+    AggregateExpr,
+    AggregateFunction,
+    AggregateSpec,
+)
+from repro.logical.algebra import GetSet, Join, LogicalExpr, Project, Select
+from repro.logical.query import QueryGraph, normalize
+
+__all__ = [
+    "AggregateExpr",
+    "AggregateFunction",
+    "AggregateSpec",
+    "CompareOp",
+    "HostVariable",
+    "JoinPredicate",
+    "Literal",
+    "SelectionPredicate",
+    "GetSet",
+    "Join",
+    "LogicalExpr",
+    "Project",
+    "Select",
+    "QueryGraph",
+    "normalize",
+]

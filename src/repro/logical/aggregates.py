@@ -1,0 +1,97 @@
+"""Aggregation: GROUP BY and aggregate functions (engine extension).
+
+Table 1 stops at select-project-join; a usable engine also needs
+aggregation, and it enriches the dynamic-plan story: the two physical
+implementations (hash aggregation vs sorted aggregation over an ordered
+input) trade off exactly like the paper's join algorithms, so uncertain
+input cardinalities put a choose-plan on top of the aggregate as well.
+
+An :class:`AggregateSpec` describes one aggregation step: the grouping
+attributes and the aggregate expressions.  Output rows carry the grouping
+attributes first (in spec order) followed by one synthetic attribute per
+aggregate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.catalog.schema import Attribute
+from repro.errors import OptimizationError
+
+AGGREGATE_RELATION = "<agg>"  # synthetic relation name for result columns
+
+
+class AggregateFunction(enum.Enum):
+    """Supported aggregate functions."""
+
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateExpr:
+    """One aggregate: ``COUNT(*)`` (attribute None) or ``FUNC(attribute)``."""
+
+    function: AggregateFunction
+    attribute: Attribute | None = None
+
+    def __post_init__(self) -> None:
+        if self.attribute is None and self.function is not AggregateFunction.COUNT:
+            raise OptimizationError(
+                f"{self.function.value.upper()} requires an attribute argument"
+            )
+
+    @property
+    def output_name(self) -> str:
+        """Column name of the aggregate in the result schema."""
+        if self.attribute is None:
+            return "count"
+        return f"{self.function.value}_{self.attribute.relation}_{self.attribute.name}"
+
+    def output_attribute(self) -> Attribute:
+        """Synthetic result attribute for this aggregate."""
+        return Attribute(AGGREGATE_RELATION, self.output_name, 1)
+
+    def __str__(self) -> str:
+        arg = "*" if self.attribute is None else self.attribute.qualified_name
+        return f"{self.function.value.upper()}({arg})"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """Grouping attributes plus aggregate expressions."""
+
+    group_by: tuple[Attribute, ...]
+    aggregates: tuple[AggregateExpr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.aggregates and not self.group_by:
+            raise OptimizationError("aggregation needs group-by keys or aggregates")
+        names = [e.output_name for e in self.aggregates]
+        if len(set(names)) != len(names):
+            raise OptimizationError(f"duplicate aggregate expressions: {names}")
+
+    @property
+    def input_attributes(self) -> tuple[Attribute, ...]:
+        """Every base attribute the aggregation reads."""
+        result = list(self.group_by)
+        for expr in self.aggregates:
+            if expr.attribute is not None:
+                result.append(expr.attribute)
+        return tuple(result)
+
+    def output_attributes(self) -> tuple[Attribute, ...]:
+        """Result schema: group keys first, then one column per aggregate."""
+        return self.group_by + tuple(
+            expr.output_attribute() for expr in self.aggregates
+        )
+
+    def __str__(self) -> str:
+        keys = ", ".join(a.qualified_name for a in self.group_by) or "-"
+        funcs = ", ".join(map(str, self.aggregates)) or "-"
+        return f"group by [{keys}] compute [{funcs}]"

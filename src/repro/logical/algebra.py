@@ -1,0 +1,100 @@
+"""Logical algebra operators (Table 1: Get-Set, Select, Join).
+
+Logical expressions are immutable trees built by applications (directly or
+through the SQL front end) and handed to the optimizer, which normalizes
+them into a :class:`~repro.logical.query.QueryGraph` before searching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logical.predicates import JoinPredicate, SelectionPredicate
+
+
+class LogicalExpr:
+    """Base class of logical algebra expressions."""
+
+    @property
+    def children(self) -> tuple["LogicalExpr", ...]:
+        """Input expressions, outermost first."""
+        raise NotImplementedError
+
+    @property
+    def relations(self) -> frozenset[str]:
+        """Names of all base relations referenced below this expression."""
+        result: set[str] = set()
+        stack: list[LogicalExpr] = [self]
+        while stack:
+            expr = stack.pop()
+            if isinstance(expr, GetSet):
+                result.add(expr.relation)
+            else:
+                stack.extend(expr.children)
+        return frozenset(result)
+
+
+@dataclass(frozen=True, slots=True)
+class GetSet(LogicalExpr):
+    """Retrieve a stored relation (the paper's Get-Set operator)."""
+
+    relation: str
+
+    @property
+    def children(self) -> tuple[LogicalExpr, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return f"Get-Set {self.relation}"
+
+
+@dataclass(frozen=True, slots=True)
+class Select(LogicalExpr):
+    """Filter the input by one selection predicate."""
+
+    input: LogicalExpr
+    predicate: SelectionPredicate
+
+    @property
+    def children(self) -> tuple[LogicalExpr, ...]:
+        return (self.input,)
+
+    def __str__(self) -> str:
+        return f"Select[{self.predicate}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Join(LogicalExpr):
+    """Equijoin of two inputs."""
+
+    left: LogicalExpr
+    right: LogicalExpr
+    predicate: JoinPredicate
+
+    @property
+    def children(self) -> tuple[LogicalExpr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"Join[{self.predicate}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Project(LogicalExpr):
+    """Restrict the output to the given attributes (Table 1's Project).
+
+    Projection is not duplicate-eliminating (SQL semantics).  Normalization
+    hoists it to the query root; only a root projection is meaningful in a
+    select-project-join query.
+    """
+
+    input: LogicalExpr
+    attributes: tuple
+
+    @property
+    def children(self) -> tuple[LogicalExpr, ...]:
+        return (self.input,)
+
+    def __str__(self) -> str:
+        names = ", ".join(a.qualified_name for a in self.attributes)
+        return f"Project[{names}]"

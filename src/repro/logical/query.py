@@ -1,0 +1,215 @@
+"""Query normalization: logical trees → query graphs.
+
+The search engine enumerates join orders over a *query graph*: the set of
+base relations, the selection predicates pushed down to each relation, and
+the equijoin predicates connecting them.  For select-project-join queries
+this graph is exactly the transformation closure that Volcano's join
+commutativity + associativity rules would generate, so enumerating
+connected partitions of relation subsets explores the same logical plan
+space ("all bushy trees", Section 5) without materializing every rewritten
+expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.errors import OptimizationError
+from repro.logical.algebra import GetSet, Join, LogicalExpr, Project, Select
+from repro.logical.predicates import JoinPredicate, SelectionPredicate
+from repro.params.parameter import ParameterSpace
+
+
+@dataclass(frozen=True)
+class QueryGraph:
+    """A normalized select-project-join query.
+
+    ``selections`` maps each relation name to the (possibly empty) tuple of
+    selection predicates on it; ``joins`` holds all equijoin predicates.
+    ``parameters`` declares the uncertain parameters the predicates (and
+    optionally memory) reference.
+    """
+
+    relations: tuple[str, ...]
+    selections: dict[str, tuple[SelectionPredicate, ...]] = field(default_factory=dict)
+    joins: tuple[JoinPredicate, ...] = ()
+    parameters: ParameterSpace = field(default_factory=ParameterSpace)
+    projection: tuple | None = None  # Attributes to keep at the root, or all
+    aggregate: object | None = None  # AggregateSpec, applied at the root
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise OptimizationError("query must reference at least one relation")
+        if len(set(self.relations)) != len(self.relations):
+            raise OptimizationError("duplicate relation in query")
+        known = set(self.relations)
+        for relation, predicates in self.selections.items():
+            if relation not in known:
+                raise OptimizationError(
+                    f"selection on {relation}, which the query does not reference"
+                )
+            for predicate in predicates:
+                if predicate.relation != relation:
+                    raise OptimizationError(
+                        f"predicate {predicate} filed under relation {relation}"
+                    )
+        for join in self.joins:
+            if not join.relations <= known:
+                raise OptimizationError(
+                    f"join predicate {join} references relations outside the query"
+                )
+        if self.projection is not None:
+            if not self.projection:
+                raise OptimizationError("projection must keep at least one attribute")
+            for attribute in self.projection:
+                if attribute.relation not in known:
+                    raise OptimizationError(
+                        f"projected attribute {attribute.qualified_name} is "
+                        "outside the query's relations"
+                    )
+        if self.aggregate is not None:
+            if self.projection is not None:
+                raise OptimizationError(
+                    "aggregate queries define their own output columns; "
+                    "projection must be None"
+                )
+            for attribute in self.aggregate.input_attributes:
+                if attribute.relation not in known:
+                    raise OptimizationError(
+                        f"aggregated attribute {attribute.qualified_name} is "
+                        "outside the query's relations"
+                    )
+
+    @property
+    def relation_set(self) -> frozenset[str]:
+        """All relations as a frozenset (the root memo group)."""
+        return frozenset(self.relations)
+
+    def selections_on(self, relation: str) -> tuple[SelectionPredicate, ...]:
+        """Selection predicates pushed down to ``relation``."""
+        return self.selections.get(relation, ())
+
+    def joins_within(self, subset: frozenset[str]) -> list[JoinPredicate]:
+        """Join predicates both of whose relations lie inside ``subset``."""
+        return [j for j in self.joins if j.relations <= subset]
+
+    def joins_between(
+        self, left: frozenset[str], right: frozenset[str]
+    ) -> list[JoinPredicate]:
+        """Join predicates connecting the two disjoint relation sets."""
+        return [j for j in self.joins if j.connects(left, right)]
+
+    def is_connected(self, subset: frozenset[str]) -> bool:
+        """True when ``subset`` induces a connected join subgraph."""
+        if len(subset) <= 1:
+            return True
+        adjacency: dict[str, set[str]] = {r: set() for r in subset}
+        for join in self.joins_within(subset):
+            a, b = tuple(join.relations)
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        start = next(iter(subset))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen == subset
+
+    def count_join_trees(self) -> int:
+        """Number of logical bushy join trees without cross products.
+
+        This is the "number of logical alternative plans" statistic the
+        paper reports per query (Section 6); the exact value depends on the
+        join graph shape (chains here), so our counts document our own
+        search space rather than matching the paper's unspecified graphs.
+        """
+
+        @lru_cache(maxsize=None)
+        def trees(subset: frozenset[str]) -> int:
+            if len(subset) == 1:
+                return 1
+            total = 0
+            for left, right in enumerate_partitions(subset):
+                if not self.joins_between(left, right):
+                    continue
+                if not (self.is_connected(left) and self.is_connected(right)):
+                    continue
+                total += trees(left) * trees(right)
+            return total
+
+        return trees(self.relation_set)
+
+
+def enumerate_partitions(
+    subset: frozenset[str],
+) -> list[tuple[frozenset[str], frozenset[str]]]:
+    """All ordered two-way partitions of ``subset`` (both (L,R) and (R,L)).
+
+    Ordered enumeration realizes join commutativity: every partition is
+    produced twice with sides swapped, so each join algorithm need only be
+    instantiated with its inputs in the given order.
+    """
+    members = sorted(subset)
+    n = len(members)
+    partitions: list[tuple[frozenset[str], frozenset[str]]] = []
+    # Bitmask enumeration over proper non-empty subsets; each mask and its
+    # complement appear separately, giving ordered pairs.
+    for mask in range(1, (1 << n) - 1):
+        left = frozenset(members[i] for i in range(n) if mask & (1 << i))
+        right = subset - left
+        partitions.append((left, right))
+    return partitions
+
+
+def normalize(expr: LogicalExpr, parameters: ParameterSpace | None = None) -> QueryGraph:
+    """Flatten a logical expression tree into a :class:`QueryGraph`.
+
+    Selections are pushed down to their base relations (they each reference
+    exactly one relation); joins are collected into the predicate set.  This
+    realizes the standard select-push-down normalization the paper's plans
+    assume (Figures 1 and 2 apply predicates at the scans).
+    """
+    relations: list[str] = []
+    selections: dict[str, list[SelectionPredicate]] = {}
+    joins: list[JoinPredicate] = []
+    projection: tuple | None = None
+
+    def walk(node: LogicalExpr, at_root: bool) -> None:
+        nonlocal projection
+        if isinstance(node, GetSet):
+            if node.relation in relations:
+                raise OptimizationError(
+                    f"relation {node.relation} referenced twice (self-joins "
+                    "are not supported)"
+                )
+            relations.append(node.relation)
+        elif isinstance(node, Select):
+            walk(node.input, at_root=False)
+            selections.setdefault(node.predicate.relation, []).append(node.predicate)
+        elif isinstance(node, Join):
+            walk(node.left, at_root=False)
+            walk(node.right, at_root=False)
+            joins.append(node.predicate)
+        elif isinstance(node, Project):
+            if not at_root:
+                raise OptimizationError(
+                    "projection is only supported at the query root"
+                )
+            projection = tuple(node.attributes)
+            walk(node.input, at_root=False)
+        else:
+            raise OptimizationError(f"unknown logical operator {type(node).__name__}")
+
+    walk(expr, at_root=True)
+    return QueryGraph(
+        relations=tuple(relations),
+        selections={r: tuple(preds) for r, preds in selections.items()},
+        joins=tuple(joins),
+        parameters=parameters if parameters is not None else ParameterSpace(),
+        projection=projection,
+    )

@@ -1,0 +1,27 @@
+"""The dynamic-plan optimizer: Volcano-style search with partial plan orders.
+
+This package holds the paper's core contribution: a top-down, memoizing
+dynamic-programming search engine (:mod:`repro.optimizer.engine`) whose
+cost comparisons may return *incomparable*, whose memo groups keep *sets*
+of non-dominated plans (:mod:`repro.optimizer.winners`), and whose output
+links incomparable alternatives with choose-plan operators into a dynamic
+plan.  The façade (:mod:`repro.optimizer.optimizer`) selects between
+static, dynamic, exhaustive, and run-time optimization modes.
+"""
+
+from repro.optimizer.optimizer import (
+    OptimizationMode,
+    OptimizationResult,
+    optimize_query,
+)
+from repro.optimizer.engine import SearchEngine, SearchStats
+from repro.optimizer.winners import WinnerSet
+
+__all__ = [
+    "OptimizationMode",
+    "OptimizationResult",
+    "optimize_query",
+    "SearchEngine",
+    "SearchStats",
+    "WinnerSet",
+]

@@ -1,0 +1,343 @@
+"""The search engine: top-down memoizing DP with partially ordered costs.
+
+The engine refines the Volcano search strategy (Section 2) in exactly the
+ways the paper describes:
+
+* **Winner sets instead of single winners.**  Each (relation set, required
+  sort order) group keeps every plan not dominated under the interval-cost
+  partial order; multiple winners are linked by a choose-plan operator and
+  the group's cost becomes the pointwise minimum plus decision overhead.
+* **Weakened branch-and-bound (Section 3).**  Only a retained plan's
+  *maximum* cost can serve as a limit, and only *minimum* costs can be
+  subtracted when budgeting input optimizations.  With point costs (static
+  mode) limits collapse to the traditional, much more effective pruning —
+  the difference is the paper's main optimization-time result (Figure 5).
+* **Memoization-safe pruning.**  Every group is optimized to completion and
+  memoized; candidate-level pruning uses only the group's *own* best
+  worst-case bound (pure dominance), and a caller's limit is checked against
+  the completed group's proven lower bound.  Both prunes are sound for
+  dynamic plans — a discarded candidate is certainly non-optimal for every
+  run-time binding — so the Section 3 optimality guarantee holds: every plan
+  that could be optimal for some binding is in the winner set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Attribute
+from repro.cost.context import CostContext
+from repro.errors import OptimizationError
+from repro.logical.estimation import estimate_selectivity
+from repro.logical.query import QueryGraph, enumerate_partitions
+from repro.logical.predicates import JoinPredicate
+from repro.optimizer.memo import GroupResult, Memo, Pruned
+from repro.optimizer.rules import (
+    DEFAULT_ACCESS_RULES,
+    DEFAULT_JOIN_RULES,
+    PRUNED,
+    AccessRule,
+    JoinRule,
+)
+from repro.optimizer.winners import WinnerSet
+from repro.physical.plan import (
+    ChoosePlanNode,
+    HashAggregateNode,
+    PlanNode,
+    ProjectNode,
+    SortedAggregateNode,
+    SortNode,
+)
+from repro.util.interval import Interval
+
+
+@dataclass
+class SearchStats:
+    """Search-effort counters, reported alongside optimization times."""
+
+    groups_completed: int = 0
+    partitions_considered: int = 0
+    candidates_considered: int = 0
+    candidates_retained: int = 0
+    candidates_pruned: int = 0
+    largest_winner_set: int = 0
+
+
+@dataclass
+class SearchEngine:
+    """One optimization run over one query under one environment."""
+
+    query: QueryGraph
+    ctx: CostContext
+    access_rules: tuple[AccessRule, ...] = DEFAULT_ACCESS_RULES
+    join_rules: tuple[JoinRule, ...] = DEFAULT_JOIN_RULES
+    exhaustive: bool = False
+    pruning: bool = True
+    probe: object | None = None  # optional ProbePolicy (Section 3 heuristic)
+    memo: Memo = field(default_factory=Memo)
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __post_init__(self) -> None:
+        self._cardinalities: dict[frozenset[str], Interval] = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def optimize(self, required_order: Attribute | None = None) -> PlanNode:
+        """Optimize the whole query; returns the (possibly dynamic) plan."""
+        if self.query.aggregate is not None:
+            plan = self._optimize_aggregate(self.query.aggregate)
+            if required_order is not None and plan.order != required_order:
+                plan = SortNode(self.ctx, plan, required_order)
+            return plan
+        result = self.optimize_group(self.query.relation_set, required_order, None)
+        if isinstance(result, Pruned):  # pragma: no cover - limit=None never prunes
+            raise OptimizationError("root group pruned without a cost limit")
+        plan = result.plan
+        if self.query.projection is not None:
+            plan = ProjectNode(self.ctx, plan, tuple(self.query.projection))
+        return plan
+
+    def _optimize_aggregate(self, spec) -> PlanNode:
+        """Aggregation root: hash vs sorted implementations compete.
+
+        Hash aggregation consumes the unordered group's plan; sorted
+        aggregation consumes the group optimized for the grouping order
+        (free from an index, a merge join, or a Sort enforcer).  The two
+        costs depend on uncertain input cardinalities and memory, so with
+        interval costs they are frequently incomparable and a choose-plan
+        tops the dynamic plan.
+        """
+        winners = WinnerSet(keep_all=self.exhaustive, probe=self.probe)
+        base = self.optimize_group(self.query.relation_set, None, None)
+        assert isinstance(base, GroupResult)
+        self._consider(winners, HashAggregateNode(self.ctx, base.plan, spec), None)
+        if spec.group_by:
+            ordered = self.optimize_group(
+                self.query.relation_set, spec.group_by[0], None
+            )
+            assert isinstance(ordered, GroupResult)
+            self._consider(
+                winners, SortedAggregateNode(self.ctx, ordered.plan, spec), None
+            )
+        return self._combined_plan(winners)
+
+    # ------------------------------------------------------------------
+    # Group optimization
+    # ------------------------------------------------------------------
+    def optimize_group(
+        self,
+        subset: frozenset[str],
+        order: Attribute | None,
+        limit: float | None,
+    ) -> GroupResult | Pruned:
+        """Optimize one (relations, order) group under a cost limit.
+
+        ``limit`` is an upper bound from the caller's branch-and-bound
+        budget: if every plan of this group certainly costs at least
+        ``limit``, the caller's candidate cannot matter and ``Pruned`` is
+        returned.
+        """
+        key = (subset, order)
+        cached = self.memo.lookup(key)
+        if cached is None:
+            winners = WinnerSet(keep_all=self.exhaustive, probe=self.probe)
+            if order is not None:
+                # Enforcer candidate: Sort over the unordered group's plan.
+                # Sharing the unordered group's (possibly dynamic) plan object
+                # keeps the emitted DAG small — one scan of R serves both the
+                # unordered uses and every sort-enforced use.
+                base = self.optimize_group(subset, None, None)
+                assert isinstance(base, GroupResult)
+                self._consider(
+                    winners, SortNode(self.ctx, base.plan, order), order
+                )
+            if len(subset) == 1:
+                self._generate_access_plans(subset, order, winners)
+            else:
+                self._generate_join_plans(subset, order, winners)
+            if not winners.plans:
+                raise OptimizationError(
+                    f"no plan found for relations {sorted(subset)} "
+                    f"(disconnected join graph?)"
+                )
+            plan = self._combined_plan(winners)
+            cached = GroupResult(winners=winners, plan=plan, cost=plan.cost)
+            self.stats.largest_winner_set = max(
+                self.stats.largest_winner_set, len(winners)
+            )
+            self.memo.store(key, cached)
+            self.stats.groups_completed += 1
+        if limit is not None and cached.cost.low >= limit:
+            return Pruned(cached.cost.low)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Candidate generation
+    # ------------------------------------------------------------------
+    def _generate_access_plans(
+        self,
+        subset: frozenset[str],
+        order: Attribute | None,
+        winners: WinnerSet,
+    ) -> None:
+        (relation,) = subset
+        predicates = self.query.selections_on(relation)
+        for rule in self.access_rules:
+            for plan in rule.build(self, relation, predicates, order):
+                self._consider(winners, plan, order)
+
+    def _generate_join_plans(
+        self,
+        subset: frozenset[str],
+        order: Attribute | None,
+        winners: WinnerSet,
+    ) -> None:
+        """Enumerate partitions × join rules for a multi-relation group.
+
+        The first pass considers only *connected* partitions joined by at
+        least one predicate — the useful plan space for connected query
+        graphs.  When that yields nothing (the subset's join graph is
+        disconnected), a fallback pass offers predicate-free partitions so
+        cross-product-capable rules (nested-loops join) can cover it.
+        """
+        for left, right in enumerate_partitions(subset):
+            predicates = tuple(self.query.joins_between(left, right))
+            if not predicates:
+                continue
+            if not (self.query.is_connected(left) and self.query.is_connected(right)):
+                continue
+            self._apply_join_rules(left, right, predicates, winners, order)
+        if winners.plans:
+            return
+        for left, right in enumerate_partitions(subset):
+            predicates = tuple(self.query.joins_between(left, right))
+            self._apply_join_rules(left, right, predicates, winners, order)
+
+    def _apply_join_rules(
+        self,
+        left: frozenset[str],
+        right: frozenset[str],
+        predicates,
+        winners: WinnerSet,
+        order: Attribute | None,
+    ) -> None:
+        self.stats.partitions_considered += 1
+        for rule in self.join_rules:
+            budget = self._budget(winners)
+            for outcome in rule.build(self, left, right, predicates, budget):
+                if outcome is PRUNED:
+                    self.stats.candidates_pruned += 1
+                    continue
+                self._consider(winners, outcome, order)
+
+    def _budget(self, winners: WinnerSet) -> float | None:
+        """Cost limit for the next candidate of a group.
+
+        This is the winner set's best worst-case bound: with interval costs
+        only a retained plan's *maximum* can serve as a limit (Section 3).
+        A candidate whose proven minimum reaches the bound is dominated and
+        can be skipped before it is even constructed.  With point costs the
+        bound is exact and pruning is far more effective — the asymmetry
+        behind Figure 5.
+        """
+        if not self.pruning:
+            return None
+        internal = winners.best_upper_bound()
+        return internal if internal != float("inf") else None
+
+    def _consider(
+        self, winners: WinnerSet, plan: PlanNode, order: Attribute | None
+    ) -> None:
+        """Offer a candidate that delivers the required order.
+
+        Candidates not delivering the order are dropped rather than wrapped:
+        the sort-enforced variant is already represented by the Sort over
+        the unordered group's shared plan (see :meth:`optimize_group`).
+        """
+        self.stats.candidates_considered += 1
+        if order is not None and plan.order != order:
+            return
+        if winners.consider(plan):
+            self.stats.candidates_retained += 1
+
+    def _combined_plan(self, winners: WinnerSet) -> PlanNode:
+        """The group's representative plan: sole winner or a choose-plan."""
+        if len(winners.plans) == 1:
+            return winners.plans[0]
+        return ChoosePlanNode(self.ctx, tuple(winners.plans))
+
+    # ------------------------------------------------------------------
+    # Services for rules
+    # ------------------------------------------------------------------
+    def optimize_inputs(
+        self,
+        requests: tuple[tuple[frozenset[str], Attribute | None], ...],
+        operator_lower_bound: float,
+        budget: float | None,
+    ) -> tuple[PlanNode, ...] | None:
+        """Optimize a join candidate's inputs under a shared budget.
+
+        Implements the paper's Section 3 budget arithmetic: the budget for
+        one input is the candidate's limit minus the operator's *minimum*
+        cost and the other inputs' proven *minimum* costs.  Returns None
+        when any input optimization is pruned (the candidate is infeasible
+        under the budget).
+        """
+        pending_lower_bounds = [
+            self._proven_lower_bound(subset, order) for subset, order in requests
+        ]
+        results: list[GroupResult] = []
+        for i, (subset, order) in enumerate(requests):
+            if budget is None:
+                child_limit = None
+            else:
+                already = sum(r.cost.low for r in results)
+                pending = sum(pending_lower_bounds[i + 1 :])
+                child_limit = budget - operator_lower_bound - already - pending
+            outcome = self.optimize_group(subset, order, child_limit)
+            if isinstance(outcome, Pruned):
+                return None
+            results.append(outcome)
+        return tuple(r.plan for r in results)
+
+    def _proven_lower_bound(
+        self, subset: frozenset[str], order: Attribute | None
+    ) -> float:
+        """Best known lower bound on a group's cost (0 when unoptimized)."""
+        cached = self.memo.lookup((subset, order))
+        return cached.cost.low if cached is not None else 0.0
+
+    def cardinality(self, subset: frozenset[str]) -> Interval:
+        """Estimated output cardinality of any plan covering ``subset``.
+
+        Plan-shape independent: the product of base cardinalities, selection
+        selectivities, and the selectivities of every join predicate inside
+        the subset.  Memoized per subset so all candidates of a group cost
+        against identical statistics.
+        """
+        cached = self._cardinalities.get(subset)
+        if cached is not None:
+            return cached
+        cardinality = Interval.point(1.0)
+        for relation in subset:
+            stats = self.ctx.catalog.relation(relation).stats
+            cardinality = cardinality * Interval.point(float(stats.cardinality))
+            for predicate in self.query.selections_on(relation):
+                cardinality = cardinality * estimate_selectivity(
+                    predicate, self.ctx.env, self.ctx.catalog
+                )
+        for join in self.query.joins_within(subset):
+            cardinality = cardinality * join.selectivity()
+        self._cardinalities[subset] = cardinality
+        return cardinality
+
+    def join_cardinality(
+        self,
+        left: frozenset[str],
+        right: frozenset[str],
+        predicates: tuple[JoinPredicate, ...],
+    ) -> Interval:
+        """Output cardinality of joining the two partitions."""
+        del predicates  # implied by the union's join set
+        return self.cardinality(left | right)

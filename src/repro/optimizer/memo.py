@@ -1,0 +1,64 @@
+"""The memo: groups of equivalent plans keyed by relations + properties.
+
+A *group* is the paper's "combination of a logical algebra expression and
+desired physical properties": here, the set of base relations covered and
+the required output sort order.  Memoization ("memoizing variant of dynamic
+programming", Section 2) stores each group's completed winner set so shared
+subproblems — and therefore shared subplans in the emitted DAG — are
+optimized exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Attribute
+from repro.optimizer.winners import WinnerSet
+from repro.physical.plan import PlanNode
+from repro.util.interval import Interval
+
+GroupKey = tuple[frozenset[str], Attribute | None]
+
+
+@dataclass
+class GroupResult:
+    """A fully optimized group: its winners and their combined dynamic plan.
+
+    ``plan`` is what a parent embeds: the sole winner, or a choose-plan over
+    all winners.  ``cost`` is ``plan.cost`` (kept separately for clarity in
+    branch-and-bound arithmetic).
+    """
+
+    winners: WinnerSet
+    plan: PlanNode
+    cost: Interval
+
+
+@dataclass
+class Pruned:
+    """Signal that a group's optimization was cut off by a cost limit.
+
+    ``lower_bound`` is the proven minimum cost — every plan of the group
+    costs at least this much for every run-time binding, so the caller may
+    soundly discard the candidate that requested the group.
+    """
+
+    lower_bound: float
+
+
+@dataclass
+class Memo:
+    """Group table plus search-effort counters."""
+
+    groups: dict[GroupKey, GroupResult] = field(default_factory=dict)
+
+    def lookup(self, key: GroupKey) -> GroupResult | None:
+        """The completed result for ``key``, if any."""
+        return self.groups.get(key)
+
+    def store(self, key: GroupKey, result: GroupResult) -> None:
+        """Record a completed group optimization."""
+        self.groups[key] = result
+
+    def __len__(self) -> int:
+        return len(self.groups)

@@ -1,0 +1,162 @@
+"""Optimizer façade: one call covering all of the paper's scenarios.
+
+:func:`optimize_query` runs the search engine under an environment chosen
+by mode:
+
+* ``STATIC`` — expected-value points, "costs as points represented by
+  intervals [expected-value, expected-value]" (Section 6); produces a
+  traditional static plan.
+* ``DYNAMIC`` — full parameter domains, "[domain-minimum, domain-maximum]";
+  produces a dynamic plan with choose-plan operators.
+* ``RUN_TIME`` — actual run-time values (requires ``binding``); models the
+  run-time-optimization scenario of Figure 3.
+* ``EXHAUSTIVE`` — every comparison declared incomparable; produces the
+  paper's "exhaustive plan" containing absolutely all plans (Section 3's
+  optimality baseline, practical only for small queries).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Attribute
+from repro.cost.context import CostContext
+from repro.cost.model import CostModel
+from repro.errors import OptimizationError
+from repro.logical.query import QueryGraph
+from repro.optimizer.engine import SearchEngine, SearchStats
+from repro.params.parameter import Environment
+from repro.physical.plan import (
+    PlanNode,
+    count_choose_plan_nodes,
+    count_plan_nodes,
+)
+
+
+class OptimizationMode(enum.Enum):
+    """Which of the paper's optimization scenarios to run."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    RUN_TIME = "run-time"
+    EXHAUSTIVE = "exhaustive"
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """A finished optimization: the plan plus effort accounting."""
+
+    plan: PlanNode
+    mode: OptimizationMode
+    env: Environment
+    ctx: CostContext
+    stats: SearchStats
+    optimization_seconds: float
+
+    @property
+    def plan_node_count(self) -> int:
+        """Operator nodes in the plan DAG (the paper's Figure 6 metric)."""
+        return count_plan_nodes(self.plan)
+
+    @property
+    def choose_plan_count(self) -> int:
+        """Choose-plan operators in the plan DAG."""
+        return count_choose_plan_nodes(self.plan)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when the plan contains at least one choose-plan operator."""
+        return self.choose_plan_count > 0
+
+    @property
+    def modeled_optimization_seconds(self) -> float:
+        """Optimization effort in model time (counted work × calibration).
+
+        Deterministic and machine-independent, used wherever optimization
+        effort must be combined with the analytic I/O and execution model
+        (Figure 8, break-even analysis).  ``optimization_seconds`` remains
+        the truly measured wall-clock time (Figure 5).
+        """
+        return (
+            self.stats.candidates_considered
+            * self.ctx.model.optimizer_candidate_seconds
+        )
+
+
+def optimize_query(
+    query: QueryGraph,
+    catalog: Catalog,
+    model: CostModel | None = None,
+    mode: OptimizationMode = OptimizationMode.DYNAMIC,
+    binding: Mapping[str, float] | None = None,
+    required_order: Attribute | None = None,
+    pruning: bool = True,
+    access_rules=None,
+    join_rules=None,
+    probe_samples: int = 0,
+) -> OptimizationResult:
+    """Optimize ``query`` against ``catalog`` in the given mode.
+
+    ``binding`` supplies actual parameter values and is required for (and
+    only for) ``RUN_TIME`` mode.  ``pruning=False`` disables
+    branch-and-bound entirely (ablation support).  ``access_rules`` /
+    ``join_rules`` replace the default implementation-rule sets — the
+    Volcano-generator extensibility point for adding algorithms without
+    touching the search engine.  ``probe_samples > 0`` enables the
+    Section 3 consistently-cheaper heuristic: plans whose intervals overlap
+    are additionally compared at that many sampled bindings (plus the two
+    domain corners) and the loser is dropped — smaller dynamic plans, but
+    optimality becomes heuristic.
+    """
+    from repro.optimizer.probing import ProbePolicy
+    from repro.optimizer.rules import DEFAULT_ACCESS_RULES, DEFAULT_JOIN_RULES
+
+    model = model if model is not None else CostModel()
+    env = _environment_for(query, mode, binding)
+    ctx = CostContext(catalog=catalog, model=model, env=env)
+    probe = ProbePolicy(ctx, samples=probe_samples) if probe_samples > 0 else None
+    engine = SearchEngine(
+        query=query,
+        ctx=ctx,
+        access_rules=(
+            tuple(access_rules) if access_rules is not None else DEFAULT_ACCESS_RULES
+        ),
+        join_rules=(
+            tuple(join_rules) if join_rules is not None else DEFAULT_JOIN_RULES
+        ),
+        exhaustive=(mode is OptimizationMode.EXHAUSTIVE),
+        pruning=pruning and mode is not OptimizationMode.EXHAUSTIVE,
+        probe=probe,
+    )
+    started = time.perf_counter()
+    plan = engine.optimize(required_order=required_order)
+    elapsed = time.perf_counter() - started
+    return OptimizationResult(
+        plan=plan,
+        mode=mode,
+        env=env,
+        ctx=ctx,
+        stats=engine.stats,
+        optimization_seconds=elapsed,
+    )
+
+
+def _environment_for(
+    query: QueryGraph,
+    mode: OptimizationMode,
+    binding: Mapping[str, float] | None,
+) -> Environment:
+    space = query.parameters
+    if mode is OptimizationMode.RUN_TIME:
+        if binding is None:
+            raise OptimizationError("RUN_TIME optimization requires a binding")
+        return space.bind(binding)
+    if binding is not None:
+        raise OptimizationError(f"{mode.value} optimization does not take a binding")
+    if mode is OptimizationMode.STATIC:
+        return space.static_environment()
+    return space.dynamic_environment()

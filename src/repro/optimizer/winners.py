@@ -1,0 +1,96 @@
+"""Winner sets: the non-dominated frontier of a memo group.
+
+Traditional dynamic programming keeps exactly one winner per group; with
+partially ordered costs a group keeps every plan not *dominated* by another
+(Section 3: "there may be more than a single plan for a given combination
+of a logical algebra expression and desirable physical properties, and it
+is impossible to prune all but one of them").
+
+Dominance is certainty of being no more expensive: plan A dominates plan B
+when A's worst case does not exceed B's best case.  Overlapping cost
+intervals leave both plans in the set — they will be linked by a
+choose-plan operator.  With point costs (static optimization) the set
+always collapses to a single plan, recovering traditional behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.physical.plan import PlanNode
+from repro.util.interval import Interval
+
+
+class WinnerSet:
+    """Mutually incomparable plans for one (group, properties) pair."""
+
+    __slots__ = ("plans", "keep_all", "probe")
+
+    def __init__(self, keep_all: bool = False, probe=None) -> None:
+        self.plans: list[PlanNode] = []
+        # keep_all realizes the paper's "exhaustive plan": every cost
+        # comparison is treated as incomparable, so nothing is pruned.
+        self.keep_all = keep_all
+        # Optional ProbePolicy: detect consistently-cheaper plans whose
+        # intervals overlap (the paper's Section 3 heuristic, opt-in).
+        self.probe = probe
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __iter__(self):
+        return iter(self.plans)
+
+    def consider(self, candidate: PlanNode) -> bool:
+        """Offer a plan to the set.
+
+        Returns True when the candidate was retained.  Plans dominated by
+        the candidate are removed; the candidate is dropped when an existing
+        plan dominates it.  Ties between identical point costs keep the
+        earlier plan (traditional arbitrary tie-breaking).
+        """
+        if self.keep_all:
+            self.plans.append(candidate)
+            return True
+        cost = candidate.cost
+        for existing in self.plans:
+            if existing.cost.dominates(cost):
+                return False
+        self.plans = [p for p in self.plans if not cost.dominates(p.cost)]
+        if self.probe is not None:
+            for existing in self.plans:
+                if self.probe.consistently_cheaper(existing, candidate):
+                    return False
+            self.plans = [
+                p
+                for p in self.plans
+                if not self.probe.consistently_cheaper(candidate, p)
+            ]
+        self.plans.append(candidate)
+        return True
+
+    def best_upper_bound(self) -> float:
+        """Tightest worst-case bound proven by any retained plan.
+
+        This is the only bound branch-and-bound may use with interval costs
+        (Section 3): a new plan can be discarded only when its *minimum*
+        cost exceeds some retained plan's *maximum*.
+        """
+        if not self.plans:
+            return float("inf")
+        return min(plan.cost.high for plan in self.plans)
+
+    def combined_cost(self, choose_plan_overhead: float) -> Interval:
+        """Cost interval of the group's dynamic plan.
+
+        A single winner keeps its own cost; multiple winners combine as the
+        pointwise minimum plus the choose-plan decision overhead
+        (Section 5's interval semantics of choose-plan).
+        """
+        if not self.plans:
+            raise ValueError("empty winner set has no cost")
+        combined = self.plans[0].cost
+        for plan in self.plans[1:]:
+            combined = combined.min_with(plan.cost)
+        if len(self.plans) > 1:
+            overhead = choose_plan_overhead * (len(self.plans) - 1)
+            combined = combined + Interval.point(overhead)
+        return combined

@@ -1,0 +1,17 @@
+"""Uncertain cost-model parameters and run-time bindings.
+
+This package models the paper's central notion: cost-model parameters whose
+values are unknown at compile time (host-variable selectivities, available
+memory) but become known at start-up time.  An :class:`Environment` maps
+parameter names to intervals; compile-time environments carry wide
+intervals, start-up-time environments carry points.
+"""
+
+from repro.params.parameter import (
+    Environment,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+)
+
+__all__ = ["Environment", "Parameter", "ParameterKind", "ParameterSpace"]

@@ -1,0 +1,221 @@
+"""Parameter descriptors and binding environments.
+
+A :class:`Parameter` describes one uncertain quantity: the range of values
+it may take at run time (its *domain*) and the single value a traditional
+optimizer would assume (its *expected* value; the paper uses 0.05 for
+selection selectivities and 64 pages for memory).
+
+An :class:`Environment` assigns each parameter an interval.  Three
+environments matter:
+
+* **static** — every parameter at its expected point value; this makes the
+  optimizer behave exactly like a traditional one,
+* **dynamic** — every parameter at its full domain interval; overlapping
+  plan costs then become incomparable and choose-plan operators appear,
+* **bound** — every parameter at its actual run-time point value; used by
+  choose-plan decision procedures at start-up and by run-time optimization.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import BindingError
+from repro.util.interval import Interval
+
+
+class ParameterKind(enum.Enum):
+    """What a parameter measures; the cost model dispatches on this."""
+
+    SELECTIVITY = "selectivity"
+    MEMORY_PAGES = "memory_pages"
+    CARDINALITY = "cardinality"
+
+
+@dataclass(frozen=True, slots=True)
+class Parameter:
+    """One uncertain cost-model parameter."""
+
+    name: str
+    kind: ParameterKind
+    domain: Interval
+    expected: float
+
+    def __post_init__(self) -> None:
+        if not self.domain.contains(self.expected):
+            raise BindingError(
+                f"expected value {self.expected} of parameter {self.name} "
+                f"lies outside its domain {self.domain}"
+            )
+        if self.kind is ParameterKind.SELECTIVITY and not (
+            0.0 <= self.domain.low and self.domain.high <= 1.0
+        ):
+            raise BindingError(
+                f"selectivity parameter {self.name} has domain {self.domain} "
+                "outside [0, 1]"
+            )
+
+
+class ParameterSpace:
+    """The set of parameters relevant to one query.
+
+    The space is the compile-time contract between the query and the
+    optimizer: it fixes *which* quantities may vary and over what ranges.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter] = ()) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        for parameter in parameters:
+            self.add(parameter)
+
+    def add(self, parameter: Parameter) -> Parameter:
+        """Register a parameter; names must be unique."""
+        if parameter.name in self._parameters:
+            raise BindingError(f"parameter {parameter.name} already declared")
+        self._parameters[parameter.name] = parameter
+        return parameter
+
+    def add_selectivity(
+        self, name: str, low: float = 0.0, high: float = 1.0, expected: float = 0.05
+    ) -> Parameter:
+        """Shorthand for an unbound-predicate selectivity parameter."""
+        return self.add(
+            Parameter(
+                name=name,
+                kind=ParameterKind.SELECTIVITY,
+                domain=Interval.of(low, high),
+                expected=expected,
+            )
+        )
+
+    def add_memory(
+        self, name: str = "memory", low: int = 16, high: int = 112, expected: int = 64
+    ) -> Parameter:
+        """Shorthand for an uncertain available-memory parameter (pages)."""
+        return self.add(
+            Parameter(
+                name=name,
+                kind=ParameterKind.MEMORY_PAGES,
+                domain=Interval.of(low, high),
+                expected=float(expected),
+            )
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._parameters
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __iter__(self):
+        return iter(self._parameters.values())
+
+    def get(self, name: str) -> Parameter:
+        """Look up a parameter by name."""
+        try:
+            return self._parameters[name]
+        except KeyError:
+            raise BindingError(f"unknown parameter {name}") from None
+
+    @property
+    def names(self) -> list[str]:
+        """Parameter names in declaration order."""
+        return list(self._parameters)
+
+    # ------------------------------------------------------------------
+    # Environments
+    # ------------------------------------------------------------------
+    def static_environment(self) -> "Environment":
+        """Every parameter fixed at its expected value (traditional mode)."""
+        return Environment(
+            self,
+            {p.name: Interval.point(p.expected) for p in self},
+            fully_bound=True,
+        )
+
+    def dynamic_environment(self) -> "Environment":
+        """Every parameter at its full domain (dynamic-plan mode)."""
+        return Environment(
+            self,
+            {p.name: p.domain for p in self},
+            fully_bound=all(p.domain.is_point for p in self),
+        )
+
+    def bind(self, values: Mapping[str, float]) -> "Environment":
+        """Instantiate all parameters with actual run-time values.
+
+        Raises :class:`BindingError` when a parameter is missing or a value
+        falls outside its declared domain.
+        """
+        intervals: dict[str, Interval] = {}
+        for parameter in self:
+            if parameter.name not in values:
+                raise BindingError(
+                    f"no run-time value supplied for parameter {parameter.name}"
+                )
+            value = float(values[parameter.name])
+            if not parameter.domain.contains(value):
+                raise BindingError(
+                    f"value {value} for parameter {parameter.name} outside "
+                    f"domain {parameter.domain}"
+                )
+            intervals[parameter.name] = Interval.point(value)
+        extra = set(values) - set(self.names)
+        if extra:
+            raise BindingError(f"values supplied for unknown parameters: {extra}")
+        return Environment(self, intervals, fully_bound=True)
+
+
+class Environment:
+    """An assignment of intervals to every parameter of a space.
+
+    Immutable from the caller's perspective; create new environments through
+    :class:`ParameterSpace` factories.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        intervals: Mapping[str, Interval],
+        fully_bound: bool,
+    ) -> None:
+        self._space = space
+        self._intervals = dict(intervals)
+        self._fully_bound = fully_bound
+
+    @property
+    def space(self) -> ParameterSpace:
+        """The parameter space this environment instantiates."""
+        return self._space
+
+    @property
+    def fully_bound(self) -> bool:
+        """True when every parameter is a point (no uncertainty left)."""
+        return self._fully_bound
+
+    def interval(self, name: str) -> Interval:
+        """The interval assigned to parameter ``name``."""
+        try:
+            return self._intervals[name]
+        except KeyError:
+            raise BindingError(f"parameter {name} not in environment") from None
+
+    def value(self, name: str) -> float:
+        """The point value of ``name``; requires the parameter be bound."""
+        interval = self.interval(name)
+        if not interval.is_point:
+            raise BindingError(
+                f"parameter {name} is not bound to a point value ({interval})"
+            )
+        return interval.low
+
+    @property
+    def uncertain_names(self) -> list[str]:
+        """Names of parameters still carrying non-point intervals."""
+        return [n for n, iv in self._intervals.items() if not iv.is_point]
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{n}={iv}" for n, iv in self._intervals.items())
+        return f"Environment({pairs})"

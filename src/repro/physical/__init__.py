@@ -1,0 +1,50 @@
+"""Physical algebra: executable plan operators and plan DAGs.
+
+The physical algebra implements Table 1 of the paper: File-Scan,
+B-tree-Scan, Filter, Filter-B-tree-Scan, Hash-Join, Merge-Join, Index-Join,
+the Sort enforcer, and the Choose-Plan enforcer that realizes dynamic
+plans.  Plans are immutable DAGs — shared subplans are literally shared
+Python objects, which is what keeps dynamic plan size and start-up effort
+sub-exponential (Sections 3 and 4).
+"""
+
+from repro.physical.plan import (
+    BtreeScanNode,
+    ChoosePlanNode,
+    FileScanNode,
+    FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
+    IndexJoinNode,
+    MergeJoinNode,
+    NestedLoopsJoinNode,
+    PlanNode,
+    ProjectNode,
+    SortedAggregateNode,
+    SortNode,
+    count_plan_nodes,
+    iter_plan_nodes,
+    count_choose_plan_nodes,
+)
+from repro.physical.explain import explain, to_dot
+
+__all__ = [
+    "BtreeScanNode",
+    "ChoosePlanNode",
+    "FileScanNode",
+    "FilterNode",
+    "HashAggregateNode",
+    "HashJoinNode",
+    "IndexJoinNode",
+    "MergeJoinNode",
+    "NestedLoopsJoinNode",
+    "PlanNode",
+    "ProjectNode",
+    "SortedAggregateNode",
+    "SortNode",
+    "count_plan_nodes",
+    "iter_plan_nodes",
+    "count_choose_plan_nodes",
+    "explain",
+    "to_dot",
+]

@@ -1,0 +1,73 @@
+"""Plan rendering: indented text trees and Graphviz DOT.
+
+Shared subplans are printed once and referenced afterwards, making the
+DAG structure of dynamic plans visible — the sharing is what keeps access
+modules small relative to the exponential number of alternative plans.
+"""
+
+from __future__ import annotations
+
+from repro.physical.plan import ChoosePlanNode, PlanNode, iter_plan_nodes
+
+
+def explain(root: PlanNode, show_cost: bool = True) -> str:
+    """Render a plan DAG as an indented text tree.
+
+    The first occurrence of a shared subplan gets a ``#n`` tag; later
+    occurrences print as ``-> #n`` back-references instead of repeating the
+    subtree.
+    """
+    tags: dict[int, int] = {}
+    multiply_referenced = _shared_nodes(root)
+    lines: list[str] = []
+
+    def annotate(node: PlanNode) -> str:
+        parts = [node.label]
+        if show_cost:
+            parts.append(f"cost={node.cost}")
+            parts.append(f"rows={node.cardinality}")
+        if node.order is not None:
+            parts.append(f"order={node.order.qualified_name}")
+        return "  ".join(parts)
+
+    def walk(node: PlanNode, depth: int) -> None:
+        indent = "  " * depth
+        if id(node) in tags:
+            lines.append(f"{indent}-> #{tags[id(node)]}")
+            return
+        tag = ""
+        if id(node) in multiply_referenced:
+            tags[id(node)] = len(tags) + 1
+            tag = f"#{tags[id(node)]} "
+        lines.append(f"{indent}{tag}{annotate(node)}")
+        for child in node.inputs:
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def to_dot(root: PlanNode, title: str = "plan") -> str:
+    """Render a plan DAG in Graphviz DOT syntax."""
+    ids: dict[int, str] = {}
+    lines = [f'digraph "{title}" {{', "  node [shape=box, fontname=monospace];"]
+    for node in iter_plan_nodes(root):
+        name = f"n{len(ids)}"
+        ids[id(node)] = name
+        shape = ', style=rounded, peripheries=2' if isinstance(node, ChoosePlanNode) else ""
+        label = node.label.replace('"', r"\"")
+        lines.append(f'  {name} [label="{label}\\ncost={node.cost}"{shape}];')
+    for node in iter_plan_nodes(root):
+        for child in node.inputs:
+            lines.append(f"  {ids[id(node)]} -> {ids[id(child)]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _shared_nodes(root: PlanNode) -> set[int]:
+    """Identities of nodes referenced by more than one parent."""
+    counts: dict[int, int] = {}
+    for node in iter_plan_nodes(root):
+        for child in node.inputs:
+            counts[id(child)] = counts.get(id(child), 0) + 1
+    return {node_id for node_id, count in counts.items() if count > 1}

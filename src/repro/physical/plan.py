@@ -1,0 +1,603 @@
+"""Physical plan nodes.
+
+Every node knows how to compute, from a :class:`~repro.cost.context.CostContext`
+and its inputs' output cardinalities, its own *output cardinality* and
+*operator cost* (the work it adds on top of its inputs).  The same
+``_compute`` method serves two callers:
+
+* the **optimizer**, which constructs nodes under the compile-time
+  environment and stores the resulting annotations (``cost`` is the total
+  subtree cost including inputs), and
+* the **choose-plan decision procedure** (:mod:`repro.runtime.chooser`),
+  which re-evaluates the very same cost functions bottom-up over the DAG
+  under the start-up-time environment — the paper's Section 4 decision
+  procedure ("re-evaluate the cost functions associated with the
+  participating alternative plans").
+
+Nodes are immutable after construction and compared by identity; the memo
+guarantees shared subplans are shared objects, so DAG-size accounting is a
+simple identity traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.catalog.schema import Attribute
+from repro.cost import formulas
+from repro.cost.context import CostContext
+from repro.errors import PlanError
+from repro.logical.estimation import estimate_selectivity
+from repro.logical.predicates import JoinPredicate, SelectionPredicate
+from repro.util.interval import Interval
+
+
+class PlanNode:
+    """Base class of physical plan operators.
+
+    Attributes set at construction (compile-time annotations):
+
+    ``inputs``
+        Child plan nodes (empty for scans).
+    ``cardinality``
+        Interval estimate of the number of output records.
+    ``cost``
+        Interval estimate of the *total* cost of this subtree, inputs
+        included, in seconds.
+    ``order``
+        The attribute the output is sorted on, or None.
+    """
+
+    __slots__ = ("inputs", "cardinality", "cost", "order")
+
+    inputs: tuple["PlanNode", ...]
+    cardinality: Interval
+    cost: Interval
+    order: Attribute | None
+
+    def __init__(self, ctx: CostContext, inputs: tuple["PlanNode", ...]) -> None:
+        self.inputs = inputs
+        input_cards = [child.cardinality for child in inputs]
+        input_orders = [child.order for child in inputs]
+        cardinality, self_cost, order = self._compute(ctx, input_cards, input_orders)
+        self.cardinality = cardinality
+        self.order = order
+        total = self_cost
+        for child in inputs:
+            total = total + child.cost
+        self.cost = total
+
+    # ------------------------------------------------------------------
+    # Subclass contract
+    # ------------------------------------------------------------------
+    def _compute(
+        self,
+        ctx: CostContext,
+        input_cards: list[Interval],
+        input_orders: list[Attribute | None],
+    ) -> tuple[Interval, Interval, Attribute | None]:
+        """Return (output cardinality, operator cost, output sort order)."""
+        raise NotImplementedError
+
+    @property
+    def label(self) -> str:
+        """Short human-readable operator description."""
+        raise NotImplementedError
+
+    def recompute(
+        self,
+        ctx: CostContext,
+        input_cards: list[Interval],
+        input_orders: list[Attribute | None],
+    ) -> tuple[Interval, Interval, Attribute | None]:
+        """Re-evaluate the node's cost function under a new context.
+
+        Used at start-up time with a fully bound environment; does not
+        mutate the stored compile-time annotations.
+        """
+        return self._compute(ctx, input_cards, input_orders)
+
+    def __repr__(self) -> str:
+        return f"<{self.label} card={self.cardinality} cost={self.cost}>"
+
+
+# ----------------------------------------------------------------------
+# Data retrieval
+# ----------------------------------------------------------------------
+class FileScanNode(PlanNode):
+    """Sequential scan of a heap file (physical Get-Set)."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, ctx: CostContext, relation: str) -> None:
+        self.relation = relation
+        super().__init__(ctx, ())
+
+    def _compute(self, ctx, input_cards, input_orders):
+        stats = ctx.catalog.relation(self.relation).stats
+        cardinality = Interval.point(float(stats.cardinality))
+        cost = formulas.file_scan_cost(ctx.model, stats)
+        return cardinality, cost, None
+
+    @property
+    def label(self) -> str:
+        return f"File-Scan {self.relation}"
+
+
+class BtreeScanNode(PlanNode):
+    """B-tree scan of a relation.
+
+    With ``predicate`` set, this is the paper's *Filter-B-tree-Scan*: the
+    predicate is applied through the index, retrieving only the qualifying
+    fraction.  Without a predicate it is a full *B-tree-Scan* whose value is
+    the sort order it delivers.
+    """
+
+    __slots__ = ("relation", "index_name", "key", "predicate")
+
+    def __init__(
+        self,
+        ctx: CostContext,
+        relation: str,
+        key: Attribute,
+        predicate: SelectionPredicate | None = None,
+    ) -> None:
+        index = ctx.catalog.index_on(key)
+        if index is None:
+            raise PlanError(f"no index on {key.qualified_name} for B-tree scan")
+        if predicate is not None and predicate.attribute != key:
+            raise PlanError(
+                f"B-tree scan on {key.qualified_name} cannot apply predicate "
+                f"on {predicate.attribute.qualified_name}"
+            )
+        self.relation = relation
+        self.index_name = index.name
+        self.key = key
+        self.predicate = predicate
+        super().__init__(ctx, ())
+
+    def _compute(self, ctx, input_cards, input_orders):
+        info = ctx.catalog.relation(self.relation)
+        index = ctx.catalog.index_on(self.key)
+        if index is None:
+            raise PlanError(
+                f"index on {self.key.qualified_name} dropped since optimization"
+            )
+        if self.predicate is None:
+            selectivity = Interval.point(1.0)
+        else:
+            selectivity = estimate_selectivity(self.predicate, ctx.env, ctx.catalog)
+        cardinality = Interval.point(float(info.stats.cardinality)) * selectivity
+        cost = formulas.btree_scan_cost(
+            ctx.model, info.stats, selectivity, clustered=index.clustered
+        )
+        return cardinality, cost, self.key
+
+    @property
+    def label(self) -> str:
+        if self.predicate is None:
+            return f"B-tree-Scan {self.relation}.{self.key.name}"
+        return f"Filter-B-tree-Scan {self.relation}.{self.key.name} [{self.predicate}]"
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+class FilterNode(PlanNode):
+    """Apply one selection predicate to the input stream."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(
+        self, ctx: CostContext, input_plan: PlanNode, predicate: SelectionPredicate
+    ) -> None:
+        self.predicate = predicate
+        super().__init__(ctx, (input_plan,))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        (input_card,) = input_cards
+        selectivity = estimate_selectivity(self.predicate, ctx.env, ctx.catalog)
+        cardinality = input_card * selectivity
+        cost = formulas.filter_cost(ctx.model, input_card, selectivity)
+        return cardinality, cost, input_orders[0]
+
+    @property
+    def label(self) -> str:
+        return f"Filter [{self.predicate}]"
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+def _join_cardinality(
+    left_card: Interval, right_card: Interval, predicates: tuple[JoinPredicate, ...]
+) -> Interval:
+    """Cross product scaled by every connecting predicate's selectivity."""
+    cardinality = left_card * right_card
+    for predicate in predicates:
+        cardinality = cardinality * predicate.selectivity()
+    return cardinality
+
+
+class HashJoinNode(PlanNode):
+    """Hybrid hash join; the first input is the build side."""
+
+    __slots__ = ("predicates",)
+
+    def __init__(
+        self,
+        ctx: CostContext,
+        build: PlanNode,
+        probe: PlanNode,
+        predicates: tuple[JoinPredicate, ...],
+    ) -> None:
+        if not predicates:
+            raise PlanError("hash join requires at least one equijoin predicate")
+        self.predicates = predicates
+        super().__init__(ctx, (build, probe))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        build_card, probe_card = input_cards
+        cardinality = _join_cardinality(build_card, probe_card, self.predicates)
+        cost = formulas.hash_join_cost(
+            ctx.model,
+            build_card,
+            probe_card,
+            cardinality,
+            record_bytes=_intermediate_record_bytes(ctx),
+            memory_pages=ctx.memory_pages,
+        )
+        return cardinality, cost, None
+
+    @property
+    def label(self) -> str:
+        return f"Hash-Join [{', '.join(map(str, self.predicates))}]"
+
+
+class NestedLoopsJoinNode(PlanNode):
+    """Block nested-loops join (extension beyond Table 1).
+
+    Handles arbitrary (possibly empty) equijoin predicate sets, which makes
+    it the engine's only way to evaluate cross products — required for
+    queries whose join graph is disconnected.
+    """
+
+    __slots__ = ("predicates",)
+
+    def __init__(
+        self,
+        ctx: CostContext,
+        outer: PlanNode,
+        inner: PlanNode,
+        predicates: tuple[JoinPredicate, ...],
+    ) -> None:
+        self.predicates = predicates
+        super().__init__(ctx, (outer, inner))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        outer_card, inner_card = input_cards
+        cardinality = _join_cardinality(outer_card, inner_card, self.predicates)
+        cost = formulas.nested_loops_join_cost(
+            ctx.model,
+            outer_card,
+            inner_card,
+            cardinality,
+            record_bytes=_intermediate_record_bytes(ctx),
+            memory_pages=ctx.memory_pages,
+        )
+        return cardinality, cost, None
+
+    @property
+    def label(self) -> str:
+        if not self.predicates:
+            return "Nested-Loops-Join [cross product]"
+        return f"Nested-Loops-Join [{', '.join(map(str, self.predicates))}]"
+
+
+class MergeJoinNode(PlanNode):
+    """Merge join of two inputs sorted on the join attributes."""
+
+    __slots__ = ("predicates",)
+
+    def __init__(
+        self,
+        ctx: CostContext,
+        left: PlanNode,
+        right: PlanNode,
+        predicates: tuple[JoinPredicate, ...],
+    ) -> None:
+        if not predicates:
+            raise PlanError("merge join requires at least one equijoin predicate")
+        self.predicates = predicates
+        super().__init__(ctx, (left, right))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        left_card, right_card = input_cards
+        cardinality = _join_cardinality(left_card, right_card, self.predicates)
+        cost = formulas.merge_join_cost(ctx.model, left_card, right_card, cardinality)
+        # Output inherits the left input's order on the merge attribute.
+        return cardinality, cost, input_orders[0]
+
+    @property
+    def label(self) -> str:
+        return f"Merge-Join [{', '.join(map(str, self.predicates))}]"
+
+
+class IndexJoinNode(PlanNode):
+    """Index nested-loops join: probe a B-tree on the inner relation."""
+
+    __slots__ = ("predicates", "inner_relation", "inner_key", "index_name")
+
+    def __init__(
+        self,
+        ctx: CostContext,
+        outer: PlanNode,
+        inner_relation: str,
+        inner_key: Attribute,
+        predicates: tuple[JoinPredicate, ...],
+    ) -> None:
+        index = ctx.catalog.index_on(inner_key)
+        if index is None:
+            raise PlanError(
+                f"no index on {inner_key.qualified_name} for index join"
+            )
+        if not predicates:
+            raise PlanError("index join requires at least one equijoin predicate")
+        self.predicates = predicates
+        self.inner_relation = inner_relation
+        self.inner_key = inner_key
+        self.index_name = index.name
+        super().__init__(ctx, (outer,))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        (outer_card,) = input_cards
+        inner_info = ctx.catalog.relation(self.inner_relation)
+        index = ctx.catalog.index_on(self.inner_key)
+        if index is None:
+            raise PlanError(
+                f"index on {self.inner_key.qualified_name} dropped since "
+                "optimization"
+            )
+        inner_card = Interval.point(float(inner_info.stats.cardinality))
+        cardinality = _join_cardinality(outer_card, inner_card, self.predicates)
+        cost = formulas.index_join_cost(
+            ctx.model,
+            outer_card,
+            inner_info.stats,
+            cardinality,
+            clustered=index.clustered,
+        )
+        return cardinality, cost, input_orders[0]
+
+    @property
+    def label(self) -> str:
+        return (
+            f"Index-Join {self.inner_relation}.{self.inner_key.name} "
+            f"[{', '.join(map(str, self.predicates))}]"
+        )
+
+
+def _group_cardinality(
+    ctx: CostContext, input_card: Interval, spec
+) -> Interval:
+    """Estimated number of groups: bounded by input size and key domains."""
+    if not spec.group_by:
+        return Interval.point(1.0)
+    domains = 1.0
+    for attribute in spec.group_by:
+        domains = min(domains * attribute.domain_size, 1e15)
+    return input_card.min_with(Interval.point(domains))
+
+
+class HashAggregateNode(PlanNode):
+    """Hash aggregation: one table entry per group, unordered output."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, ctx: CostContext, input_plan: PlanNode, spec) -> None:
+        self.spec = spec
+        super().__init__(ctx, (input_plan,))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        (input_card,) = input_cards
+        groups = _group_cardinality(ctx, input_card, self.spec)
+        cost = formulas.hash_aggregate_cost(
+            ctx.model,
+            input_card,
+            groups,
+            record_bytes=_intermediate_record_bytes(ctx),
+            memory_pages=ctx.memory_pages,
+        )
+        return groups, cost, None
+
+    @property
+    def label(self) -> str:
+        return f"Hash-Aggregate [{self.spec}]"
+
+
+class SortedAggregateNode(PlanNode):
+    """Streaming aggregation over an input sorted on the first group key.
+
+    Preserves (and requires) the grouping order — the aggregate analogue of
+    merge join, and the reason interesting orders reach aggregation.
+    """
+
+    __slots__ = ("spec",)
+
+    def __init__(self, ctx: CostContext, input_plan: PlanNode, spec) -> None:
+        if not spec.group_by:
+            raise PlanError("sorted aggregation requires grouping attributes")
+        self.spec = spec
+        super().__init__(ctx, (input_plan,))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        (input_card,) = input_cards
+        groups = _group_cardinality(ctx, input_card, self.spec)
+        cost = formulas.sorted_aggregate_cost(ctx.model, input_card, groups)
+        return groups, cost, self.spec.group_by[0]
+
+    @property
+    def label(self) -> str:
+        return f"Sorted-Aggregate [{self.spec}]"
+
+
+class ProjectNode(PlanNode):
+    """Restrict output columns (Table 1's Project, SQL multiset semantics)."""
+
+    __slots__ = ("attributes",)
+
+    def __init__(
+        self, ctx: CostContext, input_plan: PlanNode, attributes: tuple[Attribute, ...]
+    ) -> None:
+        if not attributes:
+            raise PlanError("projection must keep at least one attribute")
+        self.attributes = attributes
+        super().__init__(ctx, (input_plan,))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        (input_card,) = input_cards
+        cost = formulas.filter_cost(
+            ctx.model, input_card, Interval.point(1.0)
+        )
+        # Order survives only when the ordering attribute is kept.
+        order = input_orders[0] if input_orders[0] in self.attributes else None
+        return input_card, cost, order
+
+    @property
+    def label(self) -> str:
+        names = ", ".join(a.qualified_name for a in self.attributes)
+        return f"Project [{names}]"
+
+
+# ----------------------------------------------------------------------
+# Enforcers
+# ----------------------------------------------------------------------
+class SortNode(PlanNode):
+    """Sort enforcer: delivers the sort-order physical property."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, ctx: CostContext, input_plan: PlanNode, key: Attribute) -> None:
+        self.key = key
+        super().__init__(ctx, (input_plan,))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        (input_card,) = input_cards
+        cost = formulas.sort_cost(
+            ctx.model,
+            input_card,
+            record_bytes=_intermediate_record_bytes(ctx),
+            memory_pages=ctx.memory_pages,
+        )
+        return input_card, cost, self.key
+
+    @property
+    def label(self) -> str:
+        return f"Sort {self.key.qualified_name}"
+
+
+class ChoosePlanNode(PlanNode):
+    """Choose-Plan enforcer: the plan-robustness property (Table 1).
+
+    Links two or more equivalent alternative plans whose compile-time costs
+    are incomparable.  Its compile-time cost is the pointwise minimum of the
+    alternatives' cost intervals plus the decision overhead (Section 5); at
+    start-up time the decision procedure picks the alternative whose
+    re-evaluated cost is minimal.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, ctx: CostContext, alternatives: tuple[PlanNode, ...]) -> None:
+        if len(alternatives) < 2:
+            raise PlanError("choose-plan requires at least two alternatives")
+        super().__init__(ctx, alternatives)
+        # Total cost is NOT the sum of the inputs: only one alternative
+        # runs.  Override the default accumulation from PlanNode.__init__.
+        combined = alternatives[0].cost
+        for alternative in alternatives[1:]:
+            combined = combined.min_with(alternative.cost)
+        overhead = formulas.choose_plan_cost(ctx.model, len(alternatives))
+        self.cost = combined + overhead
+
+    def _compute(self, ctx, input_cards, input_orders):
+        cardinality = Interval.hull(input_cards)
+        overhead = formulas.choose_plan_cost(ctx.model, len(input_cards))
+        first_order = input_orders[0]
+        common = first_order if all(o == first_order for o in input_orders) else None
+        return cardinality, overhead, common
+
+    @property
+    def alternatives(self) -> tuple[PlanNode, ...]:
+        """The equivalent alternative subplans."""
+        return self.inputs
+
+    @property
+    def label(self) -> str:
+        return f"Choose-Plan ({len(self.inputs)} alternatives)"
+
+
+# ----------------------------------------------------------------------
+# DAG traversal helpers
+# ----------------------------------------------------------------------
+def iter_plan_nodes(root: PlanNode) -> Iterator[PlanNode]:
+    """Yield every distinct node of the plan DAG exactly once (post-order).
+
+    Shared subplans are visited once; identity, not structure, defines
+    distinctness — matching the paper's access-module node counts.
+    """
+    seen: set[int] = set()
+
+    def walk(node: PlanNode) -> Iterator[PlanNode]:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        for child in node.inputs:
+            yield from walk(child)
+        yield node
+
+    yield from walk(root)
+
+
+def count_plan_nodes(root: PlanNode) -> int:
+    """Number of distinct operator nodes in the plan DAG (Figure 6)."""
+    return sum(1 for _ in iter_plan_nodes(root))
+
+
+def count_choose_plan_nodes(root: PlanNode) -> int:
+    """Number of choose-plan operators in the DAG."""
+    return sum(1 for node in iter_plan_nodes(root) if isinstance(node, ChoosePlanNode))
+
+
+def leaf_access_info(
+    node: PlanNode,
+) -> tuple[str, frozenset[SelectionPredicate]] | None:
+    """Identify a pure single-relation access subtree.
+
+    Returns ``(relation, predicates applied)`` when ``node`` is a stack of
+    Filter operators over one scan of a base relation — the shape of every
+    leaf-group plan — or None otherwise.  Two access plans with equal info
+    produce identical row sets, so a materialized temporary for one can
+    substitute for any of them (run-time adaptation, Section 7).
+    """
+    predicates: set[SelectionPredicate] = set()
+    current = node
+    while isinstance(current, FilterNode):
+        predicates.add(current.predicate)
+        current = current.inputs[0]
+    if isinstance(current, FileScanNode):
+        return current.relation, frozenset(predicates)
+    if isinstance(current, BtreeScanNode):
+        if current.predicate is not None:
+            predicates.add(current.predicate)
+        return current.relation, frozenset(predicates)
+    return None
+
+
+def _intermediate_record_bytes(ctx: CostContext) -> int:
+    """Record width assumed for intermediate results.
+
+    The paper's experiments use a uniform 512-byte record; intermediate
+    results inherit it.  A finer model would track projected widths.
+    """
+    return 512

@@ -1,0 +1,17 @@
+"""A small SQL front end for embedded queries with host variables.
+
+Supports the select-project-join fragment the paper's experiments use::
+
+    SELECT R.a, S.b FROM R, S
+    WHERE R.a < :v AND R.k = S.j
+
+Host variables (``:name``) become uncertain selectivity parameters in the
+produced :class:`~repro.logical.query.QueryGraph`, which is exactly the
+paper's embedded-SQL scenario: the predicate's selectivity is unknown until
+the application binds the variable at start-up time.
+"""
+
+from repro.query.parser import ParsedQuery, parse_query
+from repro.query.tokenizer import Token, TokenKind, tokenize
+
+__all__ = ["ParsedQuery", "parse_query", "Token", "TokenKind", "tokenize"]

@@ -1,0 +1,339 @@
+"""Recursive-descent parser: SQL text → normalized query graph.
+
+Grammar (conjunctive select-project-join-aggregate queries)::
+
+    query      :=  SELECT select_list FROM table_list [WHERE condition_list]
+                   [GROUP BY attribute (',' attribute)*] [ORDER BY attribute]
+    select_list:=  '*' | select_item (',' select_item)*
+    select_item:=  attribute | func '(' ('*' | attribute) ')'
+    func       :=  COUNT | SUM | MIN | MAX | AVG
+    table_list :=  ident (',' ident)*
+    conditions :=  condition (AND condition)*
+    condition  :=  attribute op operand        -- selection
+                |  attribute '=' attribute     -- equijoin
+    operand    :=  number | string | host_variable
+    attribute  :=  ident '.' ident
+
+Host variables introduce uncertain selectivity parameters named
+``sel:<variable>``; literal predicates keep their static estimates.
+Aggregate select lists produce an :class:`AggregateSpec` on the query
+graph; plain attributes in such lists must appear in GROUP BY.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Attribute
+from repro.errors import ParseError
+from repro.logical.predicates import (
+    CompareOp,
+    HostVariable,
+    JoinPredicate,
+    Literal,
+    SelectionPredicate,
+)
+from repro.logical.aggregates import (
+    AggregateExpr,
+    AggregateFunction,
+    AggregateSpec,
+)
+from repro.logical.query import QueryGraph
+from repro.params.parameter import ParameterSpace
+from repro.query.tokenizer import Token, TokenKind, tokenize
+
+_OPERATORS = {
+    "=": CompareOp.EQ,
+    "<>": CompareOp.NE,
+    "<": CompareOp.LT,
+    "<=": CompareOp.LE,
+    ">": CompareOp.GT,
+    ">=": CompareOp.GE,
+}
+
+
+_AGGREGATE_FUNCTIONS = {f.value.upper(): f for f in AggregateFunction}
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """Parser output: the query graph plus presentation details."""
+
+    graph: QueryGraph
+    select_list: tuple[Attribute, ...] | None  # None means SELECT *
+    order_by: Attribute | None
+    host_variables: tuple[str, ...]
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True when the query computes aggregates."""
+        return self.graph.aggregate is not None
+
+
+def parse_query(
+    text: str,
+    catalog: Catalog,
+    default_selectivity: float = 0.05,
+) -> ParsedQuery:
+    """Parse ``text`` against ``catalog``.
+
+    ``default_selectivity`` is the expected value assigned to each host
+    variable's selectivity parameter (the paper's static default is 0.05).
+    """
+    return _Parser(text, catalog, default_selectivity).parse()
+
+
+class _Parser:
+    def __init__(
+        self, text: str, catalog: Catalog, default_selectivity: float
+    ) -> None:
+        self.tokens = tokenize(text)
+        self.position = 0
+        self.catalog = catalog
+        self.default_selectivity = default_selectivity
+        self.relations: list[str] = []
+        self.selections: dict[str, list[SelectionPredicate]] = {}
+        self.joins: list[JoinPredicate] = []
+        self.space = ParameterSpace()
+        self.host_variables: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind is not TokenKind.END:
+            self.position += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if token.kind is not TokenKind.KEYWORD or token.text != word:
+            raise ParseError(f"expected {word}, found {token.text!r}", token.position)
+        return token
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._advance()
+        if token.kind is not TokenKind.SYMBOL or token.text != symbol:
+            raise ParseError(
+                f"expected {symbol!r}, found {token.text!r}", token.position
+            )
+        return token
+
+    def _expect_ident(self) -> Token:
+        token = self._advance()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, found {token.text!r}", token.position
+            )
+        return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.KEYWORD and token.text == word
+
+    def _at_symbol(self, symbol: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.SYMBOL and token.text == symbol
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> ParsedQuery:
+        self._expect_keyword("SELECT")
+        select_list, aggregate_items = self._parse_select_list()
+        self._expect_keyword("FROM")
+        self._parse_table_list()
+        if self._at_keyword("WHERE"):
+            self._advance()
+            self._parse_conditions()
+        group_by: list[Attribute] = []
+        if self._at_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            group_by.append(self._parse_attribute())
+            while self._at_symbol(","):
+                self._advance()
+                group_by.append(self._parse_attribute())
+        order_by = None
+        if self._at_keyword("ORDER"):
+            self._advance()
+            self._expect_keyword("BY")
+            order_by = self._parse_attribute()
+        end = self._advance()
+        if end.kind is not TokenKind.END:
+            raise ParseError(f"unexpected trailing {end.text!r}", end.position)
+
+        resolved_select = None
+        if select_list is not None:
+            resolved_select = tuple(
+                self._resolve(name, pos) for name, pos in select_list
+            )
+        aggregate = self._build_aggregate(
+            resolved_select, aggregate_items, group_by
+        )
+        graph = QueryGraph(
+            relations=tuple(self.relations),
+            selections={r: tuple(p) for r, p in self.selections.items()},
+            joins=tuple(self.joins),
+            parameters=self.space,
+            projection=None if aggregate is not None else resolved_select,
+            aggregate=aggregate,
+        )
+        return ParsedQuery(
+            graph=graph,
+            select_list=resolved_select if aggregate is None else None,
+            order_by=order_by,
+            host_variables=tuple(self.host_variables),
+        )
+
+    def _build_aggregate(
+        self, resolved_select, aggregate_items, group_by
+    ) -> AggregateSpec | None:
+        if not aggregate_items and not group_by:
+            return None
+        if not aggregate_items:
+            raise ParseError("GROUP BY requires at least one aggregate", 0)
+        plain = tuple(resolved_select or ())
+        for attribute in plain:
+            if attribute not in group_by:
+                raise ParseError(
+                    f"{attribute.qualified_name} appears in SELECT but not "
+                    "in GROUP BY",
+                    0,
+                )
+        aggregates = []
+        for func, operand in aggregate_items:
+            if operand is None:
+                aggregates.append(AggregateExpr(func, None))
+            else:
+                aggregates.append(
+                    AggregateExpr(func, self._resolve(operand[0], operand[1]))
+                )
+        return AggregateSpec(group_by=tuple(group_by), aggregates=tuple(aggregates))
+
+    def _parse_select_list(self):
+        """Returns (plain attribute names, aggregate items).
+
+        Aggregate items are ``(function, (attribute name, position) | None)``.
+        """
+        if self._at_symbol("*"):
+            self._advance()
+            return None, []
+        plain: list[tuple[str, int]] = []
+        aggregates: list[tuple[AggregateFunction, tuple[str, int] | None]] = []
+
+        def item() -> None:
+            token = self._peek()
+            if (
+                token.kind is TokenKind.IDENT
+                and token.text.upper() in _AGGREGATE_FUNCTIONS
+                and self.tokens[self.position + 1].kind is TokenKind.SYMBOL
+                and self.tokens[self.position + 1].text == "("
+            ):
+                self._advance()
+                self._expect_symbol("(")
+                function = _AGGREGATE_FUNCTIONS[token.text.upper()]
+                if self._at_symbol("*"):
+                    self._advance()
+                    if function is not AggregateFunction.COUNT:
+                        raise ParseError(
+                            f"{token.text}(*) is not supported", token.position
+                        )
+                    operand = None
+                else:
+                    operand = self._parse_attribute_name()
+                self._expect_symbol(")")
+                aggregates.append((function, operand))
+            else:
+                plain.append(self._parse_attribute_name())
+
+        item()
+        while self._at_symbol(","):
+            self._advance()
+            item()
+        return plain or None, aggregates
+
+    def _parse_table_list(self) -> None:
+        while True:
+            token = self._expect_ident()
+            name = token.text
+            if name in self.relations:
+                raise ParseError(f"relation {name} listed twice", token.position)
+            self.catalog.relation(name)  # existence check; raises CatalogError
+            self.relations.append(name)
+            if not self._at_symbol(","):
+                break
+            self._advance()
+
+    def _parse_conditions(self) -> None:
+        while True:
+            self._parse_condition()
+            if not self._at_keyword("AND"):
+                break
+            self._advance()
+
+    def _parse_condition(self) -> None:
+        left = self._parse_attribute()
+        op_token = self._advance()
+        if op_token.kind is not TokenKind.SYMBOL or op_token.text not in _OPERATORS:
+            raise ParseError(
+                f"expected comparison operator, found {op_token.text!r}",
+                op_token.position,
+            )
+        op = _OPERATORS[op_token.text]
+        token = self._peek()
+        if token.kind is TokenKind.IDENT:
+            right = self._parse_attribute()
+            if op is not CompareOp.EQ:
+                raise ParseError(
+                    "join predicates must be equijoins", op_token.position
+                )
+            self.joins.append(JoinPredicate(left, right))
+            return
+        if token.kind is TokenKind.HOST_VARIABLE:
+            self._advance()
+            parameter = f"sel:{token.text}"
+            if parameter not in self.space:
+                self.space.add_selectivity(
+                    parameter, expected=self.default_selectivity
+                )
+            self.host_variables.append(token.text)
+            operand: Literal | HostVariable = HostVariable(token.text, parameter)
+        elif token.kind in (TokenKind.NUMBER, TokenKind.STRING):
+            self._advance()
+            operand = Literal(token.value)
+        else:
+            raise ParseError(
+                f"expected literal or host variable, found {token.text!r}",
+                token.position,
+            )
+        predicate = SelectionPredicate(left, op, operand)
+        self.selections.setdefault(left.relation, []).append(predicate)
+
+    def _parse_attribute_name(self) -> tuple[str, int]:
+        relation = self._expect_ident()
+        self._expect_symbol(".")
+        attribute = self._expect_ident()
+        return f"{relation.text}.{attribute.text}", relation.position
+
+    def _parse_attribute(self) -> Attribute:
+        name, position = self._parse_attribute_name()
+        return self._resolve(name, position)
+
+    def _resolve(self, qualified_name: str, position: int) -> Attribute:
+        relation, _, _ = qualified_name.partition(".")
+        if relation not in {t for t in self.relations} and self.relations:
+            raise ParseError(
+                f"attribute {qualified_name} references relation {relation}, "
+                "which is not in the FROM list",
+                position,
+            )
+        try:
+            return self.catalog.attribute(qualified_name)
+        except Exception as exc:
+            raise ParseError(str(exc), position) from None

@@ -1,0 +1,111 @@
+"""Tokenizer for the SQL subset.
+
+Produces a flat token stream; all error positions are character offsets
+into the original text so :class:`~repro.errors.ParseError` messages point
+at the offending spot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset(
+    {"SELECT", "FROM", "WHERE", "AND", "AS", "ORDER", "GROUP", "BY"}
+)
+
+_SYMBOLS = ("<=", ">=", "<>", "=", "<", ">", ",", ".", "*", "(", ")")
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    HOST_VARIABLE = "host-variable"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source offset."""
+
+    kind: TokenKind
+    text: str
+    position: int
+
+    @property
+    def value(self) -> object:
+        """The Python value of a literal token."""
+        if self.kind is TokenKind.NUMBER:
+            return float(self.text) if "." in self.text else int(self.text)
+        if self.kind is TokenKind.STRING:
+            return self.text[1:-1]
+        return self.text
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens; the list always ends with an END token."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == ":":
+            start = i + 1
+            j = start
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == start:
+                raise ParseError("':' must be followed by a host variable name", i)
+            tokens.append(Token(TokenKind.HOST_VARIABLE, text[start:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = TokenKind.KEYWORD if word.upper() in KEYWORDS else TokenKind.IDENT
+            tokens.append(
+                Token(kind, word.upper() if kind is TokenKind.KEYWORD else word, i)
+            )
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            while j < length and text[j].isdigit():
+                j += 1
+            if j < length and text[j] == ".":
+                j += 1
+                while j < length and text[j].isdigit():
+                    j += 1
+            tokens.append(Token(TokenKind.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < length and text[j] != "'":
+                j += 1
+            if j >= length:
+                raise ParseError("unterminated string literal", i)
+            tokens.append(Token(TokenKind.STRING, text[i : j + 1], i))
+            i = j + 1
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token(TokenKind.SYMBOL, symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens

@@ -1,0 +1,47 @@
+"""Start-up-time machinery: decisions, access modules, scenario accounting.
+
+At start-up time the run-time bindings are known; the decision procedure
+(:mod:`repro.runtime.chooser`) re-evaluates the cost functions of a dynamic
+plan's alternatives bottom-up over the shared DAG and activates the
+cheapest.  Access modules (:mod:`repro.runtime.access_module`) model the
+stored form of plans — size, read time, catalog validation, and the
+Section 4 shrinking heuristic.  Scenario accounting
+(:mod:`repro.runtime.scenarios`) realizes Figure 3's three optimization
+scenarios and the break-even analysis of Section 6.
+"""
+
+from repro.runtime.adaptive import AdaptiveResult, execute_adaptive
+from repro.runtime.prepared import PreparedQuery
+from repro.runtime.chooser import ActivationDecision, resolve_plan
+from repro.runtime.access_module import (
+    AccessModule,
+    deserialize_plan,
+    serialize_plan,
+)
+from repro.runtime.scenarios import (
+    InvocationOutcome,
+    ScenarioRun,
+    break_even_vs_runtime,
+    break_even_vs_static,
+    run_dynamic_scenario,
+    run_runtime_scenario,
+    run_static_scenario,
+)
+
+__all__ = [
+    "PreparedQuery",
+    "AdaptiveResult",
+    "execute_adaptive",
+    "ActivationDecision",
+    "resolve_plan",
+    "AccessModule",
+    "serialize_plan",
+    "deserialize_plan",
+    "InvocationOutcome",
+    "ScenarioRun",
+    "break_even_vs_static",
+    "break_even_vs_runtime",
+    "run_static_scenario",
+    "run_runtime_scenario",
+    "run_dynamic_scenario",
+]

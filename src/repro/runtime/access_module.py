@@ -1,0 +1,539 @@
+"""Access modules: the stored, activatable form of an optimized plan.
+
+An access module is what a production system writes to disk after
+compile-time optimization and reads back at each invocation.  This module
+models the paper's access-module lifecycle:
+
+* **size and read time** — node count × 128 bytes at 2 MB/s plus a fixed
+  validation/seek overhead (Section 6's start-up I/O model),
+* **validation** — catalog-version and index-existence checks before
+  activation (System R-style, [CAK81]),
+* **activation** — read, validate, and resolve all choose-plan decisions,
+* **usage statistics and the shrinking heuristic** (Section 4) — after a
+  configurable number of invocations the module replaces itself with one
+  containing only the components that were actually chosen,
+* **serialization** — a JSON-compatible DAG encoding with explicit subplan
+  sharing, so modules survive a round trip to disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.catalog.catalog import Catalog
+from repro.cost.context import CostContext
+from repro.errors import PlanError
+from repro.logical.predicates import (
+    CompareOp,
+    HostVariable,
+    JoinPredicate,
+    Literal,
+    SelectionPredicate,
+)
+from repro.params.parameter import ParameterSpace
+from repro.physical.plan import (
+    BtreeScanNode,
+    ChoosePlanNode,
+    FileScanNode,
+    FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
+    IndexJoinNode,
+    MergeJoinNode,
+    NestedLoopsJoinNode,
+    PlanNode,
+    ProjectNode,
+    SortedAggregateNode,
+    SortNode,
+    count_plan_nodes,
+    iter_plan_nodes,
+)
+from repro.runtime.chooser import ActivationDecision, resolve_plan
+
+
+@dataclass(frozen=True)
+class Activation:
+    """One start-up of an access module: timings plus the decision outcome.
+
+    ``read_seconds`` is modeled I/O (module transfer + validation seek);
+    ``decision`` carries the measured decision CPU time and the predicted
+    execution cost of the chosen plan.
+    """
+
+    read_seconds: float
+    decision: ActivationDecision
+
+    @property
+    def startup_seconds(self) -> float:
+        """Total start-up effort: modeled I/O plus measured decision CPU."""
+        return self.read_seconds + self.decision.cpu_seconds
+
+
+@dataclass
+class AccessModule:
+    """A compiled plan with usage tracking and self-shrinking."""
+
+    plan: PlanNode
+    ctx: CostContext  # compile-time context the plan was built under
+    catalog_version: int
+    shrink_after: int | None = None  # invocations between shrink attempts
+    invocations: int = 0
+    compiled_cardinalities: dict[str, int] = field(default_factory=dict)
+    _usage: dict[int, set[int]] = field(default_factory=dict)
+
+    @classmethod
+    def compile(
+        cls,
+        plan: PlanNode,
+        ctx: CostContext,
+        shrink_after: int | None = None,
+    ) -> "AccessModule":
+        """Package an optimized plan into an access module."""
+        return cls(
+            plan=plan,
+            ctx=ctx,
+            catalog_version=ctx.catalog.version,
+            shrink_after=shrink_after,
+            compiled_cardinalities={
+                relation: ctx.catalog.relation(relation).stats.cardinality
+                for relation in _referenced_relations(plan)
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Size / read-time model
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Operator nodes in the stored DAG."""
+        return count_plan_nodes(self.plan)
+
+    @property
+    def size_bytes(self) -> int:
+        """Stored size at the model's bytes-per-node."""
+        return self.node_count * self.ctx.model.plan_node_bytes
+
+    @property
+    def read_seconds(self) -> float:
+        """Modeled time to read and validate the module (Section 6)."""
+        return self.ctx.model.activation_time(self.node_count)
+
+    # ------------------------------------------------------------------
+    # Validation and activation
+    # ------------------------------------------------------------------
+    def validate(self, catalog: Catalog) -> bool:
+        """True when the module is still usable against ``catalog``.
+
+        The cheap check is the catalog version; when it moved, the module is
+        still valid if every index it references survives (creating an
+        unrelated index must not invalidate plans).
+        """
+        if catalog.version == self.catalog_version:
+            return True
+        for node in iter_plan_nodes(self.plan):
+            index_name = getattr(node, "index_name", None)
+            if index_name is None:
+                continue
+            relation = getattr(node, "relation", None) or getattr(
+                node, "inner_relation"
+            )
+            try:
+                info = catalog.relation(relation)
+            except Exception:
+                return False
+            if not any(ix.name == index_name for ix in info.indexes):
+                return False
+        return True
+
+    def is_stale(self, catalog: Catalog, relative_threshold: float = 0.0) -> bool:
+        """True when a referenced relation's statistics drifted since compile.
+
+        Stale modules are still *valid* (they execute correctly) but their
+        compile-time cost comparisons were made against outdated numbers —
+        the AS/400-style suboptimality trigger the paper contrasts with
+        ([CAB93]).  ``relative_threshold`` tolerates small drift.
+        """
+        for relation, compiled in self.compiled_cardinalities.items():
+            try:
+                current = catalog.relation(relation).stats.cardinality
+            except Exception:
+                return True
+            baseline = max(compiled, 1)
+            if abs(current - compiled) / baseline > relative_threshold:
+                return True
+        return False
+
+    def activate(self, binding: Mapping[str, float]) -> Activation:
+        """Start the module: modeled read + choose-plan resolution.
+
+        Raises :class:`PlanError` when validation fails (a production system
+        would re-optimize, cf. [CAK81]).
+        """
+        if not self.validate(self.ctx.catalog):
+            raise PlanError(
+                "access module invalidated by catalog changes; re-optimize"
+            )
+        env = self.ctx.env.space.bind(binding)
+        decision = resolve_plan(self.plan, self.ctx.with_env(env))
+        self.invocations += 1
+        for choose_id, chosen in decision.choices.items():
+            node = self._node_by_id(choose_id)
+            index = node.alternatives.index(chosen)
+            self._usage.setdefault(choose_id, set()).add(index)
+        if self.shrink_after is not None and self.invocations % self.shrink_after == 0:
+            self.shrink()
+        return Activation(read_seconds=self.read_seconds, decision=decision)
+
+    def _node_by_id(self, node_id: int) -> ChoosePlanNode:
+        for node in iter_plan_nodes(self.plan):
+            if id(node) == node_id and isinstance(node, ChoosePlanNode):
+                return node
+        raise PlanError("stale choose-plan reference in usage statistics")
+
+    # ------------------------------------------------------------------
+    # Shrinking heuristic (Section 4)
+    # ------------------------------------------------------------------
+    def shrink(self) -> bool:
+        """Replace the plan with one containing only used alternatives.
+
+        Returns True when the plan changed.  Choose-plan operators whose
+        decisions always fell on the same alternative are removed entirely;
+        others keep only the alternatives chosen at least once.  This is a
+        heuristic: an alternative never used so far might have been optimal
+        for a future binding (the paper accepts this trade-off).
+        """
+        if not self._usage:
+            return False
+        rebuilt: dict[int, PlanNode] = {}
+
+        def walk(node: PlanNode) -> PlanNode:
+            cached = rebuilt.get(id(node))
+            if cached is not None:
+                return cached
+            if isinstance(node, ChoosePlanNode):
+                used = sorted(self._usage.get(id(node), set()))
+                if not used:
+                    # Never decided (unreached branch): keep everything.
+                    kept = [walk(a) for a in node.alternatives]
+                else:
+                    kept = [walk(node.alternatives[i]) for i in used]
+                if len(kept) == 1:
+                    result: PlanNode = kept[0]
+                else:
+                    result = ChoosePlanNode(self.ctx, tuple(kept))
+            else:
+                new_inputs = tuple(walk(child) for child in node.inputs)
+                if all(a is b for a, b in zip(new_inputs, node.inputs)):
+                    result = node
+                else:
+                    result = rebuild_node(self.ctx, node, new_inputs)
+            rebuilt[id(node)] = result
+            return result
+
+        new_plan = walk(self.plan)
+        changed = new_plan is not self.plan or count_plan_nodes(
+            new_plan
+        ) != self.node_count
+        self.plan = new_plan
+        self._usage.clear()
+        return changed
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize the module (plan DAG + version) to JSON."""
+        payload = {
+            "catalog_version": self.catalog_version,
+            "plan": serialize_plan(self.plan),
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(
+        cls, text: str, ctx: CostContext, parameters: ParameterSpace
+    ) -> "AccessModule":
+        """Reconstruct a module from :meth:`to_json` output."""
+        payload = json.loads(text)
+        plan = deserialize_plan(payload["plan"], ctx, parameters)
+        return cls(
+            plan=plan,
+            ctx=ctx,
+            catalog_version=payload["catalog_version"],
+        )
+
+
+def _referenced_relations(plan: PlanNode) -> set[str]:
+    """Base relations the plan reads (scans and index-join inners)."""
+    relations: set[str] = set()
+    for node in iter_plan_nodes(plan):
+        relation = getattr(node, "relation", None)
+        if relation is not None:
+            relations.add(relation)
+        inner = getattr(node, "inner_relation", None)
+        if inner is not None:
+            relations.add(inner)
+    return relations
+
+
+# ----------------------------------------------------------------------
+# Node reconstruction
+# ----------------------------------------------------------------------
+def rebuild_node(
+    ctx: CostContext, node: PlanNode, inputs: tuple[PlanNode, ...]
+) -> PlanNode:
+    """Construct a copy of ``node`` over new input plans."""
+    if isinstance(node, FileScanNode):
+        return FileScanNode(ctx, node.relation)
+    if isinstance(node, BtreeScanNode):
+        return BtreeScanNode(ctx, node.relation, node.key, node.predicate)
+    if isinstance(node, FilterNode):
+        return FilterNode(ctx, inputs[0], node.predicate)
+    if isinstance(node, HashJoinNode):
+        return HashJoinNode(ctx, inputs[0], inputs[1], node.predicates)
+    if isinstance(node, MergeJoinNode):
+        return MergeJoinNode(ctx, inputs[0], inputs[1], node.predicates)
+    if isinstance(node, NestedLoopsJoinNode):
+        return NestedLoopsJoinNode(ctx, inputs[0], inputs[1], node.predicates)
+    if isinstance(node, IndexJoinNode):
+        return IndexJoinNode(
+            ctx, inputs[0], node.inner_relation, node.inner_key, node.predicates
+        )
+    if isinstance(node, SortNode):
+        return SortNode(ctx, inputs[0], node.key)
+    if isinstance(node, ProjectNode):
+        return ProjectNode(ctx, inputs[0], node.attributes)
+    if isinstance(node, HashAggregateNode):
+        return HashAggregateNode(ctx, inputs[0], node.spec)
+    if isinstance(node, SortedAggregateNode):
+        return SortedAggregateNode(ctx, inputs[0], node.spec)
+    if isinstance(node, ChoosePlanNode):
+        return ChoosePlanNode(ctx, inputs)
+    raise PlanError(f"cannot rebuild unknown node type {type(node).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Plan (de)serialization
+# ----------------------------------------------------------------------
+def serialize_plan(plan: PlanNode) -> dict:
+    """Encode a plan DAG as a JSON-compatible node table.
+
+    Nodes appear children-first; sharing is preserved through node indices,
+    so the encoded size is proportional to the DAG, not the tree.
+    """
+    index: dict[int, int] = {}
+    nodes: list[dict] = []
+    for node in iter_plan_nodes(plan):
+        entry = _encode_node(node)
+        entry["inputs"] = [index[id(child)] for child in node.inputs]
+        index[id(node)] = len(nodes)
+        nodes.append(entry)
+    return {"root": index[id(plan)], "nodes": nodes}
+
+
+def deserialize_plan(
+    data: dict, ctx: CostContext, parameters: ParameterSpace
+) -> PlanNode:
+    """Rebuild a plan DAG from :func:`serialize_plan` output.
+
+    Costs and cardinalities are recomputed under ``ctx`` during
+    reconstruction, so a module deserialized under the compile-time
+    environment reproduces its original annotations.
+    """
+    built: list[PlanNode] = []
+    for entry in data["nodes"]:
+        inputs = tuple(built[i] for i in entry["inputs"])
+        built.append(_decode_node(entry, inputs, ctx, parameters))
+    return built[data["root"]]
+
+
+def _encode_node(node: PlanNode) -> dict:
+    if isinstance(node, FileScanNode):
+        return {"kind": "file-scan", "relation": node.relation}
+    if isinstance(node, BtreeScanNode):
+        return {
+            "kind": "btree-scan",
+            "relation": node.relation,
+            "key": node.key.qualified_name,
+            "predicate": _encode_selection(node.predicate),
+        }
+    if isinstance(node, FilterNode):
+        return {"kind": "filter", "predicate": _encode_selection(node.predicate)}
+    if isinstance(node, HashJoinNode):
+        return {"kind": "hash-join", "predicates": _encode_joins(node.predicates)}
+    if isinstance(node, MergeJoinNode):
+        return {"kind": "merge-join", "predicates": _encode_joins(node.predicates)}
+    if isinstance(node, NestedLoopsJoinNode):
+        return {
+            "kind": "nested-loops-join",
+            "predicates": _encode_joins(node.predicates),
+        }
+    if isinstance(node, IndexJoinNode):
+        return {
+            "kind": "index-join",
+            "inner_relation": node.inner_relation,
+            "inner_key": node.inner_key.qualified_name,
+            "predicates": _encode_joins(node.predicates),
+        }
+    if isinstance(node, SortNode):
+        return {"kind": "sort", "key": node.key.qualified_name}
+    if isinstance(node, ProjectNode):
+        return {
+            "kind": "project",
+            "attributes": [a.qualified_name for a in node.attributes],
+        }
+    if isinstance(node, (HashAggregateNode, SortedAggregateNode)):
+        return {
+            "kind": (
+                "hash-aggregate"
+                if isinstance(node, HashAggregateNode)
+                else "sorted-aggregate"
+            ),
+            "group_by": [a.qualified_name for a in node.spec.group_by],
+            "aggregates": [
+                {
+                    "function": e.function.value,
+                    "attribute": (
+                        e.attribute.qualified_name if e.attribute else None
+                    ),
+                }
+                for e in node.spec.aggregates
+            ],
+        }
+    if isinstance(node, ChoosePlanNode):
+        return {"kind": "choose-plan"}
+    raise PlanError(f"cannot serialize unknown node type {type(node).__name__}")
+
+
+def _decode_node(
+    entry: dict,
+    inputs: tuple[PlanNode, ...],
+    ctx: CostContext,
+    parameters: ParameterSpace,
+) -> PlanNode:
+    kind = entry["kind"]
+    if kind == "file-scan":
+        return FileScanNode(ctx, entry["relation"])
+    if kind == "btree-scan":
+        key = ctx.catalog.attribute(entry["key"])
+        predicate = _decode_selection(entry["predicate"], ctx, parameters)
+        return BtreeScanNode(ctx, entry["relation"], key, predicate)
+    if kind == "filter":
+        predicate = _decode_selection(entry["predicate"], ctx, parameters)
+        assert predicate is not None
+        return FilterNode(ctx, inputs[0], predicate)
+    if kind == "hash-join":
+        return HashJoinNode(
+            ctx, inputs[0], inputs[1], _decode_joins(entry["predicates"], ctx)
+        )
+    if kind == "merge-join":
+        return MergeJoinNode(
+            ctx, inputs[0], inputs[1], _decode_joins(entry["predicates"], ctx)
+        )
+    if kind == "nested-loops-join":
+        return NestedLoopsJoinNode(
+            ctx, inputs[0], inputs[1], _decode_joins(entry["predicates"], ctx)
+        )
+    if kind == "index-join":
+        return IndexJoinNode(
+            ctx,
+            inputs[0],
+            entry["inner_relation"],
+            ctx.catalog.attribute(entry["inner_key"]),
+            _decode_joins(entry["predicates"], ctx),
+        )
+    if kind == "sort":
+        return SortNode(ctx, inputs[0], ctx.catalog.attribute(entry["key"]))
+    if kind == "project":
+        return ProjectNode(
+            ctx,
+            inputs[0],
+            tuple(ctx.catalog.attribute(name) for name in entry["attributes"]),
+        )
+    if kind in ("hash-aggregate", "sorted-aggregate"):
+        from repro.logical.aggregates import (
+            AggregateExpr,
+            AggregateFunction,
+            AggregateSpec,
+        )
+
+        spec = AggregateSpec(
+            group_by=tuple(
+                ctx.catalog.attribute(name) for name in entry["group_by"]
+            ),
+            aggregates=tuple(
+                AggregateExpr(
+                    AggregateFunction(item["function"]),
+                    (
+                        ctx.catalog.attribute(item["attribute"])
+                        if item["attribute"]
+                        else None
+                    ),
+                )
+                for item in entry["aggregates"]
+            ),
+        )
+        node_type = (
+            HashAggregateNode if kind == "hash-aggregate" else SortedAggregateNode
+        )
+        return node_type(ctx, inputs[0], spec)
+    if kind == "choose-plan":
+        return ChoosePlanNode(ctx, inputs)
+    raise PlanError(f"cannot deserialize unknown node kind {kind!r}")
+
+
+def _encode_selection(predicate: SelectionPredicate | None) -> dict | None:
+    if predicate is None:
+        return None
+    if isinstance(predicate.operand, HostVariable):
+        operand: dict = {
+            "host": predicate.operand.name,
+            "parameter": predicate.operand.selectivity_parameter,
+        }
+    else:
+        operand = {"literal": predicate.operand.value}
+    return {
+        "attribute": predicate.attribute.qualified_name,
+        "op": predicate.op.value,
+        "operand": operand,
+    }
+
+
+def _decode_selection(
+    data: dict | None, ctx: CostContext, parameters: ParameterSpace
+) -> SelectionPredicate | None:
+    del parameters  # host variables carry their parameter name directly
+    if data is None:
+        return None
+    operand_data = data["operand"]
+    if "host" in operand_data:
+        operand: Literal | HostVariable = HostVariable(
+            name=operand_data["host"],
+            selectivity_parameter=operand_data["parameter"],
+        )
+    else:
+        operand = Literal(operand_data["literal"])
+    return SelectionPredicate(
+        attribute=ctx.catalog.attribute(data["attribute"]),
+        op=CompareOp(data["op"]),
+        operand=operand,
+    )
+
+
+def _encode_joins(predicates: tuple[JoinPredicate, ...]) -> list[dict]:
+    return [
+        {"left": p.left.qualified_name, "right": p.right.qualified_name}
+        for p in predicates
+    ]
+
+
+def _decode_joins(data: list[dict], ctx: CostContext) -> tuple[JoinPredicate, ...]:
+    return tuple(
+        JoinPredicate(
+            left=ctx.catalog.attribute(entry["left"]),
+            right=ctx.catalog.attribute(entry["right"]),
+        )
+        for entry in data
+    )

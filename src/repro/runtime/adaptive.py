@@ -1,0 +1,191 @@
+"""Run-time adaptation beyond start-up: the paper's Section 7 sketch.
+
+The paper closes with its planned generalization: "our initial approach has
+been to handle inaccurate expected values by evaluating subplans as part of
+choose-plan decision procedures.  When a subplan has been evaluated into a
+temporary result, its logical and physical properties (e.g., result
+cardinality ...) are known and therefore may contribute to decisions with
+increased confidence."
+
+This module implements that mechanism for selectivity parameters that are
+*still unknown at start-up time* (e.g. the predicate compares against a
+value computed by the application, with no usable estimate):
+
+1. For every unobserved selectivity parameter, the access plan of its base
+   relation is chosen by expected value and **materialized** into a
+   temporary result.
+2. The observed result cardinality binds the parameter
+   (selectivity = |result| / |relation|, corrected for the relation's
+   other predicates).
+3. With the environment now fully bound, the ordinary choose-plan decision
+   procedure resolves the rest of the dynamic plan.
+4. The final plan executes with the temporaries substituted for the
+   corresponding access subtrees, so the observed work is never repeated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cost.context import CostContext
+from repro.errors import ExecutionError
+from repro.executor.database import Database
+from repro.executor.executor import ExecutionResult, execute_plan
+from repro.executor.iterators import MaterializedIterator
+from repro.logical.estimation import estimate_selectivity
+from repro.logical.predicates import SelectionPredicate
+from repro.logical.query import QueryGraph
+from repro.optimizer.engine import SearchEngine
+from repro.optimizer.memo import GroupResult
+from repro.params.parameter import ParameterKind
+from repro.physical.plan import PlanNode, leaf_access_info
+from repro.runtime.chooser import resolve_plan
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Outcome of one adaptive execution."""
+
+    result: ExecutionResult
+    observed_selectivities: dict[str, float]
+    materialized_rows: dict[str, int]  # relation -> temporary result size
+    decisions: Mapping[int, PlanNode]
+
+
+def execute_adaptive(
+    plan: PlanNode,
+    query: QueryGraph,
+    db: Database,
+    ctx: CostContext,
+    value_bindings: Mapping[str, object],
+    known_parameters: Mapping[str, float] | None = None,
+    memory_pages: int | None = None,
+) -> AdaptiveResult:
+    """Execute a dynamic plan when selectivities are unknown at start-up.
+
+    ``value_bindings`` supplies host-variable *values* (needed to evaluate
+    predicates); ``known_parameters`` supplies whatever parameter values
+    are already known (e.g. memory, or selectivities the application can
+    estimate).  Every selectivity parameter missing from
+    ``known_parameters`` is observed by materializing its relation's access
+    plan; non-selectivity parameters cannot be observed this way and must
+    be supplied.
+    """
+    known = dict(known_parameters or {})
+    space = query.parameters
+    observed: dict[str, float] = {}
+    materialized: dict[tuple, MaterializedIterator] = {}
+    materialized_rows: dict[str, int] = {}
+
+    for parameter in space:
+        if parameter.name in known:
+            continue
+        if parameter.kind is not ParameterKind.SELECTIVITY:
+            raise ExecutionError(
+                f"cannot observe non-selectivity parameter {parameter.name}; "
+                "supply it in known_parameters"
+            )
+        relation, predicate = _relation_of_parameter(query, parameter.name)
+        access_plan = _expected_value_access_plan(query, ctx, relation)
+        out = execute_plan(
+            access_plan, db, bindings=value_bindings, memory_pages=memory_pages
+        )
+        base = db.catalog.relation(relation).stats.cardinality
+        selectivity = _observed_selectivity(
+            len(out.rows), base, predicate, query, relation, ctx, known
+        )
+        observed[parameter.name] = selectivity
+        known[parameter.name] = selectivity
+        key = (relation, frozenset(query.selections_on(relation)))
+        materialized[key] = MaterializedIterator(out.schema, tuple(out.rows))
+        materialized_rows[relation] = len(out.rows)
+
+    env = space.bind(known)
+    decision = resolve_plan(plan, ctx.with_env(env))
+    final = execute_plan(
+        plan,
+        db,
+        bindings=value_bindings,
+        choices=decision.choices,
+        memory_pages=memory_pages,
+        materialized=materialized,
+    )
+    return AdaptiveResult(
+        result=final,
+        observed_selectivities=observed,
+        materialized_rows=materialized_rows,
+        decisions=decision.choices,
+    )
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _relation_of_parameter(
+    query: QueryGraph, parameter_name: str
+) -> tuple[str, SelectionPredicate]:
+    """The relation and predicate an unbound selectivity parameter governs."""
+    for relation in query.relations:
+        for predicate in query.selections_on(relation):
+            if (
+                predicate.is_unbound
+                and predicate.operand.selectivity_parameter == parameter_name
+            ):
+                return relation, predicate
+    raise ExecutionError(
+        f"selectivity parameter {parameter_name} is not attached to any "
+        "predicate of this query"
+    )
+
+
+def _expected_value_access_plan(
+    query: QueryGraph, ctx: CostContext, relation: str
+) -> PlanNode:
+    """The relation's traditionally optimized access plan.
+
+    Some plan must run to produce the observation; following the paper's
+    sketch, the fallback is the expected-value (static) choice.
+    """
+    expected_env = ctx.env.space.static_environment()
+    engine = SearchEngine(query=query, ctx=ctx.with_env(expected_env))
+    group = engine.optimize_group(frozenset({relation}), None, None)
+    assert isinstance(group, GroupResult)
+    plan = group.plan
+    assert leaf_access_info(plan) is not None
+    return plan
+
+
+def _observed_selectivity(
+    result_rows: int,
+    base_cardinality: int,
+    predicate: SelectionPredicate,
+    query: QueryGraph,
+    relation: str,
+    ctx: CostContext,
+    known: Mapping[str, float],
+) -> float:
+    """Back out one predicate's selectivity from an observed result size.
+
+    The materialized access plan applies *all* of the relation's
+    predicates; dividing the combined observed selectivity by the other
+    predicates' (estimated or already-known) selectivities isolates the
+    unknown one.  With several unobserved unbound predicates on one
+    relation the split is not identifiable; the combined value is
+    conservatively attributed to the current parameter.
+    """
+    combined = result_rows / base_cardinality if base_cardinality else 0.0
+    others = 1.0
+    env = ctx.env.space.static_environment()
+    for other in query.selections_on(relation):
+        if other is predicate:
+            continue
+        if other.is_unbound:
+            name = other.operand.selectivity_parameter
+            if name in known:
+                others *= known[name]
+        else:
+            others *= estimate_selectivity(other, env, ctx.catalog).midpoint
+    if others <= 0:
+        return min(max(combined, 0.0), 1.0)
+    return min(max(combined / others, 0.0), 1.0)

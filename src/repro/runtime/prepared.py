@@ -1,0 +1,171 @@
+"""Prepared queries: the embedded-SQL lifecycle as one object.
+
+A :class:`PreparedQuery` bundles what a production system keeps per
+embedded statement: the compiled (dynamic) plan in its access module, the
+parameter space, and the re-optimization fallback for invalidated modules
+([CAK81]; the paper's Section 1 and 4 discuss exactly this lineage).
+
+Typical use::
+
+    prepared = PreparedQuery.prepare(
+        "SELECT * FROM R WHERE R.a < :v", catalog)
+    result = prepared.execute(db, {"v": 120})     # each invocation
+
+``execute`` binds the host variables, derives the selectivity parameters
+from the database's statistics (uniform-data bridge or histograms), lets
+the choose-plan operators decide, and runs the chosen plan.  If DDL
+invalidated the module since compilation, the query is transparently
+re-optimized first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel
+from repro.errors import BindingError
+from repro.executor.database import Database
+from repro.executor.executor import ExecutionResult, execute_plan
+from repro.logical.query import QueryGraph
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.params.parameter import ParameterKind
+from repro.runtime.access_module import AccessModule, Activation
+
+
+@dataclass
+class PreparedQuery:
+    """A compiled embedded query, ready for repeated invocation."""
+
+    graph: QueryGraph
+    catalog: Catalog
+    model: CostModel
+    mode: OptimizationMode
+    module: AccessModule
+    shrink_after: int | None = None
+    # Relative cardinality drift of a referenced relation that triggers
+    # recompilation (0.0 = any change; the AS/400-style policy [CAB93]).
+    stale_threshold: float = 0.0
+    reoptimizations: int = 0
+    _host_to_parameter: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def prepare(
+        cls,
+        query: "str | QueryGraph",
+        catalog: Catalog,
+        model: CostModel | None = None,
+        mode: OptimizationMode = OptimizationMode.DYNAMIC,
+        shrink_after: int | None = None,
+    ) -> "PreparedQuery":
+        """Compile SQL text or a query graph into a prepared query."""
+        model = model if model is not None else CostModel()
+        if isinstance(query, str):
+            from repro.query.parser import parse_query
+
+            graph = parse_query(query, catalog).graph
+        else:
+            graph = query
+        result = optimize_query(graph, catalog, model, mode=mode)
+        module = AccessModule.compile(result.plan, result.ctx, shrink_after)
+        prepared = cls(
+            graph=graph,
+            catalog=catalog,
+            model=model,
+            mode=mode,
+            module=module,
+            shrink_after=shrink_after,
+        )
+        prepared._index_host_variables()
+        return prepared
+
+    def _index_host_variables(self) -> None:
+        self._host_to_parameter.clear()
+        for relation in self.graph.relations:
+            for predicate in self.graph.selections_on(relation):
+                if predicate.is_unbound:
+                    operand = predicate.operand
+                    self._host_to_parameter[operand.name] = (
+                        operand.selectivity_parameter
+                    )
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+    def derive_parameters(
+        self,
+        db: Database,
+        value_bindings: Mapping[str, object],
+        overrides: Mapping[str, float] | None = None,
+    ) -> dict[str, float]:
+        """Parameter values for one invocation.
+
+        Selectivity parameters are derived from the bound host-variable
+        values against the database's statistics (``implied_selectivity``);
+        memory defaults to the model's expected pages.  ``overrides`` wins
+        for any parameter it names.
+        """
+        values: dict[str, float] = {}
+        overrides = dict(overrides or {})
+        for parameter in self.graph.parameters:
+            if parameter.name in overrides:
+                values[parameter.name] = overrides[parameter.name]
+                continue
+            if parameter.kind is ParameterKind.MEMORY_PAGES:
+                values[parameter.name] = float(self.model.default_memory_pages)
+                continue
+            predicate = self._predicate_of(parameter.name)
+            if predicate is None:
+                raise BindingError(
+                    f"cannot derive a value for parameter {parameter.name}; "
+                    "pass it via overrides"
+                )
+            values[parameter.name] = db.implied_selectivity(
+                predicate, value_bindings
+            )
+        return values
+
+    def _predicate_of(self, parameter_name: str):
+        for relation in self.graph.relations:
+            for predicate in self.graph.selections_on(relation):
+                if (
+                    predicate.is_unbound
+                    and predicate.operand.selectivity_parameter == parameter_name
+                ):
+                    return predicate
+        return None
+
+    def activate(self, parameter_values: Mapping[str, float]) -> Activation:
+        """Start the module, re-optimizing transparently when it is
+        invalid (infeasible after DDL) or stale (statistics drifted)."""
+        if not self.module.validate(self.catalog) or self.module.is_stale(
+            self.catalog, self.stale_threshold
+        ):
+            result = optimize_query(
+                self.graph, self.catalog, self.model, mode=self.mode
+            )
+            self.module = AccessModule.compile(
+                result.plan, result.ctx, self.shrink_after
+            )
+            self.reoptimizations += 1
+        return self.module.activate(parameter_values)
+
+    def execute(
+        self,
+        db: Database,
+        value_bindings: Mapping[str, object],
+        parameter_values: Mapping[str, float] | None = None,
+        memory_pages: int | None = None,
+    ) -> ExecutionResult:
+        """One full invocation: derive, activate, decide, execute."""
+        if parameter_values is None:
+            parameter_values = self.derive_parameters(db, value_bindings)
+        activation = self.activate(parameter_values)
+        return execute_plan(
+            self.module.plan,
+            db,
+            bindings=value_bindings,
+            choices=activation.decision.choices,
+            memory_pages=memory_pages,
+        )

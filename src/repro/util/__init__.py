@@ -1,0 +1,7 @@
+"""Shared utilities: interval arithmetic, deterministic RNG, formatting."""
+
+from repro.util.interval import Interval
+from repro.util.fmt import format_table
+from repro.util.rng import make_rng
+
+__all__ = ["Interval", "format_table", "make_rng"]

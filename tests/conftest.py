@@ -1,0 +1,113 @@
+"""Shared fixtures: catalogs, queries, and parameter spaces used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.cost.context import CostContext
+from repro.cost.model import CostModel
+from repro.logical.predicates import (
+    CompareOp,
+    HostVariable,
+    JoinPredicate,
+    SelectionPredicate,
+)
+from repro.logical.query import QueryGraph
+from repro.params.parameter import ParameterSpace
+
+
+@pytest.fixture
+def model() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    """Two indexed relations, enough for selection + join plans."""
+    cat = Catalog()
+    cat.add_relation("R", [("a", 500), ("k", 300)], cardinality=1000)
+    cat.add_relation("S", [("j", 300), ("b", 400)], cardinality=600)
+    for rel, attr in [("R", "a"), ("R", "k"), ("S", "j"), ("S", "b")]:
+        cat.create_index(f"{rel}_{attr}", rel, attr)
+    return cat
+
+
+@pytest.fixture
+def selection_predicate(catalog: Catalog) -> SelectionPredicate:
+    """The paper's motivating unbound predicate: R.a < :v."""
+    return SelectionPredicate(
+        attribute=catalog.attribute("R.a"),
+        op=CompareOp.LT,
+        operand=HostVariable("v", "sel_v"),
+    )
+
+
+@pytest.fixture
+def single_relation_query(
+    catalog: Catalog, selection_predicate: SelectionPredicate
+) -> QueryGraph:
+    """Query 1 of the paper: one relation, one unbound selection."""
+    space = ParameterSpace()
+    space.add_selectivity("sel_v")
+    return QueryGraph(
+        relations=("R",),
+        selections={"R": (selection_predicate,)},
+        parameters=space,
+    )
+
+
+@pytest.fixture
+def join_query(catalog: Catalog, selection_predicate: SelectionPredicate) -> QueryGraph:
+    """Query 2 shape: R (unbound selection) joined with S."""
+    space = ParameterSpace()
+    space.add_selectivity("sel_v")
+    join = JoinPredicate(catalog.attribute("R.k"), catalog.attribute("S.j"))
+    return QueryGraph(
+        relations=("R", "S"),
+        selections={"R": (selection_predicate,)},
+        joins=(join,),
+        parameters=space,
+    )
+
+
+@pytest.fixture
+def join_query_with_memory(catalog: Catalog) -> QueryGraph:
+    """Join query with uncertain memory (Figure 2 conditions)."""
+    space = ParameterSpace()
+    space.add_selectivity("sel_v")
+    space.add_memory()
+    predicate = SelectionPredicate(
+        attribute=catalog.attribute("R.a"),
+        op=CompareOp.LT,
+        operand=HostVariable("v", "sel_v"),
+    )
+    join = JoinPredicate(catalog.attribute("R.k"), catalog.attribute("S.j"))
+    return QueryGraph(
+        relations=("R", "S"),
+        selections={"R": (predicate,)},
+        joins=(join,),
+        parameters=space,
+    )
+
+
+@pytest.fixture
+def static_ctx(catalog: Catalog, model: CostModel, single_relation_query) -> CostContext:
+    """Compile-time context with expected-value (point) parameters."""
+    return CostContext(
+        catalog=catalog,
+        model=model,
+        env=single_relation_query.parameters.static_environment(),
+    )
+
+
+@pytest.fixture
+def dynamic_ctx(
+    catalog: Catalog, model: CostModel, single_relation_query
+) -> CostContext:
+    """Compile-time context with full-domain (interval) parameters."""
+    return CostContext(
+        catalog=catalog,
+        model=model,
+        env=single_relation_query.parameters.dynamic_environment(),
+    )

@@ -1,0 +1,155 @@
+"""Access modules: size model, validation, activation, shrinking, round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.physical.plan import count_choose_plan_nodes, count_plan_nodes
+from repro.runtime.access_module import (
+    AccessModule,
+    deserialize_plan,
+    serialize_plan,
+)
+from repro.runtime.chooser import resolve_plan
+
+
+@pytest.fixture
+def dynamic_result(single_relation_query, catalog):
+    return optimize_query(
+        single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+    )
+
+
+@pytest.fixture
+def module(dynamic_result):
+    return AccessModule.compile(dynamic_result.plan, dynamic_result.ctx)
+
+
+class TestSizeModel:
+    def test_node_count_and_bytes(self, module, dynamic_result):
+        assert module.node_count == dynamic_result.plan_node_count
+        assert module.size_bytes == module.node_count * 128
+
+    def test_read_time_matches_paper_model(self, module):
+        # activation base + nodes * 128 bytes / 2 MB/s
+        expected = 0.1 + module.node_count * 128 / 2_000_000
+        assert module.read_seconds == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_valid_when_catalog_unchanged(self, module, catalog):
+        assert module.validate(catalog)
+
+    def test_unrelated_index_does_not_invalidate(self, module, catalog):
+        catalog.create_index("S_b2_placeholder", "S", "b") if False else None
+        catalog.drop_index("S_b")  # S.b index is not used by the plan
+        assert module.validate(catalog)
+
+    def test_dropping_used_index_invalidates(self, module, catalog):
+        catalog.drop_index("R_a")
+        assert not module.validate(catalog)
+
+    def test_activation_fails_when_invalid(self, module, catalog):
+        catalog.drop_index("R_a")
+        with pytest.raises(PlanError):
+            module.activate({"sel_v": 0.5})
+
+
+class TestActivation:
+    def test_activation_returns_decision_and_io(self, module):
+        activation = module.activate({"sel_v": 0.01})
+        assert activation.read_seconds == module.read_seconds
+        assert activation.startup_seconds > activation.read_seconds
+        assert activation.decision.decision_count >= 1
+        assert module.invocations == 1
+
+    def test_usage_statistics_accumulate(self, module):
+        module.activate({"sel_v": 0.001})
+        module.activate({"sel_v": 0.9})
+        # Both alternatives of the root choose-plan have now been used.
+        (used,) = module._usage.values()
+        assert len(used) == 2
+
+
+class TestShrinking:
+    def test_shrink_removes_unused_alternative(self, module):
+        for _ in range(3):
+            module.activate({"sel_v": 0.001})  # always the index scan
+        before = module.node_count
+        assert module.shrink()
+        assert module.node_count < before
+        assert count_choose_plan_nodes(module.plan) == 0
+
+    def test_shrink_keeps_used_alternatives(self, module):
+        module.activate({"sel_v": 0.001})
+        module.activate({"sel_v": 0.9})
+        changed = module.shrink()
+        # Both branches used: the choose-plan must survive.
+        assert count_choose_plan_nodes(module.plan) == 1
+        assert not changed or module.node_count > 0
+
+    def test_shrink_without_usage_is_noop(self, module):
+        before = module.node_count
+        assert not module.shrink()
+        assert module.node_count == before
+
+    def test_auto_shrink_after_threshold(self, dynamic_result):
+        module = AccessModule.compile(
+            dynamic_result.plan, dynamic_result.ctx, shrink_after=2
+        )
+        module.activate({"sel_v": 0.001})
+        module.activate({"sel_v": 0.002})
+        # Second activation triggered the shrink: only the index path left.
+        assert count_choose_plan_nodes(module.plan) == 0
+
+    def test_shrunk_module_still_activates(self, module):
+        for _ in range(2):
+            module.activate({"sel_v": 0.001})
+        module.shrink()
+        activation = module.activate({"sel_v": 0.9})
+        assert activation.decision.execution_cost > 0
+
+
+class TestSerialization:
+    def test_round_trip_preserves_structure(self, dynamic_result):
+        data = serialize_plan(dynamic_result.plan)
+        rebuilt = deserialize_plan(
+            data, dynamic_result.ctx, dynamic_result.env.space
+        )
+        assert count_plan_nodes(rebuilt) == count_plan_nodes(dynamic_result.plan)
+        assert rebuilt.cost == dynamic_result.plan.cost
+        assert rebuilt.cardinality == dynamic_result.plan.cardinality
+
+    def test_round_trip_preserves_decisions(
+        self, dynamic_result, single_relation_query
+    ):
+        data = serialize_plan(dynamic_result.plan)
+        rebuilt = deserialize_plan(
+            data, dynamic_result.ctx, dynamic_result.env.space
+        )
+        env = single_relation_query.parameters.bind({"sel_v": 0.7})
+        original = resolve_plan(dynamic_result.plan, dynamic_result.ctx.with_env(env))
+        copy = resolve_plan(rebuilt, dynamic_result.ctx.with_env(env))
+        assert original.execution_cost == pytest.approx(copy.execution_cost)
+
+    def test_module_json_round_trip(self, module, dynamic_result):
+        text = module.to_json()
+        rebuilt = AccessModule.from_json(
+            text, dynamic_result.ctx, dynamic_result.env.space
+        )
+        assert rebuilt.node_count == module.node_count
+        assert rebuilt.catalog_version == module.catalog_version
+
+    def test_join_plan_round_trip(self, join_query, catalog):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        data = serialize_plan(result.plan)
+        rebuilt = deserialize_plan(data, result.ctx, result.env.space)
+        assert count_plan_nodes(rebuilt) == result.plan_node_count
+        assert rebuilt.cost == result.plan.cost
+
+    def test_serialization_preserves_sharing(self, join_query, catalog):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        data = serialize_plan(result.plan)
+        assert len(data["nodes"]) == result.plan_node_count

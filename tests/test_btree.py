@@ -1,0 +1,166 @@
+"""B-tree index: bulk build, inserts with splits, range scans."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.model import CostModel
+from repro.errors import ExecutionError
+from repro.executor.btree import BTree
+from repro.executor.storage import SimulatedDisk
+
+
+def make_tree(capacity: int = 8) -> BTree:
+    disk = SimulatedDisk(CostModel())
+    return BTree(disk, "ix", capacity=capacity)
+
+
+def entries_for(keys: list[int]) -> list[tuple[int, tuple[int, int]]]:
+    return [(key, (0, i)) for i, key in enumerate(keys)]
+
+
+class TestBulkBuild:
+    def test_empty_tree(self):
+        tree = make_tree()
+        tree.bulk_build([])
+        assert list(tree.range_scan()) == []
+
+    def test_small_tree_single_leaf(self):
+        tree = make_tree()
+        tree.bulk_build(entries_for([1, 2, 3]))
+        assert tree.height == 1
+        assert [k for k, _ in tree.range_scan()] == [1, 2, 3]
+
+    def test_multi_level_tree(self):
+        tree = make_tree(capacity=4)
+        keys = sorted(range(100))
+        tree.bulk_build(entries_for(keys))
+        assert tree.height > 1
+        assert [k for k, _ in tree.range_scan()] == keys
+
+    def test_unsorted_input_rejected(self):
+        tree = make_tree()
+        with pytest.raises(ExecutionError):
+            tree.bulk_build(entries_for([3, 1, 2]))
+
+    def test_double_build_rejected(self):
+        tree = make_tree()
+        tree.bulk_build(entries_for([1]))
+        with pytest.raises(ExecutionError):
+            tree.bulk_build(entries_for([2]))
+
+    def test_duplicate_keys_supported(self):
+        tree = make_tree(capacity=4)
+        keys = sorted([5] * 20 + [3] * 5)
+        tree.bulk_build(entries_for(keys))
+        assert len(tree.lookup(5)) == 20
+        assert len(tree.lookup(3)) == 5
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def tree(self) -> BTree:
+        t = make_tree(capacity=4)
+        t.bulk_build(entries_for(list(range(0, 100, 2))))  # evens 0..98
+        return t
+
+    def test_closed_range(self, tree):
+        keys = [k for k, _ in tree.range_scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self, tree):
+        keys = [
+            k
+            for k, _ in tree.range_scan(10, 20, include_low=False, include_high=False)
+        ]
+        assert keys == [12, 14, 16, 18]
+
+    def test_open_ended(self, tree):
+        assert [k for k, _ in tree.range_scan(None, 4)] == [0, 2, 4]
+        assert [k for k, _ in tree.range_scan(94, None)] == [94, 96, 98]
+
+    def test_missing_bounds_fall_between_keys(self, tree):
+        assert [k for k, _ in tree.range_scan(11, 15)] == [12, 14]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range_scan(200, 300)) == []
+
+    def test_lookup(self, tree):
+        assert tree.lookup(42) == [(0, 21)]
+        assert tree.lookup(43) == []
+
+    def test_scan_on_unbuilt_tree_rejected(self):
+        with pytest.raises(ExecutionError):
+            list(make_tree().range_scan())
+
+    def test_leaf_chain_reads_sequentially(self):
+        """Leaves are contiguous, so full scans read mostly sequentially."""
+        disk = SimulatedDisk(CostModel())
+        tree = BTree(disk, "ix", capacity=4)
+        tree.bulk_build(entries_for(list(range(200))))
+        disk.counters.sequential_reads = 0
+        disk.counters.random_reads = 0
+        list(tree.range_scan())
+        assert disk.counters.sequential_reads > disk.counters.random_reads
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        tree = make_tree()
+        tree.insert(5, (0, 0))
+        assert tree.lookup(5) == [(0, 0)]
+
+    def test_inserts_with_leaf_splits(self):
+        tree = make_tree(capacity=4)
+        tree.bulk_build(entries_for([0]))
+        for key in range(1, 50):
+            tree.insert(key, (0, key))
+        assert [k for k, _ in tree.range_scan()] == list(range(50))
+        assert tree.height > 1
+
+    def test_interleaved_inserts_stay_sorted(self):
+        tree = make_tree(capacity=4)
+        tree.bulk_build(entries_for([50]))
+        for key in [25, 75, 10, 90, 60, 40, 55]:
+            tree.insert(key, (1, key))
+        keys = [k for k, _ in tree.range_scan()]
+        assert keys == sorted(keys)
+
+    def test_entry_count(self):
+        tree = make_tree()
+        tree.bulk_build(entries_for([1, 2]))
+        tree.insert(3, (0, 3))
+        assert tree.entry_count == 3
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=0, max_size=300))
+    def test_bulk_build_matches_sorted_reference(self, keys):
+        tree = make_tree(capacity=6)
+        tree.bulk_build(entries_for(sorted(keys)))
+        assert [k for k, _ in tree.range_scan()] == sorted(keys)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=120),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_range_scan_matches_filter(self, keys, a, b):
+        low, high = min(a, b), max(a, b)
+        tree = make_tree(capacity=5)
+        tree.bulk_build(entries_for(sorted(keys)))
+        got = [k for k, _ in tree.range_scan(low, high)]
+        assert got == sorted(k for k in keys if low <= k <= high)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=100))
+    def test_incremental_inserts_match_reference(self, keys):
+        tree = make_tree(capacity=4)
+        tree.bulk_build([])
+        for i, key in enumerate(keys):
+            tree.insert(key, (0, i))
+        assert [k for k, _ in tree.range_scan()] == sorted(keys)

@@ -1,0 +1,76 @@
+"""Buffer pool: LRU replacement and hit accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.errors import ExecutionError
+from repro.executor.buffer import BufferPool
+from repro.executor.storage import SimulatedDisk
+
+
+@pytest.fixture
+def disk() -> SimulatedDisk:
+    d = SimulatedDisk(CostModel())
+    d.create_file("f")
+    for i in range(5):
+        d.append_page("f", [i])
+    return d
+
+
+class TestBufferPool:
+    def test_hit_avoids_disk(self, disk):
+        pool = BufferPool(disk, capacity_pages=2)
+        pool.read_page("f", 0)
+        reads_before = disk.counters.total_reads
+        pool.read_page("f", 0)
+        assert disk.counters.total_reads == reads_before
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_lru_eviction(self, disk):
+        pool = BufferPool(disk, capacity_pages=2)
+        pool.read_page("f", 0)
+        pool.read_page("f", 1)
+        pool.read_page("f", 2)  # evicts page 0
+        reads_before = disk.counters.total_reads
+        pool.read_page("f", 0)  # miss again
+        assert disk.counters.total_reads == reads_before + 1
+
+    def test_access_refreshes_recency(self, disk):
+        pool = BufferPool(disk, capacity_pages=2)
+        pool.read_page("f", 0)
+        pool.read_page("f", 1)
+        pool.read_page("f", 0)  # page 0 now most recent
+        pool.read_page("f", 2)  # evicts page 1, not 0
+        reads_before = disk.counters.total_reads
+        pool.read_page("f", 0)
+        assert disk.counters.total_reads == reads_before  # still cached
+
+    def test_hit_ratio(self, disk):
+        pool = BufferPool(disk, capacity_pages=4)
+        assert pool.hit_ratio == 0.0
+        pool.read_page("f", 0)
+        pool.read_page("f", 0)
+        pool.read_page("f", 0)
+        assert pool.hit_ratio == pytest.approx(2 / 3)
+
+    def test_invalidate_file(self, disk):
+        pool = BufferPool(disk, capacity_pages=4)
+        pool.read_page("f", 0)
+        pool.invalidate_file("f")
+        reads_before = disk.counters.total_reads
+        pool.read_page("f", 0)
+        assert disk.counters.total_reads == reads_before + 1
+
+    def test_clear(self, disk):
+        pool = BufferPool(disk, capacity_pages=4)
+        pool.read_page("f", 0)
+        pool.clear()
+        reads_before = disk.counters.total_reads
+        pool.read_page("f", 0)
+        assert disk.counters.total_reads == reads_before + 1
+
+    def test_zero_capacity_rejected(self, disk):
+        with pytest.raises(ExecutionError):
+            BufferPool(disk, capacity_pages=0)

@@ -1,0 +1,155 @@
+"""Catalog, schema, and statistics tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Attribute, Schema
+from repro.catalog.statistics import RelationStats
+from repro.errors import CatalogError
+
+
+class TestAttribute:
+    def test_qualified_name(self):
+        attr = Attribute("R", "a", 100)
+        assert attr.qualified_name == "R.a"
+        assert str(attr) == "R.a"
+
+    def test_nonpositive_domain_rejected(self):
+        with pytest.raises(CatalogError):
+            Attribute("R", "a", 0)
+
+
+class TestSchema:
+    def test_duplicate_attribute_rejected(self):
+        a = Attribute("R", "a", 10)
+        with pytest.raises(CatalogError):
+            Schema((a, a))
+
+    def test_index_of_and_find(self):
+        a, b = Attribute("R", "a", 10), Attribute("R", "b", 10)
+        schema = Schema.of(a, b)
+        assert schema.index_of(b) == 1
+        assert schema.find("R.a") == a
+        with pytest.raises(CatalogError):
+            schema.find("R.missing")
+
+    def test_index_of_missing_raises(self):
+        schema = Schema.of(Attribute("R", "a", 10))
+        with pytest.raises(CatalogError):
+            schema.index_of(Attribute("S", "x", 10))
+
+    def test_concat(self):
+        a, b = Attribute("R", "a", 10), Attribute("S", "b", 10)
+        joined = Schema.of(a).concat(Schema.of(b))
+        assert len(joined) == 2
+        assert list(joined) == [a, b]
+
+
+class TestRelationStats:
+    def test_pages_rounds_up(self):
+        stats = RelationStats(cardinality=5, record_bytes=512)
+        assert stats.pages(2048) == 2  # 4 records/page → 2 pages
+
+    def test_pages_minimum_one(self):
+        assert RelationStats(cardinality=0).pages(2048) == 1
+
+    def test_record_larger_than_page_rejected(self):
+        with pytest.raises(CatalogError):
+            RelationStats(cardinality=1, record_bytes=4096).pages(2048)
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(CatalogError):
+            RelationStats(cardinality=-1)
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        cat = Catalog()
+        cat.add_relation("R", [("a", 100)], cardinality=50)
+        info = cat.relation("R")
+        assert info.stats.cardinality == 50
+        assert cat.attribute("R.a").domain_size == 100
+
+    def test_duplicate_relation_rejected(self):
+        cat = Catalog()
+        cat.add_relation("R", [("a", 10)], cardinality=1)
+        with pytest.raises(CatalogError):
+            cat.add_relation("R", [("a", 10)], cardinality=1)
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().relation("missing")
+
+    def test_unqualified_attribute_rejected(self):
+        cat = Catalog()
+        cat.add_relation("R", [("a", 10)], cardinality=1)
+        with pytest.raises(CatalogError):
+            cat.attribute("a")
+
+    def test_version_bumps_on_ddl(self):
+        cat = Catalog()
+        v0 = cat.version
+        cat.add_relation("R", [("a", 10)], cardinality=1)
+        v1 = cat.version
+        cat.create_index("R_a", "R", "a")
+        v2 = cat.version
+        cat.drop_index("R_a")
+        v3 = cat.version
+        assert v0 < v1 < v2 < v3
+
+    def test_index_lookup(self):
+        cat = Catalog()
+        cat.add_relation("R", [("a", 10), ("b", 10)], cardinality=1)
+        cat.create_index("R_a", "R", "a")
+        attr_a = cat.attribute("R.a")
+        attr_b = cat.attribute("R.b")
+        assert cat.index_on(attr_a) is not None
+        assert cat.index_on(attr_b) is None
+
+    def test_duplicate_index_rejected(self):
+        cat = Catalog()
+        cat.add_relation("R", [("a", 10)], cardinality=1)
+        cat.create_index("R_a", "R", "a")
+        with pytest.raises(CatalogError):
+            cat.create_index("R_a2", "R", "a")  # attribute already indexed
+        with pytest.raises(CatalogError):
+            cat.create_index("R_a", "R", "a")  # name taken
+
+    def test_one_clustered_index_per_relation(self):
+        cat = Catalog()
+        cat.add_relation("R", [("a", 10), ("b", 10)], cardinality=1)
+        cat.create_index("R_a", "R", "a", clustered=True)
+        with pytest.raises(CatalogError):
+            cat.create_index("R_b", "R", "b", clustered=True)
+
+    def test_drop_relation(self):
+        cat = Catalog()
+        cat.add_relation("R", [("a", 10)], cardinality=1)
+        cat.drop_relation("R")
+        with pytest.raises(CatalogError):
+            cat.relation("R")
+        with pytest.raises(CatalogError):
+            cat.drop_relation("R")
+
+    def test_drop_unknown_index(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_index("nope")
+
+    def test_set_cardinality(self):
+        cat = Catalog()
+        cat.add_relation("R", [("a", 10)], cardinality=5)
+        cat.create_index("R_a", "R", "a")
+        v = cat.version
+        cat.set_cardinality("R", 99)
+        assert cat.relation("R").stats.cardinality == 99
+        assert cat.version > v
+        # Indexes survive the statistics update.
+        assert cat.index_on(cat.attribute("R.a")) is not None
+
+    def test_relation_names_in_order(self):
+        cat = Catalog()
+        cat.add_relation("B", [("x", 2)], cardinality=1)
+        cat.add_relation("A", [("x", 2)], cardinality=1)
+        assert cat.relation_names == ["B", "A"]

@@ -1,0 +1,101 @@
+"""The start-up-time decision procedure (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BindingError
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.physical.plan import BtreeScanNode, FilterNode
+from repro.runtime.chooser import effective_plan_nodes, resolve_plan
+
+
+class TestResolve:
+    def test_requires_fully_bound_environment(
+        self, single_relation_query, catalog
+    ):
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        with pytest.raises(BindingError):
+            resolve_plan(result.plan, result.ctx)  # still interval-valued
+
+    def test_selective_binding_chooses_index_scan(
+        self, single_relation_query, catalog
+    ):
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        env = single_relation_query.parameters.bind({"sel_v": 0.001})
+        decision = resolve_plan(result.plan, result.ctx.with_env(env))
+        chosen = decision.choices[id(result.plan)]
+        assert isinstance(chosen, BtreeScanNode)
+
+    def test_unselective_binding_chooses_file_scan(
+        self, single_relation_query, catalog
+    ):
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        env = single_relation_query.parameters.bind({"sel_v": 0.95})
+        decision = resolve_plan(result.plan, result.ctx.with_env(env))
+        chosen = decision.choices[id(result.plan)]
+        assert isinstance(chosen, FilterNode)
+
+    def test_each_node_evaluated_once(self, join_query, catalog):
+        """Shared subplans are costed once — the Section 4 DAG argument."""
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        env = join_query.parameters.bind({"sel_v": 0.5})
+        decision = resolve_plan(result.plan, result.ctx.with_env(env))
+        assert decision.cost_evaluations == result.plan_node_count
+
+    def test_static_plan_resolution_has_no_choices(
+        self, single_relation_query, catalog
+    ):
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.STATIC
+        )
+        env = single_relation_query.parameters.bind({"sel_v": 0.5})
+        decision = resolve_plan(result.plan, result.ctx.with_env(env))
+        assert decision.decision_count == 0
+        assert decision.execution_cost > 0
+
+    def test_execution_cost_excludes_decision_overhead(
+        self, single_relation_query, catalog
+    ):
+        """g_i must equal d_i: decision effort is start-up, not execution."""
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        binding = {"sel_v": 0.9}
+        env = single_relation_query.parameters.bind(binding)
+        decision = resolve_plan(result.plan, result.ctx.with_env(env))
+        runtime = optimize_query(
+            single_relation_query,
+            catalog,
+            mode=OptimizationMode.RUN_TIME,
+            binding=binding,
+        )
+        assert decision.execution_cost == pytest.approx(runtime.plan.cost.low)
+
+    def test_cpu_time_measured(self, join_query, catalog):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        env = join_query.parameters.bind({"sel_v": 0.3})
+        decision = resolve_plan(result.plan, result.ctx.with_env(env))
+        assert decision.cpu_seconds > 0
+
+
+class TestEffectiveNodes:
+    def test_only_chosen_branch_counted(self, single_relation_query, catalog):
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        env = single_relation_query.parameters.bind({"sel_v": 0.001})
+        decision = resolve_plan(result.plan, result.ctx.with_env(env))
+        used = effective_plan_nodes(result.plan, decision.choices)
+        # Plan has 4 nodes (choose + index scan + filter + file scan);
+        # the effective plan uses choose + index scan only.
+        assert len(used) < result.plan_node_count
+        labels = {n.label for n in used}
+        assert any("B-tree" in label for label in labels)
+        assert not any(label.startswith("Filter [") for label in labels)

@@ -1,0 +1,156 @@
+"""Command-line interface tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.cli import main
+
+
+@pytest.fixture
+def catalog_file(tmp_path, catalog):
+    path = tmp_path / "catalog.json"
+    path.write_text(catalog.to_json())
+    return path
+
+
+class TestExplain:
+    def test_dynamic_plan_text(self, capsys, catalog_file):
+        code = main(
+            ["explain", "--catalog", str(catalog_file), "SELECT * FROM R WHERE R.a < :v"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Choose-Plan" in out
+        assert "choose-plan operators" in out
+
+    def test_static_mode(self, capsys, catalog_file):
+        code = main(
+            [
+                "explain",
+                "--catalog",
+                str(catalog_file),
+                "--mode",
+                "static",
+                "SELECT * FROM R WHERE R.a < :v",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Choose-Plan" not in out
+
+    def test_dot_output(self, capsys, catalog_file):
+        code = main(
+            [
+                "explain",
+                "--catalog",
+                str(catalog_file),
+                "--dot",
+                "SELECT * FROM R WHERE R.a < :v",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph")
+
+    def test_demo_catalog(self, capsys):
+        code = main(["explain", "--demo-catalog", "SELECT * FROM R1 WHERE R1.a < :v"])
+        assert code == 0
+        assert "Choose-Plan" in capsys.readouterr().out
+
+    def test_parse_error_is_clean(self, capsys, catalog_file):
+        code = main(["explain", "--catalog", str(catalog_file), "SELEC oops"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+
+
+class TestChoose:
+    def test_decisions_printed(self, capsys, catalog_file):
+        code = main(
+            [
+                "choose",
+                "--catalog",
+                str(catalog_file),
+                "SELECT * FROM R WHERE R.a < :v",
+                "--bind",
+                "sel:v=0.9",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decisions under" in out
+        assert "predicted execution cost" in out
+
+    def test_missing_binding_fails(self, capsys, catalog_file):
+        code = main(
+            ["choose", "--catalog", str(catalog_file), "SELECT * FROM R WHERE R.a < :v"]
+        )
+        assert code == 1
+
+    def test_malformed_binding_fails(self, capsys, catalog_file):
+        code = main(
+            [
+                "choose",
+                "--catalog",
+                str(catalog_file),
+                "SELECT * FROM R WHERE R.a < :v",
+                "--bind",
+                "nonsense",
+            ]
+        )
+        assert code == 1
+
+
+class TestDemoAndExperiments:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Choose-Plan" in out
+        assert "selectivity 0.90" in out
+
+    def test_experiments_tiny(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+        import repro.experiments as experiments
+
+        # Shrink the suite so the CLI test stays fast.
+        original = experiments.paper_queries
+
+        def small_queries(catalog, with_memory=False):
+            return original(catalog, with_memory=with_memory, sizes=(1, 2))
+
+        monkeypatch.setattr(
+            "repro.experiments.paper_queries", small_queries
+        )
+        assert cli_module.main(["experiments", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Break-even" in out
+
+
+class TestCatalogSerialization:
+    def test_round_trip(self, catalog):
+        rebuilt = Catalog.from_json(catalog.to_json())
+        assert rebuilt.relation_names == catalog.relation_names
+        for name in catalog.relation_names:
+            original = catalog.relation(name)
+            copy = rebuilt.relation(name)
+            assert copy.stats == original.stats
+            assert [a.qualified_name for a in copy.schema] == [
+                a.qualified_name for a in original.schema
+            ]
+            assert len(copy.indexes) == len(original.indexes)
+
+    def test_json_is_valid(self, catalog):
+        payload = json.loads(catalog.to_json())
+        assert {rel["name"] for rel in payload["relations"]} == {"R", "S"}
+
+    def test_clustered_flag_preserved(self):
+        catalog = Catalog()
+        catalog.add_relation("T", [("x", 10)], cardinality=5)
+        catalog.create_index("T_x", "T", "x", clustered=True)
+        rebuilt = Catalog.from_json(catalog.to_json())
+        (index,) = rebuilt.relation("T").indexes
+        assert index.clustered

@@ -1,0 +1,90 @@
+"""Cost context plumbing and scenario accounting modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.context import CostContext
+from repro.cost.model import CostModel
+from repro.params.parameter import ParameterSpace
+from repro.runtime.scenarios import (
+    run_dynamic_scenario,
+    run_static_scenario,
+)
+from repro.util.interval import Interval
+
+
+class TestCostContext:
+    def test_memory_defaults_without_parameter(self, catalog):
+        space = ParameterSpace()
+        ctx = CostContext(
+            catalog=catalog, model=CostModel(), env=space.static_environment()
+        )
+        assert ctx.memory_pages == Interval.point(64.0)
+
+    def test_memory_parameter_overrides_default(self, catalog):
+        space = ParameterSpace()
+        space.add_memory()
+        ctx = CostContext(
+            catalog=catalog, model=CostModel(), env=space.dynamic_environment()
+        )
+        assert ctx.memory_pages == Interval.of(16, 112)
+
+    def test_with_env_swaps_only_environment(self, catalog):
+        space = ParameterSpace()
+        space.add_memory()
+        ctx = CostContext(
+            catalog=catalog, model=CostModel(), env=space.dynamic_environment()
+        )
+        bound = ctx.with_env(space.bind({"memory": 32}))
+        assert bound.memory_pages == Interval.point(32.0)
+        assert bound.catalog is ctx.catalog
+        assert bound.model is ctx.model
+        # Original context untouched.
+        assert ctx.memory_pages == Interval.of(16, 112)
+
+
+class TestAccountingModes:
+    BINDINGS = [{"sel_v": 0.2}, {"sel_v": 0.7}]
+
+    def test_measured_accounting_uses_wall_clock(
+        self, single_relation_query, catalog
+    ):
+        modeled = run_static_scenario(
+            single_relation_query, catalog, self.BINDINGS, accounting="modeled"
+        )
+        measured = run_static_scenario(
+            single_relation_query, catalog, self.BINDINGS, accounting="measured"
+        )
+        # Counted work is deterministic; wall clock on this machine is tiny
+        # compared to the calibrated model constants.
+        assert modeled.compile_time_seconds > measured.compile_time_seconds
+        # Execution costs are identical: accounting only affects CPU effort.
+        for a, b in zip(modeled.invocations, measured.invocations):
+            assert a.execution_seconds == pytest.approx(b.execution_seconds)
+
+    def test_measured_dynamic_startup_positive(
+        self, single_relation_query, catalog
+    ):
+        run = run_dynamic_scenario(
+            single_relation_query, catalog, self.BINDINGS, accounting="measured"
+        )
+        assert run.average_startup_seconds > 0
+
+    def test_unknown_accounting_rejected(self, single_relation_query, catalog):
+        with pytest.raises(ValueError):
+            run_static_scenario(
+                single_relation_query, catalog, self.BINDINGS, accounting="bogus"
+            )
+
+    def test_modeled_accounting_deterministic(self, single_relation_query, catalog):
+        a = run_dynamic_scenario(
+            single_relation_query, catalog, self.BINDINGS, accounting="modeled"
+        )
+        b = run_dynamic_scenario(
+            single_relation_query, catalog, self.BINDINGS, accounting="modeled"
+        )
+        assert a.compile_time_seconds == b.compile_time_seconds
+        assert [i.startup_seconds for i in a.invocations] == [
+            i.startup_seconds for i in b.invocations
+        ]

@@ -1,0 +1,120 @@
+"""The cost ADT: partial-order comparison semantics (Section 3/5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cost.cost import Comparison, IntervalCost
+from repro.util.interval import Interval
+
+bounds = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def costs(draw) -> IntervalCost:
+    a, b = draw(bounds), draw(bounds)
+    return IntervalCost(Interval(min(a, b), max(a, b)))
+
+
+class TestComparison:
+    def test_disjoint_intervals_compare(self):
+        cheap = IntervalCost.of(0, 1)
+        pricey = IntervalCost.of(2, 3)
+        assert cheap.compare(pricey) is Comparison.LESS
+        assert pricey.compare(cheap) is Comparison.GREATER
+
+    def test_overlap_is_incomparable(self):
+        a = IntervalCost.of(0, 2)
+        b = IntervalCost.of(1, 3)
+        assert a.compare(b) is Comparison.INCOMPARABLE
+        assert b.compare(a) is Comparison.INCOMPARABLE
+
+    def test_touching_intervals_compare(self):
+        # [0,1] vs [1,2]: worst case of one equals best case of the other.
+        assert IntervalCost.of(0, 1).compare(IntervalCost.of(1, 2)) is Comparison.LESS
+
+    def test_identical_points_equal(self):
+        assert IntervalCost.point(5).compare(IntervalCost.point(5)) is Comparison.EQUAL
+
+    def test_identical_nonpoint_intervals_incomparable(self):
+        # Conservative: identical intervals may hide different actual costs.
+        a = IntervalCost.of(1, 2)
+        b = IntervalCost.of(1, 2)
+        assert a.compare(b) is Comparison.INCOMPARABLE
+
+    def test_point_inside_interval_incomparable(self):
+        assert (
+            IntervalCost.point(1.5).compare(IntervalCost.of(1, 2))
+            is Comparison.INCOMPARABLE
+        )
+
+    def test_cross_type_comparison_rejected(self):
+        class OtherCost(IntervalCost):
+            pass
+
+        with pytest.raises(TypeError):
+            IntervalCost.point(1).compare(object())  # type: ignore[arg-type]
+
+
+class TestArithmetic:
+    def test_add(self):
+        total = IntervalCost.of(1, 2) + IntervalCost.of(10, 20)
+        assert total == IntervalCost.of(11, 22)
+
+    def test_sum(self):
+        total = IntervalCost.sum([IntervalCost.point(1)] * 3)
+        assert total == IntervalCost.point(3)
+        assert IntervalCost.sum([]) == IntervalCost.zero()
+
+    def test_choose_min_paper_example(self):
+        # Section 5: [0,10] and [1,1] combine (before overhead) to [0,1].
+        combined = IntervalCost.of(0, 10).choose_min(IntervalCost.of(1, 1))
+        assert combined == IntervalCost.of(0, 1)
+
+    def test_bounds(self):
+        c = IntervalCost.of(3, 7)
+        assert c.lower_bound() == 3
+        assert c.upper_bound() == 7
+
+    def test_hashable(self):
+        assert len({IntervalCost.point(1), IntervalCost.point(1)}) == 1
+
+
+class TestPartialOrderProperties:
+    @given(costs())
+    def test_reflexive_dominance_for_points(self, c: IntervalCost):
+        if c.is_point:
+            assert c.dominates(c)
+
+    @given(costs(), costs())
+    def test_comparison_antisymmetric(self, a: IntervalCost, b: IntervalCost):
+        ab, ba = a.compare(b), b.compare(a)
+        if ab is Comparison.LESS:
+            assert ba is Comparison.GREATER
+        elif ab is Comparison.GREATER:
+            assert ba is Comparison.LESS
+        elif ab is Comparison.EQUAL:
+            assert ba is Comparison.EQUAL
+        else:
+            assert ba is Comparison.INCOMPARABLE
+
+    @given(costs(), costs(), costs())
+    def test_less_is_transitive(self, a, b, c):
+        if (
+            a.compare(b) is Comparison.LESS
+            and b.compare(c) is Comparison.LESS
+        ):
+            assert a.compare(c) is Comparison.LESS
+
+    @given(costs(), costs())
+    def test_choose_min_never_worse_than_either(self, a, b):
+        m = a.choose_min(b)
+        assert m.lower_bound() <= min(a.lower_bound(), b.lower_bound())
+        assert m.upper_bound() <= min(a.upper_bound(), b.upper_bound())
+
+    @given(costs(), costs())
+    def test_point_costs_always_comparable(self, a, b):
+        if a.is_point and b.is_point:
+            assert a.compare(b) is not Comparison.INCOMPARABLE

@@ -1,0 +1,117 @@
+"""Database container: loading, access, and selectivity bridging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError
+from repro.executor.database import Database
+from repro.logical.predicates import CompareOp, HostVariable, Literal, SelectionPredicate
+
+
+@pytest.fixture
+def db(catalog) -> Database:
+    database = Database(catalog)
+    database.load_synthetic(seed=3)
+    return database
+
+
+class TestLoading:
+    def test_cardinalities_match_catalog(self, db, catalog):
+        for name in catalog.relation_names:
+            expected = catalog.relation(name).stats.cardinality
+            assert db.heap(name).record_count == expected
+
+    def test_values_within_domains(self, db, catalog):
+        info = catalog.relation("R")
+        for _, row in db.heap("R").scan():
+            for value, attribute in zip(row, info.schema):
+                assert 0 <= value < attribute.domain_size
+
+    def test_indexes_built(self, db, catalog):
+        btree = db.btree("R_a")
+        assert btree.entry_count == catalog.relation("R").stats.cardinality
+
+    def test_index_entries_point_to_records(self, db, catalog):
+        btree = db.btree("R_a")
+        heap = db.heap("R")
+        position = catalog.relation("R").schema.index_of(catalog.attribute("R.a"))
+        for key, rid in list(btree.range_scan())[:20]:
+            assert heap.fetch(rid)[position] == key
+
+    def test_deterministic_given_seed(self, catalog):
+        import copy
+
+        db1 = Database(copy.deepcopy(catalog))
+        db1.load_synthetic(seed=9)
+        db2 = Database(copy.deepcopy(catalog))
+        db2.load_synthetic(seed=9)
+        rows1 = [r for _, r in db1.heap("R").scan()]
+        rows2 = [r for _, r in db2.heap("R").scan()]
+        assert rows1 == rows2
+
+    def test_double_load_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.load_relation("R", [])
+
+    def test_row_count_mismatch_rejected(self, catalog):
+        database = Database(catalog)
+        with pytest.raises(ExecutionError):
+            database.load_relation("R", [(1, 2)])
+
+    def test_unloaded_access_rejected(self, catalog):
+        database = Database(catalog)
+        with pytest.raises(ExecutionError):
+            database.heap("R")
+        with pytest.raises(ExecutionError):
+            database.btree("R_a")
+
+    def test_btree_on_unindexed_attribute(self, db, catalog):
+        catalog.drop_index("R_a")
+        with pytest.raises(CatalogError):
+            db.btree_on(catalog.attribute("R.a"))
+
+
+class TestImpliedSelectivity:
+    def test_less_than(self, db, catalog):
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "s")
+        )
+        # Domain 500: a < 250 selects roughly half.
+        assert db.implied_selectivity(predicate, {"v": 250}) == pytest.approx(0.5)
+
+    def test_greater_than(self, db, catalog):
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.GE, HostVariable("v", "s")
+        )
+        assert db.implied_selectivity(predicate, {"v": 100}) == pytest.approx(0.8)
+
+    def test_equality(self, db, catalog):
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.EQ, Literal(7)
+        )
+        assert db.implied_selectivity(predicate, {}) == pytest.approx(1 / 500)
+
+    def test_clamped_to_unit_interval(self, db, catalog):
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "s")
+        )
+        assert db.implied_selectivity(predicate, {"v": 10_000}) == 1.0
+        assert db.implied_selectivity(predicate, {"v": -5}) == 0.0
+
+    def test_implied_matches_observed(self, db, catalog):
+        """Uniform data: implied selectivity ≈ observed fraction."""
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "s")
+        )
+        implied = db.implied_selectivity(predicate, {"v": 200})
+        rows = [r for _, r in db.heap("R").scan()]
+        observed = sum(1 for r in rows if r[0] < 200) / len(rows)
+        assert implied == pytest.approx(observed, abs=0.06)
+
+    def test_non_numeric_rejected(self, db, catalog):
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, Literal("text")
+        )
+        with pytest.raises(ExecutionError):
+            db.implied_selectivity(predicate, {})

@@ -1,0 +1,174 @@
+"""Boundary and degenerate inputs across the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.executor.database import Database
+from repro.executor.executor import execute_plan
+from repro.logical.predicates import CompareOp, HostVariable, SelectionPredicate
+from repro.logical.query import QueryGraph
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.params.parameter import ParameterSpace
+from repro.runtime.chooser import resolve_plan
+
+
+def make_query(catalog: Catalog, relation: str = "R") -> QueryGraph:
+    space = ParameterSpace()
+    space.add_selectivity("s")
+    predicate = SelectionPredicate(
+        catalog.attribute(f"{relation}.a"), CompareOp.LT, HostVariable("v", "s")
+    )
+    return QueryGraph(
+        relations=(relation,), selections={relation: (predicate,)}, parameters=space
+    )
+
+
+class TestBoundarySelectivities:
+    @pytest.fixture
+    def dynamic(self, catalog, single_relation_query):
+        return optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+        )
+
+    def test_selectivity_zero(self, dynamic, single_relation_query):
+        env = single_relation_query.parameters.bind({"sel_v": 0.0})
+        decision = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env))
+        assert decision.execution_cost >= 0
+
+    def test_selectivity_one(self, dynamic, single_relation_query, catalog):
+        env = single_relation_query.parameters.bind({"sel_v": 1.0})
+        decision = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env))
+        # At full selectivity the file scan must win.
+        from repro.physical.plan import FilterNode
+
+        assert isinstance(decision.choices[id(dynamic.plan)], FilterNode)
+
+    def test_execution_at_boundaries(self, catalog, single_relation_query, dynamic):
+        db = Database(catalog)
+        db.load_synthetic(seed=1)
+        for sel, v in ((0.0, 0), (1.0, 10**9)):
+            env = single_relation_query.parameters.bind({"sel_v": sel})
+            decision = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env))
+            out = execute_plan(
+                dynamic.plan, db, bindings={"v": v}, choices=decision.choices
+            )
+            expected = 0 if sel == 0.0 else 1000
+            assert out.metrics.rows == expected
+
+
+class TestTinyRelations:
+    def test_single_row_relation(self):
+        catalog = Catalog()
+        catalog.add_relation("T", [("a", 2)], cardinality=1)
+        catalog.create_index("T_a", "T", "a")
+        query = make_query(catalog, "T")
+        result = optimize_query(query, catalog, mode=OptimizationMode.DYNAMIC)
+        db = Database(catalog)
+        db.load_synthetic(seed=0)
+        env = query.parameters.bind({"s": 0.5})
+        decision = resolve_plan(result.plan, result.ctx.with_env(env))
+        out = execute_plan(
+            result.plan, db, bindings={"v": 1}, choices=decision.choices
+        )
+        assert out.metrics.rows in (0, 1)
+
+    def test_empty_relation(self):
+        catalog = Catalog()
+        catalog.add_relation("E", [("a", 2)], cardinality=0)
+        catalog.create_index("E_a", "E", "a")
+        query = make_query(catalog, "E")
+        result = optimize_query(query, catalog, mode=OptimizationMode.DYNAMIC)
+        assert result.plan.cardinality.high == 0
+        db = Database(catalog)
+        db.load_synthetic(seed=0)
+        env = query.parameters.bind({"s": 0.5})
+        decision = resolve_plan(result.plan, result.ctx.with_env(env))
+        out = execute_plan(
+            result.plan, db, bindings={"v": 1}, choices=decision.choices
+        )
+        assert out.metrics.rows == 0
+
+    def test_join_with_empty_side(self, catalog):
+        from repro.logical.predicates import JoinPredicate
+
+        catalog.add_relation("Z", [("j", 2)], cardinality=0)
+        catalog.create_index("Z_j", "Z", "j")
+        query = QueryGraph(
+            relations=("R", "Z"),
+            joins=(
+                JoinPredicate(catalog.attribute("R.k"), catalog.attribute("Z.j")),
+            ),
+        )
+        result = optimize_query(query, catalog, mode=OptimizationMode.STATIC)
+        db = Database(catalog)
+        db.load_synthetic(seed=0)
+        out = execute_plan(result.plan, db)
+        assert out.metrics.rows == 0
+
+
+class TestTinyMemory:
+    def test_minimum_memory_execution(self, catalog, join_query):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.STATIC)
+        db = Database(catalog)
+        db.load_synthetic(seed=2)
+        out = execute_plan(result.plan, db, bindings={"v": 499}, memory_pages=3)
+        reference = sum(
+            1
+            for _, r in db.heap("R").scan()
+            if r[0] < 499
+            for _, s in db.heap("S").scan()
+            if r[1] == s[0]
+        )
+        assert out.metrics.rows == reference
+
+    def test_memory_parameter_extremes(self, catalog, join_query_with_memory):
+        result = optimize_query(
+            join_query_with_memory, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        for memory in (16, 112):
+            env = join_query_with_memory.parameters.bind(
+                {"sel_v": 0.5, "memory": memory}
+            )
+            decision = resolve_plan(result.plan, result.ctx.with_env(env))
+            assert decision.execution_cost > 0
+
+
+class TestDegenerateQueries:
+    def test_no_predicates_at_all(self, catalog):
+        query = QueryGraph(relations=("R",))
+        result = optimize_query(query, catalog, mode=OptimizationMode.DYNAMIC)
+        # Nothing uncertain: a plain static plan, no choose operators.
+        assert result.choose_plan_count == 0
+
+    def test_all_parameters_certain_gives_static_like_plan(self, catalog):
+        space = ParameterSpace()
+        space.add_selectivity("s", low=0.25, high=0.25, expected=0.25)
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "s")
+        )
+        query = QueryGraph(
+            relations=("R",), selections={"R": (predicate,)}, parameters=space
+        )
+        result = optimize_query(query, catalog, mode=OptimizationMode.DYNAMIC)
+        assert result.choose_plan_count == 0
+
+    def test_narrow_uncertainty_fewer_alternatives(self, catalog):
+        """A tighter domain can only shrink the dynamic plan."""
+
+        def plan_size(low: float, high: float) -> int:
+            space = ParameterSpace()
+            space.add_selectivity("s", low=low, high=high, expected=(low + high) / 2)
+            predicate = SelectionPredicate(
+                catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "s")
+            )
+            query = QueryGraph(
+                relations=("R",), selections={"R": (predicate,)}, parameters=space
+            )
+            return optimize_query(
+                query, catalog, mode=OptimizationMode.DYNAMIC
+            ).plan_node_count
+
+        assert plan_size(0.0, 0.01) <= plan_size(0.0, 1.0)
+        assert plan_size(0.5, 1.0) <= plan_size(0.0, 1.0)

@@ -1,0 +1,232 @@
+"""Search-engine behaviour: modes, memoization, enforcers, pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.context import CostContext
+from repro.errors import OptimizationError
+from repro.logical.query import QueryGraph
+from repro.optimizer.engine import SearchEngine
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.physical.plan import (
+    BtreeScanNode,
+    ChoosePlanNode,
+    FileScanNode,
+    FilterNode,
+    MergeJoinNode,
+    SortNode,
+    iter_plan_nodes,
+)
+
+
+class TestStaticMode:
+    def test_single_plan_no_choose(self, single_relation_query, catalog):
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.STATIC
+        )
+        assert result.choose_plan_count == 0
+        assert not result.is_dynamic
+        assert result.plan.cost.is_point
+
+    def test_static_picks_index_scan_at_expected_selectivity(
+        self, single_relation_query, catalog
+    ):
+        # Expected 0.05 is below the file/index crossover for this relation.
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.STATIC
+        )
+        assert isinstance(result.plan, BtreeScanNode)
+
+    def test_join_query_static(self, join_query, catalog):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.STATIC)
+        assert result.choose_plan_count == 0
+        assert result.plan.cardinality.is_point
+
+
+class TestDynamicMode:
+    def test_figure1_dynamic_plan(self, single_relation_query, catalog):
+        """The motivating example: choose-plan over file scan and index scan."""
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        assert isinstance(result.plan, ChoosePlanNode)
+        kinds = {type(alt) for alt in result.plan.alternatives}
+        assert FilterNode in kinds  # Filter over File-Scan
+        assert BtreeScanNode in kinds  # Filter-B-tree-Scan
+
+    def test_dynamic_plan_larger_than_static(self, join_query, catalog):
+        static = optimize_query(join_query, catalog, mode=OptimizationMode.STATIC)
+        dynamic = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        assert dynamic.plan_node_count > static.plan_node_count
+        assert dynamic.is_dynamic
+
+    def test_dynamic_cost_lower_bound_not_above_static(self, join_query, catalog):
+        static = optimize_query(join_query, catalog, mode=OptimizationMode.STATIC)
+        dynamic = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        assert dynamic.plan.cost.low <= static.plan.cost.low
+
+    def test_memoized_groups_shared_in_dag(self, join_query, catalog):
+        """Shared subplans must be the same object (DAG, not tree)."""
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        scans_of_r = {
+            id(node)
+            for node in iter_plan_nodes(result.plan)
+            if isinstance(node, FileScanNode) and node.relation == "R"
+        }
+        assert len(scans_of_r) <= 1
+
+
+class TestRunTimeMode:
+    def test_requires_binding(self, single_relation_query, catalog):
+        with pytest.raises(OptimizationError):
+            optimize_query(
+                single_relation_query, catalog, mode=OptimizationMode.RUN_TIME
+            )
+
+    def test_binding_rejected_elsewhere(self, single_relation_query, catalog):
+        with pytest.raises(OptimizationError):
+            optimize_query(
+                single_relation_query,
+                catalog,
+                mode=OptimizationMode.STATIC,
+                binding={"sel_v": 0.5},
+            )
+
+    def test_adapts_to_binding(self, single_relation_query, catalog):
+        selective = optimize_query(
+            single_relation_query,
+            catalog,
+            mode=OptimizationMode.RUN_TIME,
+            binding={"sel_v": 0.001},
+        )
+        unselective = optimize_query(
+            single_relation_query,
+            catalog,
+            mode=OptimizationMode.RUN_TIME,
+            binding={"sel_v": 0.9},
+        )
+        assert isinstance(selective.plan, BtreeScanNode)
+        assert isinstance(unselective.plan, FilterNode)  # over File-Scan
+
+
+class TestExhaustiveMode:
+    def test_exhaustive_superset_of_dynamic(self, single_relation_query, catalog):
+        dynamic = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        exhaustive = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.EXHAUSTIVE
+        )
+        assert exhaustive.plan_node_count >= dynamic.plan_node_count
+
+    def test_exhaustive_join(self, join_query, catalog):
+        exhaustive = optimize_query(
+            join_query, catalog, mode=OptimizationMode.EXHAUSTIVE
+        )
+        dynamic = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        assert exhaustive.plan_node_count >= dynamic.plan_node_count
+        # The exhaustive plan's best case can never beat the dynamic plan's
+        # by more than decision overhead: both contain the true optimum.
+        assert exhaustive.plan.cost.low <= dynamic.plan.cost.low + 1.0
+
+
+class TestOrderEnforcement:
+    def test_required_order_satisfied(self, join_query, catalog):
+        key = catalog.attribute("R.k")
+        result = optimize_query(
+            join_query, catalog, mode=OptimizationMode.STATIC, required_order=key
+        )
+        assert result.plan.order == key
+
+    def test_enforcer_inserted_when_needed(self, single_relation_query, catalog):
+        key = catalog.attribute("R.k")
+        result = optimize_query(
+            single_relation_query,
+            catalog,
+            mode=OptimizationMode.STATIC,
+            required_order=key,
+        )
+        kinds = {type(n) for n in iter_plan_nodes(result.plan)}
+        # Either a Sort enforcer or a naturally ordered B-tree scan on R.k.
+        assert SortNode in kinds or any(
+            isinstance(n, BtreeScanNode) and n.key == key
+            for n in iter_plan_nodes(result.plan)
+        )
+
+    def test_merge_join_children_sorted(self, join_query, catalog):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        for node in iter_plan_nodes(result.plan):
+            if isinstance(node, MergeJoinNode):
+                left, right = node.inputs
+                assert left.order is not None
+                assert right.order is not None
+
+
+class TestPruning:
+    def test_pruning_does_not_change_static_plan(self, join_query, catalog):
+        pruned = optimize_query(
+            join_query, catalog, mode=OptimizationMode.STATIC, pruning=True
+        )
+        unpruned = optimize_query(
+            join_query, catalog, mode=OptimizationMode.STATIC, pruning=False
+        )
+        assert pruned.plan.cost == unpruned.plan.cost
+
+    def test_pruning_does_not_change_dynamic_plan(self, join_query, catalog):
+        pruned = optimize_query(
+            join_query, catalog, mode=OptimizationMode.DYNAMIC, pruning=True
+        )
+        unpruned = optimize_query(
+            join_query, catalog, mode=OptimizationMode.DYNAMIC, pruning=False
+        )
+        assert pruned.plan.cost == unpruned.plan.cost
+        assert pruned.plan_node_count == unpruned.plan_node_count
+
+    def test_static_prunes_more_than_dynamic(self):
+        """The paper's Figure 5 cause: interval costs weaken B&B pruning."""
+        from repro.experiments.catalogs import make_experiment_catalog
+        from repro.experiments.queries import build_chain_query
+
+        catalog = make_experiment_catalog(6)
+        query = build_chain_query(catalog, 6)
+        static = optimize_query(query, catalog, mode=OptimizationMode.STATIC)
+        dynamic = optimize_query(query, catalog, mode=OptimizationMode.DYNAMIC)
+        assert static.stats.candidates_pruned > dynamic.stats.candidates_pruned
+
+
+class TestErrors:
+    def test_disconnected_query_uses_cross_product(self, catalog):
+        from repro.physical.plan import NestedLoopsJoinNode
+
+        catalog.add_relation("T", [("x", 10)], cardinality=10)
+        graph = QueryGraph(relations=("R", "T"))
+        result = optimize_query(graph, catalog, mode=OptimizationMode.STATIC)
+        assert isinstance(result.plan, NestedLoopsJoinNode)
+        assert result.plan.predicates == ()
+        # |R| x |T| rows.
+        assert result.plan.cardinality.low == pytest.approx(10_000)
+
+    def test_stats_populated(self, join_query, catalog):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        assert result.stats.groups_completed > 0
+        assert result.stats.candidates_considered > 0
+        assert result.stats.largest_winner_set >= 1
+        assert result.optimization_seconds > 0
+        assert result.modeled_optimization_seconds > 0
+
+
+class TestEngineInternals:
+    def test_cardinality_memoized_and_consistent(self, join_query, catalog, model):
+        ctx = CostContext(
+            catalog=catalog,
+            model=model,
+            env=join_query.parameters.static_environment(),
+        )
+        engine = SearchEngine(query=join_query, ctx=ctx)
+        subset = frozenset({"R", "S"})
+        first = engine.cardinality(subset)
+        second = engine.cardinality(subset)
+        assert first is second  # memoized
+        # 1000 * 0.05 * 600 / 300 = 100
+        assert first.low == pytest.approx(100.0)

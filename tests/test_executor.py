@@ -1,0 +1,128 @@
+"""End-to-end execution of optimized plans against reference results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.executor.database import Database
+from repro.executor.executor import execute_plan
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.runtime.chooser import resolve_plan
+
+
+@pytest.fixture
+def db(catalog) -> Database:
+    database = Database(catalog)
+    database.load_synthetic(seed=23)
+    return database
+
+
+def reference_join(db, v: int) -> list[tuple]:
+    r_rows = [r for _, r in db.heap("R").scan()]
+    s_rows = [s for _, s in db.heap("S").scan()]
+    return sorted(r + s for r in r_rows if r[0] < v for s in s_rows if r[1] == s[0])
+
+
+def canonical(out, catalog) -> list[tuple]:
+    """Project plan output to (R.a, R.k, S.j, S.b) regardless of plan shape."""
+    attrs = [catalog.attribute(n) for n in ("R.a", "R.k", "S.j", "S.b")]
+    return sorted(out.project(attrs))
+
+
+class TestStaticExecution:
+    def test_single_relation(self, single_relation_query, catalog, db):
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.STATIC
+        )
+        v = 100
+        out = execute_plan(result.plan, db, bindings={"v": v})
+        r_rows = [r for _, r in db.heap("R").scan()]
+        assert sorted(out.rows) == sorted(r for r in r_rows if r[0] < v)
+        assert out.metrics.rows == len(out.rows)
+
+    def test_join_query(self, join_query, catalog, db):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.STATIC)
+        out = execute_plan(result.plan, db, bindings={"v": 200})
+        assert canonical(out, catalog) == reference_join(db, 200)
+
+
+class TestDynamicExecution:
+    def test_with_explicit_choices(self, join_query, catalog, db):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        v = 50
+        sel = v / 500
+        env = join_query.parameters.bind({"sel_v": sel})
+        decision = resolve_plan(result.plan, result.ctx.with_env(env))
+        out = execute_plan(result.plan, db, bindings={"v": v}, choices=decision.choices)
+        assert canonical(out, catalog) == reference_join(db, v)
+
+    def test_with_inline_resolution(self, join_query, catalog, db):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        v = 450
+        out = execute_plan(
+            result.plan,
+            db,
+            bindings={"v": v},
+            ctx=result.ctx,
+            parameter_values={"sel_v": v / 500},
+        )
+        assert canonical(out, catalog) == reference_join(db, v)
+
+    def test_dynamic_without_choices_rejected(self, join_query, catalog, db):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        with pytest.raises(ExecutionError):
+            execute_plan(result.plan, db, bindings={"v": 10})
+
+    def test_same_rows_for_both_extreme_bindings(self, join_query, catalog, db):
+        """Different chosen plans, identical results — plan equivalence."""
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        for v in (5, 490):
+            sel = v / 500
+            env = join_query.parameters.bind({"sel_v": sel})
+            decision = resolve_plan(result.plan, result.ctx.with_env(env))
+            out = execute_plan(
+                result.plan, db, bindings={"v": v}, choices=decision.choices
+            )
+            assert canonical(out, catalog) == reference_join(db, v)
+
+
+class TestMetrics:
+    def test_io_charged(self, single_relation_query, catalog, db):
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.STATIC
+        )
+        out = execute_plan(result.plan, db, bindings={"v": 400})
+        assert out.metrics.io_seconds > 0
+        assert out.metrics.sequential_reads + out.metrics.random_reads > 0
+        assert out.metrics.wall_seconds > 0
+
+    def test_memory_bounds_hash_join_spill(self, join_query, catalog, db):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.STATIC)
+        generous = execute_plan(
+            result.plan, db, bindings={"v": 499}, memory_pages=2048
+        )
+        tight = execute_plan(result.plan, db, bindings={"v": 499}, memory_pages=4)
+        assert sorted(map(tuple, generous.rows)) == sorted(map(tuple, tight.rows))
+        assert tight.metrics.writes >= generous.metrics.writes
+
+    def test_selective_index_plan_reads_less(self, single_relation_query, catalog, db):
+        """The Figure 1 point, observed on real (simulated) I/O."""
+        dynamic = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        space = single_relation_query.parameters
+
+        def run(v: float):
+            sel = v / 500
+            decision = resolve_plan(
+                dynamic.plan, dynamic.ctx.with_env(space.bind({"sel_v": sel}))
+            )
+            db.buffer.clear()
+            return execute_plan(
+                dynamic.plan, db, bindings={"v": v}, choices=decision.choices
+            )
+
+        selective = run(2)
+        unselective = run(480)
+        assert selective.metrics.io_seconds < unselective.metrics.io_seconds

@@ -1,0 +1,173 @@
+"""Experiment harness and figure generators (small-scale smoke + shapes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.experiments.catalogs import make_experiment_catalog
+from repro.experiments.figures import (
+    break_even_rows,
+    figure4_rows,
+    figure5_rows,
+    figure6_rows,
+    figure7_rows,
+    figure8_rows,
+)
+from repro.experiments.harness import run_experiment
+from repro.experiments.queries import build_chain_query, paper_queries
+from repro.experiments.report import (
+    render_break_even,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+)
+from repro.experiments.workload import generate_bindings
+
+
+@pytest.fixture(scope="module")
+def records():
+    """Records for scaled-down queries (sizes 1, 2, 3; N = 8 bindings)."""
+    model = CostModel()
+    catalog = make_experiment_catalog(4)
+    result = []
+    for query in paper_queries(catalog, sizes=(1, 2, 3)):
+        bindings = generate_bindings(query.graph.parameters, n=8)
+        result.append(run_experiment(query, catalog, bindings, model))
+    return result
+
+
+class TestCatalogGeneration:
+    def test_paper_parameters(self):
+        catalog = make_experiment_catalog(10)
+        assert len(catalog.relation_names) == 10
+        for name in catalog.relation_names:
+            info = catalog.relation(name)
+            assert 100 <= info.stats.cardinality <= 1000
+            assert info.stats.record_bytes == 512
+            assert len(info.indexes) == 3  # a, j, k all indexed
+            for attribute in info.schema:
+                assert attribute.domain_size >= 2
+
+    def test_deterministic(self):
+        a = make_experiment_catalog(3, seed=5)
+        b = make_experiment_catalog(3, seed=5)
+        for name in a.relation_names:
+            assert a.relation(name).stats == b.relation(name).stats
+
+
+class TestQueries:
+    def test_paper_sizes(self):
+        catalog = make_experiment_catalog(10)
+        queries = paper_queries(catalog)
+        assert [q.n_relations for q in queries] == [1, 2, 4, 6, 10]
+        assert [q.uncertain_variables for q in queries] == [1, 2, 4, 6, 10]
+
+    def test_memory_adds_one_uncertain_variable(self):
+        catalog = make_experiment_catalog(2)
+        (query,) = paper_queries(catalog, with_memory=True, sizes=(2,))
+        assert query.uncertain_variables == 3
+        assert "memory" in query.graph.parameters
+        assert query.label.endswith("+mem")
+
+    def test_chain_structure(self):
+        catalog = make_experiment_catalog(4)
+        graph = build_chain_query(catalog, 4)
+        assert len(graph.joins) == 3
+        assert all(len(graph.selections_on(r)) == 1 for r in graph.relations)
+
+
+class TestWorkload:
+    def test_bindings_within_domains(self):
+        catalog = make_experiment_catalog(2)
+        graph = build_chain_query(catalog, 2, with_memory=True)
+        for binding in generate_bindings(graph.parameters, n=50):
+            assert 0 <= binding["sel1"] <= 1
+            assert 16 <= binding["memory"] <= 112
+            assert binding["memory"] == int(binding["memory"])  # whole pages
+
+    def test_deterministic_given_seed(self):
+        catalog = make_experiment_catalog(1)
+        graph = build_chain_query(catalog, 1)
+        assert generate_bindings(graph.parameters, 5, seed=1) == generate_bindings(
+            graph.parameters, 5, seed=1
+        )
+        assert generate_bindings(graph.parameters, 5, seed=1) != generate_bindings(
+            graph.parameters, 5, seed=2
+        )
+
+
+class TestRecords:
+    def test_counts(self, records):
+        for record in records:
+            assert len(record.static_execution_costs) == 8
+            assert len(record.dynamic_execution_costs) == 8
+            assert len(record.runtime_execution_costs) == 8
+            assert record.dynamic_plan_nodes > record.static_plan_nodes
+
+    def test_g_equals_d_invariant(self, records):
+        for record in records:
+            for g, d in zip(
+                record.dynamic_execution_costs, record.runtime_execution_costs
+            ):
+                assert g == pytest.approx(d, rel=1e-9)
+
+    def test_dynamic_beats_static_on_average(self, records):
+        for record in records:
+            assert record.avg_dynamic_execution < record.avg_static_execution
+
+
+class TestFigureRows:
+    def test_figure4(self, records):
+        rows = figure4_rows(records)
+        assert all(row.speedup > 1 for row in rows)
+        text = render_figure4(rows)
+        assert "Figure 4" in text and "Q1" in text
+
+    def test_figure5(self, records):
+        rows = figure5_rows(records)
+        assert all(row.static_seconds > 0 for row in rows)
+        assert "Figure 5" in render_figure5(rows)
+
+    def test_figure6(self, records):
+        rows = figure6_rows(records)
+        assert [r.static_nodes for r in rows] == sorted(r.static_nodes for r in rows)
+        assert all(r.dynamic_nodes > r.static_nodes for r in rows)
+        assert "Figure 6" in render_figure6(rows)
+
+    def test_figure7(self, records):
+        model = CostModel()
+        rows = figure7_rows(records, model)
+        for row, record in zip(rows, records):
+            assert row.cost_evaluations == record.dynamic_plan_nodes
+            assert row.activation_io_seconds > 0.1  # base + module read
+        assert "Figure 7" in render_figure7(rows)
+
+    def test_figure8(self, records):
+        model = CostModel()
+        rows = figure8_rows(records, model)
+        assert all(row.runtime_opt_seconds > 0 for row in rows)
+        assert "Figure 8" in render_figure8(rows)
+
+    def test_figure8_requires_runtime_measurements(self, records):
+        model = CostModel()
+        catalog = make_experiment_catalog(1)
+        (query,) = paper_queries(catalog, sizes=(1,))
+        record = run_experiment(
+            query,
+            catalog,
+            generate_bindings(query.graph.parameters, n=2),
+            model,
+            include_runtime_optimization=False,
+        )
+        with pytest.raises(ValueError):
+            figure8_rows([record], model)
+
+    def test_break_even(self, records):
+        model = CostModel()
+        rows = break_even_rows(records, model)
+        for row in rows:
+            assert row.vs_static is not None and row.vs_static <= 3
+        assert "Break-even" in render_break_even(rows)

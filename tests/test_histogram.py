@@ -1,0 +1,223 @@
+"""Equi-depth histograms and histogram-backed selectivity estimation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.histogram import EquiDepthHistogram
+from repro.errors import CatalogError
+from repro.executor.database import Database
+from repro.logical.estimation import estimate_selectivity
+from repro.logical.predicates import (
+    CompareOp,
+    HostVariable,
+    Literal,
+    SelectionPredicate,
+)
+from repro.params.parameter import ParameterSpace
+from repro.util.interval import Interval
+
+
+class TestConstruction:
+    def test_from_uniform_values(self):
+        hist = EquiDepthHistogram.from_values(list(range(1000)), buckets=10)
+        assert hist.buckets == 10
+        assert hist.total == 1000
+        assert hist.distinct == 1000
+        assert hist.minimum == 0 and hist.maximum == 999
+
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            EquiDepthHistogram.from_values([])
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(CatalogError):
+            EquiDepthHistogram.from_values([1, 2], buckets=0)
+
+    def test_fewer_values_than_buckets(self):
+        hist = EquiDepthHistogram.from_values([5, 1, 3], buckets=20)
+        assert hist.buckets <= 3
+
+    def test_constant_values(self):
+        hist = EquiDepthHistogram.from_values([7] * 100, buckets=5)
+        assert hist.equality_selectivity() == 1.0
+        assert hist.fraction_below(7, inclusive=True) == 1.0
+        assert hist.fraction_below(6) == 0.0
+
+
+class TestEstimation:
+    def test_uniform_fraction_below(self):
+        hist = EquiDepthHistogram.from_values(list(range(1000)), buckets=20)
+        assert hist.fraction_below(500) == pytest.approx(0.5, abs=0.05)
+        assert hist.fraction_below(-1) == 0.0
+        assert hist.fraction_below(2000) == 1.0
+
+    def test_skewed_data_beats_uniform_assumption(self):
+        # 90% of values are below 10; a uniform assumption over [0, 1000]
+        # would estimate fraction_below(10) as 1%.
+        values = list(range(10)) * 90 + list(range(10, 1000))
+        hist = EquiDepthHistogram.from_values(values, buckets=20)
+        estimate = hist.fraction_below(10)
+        true_fraction = 900 / len(values)
+        assert abs(estimate - true_fraction) < 0.1
+
+    def test_equality_selectivity(self):
+        hist = EquiDepthHistogram.from_values([1, 1, 2, 3], buckets=2)
+        assert hist.equality_selectivity() == pytest.approx(1 / 3)
+
+    def test_range_selectivity(self):
+        hist = EquiDepthHistogram.from_values(list(range(100)), buckets=10)
+        sel = hist.selectivity_between(25, 75)
+        assert sel == pytest.approx(0.5, abs=0.1)
+
+    def test_open_ranges(self):
+        hist = EquiDepthHistogram.from_values(list(range(100)), buckets=10)
+        assert hist.selectivity_between(None, None) == 1.0
+        assert hist.selectivity_between(50, None) == pytest.approx(0.5, abs=0.1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000), min_size=10, max_size=500
+        ),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_fraction_below_tracks_empirical(self, values, probe):
+        hist = EquiDepthHistogram.from_values(values, buckets=10)
+        empirical = sum(1 for v in values if v < probe) / len(values)
+        # Equi-depth guarantees at most ~2 buckets of error.
+        assert abs(hist.fraction_below(probe) - empirical) <= 2.5 / hist.buckets
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=5, max_size=200)
+    )
+    def test_fraction_below_monotone(self, values):
+        hist = EquiDepthHistogram.from_values(values, buckets=8)
+        probes = sorted({min(values) - 1, max(values) + 1, *values})
+        fractions = [hist.fraction_below(p) for p in probes]
+        assert fractions == sorted(fractions)
+
+
+class TestCatalogIntegration:
+    def test_set_and_get(self, catalog):
+        hist = EquiDepthHistogram.from_values(list(range(10)))
+        attr = catalog.attribute("R.a")
+        assert catalog.histogram(attr) is None
+        catalog.set_histogram(attr, hist)
+        assert catalog.histogram(attr) is hist
+
+    def test_histogram_does_not_bump_version(self, catalog):
+        version = catalog.version
+        catalog.set_histogram(
+            catalog.attribute("R.a"), EquiDepthHistogram.from_values([1, 2])
+        )
+        assert catalog.version == version
+
+    def test_unknown_attribute_rejected(self, catalog):
+        from repro.catalog.schema import Attribute
+
+        with pytest.raises(CatalogError):
+            catalog.set_histogram(
+                Attribute("R", "zzz", 5), EquiDepthHistogram.from_values([1])
+            )
+
+
+class TestEstimateSelectivity:
+    def test_host_variable_still_uses_parameter(self, catalog):
+        space = ParameterSpace()
+        space.add_selectivity("s")
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "s")
+        )
+        # Even with a histogram present, host variables are parameters.
+        catalog.set_histogram(
+            catalog.attribute("R.a"), EquiDepthHistogram.from_values(list(range(10)))
+        )
+        estimate = estimate_selectivity(
+            predicate, space.dynamic_environment(), catalog
+        )
+        assert estimate == Interval.of(0, 1)
+
+    def test_literal_uses_histogram_when_available(self, catalog):
+        env = ParameterSpace().static_environment()
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, Literal(100)
+        )
+        without = estimate_selectivity(predicate, env, catalog)
+        assert without == Interval.point(1 / 3)  # System R default
+        # Skewed histogram: most values below 100.
+        values = list(range(100)) * 9 + list(range(100, 500))
+        catalog.set_histogram(
+            catalog.attribute("R.a"), EquiDepthHistogram.from_values(values)
+        )
+        with_hist = estimate_selectivity(predicate, env, catalog)
+        assert with_hist.is_point
+        assert with_hist.low > 0.5  # reflects the skew
+
+    def test_literal_equality_uses_distinct_count(self, catalog):
+        env = ParameterSpace().static_environment()
+        catalog.set_histogram(
+            catalog.attribute("R.a"),
+            EquiDepthHistogram.from_values([1, 1, 1, 2]),  # 2 distinct
+        )
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.EQ, Literal(1)
+        )
+        assert estimate_selectivity(predicate, env, catalog) == Interval.point(0.5)
+
+    def test_non_numeric_literal_falls_back(self, catalog):
+        env = ParameterSpace().static_environment()
+        catalog.set_histogram(
+            catalog.attribute("R.a"), EquiDepthHistogram.from_values([1, 2])
+        )
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.EQ, Literal("text")
+        )
+        assert estimate_selectivity(predicate, env, catalog) == Interval.point(1 / 500)
+
+
+class TestAnalyze:
+    def test_analyze_builds_all_histograms(self, catalog):
+        db = Database(catalog)
+        db.load_synthetic(seed=5)
+        built = db.analyze()
+        assert built == 4  # R.a, R.k, S.j, S.b
+        for qualified in ("R.a", "R.k", "S.j", "S.b"):
+            assert catalog.histogram(catalog.attribute(qualified)) is not None
+
+    def test_analyzed_estimates_track_data(self, catalog):
+        db = Database(catalog)
+        db.load_synthetic(seed=5)
+        db.analyze()
+        env = ParameterSpace().static_environment()
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, Literal(250)
+        )
+        estimate = estimate_selectivity(predicate, env, catalog).low
+        rows = [r for _, r in db.heap("R").scan()]
+        actual = sum(1 for r in rows if r[0] < 250) / len(rows)
+        assert abs(estimate - actual) < 0.1
+
+    def test_optimizer_uses_analyzed_statistics(self, catalog):
+        """A literal predicate's plan choice reflects the histogram."""
+        from repro.logical.query import QueryGraph
+        from repro.optimizer.optimizer import OptimizationMode, optimize_query
+        from repro.physical.plan import BtreeScanNode
+
+        db = Database(catalog)
+        # Data heavily skewed: almost everything is below 490.
+        rows = [(5, i % 300) for i in range(990)] + [
+            (495 + i, i % 300) for i in range(10)
+        ]
+        db.load_relation("R", rows)
+        db.analyze()
+        predicate = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.GT, Literal(490)
+        )
+        query = QueryGraph(relations=("R",), selections={"R": (predicate,)})
+        result = optimize_query(query, catalog, mode=OptimizationMode.STATIC)
+        # Histogram says the predicate is very selective -> index scan wins.
+        assert isinstance(result.plan, BtreeScanNode)

@@ -1,0 +1,185 @@
+"""Unit and property tests for interval arithmetic — the cost substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.interval import Interval
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def intervals(draw) -> Interval:
+    a = draw(finite)
+    b = draw(finite)
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def nonnegative_intervals(draw) -> Interval:
+    a = draw(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    b = draw(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    return Interval(min(a, b), max(a, b))
+
+
+class TestConstruction:
+    def test_point(self):
+        p = Interval.point(3)
+        assert p.low == p.high == 3.0
+        assert p.is_point
+
+    def test_of_coerces_ints(self):
+        iv = Interval.of(1, 2)
+        assert isinstance(iv.low, float)
+        assert iv.low == 1.0 and iv.high == 2.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+        with pytest.raises(ValueError):
+            Interval(0.0, math.nan)
+
+    def test_zero_is_identity(self):
+        iv = Interval.of(2, 5)
+        assert iv + Interval.zero() == iv
+
+    def test_hull(self):
+        hull = Interval.hull([Interval.of(0, 1), Interval.of(3, 4), Interval.of(-1, 0)])
+        assert hull == Interval.of(-1, 4)
+
+    def test_hull_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval.hull([])
+
+
+class TestPredicates:
+    def test_width_and_midpoint(self):
+        iv = Interval.of(2, 6)
+        assert iv.width == 4
+        assert iv.midpoint == 4
+
+    def test_contains(self):
+        iv = Interval.of(1, 3)
+        assert iv.contains(1) and iv.contains(3) and iv.contains(2)
+        assert not iv.contains(0.999) and not iv.contains(3.001)
+
+    def test_overlaps_symmetric(self):
+        a, b = Interval.of(0, 2), Interval.of(1, 5)
+        assert a.overlaps(b) and b.overlaps(a)
+        c = Interval.of(6, 7)
+        assert not a.overlaps(c) and not c.overlaps(a)
+
+    def test_touching_intervals_overlap(self):
+        assert Interval.of(0, 1).overlaps(Interval.of(1, 2))
+
+    def test_strictly_below(self):
+        assert Interval.of(0, 1).strictly_below(Interval.of(2, 3))
+        assert not Interval.of(0, 1).strictly_below(Interval.of(1, 2))
+
+    def test_dominance_is_nonstrict(self):
+        # Identical point costs dominate each other (tie-breaking).
+        p = Interval.point(5)
+        assert p.dominates(p)
+        # Touching: [0,1] dominates [1,2].
+        assert Interval.of(0, 1).dominates(Interval.of(1, 2))
+        # Overlap: incomparable, no dominance either way.
+        a, b = Interval.of(0, 2), Interval.of(1, 3)
+        assert not a.dominates(b) and not b.dominates(a)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Interval.of(1, 2) + Interval.of(10, 20) == Interval.of(11, 22)
+
+    def test_add_scalar(self):
+        assert Interval.of(1, 2) + 5 == Interval.of(6, 7)
+
+    def test_sub_is_boundwise(self):
+        # Dependent (bound-wise) subtraction, not classical interval sub.
+        assert Interval.of(10, 20) - Interval.of(1, 2) == Interval.of(9, 18)
+
+    def test_mul_nonnegative(self):
+        assert Interval.of(2, 3) * Interval.of(4, 5) == Interval.of(8, 15)
+
+    def test_mul_with_negatives_takes_extremes(self):
+        result = Interval.of(-2, 3) * Interval.of(-1, 4)
+        assert result == Interval.of(-8, 12)
+
+    def test_div(self):
+        assert Interval.of(10, 20) / Interval.of(2, 4) == Interval.of(2.5, 10)
+
+    def test_div_by_zero_interval_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Interval.of(1, 2) / Interval.of(-1, 1)
+
+    def test_min_with_is_choose_plan_semantics(self):
+        # Section 5 example: [0,10] vs [1,1] combine to [0,1].
+        assert Interval.of(0, 10).min_with(Interval.of(1, 1)) == Interval.of(0, 1)
+
+    def test_max_with(self):
+        assert Interval.of(0, 10).max_with(Interval.of(1, 1)) == Interval.of(1, 10)
+
+    def test_clamp(self):
+        assert Interval.of(-1, 5).clamp(0, 1) == Interval.of(0, 1)
+        assert Interval.of(2, 5).clamp(0, 1) == Interval.of(1, 1)
+        assert Interval.of(-5, -2).clamp(0, 1) == Interval.of(0, 0)
+
+    def test_map_monotone_increasing(self):
+        assert Interval.of(1, 4).map_monotone(math.sqrt) == Interval.of(1, 2)
+
+    def test_map_monotone_decreasing(self):
+        iv = Interval.of(1, 4).map_monotone(lambda x: 1 / x, increasing=False)
+        assert iv == Interval.of(0.25, 1.0)
+
+
+class TestProperties:
+    @given(intervals(), intervals())
+    def test_add_commutes(self, a: Interval, b: Interval):
+        assert a + b == b + a
+
+    @given(intervals(), intervals(), intervals())
+    def test_add_associates(self, a, b, c):
+        left = (a + b) + c
+        right = a + (b + c)
+        assert left.low == pytest.approx(right.low, rel=1e-9, abs=1e-6)
+        assert left.high == pytest.approx(right.high, rel=1e-9, abs=1e-6)
+
+    @given(nonnegative_intervals(), nonnegative_intervals())
+    def test_mul_contains_pointwise_products(self, a, b):
+        product = a * b
+        assert product.contains(a.low * b.low)
+        assert product.contains(a.high * b.high)
+
+    @given(intervals(), intervals())
+    def test_min_with_lower_bounds(self, a, b):
+        m = a.min_with(b)
+        assert m.low == min(a.low, b.low)
+        assert m.high == min(a.high, b.high)
+
+    @given(intervals(), intervals())
+    def test_hull_contains_both(self, a, b):
+        hull = Interval.hull([a, b])
+        assert hull.low <= a.low and hull.high >= a.high
+        assert hull.low <= b.low and hull.high >= b.high
+
+    @given(intervals(), intervals())
+    def test_dominance_antisymmetric_unless_touching(self, a, b):
+        if a.dominates(b) and b.dominates(a):
+            # Only possible when both are the same point.
+            assert a.is_point and b.is_point and a.low == b.low
+
+    @given(intervals())
+    def test_point_midpoint_is_value(self, a):
+        p = Interval.point(a.low)
+        assert p.midpoint == a.low

@@ -1,0 +1,140 @@
+"""Logical algebra, normalization, and query-graph structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.logical.algebra import GetSet, Join, Select
+from repro.logical.predicates import (
+    CompareOp,
+    HostVariable,
+    JoinPredicate,
+    SelectionPredicate,
+)
+from repro.logical.query import QueryGraph, enumerate_partitions, normalize
+from repro.params.parameter import ParameterSpace
+
+
+class TestAlgebra:
+    def test_relations_of_tree(self, catalog):
+        pred = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "sel_v")
+        )
+        join = JoinPredicate(catalog.attribute("R.k"), catalog.attribute("S.j"))
+        expr = Join(Select(GetSet("R"), pred), GetSet("S"), join)
+        assert expr.relations == frozenset({"R", "S"})
+        assert len(expr.children) == 2
+
+    def test_str_forms(self, catalog):
+        assert str(GetSet("R")) == "Get-Set R"
+        pred = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "sel_v")
+        )
+        assert "Select[" in str(Select(GetSet("R"), pred))
+
+
+class TestNormalize:
+    def test_pushes_selections_to_relations(self, catalog):
+        pred = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "sel_v")
+        )
+        join = JoinPredicate(catalog.attribute("R.k"), catalog.attribute("S.j"))
+        space = ParameterSpace()
+        space.add_selectivity("sel_v")
+        # Selection ABOVE the join still lands on R after normalization.
+        expr = Select(Join(GetSet("R"), GetSet("S"), join), pred)
+        graph = normalize(expr, space)
+        assert graph.relations == ("R", "S")
+        assert graph.selections_on("R") == (pred,)
+        assert graph.selections_on("S") == ()
+        assert graph.joins == (join,)
+
+    def test_self_join_rejected(self):
+        join_expr = Join(
+            GetSet("R"),
+            GetSet("R"),
+            JoinPredicate.__new__(JoinPredicate),  # never reached
+        )
+        with pytest.raises(OptimizationError):
+            normalize(join_expr)
+
+    def test_default_empty_parameter_space(self):
+        graph = normalize(GetSet("R"))
+        assert len(graph.parameters) == 0
+
+
+class TestQueryGraphValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(OptimizationError):
+            QueryGraph(relations=())
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(OptimizationError):
+            QueryGraph(relations=("R", "R"))
+
+    def test_selection_on_foreign_relation_rejected(self, catalog):
+        pred = SelectionPredicate(
+            catalog.attribute("S.b"), CompareOp.LT, HostVariable("v", "s")
+        )
+        with pytest.raises(OptimizationError):
+            QueryGraph(relations=("R",), selections={"S": (pred,)})
+
+    def test_misfiled_selection_rejected(self, catalog):
+        pred = SelectionPredicate(
+            catalog.attribute("S.b"), CompareOp.LT, HostVariable("v", "s")
+        )
+        with pytest.raises(OptimizationError):
+            QueryGraph(relations=("R", "S"), selections={"R": (pred,)})
+
+    def test_join_outside_query_rejected(self, catalog):
+        join = JoinPredicate(catalog.attribute("R.k"), catalog.attribute("S.j"))
+        with pytest.raises(OptimizationError):
+            QueryGraph(relations=("R",), joins=(join,))
+
+
+class TestGraphStructure:
+    def test_joins_between_and_within(self, join_query):
+        left, right = frozenset({"R"}), frozenset({"S"})
+        assert len(join_query.joins_between(left, right)) == 1
+        assert join_query.joins_within(frozenset({"R", "S"})) == list(join_query.joins)
+        assert join_query.joins_within(frozenset({"R"})) == []
+
+    def test_connectivity(self, join_query):
+        assert join_query.is_connected(frozenset({"R", "S"}))
+        assert join_query.is_connected(frozenset({"R"}))
+
+    def test_disconnected_subset(self, catalog):
+        catalog.add_relation("T", [("x", 10)], cardinality=10)
+        graph = QueryGraph(relations=("R", "S", "T"))
+        assert not graph.is_connected(frozenset({"R", "T"}))
+
+    def test_enumerate_partitions_ordered_pairs(self):
+        parts = enumerate_partitions(frozenset({"A", "B"}))
+        assert (frozenset({"A"}), frozenset({"B"})) in parts
+        assert (frozenset({"B"}), frozenset({"A"})) in parts
+        assert len(parts) == 2
+
+    def test_enumerate_partitions_count(self):
+        # 2^n - 2 ordered proper partitions.
+        assert len(enumerate_partitions(frozenset("ABCD"))) == 14
+
+
+class TestJoinTreeCounting:
+    def test_single_relation(self, single_relation_query):
+        assert single_relation_query.count_join_trees() == 1
+
+    def test_two_way_join_matches_paper(self, join_query):
+        # The paper reports 2 logical alternatives for query 2.
+        assert join_query.count_join_trees() == 2
+
+    def test_chain_counts_grow(self):
+        from repro.experiments.catalogs import make_experiment_catalog
+        from repro.experiments.queries import build_chain_query
+
+        catalog = make_experiment_catalog(6)
+        counts = [
+            build_chain_query(catalog, n).count_join_trees() for n in (2, 3, 4, 5, 6)
+        ]
+        # Known closed form for chains: t(n) = 2 * sum t(k) t(n-k).
+        assert counts == [2, 8, 40, 224, 1344]

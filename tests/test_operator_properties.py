@@ -1,0 +1,195 @@
+"""Property-based tests for execution operators over arbitrary row sets.
+
+Hypothesis drives the join and aggregation iterators with synthetic inputs
+(no optimizer, no storage) and checks them against brute-force reference
+computations — the operator-level correctness the plan-level tests build on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Attribute
+from repro.cost.model import CostModel
+from repro.executor.database import Database
+from repro.executor.iterators import (
+    HashAggregateIterator,
+    HashJoinIterator,
+    MergeJoinIterator,
+    NestedLoopsJoinIterator,
+    PlanIterator,
+    SortedAggregateIterator,
+)
+from repro.executor.tuples import RowSchema
+from repro.logical.aggregates import (
+    AggregateExpr,
+    AggregateFunction,
+    AggregateSpec,
+)
+from repro.logical.predicates import JoinPredicate
+
+L_KEY = Attribute("L", "k", 8)
+L_VAL = Attribute("L", "v", 100)
+R_KEY = Attribute("R", "k", 8)
+R_VAL = Attribute("R", "v", 100)
+L_SCHEMA = RowSchema((L_KEY, L_VAL))
+R_SCHEMA = RowSchema((R_KEY, R_VAL))
+PREDICATES = (JoinPredicate(L_KEY, R_KEY),)
+
+
+class StaticRows(PlanIterator):
+    def __init__(self, schema: RowSchema, data: list[tuple]) -> None:
+        self.schema = schema
+        self._data = data
+
+    def rows(self):
+        return iter(self._data)
+
+
+def scratch_db() -> Database:
+    return Database(Catalog(), CostModel())
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=99),
+    ),
+    max_size=60,
+)
+
+
+def reference_join(left: list[tuple], right: list[tuple]) -> list[tuple]:
+    return sorted(l + r for l in left for r in right if l[0] == r[0])
+
+
+class TestJoinProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy, rows_strategy, st.integers(min_value=1, max_value=64))
+    def test_hash_join_matches_reference(self, left, right, memory):
+        it = HashJoinIterator(
+            StaticRows(L_SCHEMA, left),
+            StaticRows(R_SCHEMA, right),
+            PREDICATES,
+            scratch_db(),
+            memory_pages=memory,
+        )
+        assert sorted(it.rows()) == reference_join(left, right)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy, rows_strategy)
+    def test_merge_join_matches_reference(self, left, right):
+        it = MergeJoinIterator(
+            StaticRows(L_SCHEMA, sorted(left)),
+            StaticRows(R_SCHEMA, sorted(right)),
+            PREDICATES,
+        )
+        assert sorted(it.rows()) == reference_join(left, right)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows_strategy, rows_strategy, st.integers(min_value=3, max_value=32))
+    def test_nested_loops_matches_reference(self, left, right, memory):
+        it = NestedLoopsJoinIterator(
+            StaticRows(L_SCHEMA, left),
+            StaticRows(R_SCHEMA, right),
+            PREDICATES,
+            scratch_db(),
+            memory_pages=memory,
+        )
+        assert sorted(it.rows()) == reference_join(left, right)
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows_strategy, rows_strategy)
+    def test_all_join_algorithms_agree(self, left, right):
+        hash_out = sorted(
+            HashJoinIterator(
+                StaticRows(L_SCHEMA, left),
+                StaticRows(R_SCHEMA, right),
+                PREDICATES,
+                scratch_db(),
+                memory_pages=16,
+            ).rows()
+        )
+        merge_out = sorted(
+            MergeJoinIterator(
+                StaticRows(L_SCHEMA, sorted(left)),
+                StaticRows(R_SCHEMA, sorted(right)),
+                PREDICATES,
+            ).rows()
+        )
+        nl_out = sorted(
+            NestedLoopsJoinIterator(
+                StaticRows(L_SCHEMA, left),
+                StaticRows(R_SCHEMA, right),
+                PREDICATES,
+                scratch_db(),
+                memory_pages=8,
+            ).rows()
+        )
+        assert hash_out == merge_out == nl_out
+
+
+SPEC = AggregateSpec(
+    group_by=(L_KEY,),
+    aggregates=(
+        AggregateExpr(AggregateFunction.COUNT),
+        AggregateExpr(AggregateFunction.SUM, L_VAL),
+        AggregateExpr(AggregateFunction.MIN, L_VAL),
+        AggregateExpr(AggregateFunction.MAX, L_VAL),
+        AggregateExpr(AggregateFunction.AVG, L_VAL),
+    ),
+)
+
+
+def reference_groups(rows: list[tuple]) -> list[tuple]:
+    groups: dict[int, list[int]] = defaultdict(list)
+    for key, value in rows:
+        groups[key].append(value)
+    return sorted(
+        (k, len(vs), float(sum(vs)), min(vs), max(vs), sum(vs) / len(vs))
+        for k, vs in groups.items()
+    )
+
+
+class TestAggregateProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_hash_aggregate_matches_reference(self, rows):
+        it = HashAggregateIterator(StaticRows(L_SCHEMA, rows), SPEC)
+        got = sorted(it.rows())
+        expected = reference_groups(rows)
+        assert len(got) == len(expected)
+        for g, e in zip(got, expected):
+            assert g[:2] == e[:2]
+            assert g[2] == pytest.approx(e[2])
+            assert (g[3], g[4]) == (e[3], e[4])
+            assert g[5] == pytest.approx(e[5])
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_sorted_aggregate_matches_hash(self, rows):
+        hash_out = sorted(
+            HashAggregateIterator(StaticRows(L_SCHEMA, rows), SPEC).rows()
+        )
+        sorted_out = sorted(
+            SortedAggregateIterator(
+                StaticRows(L_SCHEMA, sorted(rows)), SPEC
+            ).rows()
+        )
+        assert len(hash_out) == len(sorted_out)
+        for a, b in zip(hash_out, sorted_out):
+            assert a[:2] == b[:2]
+            assert a[2] == pytest.approx(b[2])
+            assert a[5] == pytest.approx(b[5])
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows_strategy)
+    def test_group_counts_sum_to_input(self, rows):
+        it = HashAggregateIterator(StaticRows(L_SCHEMA, rows), SPEC)
+        out = list(it.rows())
+        assert sum(r[1] for r in out) == len(rows)

@@ -1,0 +1,105 @@
+"""The paper's central guarantees, verified end to end.
+
+Section 3: "a dynamic plan is guaranteed to include all potentially optimal
+plans for all run-time bindings ... we are assured that ∀i gᵢ = dᵢ."
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.catalogs import make_experiment_catalog
+from repro.experiments.queries import build_chain_query
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.runtime.chooser import resolve_plan
+
+selectivities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestDynamicEqualsRuntime:
+    """gᵢ = dᵢ: the chosen plan matches from-scratch run-time optimization."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(selectivities)
+    def test_single_relation(self, catalog_factory, sel):
+        catalog, query, dynamic = catalog_factory(1)
+        binding = {"sel1": sel}
+        env = query.parameters.bind(binding)
+        g = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env)).execution_cost
+        d = optimize_query(
+            query, catalog, mode=OptimizationMode.RUN_TIME, binding=binding
+        ).plan.cost.low
+        assert g == pytest.approx(d, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(selectivities, selectivities)
+    def test_two_way_join(self, catalog_factory, s1, s2):
+        catalog, query, dynamic = catalog_factory(2)
+        binding = {"sel1": s1, "sel2": s2}
+        env = query.parameters.bind(binding)
+        g = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env)).execution_cost
+        d = optimize_query(
+            query, catalog, mode=OptimizationMode.RUN_TIME, binding=binding
+        ).plan.cost.low
+        assert g == pytest.approx(d, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.lists(selectivities, min_size=4, max_size=4))
+    def test_four_way_join(self, catalog_factory, sels):
+        catalog, query, dynamic = catalog_factory(4)
+        binding = {f"sel{i + 1}": s for i, s in enumerate(sels)}
+        env = query.parameters.bind(binding)
+        g = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env)).execution_cost
+        d = optimize_query(
+            query, catalog, mode=OptimizationMode.RUN_TIME, binding=binding
+        ).plan.cost.low
+        assert g == pytest.approx(d, rel=1e-9, abs=1e-9)
+
+
+class TestDynamicNeverWorseThanStatic:
+    @settings(max_examples=15, deadline=None)
+    @given(selectivities, selectivities)
+    def test_chosen_plan_at_most_static_cost(self, catalog_factory, s1, s2):
+        catalog, query, dynamic = catalog_factory(2)
+        static = optimize_query(query, catalog, mode=OptimizationMode.STATIC)
+        binding = {"sel1": s1, "sel2": s2}
+        env = query.parameters.bind(binding)
+        g = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env)).execution_cost
+        c = resolve_plan(static.plan, static.ctx.with_env(env)).execution_cost
+        assert g <= c * (1 + 1e-9)
+
+
+class TestExhaustiveAgreesWithDynamic:
+    """The dynamic plan prunes only certainly-suboptimal plans, so its
+    chosen cost equals the exhaustive plan's chosen cost everywhere."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(selectivities, selectivities)
+    def test_same_chosen_cost(self, catalog_factory, s1, s2):
+        catalog, query, dynamic = catalog_factory(2)
+        exhaustive = optimize_query(
+            query, catalog, mode=OptimizationMode.EXHAUSTIVE
+        )
+        binding = {"sel1": s1, "sel2": s2}
+        env = query.parameters.bind(binding)
+        g = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env)).execution_cost
+        x = resolve_plan(exhaustive.plan, exhaustive.ctx.with_env(env)).execution_cost
+        assert g == pytest.approx(x, rel=1e-9, abs=1e-9)
+
+
+@pytest.fixture(scope="module")
+def catalog_factory():
+    """Cache (catalog, query, dynamic plan) per query size for speed."""
+    catalog = make_experiment_catalog(4)
+    cache: dict[int, tuple] = {}
+
+    def factory(n: int):
+        if n not in cache:
+            query = build_chain_query(catalog, n)
+            dynamic = optimize_query(query, catalog, mode=OptimizationMode.DYNAMIC)
+            cache[n] = (catalog, query, dynamic)
+        return cache[n]
+
+    return factory

@@ -1,0 +1,105 @@
+"""Parameter spaces and binding environments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BindingError
+from repro.params.parameter import Parameter, ParameterKind, ParameterSpace
+from repro.util.interval import Interval
+
+
+class TestParameter:
+    def test_expected_outside_domain_rejected(self):
+        with pytest.raises(BindingError):
+            Parameter("p", ParameterKind.SELECTIVITY, Interval.of(0, 0.5), 0.9)
+
+    def test_selectivity_domain_must_be_unit_interval(self):
+        with pytest.raises(BindingError):
+            Parameter("p", ParameterKind.SELECTIVITY, Interval.of(0, 2), 0.5)
+
+    def test_memory_parameter_free_domain(self):
+        p = Parameter("m", ParameterKind.MEMORY_PAGES, Interval.of(16, 112), 64)
+        assert p.domain.contains(100)
+
+
+class TestParameterSpace:
+    def test_shorthands(self):
+        space = ParameterSpace()
+        sel = space.add_selectivity("s")
+        mem = space.add_memory()
+        assert sel.kind is ParameterKind.SELECTIVITY
+        assert sel.domain == Interval.of(0, 1)
+        assert sel.expected == 0.05
+        assert mem.kind is ParameterKind.MEMORY_PAGES
+        assert space.names == ["s", "memory"]
+        assert len(space) == 2
+        assert "s" in space
+
+    def test_duplicate_name_rejected(self):
+        space = ParameterSpace()
+        space.add_selectivity("s")
+        with pytest.raises(BindingError):
+            space.add_selectivity("s")
+
+    def test_unknown_get(self):
+        with pytest.raises(BindingError):
+            ParameterSpace().get("nope")
+
+
+class TestEnvironments:
+    def make_space(self) -> ParameterSpace:
+        space = ParameterSpace()
+        space.add_selectivity("s", expected=0.05)
+        space.add_memory()
+        return space
+
+    def test_static_environment_is_points(self):
+        env = self.make_space().static_environment()
+        assert env.fully_bound
+        assert env.interval("s") == Interval.point(0.05)
+        assert env.value("memory") == 64.0
+        assert env.uncertain_names == []
+
+    def test_dynamic_environment_is_domains(self):
+        env = self.make_space().dynamic_environment()
+        assert not env.fully_bound
+        assert env.interval("s") == Interval.of(0, 1)
+        assert set(env.uncertain_names) == {"s", "memory"}
+
+    def test_value_of_unbound_raises(self):
+        env = self.make_space().dynamic_environment()
+        with pytest.raises(BindingError):
+            env.value("s")
+
+    def test_bind(self):
+        env = self.make_space().bind({"s": 0.3, "memory": 32})
+        assert env.fully_bound
+        assert env.value("s") == 0.3
+        assert env.value("memory") == 32.0
+
+    def test_bind_missing_parameter(self):
+        with pytest.raises(BindingError):
+            self.make_space().bind({"s": 0.3})
+
+    def test_bind_out_of_domain(self):
+        with pytest.raises(BindingError):
+            self.make_space().bind({"s": 1.5, "memory": 32})
+
+    def test_bind_unknown_parameter(self):
+        with pytest.raises(BindingError):
+            self.make_space().bind({"s": 0.5, "memory": 32, "extra": 1})
+
+    def test_interval_of_unknown_parameter(self):
+        env = self.make_space().static_environment()
+        with pytest.raises(BindingError):
+            env.interval("nope")
+
+    def test_dynamic_environment_of_point_domains_is_bound(self):
+        space = ParameterSpace()
+        space.add(
+            Parameter(
+                "fixed", ParameterKind.CARDINALITY, Interval.point(10.0), 10.0
+            )
+        )
+        assert space.dynamic_environment().fully_bound

@@ -1,0 +1,192 @@
+"""Physical plan nodes: costing, annotations, DAG accounting, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.physical.explain import explain, to_dot
+from repro.physical.plan import (
+    BtreeScanNode,
+    ChoosePlanNode,
+    FileScanNode,
+    FilterNode,
+    HashJoinNode,
+    IndexJoinNode,
+    MergeJoinNode,
+    SortNode,
+    count_choose_plan_nodes,
+    count_plan_nodes,
+    iter_plan_nodes,
+)
+from repro.util.interval import Interval
+
+
+class TestScanNodes:
+    def test_file_scan_annotations(self, static_ctx):
+        node = FileScanNode(static_ctx, "R")
+        assert node.cardinality == Interval.point(1000)
+        assert node.order is None
+        assert node.cost.is_point
+        assert node.inputs == ()
+
+    def test_btree_scan_full_delivers_order(self, static_ctx, catalog):
+        key = catalog.attribute("R.a")
+        node = BtreeScanNode(static_ctx, "R", key, predicate=None)
+        assert node.order == key
+        assert node.cardinality == Interval.point(1000)
+
+    def test_filter_btree_scan_applies_selectivity(
+        self, dynamic_ctx, catalog, selection_predicate
+    ):
+        key = catalog.attribute("R.a")
+        node = BtreeScanNode(dynamic_ctx, "R", key, predicate=selection_predicate)
+        assert node.cardinality == Interval.of(0, 1000)
+        assert not node.cost.is_point  # uncertainty propagates into cost
+
+    def test_btree_scan_without_index_rejected(self, static_ctx, catalog):
+        catalog.drop_index("R_a")
+        with pytest.raises(PlanError):
+            BtreeScanNode(static_ctx, "R", catalog.attribute("R.a"))
+
+    def test_btree_scan_predicate_attribute_mismatch(
+        self, static_ctx, catalog, selection_predicate
+    ):
+        with pytest.raises(PlanError):
+            BtreeScanNode(
+                static_ctx, "R", catalog.attribute("R.k"), selection_predicate
+            )
+
+
+class TestFilterAndSort:
+    def test_filter_reduces_cardinality(self, static_ctx, selection_predicate):
+        scan = FileScanNode(static_ctx, "R")
+        node = FilterNode(static_ctx, scan, selection_predicate)
+        assert node.cardinality == Interval.point(50)  # 0.05 * 1000
+        assert node.cost.low > scan.cost.low  # includes input cost
+        assert node.order is None
+
+    def test_filter_preserves_order(self, static_ctx, catalog, selection_predicate):
+        key = catalog.attribute("R.a")
+        scan = BtreeScanNode(static_ctx, "R", key)
+        node = FilterNode(static_ctx, scan, selection_predicate)
+        assert node.order == key
+
+    def test_sort_enforces_order(self, static_ctx, catalog):
+        scan = FileScanNode(static_ctx, "R")
+        key = catalog.attribute("R.k")
+        node = SortNode(static_ctx, scan, key)
+        assert node.order == key
+        assert node.cardinality == scan.cardinality
+
+
+class TestJoins:
+    def make_scans(self, ctx):
+        return FileScanNode(ctx, "R"), FileScanNode(ctx, "S")
+
+    def test_hash_join_cardinality(self, static_ctx, join_query):
+        r, s = self.make_scans(static_ctx)
+        node = HashJoinNode(static_ctx, r, s, join_query.joins)
+        # 1000 * 600 / max(300, 300) = 2000
+        assert node.cardinality.is_point
+        assert node.cardinality.low == pytest.approx(2000)
+        assert node.order is None
+
+    def test_hash_join_requires_predicate(self, static_ctx):
+        r, s = self.make_scans(static_ctx)
+        with pytest.raises(PlanError):
+            HashJoinNode(static_ctx, r, s, ())
+
+    def test_merge_join_inherits_left_order(self, static_ctx, catalog, join_query):
+        left = BtreeScanNode(static_ctx, "R", catalog.attribute("R.k"))
+        right = BtreeScanNode(static_ctx, "S", catalog.attribute("S.j"))
+        node = MergeJoinNode(static_ctx, left, right, join_query.joins)
+        assert node.order == catalog.attribute("R.k")
+        assert node.cardinality.low == pytest.approx(2000)
+
+    def test_index_join(self, static_ctx, catalog, join_query):
+        outer = FileScanNode(static_ctx, "R")
+        node = IndexJoinNode(
+            static_ctx, outer, "S", catalog.attribute("S.j"), join_query.joins
+        )
+        assert node.cardinality.low == pytest.approx(2000)
+        assert node.inputs == (outer,)
+
+    def test_index_join_without_index_rejected(self, static_ctx, catalog, join_query):
+        catalog.drop_index("S_j")
+        outer = FileScanNode(static_ctx, "R")
+        with pytest.raises(PlanError):
+            IndexJoinNode(
+                static_ctx, outer, "S", catalog.attribute("S.j"), join_query.joins
+            )
+
+
+class TestChoosePlan:
+    def test_cost_is_min_plus_overhead(self, dynamic_ctx, catalog, selection_predicate):
+        file_plan = FilterNode(
+            dynamic_ctx, FileScanNode(dynamic_ctx, "R"), selection_predicate
+        )
+        index_plan = BtreeScanNode(
+            dynamic_ctx, "R", catalog.attribute("R.a"), selection_predicate
+        )
+        choose = ChoosePlanNode(dynamic_ctx, (file_plan, index_plan))
+        overhead = dynamic_ctx.model.choose_plan_overhead
+        expected = file_plan.cost.min_with(index_plan.cost) + Interval.point(overhead)
+        assert choose.cost == expected
+
+    def test_single_alternative_rejected(self, dynamic_ctx):
+        scan = FileScanNode(dynamic_ctx, "R")
+        with pytest.raises(PlanError):
+            ChoosePlanNode(dynamic_ctx, (scan,))
+
+    def test_cardinality_is_hull(self, dynamic_ctx, catalog, selection_predicate):
+        a = FilterNode(dynamic_ctx, FileScanNode(dynamic_ctx, "R"), selection_predicate)
+        b = BtreeScanNode(dynamic_ctx, "R", catalog.attribute("R.a"), selection_predicate)
+        choose = ChoosePlanNode(dynamic_ctx, (a, b))
+        assert choose.cardinality == Interval.hull([a.cardinality, b.cardinality])
+
+
+class TestDagAccounting:
+    def test_shared_subplans_counted_once(self, dynamic_ctx, join_query):
+        shared = FileScanNode(dynamic_ctx, "R")
+        s = FileScanNode(dynamic_ctx, "S")
+        a = HashJoinNode(dynamic_ctx, shared, s, join_query.joins)
+        b = HashJoinNode(dynamic_ctx, s, shared, join_query.joins)
+        choose = ChoosePlanNode(dynamic_ctx, (a, b))
+        # Nodes: shared R, shared S, two joins, choose = 5 (not 7).
+        assert count_plan_nodes(choose) == 5
+        assert count_choose_plan_nodes(choose) == 1
+
+    def test_iteration_is_postorder(self, static_ctx, selection_predicate):
+        scan = FileScanNode(static_ctx, "R")
+        flt = FilterNode(static_ctx, scan, selection_predicate)
+        nodes = list(iter_plan_nodes(flt))
+        assert nodes == [scan, flt]
+
+
+class TestRendering:
+    def test_explain_marks_shared_subplans(self, dynamic_ctx, join_query):
+        shared = FileScanNode(dynamic_ctx, "R")
+        s = FileScanNode(dynamic_ctx, "S")
+        a = HashJoinNode(dynamic_ctx, shared, s, join_query.joins)
+        b = HashJoinNode(dynamic_ctx, s, shared, join_query.joins)
+        text = explain(ChoosePlanNode(dynamic_ctx, (a, b)))
+        assert "Choose-Plan" in text
+        assert "-> #" in text  # back-reference to a shared subplan
+
+    def test_explain_plain_tree(self, static_ctx, selection_predicate):
+        plan = FilterNode(
+            static_ctx, FileScanNode(static_ctx, "R"), selection_predicate
+        )
+        text = explain(plan, show_cost=False)
+        assert "Filter" in text and "File-Scan R" in text
+        assert "cost=" not in text
+
+    def test_dot_output(self, static_ctx, selection_predicate):
+        plan = FilterNode(
+            static_ctx, FileScanNode(static_ctx, "R"), selection_predicate
+        )
+        dot = to_dot(plan)
+        assert dot.startswith("digraph")
+        assert "File-Scan R" in dot
+        assert "->" in dot

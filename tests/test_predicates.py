@@ -1,0 +1,125 @@
+"""Selection and join predicates: selectivities and evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schema import Attribute
+from repro.errors import BindingError
+from repro.logical.predicates import (
+    RANGE_PREDICATE_DEFAULT_SELECTIVITY,
+    CompareOp,
+    HostVariable,
+    JoinPredicate,
+    Literal,
+    SelectionPredicate,
+)
+from repro.params.parameter import ParameterSpace
+from repro.util.interval import Interval
+
+A = Attribute("R", "a", 200)
+B = Attribute("S", "b", 500)
+
+
+def unbound_predicate() -> SelectionPredicate:
+    return SelectionPredicate(A, CompareOp.LT, HostVariable("v", "sel_v"))
+
+
+class TestCompareOp:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            (CompareOp.EQ, 1, 1, True),
+            (CompareOp.EQ, 1, 2, False),
+            (CompareOp.NE, 1, 2, True),
+            (CompareOp.LT, 1, 2, True),
+            (CompareOp.LE, 2, 2, True),
+            (CompareOp.GT, 3, 2, True),
+            (CompareOp.GE, 2, 3, False),
+        ],
+    )
+    def test_evaluate(self, op, left, right, expected):
+        assert op.evaluate(left, right) is expected
+
+    def test_is_range(self):
+        assert CompareOp.LT.is_range
+        assert CompareOp.EQ.is_range
+        assert not CompareOp.NE.is_range
+
+
+class TestSelectionSelectivity:
+    def test_unbound_reads_parameter(self):
+        space = ParameterSpace()
+        space.add_selectivity("sel_v")
+        predicate = unbound_predicate()
+        assert predicate.is_unbound
+        dynamic = predicate.selectivity(space.dynamic_environment())
+        assert dynamic == Interval.of(0, 1)
+        static = predicate.selectivity(space.static_environment())
+        assert static == Interval.point(0.05)
+        bound = predicate.selectivity(space.bind({"sel_v": 0.7}))
+        assert bound == Interval.point(0.7)
+
+    def test_literal_equality_uses_domain(self):
+        predicate = SelectionPredicate(A, CompareOp.EQ, Literal(42))
+        env = ParameterSpace().static_environment()
+        assert predicate.selectivity(env) == Interval.point(1 / 200)
+
+    def test_literal_inequality(self):
+        predicate = SelectionPredicate(A, CompareOp.NE, Literal(42))
+        env = ParameterSpace().static_environment()
+        assert predicate.selectivity(env) == Interval.point(1 - 1 / 200)
+
+    def test_literal_range_uses_default(self):
+        predicate = SelectionPredicate(A, CompareOp.LT, Literal(42))
+        env = ParameterSpace().static_environment()
+        assert predicate.selectivity(env) == Interval.point(
+            RANGE_PREDICATE_DEFAULT_SELECTIVITY
+        )
+
+
+class TestSelectionEvaluation:
+    def test_literal(self):
+        predicate = SelectionPredicate(A, CompareOp.GE, Literal(10))
+        assert predicate.evaluate(10, {})
+        assert not predicate.evaluate(9, {})
+
+    def test_host_variable(self):
+        predicate = unbound_predicate()
+        assert predicate.evaluate(3, {"v": 5})
+        assert not predicate.evaluate(7, {"v": 5})
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(BindingError):
+            unbound_predicate().evaluate(1, {})
+
+    def test_str_forms(self):
+        assert str(unbound_predicate()) == "R.a < :v"
+        literal = SelectionPredicate(A, CompareOp.EQ, Literal(7))
+        assert str(literal) == "R.a = 7"
+
+
+class TestJoinPredicate:
+    def test_selectivity_uses_larger_domain(self):
+        join = JoinPredicate(A, B)
+        assert join.selectivity() == Interval.point(1 / 500)
+
+    def test_same_relation_rejected(self):
+        with pytest.raises(BindingError):
+            JoinPredicate(A, Attribute("R", "x", 10))
+
+    def test_attribute_for(self):
+        join = JoinPredicate(A, B)
+        assert join.attribute_for("R") == A
+        assert join.attribute_for("S") == B
+        with pytest.raises(BindingError):
+            join.attribute_for("T")
+
+    def test_connects(self):
+        join = JoinPredicate(A, B)
+        assert join.connects(frozenset({"R"}), frozenset({"S"}))
+        assert join.connects(frozenset({"R", "X"}), frozenset({"S", "Y"}))
+        assert not join.connects(frozenset({"R", "S"}), frozenset({"T"}))
+
+    def test_relations(self):
+        assert JoinPredicate(A, B).relations == frozenset({"R", "S"})

@@ -1,0 +1,132 @@
+"""Prepared queries: the one-object embedded-SQL lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BindingError
+from repro.executor.database import Database
+from repro.optimizer.optimizer import OptimizationMode
+from repro.runtime.prepared import PreparedQuery
+
+SQL = "SELECT * FROM R, S WHERE R.a < :v AND R.k = S.j"
+
+
+@pytest.fixture
+def db(catalog) -> Database:
+    database = Database(catalog)
+    database.load_synthetic(seed=44)
+    return database
+
+
+@pytest.fixture
+def prepared(catalog) -> PreparedQuery:
+    return PreparedQuery.prepare(SQL, catalog)
+
+
+def reference(db, v: int) -> int:
+    return sum(
+        1
+        for _, r in db.heap("R").scan()
+        if r[0] < v
+        for _, s in db.heap("S").scan()
+        if r[1] == s[0]
+    )
+
+
+class TestPrepare:
+    def test_from_sql(self, prepared):
+        assert prepared.module.node_count > 1
+        assert prepared.graph.relations == ("R", "S")
+
+    def test_from_graph(self, join_query, catalog):
+        prepared = PreparedQuery.prepare(join_query, catalog)
+        assert prepared.graph is join_query
+
+    def test_static_mode(self, catalog):
+        prepared = PreparedQuery.prepare(
+            SQL, catalog, mode=OptimizationMode.STATIC
+        )
+        from repro.physical.plan import count_choose_plan_nodes
+
+        assert count_choose_plan_nodes(prepared.module.plan) == 0
+
+
+class TestDeriveParameters:
+    def test_selectivity_from_value(self, prepared, db):
+        values = prepared.derive_parameters(db, {"v": 250})
+        assert values["sel:v"] == pytest.approx(0.5)
+
+    def test_overrides_win(self, prepared, db):
+        values = prepared.derive_parameters(db, {"v": 250}, overrides={"sel:v": 0.9})
+        assert values["sel:v"] == 0.9
+
+    def test_memory_defaults(self, join_query_with_memory, catalog, db):
+        prepared = PreparedQuery.prepare(join_query_with_memory, catalog)
+        values = prepared.derive_parameters(db, {"v": 100})
+        assert values["memory"] == 64.0
+
+    def test_underivable_parameter_rejected(self, catalog, db):
+        from repro.logical.query import QueryGraph
+        from repro.params.parameter import ParameterSpace
+
+        space = ParameterSpace()
+        space.add_selectivity("orphan")  # not attached to any predicate
+        graph = QueryGraph(relations=("R",), parameters=space)
+        prepared = PreparedQuery.prepare(graph, catalog)
+        with pytest.raises(BindingError):
+            prepared.derive_parameters(db, {})
+
+
+class TestExecute:
+    def test_rows_correct_across_bindings(self, prepared, db):
+        for v in (20, 300, 480):
+            out = prepared.execute(db, {"v": v})
+            assert out.metrics.rows == reference(db, v)
+
+    def test_explicit_parameters(self, prepared, db):
+        out = prepared.execute(db, {"v": 50}, parameter_values={"sel:v": 0.1})
+        assert out.metrics.rows == reference(db, 50)
+
+    def test_decisions_adapt(self, prepared, db):
+        from repro.physical.plan import BtreeScanNode, FilterNode
+
+        selective = prepared.activate(
+            prepared.derive_parameters(db, {"v": 3})
+        )
+        unselective = prepared.activate(
+            prepared.derive_parameters(db, {"v": 495})
+        )
+        chosen_kinds = lambda act: {  # noqa: E731 - local shorthand
+            type(node) for node in act.decision.choices.values()
+        }
+        assert chosen_kinds(selective) != chosen_kinds(unselective) or (
+            BtreeScanNode in chosen_kinds(selective)
+            and FilterNode in chosen_kinds(unselective)
+        )
+
+
+class TestReoptimization:
+    def test_transparent_reoptimization_after_ddl(self, prepared, catalog, db):
+        before = prepared.module
+        out1 = prepared.execute(db, {"v": 100})
+        catalog.drop_index("S_b")  # unused by the plan: module stays valid
+        out2 = prepared.execute(db, {"v": 100})
+        assert prepared.reoptimizations == 0
+        catalog.drop_index("R_a")  # used by an alternative: invalidated
+        out3 = prepared.execute(db, {"v": 100})
+        assert prepared.reoptimizations == 1
+        assert prepared.module is not before
+        assert out1.metrics.rows == out2.metrics.rows == out3.metrics.rows
+
+    def test_reoptimized_plan_avoids_dropped_index(self, prepared, catalog, db):
+        from repro.physical.plan import BtreeScanNode, iter_plan_nodes
+
+        catalog.drop_index("R_a")
+        prepared.execute(db, {"v": 100})
+        keys = {
+            node.key.qualified_name
+            for node in iter_plan_nodes(prepared.module.plan)
+            if isinstance(node, BtreeScanNode)
+        }
+        assert "R.a" not in keys

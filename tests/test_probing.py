@@ -1,0 +1,114 @@
+"""The Section 3 probing heuristic (opt-in consistently-cheaper detection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.context import CostContext
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.optimizer.probing import ProbePolicy
+from repro.physical.plan import BtreeScanNode, FileScanNode, FilterNode
+
+
+class TestProbePolicy:
+    def test_detects_consistently_cheaper_scan(
+        self, catalog, model, single_relation_query
+    ):
+        """A full B-tree scan never beats a file scan (no order required):
+        intervals are points here, but the probe agrees with dominance."""
+        env = single_relation_query.parameters.dynamic_environment()
+        ctx = CostContext(catalog=catalog, model=model, env=env)
+        policy = ProbePolicy(ctx, samples=4, seed=1)
+        file_scan = FileScanNode(ctx, "R")
+        btree_full = BtreeScanNode(ctx, "R", catalog.attribute("R.a"))
+        assert policy.consistently_cheaper(file_scan, btree_full)
+        assert not policy.consistently_cheaper(btree_full, file_scan)
+
+    def test_crossing_plans_not_collapsed(
+        self, catalog, model, single_relation_query, selection_predicate
+    ):
+        """File scan vs index scan cross at ~0.06 selectivity: with corner
+        probes included, neither is consistently cheaper."""
+        env = single_relation_query.parameters.dynamic_environment()
+        ctx = CostContext(catalog=catalog, model=model, env=env)
+        policy = ProbePolicy(ctx, samples=8, seed=1)
+        file_plan = FilterNode(ctx, FileScanNode(ctx, "R"), selection_predicate)
+        index_plan = BtreeScanNode(
+            ctx, "R", catalog.attribute("R.a"), selection_predicate
+        )
+        assert not policy.consistently_cheaper(file_plan, index_plan)
+        assert not policy.consistently_cheaper(index_plan, file_plan)
+
+    def test_statistics_recorded(self, catalog, model, single_relation_query):
+        env = single_relation_query.parameters.dynamic_environment()
+        ctx = CostContext(catalog=catalog, model=model, env=env)
+        policy = ProbePolicy(ctx, samples=2, seed=1)
+        a = FileScanNode(ctx, "R")
+        b = BtreeScanNode(ctx, "R", catalog.attribute("R.a"))
+        policy.consistently_cheaper(a, b)
+        assert policy.comparisons == 1
+        assert policy.drops == 1
+
+    def test_costs_memoized(self, catalog, model, single_relation_query):
+        env = single_relation_query.parameters.dynamic_environment()
+        ctx = CostContext(catalog=catalog, model=model, env=env)
+        policy = ProbePolicy(ctx, samples=2, seed=1)
+        plan = FileScanNode(ctx, "R")
+        first = policy.cost_at(plan, 0)
+        assert policy.cost_at(plan, 0) == first
+        assert len(policy._costs) == 1
+
+
+class TestProbingOptimization:
+    def test_probing_shrinks_dynamic_plans(self, join_query, catalog):
+        plain = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        probed = optimize_query(
+            join_query, catalog, mode=OptimizationMode.DYNAMIC, probe_samples=6
+        )
+        assert probed.plan_node_count <= plain.plan_node_count
+
+    def test_probing_keeps_crossing_alternatives(
+        self, single_relation_query, catalog
+    ):
+        """The motivating example's two plans genuinely cross: probing with
+        corners keeps both."""
+        probed = optimize_query(
+            single_relation_query,
+            catalog,
+            mode=OptimizationMode.DYNAMIC,
+            probe_samples=8,
+        )
+        assert probed.choose_plan_count == 1
+        assert len(probed.plan.alternatives) == 2
+
+    def test_probing_off_by_default(self, join_query, catalog):
+        a = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        b = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        assert a.plan_node_count == b.plan_node_count
+
+    def test_probed_plan_still_resolves_and_dominates_static(
+        self, join_query, catalog
+    ):
+        from repro.runtime.chooser import resolve_plan
+
+        probed = optimize_query(
+            join_query, catalog, mode=OptimizationMode.DYNAMIC, probe_samples=6
+        )
+        static = optimize_query(join_query, catalog, mode=OptimizationMode.STATIC)
+        for sel in (0.01, 0.5, 0.97):
+            env = join_query.parameters.bind({"sel_v": sel})
+            p = resolve_plan(probed.plan, probed.ctx.with_env(env)).execution_cost
+            c = resolve_plan(static.plan, static.ctx.with_env(env)).execution_cost
+            # Probing keeps at least the plans needed to beat or match the
+            # static plan at the probed corners and samples.
+            assert p <= c * 1.5
+
+    def test_probing_rejected_in_static_mode_is_harmless(
+        self, join_query, catalog
+    ):
+        # Static point costs are always comparable; probing has nothing to
+        # do but must not break anything.
+        result = optimize_query(
+            join_query, catalog, mode=OptimizationMode.STATIC, probe_samples=4
+        )
+        assert not result.is_dynamic

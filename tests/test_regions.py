@@ -1,0 +1,182 @@
+"""Plan diagrams (optimality regions) and the buffer-aware fetch model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost import formulas
+from repro.cost.model import CostModel
+from repro.catalog.statistics import RelationStats
+from repro.errors import BindingError
+from repro.experiments.regions import selectivity_regions
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.util.interval import Interval
+
+
+class TestSelectivityRegions:
+    def test_motivating_example_has_two_regions(
+        self, single_relation_query, catalog
+    ):
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        regions = selectivity_regions(result, "sel_v")
+        assert len(regions) == 2
+        # Index scan region first, file scan region after the crossover.
+        assert "B-tree" in regions[0].description
+        assert "File-Scan" in regions[1].description
+
+    def test_boundary_matches_cost_crossover(self, single_relation_query, catalog):
+        """The region boundary sits where the two alternatives' costs meet."""
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        regions = selectivity_regions(result, "sel_v", tolerance=1e-7)
+        boundary = regions[0].high
+        from repro.runtime.chooser import resolve_plan
+
+        space = single_relation_query.parameters
+        a, b = result.plan.alternatives
+        costs_at = lambda s: [  # noqa: E731
+            resolve_plan(alt, result.ctx.with_env(space.bind({"sel_v": s})))
+            .execution_cost
+            for alt in (a, b)
+        ]
+        below = costs_at(max(0.0, boundary - 1e-3))
+        above = costs_at(min(1.0, boundary + 1e-3))
+        # The winner flips across the boundary.
+        assert (below[0] < below[1]) != (above[0] < above[1])
+
+    def test_regions_cover_domain(self, join_query, catalog):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        regions = selectivity_regions(result, "sel_v")
+        assert regions[0].low == 0.0
+        assert regions[-1].high == 1.0
+        for before, after in zip(regions, regions[1:]):
+            assert before.high == pytest.approx(after.low)
+
+    def test_signatures_distinct_between_adjacent_regions(
+        self, join_query, catalog
+    ):
+        result = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
+        regions = selectivity_regions(result, "sel_v")
+        for before, after in zip(regions, regions[1:]):
+            assert before.signature != after.signature
+
+    def test_other_parameters_must_be_fixed(self, join_query_with_memory, catalog):
+        result = optimize_query(
+            join_query_with_memory, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        with pytest.raises(BindingError):
+            selectivity_regions(result, "sel_v")
+        regions = selectivity_regions(result, "sel_v", fixed={"memory": 64})
+        assert len(regions) >= 2
+
+    def test_static_plan_single_region(self, single_relation_query, catalog):
+        result = optimize_query(
+            single_relation_query, catalog, mode=OptimizationMode.STATIC
+        )
+        regions = selectivity_regions(result, "sel_v")
+        assert len(regions) == 1
+        assert regions[0].width == pytest.approx(1.0)
+
+
+class TestDecisionGrid:
+    def test_grid_shape_and_distinct_count(self, join_query_with_memory, catalog):
+        from repro.experiments.regions import decision_grid
+
+        result = optimize_query(
+            join_query_with_memory, catalog, mode=OptimizationMode.DYNAMIC
+        )
+        grid, distinct = decision_grid(
+            result, "sel_v", "memory", steps=8
+        )
+        assert len(grid) == 8 and all(len(row) == 8 for row in grid)
+        assert 1 <= distinct <= 64
+        assert max(cell for row in grid for cell in row) == distinct - 1
+
+    def test_unfixed_third_parameter_rejected(self, catalog):
+        from repro.experiments.regions import decision_grid
+        from repro.logical.predicates import (
+            CompareOp,
+            HostVariable,
+            SelectionPredicate,
+        )
+        from repro.logical.query import QueryGraph
+        from repro.params.parameter import ParameterSpace
+
+        space = ParameterSpace()
+        space.add_selectivity("s1")
+        space.add_selectivity("s2")
+        space.add_memory()
+        p1 = SelectionPredicate(
+            catalog.attribute("R.a"), CompareOp.LT, HostVariable("v1", "s1")
+        )
+        p2 = SelectionPredicate(
+            catalog.attribute("R.k"), CompareOp.LT, HostVariable("v2", "s2")
+        )
+        query = QueryGraph(
+            relations=("R",), selections={"R": (p1, p2)}, parameters=space
+        )
+        result = optimize_query(query, catalog, mode=OptimizationMode.DYNAMIC)
+        with pytest.raises(BindingError):
+            decision_grid(result, "s1", "s2", steps=4)
+        grid, _ = decision_grid(result, "s1", "s2", fixed={"memory": 64}, steps=4)
+        assert len(grid) == 4
+
+
+class TestBufferAwareFetches:
+    STATS = RelationStats(cardinality=1000, record_bytes=512)
+
+    def test_cardenas_formula_bounds(self):
+        assert formulas.distinct_pages_touched(0, 100) == 0.0
+        assert formulas.distinct_pages_touched(50, 0) == 0.0
+        assert formulas.distinct_pages_touched(10_000, 100) <= 100.0
+        assert formulas.distinct_pages_touched(1, 100) == pytest.approx(1.0)
+
+    def test_cardenas_monotone(self):
+        values = [formulas.distinct_pages_touched(k, 250) for k in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+        assert values[-1] < 250
+
+    def test_buffer_aware_caps_high_selectivity_cost(self):
+        naive = CostModel(buffer_aware_fetches=False)
+        aware = CostModel(buffer_aware_fetches=True)
+        sel = Interval.point(0.9)
+        cost_naive = formulas.btree_scan_cost(naive, self.STATS, sel)
+        cost_aware = formulas.btree_scan_cost(aware, self.STATS, sel)
+        assert cost_aware.low < cost_naive.low
+
+    def test_buffer_aware_keeps_low_selectivity_cost(self):
+        naive = CostModel(buffer_aware_fetches=False)
+        aware = CostModel(buffer_aware_fetches=True)
+        sel = Interval.point(0.001)
+        cost_naive = formulas.btree_scan_cost(naive, self.STATS, sel)
+        cost_aware = formulas.btree_scan_cost(aware, self.STATS, sel)
+        assert cost_aware.low == pytest.approx(cost_naive.low, rel=0.05)
+
+    def test_buffer_aware_moves_crossover(self, single_relation_query, catalog):
+        """With the distinct-page cap, the index scan stays viable longer:
+        the plan-diagram crossover shifts right."""
+        naive = optimize_query(
+            single_relation_query,
+            catalog,
+            CostModel(buffer_aware_fetches=False),
+            mode=OptimizationMode.DYNAMIC,
+        )
+        aware = optimize_query(
+            single_relation_query,
+            catalog,
+            CostModel(buffer_aware_fetches=True),
+            mode=OptimizationMode.DYNAMIC,
+        )
+        naive_regions = selectivity_regions(naive, "sel_v")
+        aware_regions = selectivity_regions(aware, "sel_v")
+        assert aware_regions[0].high > naive_regions[0].high
+
+    def test_monotone_lifting_still_valid(self):
+        """The buffer-aware formula stays monotone in selectivity, so the
+        interval lifting remains sound."""
+        aware = CostModel(buffer_aware_fetches=True)
+        cost = formulas.btree_scan_cost(aware, self.STATS, Interval.of(0.0, 1.0))
+        assert cost.low < cost.high

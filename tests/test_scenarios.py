@@ -1,0 +1,151 @@
+"""Figure 3 scenario accounting and break-even arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.scenarios import (
+    InvocationOutcome,
+    ScenarioRun,
+    break_even_vs_runtime,
+    break_even_vs_static,
+    run_dynamic_scenario,
+    run_runtime_scenario,
+    run_static_scenario,
+)
+
+
+BINDINGS = [{"sel_v": s} for s in (0.01, 0.2, 0.5, 0.8, 0.99)]
+
+
+@pytest.fixture(scope="module")
+def runs(request):
+    """All three scenarios over shared bindings for the join query."""
+    # Rebuild fixtures locally: module-scoped fixture cannot use the
+    # function-scoped catalog fixture.
+    from repro.catalog.catalog import Catalog
+    from repro.logical.predicates import (
+        CompareOp,
+        HostVariable,
+        JoinPredicate,
+        SelectionPredicate,
+    )
+    from repro.logical.query import QueryGraph
+    from repro.params.parameter import ParameterSpace
+
+    catalog = Catalog()
+    catalog.add_relation("R", [("a", 500), ("k", 300)], cardinality=1000)
+    catalog.add_relation("S", [("j", 300), ("b", 400)], cardinality=600)
+    for rel, attr in [("R", "a"), ("R", "k"), ("S", "j"), ("S", "b")]:
+        catalog.create_index(f"{rel}_{attr}", rel, attr)
+    space = ParameterSpace()
+    space.add_selectivity("sel_v")
+    query = QueryGraph(
+        relations=("R", "S"),
+        selections={
+            "R": (
+                SelectionPredicate(
+                    catalog.attribute("R.a"), CompareOp.LT, HostVariable("v", "sel_v")
+                ),
+            )
+        },
+        joins=(JoinPredicate(catalog.attribute("R.k"), catalog.attribute("S.j")),),
+        parameters=space,
+    )
+    return {
+        "static": run_static_scenario(query, catalog, BINDINGS),
+        "runtime": run_runtime_scenario(query, catalog, BINDINGS),
+        "dynamic": run_dynamic_scenario(query, catalog, BINDINGS),
+    }
+
+
+class TestScenarioStructure:
+    def test_invocation_counts(self, runs):
+        for run in runs.values():
+            assert len(run.invocations) == len(BINDINGS)
+
+    def test_static_has_no_per_invocation_optimization(self, runs):
+        assert runs["static"].average_optimization_seconds == 0.0
+        assert runs["static"].compile_time_seconds > 0
+
+    def test_runtime_has_no_compile_time(self, runs):
+        assert runs["runtime"].compile_time_seconds == 0.0
+        assert runs["runtime"].average_optimization_seconds > 0
+        assert runs["runtime"].average_startup_seconds == 0.0
+
+    def test_dynamic_has_both(self, runs):
+        dynamic = runs["dynamic"]
+        assert dynamic.compile_time_seconds > 0
+        assert dynamic.average_startup_seconds > 0
+
+    def test_g_equals_d(self, runs):
+        """The invariant behind the paper's Figure 8: ∀i gᵢ = dᵢ."""
+        for g, d in zip(runs["dynamic"].invocations, runs["runtime"].invocations):
+            assert g.execution_seconds == pytest.approx(d.execution_seconds)
+
+    def test_dynamic_execution_never_worse_than_static(self, runs):
+        for g, c in zip(runs["dynamic"].invocations, runs["static"].invocations):
+            assert g.execution_seconds <= c.execution_seconds * (1 + 1e-9)
+
+    def test_dynamic_optimization_costs_more_than_static(self, runs):
+        assert (
+            runs["dynamic"].compile_time_seconds
+            >= runs["static"].compile_time_seconds
+        )
+
+    def test_plan_nodes_reported(self, runs):
+        assert runs["dynamic"].plan_node_count > runs["static"].plan_node_count
+
+
+class TestTotals:
+    def test_total_effort_accumulates(self, runs):
+        run = runs["dynamic"]
+        assert run.total_effort(1) < run.total_effort(3) <= run.total_effort()
+
+    def test_total_effort_bounds_checked(self, runs):
+        with pytest.raises(ValueError):
+            runs["static"].total_effort(len(BINDINGS) + 1)
+
+    def test_average_runtime(self, runs):
+        run = runs["runtime"]
+        expected = sum(i.total_seconds for i in run.invocations) / len(run.invocations)
+        assert run.average_runtime_seconds == pytest.approx(expected)
+
+
+class TestBreakEven:
+    def test_vs_static_is_small(self, runs):
+        n = break_even_vs_static(runs["dynamic"], runs["static"])
+        assert n is not None and n <= 2  # paper: 1
+
+    def test_vs_static_consistent_with_totals(self, runs):
+        n = break_even_vs_static(runs["dynamic"], runs["static"])
+        assert n is not None
+        # At the break-even point the dynamic total must not exceed static's
+        # (using average-based extrapolation like the paper's formula).
+        dyn, sta = runs["dynamic"], runs["static"]
+        dyn_total = dyn.compile_time_seconds + n * (
+            dyn.average_startup_seconds + dyn.average_execution_seconds
+        )
+        sta_total = sta.compile_time_seconds + n * (
+            sta.average_startup_seconds + sta.average_execution_seconds
+        )
+        assert dyn_total <= sta_total + 1e-9
+
+    def test_vs_runtime(self, runs):
+        n = break_even_vs_runtime(runs["dynamic"], runs["runtime"])
+        assert n is None or n >= 1
+
+    def test_never_case(self):
+        cheap_always = ScenarioRun(
+            name="x",
+            compile_time_seconds=0.0,
+            plan_node_count=1,
+            invocations=(InvocationOutcome(0.0, 0.0, 1.0),),
+        )
+        pricey = ScenarioRun(
+            name="y",
+            compile_time_seconds=10.0,
+            plan_node_count=1,
+            invocations=(InvocationOutcome(0.0, 5.0, 1.0),),
+        )
+        assert break_even_vs_static(pricey, cheap_always) is None

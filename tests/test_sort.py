@@ -1,0 +1,111 @@
+"""External merge sort: correctness and spill accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.model import CostModel
+from repro.errors import ExecutionError
+from repro.executor.sort import external_sort
+from repro.executor.storage import SimulatedDisk
+
+
+def run_sort(rows, memory_pages=4, rows_per_page=4):
+    disk = SimulatedDisk(CostModel())
+    result = list(
+        external_sort(
+            disk,
+            rows,
+            key=lambda r: r[0],
+            memory_pages=memory_pages,
+            rows_per_page=rows_per_page,
+        )
+    )
+    return result, disk
+
+
+class TestInMemory:
+    def test_small_input_no_io(self):
+        rows = [(3,), (1,), (2,)]
+        result, disk = run_sort(rows, memory_pages=4, rows_per_page=4)
+        assert result == [(1,), (2,), (3,)]
+        assert disk.counters.writes == 0
+        assert disk.counters.total_reads == 0
+
+    def test_empty_input(self):
+        result, disk = run_sort([])
+        assert result == []
+
+    def test_exact_budget_boundary(self):
+        # 16 rows fit exactly into 4 pages × 4 rows: spills one run.
+        rows = [(i,) for i in range(16, 0, -1)]
+        result, disk = run_sort(rows)
+        assert [r[0] for r in result] == list(range(1, 17))
+
+
+class TestExternal:
+    def test_spills_and_merges(self):
+        rows = [(i % 97,) for i in range(500, 0, -1)]
+        result, disk = run_sort(rows, memory_pages=3, rows_per_page=4)
+        assert [r[0] for r in result] == sorted(r[0] for r in rows)
+        assert disk.counters.writes > 0
+        assert disk.counters.total_reads > 0
+
+    def test_multipass_merge(self):
+        # memory 3 → fan-in 2; many runs force multiple merge passes.
+        rows = [(i,) for i in range(300, 0, -1)]
+        result, disk = run_sort(rows, memory_pages=3, rows_per_page=2)
+        assert [r[0] for r in result] == list(range(1, 301))
+
+    def test_temp_files_cleaned_up(self):
+        rows = [(i,) for i in range(200, 0, -1)]
+        disk = SimulatedDisk(CostModel())
+        list(
+            external_sort(
+                disk, rows, key=lambda r: r[0], memory_pages=3, rows_per_page=2
+            )
+        )
+        # All temporary run files must be dropped after the final merge.
+        assert all(
+            not disk.file_exists(f"__temp_{i}") for i in range(200)
+        )
+
+    def test_stability_not_required_but_keys_ordered(self):
+        rows = [(5, "a"), (1, "b"), (5, "c"), (1, "d")]
+        result, _ = run_sort(rows, memory_pages=3, rows_per_page=1)
+        assert [r[0] for r in result] == [1, 1, 5, 5]
+
+    def test_insufficient_memory_rejected(self):
+        with pytest.raises(ExecutionError):
+            list(
+                external_sort(
+                    SimulatedDisk(CostModel()),
+                    [(1,)],
+                    key=lambda r: r[0],
+                    memory_pages=2,
+                    rows_per_page=4,
+                )
+            )
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000), max_size=400),
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_matches_sorted(self, values, memory_pages, rows_per_page):
+        rows = [(v,) for v in values]
+        result, _ = run_sort(rows, memory_pages, rows_per_page)
+        assert [r[0] for r in result] == sorted(values)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(), min_size=1, max_size=200))
+    def test_more_memory_means_no_more_io(self, values):
+        rows = [(v,) for v in values]
+        _, tight = run_sort(list(rows), memory_pages=3, rows_per_page=2)
+        _, ample = run_sort(list(rows), memory_pages=8, rows_per_page=2)
+        assert ample.counters.writes <= tight.counters.writes

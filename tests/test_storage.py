@@ -1,0 +1,118 @@
+"""Simulated disk and heap files: payloads, rids, and I/O accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.errors import ExecutionError
+from repro.executor.storage import HeapFile, SimulatedDisk
+
+
+@pytest.fixture
+def disk() -> SimulatedDisk:
+    return SimulatedDisk(CostModel())
+
+
+class TestFiles:
+    def test_create_and_drop(self, disk):
+        disk.create_file("f")
+        assert disk.file_exists("f")
+        disk.drop_file("f")
+        assert not disk.file_exists("f")
+
+    def test_duplicate_create_rejected(self, disk):
+        disk.create_file("f")
+        with pytest.raises(ExecutionError):
+            disk.create_file("f")
+
+    def test_drop_missing_rejected(self, disk):
+        with pytest.raises(ExecutionError):
+            disk.drop_file("f")
+
+    def test_temp_files_unique(self, disk):
+        a, b = disk.create_temp_file(), disk.create_temp_file()
+        assert a != b
+        assert disk.file_exists(a) and disk.file_exists(b)
+
+
+class TestPageAccess:
+    def test_append_read_roundtrip(self, disk):
+        disk.create_file("f")
+        n = disk.append_page("f", [1, 2, 3])
+        assert disk.read_page("f", n) == [1, 2, 3]
+
+    def test_out_of_range_read(self, disk):
+        disk.create_file("f")
+        with pytest.raises(ExecutionError):
+            disk.read_page("f", 0)
+
+    def test_sequential_vs_random_classification(self, disk):
+        disk.create_file("f")
+        for i in range(4):
+            disk.append_page("f", [i])
+        disk.read_page("f", 0)  # random (first access)
+        disk.read_page("f", 1)  # sequential
+        disk.read_page("f", 2)  # sequential
+        disk.read_page("f", 0)  # random (backwards)
+        assert disk.counters.sequential_reads == 2
+        assert disk.counters.random_reads == 2
+
+    def test_io_time_accumulates(self, disk):
+        model = disk.model
+        disk.create_file("f")
+        disk.append_page("f", [1])
+        before = disk.counters.seconds
+        disk.read_page("f", 0)
+        assert disk.counters.seconds == pytest.approx(
+            before + model.random_page_io
+        )
+
+    def test_write_page_in_place(self, disk):
+        disk.create_file("f")
+        disk.append_page("f", [1])
+        disk.write_page("f", 0, [2])
+        assert disk.read_page("f", 0) == [2]
+
+    def test_scan_pages_in_order(self, disk):
+        disk.create_file("f")
+        for i in range(3):
+            disk.append_page("f", [i])
+        assert [p for _, p in disk.scan_pages("f")] == [[0], [1], [2]]
+
+
+class TestHeapFile:
+    def test_append_and_scan(self, disk):
+        heap = HeapFile(disk, "h", records_per_page=2)
+        rids = [heap.append((i,)) for i in range(5)]
+        assert heap.record_count == 5
+        scanned = list(heap.scan())
+        assert [r for _, r in scanned] == [(i,) for i in range(5)]
+        assert [rid for rid, _ in scanned] == rids
+
+    def test_rids_are_page_slot(self, disk):
+        heap = HeapFile(disk, "h", records_per_page=2)
+        assert heap.append((0,)) == (0, 0)
+        assert heap.append((1,)) == (0, 1)
+        assert heap.append((2,)) == (1, 0)
+
+    def test_fetch_by_rid(self, disk):
+        heap = HeapFile(disk, "h", records_per_page=2)
+        rid = heap.append((42,))
+        heap.append((43,))
+        assert heap.fetch(rid) == (42,)
+
+    def test_fetch_invalid_rid(self, disk):
+        heap = HeapFile(disk, "h", records_per_page=2)
+        heap.append((1,))
+        with pytest.raises(ExecutionError):
+            heap.fetch((0, 5))
+
+    def test_scan_flushes_tail(self, disk):
+        heap = HeapFile(disk, "h", records_per_page=4)
+        heap.append((1,))  # partial page only
+        assert [r for _, r in heap.scan()] == [(1,)]
+
+    def test_nonpositive_records_per_page_rejected(self, disk):
+        with pytest.raises(ExecutionError):
+            HeapFile(disk, "h", records_per_page=0)

@@ -1,0 +1,67 @@
+"""Utility modules: table formatting and RNG helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.fmt import format_table
+from repro.util.rng import make_rng, spawn
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [("alpha", 1), ("b", 22)],
+            title="My Table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # Right-aligned columns: every data line has the same width.
+        assert len(lines[3]) == len(lines[4]) == len(lines[1])
+
+    def test_no_title(self):
+        text = format_table(["a"], [(1,)])
+        assert text.splitlines()[0].strip() == "a"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(0.000123,), (1234.5,), (0.5,), (0.0,)])
+        assert "1.230e-04" in text
+        assert "1.234e+03" in text or "1234" in text
+        assert "0.5" in text
+        lines = text.splitlines()
+        assert lines[-1].strip() == "0"
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestRng:
+    def test_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_isolated_from_global(self):
+        import random
+
+        random.seed(1)
+        state = random.getstate()
+        make_rng(99).random()
+        assert random.getstate() == state
+
+    def test_spawn_independent_streams(self):
+        parent = make_rng(7)
+        child_a = spawn(parent)
+        child_b = spawn(parent)
+        assert child_a.random() != child_b.random()
+
+    def test_spawn_deterministic_given_parent_seed(self):
+        a = spawn(make_rng(3)).random()
+        b = spawn(make_rng(3)).random()
+        assert a == b

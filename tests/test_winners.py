@@ -1,0 +1,143 @@
+"""Winner sets: the non-dominated frontier under interval costs."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.optimizer.winners import WinnerSet
+from repro.util.interval import Interval
+
+
+class FakePlan:
+    """Minimal stand-in carrying only a cost interval."""
+
+    __slots__ = ("cost",)
+
+    def __init__(self, low: float, high: float) -> None:
+        self.cost = Interval.of(low, high)
+
+    def __repr__(self) -> str:
+        return f"FakePlan({self.cost})"
+
+
+class TestDominance:
+    def test_cheaper_point_replaces_pricier(self):
+        winners = WinnerSet()
+        expensive = FakePlan(10, 10)
+        cheap = FakePlan(1, 1)
+        assert winners.consider(expensive)
+        assert winners.consider(cheap)
+        assert winners.plans == [cheap]
+
+    def test_dominated_candidate_dropped(self):
+        winners = WinnerSet()
+        winners.consider(FakePlan(1, 2))
+        assert not winners.consider(FakePlan(5, 9))
+        assert len(winners) == 1
+
+    def test_overlapping_intervals_both_kept(self):
+        winners = WinnerSet()
+        assert winners.consider(FakePlan(0, 10))
+        assert winners.consider(FakePlan(5, 6))
+        assert len(winners) == 2
+
+    def test_equal_point_costs_keep_first(self):
+        winners = WinnerSet()
+        first = FakePlan(3, 3)
+        second = FakePlan(3, 3)
+        winners.consider(first)
+        assert not winners.consider(second)
+        assert winners.plans == [first]
+
+    def test_identical_intervals_both_kept(self):
+        # The paper's conservative policy: equal-looking interval costs are
+        # incomparable, both plans stay (e.g. the two merge-join orders).
+        winners = WinnerSet()
+        winners.consider(FakePlan(1, 5))
+        assert winners.consider(FakePlan(1, 5))
+        assert len(winners) == 2
+
+    def test_new_winner_evicts_multiple(self):
+        winners = WinnerSet()
+        winners.consider(FakePlan(10, 12))
+        winners.consider(FakePlan(20, 22))
+        winners.consider(FakePlan(1, 2))
+        assert len(winners) == 1
+        assert winners.plans[0].cost == Interval.of(1, 2)
+
+
+class TestKeepAll:
+    def test_exhaustive_mode_never_prunes(self):
+        winners = WinnerSet(keep_all=True)
+        winners.consider(FakePlan(1, 1))
+        winners.consider(FakePlan(100, 100))
+        assert len(winners) == 2
+
+
+class TestBounds:
+    def test_best_upper_bound(self):
+        winners = WinnerSet()
+        assert winners.best_upper_bound() == float("inf")
+        winners.consider(FakePlan(0, 10))
+        winners.consider(FakePlan(3, 7))
+        assert winners.best_upper_bound() == 7
+
+    def test_combined_cost_single(self):
+        winners = WinnerSet()
+        winners.consider(FakePlan(2, 4))
+        assert winners.combined_cost(0.01) == Interval.of(2, 4)
+
+    def test_combined_cost_multiple_adds_overhead(self):
+        winners = WinnerSet()
+        winners.consider(FakePlan(0, 10))
+        winners.consider(FakePlan(1, 1.5))
+        combined = winners.combined_cost(0.01)
+        assert combined == Interval.of(0.01, 1.51)
+
+    def test_combined_cost_empty_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            WinnerSet().combined_cost(0.01)
+
+
+bounds = st.floats(min_value=0, max_value=1000, allow_nan=False)
+
+
+@st.composite
+def plans(draw) -> FakePlan:
+    a, b = draw(bounds), draw(bounds)
+    return FakePlan(min(a, b), max(a, b))
+
+
+class TestFrontierProperties:
+    @given(st.lists(plans(), min_size=1, max_size=30))
+    def test_no_winner_dominates_another(self, candidates):
+        winners = WinnerSet()
+        for plan in candidates:
+            winners.consider(plan)
+        for a in winners:
+            for b in winners:
+                if a is b:
+                    continue
+                assert not a.cost.dominates(b.cost)
+
+    @given(st.lists(plans(), min_size=1, max_size=30))
+    def test_every_candidate_dominated_or_retained(self, candidates):
+        winners = WinnerSet()
+        for plan in candidates:
+            winners.consider(plan)
+        for candidate in candidates:
+            covered = candidate in winners.plans or any(
+                w.cost.dominates(candidate.cost) for w in winners
+            )
+            assert covered
+
+    @given(st.lists(plans(), min_size=1, max_size=30))
+    def test_combined_lower_bound_is_global_min(self, candidates):
+        winners = WinnerSet()
+        for plan in candidates:
+            winners.consider(plan)
+        combined = winners.combined_cost(0.0)
+        assert combined.low == min(w.cost.low for w in winners)
