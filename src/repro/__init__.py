@@ -61,12 +61,23 @@ from repro.optimizer import (
     optimize_query,
 )
 from repro.params import Environment, Parameter, ParameterKind, ParameterSpace
+from repro.obs import (
+    MetricsRegistry,
+    RecordingTracer,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    set_tracer,
+    setup_logging,
+    use_tracer,
+)
 from repro.physical import (
     ChoosePlanNode,
     PlanNode,
     count_choose_plan_nodes,
     count_plan_nodes,
     explain,
+    explain_analyze,
     to_dot,
 )
 from repro.runtime import (
@@ -120,7 +131,16 @@ __all__ = [
     "count_choose_plan_nodes",
     "count_plan_nodes",
     "explain",
+    "explain_analyze",
     "to_dot",
+    "MetricsRegistry",
+    "RecordingTracer",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "set_tracer",
+    "setup_logging",
+    "use_tracer",
     "AccessModule",
     "ActivationDecision",
     "PreparedQuery",

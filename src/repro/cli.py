@@ -8,6 +8,10 @@ Commands:
 ``choose``
     Optimize dynamically, bind the supplied parameter values, and show
     which alternative every choose-plan operator activates.
+``analyze``
+    Optimize, decide, and *execute* a query against synthetic data,
+    printing the plan annotated with observed per-operator counters
+    (rows, time, pages) — EXPLAIN ANALYZE for dynamic plans.
 ``experiments``
     Regenerate the paper's Section 6 evaluation tables.
 ``demo``
@@ -15,19 +19,32 @@ Commands:
 
 Catalogs are JSON files (see ``Catalog.to_json``); ``--demo-catalog`` uses
 the built-in experiment catalog instead.
+
+Observability (available on every command)::
+
+    repro explain --demo-catalog --trace trace.jsonl 'SELECT ...'
+        # dump optimizer spans + search prune/retain events as JSONL
+    repro analyze --demo-catalog --stats 'SELECT ...'
+        # print the metrics snapshot (counters/gauges/timers) afterwards
+    REPRO_LOG=debug repro choose --demo-catalog 'SELECT ...'
+        # stdlib logging from the repro.* hierarchy (or pass --verbose)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel
 from repro.experiments.catalogs import make_experiment_catalog
+from repro.obs.log import setup_logging
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import RecordingTracer, set_tracer
 from repro.optimizer.optimizer import OptimizationMode, optimize_query
-from repro.physical.explain import explain, to_dot
+from repro.physical.explain import explain, explain_analyze, to_dot
 from repro.query.parser import parse_query
 from repro.runtime.chooser import effective_plan_nodes, resolve_plan
 
@@ -36,11 +53,25 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    trace_file = None
     try:
+        if getattr(args, "verbose", False):
+            setup_logging("debug")
+        else:
+            setup_logging()  # level from REPRO_LOG, default WARNING
+        if getattr(args, "trace", None):
+            trace_file = open(args.trace, "w", encoding="utf-8")
+            set_tracer(RecordingTracer(stream=trace_file))
         return args.handler(args)
     except Exception as error:  # surfaced as a clean CLI message
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if trace_file is not None:
+            set_tracer(None)
+            trace_file.close()
+        if getattr(args, "stats", False):
+            print(json.dumps(get_metrics().snapshot(), indent=2))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -78,6 +109,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     choose_cmd.set_defaults(handler=_cmd_choose)
 
+    analyze_cmd = commands.add_parser(
+        "analyze",
+        help="execute a query on synthetic data and print the plan with "
+        "observed per-operator counters (EXPLAIN ANALYZE)",
+    )
+    _add_catalog_options(analyze_cmd)
+    analyze_cmd.add_argument("sql")
+    analyze_cmd.add_argument(
+        "--mode",
+        choices=[m.value for m in OptimizationMode],
+        default=OptimizationMode.DYNAMIC.value,
+    )
+    analyze_cmd.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="values",
+        metavar="VAR=VALUE",
+        help="host-variable value, e.g. --set v=120 (repeatable)",
+    )
+    analyze_cmd.add_argument(
+        "--bind",
+        action="append",
+        default=[],
+        metavar="PARAM=VALUE",
+        help="override a derived parameter, e.g. --bind sel:v=0.3 (repeatable)",
+    )
+    analyze_cmd.add_argument(
+        "--seed", type=int, default=0, help="synthetic-data RNG seed"
+    )
+    analyze_cmd.set_defaults(handler=_cmd_analyze)
+
     experiments_cmd = commands.add_parser(
         "experiments", help="regenerate the paper's Section 6 tables"
     )
@@ -87,7 +150,30 @@ def _build_parser() -> argparse.ArgumentParser:
 
     demo_cmd = commands.add_parser("demo", help="the Figure 1 motivating example")
     demo_cmd.set_defaults(handler=_cmd_demo)
+
+    for command in (explain_cmd, choose_cmd, analyze_cmd, experiments_cmd, demo_cmd):
+        _add_obs_options(command)
     return parser
+
+
+def _add_obs_options(command: argparse.ArgumentParser) -> None:
+    group = command.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        type=Path,
+        metavar="FILE",
+        help="record a JSONL trace (spans + events) of the whole run to FILE",
+    )
+    group.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the metrics snapshot (JSON) after the command finishes",
+    )
+    group.add_argument(
+        "--verbose",
+        action="store_true",
+        help="debug logging from the repro.* hierarchy (same as REPRO_LOG=debug)",
+    )
 
 
 def _add_catalog_options(command: argparse.ArgumentParser) -> None:
@@ -140,12 +226,7 @@ def _cmd_choose(args: argparse.Namespace) -> int:
     result = optimize_query(
         parsed.graph, catalog, CostModel(), mode=OptimizationMode.DYNAMIC
     )
-    values: dict[str, float] = {}
-    for item in args.bind:
-        name, _, raw = item.partition("=")
-        if not raw:
-            raise ValueError(f"--bind expects PARAM=VALUE, got {item!r}")
-        values[name] = float(raw)
+    values = _parse_assignments(args.bind, "--bind", float)
     env = parsed.graph.parameters.bind(values)
     decision = resolve_plan(result.plan, result.ctx.with_env(env))
     used = {id(node) for node in effective_plan_nodes(result.plan, decision.choices)}
@@ -155,6 +236,93 @@ def _cmd_choose(args: argparse.Namespace) -> int:
         marker = "active" if choose_id in used else "unreached"
         print(f"  choose-plan -> {chosen.label}  [{marker}]")
     print(f"predicted execution cost: {decision.execution_cost:.4f} s")
+    return 0
+
+
+def _host_variable_names(graph) -> set[str]:
+    from repro.logical.predicates import HostVariable
+
+    names: set[str] = set()
+    for relation in graph.relations:
+        for predicate in graph.selections_on(relation):
+            operand = getattr(predicate, "operand", None)
+            if isinstance(operand, HostVariable):
+                names.add(operand.name)
+    return names
+
+
+def _parse_assignments(items: list[str], flag: str, cast) -> dict:
+    values: dict = {}
+    for item in items:
+        name, _, raw = item.partition("=")
+        if not raw:
+            raise ValueError(f"{flag} expects NAME=VALUE, got {item!r}")
+        values[name] = cast(raw)
+    return values
+
+
+def _host_value(raw: str) -> object:
+    """Host-variable values are integers over synthetic domains; fall back
+    to float for fractional inputs."""
+    try:
+        return int(raw)
+    except ValueError:
+        return float(raw)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.executor.database import Database
+    from repro.executor.executor import execute_plan
+    from repro.runtime.prepared import PreparedQuery
+
+    catalog = _load_catalog(args)
+    value_bindings = _parse_assignments(args.values, "--set", _host_value)
+    overrides = _parse_assignments(args.bind, "--bind", float)
+
+    prepared = PreparedQuery.prepare(
+        args.sql, catalog, CostModel(), mode=OptimizationMode(args.mode)
+    )
+    missing = sorted(
+        _host_variable_names(prepared.graph) - set(value_bindings)
+    )
+    if missing:
+        raise ValueError(
+            "missing host-variable value(s): "
+            + ", ".join(missing)
+            + " (pass --set NAME=VALUE)"
+        )
+    db = Database(catalog, prepared.model)
+    db.load_synthetic(seed=args.seed)
+    parameter_values = prepared.derive_parameters(db, value_bindings, overrides)
+    activation = prepared.activate(parameter_values)
+    result = execute_plan(
+        prepared.module.plan,
+        db,
+        bindings=value_bindings,
+        choices=activation.decision.choices,
+        analyze=True,
+    )
+    print(
+        explain_analyze(
+            prepared.module.plan,
+            result.operator_stats,
+            choices=activation.decision.choices,
+        )
+    )
+    metrics = result.metrics
+    print(
+        f"\n{metrics.rows} rows in {metrics.wall_seconds * 1000:.2f} ms wall; "
+        f"simulated I/O {metrics.io_seconds:.4f} s "
+        f"({metrics.sequential_reads} sequential + {metrics.random_reads} random "
+        f"reads, {metrics.writes} writes, "
+        f"{metrics.buffer_hits}/{metrics.buffer_hits + metrics.buffer_misses} "
+        f"buffer hits)"
+    )
+    print(
+        f"start-up: {activation.decision.decision_count} choose-plan decisions, "
+        f"{activation.decision.cost_evaluations} cost evaluations, "
+        f"predicted cost {activation.decision.execution_cost:.4f} s"
+    )
     return 0
 
 

@@ -11,7 +11,7 @@ whole point of dynamic plans.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Mapping
 
 from repro.cost.context import CostContext
@@ -26,12 +26,16 @@ from repro.executor.iterators import (
     IndexJoinIterator,
     MaterializedIterator,
     MergeJoinIterator,
+    MeteredIterator,
     NestedLoopsJoinIterator,
+    OperatorStats,
     PlanIterator,
     ProjectIterator,
     SortedAggregateIterator,
     SortIterator,
 )
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.executor.tuples import Row, RowSchema
 from repro.physical.plan import (
     BtreeScanNode,
@@ -65,6 +69,11 @@ class ExecutionMetrics:
     buffer_misses: int
     wall_seconds: float
 
+    def as_dict(self) -> dict:
+        """Flat dict form — the serialization path shared by harness
+        reports, metrics snapshots, and trace events."""
+        return asdict(self)
+
 
 @dataclass(frozen=True)
 class ExecutionResult:
@@ -78,6 +87,10 @@ class ExecutionResult:
     rows: list[Row]
     schema: RowSchema
     metrics: ExecutionMetrics
+    # Per-operator runtime counters keyed by plan-node identity, populated
+    # when executing with ``analyze=True`` (or a recording tracer); feed
+    # :func:`repro.physical.explain.explain_analyze`.
+    operator_stats: dict[int, OperatorStats] = field(default_factory=dict)
 
     def project(self, attributes) -> list[Row]:
         """Rows restricted/reordered to ``attributes``.
@@ -102,6 +115,7 @@ def execute_plan(
     parameter_values: Mapping[str, float] | None = None,
     memory_pages: int | None = None,
     materialized: Mapping[MaterializedKey, MaterializedIterator] | None = None,
+    analyze: bool = False,
 ) -> ExecutionResult:
     """Execute ``plan`` against ``db``.
 
@@ -113,7 +127,14 @@ def execute_plan(
     ``materialized`` maps leaf-access identities (see
     :func:`repro.physical.plan.leaf_access_info`) to temporaries that
     substitute for the corresponding access subtrees (run-time adaptation).
+    ``analyze=True`` meters every operator with per-node runtime counters
+    (rows produced, time, pages read) collected in
+    ``ExecutionResult.operator_stats`` — the input of
+    :func:`repro.physical.explain.explain_analyze`.  A recording tracer
+    implies analyze mode and additionally emits the counters as
+    ``executor.operator`` trace events.
     """
+    tracer = get_tracer()
     bindings = dict(bindings or {})
     if choices is None and _contains_choose(plan):
         if ctx is None or parameter_values is None:
@@ -124,10 +145,15 @@ def execute_plan(
         env = ctx.env.space.bind(parameter_values)
         choices = resolve_plan(plan, ctx.with_env(env)).choices
     memory = memory_pages if memory_pages is not None else db.model.default_memory_pages
+    operator_stats: dict[int, OperatorStats] | None = (
+        {} if analyze or tracer.enabled else None
+    )
 
     before = _snapshot(db)
     started = time.perf_counter()
-    iterator = _build_iterator(plan, db, bindings, choices or {}, memory, materialized or {})
+    iterator = _build_iterator(
+        plan, db, bindings, choices or {}, memory, materialized or {}, operator_stats
+    )
     rows = list(iterator.rows())
     elapsed = time.perf_counter() - started
     after = _snapshot(db)
@@ -142,7 +168,31 @@ def execute_plan(
         buffer_misses=after[5] - before[5],
         wall_seconds=elapsed,
     )
-    return ExecutionResult(rows=rows, schema=iterator.schema, metrics=metrics)
+    _record_metrics(metrics)
+    if tracer.enabled:
+        tracer.event("executor.execute", **metrics.as_dict())
+        for stats in (operator_stats or {}).values():
+            tracer.event("executor.operator", **stats.as_dict())
+    return ExecutionResult(
+        rows=rows,
+        schema=iterator.schema,
+        metrics=metrics,
+        operator_stats=operator_stats or {},
+    )
+
+
+def _record_metrics(metrics: ExecutionMetrics) -> None:
+    """Fold one execution into the process-global metrics registry."""
+    registry = get_metrics()
+    registry.counter("executor.executions").inc()
+    registry.counter("executor.rows").inc(metrics.rows)
+    registry.counter("executor.pages_read").inc(
+        metrics.sequential_reads + metrics.random_reads
+    )
+    registry.counter("executor.pages_written").inc(metrics.writes)
+    registry.counter("executor.buffer_hits").inc(metrics.buffer_hits)
+    registry.counter("executor.buffer_misses").inc(metrics.buffer_misses)
+    registry.timer("executor.time").observe(metrics.wall_seconds)
 
 
 def _snapshot(db: Database) -> tuple[float, int, int, int, int, int]:
@@ -178,6 +228,7 @@ def _build_iterator(
     choices: Mapping[int, PlanNode],
     memory: int,
     materialized: Mapping[MaterializedKey, MaterializedIterator],
+    operator_stats: dict[int, OperatorStats] | None = None,
 ) -> PlanIterator:
     if isinstance(node, ChoosePlanNode):
         try:
@@ -186,14 +237,42 @@ def _build_iterator(
             raise ExecutionError(
                 "decision map lacks an entry for a choose-plan operator"
             ) from None
-        return _build_iterator(chosen, db, bindings, choices, memory, materialized)
+        # The choose-plan operator itself does no run-time work; it is
+        # never metered — counters attach to the chosen alternative.
+        return _build_iterator(
+            chosen, db, bindings, choices, memory, materialized, operator_stats
+        )
+    iterator = _instantiate_iterator(
+        node, db, bindings, choices, memory, materialized, operator_stats
+    )
+    if operator_stats is None or isinstance(iterator, MeteredIterator):
+        return iterator
+    # A shared subplan (DAG) may be instantiated once per parent; both
+    # instantiations accumulate into the same node-keyed stats record.
+    stats = operator_stats.get(id(node))
+    if stats is None:
+        stats = operator_stats[id(node)] = OperatorStats(label=node.label)
+    return MeteredIterator(iterator, stats, db.disk.counters)
+
+
+def _instantiate_iterator(
+    node: PlanNode,
+    db: Database,
+    bindings: Mapping[str, object],
+    choices: Mapping[int, PlanNode],
+    memory: int,
+    materialized: Mapping[MaterializedKey, MaterializedIterator],
+    operator_stats: dict[int, OperatorStats] | None,
+) -> PlanIterator:
     if materialized:
         info = leaf_access_info(node)
         if info is not None and info in materialized:
             return materialized[info]
 
     def build(child: PlanNode) -> PlanIterator:
-        return _build_iterator(child, db, bindings, choices, memory, materialized)
+        return _build_iterator(
+            child, db, bindings, choices, memory, materialized, operator_stats
+        )
 
     if isinstance(node, FileScanNode):
         return FileScanIterator(db, node.relation)

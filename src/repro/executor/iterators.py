@@ -9,6 +9,8 @@ model's predictions.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from repro.catalog.schema import Attribute
@@ -34,6 +36,74 @@ class PlanIterator:
     def rows(self) -> Iterator[Row]:
         """Produce the operator's output stream."""
         raise NotImplementedError
+
+
+@dataclass
+class OperatorStats:
+    """Per-operator runtime counters (EXPLAIN ANALYZE).
+
+    All counters are *inclusive* of the operator's inputs, exactly like
+    PostgreSQL's ``actual time``: ``rows`` is the operator's output row
+    count, ``seconds`` the wall-clock spent pulling those rows (children
+    included, since the Volcano model executes children inside the
+    parent's ``next()``), and ``pages_read`` the simulated disk pages
+    (sequential + random) fetched while this operator's subtree ran.
+    """
+
+    label: str
+    rows: int = 0
+    seconds: float = 0.0
+    pages_read: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for trace events and metric snapshots."""
+        return {
+            "label": self.label,
+            "rows": self.rows,
+            "seconds": self.seconds,
+            "pages_read": self.pages_read,
+        }
+
+
+class MeteredIterator(PlanIterator):
+    """Transparent wrapper accumulating :class:`OperatorStats`.
+
+    Wraps any iterator when the driver runs in analyze mode; the wrapped
+    operator is unaware of the metering.  ``disk_counters`` is the
+    database's shared :class:`~repro.executor.storage.DiskCounters`
+    object, sampled around each pull to attribute page reads.
+    """
+
+    def __init__(
+        self, child: PlanIterator, stats: OperatorStats, disk_counters
+    ) -> None:
+        self.child = child
+        self.schema = child.schema
+        self.stats = stats
+        self.counters = disk_counters
+
+    def rows(self) -> Iterator[Row]:
+        stats = self.stats
+        counters = self.counters
+        perf_counter = time.perf_counter
+        source = self.child.rows()
+        while True:
+            pages_before = counters.sequential_reads + counters.random_reads
+            started = perf_counter()
+            try:
+                row = next(source)
+            except StopIteration:
+                stats.seconds += perf_counter() - started
+                stats.pages_read += (
+                    counters.sequential_reads + counters.random_reads - pages_before
+                )
+                return
+            stats.seconds += perf_counter() - started
+            stats.pages_read += (
+                counters.sequential_reads + counters.random_reads - pages_before
+            )
+            stats.rows += 1
+            yield row
 
 
 class MaterializedIterator(PlanIterator):

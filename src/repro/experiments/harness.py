@@ -26,6 +26,7 @@ from typing import Sequence
 from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel
 from repro.experiments.queries import ExperimentQuery
+from repro.obs.trace import get_tracer
 from repro.optimizer.engine import SearchStats
 from repro.optimizer.optimizer import OptimizationMode, optimize_query
 from repro.runtime.chooser import resolve_plan
@@ -105,6 +106,34 @@ class ExperimentRecord:
         """Modeled I/O to read + validate the static access module."""
         return model.activation_time(self.static_plan_nodes)
 
+    def as_dict(self) -> dict:
+        """JSON-ready summary of the record.
+
+        Search statistics go through :meth:`SearchStats.as_dict` — the
+        same serialization path the metrics snapshots and trace spans use
+        — instead of hand-picked attributes; per-binding lists are
+        reduced to their means (the figures' quantities).
+        """
+        return {
+            "query": self.query.label,
+            "uncertain_variables": self.uncertain_variables,
+            "logical_alternatives": self.logical_alternatives,
+            "static_optimization_seconds": self.static_optimization_seconds,
+            "dynamic_optimization_seconds": self.dynamic_optimization_seconds,
+            "static_plan_nodes": self.static_plan_nodes,
+            "dynamic_plan_nodes": self.dynamic_plan_nodes,
+            "choose_plan_count": self.choose_plan_count,
+            "static_stats": self.static_stats.as_dict(),
+            "dynamic_stats": self.dynamic_stats.as_dict(),
+            "avg_static_execution": self.avg_static_execution,
+            "avg_dynamic_execution": self.avg_dynamic_execution,
+            "avg_runtime_execution": self.avg_runtime_execution,
+            "avg_runtime_optimization": self.avg_runtime_optimization,
+            "avg_dynamic_startup_cpu": self.avg_dynamic_startup_cpu,
+            "dynamic_cost_evaluations": self.dynamic_cost_evaluations,
+            "invocations": len(self.dynamic_execution_costs),
+        }
+
 
 def run_experiment(
     query: ExperimentQuery,
@@ -113,7 +142,35 @@ def run_experiment(
     model: CostModel | None = None,
     include_runtime_optimization: bool = True,
 ) -> ExperimentRecord:
-    """Run all of Section 6's measurements for one query."""
+    """Run all of Section 6's measurements for one query.
+
+    With a recording tracer installed, the whole run is wrapped in an
+    ``experiment.query`` span (optimizer spans and chooser/executor
+    events nest inside), and the finished record is emitted as an
+    ``experiment.record`` event — so every figure's numbers are
+    recoverable from the machine-readable trace alone.
+    """
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span("experiment.query", query=query.label) as span:
+            record = _run_experiment(
+                query, catalog, bindings, model, include_runtime_optimization
+            )
+            span.set(invocations=len(bindings))
+            tracer.event("experiment.record", **record.as_dict())
+        return record
+    return _run_experiment(
+        query, catalog, bindings, model, include_runtime_optimization
+    )
+
+
+def _run_experiment(
+    query: ExperimentQuery,
+    catalog: Catalog,
+    bindings: Sequence[dict[str, float]],
+    model: CostModel | None,
+    include_runtime_optimization: bool,
+) -> ExperimentRecord:
     model = model if model is not None else CostModel()
     record = ExperimentRecord(
         query=query,

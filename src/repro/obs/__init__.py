@@ -1,0 +1,69 @@
+"""repro.obs — zero-dependency tracing, metrics, and logging.
+
+Three small, orthogonal pieces:
+
+* :mod:`repro.obs.trace` — hierarchical spans plus structured events,
+  recorded in memory and/or streamed as JSONL.  The process-global
+  tracer defaults to a no-op whose cost is one attribute check per
+  instrumentation site.
+* :mod:`repro.obs.metrics` — a registry of named counters, gauges, and
+  timers with a flat ``snapshot()`` for reports and the CLI ``--stats``
+  flag.
+* :mod:`repro.obs.log` — stdlib-``logging`` setup for the ``repro.*``
+  logger hierarchy, controlled by ``REPRO_LOG`` or ``--verbose``.
+
+The instrumented subsystems emit the following trace vocabulary (see
+README's Observability section for the full schema):
+
+========================  ============================================
+span / event              emitted by
+========================  ============================================
+``optimizer.query``       one per :func:`repro.optimizer.optimize_query`
+``optimizer.group``       one span per memo group optimized
+``search.retain``         candidate entered the winner set
+``search.prune``          candidate discarded; ``reason`` is
+                          ``dominated`` or ``budget``
+``search.group_pruned``   completed group rejected against a caller limit
+``choose.decision``       one event per choose-plan operator decided
+``choose.tie``            equal re-evaluated costs broke toward the
+                          first alternative (documented determinism)
+``chooser.resolved``      summary event per :func:`resolve_plan`
+``executor.execute``      summary event per :func:`execute_plan`
+``executor.operator``     per-operator runtime counters (EXPLAIN ANALYZE)
+========================  ============================================
+"""
+
+from repro.obs.log import get_logger, setup_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    get_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    RecordingTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "Span",
+    "Timer",
+    "Tracer",
+    "get_logger",
+    "get_metrics",
+    "get_tracer",
+    "set_tracer",
+    "setup_logging",
+    "use_tracer",
+]

@@ -1,0 +1,75 @@
+"""Logging setup for the ``repro.*`` logger hierarchy.
+
+Every module logs through ``get_logger(__name__)``; nothing is printed
+unless :func:`setup_logging` runs (or the application configures the
+root logger itself).  The level resolves in order of precedence:
+
+1. the explicit ``level`` argument,
+2. the ``REPRO_LOG`` environment variable (``debug``, ``info``,
+   ``warning``, ``error``, or a numeric level),
+3. the default, ``WARNING``.
+
+The CLI's ``--verbose`` flag maps to ``setup_logging("debug")``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import TextIO
+
+ROOT_LOGGER_NAME = "repro"
+ENV_VAR = "REPRO_LOG"
+
+_configured = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Accepts either a dotted module name (``repro.optimizer.engine``) or a
+    bare suffix (``optimizer.engine``).
+    """
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def resolve_level(level: str | int | None) -> int:
+    """Translate an explicit level or ``REPRO_LOG`` into a logging level."""
+    if level is None:
+        level = os.environ.get(ENV_VAR)
+    if level is None:
+        return logging.WARNING
+    if isinstance(level, int):
+        return level
+    text = level.strip()
+    if text.isdigit():
+        return int(text)
+    resolved = logging.getLevelName(text.upper())
+    if isinstance(resolved, int):
+        return resolved
+    raise ValueError(f"unrecognized log level {level!r}")
+
+
+def setup_logging(
+    level: str | int | None = None, stream: TextIO | None = None
+) -> logging.Logger:
+    """Configure the ``repro`` logger once; repeated calls adjust the level.
+
+    Returns the root ``repro`` logger.  Handlers write single-line
+    records (``level logger: message``) to ``stream`` (default stderr).
+    """
+    global _configured
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(resolve_level(level))
+    if not _configured:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+        logger.propagate = False
+        _configured = True
+    return logger

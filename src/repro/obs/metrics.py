@@ -1,0 +1,133 @@
+"""Named metrics: counters, gauges, and timers in one registry.
+
+Metric names form a dotted hierarchy mirroring the subsystems they
+measure, e.g. ``optimizer.candidates_considered``,
+``chooser.decisions``, ``executor.rows``.  The registry is deliberately
+simple — plain Python numbers, no locks, no export protocol — because
+its job is to give the paper's quantitative claims one queryable home:
+``snapshot()`` returns a flat JSON-ready dict that the CLI's ``--stats``
+flag and the experiment harness print verbatim.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. largest winner set seen)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum instead of the last write."""
+        if value > self.value:
+            self.value = value
+
+
+class Timer:
+    """Accumulated duration plus observation count."""
+
+    __slots__ = ("seconds", "count")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.count += 1
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - started)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters/gauges/timers."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def timer(self, name: str) -> Timer:
+        metric = self._timers.get(name)
+        if metric is None:
+            metric = self._timers[name] = Timer()
+        return metric
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """Flat name → value dict; timers expand to ``.seconds``/``.count``."""
+        out: dict[str, float] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            out[name] = gauge.value
+        for name, timer in sorted(self._timers.items()):
+            out[f"{name}.seconds"] = timer.seconds
+            out[f"{name}.count"] = float(timer.count)
+        return out
+
+    def as_dict(self) -> dict[str, float]:
+        """Alias of :meth:`snapshot` matching the repo's serialization idiom."""
+        return self.snapshot()
+
+    def reset(self) -> None:
+        """Drop every metric (tests and repeated CLI runs)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-global registry
+# ----------------------------------------------------------------------
+_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _registry

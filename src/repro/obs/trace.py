@@ -1,0 +1,228 @@
+"""Hierarchical tracing: spans and events with a process-global tracer.
+
+The tracer is the single switchboard for all observability in this
+package.  By default it is a :class:`NullTracer` whose cost is one
+attribute check per instrumentation site — hot paths guard with
+``if tracer.enabled:`` so the default configuration adds no measurable
+overhead to optimization or execution (see
+``benchmarks/test_obs_overhead.py``).
+
+A :class:`RecordingTracer` keeps the span tree in memory and can
+additionally stream one JSON object per line (JSONL) to any writable
+text stream.  The schema is deliberately small:
+
+``{"type": "span", "id": 3, "parent": 1, "name": "optimizer.group",
+   "start": ..., "duration": ..., "attrs": {...}}``
+    One record per *finished* span.  ``parent`` is the id of the
+    enclosing span or ``null`` for roots; ``start`` is a
+    ``perf_counter`` timestamp (relative, monotonic), ``duration`` is
+    seconds.
+
+``{"type": "event", "span": 3, "name": "search.prune", "attrs": {...}}``
+    A point-in-time structured record attached to the currently open
+    span (``span: null`` when emitted outside any span).
+
+Attribute values must be JSON-serializable; instrumentation sites keep
+them to strings, numbers, booleans, and flat lists/dicts thereof.
+
+The tracer is intentionally single-threaded (one trace per process);
+this matches the repository's execution model.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, TextIO
+
+
+class Span:
+    """One timed region of work with attributes, events, and children."""
+
+    __slots__ = ("span_id", "name", "attrs", "start", "end", "parent", "children", "events")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        attrs: dict[str, Any],
+        parent: "Span | None",
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.attrs = attrs
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.parent = parent
+        self.children: list[Span] = []
+        self.events: list[dict[str, Any]] = []
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now while the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or update attributes on an open span."""
+        self.attrs.update(attrs)
+
+    def to_record(self) -> dict[str, Any]:
+        """The span's JSONL record (emitted when the span finishes)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent.span_id if self.parent is not None else None,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Span {self.name} id={self.span_id} children={len(self.children)}>"
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by the null tracer."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """No-op tracer; the base class *is* the null implementation.
+
+    ``enabled`` is False so instrumentation sites can skip building
+    attribute dictionaries entirely:
+
+        if tracer.enabled:
+            tracer.event("search.prune", bound=bound, limit=limit)
+    """
+
+    enabled: bool = False
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Any]:
+        """Open a named span for the duration of the ``with`` block."""
+        del name, attrs
+        yield _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time structured event."""
+        del name, attrs
+
+
+#: The process-wide default tracer (never recording).
+NULL_TRACER = Tracer()
+
+
+class RecordingTracer(Tracer):
+    """Tracer that records spans/events in memory and optionally as JSONL.
+
+    ``stream`` receives one JSON line per finished span and per event as
+    they happen; the in-memory tree (``roots``, ``events``) is always
+    kept so tests and callers can inspect structure without parsing.
+    """
+
+    enabled = True
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self.stream = stream
+        self.roots: list[Span] = []
+        self.events: list[dict[str, Any]] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(self._next_id, name, attrs, parent)
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = time.perf_counter()
+            self._stack.pop()
+            self._write(span.to_record())
+
+    def event(self, name: str, **attrs: Any) -> None:
+        current = self._stack[-1] if self._stack else None
+        record = {
+            "type": "event",
+            "span": current.span_id if current is not None else None,
+            "name": name,
+            "attrs": attrs,
+        }
+        if current is not None:
+            current.events.append(record)
+        self.events.append(record)
+        self._write(record)
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self.stream is not None:
+            self.stream.write(json.dumps(record) + "\n")
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def iter_spans(self) -> Iterator[Span]:
+        """Every recorded span, parents before children."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def find_events(self, name: str) -> list[dict[str, Any]]:
+        """All recorded events with the given name, in emission order."""
+        return [e for e in self.events if e["name"] == name]
+
+    def flush(self) -> None:
+        """Flush the JSONL stream, if any."""
+        if self.stream is not None:
+            self.stream.flush()
+
+
+# ----------------------------------------------------------------------
+# Process-global tracer
+# ----------------------------------------------------------------------
+_tracer: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The current process-global tracer (a no-op unless configured)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` globally (None restores the no-op); returns the
+    previous tracer so callers can restore it."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scoped installation: the global tracer for the ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -23,7 +23,7 @@ ways the paper describes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.catalog.schema import Attribute
 from repro.cost.context import CostContext
@@ -31,6 +31,7 @@ from repro.errors import OptimizationError
 from repro.logical.estimation import estimate_selectivity
 from repro.logical.query import QueryGraph, enumerate_partitions
 from repro.logical.predicates import JoinPredicate
+from repro.obs.trace import get_tracer
 from repro.optimizer.memo import GroupResult, Memo, Pruned
 from repro.optimizer.rules import (
     DEFAULT_ACCESS_RULES,
@@ -62,6 +63,11 @@ class SearchStats:
     candidates_pruned: int = 0
     largest_winner_set: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Flat dict form — the one serialization path shared by harness
+        reports, metrics snapshots, and trace span attributes."""
+        return asdict(self)
+
 
 @dataclass
 class SearchEngine:
@@ -79,6 +85,9 @@ class SearchEngine:
 
     def __post_init__(self) -> None:
         self._cardinalities: dict[frozenset[str], Interval] = {}
+        # One tracer lookup per engine; hot paths guard on `.enabled` so
+        # the default no-op tracer costs a single attribute check.
+        self._obs = get_tracer()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -141,36 +150,61 @@ class SearchEngine:
         key = (subset, order)
         cached = self.memo.lookup(key)
         if cached is None:
-            winners = WinnerSet(keep_all=self.exhaustive, probe=self.probe)
-            if order is not None:
-                # Enforcer candidate: Sort over the unordered group's plan.
-                # Sharing the unordered group's (possibly dynamic) plan object
-                # keeps the emitted DAG small — one scan of R serves both the
-                # unordered uses and every sort-enforced use.
-                base = self.optimize_group(subset, None, None)
-                assert isinstance(base, GroupResult)
-                self._consider(
-                    winners, SortNode(self.ctx, base.plan, order), order
-                )
-            if len(subset) == 1:
-                self._generate_access_plans(subset, order, winners)
+            if self._obs.enabled:
+                with self._obs.span(
+                    "optimizer.group",
+                    relations=sorted(subset),
+                    order=order.qualified_name if order is not None else None,
+                ) as span:
+                    cached = self._optimize_group_fresh(subset, order)
+                    span.set(
+                        winners=len(cached.winners),
+                        cost_low=cached.cost.low,
+                        cost_high=cached.cost.high,
+                    )
             else:
-                self._generate_join_plans(subset, order, winners)
-            if not winners.plans:
-                raise OptimizationError(
-                    f"no plan found for relations {sorted(subset)} "
-                    f"(disconnected join graph?)"
-                )
-            plan = self._combined_plan(winners)
-            cached = GroupResult(winners=winners, plan=plan, cost=plan.cost)
-            self.stats.largest_winner_set = max(
-                self.stats.largest_winner_set, len(winners)
-            )
+                cached = self._optimize_group_fresh(subset, order)
             self.memo.store(key, cached)
             self.stats.groups_completed += 1
         if limit is not None and cached.cost.low >= limit:
+            if self._obs.enabled:
+                self._obs.event(
+                    "search.group_pruned",
+                    relations=sorted(subset),
+                    order=order.qualified_name if order is not None else None,
+                    lower_bound=cached.cost.low,
+                    limit=limit,
+                )
             return Pruned(cached.cost.low)
         return cached
+
+    def _optimize_group_fresh(
+        self, subset: frozenset[str], order: Attribute | None
+    ) -> GroupResult:
+        """Optimize an uncached group to completion (no memo interaction)."""
+        winners = WinnerSet(keep_all=self.exhaustive, probe=self.probe)
+        if order is not None:
+            # Enforcer candidate: Sort over the unordered group's plan.
+            # Sharing the unordered group's (possibly dynamic) plan object
+            # keeps the emitted DAG small — one scan of R serves both the
+            # unordered uses and every sort-enforced use.
+            base = self.optimize_group(subset, None, None)
+            assert isinstance(base, GroupResult)
+            self._consider(winners, SortNode(self.ctx, base.plan, order), order)
+        if len(subset) == 1:
+            self._generate_access_plans(subset, order, winners)
+        else:
+            self._generate_join_plans(subset, order, winners)
+        if not winners.plans:
+            raise OptimizationError(
+                f"no plan found for relations {sorted(subset)} "
+                f"(disconnected join graph?)"
+            )
+        plan = self._combined_plan(winners)
+        self.stats.largest_winner_set = max(
+            self.stats.largest_winner_set, len(winners)
+        )
+        return GroupResult(winners=winners, plan=plan, cost=plan.cost)
 
     # ------------------------------------------------------------------
     # Candidate generation
@@ -228,6 +262,15 @@ class SearchEngine:
             for outcome in rule.build(self, left, right, predicates, budget):
                 if outcome is PRUNED:
                     self.stats.candidates_pruned += 1
+                    if self._obs.enabled:
+                        self._obs.event(
+                            "search.prune",
+                            reason="budget",
+                            rule=type(rule).__name__,
+                            left=sorted(left),
+                            right=sorted(right),
+                            budget=budget,
+                        )
                     continue
                 self._consider(winners, outcome, order)
 
@@ -258,8 +301,29 @@ class SearchEngine:
         self.stats.candidates_considered += 1
         if order is not None and plan.order != order:
             return
-        if winners.consider(plan):
+        retained = winners.consider(plan)
+        if retained:
             self.stats.candidates_retained += 1
+        if self._obs.enabled:
+            if retained:
+                # `incomparable` marks a retained plan that joined (rather
+                # than replaced) the frontier — exactly the Section 3
+                # situation that forces a choose-plan into the plan.
+                self._obs.event(
+                    "search.retain",
+                    plan=plan.label,
+                    cost_low=plan.cost.low,
+                    cost_high=plan.cost.high,
+                    incomparable=len(winners) > 1,
+                )
+            else:
+                self._obs.event(
+                    "search.prune",
+                    reason="dominated",
+                    plan=plan.label,
+                    cost_low=plan.cost.low,
+                    cost_high=plan.cost.high,
+                )
 
     def _combined_plan(self, winners: WinnerSet) -> PlanNode:
         """The group's representative plan: sole winner or a choose-plan."""

@@ -28,6 +28,9 @@ from repro.cost.context import CostContext
 from repro.cost.model import CostModel
 from repro.errors import OptimizationError
 from repro.logical.query import QueryGraph
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.optimizer.engine import SearchEngine, SearchStats
 from repro.params.parameter import Environment
 from repro.physical.plan import (
@@ -35,6 +38,24 @@ from repro.physical.plan import (
     count_choose_plan_nodes,
     count_plan_nodes,
 )
+
+
+_LOG = get_logger(__name__)
+
+
+def _record_metrics(
+    mode: "OptimizationMode", stats: SearchStats, elapsed: float
+) -> None:
+    """Fold one optimization run into the process-global metrics registry."""
+    metrics = get_metrics()
+    metrics.counter("optimizer.runs").inc()
+    metrics.counter(f"optimizer.runs.{mode.value}").inc()
+    metrics.timer("optimizer.time").observe(elapsed)
+    for name, value in stats.as_dict().items():
+        if name == "largest_winner_set":
+            metrics.gauge("optimizer.largest_winner_set").max(value)
+        else:
+            metrics.counter(f"optimizer.{name}").inc(value)
 
 
 class OptimizationMode(enum.Enum):
@@ -132,9 +153,28 @@ def optimize_query(
         pruning=pruning and mode is not OptimizationMode.EXHAUSTIVE,
         probe=probe,
     )
+    tracer = get_tracer()
     started = time.perf_counter()
-    plan = engine.optimize(required_order=required_order)
+    if tracer.enabled:
+        with tracer.span(
+            "optimizer.query",
+            mode=mode.value,
+            relations=sorted(query.relation_set),
+            uncertain=sorted(env.uncertain_names),
+        ) as span:
+            plan = engine.optimize(required_order=required_order)
+            span.set(**engine.stats.as_dict())
+    else:
+        plan = engine.optimize(required_order=required_order)
     elapsed = time.perf_counter() - started
+    _record_metrics(mode, engine.stats, elapsed)
+    _LOG.debug(
+        "optimized %d relations in %s mode: %d candidates, %.2f ms",
+        len(query.relation_set),
+        mode.value,
+        engine.stats.candidates_considered,
+        elapsed * 1000,
+    )
     return OptimizationResult(
         plan=plan,
         mode=mode,

@@ -26,7 +26,7 @@ from repro.physical.plan import (
     iter_plan_nodes,
     count_choose_plan_nodes,
 )
-from repro.physical.explain import explain, to_dot
+from repro.physical.explain import explain, explain_analyze, to_dot
 
 __all__ = [
     "BtreeScanNode",
@@ -46,5 +46,6 @@ __all__ = [
     "iter_plan_nodes",
     "count_choose_plan_nodes",
     "explain",
+    "explain_analyze",
     "to_dot",
 ]

@@ -47,6 +47,66 @@ def explain(root: PlanNode, show_cost: bool = True) -> str:
     return "\n".join(lines)
 
 
+def explain_analyze(
+    root: PlanNode,
+    operator_stats,
+    choices: dict[int, PlanNode] | None = None,
+    show_cost: bool = False,
+) -> str:
+    """Render a plan tree with observed per-operator runtime counters.
+
+    ``operator_stats`` maps plan-node identity to
+    :class:`~repro.executor.iterators.OperatorStats` as collected by
+    ``execute_plan(..., analyze=True)``.  Counters are inclusive of each
+    operator's inputs (PostgreSQL-style ``actual`` numbers).  Operators
+    without counters — the unchosen alternatives of a dynamic plan —
+    are marked ``[not executed]``; with ``choices`` given, each
+    choose-plan line names the alternative it activated.
+    """
+    tags: dict[int, int] = {}
+    multiply_referenced = _shared_nodes(root)
+    lines: list[str] = []
+
+    def annotate(node: PlanNode) -> str:
+        parts = [node.label]
+        if show_cost:
+            parts.append(f"cost={node.cost}")
+        if isinstance(node, ChoosePlanNode):
+            if choices is not None and id(node) in choices:
+                chosen = choices[id(node)]
+                parts.append(
+                    f"(chose alternative {node.alternatives.index(chosen) + 1}: "
+                    f"{chosen.label})"
+                )
+            return "  ".join(parts)
+        stats = operator_stats.get(id(node))
+        if stats is None:
+            parts.append("[not executed]")
+        else:
+            parts.append(
+                f"(actual rows={stats.rows} "
+                f"time={stats.seconds * 1000:.2f}ms "
+                f"pages={stats.pages_read})"
+            )
+        return "  ".join(parts)
+
+    def walk(node: PlanNode, depth: int) -> None:
+        indent = "  " * depth
+        if id(node) in tags:
+            lines.append(f"{indent}-> #{tags[id(node)]}")
+            return
+        tag = ""
+        if id(node) in multiply_referenced:
+            tags[id(node)] = len(tags) + 1
+            tag = f"#{tags[id(node)]} "
+        lines.append(f"{indent}{tag}{annotate(node)}")
+        for child in node.inputs:
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
 def to_dot(root: PlanNode, title: str = "plan") -> str:
     """Render a plan DAG in Graphviz DOT syntax."""
     ids: dict[int, str] = {}

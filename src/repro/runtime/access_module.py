@@ -32,6 +32,9 @@ from repro.logical.predicates import (
     Literal,
     SelectionPredicate,
 )
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.params.parameter import ParameterSpace
 from repro.physical.plan import (
     BtreeScanNode,
@@ -51,6 +54,8 @@ from repro.physical.plan import (
     iter_plan_nodes,
 )
 from repro.runtime.chooser import ActivationDecision, resolve_plan
+
+_LOG = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -178,6 +183,18 @@ class AccessModule:
         env = self.ctx.env.space.bind(binding)
         decision = resolve_plan(self.plan, self.ctx.with_env(env))
         self.invocations += 1
+        metrics = get_metrics()
+        metrics.counter("access_module.activations").inc()
+        metrics.timer("access_module.read_io").observe(self.read_seconds)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "access_module.activated",
+                node_count=self.node_count,
+                read_seconds=self.read_seconds,
+                invocation=self.invocations,
+                **decision.as_dict(),
+            )
         for choose_id, chosen in decision.choices.items():
             node = self._node_by_id(choose_id)
             index = node.alternatives.index(chosen)
@@ -232,12 +249,28 @@ class AccessModule:
             rebuilt[id(node)] = result
             return result
 
+        nodes_before = self.node_count
         new_plan = walk(self.plan)
         changed = new_plan is not self.plan or count_plan_nodes(
             new_plan
-        ) != self.node_count
+        ) != nodes_before
         self.plan = new_plan
         self._usage.clear()
+        if changed:
+            _LOG.info(
+                "access module shrunk: %d -> %d nodes after %d invocations",
+                nodes_before,
+                self.node_count,
+                self.invocations,
+            )
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "access_module.shrunk",
+                    nodes_before=nodes_before,
+                    nodes_after=self.node_count,
+                    invocations=self.invocations,
+                )
         return changed
 
     # ------------------------------------------------------------------

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from repro.catalog.schema import Attribute
 from repro.cost.context import CostContext
 from repro.errors import BindingError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.physical.plan import ChoosePlanNode, PlanNode, iter_plan_nodes
 from repro.util.interval import Interval
 
@@ -43,6 +45,22 @@ class ActivationDecision:
         """Number of choose-plan decisions evaluated."""
         return len(self.choices)
 
+    def as_dict(self) -> dict:
+        """JSON-ready summary — the serialization path shared by harness
+        reports, metrics snapshots, and trace events.
+
+        ``choices`` becomes the list of chosen alternatives' labels in
+        decision order (node identities are process-local and meaningless
+        outside this run).
+        """
+        return {
+            "execution_cost": self.execution_cost,
+            "decision_count": self.decision_count,
+            "cost_evaluations": self.cost_evaluations,
+            "cpu_seconds": self.cpu_seconds,
+            "choices": [chosen.label for chosen in self.choices.values()],
+        }
+
 
 def resolve_plan(plan: PlanNode, ctx: CostContext) -> ActivationDecision:
     """Resolve every choose-plan decision in ``plan`` under ``ctx``.
@@ -57,6 +75,7 @@ def resolve_plan(plan: PlanNode, ctx: CostContext) -> ActivationDecision:
             "choose-plan decisions require a fully bound environment; "
             f"unbound: {ctx.env.uncertain_names}"
         )
+    tracer = get_tracer()
     started = time.perf_counter()
     # (output cardinality, total cost, order) per distinct node, bottom-up.
     table: dict[int, tuple[Interval, Interval, Attribute | None]] = {}
@@ -68,12 +87,42 @@ def resolve_plan(plan: PlanNode, ctx: CostContext) -> ActivationDecision:
         if isinstance(node, ChoosePlanNode):
             best: PlanNode | None = None
             best_entry: tuple[Interval, Interval, Attribute | None] | None = None
+            tie = False
+            # Deterministic tie-break: the strict `<` keeps the *first*
+            # alternative (in the optimizer's emission order) whenever two
+            # re-evaluated costs are exactly equal.  This preference is
+            # documented behaviour so g_i = d_i comparisons cannot flake
+            # on equal-cost plans; ties are additionally surfaced as
+            # `choose.tie` trace events.
             for alternative in node.alternatives:
                 entry = table[id(alternative)]
                 if best_entry is None or entry[1].low < best_entry[1].low:
                     best, best_entry = alternative, entry
+                elif entry[1].low == best_entry[1].low:
+                    tie = True
             assert best is not None and best_entry is not None
             choices[id(node)] = best
+            if tracer.enabled:
+                alternatives = [
+                    {
+                        "plan": alternative.label,
+                        "cost": table[id(alternative)][1].low,
+                    }
+                    for alternative in node.alternatives
+                ]
+                tracer.event(
+                    "choose.decision",
+                    chosen=best.label,
+                    chosen_index=node.alternatives.index(best),
+                    alternatives=alternatives,
+                    tie=tie,
+                )
+                if tie:
+                    tracer.event(
+                        "choose.tie",
+                        chosen=best.label,
+                        cost=best_entry[1].low,
+                    )
             # The decision's own effort belongs to start-up time (it is
             # measured in cpu_seconds), not to the chosen plan's execution
             # cost — keeping it out preserves the paper's g_i = d_i
@@ -91,12 +140,20 @@ def resolve_plan(plan: PlanNode, ctx: CostContext) -> ActivationDecision:
 
     total_cost = table[id(plan)][1]
     elapsed = time.perf_counter() - started
-    return ActivationDecision(
+    decision = ActivationDecision(
         execution_cost=total_cost.low,
         choices=choices,
         cost_evaluations=evaluations,
         cpu_seconds=elapsed,
     )
+    metrics = get_metrics()
+    metrics.counter("chooser.resolutions").inc()
+    metrics.counter("chooser.decisions").inc(decision.decision_count)
+    metrics.counter("chooser.cost_evaluations").inc(evaluations)
+    metrics.timer("chooser.time").observe(elapsed)
+    if tracer.enabled:
+        tracer.event("chooser.resolved", **decision.as_dict())
+    return decision
 
 
 def effective_plan_nodes(plan: PlanNode, choices: dict[int, PlanNode]) -> list[PlanNode]:

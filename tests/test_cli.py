@@ -130,6 +130,109 @@ class TestDemoAndExperiments:
         assert "Figure 4" in out and "Break-even" in out
 
 
+class TestAnalyze:
+    SQL = "SELECT * FROM R1, R2 WHERE R1.a < :v AND R1.k = R2.j"
+
+    def test_renders_counters_inline(self, capsys):
+        code = main(
+            ["analyze", "--demo-catalog", self.SQL, "--set", "v=20"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(actual rows=" in out
+        assert "chose alternative" in out
+        assert "choose-plan decisions" in out
+
+    def test_static_mode(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--demo-catalog",
+                "--mode",
+                "static",
+                self.SQL,
+                "--set",
+                "v=20",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(actual rows=" in out
+        assert "Choose-Plan" not in out
+
+    def test_malformed_set_fails(self, capsys):
+        code = main(["analyze", "--demo-catalog", self.SQL, "--set", "nonsense"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityOptions:
+    def test_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "analyze",
+                "--demo-catalog",
+                TestAnalyze.SQL,
+                "--set",
+                "v=20",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert records, "trace file should not be empty"
+        assert all(r["type"] in {"span", "event"} for r in records)
+        names = {r["name"] for r in records}
+        assert "optimizer.query" in names
+        assert "search.retain" in names
+        assert "search.prune" in names
+        assert "choose.decision" in names
+        assert "executor.operator" in names
+        # One decision event per choose-plan resolved.
+        spans = {r["id"]: r for r in records if r["type"] == "span"}
+        for record in records:
+            if record["type"] == "event" and record["span"] is not None:
+                assert record["span"] in spans
+
+    def test_stats_prints_metrics_snapshot(self, capsys, catalog_file):
+        code = main(
+            [
+                "explain",
+                "--catalog",
+                str(catalog_file),
+                "--stats",
+                "SELECT * FROM R WHERE R.a < :v",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        snapshot = json.loads(out[out.index("{") :])
+        assert snapshot["optimizer.runs"] >= 1
+        assert snapshot["optimizer.time.seconds"] >= 0.0
+
+    def test_trace_on_explain(self, tmp_path, capsys, catalog_file):
+        trace = tmp_path / "explain.jsonl"
+        code = main(
+            [
+                "explain",
+                "--catalog",
+                str(catalog_file),
+                "--trace",
+                str(trace),
+                "SELECT * FROM R WHERE R.a < :v",
+            ]
+        )
+        assert code == 0
+        names = {
+            json.loads(line)["name"] for line in trace.read_text().splitlines()
+        }
+        assert "optimizer.query" in names
+
+
 class TestCatalogSerialization:
     def test_round_trip(self, catalog):
         rebuilt = Catalog.from_json(catalog.to_json())

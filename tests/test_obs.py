@@ -1,0 +1,181 @@
+"""Unit tests for the repro.obs tracing/metrics/logging layer."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import get_logger, resolve_level
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    RecordingTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestNullTracer:
+    def test_default_global_tracer_is_noop(self):
+        tracer = get_tracer()
+        assert tracer.enabled is False
+
+    def test_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("anything", a=1) as span:
+            span.set(b=2)
+            tracer.event("something", c=3)
+        # No storage anywhere: the null tracer has no recording attributes.
+        assert not hasattr(tracer, "roots")
+        assert not hasattr(tracer, "events")
+
+    def test_span_is_shared_noop(self):
+        tracer = Tracer()
+        with tracer.span("a") as first, tracer.span("b") as second:
+            assert first is second  # one shared do-nothing span
+
+
+class TestRecordingTracer:
+    def test_nested_spans_have_correct_parentage(self):
+        tracer = RecordingTracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert tracer.roots == [root]
+        assert root.parent is None
+        assert root.children == [child, sibling]
+        assert child.parent is root
+        assert grandchild.parent is child
+        assert sibling.parent is root
+        assert [s.name for s in tracer.iter_spans()] == [
+            "root", "child", "grandchild", "sibling",
+        ]
+
+    def test_span_timing_and_attrs(self):
+        tracer = RecordingTracer()
+        with tracer.span("work", phase="setup") as span:
+            span.set(items=3)
+        assert span.end is not None
+        assert span.duration >= 0.0
+        assert span.attrs == {"phase": "setup", "items": 3}
+
+    def test_events_attach_to_open_span(self):
+        tracer = RecordingTracer()
+        with tracer.span("outer"):
+            tracer.event("inner.event", value=1)
+        tracer.event("orphan")
+        events = tracer.events
+        assert events[0]["span"] == tracer.roots[0].span_id
+        assert events[0]["attrs"] == {"value": 1}
+        assert events[1]["span"] is None
+        assert tracer.find_events("orphan") == [events[1]]
+
+    def test_spans_close_on_exception(self):
+        tracer = RecordingTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+        assert tracer.roots[0].end is not None
+        # The stack unwound: a new span is again a root.
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.roots] == ["fails", "after"]
+
+    def test_jsonl_stream_is_valid_and_ordered(self):
+        buffer = io.StringIO()
+        tracer = RecordingTracer(stream=buffer)
+        with tracer.span("root"):
+            tracer.event("evt", n=1)
+            with tracer.span("child"):
+                pass
+        records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        # Events stream immediately; spans stream on completion, so the
+        # child precedes the root it belongs to.
+        assert [(r["type"], r["name"]) for r in records] == [
+            ("event", "evt"), ("span", "child"), ("span", "root"),
+        ]
+        root = records[2]
+        child = records[1]
+        assert child["parent"] == root["id"]
+        assert records[0]["span"] == root["id"]
+        assert root["duration"] >= child["duration"] >= 0.0
+
+
+class TestGlobalTracer:
+    def test_set_and_restore(self):
+        recording = RecordingTracer()
+        previous = set_tracer(recording)
+        try:
+            assert get_tracer() is recording
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_use_tracer_restores_on_exit(self):
+        recording = RecordingTracer()
+        with use_tracer(recording) as active:
+            assert active is recording
+            assert get_tracer() is recording
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_none_restores_null(self):
+        set_tracer(RecordingTracer())
+        set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_timer(self):
+        registry = MetricsRegistry()
+        registry.counter("optimizer.candidates").inc()
+        registry.counter("optimizer.candidates").inc(4)
+        registry.gauge("optimizer.largest_winner_set").max(3)
+        registry.gauge("optimizer.largest_winner_set").max(2)
+        with registry.timer("optimizer.time").time():
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["optimizer.candidates"] == 5
+        assert snapshot["optimizer.largest_winner_set"] == 3
+        assert snapshot["optimizer.time.count"] == 1
+        assert snapshot["optimizer.time.seconds"] >= 0.0
+        assert registry.as_dict() == snapshot
+
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)
+        assert list(snapshot) == ["a", "b"]
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestLogging:
+    def test_get_logger_prefixes_hierarchy(self):
+        assert get_logger("optimizer.engine").name == "repro.optimizer.engine"
+        assert get_logger("repro.executor").name == "repro.executor"
+
+    def test_resolve_level(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert resolve_level(None) == logging.WARNING
+        assert resolve_level("debug") == logging.DEBUG
+        assert resolve_level("INFO") == logging.INFO
+        assert resolve_level(17) == 17
+        assert resolve_level("15") == 15
+        monkeypatch.setenv("REPRO_LOG", "error")
+        assert resolve_level(None) == logging.ERROR
+        with pytest.raises(ValueError):
+            resolve_level("chatty")
