@@ -4,12 +4,21 @@ The catalog carries a monotonically increasing *version* so access modules
 can validate at start-up that the metadata they were compiled against is
 still current (System R-style plan validation, [CAK81] in the paper).
 Creating or dropping an index bumps the version.
+
+Version bumps are observable: :meth:`Catalog.subscribe` registers a
+listener called with the new version after every DDL-like change, which is
+how the serving layer's plan cache learns to drop entries compiled against
+outdated metadata.  DDL operations are serialized by an internal lock so
+concurrent schema changes (e.g. from a query service's admin path) cannot
+lose updates; listeners run outside that lock.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.catalog.schema import Attribute, Schema
 from repro.catalog.statistics import RelationStats
@@ -55,11 +64,68 @@ class Catalog:
     _relations: dict[str, RelationInfo] = field(default_factory=dict)
     _histograms: dict[str, object] = field(default_factory=dict)
     _version: int = 0
+    _listeners: list[Callable[[int], None]] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> dict[str, object]:
+        # Locks aren't copyable/picklable and listeners are identity-bound
+        # to this instance: a copy gets fresh ones.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        del state["_listeners"]
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self.__dict__["_listeners"] = []
+        self.__dict__["_lock"] = threading.Lock()
 
     @property
     def version(self) -> int:
         """Schema version, bumped on every DDL-like change."""
         return self._version
+
+    # ------------------------------------------------------------------
+    # Change notification
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[[int], None]) -> Callable[[int], None]:
+        """Call ``listener(new_version)`` after every future version bump.
+
+        Returns ``listener`` so callers can keep the handle for
+        :meth:`unsubscribe`.  Listeners run on the thread performing the
+        DDL, after the catalog lock is released.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Callable[[int], None]) -> None:
+        """Remove a listener registered with :meth:`subscribe`."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _bump_locked(self) -> tuple[int, tuple[Callable[[int], None], ...]]:
+        """Advance the version; caller must hold the lock.
+
+        Returns the new version and the listener snapshot to notify once
+        the lock is released (so listeners may re-enter the catalog).
+        """
+        self._version += 1
+        return self._version, tuple(self._listeners)
+
+    @staticmethod
+    def _notify(
+        version: int, listeners: tuple[Callable[[int], None], ...]
+    ) -> None:
+        for listener in listeners:
+            listener(version)
 
     @property
     def relation_names(self) -> list[str]:
@@ -78,28 +144,36 @@ class Catalog:
         ``attributes`` is a list of ``(attribute_name, domain_size)`` pairs.
         Returns the created :class:`RelationInfo`.
         """
-        if name in self._relations:
-            raise CatalogError(f"relation {name} already exists")
-        if not attributes:
-            raise CatalogError(f"relation {name} must have at least one attribute")
-        schema = Schema(
-            tuple(Attribute(name, attr, domain) for attr, domain in attributes)
-        )
-        info = RelationInfo(
-            name=name,
-            schema=schema,
-            stats=RelationStats(cardinality=cardinality, record_bytes=record_bytes),
-        )
-        self._relations[name] = info
-        self._version += 1
+        with self._lock:
+            if name in self._relations:
+                raise CatalogError(f"relation {name} already exists")
+            if not attributes:
+                raise CatalogError(
+                    f"relation {name} must have at least one attribute"
+                )
+            schema = Schema(
+                tuple(Attribute(name, attr, domain) for attr, domain in attributes)
+            )
+            info = RelationInfo(
+                name=name,
+                schema=schema,
+                stats=RelationStats(
+                    cardinality=cardinality, record_bytes=record_bytes
+                ),
+            )
+            self._relations[name] = info
+            version, listeners = self._bump_locked()
+        self._notify(version, listeners)
         return info
 
     def drop_relation(self, name: str) -> None:
         """Remove a relation (and implicitly its indexes)."""
-        if name not in self._relations:
-            raise CatalogError(f"relation {name} does not exist")
-        del self._relations[name]
-        self._version += 1
+        with self._lock:
+            if name not in self._relations:
+                raise CatalogError(f"relation {name} does not exist")
+            del self._relations[name]
+            version, listeners = self._bump_locked()
+        self._notify(version, listeners)
 
     def relation(self, name: str) -> RelationInfo:
         """Look up a relation by name."""
@@ -126,47 +200,54 @@ class Catalog:
         clustered: bool = False,
     ) -> IndexInfo:
         """Create a B-tree index on one attribute of a relation."""
-        info = self.relation(relation_name)
-        attribute = info.schema.find(f"{relation_name}.{attribute_name}")
-        if any(ix.name == index_name for ix in info.indexes):
-            raise CatalogError(f"index {index_name} already exists")
-        if info.index_on(attribute) is not None:
-            raise CatalogError(
-                f"attribute {attribute.qualified_name} already indexed"
+        with self._lock:
+            info = self.relation(relation_name)
+            attribute = info.schema.find(f"{relation_name}.{attribute_name}")
+            if any(ix.name == index_name for ix in info.indexes):
+                raise CatalogError(f"index {index_name} already exists")
+            if info.index_on(attribute) is not None:
+                raise CatalogError(
+                    f"attribute {attribute.qualified_name} already indexed"
+                )
+            if clustered and any(ix.clustered for ix in info.indexes):
+                raise CatalogError(
+                    f"relation {relation_name} already has a clustered index"
+                )
+            index = IndexInfo(
+                name=index_name,
+                relation=relation_name,
+                attribute=attribute,
+                clustered=clustered,
             )
-        if clustered and any(ix.clustered for ix in info.indexes):
-            raise CatalogError(
-                f"relation {relation_name} already has a clustered index"
+            self._relations[relation_name] = RelationInfo(
+                name=info.name,
+                schema=info.schema,
+                stats=info.stats,
+                indexes=info.indexes + (index,),
             )
-        index = IndexInfo(
-            name=index_name,
-            relation=relation_name,
-            attribute=attribute,
-            clustered=clustered,
-        )
-        self._relations[relation_name] = RelationInfo(
-            name=info.name,
-            schema=info.schema,
-            stats=info.stats,
-            indexes=info.indexes + (index,),
-        )
-        self._version += 1
+            version, listeners = self._bump_locked()
+        self._notify(version, listeners)
         return index
 
     def drop_index(self, index_name: str) -> None:
         """Drop an index by name (searches all relations)."""
-        for name, info in self._relations.items():
-            remaining = tuple(ix for ix in info.indexes if ix.name != index_name)
-            if len(remaining) != len(info.indexes):
-                self._relations[name] = RelationInfo(
-                    name=info.name,
-                    schema=info.schema,
-                    stats=info.stats,
-                    indexes=remaining,
+        with self._lock:
+            for name, info in self._relations.items():
+                remaining = tuple(
+                    ix for ix in info.indexes if ix.name != index_name
                 )
-                self._version += 1
-                return
-        raise CatalogError(f"unknown index {index_name}")
+                if len(remaining) != len(info.indexes):
+                    self._relations[name] = RelationInfo(
+                        name=info.name,
+                        schema=info.schema,
+                        stats=info.stats,
+                        indexes=remaining,
+                    )
+                    version, listeners = self._bump_locked()
+                    break
+            else:
+                raise CatalogError(f"unknown index {index_name}")
+        self._notify(version, listeners)
 
     def index_on(self, attribute: Attribute) -> IndexInfo | None:
         """The index keyed on ``attribute``, or None."""
@@ -243,13 +324,15 @@ class Catalog:
 
     def set_cardinality(self, relation_name: str, cardinality: int) -> None:
         """Update a relation's cardinality (simulates database growth)."""
-        info = self.relation(relation_name)
-        self._relations[relation_name] = RelationInfo(
-            name=info.name,
-            schema=info.schema,
-            stats=RelationStats(
-                cardinality=cardinality, record_bytes=info.stats.record_bytes
-            ),
-            indexes=info.indexes,
-        )
-        self._version += 1
+        with self._lock:
+            info = self.relation(relation_name)
+            self._relations[relation_name] = RelationInfo(
+                name=info.name,
+                schema=info.schema,
+                stats=RelationStats(
+                    cardinality=cardinality, record_bytes=info.stats.record_bytes
+                ),
+                indexes=info.indexes,
+            )
+            version, listeners = self._bump_locked()
+        self._notify(version, listeners)

@@ -14,6 +14,10 @@ Commands:
     (rows, time, pages) — EXPLAIN ANALYZE for dynamic plans.
 ``experiments``
     Regenerate the paper's Section 6 evaluation tables.
+``serve-bench``
+    Run a Zipfian workload against the concurrent query service and
+    report throughput, latency percentiles, and plan-cache hit rate;
+    writes a JSON artifact (default ``benchmarks/results/serve_bench.json``).
 ``demo``
     The motivating example (Figure 1) in one command.
 
@@ -148,10 +152,74 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments_cmd.add_argument("--memory", action="store_true")
     experiments_cmd.set_defaults(handler=_cmd_experiments)
 
+    serve_cmd = commands.add_parser(
+        "serve-bench",
+        help="benchmark the concurrent query service with a shared plan cache",
+    )
+    _add_catalog_options(serve_cmd)
+    serve_cmd.add_argument(
+        "--invocations", type=int, default=500, help="workload size (default 500)"
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=4, help="service worker threads"
+    )
+    serve_cmd.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission-control queue depth (backpressure beyond this)",
+    )
+    serve_cmd.add_argument(
+        "--statements",
+        type=int,
+        default=None,
+        metavar="N",
+        help="distinct statements (default: one per catalog relation)",
+    )
+    serve_cmd.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        help="Zipf skew of statement popularity (0 = uniform)",
+    )
+    serve_cmd.add_argument(
+        "--cache-capacity", type=int, default=128, help="plan cache entries"
+    )
+    serve_cmd.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="plan cache entry TTL (default: no expiry)",
+    )
+    serve_cmd.add_argument(
+        "--seed", type=int, default=0, help="data + workload RNG seed"
+    )
+    serve_cmd.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast run for CI (2 workers, 2 statements, 25 invocations)",
+    )
+    serve_cmd.add_argument(
+        "--output",
+        type=Path,
+        default=Path("benchmarks/results/serve_bench.json"),
+        metavar="FILE",
+        help="JSON benchmark artifact path",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve_bench)
+
     demo_cmd = commands.add_parser("demo", help="the Figure 1 motivating example")
     demo_cmd.set_defaults(handler=_cmd_demo)
 
-    for command in (explain_cmd, choose_cmd, analyze_cmd, experiments_cmd, demo_cmd):
+    for command in (
+        explain_cmd,
+        choose_cmd,
+        analyze_cmd,
+        experiments_cmd,
+        serve_cmd,
+        demo_cmd,
+    ):
         _add_obs_options(command)
     return parser
 
@@ -348,6 +416,94 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     print(report.render_figure7(figures.figure7_rows(records, model)), end="\n\n")
     print(report.render_figure8(figures.figure8_rows(records, model)), end="\n\n")
     print(report.render_break_even(figures.break_even_rows(records, model)))
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import get_metrics as _get_metrics
+    from repro.service import (
+        QueryService,
+        default_statements,
+        generate_invocations,
+        run_workload,
+    )
+
+    catalog = _load_catalog(args)
+    invocations = args.invocations
+    if invocations < 1:
+        raise ValueError("--invocations must be at least 1")
+    workers = args.workers
+    statements_count = args.statements
+    if args.smoke:
+        invocations = min(invocations, 25)
+        workers = min(workers, 2)
+        statements_count = 2 if statements_count is None else statements_count
+
+    statements = default_statements(catalog, statements_count)
+    service = QueryService(
+        catalog,
+        CostModel(),
+        workers=workers,
+        queue_limit=args.queue_limit,
+        cache_capacity=args.cache_capacity,
+        cache_ttl_seconds=args.cache_ttl,
+        seed=args.seed,
+    )
+    try:
+        stream = generate_invocations(
+            statements, invocations, zipf_s=args.zipf, seed=args.seed + 1
+        )
+        report = run_workload(service, stream)
+    finally:
+        service.close()
+
+    print(
+        f"{report.completed}/{report.invocations} invocations over "
+        f"{len(statements)} statements ({workers} workers, "
+        f"queue limit {args.queue_limit}, zipf s={args.zipf})"
+    )
+    print(
+        f"throughput: {report.throughput_qps:,.0f} queries/s "
+        f"in {report.elapsed_seconds:.3f} s wall"
+    )
+    print(
+        f"latency: p50 {report.latency_p50_seconds * 1e3:.2f} ms, "
+        f"p95 {report.latency_p95_seconds * 1e3:.2f} ms, "
+        f"p99 {report.latency_p99_seconds * 1e3:.2f} ms"
+    )
+    print(
+        f"plan cache: {report.cache_hit_rate * 100:.1f}% hit rate "
+        f"({report.cache_hits} hits / {report.cache_misses} misses), "
+        f"{report.optimizer_runs} optimizer runs"
+    )
+    print(
+        f"backpressure: {report.rejections} overload rejections "
+        f"(retried), {report.failed} failures"
+    )
+
+    snapshot = _get_metrics().snapshot()
+    payload = {
+        "config": {
+            "invocations": invocations,
+            "workers": workers,
+            "queue_limit": args.queue_limit,
+            "statements": len(statements),
+            "zipf_s": args.zipf,
+            "cache_capacity": args.cache_capacity,
+            "cache_ttl_seconds": args.cache_ttl,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+        },
+        "report": report.as_dict(),
+        "metrics": {
+            name: value
+            for name, value in snapshot.items()
+            if name.startswith(("plan_cache.", "service.", "optimizer.runs"))
+        },
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
     return 0
 
 

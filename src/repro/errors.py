@@ -43,3 +43,18 @@ class ParseError(ReproError):
 
 class ExecutionError(ReproError):
     """The execution engine failed while evaluating a physical plan."""
+
+
+class ServiceError(ReproError):
+    """The query service could not accept or complete an invocation."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected the invocation: the queue is full.
+
+    Backpressure signal — callers should retry later or shed load."""
+
+
+class ServiceClosedError(ServiceError):
+    """The query service is shut down (or shutting down) and accepts no
+    new invocations."""

@@ -2,15 +2,22 @@
 
 Metric names form a dotted hierarchy mirroring the subsystems they
 measure, e.g. ``optimizer.candidates_considered``,
-``chooser.decisions``, ``executor.rows``.  The registry is deliberately
-simple — plain Python numbers, no locks, no export protocol — because
-its job is to give the paper's quantitative claims one queryable home:
-``snapshot()`` returns a flat JSON-ready dict that the CLI's ``--stats``
-flag and the experiment harness print verbatim.
+``chooser.decisions``, ``executor.rows``.  The registry stays deliberately
+simple — plain Python numbers, no export protocol — because its job is to
+give the paper's quantitative claims one queryable home: ``snapshot()``
+returns a flat JSON-ready dict that the CLI's ``--stats`` flag and the
+experiment harness print verbatim.
+
+Every metric (and the registry's get-or-create path) is thread-safe: the
+serving layer updates counters and timers from a worker pool, so lost
+increments would silently corrupt cache-hit-rate and latency reports.
+Reads (``value``/``snapshot``) take the same per-metric locks, so a
+snapshot never observes a torn timer (seconds updated, count not).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator
@@ -19,44 +26,71 @@ from typing import Iterator
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("value",)
+    __slots__ = ("_value", "_lock")
 
     def __init__(self) -> None:
-        self.value = 0.0
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self._value += amount
 
 
 class Gauge:
     """Last-written value (e.g. largest winner set seen)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("_value", "_lock")
 
     def __init__(self) -> None:
-        self.value = 0.0
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self._value = value
 
     def max(self, value: float) -> None:
         """Keep the running maximum instead of the last write."""
-        if value > self.value:
-            self.value = value
+        with self._lock:
+            if value > self._value:
+                self._value = value
 
 
 class Timer:
     """Accumulated duration plus observation count."""
 
-    __slots__ = ("seconds", "count")
+    __slots__ = ("_seconds", "_count", "_lock")
 
     def __init__(self) -> None:
-        self.seconds = 0.0
-        self.count = 0
+        self._seconds = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    @property
+    def seconds(self) -> float:
+        with self._lock:
+            return self._seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
 
     def observe(self, seconds: float) -> None:
-        self.seconds += seconds
-        self.count += 1
+        with self._lock:
+            self._seconds += seconds
+            self._count += 1
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -74,39 +108,47 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, Timer] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
-        metric = self._counters.get(name)
-        if metric is None:
-            metric = self._counters[name] = Counter()
-        return metric
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter()
+            return metric
 
     def gauge(self, name: str) -> Gauge:
-        metric = self._gauges.get(name)
-        if metric is None:
-            metric = self._gauges[name] = Gauge()
-        return metric
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge()
+            return metric
 
     def timer(self, name: str) -> Timer:
-        metric = self._timers.get(name)
-        if metric is None:
-            metric = self._timers[name] = Timer()
-        return metric
+        with self._lock:
+            metric = self._timers.get(name)
+            if metric is None:
+                metric = self._timers[name] = Timer()
+            return metric
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, float]:
         """Flat name → value dict; timers expand to ``.seconds``/``.count``."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            timers = sorted(self._timers.items())
         out: dict[str, float] = {}
-        for name, counter in sorted(self._counters.items()):
+        for name, counter in counters:
             out[name] = counter.value
-        for name, gauge in sorted(self._gauges.items()):
+        for name, gauge in gauges:
             out[name] = gauge.value
-        for name, timer in sorted(self._timers.items()):
+        for name, timer in timers:
             out[f"{name}.seconds"] = timer.seconds
             out[f"{name}.count"] = float(timer.count)
         return out
@@ -117,9 +159,10 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every metric (tests and repeated CLI runs)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._timers.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
 
 
 # ----------------------------------------------------------------------

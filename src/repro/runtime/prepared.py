@@ -98,22 +98,37 @@ class PreparedQuery:
         db: Database,
         value_bindings: Mapping[str, object],
         overrides: Mapping[str, float] | None = None,
+        memory_pages: int | None = None,
     ) -> dict[str, float]:
         """Parameter values for one invocation.
 
         Selectivity parameters are derived from the bound host-variable
         values against the database's statistics (``implied_selectivity``);
-        memory defaults to the model's expected pages.  ``overrides`` wins
-        for any parameter it names.
+        memory parameters take ``memory_pages`` when given, falling back to
+        the model's expected pages.  ``overrides`` wins for any parameter
+        it names; naming a parameter the query does not declare raises
+        :class:`BindingError`.
         """
         values: dict[str, float] = {}
         overrides = dict(overrides or {})
+        unknown = sorted(
+            set(overrides) - {p.name for p in self.graph.parameters}
+        )
+        if unknown:
+            raise BindingError(
+                "overrides name unknown parameter(s): " + ", ".join(unknown)
+            )
         for parameter in self.graph.parameters:
             if parameter.name in overrides:
                 values[parameter.name] = overrides[parameter.name]
                 continue
             if parameter.kind is ParameterKind.MEMORY_PAGES:
-                values[parameter.name] = float(self.model.default_memory_pages)
+                pages = (
+                    memory_pages
+                    if memory_pages is not None
+                    else self.model.default_memory_pages
+                )
+                values[parameter.name] = float(pages)
                 continue
             predicate = self._predicate_of(parameter.name)
             if predicate is None:
@@ -158,9 +173,17 @@ class PreparedQuery:
         parameter_values: Mapping[str, float] | None = None,
         memory_pages: int | None = None,
     ) -> ExecutionResult:
-        """One full invocation: derive, activate, decide, execute."""
+        """One full invocation: derive, activate, decide, execute.
+
+        ``memory_pages`` reaches both sides of the invocation: the derived
+        memory parameter (so choose-plan decisions see the caller's actual
+        memory, not the cost model's default) and the executor's memory
+        bound.
+        """
         if parameter_values is None:
-            parameter_values = self.derive_parameters(db, value_bindings)
+            parameter_values = self.derive_parameters(
+                db, value_bindings, memory_pages=memory_pages
+            )
         activation = self.activate(parameter_values)
         return execute_plan(
             self.module.plan,

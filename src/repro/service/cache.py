@@ -1,0 +1,279 @@
+"""PlanCache: shared compiled dynamic plans for the serving layer.
+
+The paper's economic argument is amortization — a dynamic plan is compiled
+once and re-activated per invocation, breaking even with run-time
+optimization after a handful of calls (Section 6's break-even analysis).
+A single :class:`~repro.runtime.prepared.PreparedQuery` amortizes only
+within one caller; this cache shares the compiled access module across
+every client of a query service, so millions of invocations of the same
+statement pay for one optimization.
+
+Keying and invalidation rules:
+
+* **Key** — normalized query text (whitespace-collapsed, trailing ``;``
+  dropped) + the catalog version read at lookup time + optimization mode.
+  Because the version is part of the key, a DDL change can never hand out
+  a plan compiled against older metadata: post-DDL lookups form a new key
+  and miss.
+* **Eager invalidation** — the cache subscribes to
+  :meth:`Catalog.subscribe`; every version bump drops entries keyed under
+  older versions immediately (they could only waste capacity — no future
+  lookup can reach them).
+* **Staleness** — on every hit the entry's module is re-checked with
+  ``validate`` and ``is_stale`` (statistics drift beyond
+  ``stale_threshold``); failing entries are dropped and recompiled.
+* **Capacity / TTL** — least-recently-used eviction over ``capacity``
+  entries, plus optional wall-clock expiry ``ttl_seconds`` after compile.
+
+Concurrent misses on one key are collapsed into a single compilation
+(single-flight): the first miss compiles while the rest wait on the same
+in-flight slot, so an invalidated hot statement is recompiled exactly once
+rather than once per waiting worker (no thundering herd).
+
+Counters in the :mod:`repro.obs` registry: ``plan_cache.hits``,
+``plan_cache.misses``, ``plan_cache.compilations``,
+``plan_cache.evictions`` (capacity), ``plan_cache.expirations`` (TTL),
+``plan_cache.invalidations`` (DDL hook), ``plan_cache.recompiles``
+(validate/stale failures), and the ``plan_cache.entries`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_metrics
+from repro.optimizer.optimizer import OptimizationMode
+from repro.runtime.prepared import PreparedQuery
+
+_LOG = get_logger(__name__)
+
+
+def normalize_query_text(sql: str) -> str:
+    """Canonical cache-key form of a statement.
+
+    Whitespace runs collapse to single spaces and one trailing ``;`` is
+    dropped, so textual variants of the same statement share an entry.
+    Identifier case is preserved — the parser is case-sensitive.
+    """
+    text = " ".join(sql.split())
+    if text.endswith(";"):
+        text = text[:-1].rstrip()
+    return text
+
+
+@dataclass(frozen=True, slots=True)
+class CacheKey:
+    """Identity of one cached plan."""
+
+    query_text: str
+    catalog_version: int
+    mode: OptimizationMode
+
+
+@dataclass
+class CacheEntry:
+    """One cached compiled statement.
+
+    ``lock`` serializes activation (choose-plan resolution mutates the
+    module's usage statistics); execution itself runs outside the lock.
+    """
+
+    key: CacheKey
+    prepared: PreparedQuery
+    expires_at: float | None
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def compiled_catalog_version(self) -> int:
+        """Catalog version the entry's current module was compiled under."""
+        return self.prepared.module.catalog_version
+
+
+class _InFlight:
+    """Single-flight slot: the first miss compiles, the rest wait on it."""
+
+    __slots__ = ("event", "entry", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.entry: CacheEntry | None = None
+        self.error: BaseException | None = None
+
+
+class PlanCache:
+    """Thread-safe LRU + TTL cache of compiled access modules."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        model: CostModel | None = None,
+        *,
+        capacity: int = 128,
+        ttl_seconds: float | None = None,
+        stale_threshold: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self._catalog = catalog
+        self._model = model if model is not None else CostModel()
+        self._capacity = capacity
+        self._ttl_seconds = ttl_seconds
+        self._stale_threshold = stale_threshold
+        self._clock = clock
+        self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
+        self._inflight: dict[CacheKey, _InFlight] = {}
+        self._lock = threading.Lock()
+        self._listener = catalog.subscribe(self._on_catalog_change)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def close(self) -> None:
+        """Detach from the catalog and drop every entry."""
+        self._catalog.unsubscribe(self._listener)
+        with self._lock:
+            self._entries.clear()
+            get_metrics().gauge("plan_cache.entries").set(0.0)
+
+    # ------------------------------------------------------------------
+    # Lookup / compile
+    # ------------------------------------------------------------------
+    def get_or_compile(
+        self,
+        sql: str,
+        mode: OptimizationMode = OptimizationMode.DYNAMIC,
+    ) -> tuple[CacheEntry, bool]:
+        """The cached entry for ``sql`` (compiling on miss) and a hit flag.
+
+        Waiting on another worker's in-flight compilation counts as a miss
+        (the plan was not yet available) but never compiles twice.
+        """
+        key = CacheKey(
+            query_text=normalize_query_text(sql),
+            catalog_version=self._catalog.version,
+            mode=mode,
+        )
+        metrics = get_metrics()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                reason = self._invalid_reason(entry)
+                if reason is None:
+                    self._entries.move_to_end(key)
+                    metrics.counter("plan_cache.hits").inc()
+                    return entry, True
+                del self._entries[key]
+                metrics.counter(f"plan_cache.{reason}").inc()
+            flight = self._inflight.get(key)
+            owner = flight is None
+            if owner:
+                flight = self._inflight[key] = _InFlight()
+        metrics.counter("plan_cache.misses").inc()
+        if not owner:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            assert flight.entry is not None
+            return flight.entry, False
+        try:
+            prepared = PreparedQuery.prepare(
+                sql, self._catalog, self._model, mode=mode
+            )
+            prepared.stale_threshold = self._stale_threshold
+            entry = CacheEntry(
+                key=key, prepared=prepared, expires_at=self._deadline()
+            )
+            metrics.counter("plan_cache.compilations").inc()
+        except BaseException as error:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.error = error
+            flight.event.set()
+            raise
+        with self._lock:
+            self._inflight.pop(key, None)
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                evicted_key, _ = self._entries.popitem(last=False)
+                metrics.counter("plan_cache.evictions").inc()
+                _LOG.debug("plan cache evicted %s", evicted_key)
+            metrics.gauge("plan_cache.entries").set(float(len(self._entries)))
+        flight.entry = entry
+        flight.event.set()
+        return entry, False
+
+    def _deadline(self) -> float | None:
+        if self._ttl_seconds is None:
+            return None
+        return self._clock() + self._ttl_seconds
+
+    def _invalid_reason(self, entry: CacheEntry) -> str | None:
+        """Why a stored entry cannot be served, as a counter suffix."""
+        if entry.expires_at is not None and self._clock() >= entry.expires_at:
+            return "expirations"
+        module = entry.prepared.module
+        if not module.validate(self._catalog):
+            return "recompiles"
+        if module.is_stale(self._catalog, self._stale_threshold):
+            return "recompiles"
+        return None
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def _on_catalog_change(self, version: int) -> None:
+        """Catalog listener: drop entries keyed under older versions."""
+        metrics = get_metrics()
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if key.catalog_version != version
+            ]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                metrics.counter("plan_cache.invalidations").inc(len(stale))
+                metrics.gauge("plan_cache.entries").set(
+                    float(len(self._entries))
+                )
+        if stale:
+            _LOG.debug(
+                "plan cache invalidated %d entries at catalog version %d",
+                len(stale),
+                version,
+            )
+
+    def invalidate(self, sql: str | None = None) -> int:
+        """Explicitly drop entries; all of them when ``sql`` is None.
+
+        Returns the number of entries removed.  DDL normally invalidates
+        through the catalog subscription; this hook serves administrative
+        paths (e.g. statistics refresh that should force recompilation).
+        """
+        metrics = get_metrics()
+        text = None if sql is None else normalize_query_text(sql)
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if text is None or key.query_text == text
+            ]
+            for key in doomed:
+                del self._entries[key]
+            if doomed:
+                metrics.counter("plan_cache.invalidations").inc(len(doomed))
+                metrics.gauge("plan_cache.entries").set(
+                    float(len(self._entries))
+                )
+        return len(doomed)

@@ -1,0 +1,304 @@
+"""QueryService: a concurrent front door over a shared plan cache.
+
+The serving-layer view of the paper's amortization argument: many clients
+invoke a small set of parameterized statements millions of times, so the
+compiled dynamic plan must be shared, and invocations must flow through a
+bounded worker pool with explicit backpressure instead of unbounded
+threads.
+
+Lifecycle::
+
+    service = QueryService(catalog, workers=4, queue_limit=64)
+    service.prepare("SELECT * FROM R WHERE R.a < :v")   # optional warm-up
+    result = service.execute("SELECT * FROM R WHERE R.a < :v", {"v": 120})
+    service.close()                                     # drains in-flight
+
+``submit`` is the asynchronous form, returning a
+:class:`concurrent.futures.Future` of :class:`ServiceResult`.  Admission
+control is a fast path: when the queue already holds ``queue_limit``
+requests, ``submit`` raises :class:`ServiceOverloadedError` immediately
+(counted in ``service.rejected``) rather than blocking the caller.
+
+Each worker owns a private :class:`~repro.executor.database.Database`
+(the storage engine's buffer pool and iterators are single-threaded), all
+loaded from the same seed so every worker sees identical data.  The
+compiled plans, the catalog, and the metrics registry are the shared
+state.  Activation (choose-plan resolution, which mutates the module's
+usage statistics) runs under the cache entry's lock; plan execution runs
+outside it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Mapping
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel
+from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.executor.database import Database
+from repro.executor.executor import ExecutionResult, execute_plan
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_metrics
+from repro.optimizer.optimizer import OptimizationMode
+from repro.service.cache import CacheEntry, PlanCache
+
+_LOG = get_logger(__name__)
+
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class _Request:
+    """One admitted invocation, queued for a worker."""
+
+    sql: str
+    value_bindings: Mapping[str, object]
+    mode: OptimizationMode
+    parameter_values: Mapping[str, float] | None
+    memory_pages: int | None
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Outcome of one service invocation."""
+
+    execution: ExecutionResult
+    latency_seconds: float  # dequeue-to-result, as the latency timer sees it
+    cache_hit: bool
+    compiled_catalog_version: int
+
+    @property
+    def rows(self):
+        """The result rows (delegates to the execution result)."""
+        return self.execution.rows
+
+    @property
+    def row_count(self) -> int:
+        return self.execution.metrics.rows
+
+
+class QueryService:
+    """Bounded worker pool executing cached dynamic plans."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        model: CostModel | None = None,
+        *,
+        workers: int = 4,
+        queue_limit: int = 64,
+        cache_capacity: int = 128,
+        cache_ttl_seconds: float | None = None,
+        stale_threshold: float = 0.0,
+        database_factory: Callable[[], Database] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("query service needs at least one worker")
+        if queue_limit < 1:
+            raise ValueError("admission queue limit must be at least 1")
+        self._catalog = catalog
+        self._model = model if model is not None else CostModel()
+        self._queue_limit = queue_limit
+        self.cache = PlanCache(
+            catalog,
+            self._model,
+            capacity=cache_capacity,
+            ttl_seconds=cache_ttl_seconds,
+            stale_threshold=stale_threshold,
+        )
+        self._database_factory = database_factory or (
+            lambda: self._default_database(seed)
+        )
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._closed = threading.Event()
+        self._join_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    def _default_database(self, seed: int) -> Database:
+        db = Database(self._catalog, self._model)
+        db.load_synthetic(seed=seed)
+        return db
+
+    # ------------------------------------------------------------------
+    # Front door
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        sql: str,
+        mode: OptimizationMode = OptimizationMode.DYNAMIC,
+    ) -> CacheEntry:
+        """Warm the plan cache for ``sql`` (compiling if needed)."""
+        if self._closed.is_set():
+            raise ServiceClosedError("query service is closed")
+        entry, _ = self.cache.get_or_compile(sql, mode)
+        return entry
+
+    def submit(
+        self,
+        sql: str,
+        value_bindings: Mapping[str, object] | None = None,
+        *,
+        mode: OptimizationMode = OptimizationMode.DYNAMIC,
+        parameter_values: Mapping[str, float] | None = None,
+        memory_pages: int | None = None,
+    ) -> "Future[ServiceResult]":
+        """Admit one invocation; fast-rejects when the queue is full.
+
+        Raises :class:`ServiceClosedError` after :meth:`close`, and
+        :class:`ServiceOverloadedError` when ``queue_limit`` requests are
+        already pending — the typed backpressure signal.
+        """
+        metrics = get_metrics()
+        if self._closed.is_set():
+            raise ServiceClosedError("query service is closed")
+        request = _Request(
+            sql=sql,
+            value_bindings=dict(value_bindings or {}),
+            mode=mode,
+            parameter_values=(
+                dict(parameter_values) if parameter_values is not None else None
+            ),
+            memory_pages=memory_pages,
+        )
+        future: Future[ServiceResult] = Future()
+        try:
+            self._queue.put_nowait((request, future))
+        except queue.Full:
+            metrics.counter("service.rejected").inc()
+            raise ServiceOverloadedError(
+                f"admission queue full ({self._queue_limit} pending); "
+                "retry later"
+            ) from None
+        metrics.counter("service.submitted").inc()
+        metrics.gauge("service.queue_depth").max(float(self._queue.qsize()))
+        return future
+
+    def execute(
+        self,
+        sql: str,
+        value_bindings: Mapping[str, object] | None = None,
+        *,
+        mode: OptimizationMode = OptimizationMode.DYNAMIC,
+        parameter_values: Mapping[str, float] | None = None,
+        memory_pages: int | None = None,
+    ) -> ServiceResult:
+        """Synchronous invocation: :meth:`submit` plus waiting."""
+        return self.submit(
+            sql,
+            value_bindings,
+            mode=mode,
+            parameter_values=parameter_values,
+            memory_pages=memory_pages,
+        ).result()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut down: refuse new work, settle pending work, join workers.
+
+        With ``drain=True`` (the default) every already-admitted request
+        finishes and its future resolves normally — graceful shutdown.
+        With ``drain=False`` queued-but-not-started requests are
+        cancelled.  Idempotent.
+        """
+        self._closed.set()
+        with self._join_lock:
+            if not self._workers:
+                return
+            if not drain:
+                while True:
+                    try:
+                        item = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    _, future = item
+                    future.cancel()
+                    self._queue.task_done()
+            for _ in self._workers:
+                self._queue.put(_SHUTDOWN)
+            for worker in self._workers:
+                worker.join()
+            self._workers = []
+        self.cache.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        db = self._database_factory()
+        metrics = get_metrics()
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SHUTDOWN:
+                    return
+                request, future = item
+                if not future.set_running_or_notify_cancel():
+                    continue
+                started = perf_counter()
+                try:
+                    result = self._invoke(db, request, started)
+                except BaseException as error:  # delivered via the future
+                    metrics.counter("service.errors").inc()
+                    future.set_exception(error)
+                else:
+                    future.set_result(result)
+            finally:
+                self._queue.task_done()
+
+    def _invoke(
+        self, db: Database, request: _Request, started: float
+    ) -> ServiceResult:
+        metrics = get_metrics()
+        entry, hit = self.cache.get_or_compile(request.sql, request.mode)
+        prepared = entry.prepared
+        parameter_values = request.parameter_values
+        if parameter_values is None:
+            parameter_values = prepared.derive_parameters(
+                db, request.value_bindings, memory_pages=request.memory_pages
+            )
+        with entry.lock:
+            # PreparedQuery.activate transparently re-optimizes when DDL
+            # lands between key computation and activation; surface that in
+            # the cache's recompile counter so invalidations stay countable.
+            reoptimizations_before = prepared.reoptimizations
+            activation = prepared.activate(parameter_values)
+            if prepared.reoptimizations != reoptimizations_before:
+                metrics.counter("plan_cache.recompiles").inc()
+            plan = prepared.module.plan
+            compiled_version = prepared.module.catalog_version
+        execution = execute_plan(
+            plan,
+            db,
+            bindings=request.value_bindings,
+            choices=activation.decision.choices,
+            memory_pages=request.memory_pages,
+        )
+        elapsed = perf_counter() - started
+        metrics.timer("service.latency").observe(elapsed)
+        metrics.counter("service.completed").inc()
+        return ServiceResult(
+            execution=execution,
+            latency_seconds=elapsed,
+            cache_hit=hit,
+            compiled_catalog_version=compiled_version,
+        )

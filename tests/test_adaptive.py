@@ -191,6 +191,61 @@ class TestExecuteAdaptive:
             r for r in r_rows if r[0] < v
         )
 
+    def test_two_unobserved_predicates_conservative_attribution(
+        self, catalog, db
+    ):
+        """Two unobserved unbound predicates on one relation: the split is
+        not identifiable, so the combined observed selectivity is
+        conservatively attributed to the first parameter and the second
+        backs out to ~1.0 — and the query still answers correctly."""
+        from repro.logical.predicates import (
+            CompareOp,
+            HostVariable,
+            SelectionPredicate,
+        )
+        from repro.logical.query import QueryGraph
+        from repro.params.parameter import ParameterSpace
+
+        space = ParameterSpace()
+        space.add_selectivity("sel_v")
+        space.add_selectivity("sel_w")
+        p_v = SelectionPredicate(
+            attribute=catalog.attribute("R.a"),
+            op=CompareOp.LT,
+            operand=HostVariable("v", "sel_v"),
+        )
+        p_w = SelectionPredicate(
+            attribute=catalog.attribute("R.k"),
+            op=CompareOp.LT,
+            operand=HostVariable("w", "sel_w"),
+        )
+        graph = QueryGraph(
+            relations=("R",),
+            selections={"R": (p_v, p_w)},
+            parameters=space,
+        )
+        dynamic = optimize_query(graph, catalog, mode=OptimizationMode.DYNAMIC)
+        v, w = 400, 150
+        adaptive = execute_adaptive(
+            dynamic.plan,
+            graph,
+            db,
+            dynamic.ctx,
+            value_bindings={"v": v, "w": w},
+        )
+        r_rows = [r for _, r in db.heap("R").scan()]
+        expected = sorted(r for r in r_rows if r[0] < v and r[1] < w)
+        assert sorted(adaptive.result.rows) == expected
+
+        combined = len(expected) / catalog.relation("R").stats.cardinality
+        observed = adaptive.observed_selectivities
+        assert set(observed) == {"sel_v", "sel_w"}
+        # First parameter (declaration order) absorbs the whole combined
+        # selectivity; the second, divided by the now-known first, is 1.0.
+        assert observed["sel_v"] == pytest.approx(combined)
+        assert observed["sel_w"] == pytest.approx(1.0)
+        assert adaptive.materialized_rows["R"] == len(expected)
+
     def test_materialization_avoids_rescan(self, join_query, catalog, db):
         """The final execution must not scan R again: its I/O is lower than
         a non-adaptive execution of the same decisions."""

@@ -233,6 +233,39 @@ class TestObservabilityOptions:
         assert "optimizer.query" in names
 
 
+class TestServeBench:
+    def test_smoke_writes_valid_json_report(self, capsys, tmp_path, catalog_file):
+        output = tmp_path / "bench.json"
+        code = main(
+            [
+                "serve-bench",
+                "--catalog",
+                str(catalog_file),
+                "--smoke",
+                "--output",
+                str(output),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throughput" in out
+        assert "hit rate" in out
+        payload = json.loads(output.read_text())
+        assert payload["report"]["completed"] > 0
+        assert payload["report"]["failed"] == 0
+        assert 0.0 <= payload["report"]["cache_hit_rate"] <= 1.0
+        assert payload["config"]["smoke"] is True
+        assert "plan_cache.hits" in payload["metrics"]
+
+    def test_demo_catalog_smoke(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = main(
+            ["serve-bench", "--demo-catalog", "--smoke", "--output", str(output)]
+        )
+        assert code == 0
+        assert json.loads(output.read_text())["report"]["completed"] > 0
+
+
 class TestCatalogSerialization:
     def test_round_trip(self, catalog):
         rebuilt = Catalog.from_json(catalog.to_json())

@@ -5,6 +5,7 @@ from __future__ import annotations
 import io
 import json
 import logging
+import threading
 
 import pytest
 
@@ -161,6 +162,73 @@ class TestMetricsRegistry:
         registry.counter("x").inc()
         registry.reset()
         assert registry.snapshot() == {}
+
+
+class TestMetricsThreadSafety:
+    THREADS = 8
+    INCREMENTS = 2_000
+
+    def test_concurrent_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hot")
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(self.INCREMENTS):
+                counter.inc()
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == self.THREADS * self.INCREMENTS
+
+    def test_concurrent_timer_observations_are_exact(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("hot.time")
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(200):
+                timer.observe(0.001)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert timer.count == self.THREADS * 200
+        assert timer.seconds == pytest.approx(self.THREADS * 200 * 0.001)
+
+    def test_concurrent_get_or_create_returns_one_instance(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+        seen = []
+        seen_lock = threading.Lock()
+
+        def worker() -> None:
+            barrier.wait()
+            counter = registry.counter("raced")
+            counter.inc()
+            with seen_lock:
+                seen.append(counter)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
+        assert registry.snapshot()["raced"] == self.THREADS
 
 
 class TestLogging:

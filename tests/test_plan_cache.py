@@ -1,0 +1,242 @@
+"""PlanCache: keying, LRU/TTL eviction, invalidation, single-flight."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.catalog.statistics import RelationStats
+from repro.obs.metrics import get_metrics
+from repro.optimizer.optimizer import OptimizationMode
+from repro.runtime.prepared import PreparedQuery
+from repro.service import PlanCache, normalize_query_text
+
+SQL = "SELECT * FROM R WHERE R.a < :v"
+OTHER_SQL = "SELECT * FROM S WHERE S.b < :v"
+
+
+def deltas(before: dict[str, float]) -> dict[str, float]:
+    after = get_metrics().snapshot()
+    keys = set(before) | set(after)
+    return {k: after.get(k, 0.0) - before.get(k, 0.0) for k in keys}
+
+
+class TestNormalization:
+    def test_whitespace_collapses(self):
+        assert (
+            normalize_query_text("SELECT *\n  FROM R\tWHERE R.a < :v ;")
+            == "SELECT * FROM R WHERE R.a < :v"
+        )
+
+    def test_textual_variants_share_an_entry(self, catalog):
+        cache = PlanCache(catalog)
+        _, hit1 = cache.get_or_compile(SQL)
+        _, hit2 = cache.get_or_compile("SELECT  *  FROM R\n WHERE R.a < :v;")
+        assert (hit1, hit2) == (False, True)
+        assert len(cache) == 1
+
+
+class TestLookup:
+    def test_miss_then_hit_same_entry(self, catalog):
+        cache = PlanCache(catalog)
+        first, hit1 = cache.get_or_compile(SQL)
+        second, hit2 = cache.get_or_compile(SQL)
+        assert not hit1 and hit2
+        assert first is second
+
+    def test_mode_is_part_of_the_key(self, catalog):
+        cache = PlanCache(catalog)
+        dynamic, _ = cache.get_or_compile(SQL, OptimizationMode.DYNAMIC)
+        static, hit = cache.get_or_compile(SQL, OptimizationMode.STATIC)
+        assert not hit
+        assert dynamic is not static
+        assert len(cache) == 2
+
+    def test_hit_miss_counters(self, catalog):
+        before = get_metrics().snapshot()
+        cache = PlanCache(catalog)
+        cache.get_or_compile(SQL)
+        cache.get_or_compile(SQL)
+        cache.get_or_compile(SQL)
+        moved = deltas(before)
+        assert moved["plan_cache.misses"] == 1
+        assert moved["plan_cache.hits"] == 2
+        assert moved["plan_cache.compilations"] == 1
+
+
+class TestEviction:
+    def test_lru_capacity(self, catalog):
+        before = get_metrics().snapshot()
+        cache = PlanCache(catalog, capacity=1)
+        cache.get_or_compile(SQL)
+        cache.get_or_compile(OTHER_SQL)  # evicts SQL
+        assert len(cache) == 1
+        _, hit = cache.get_or_compile(SQL)  # recompiled, evicts OTHER_SQL
+        assert not hit
+        assert deltas(before)["plan_cache.evictions"] == 2
+
+    def test_hits_refresh_recency(self, catalog):
+        cache = PlanCache(catalog, capacity=2)
+        cache.get_or_compile(SQL)
+        cache.get_or_compile(OTHER_SQL)
+        cache.get_or_compile(SQL)  # SQL is now most recent
+        cache.get_or_compile("SELECT * FROM R WHERE R.k < :w")  # evicts OTHER
+        _, hit = cache.get_or_compile(SQL)
+        assert hit
+
+    def test_ttl_expiry(self, catalog):
+        now = [0.0]
+        before = get_metrics().snapshot()
+        cache = PlanCache(
+            catalog, ttl_seconds=10.0, clock=lambda: now[0]
+        )
+        entry, _ = cache.get_or_compile(SQL)
+        now[0] = 9.9
+        same, hit = cache.get_or_compile(SQL)
+        assert hit and same is entry
+        now[0] = 10.0
+        fresh, hit = cache.get_or_compile(SQL)
+        assert not hit and fresh is not entry
+        assert deltas(before)["plan_cache.expirations"] == 1
+
+
+class TestInvalidation:
+    def test_ddl_bump_drops_old_entries(self, catalog):
+        before = get_metrics().snapshot()
+        cache = PlanCache(catalog)
+        cache.get_or_compile(SQL)
+        catalog.drop_index("S_b")  # unrelated index, but version moved
+        assert len(cache) == 0
+        assert deltas(before)["plan_cache.invalidations"] == 1
+
+    def test_post_ddl_lookup_compiles_against_new_version(self, catalog):
+        cache = PlanCache(catalog)
+        old, _ = cache.get_or_compile(SQL)
+        catalog.drop_index("R_a")
+        fresh, hit = cache.get_or_compile(SQL)
+        assert not hit
+        assert fresh.compiled_catalog_version == catalog.version
+        assert fresh.compiled_catalog_version > old.compiled_catalog_version
+
+    def test_explicit_invalidate(self, catalog):
+        cache = PlanCache(catalog)
+        cache.get_or_compile(SQL)
+        cache.get_or_compile(OTHER_SQL)
+        assert cache.invalidate(" SELECT *  FROM R WHERE R.a < :v ") == 1
+        assert len(cache) == 1
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+    def test_statistics_drift_recompiles(self, catalog):
+        before = get_metrics().snapshot()
+        cache = PlanCache(catalog, stale_threshold=0.0)
+        entry, _ = cache.get_or_compile(SQL)
+        # Drift the stored statistics *without* a version bump (set_cardinality
+        # would bump; real drift comes from data growth between ANALYZE runs).
+        info = catalog.relation("R")
+        object.__setattr__(
+            info, "stats", RelationStats(cardinality=5000, record_bytes=512)
+        )
+        fresh, hit = cache.get_or_compile(SQL)
+        assert not hit and fresh is not entry
+        assert deltas(before)["plan_cache.recompiles"] == 1
+
+    def test_close_unsubscribes(self, catalog):
+        cache = PlanCache(catalog)
+        cache.get_or_compile(SQL)
+        cache.close()
+        catalog.drop_index("S_b")  # must not touch the closed cache
+        assert len(cache) == 0
+
+
+@pytest.fixture
+def slow_prepare(monkeypatch):
+    """Stretch compilation so concurrent misses overlap deterministically."""
+    original = PreparedQuery.prepare
+
+    def prepare(*args, **kwargs):
+        time.sleep(0.05)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(PreparedQuery, "prepare", prepare)
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_compile_once(self, catalog, slow_prepare):
+        """Thundering herd: 8 simultaneous misses on one key, one compile."""
+        before = get_metrics().snapshot()
+        cache = PlanCache(catalog)
+        barrier = threading.Barrier(8)
+        entries = []
+        errors = []
+
+        def worker():
+            barrier.wait()
+            try:
+                entry, _ = cache.get_or_compile(SQL)
+                entries.append(entry)
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(entries) == 8
+        assert len({id(e) for e in entries}) == 1
+        moved = deltas(before)
+        assert moved["plan_cache.compilations"] == 1
+        assert moved["plan_cache.misses"] == 8
+
+    def test_exactly_once_recompilation_after_invalidation(
+        self, catalog, slow_prepare
+    ):
+        before = get_metrics().snapshot()
+        cache = PlanCache(catalog)
+        cache.get_or_compile(SQL)
+        catalog.drop_index("S_b")  # invalidates the entry
+        barrier = threading.Barrier(8)
+        entries = []
+
+        def worker():
+            barrier.wait()
+            entry, _ = cache.get_or_compile(SQL)
+            entries.append(entry)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(e) for e in entries}) == 1
+        assert entries[0].compiled_catalog_version == catalog.version
+        # One compile for the warm-up, exactly one for the recompilation.
+        assert deltas(before)["plan_cache.compilations"] == 2
+
+    def test_compile_error_propagates_to_all_waiters(self, catalog):
+        cache = PlanCache(catalog)
+        barrier = threading.Barrier(4)
+        failures = []
+
+        def worker():
+            barrier.wait()
+            try:
+                cache.get_or_compile("SELECT * FROM NoSuchRelation")
+            except Exception as error:
+                failures.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(failures) == 4
+        assert len(cache) == 0
+
+    def test_capacity_validation(self, catalog):
+        with pytest.raises(ValueError):
+            PlanCache(catalog, capacity=0)

@@ -66,6 +66,28 @@ class TestDeriveParameters:
         values = prepared.derive_parameters(db, {"v": 100})
         assert values["memory"] == 64.0
 
+    def test_memory_pages_drives_memory_parameter(
+        self, join_query_with_memory, catalog, db
+    ):
+        prepared = PreparedQuery.prepare(join_query_with_memory, catalog)
+        values = prepared.derive_parameters(db, {"v": 100}, memory_pages=32)
+        assert values["memory"] == 32.0
+
+    def test_overrides_beat_memory_pages(
+        self, join_query_with_memory, catalog, db
+    ):
+        prepared = PreparedQuery.prepare(join_query_with_memory, catalog)
+        values = prepared.derive_parameters(
+            db, {"v": 100}, overrides={"memory": 96.0}, memory_pages=32
+        )
+        assert values["memory"] == 96.0
+
+    def test_unknown_override_names_rejected(self, prepared, db):
+        with pytest.raises(BindingError, match="bogus, wrong"):
+            prepared.derive_parameters(
+                db, {"v": 100}, overrides={"wrong": 0.5, "bogus": 0.1}
+            )
+
     def test_underivable_parameter_rejected(self, catalog, db):
         from repro.logical.query import QueryGraph
         from repro.params.parameter import ParameterSpace
@@ -87,6 +109,19 @@ class TestExecute:
     def test_explicit_parameters(self, prepared, db):
         out = prepared.execute(db, {"v": 50}, parameter_values={"sel:v": 0.1})
         assert out.metrics.rows == reference(db, 50)
+
+    def test_memory_pages_reaches_the_activation_decision(
+        self, join_query_with_memory, catalog, db
+    ):
+        """The choose-plan decision must see the caller's memory, not the
+        cost model's default: an out-of-domain value is rejected at
+        binding time, proving the derived memory parameter came from
+        ``memory_pages``."""
+        prepared = PreparedQuery.prepare(join_query_with_memory, catalog)
+        out = prepared.execute(db, {"v": 100}, memory_pages=32)
+        assert out.metrics.rows >= 0
+        with pytest.raises(BindingError):
+            prepared.execute(db, {"v": 100}, memory_pages=999)
 
     def test_decisions_adapt(self, prepared, db):
         from repro.physical.plan import BtreeScanNode, FilterNode

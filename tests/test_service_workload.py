@@ -1,0 +1,127 @@
+"""Workload driver: Zipfian streams, percentile math, measured reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import get_metrics
+from repro.service import (
+    QueryService,
+    StatementSpec,
+    default_statements,
+    generate_invocations,
+    percentile,
+    run_workload,
+    zipf_weights,
+)
+from tests.test_service import make_service_catalog
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(5, 1.1)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_zero_skew_is_uniform(self):
+        assert zipf_weights(4, 0.0) == pytest.approx([0.25] * 4)
+
+    def test_needs_a_rank(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_empty_and_single(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 99) == 7.0
+
+
+class TestGeneration:
+    def test_default_statements_cover_relations(self):
+        catalog = make_service_catalog()
+        statements = default_statements(catalog)
+        assert [s.sql for s in statements] == [
+            "SELECT * FROM R WHERE R.a < :v",
+            "SELECT * FROM S WHERE S.j < :v",
+        ]
+
+    def test_deterministic_given_seed(self):
+        statements = [
+            StatementSpec("SELECT * FROM R WHERE R.a < :v", {"v": (1, 100)}),
+            StatementSpec("SELECT * FROM S WHERE S.j < :v", {"v": (1, 50)}),
+        ]
+        a = generate_invocations(statements, 50, zipf_s=1.1, seed=3)
+        b = generate_invocations(statements, 50, zipf_s=1.1, seed=3)
+        assert a == b
+
+    def test_bindings_stay_in_range(self):
+        statements = [
+            StatementSpec("SELECT * FROM R WHERE R.a < :v", {"v": (10, 20)})
+        ]
+        for invocation in generate_invocations(statements, 200, seed=1):
+            assert 10 <= invocation.value_bindings["v"] < 20
+
+    def test_skew_concentrates_on_first_statement(self):
+        statements = [
+            StatementSpec(f"SELECT * FROM R WHERE R.a < :v{i}", {})
+            for i in range(4)
+        ]
+        stream = generate_invocations(statements, 400, zipf_s=2.0, seed=7)
+        top = sum(1 for inv in stream if inv.sql == statements[0].sql)
+        assert top > 250  # rank-1 weight at s=2 is ~0.83
+
+
+class TestRunWorkload:
+    def test_repeated_invocations_hit_cache_and_skip_optimizer(self):
+        """Acceptance: > 90% hit rate on a repeated-invocation workload, and
+        cached execution skips optimization entirely (search metrics flat)."""
+        catalog = make_service_catalog()
+        service = QueryService(catalog, workers=2, queue_limit=64, seed=5)
+        try:
+            statements = default_statements(catalog)
+            for statement in statements:
+                service.prepare(statement.sql)  # warm the cache
+            searches_before = get_metrics().snapshot()["optimizer.runs"]
+            stream = generate_invocations(statements, 60, zipf_s=1.0, seed=9)
+            report = run_workload(service, stream)
+            searches_after = get_metrics().snapshot()["optimizer.runs"]
+        finally:
+            service.close()
+        assert report.completed == 60
+        assert report.failed == 0
+        assert report.cache_hit_rate > 0.9
+        assert report.optimizer_runs == 0
+        assert searches_after == searches_before  # optimization fully skipped
+        assert report.throughput_qps > 0
+        assert (
+            report.latency_p50_seconds
+            <= report.latency_p95_seconds
+            <= report.latency_p99_seconds
+        )
+
+    def test_report_round_trips_to_json_dict(self):
+        catalog = make_service_catalog()
+        with QueryService(catalog, workers=2, seed=5) as service:
+            stream = generate_invocations(
+                default_statements(catalog), 10, seed=4
+            )
+            report = run_workload(service, stream)
+        payload = report.as_dict()
+        assert payload["invocations"] == 10
+        assert payload["completed"] == 10
+        assert set(payload) >= {
+            "throughput_qps",
+            "latency_p50_seconds",
+            "latency_p95_seconds",
+            "latency_p99_seconds",
+            "cache_hit_rate",
+            "rejections",
+        }
