@@ -18,6 +18,11 @@ Commands:
     Run a Zipfian workload against the concurrent query service and
     report throughput, latency percentiles, and plan-cache hit rate;
     writes a JSON artifact (default ``benchmarks/results/serve_bench.json``).
+``fuzz``
+    Differential fuzzing: generate random catalogs + parameterized
+    queries, execute every optimization mode, and compare against a
+    naive reference oracle; failures are shrunk and written as
+    replayable JSON artifacts (see ``repro.qa``).
 ``demo``
     The motivating example (Figure 1) in one command.
 
@@ -209,6 +214,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.set_defaults(handler=_cmd_serve_bench)
 
+    fuzz_cmd = commands.add_parser(
+        "fuzz",
+        help="differential fuzzing of the whole pipeline against a "
+        "reference oracle (random queries, plan-equivalence checks)",
+    )
+    fuzz_cmd.add_argument(
+        "--seed",
+        default="0",
+        help="run seed; each case derives sub-seed SEED/INDEX (default 0)",
+    )
+    fuzz_cmd.add_argument(
+        "--cases", type=int, default=200, help="cases to generate (default 200)"
+    )
+    fuzz_cmd.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="greedily shrink failing cases before writing artifacts",
+    )
+    fuzz_cmd.add_argument(
+        "--artifact-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write a replayable JSON artifact per failure into DIR",
+    )
+    fuzz_cmd.add_argument(
+        "--service-every",
+        type=int,
+        default=4,
+        metavar="N",
+        help="run the QueryService byte-identity check every Nth case "
+        "(0 disables; default 4)",
+    )
+    fuzz_cmd.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fixed-seed 150-case run for CI (overrides --seed/--cases)",
+    )
+    fuzz_cmd.set_defaults(handler=_cmd_fuzz)
+
     demo_cmd = commands.add_parser("demo", help="the Figure 1 motivating example")
     demo_cmd.set_defaults(handler=_cmd_demo)
 
@@ -218,6 +264,7 @@ def _build_parser() -> argparse.ArgumentParser:
         analyze_cmd,
         experiments_cmd,
         serve_cmd,
+        fuzz_cmd,
         demo_cmd,
     ):
         _add_obs_options(command)
@@ -504,6 +551,45 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
+    return 0
+
+
+# The smoke configuration is pinned so CI runs are reproducible: any
+# violation at this seed is a regression, not fuzzing luck.
+SMOKE_SEED = "smoke-v1"
+SMOKE_CASES = 150
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.qa import run_fuzz
+
+    seed = args.seed
+    cases = args.cases
+    if args.smoke:
+        seed, cases = SMOKE_SEED, SMOKE_CASES
+    if cases < 1:
+        raise ValueError("--cases must be at least 1")
+    report = run_fuzz(
+        seed,
+        cases,
+        shrink=args.shrink,
+        artifact_dir=args.artifact_dir,
+        check_service_every=args.service_every,
+        log=print,
+    )
+    print(report.summary())
+    if not report.ok:
+        for failure in report.failures:
+            case = failure.minimal_case
+            print(f"\ncase {failure.index} ({failure.case.seed}):")
+            print(f"  sql: {case.query.to_sql()}")
+            for violation in (
+                failure.shrunk_violations
+                if failure.shrunk_violations is not None
+                else failure.violations
+            ):
+                print(f"  {violation.check}: {violation.detail}")
+        return 1
     return 0
 
 

@@ -578,22 +578,36 @@ class HashAggregateIterator(_AggregateBase):
 
 
 class SortedAggregateIterator(_AggregateBase):
-    """Streaming aggregation; the input must arrive sorted on the keys."""
+    """Streaming aggregation over input sorted on the *leading* group key.
+
+    The engine's enforcers and order properties are single-attribute, so
+    only runs of the first grouping attribute are contiguous; groups that
+    differ in later attributes may interleave within a run.  Each run is
+    therefore aggregated in a small per-run table, flushed whenever the
+    leading key advances.  With one grouping attribute every run holds a
+    single group and this degenerates to pure streaming.
+    """
 
     def rows(self) -> Iterator[Row]:
         n = len(self.spec.aggregates)
-        current_key: tuple | None = None
-        accumulator: _Accumulator | None = None
+        current_lead: tuple | None = None
+        run: dict[tuple, _Accumulator] = {}
         for row in self.child.rows():
             key = self._key_of(row)
-            if key != current_key:
-                if accumulator is not None:
-                    yield _finalize(self.spec, current_key, accumulator)
-                current_key = key
-                accumulator = _Accumulator(n)
+            lead = key[:1]
+            if current_lead is None:
+                current_lead = lead
+            elif lead != current_lead:
+                for group, accumulator in run.items():
+                    yield _finalize(self.spec, group, accumulator)
+                run.clear()
+                current_lead = lead
+            accumulator = run.get(key)
+            if accumulator is None:
+                accumulator = run[key] = _Accumulator(n)
             accumulator.add(self._values_of(row))
-        if accumulator is not None:
-            yield _finalize(self.spec, current_key, accumulator)
+        for group, accumulator in run.items():
+            yield _finalize(self.spec, group, accumulator)
 
 
 # ----------------------------------------------------------------------

@@ -95,10 +95,7 @@ class SearchEngine:
     def optimize(self, required_order: Attribute | None = None) -> PlanNode:
         """Optimize the whole query; returns the (possibly dynamic) plan."""
         if self.query.aggregate is not None:
-            plan = self._optimize_aggregate(self.query.aggregate)
-            if required_order is not None and plan.order != required_order:
-                plan = SortNode(self.ctx, plan, required_order)
-            return plan
+            return self._optimize_aggregate(self.query.aggregate, required_order)
         result = self.optimize_group(self.query.relation_set, required_order, None)
         if isinstance(result, Pruned):  # pragma: no cover - limit=None never prunes
             raise OptimizationError("root group pruned without a cost limit")
@@ -107,7 +104,9 @@ class SearchEngine:
             plan = ProjectNode(self.ctx, plan, tuple(self.query.projection))
         return plan
 
-    def _optimize_aggregate(self, spec) -> PlanNode:
+    def _optimize_aggregate(
+        self, spec, required_order: Attribute | None = None
+    ) -> PlanNode:
         """Aggregation root: hash vs sorted implementations compete.
 
         Hash aggregation consumes the unordered group's plan; sorted
@@ -116,20 +115,45 @@ class SearchEngine:
         costs depend on uncertain input cardinalities and memory, so with
         interval costs they are frequently incomparable and a choose-plan
         tops the dynamic plan.
+
+        A final ORDER BY is enforced on each alternative *before* it enters
+        the winner set, never above the combining choose-plan: the sorted
+        aggregate often delivers the order for free, and a Sort bolted onto
+        the choose node would be paid even when the start-up decision picks
+        the already-ordered alternative, breaking gᵢ = dᵢ.
         """
         winners = WinnerSet(keep_all=self.exhaustive, probe=self.probe)
         base = self.optimize_group(self.query.relation_set, None, None)
         assert isinstance(base, GroupResult)
-        self._consider(winners, HashAggregateNode(self.ctx, base.plan, spec), None)
+        self._consider(
+            winners,
+            self._enforce_order(
+                HashAggregateNode(self.ctx, base.plan, spec), required_order
+            ),
+            None,
+        )
         if spec.group_by:
             ordered = self.optimize_group(
                 self.query.relation_set, spec.group_by[0], None
             )
             assert isinstance(ordered, GroupResult)
             self._consider(
-                winners, SortedAggregateNode(self.ctx, ordered.plan, spec), None
+                winners,
+                self._enforce_order(
+                    SortedAggregateNode(self.ctx, ordered.plan, spec),
+                    required_order,
+                ),
+                None,
             )
         return self._combined_plan(winners)
+
+    def _enforce_order(
+        self, plan: PlanNode, required_order: Attribute | None
+    ) -> PlanNode:
+        """Wrap ``plan`` in a Sort enforcer unless it delivers the order."""
+        if required_order is None or plan.order == required_order:
+            return plan
+        return SortNode(self.ctx, plan, required_order)
 
     # ------------------------------------------------------------------
     # Group optimization
@@ -166,16 +190,19 @@ class SearchEngine:
                 cached = self._optimize_group_fresh(subset, order)
             self.memo.store(key, cached)
             self.stats.groups_completed += 1
-        if limit is not None and cached.cost.low >= limit:
+        # Limits are execution-cost bounds (see WinnerSet), so the group's
+        # proven lower bound must be execution cost too.
+        lower_bound = cached.plan.execution_cost.low
+        if limit is not None and lower_bound >= limit:
             if self._obs.enabled:
                 self._obs.event(
                     "search.group_pruned",
                     relations=sorted(subset),
                     order=order.qualified_name if order is not None else None,
-                    lower_bound=cached.cost.low,
+                    lower_bound=lower_bound,
                     limit=limit,
                 )
-            return Pruned(cached.cost.low)
+            return Pruned(lower_bound)
         return cached
 
     def _optimize_group_fresh(
@@ -356,7 +383,7 @@ class SearchEngine:
             if budget is None:
                 child_limit = None
             else:
-                already = sum(r.cost.low for r in results)
+                already = sum(r.plan.execution_cost.low for r in results)
                 pending = sum(pending_lower_bounds[i + 1 :])
                 child_limit = budget - operator_lower_bound - already - pending
             outcome = self.optimize_group(subset, order, child_limit)
@@ -368,9 +395,10 @@ class SearchEngine:
     def _proven_lower_bound(
         self, subset: frozenset[str], order: Attribute | None
     ) -> float:
-        """Best known lower bound on a group's cost (0 when unoptimized)."""
+        """Best known lower bound on a group's execution cost (0 when
+        unoptimized)."""
         cached = self.memo.lookup((subset, order))
-        return cached.cost.low if cached is not None else 0.0
+        return cached.plan.execution_cost.low if cached is not None else 0.0
 
     def cardinality(self, subset: frozenset[str]) -> Interval:
         """Estimated output cardinality of any plan covering ``subset``.

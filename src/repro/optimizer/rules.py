@@ -232,14 +232,20 @@ class IndexJoinRule:
         ctx = engine.ctx
         (inner_relation,) = right
         inner_key = _side_in(predicates[0], right)
-        if ctx.catalog.index_on(inner_key) is None:
+        index = ctx.catalog.index_on(inner_key)
+        if index is None:
             return
+        # The budget check must use the same clusteredness the constructed
+        # node will cost with: treating a clustered index as unclustered
+        # overstates the candidate's lower bound, and an overstated lower
+        # bound makes branch-and-bound pruning unsound (it can discard the
+        # run-time optimum and break g = d).
         op_cost = formulas.index_join_cost(
             ctx.model,
             engine.cardinality(left),
             ctx.catalog.relation(inner_relation).stats,
             engine.join_cardinality(left, right, predicates),
-            clustered=False,
+            clustered=index.clustered,
         )
         inputs = engine.optimize_inputs(((left, None),), op_cost.low, budget)
         if inputs is None:

@@ -11,6 +11,14 @@ when A's worst case does not exceed B's best case.  Overlapping cost
 intervals leave both plans in the set — they will be linked by a
 choose-plan operator.  With point costs (static optimization) the set
 always collapses to a single plan, recovering traditional behaviour.
+
+Dominance compares *execution* costs (excluding choose-plan decision
+overhead): the start-up decision procedure minimizes execution cost, so a
+plan may only be discarded when its execution cost certainly loses.
+Comparing overhead-inflated totals instead can prune an alternative whose
+embedded choose-plans make its total look expensive even though it wins
+the start-up decision at some binding — which would silently break the
+gᵢ = dᵢ guarantee.
 """
 
 from __future__ import annotations
@@ -50,11 +58,13 @@ class WinnerSet:
         if self.keep_all:
             self.plans.append(candidate)
             return True
-        cost = candidate.cost
+        cost = candidate.execution_cost
         for existing in self.plans:
-            if existing.cost.dominates(cost):
+            if existing.execution_cost.dominates(cost):
                 return False
-        self.plans = [p for p in self.plans if not cost.dominates(p.cost)]
+        self.plans = [
+            p for p in self.plans if not cost.dominates(p.execution_cost)
+        ]
         if self.probe is not None:
             for existing in self.plans:
                 if self.probe.consistently_cheaper(existing, candidate):
@@ -72,11 +82,12 @@ class WinnerSet:
 
         This is the only bound branch-and-bound may use with interval costs
         (Section 3): a new plan can be discarded only when its *minimum*
-        cost exceeds some retained plan's *maximum*.
+        cost exceeds some retained plan's *maximum*.  Measured over
+        execution costs, consistently with :meth:`consider`.
         """
         if not self.plans:
             return float("inf")
-        return min(plan.cost.high for plan in self.plans)
+        return min(plan.execution_cost.high for plan in self.plans)
 
     def combined_cost(self, choose_plan_overhead: float) -> Interval:
         """Cost interval of the group's dynamic plan.

@@ -43,16 +43,25 @@ class PlanNode:
         Interval estimate of the number of output records.
     ``cost``
         Interval estimate of the *total* cost of this subtree, inputs
-        included, in seconds.
+        included, in seconds.  Includes the start-up decision overhead of
+        any embedded choose-plan operators (Section 5's dynamic-plan cost).
+    ``execution_cost``
+        Like ``cost`` but *excluding* choose-plan decision overhead: the
+        cost of actually running whichever alternatives get chosen.  This
+        is the quantity the start-up decision procedure minimizes and that
+        run-time optimization reproduces (the paper's gᵢ = dᵢ), so it is
+        also the quantity winner-set dominance must compare — pruning on
+        overhead-inflated totals can discard the run-time optimum.
     ``order``
         The attribute the output is sorted on, or None.
     """
 
-    __slots__ = ("inputs", "cardinality", "cost", "order")
+    __slots__ = ("inputs", "cardinality", "cost", "execution_cost", "order")
 
     inputs: tuple["PlanNode", ...]
     cardinality: Interval
     cost: Interval
+    execution_cost: Interval
     order: Attribute | None
 
     def __init__(self, ctx: CostContext, inputs: tuple["PlanNode", ...]) -> None:
@@ -63,9 +72,12 @@ class PlanNode:
         self.cardinality = cardinality
         self.order = order
         total = self_cost
+        execution = self_cost
         for child in inputs:
             total = total + child.cost
+            execution = execution + child.execution_cost
         self.cost = total
+        self.execution_cost = execution
 
     # ------------------------------------------------------------------
     # Subclass contract
@@ -515,10 +527,18 @@ class ChoosePlanNode(PlanNode):
         # Total cost is NOT the sum of the inputs: only one alternative
         # runs.  Override the default accumulation from PlanNode.__init__.
         combined = alternatives[0].cost
+        combined_execution = alternatives[0].execution_cost
         for alternative in alternatives[1:]:
             combined = combined.min_with(alternative.cost)
+            combined_execution = combined_execution.min_with(
+                alternative.execution_cost
+            )
         overhead = formulas.choose_plan_cost(ctx.model, len(alternatives))
         self.cost = combined + overhead
+        # The decision overhead is charged at start-up, not during
+        # execution; the chooser minimizes (and g = d compares) pure
+        # execution cost, so that is what dominance pruning must see.
+        self.execution_cost = combined_execution
 
     def _compute(self, ctx, input_cards, input_orders):
         cardinality = Interval.hull(input_cards)

@@ -1,0 +1,64 @@
+"""repro.qa — differential fuzzing of the whole query pipeline.
+
+The paper's correctness story rests on invariants (notably ∀i gᵢ = dᵢ:
+the dynamic plan's start-up choice costs exactly what from-scratch
+run-time optimization would) that the hand-written tests exercise only on
+chain queries.  This package generates random catalogs, data, and queries;
+evaluates each query with a deliberately naive reference evaluator; and
+checks a battery of invariants across the parser, the three optimization
+modes, the run-time chooser, the executor, and the serving layer.  Failing
+cases are greedily shrunk and written as replayable JSON artifacts.
+
+Everything here is stdlib-only, mirroring the repo's zero-dependency rule.
+
+* :mod:`repro.qa.generator` — seeded random schemas/catalogs/queries with
+  both the SQL text and the expected logical query graph.
+* :mod:`repro.qa.oracle` — nested-loops + full-sort reference evaluator.
+* :mod:`repro.qa.invariants` — per-case invariant checkers.
+* :mod:`repro.qa.shrinker` — greedy minimization of failing cases.
+* :mod:`repro.qa.harness` — the fuzz loop, artifacts, and replay.
+"""
+
+from repro.qa.generator import (
+    AggregateItemSpec,
+    CaseGenerator,
+    FuzzCase,
+    JoinSpec,
+    PredicateSpec,
+    QuerySpec,
+    RelationSpec,
+    generate_case,
+)
+from repro.qa.harness import (
+    FuzzFailure,
+    FuzzReport,
+    load_artifact,
+    replay_artifact,
+    run_fuzz,
+    write_artifact,
+)
+from repro.qa.invariants import CaseOutcome, Violation, run_case
+from repro.qa.oracle import evaluate_reference
+from repro.qa.shrinker import shrink_case
+
+__all__ = [
+    "AggregateItemSpec",
+    "CaseGenerator",
+    "CaseOutcome",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "JoinSpec",
+    "PredicateSpec",
+    "QuerySpec",
+    "RelationSpec",
+    "Violation",
+    "evaluate_reference",
+    "generate_case",
+    "load_artifact",
+    "replay_artifact",
+    "run_case",
+    "run_fuzz",
+    "shrink_case",
+    "write_artifact",
+]

@@ -1,0 +1,565 @@
+"""Seeded random generator of catalogs, data seeds, and queries.
+
+Every case carries *two* descriptions of the same query: the SQL text fed
+to :func:`repro.query.parser.parse_query`, and a specification precise
+enough to rebuild the expected :class:`~repro.logical.query.QueryGraph`
+directly through the logical-layer constructors.  Comparing the two puts
+the parser itself under differential test, not just the optimizer.
+
+Generation is bounded to the engine's documented envelope: conjunctive
+equijoin queries over at most six relations, integer literals, host
+variables with derived selectivities, optional GROUP BY/aggregates, and a
+single ORDER BY attribute.  Join graphs are always connected (a spanning
+tree plus occasional extra edges) because the search engine does not
+enumerate cross products.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Attribute
+from repro.logical.aggregates import (
+    AggregateExpr,
+    AggregateFunction,
+    AggregateSpec,
+)
+from repro.logical.predicates import (
+    CompareOp,
+    HostVariable,
+    JoinPredicate,
+    Literal,
+    SelectionPredicate,
+)
+from repro.logical.query import QueryGraph
+from repro.params.parameter import ParameterSpace
+
+# The parser's default expected selectivity for host variables.
+DEFAULT_SELECTIVITY = 0.05
+
+_OP_SYMBOLS = {
+    "=": CompareOp.EQ,
+    "<>": CompareOp.NE,
+    "<": CompareOp.LT,
+    "<=": CompareOp.LE,
+    ">": CompareOp.GT,
+    ">=": CompareOp.GE,
+}
+
+_ATTRIBUTE_NAMES = ("a", "b", "c")
+
+# How many relations a query references, weighted toward small queries so
+# the oracle and the dynamic-mode search stay fast enough for CI smoke runs.
+_RELATION_COUNT_WEIGHTS = ((1, 30), (2, 30), (3, 20), (4, 10), (5, 6), (6, 4))
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """One stored relation: schema, size, and indexed attributes."""
+
+    name: str
+    attributes: tuple[tuple[str, int], ...]  # (attribute name, domain size)
+    cardinality: int
+    indexes: tuple[tuple[str, bool], ...] = ()  # (attribute name, clustered)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "attributes": [list(a) for a in self.attributes],
+            "cardinality": self.cardinality,
+            "indexes": [list(ix) for ix in self.indexes],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RelationSpec":
+        return cls(
+            name=payload["name"],
+            attributes=tuple((a[0], a[1]) for a in payload["attributes"]),
+            cardinality=payload["cardinality"],
+            indexes=tuple((ix[0], bool(ix[1])) for ix in payload["indexes"]),
+        )
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """One selection predicate: ``attribute op (literal | :host)``."""
+
+    attribute: str  # qualified name, e.g. "R1.a"
+    op: str  # symbol, e.g. "<="
+    literal: int | None = None
+    host: str | None = None  # host-variable name, exclusive with literal
+
+    def __post_init__(self) -> None:
+        if (self.literal is None) == (self.host is None):
+            raise ValueError("predicate needs exactly one of literal/host")
+
+    @property
+    def relation(self) -> str:
+        return self.attribute.partition(".")[0]
+
+    def to_sql(self) -> str:
+        operand = f":{self.host}" if self.host is not None else str(self.literal)
+        return f"{self.attribute} {self.op} {operand}"
+
+    def to_json(self) -> dict:
+        return {
+            "attribute": self.attribute,
+            "op": self.op,
+            "literal": self.literal,
+            "host": self.host,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "PredicateSpec":
+        return cls(
+            attribute=payload["attribute"],
+            op=payload["op"],
+            literal=payload["literal"],
+            host=payload["host"],
+        )
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One equijoin predicate ``left = right`` (qualified names)."""
+
+    left: str
+    right: str
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset(
+            (self.left.partition(".")[0], self.right.partition(".")[0])
+        )
+
+    def to_sql(self) -> str:
+        return f"{self.left} = {self.right}"
+
+    def to_json(self) -> dict:
+        return {"left": self.left, "right": self.right}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "JoinSpec":
+        return cls(left=payload["left"], right=payload["right"])
+
+
+@dataclass(frozen=True)
+class AggregateItemSpec:
+    """One aggregate select item; ``attribute`` None means COUNT(*)."""
+
+    function: str  # AggregateFunction value, e.g. "count"
+    attribute: str | None = None
+
+    def to_sql(self) -> str:
+        operand = "*" if self.attribute is None else self.attribute
+        return f"{self.function.upper()}({operand})"
+
+    def to_json(self) -> dict:
+        return {"function": self.function, "attribute": self.attribute}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AggregateItemSpec":
+        return cls(function=payload["function"], attribute=payload["attribute"])
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A complete query in generator terms; renders to SQL on demand."""
+
+    relations: tuple[str, ...]
+    selections: tuple[PredicateSpec, ...] = ()
+    joins: tuple[JoinSpec, ...] = ()
+    projection: tuple[str, ...] | None = None  # None means SELECT *
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[AggregateItemSpec, ...] = ()
+    order_by: str | None = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.aggregates)
+
+    def to_sql(self) -> str:
+        if self.aggregates:
+            items = list(self.group_by) + [a.to_sql() for a in self.aggregates]
+            select = ", ".join(items)
+        elif self.projection is not None:
+            select = ", ".join(self.projection)
+        else:
+            select = "*"
+        parts = [f"SELECT {select}", "FROM " + ", ".join(self.relations)]
+        conditions = [p.to_sql() for p in self.selections]
+        conditions += [j.to_sql() for j in self.joins]
+        if conditions:
+            parts.append("WHERE " + " AND ".join(conditions))
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(self.group_by))
+        if self.order_by is not None:
+            parts.append(f"ORDER BY {self.order_by}")
+        return " ".join(parts)
+
+    def host_predicates(self) -> tuple[PredicateSpec, ...]:
+        return tuple(p for p in self.selections if p.host is not None)
+
+    def to_json(self) -> dict:
+        return {
+            "relations": list(self.relations),
+            "selections": [p.to_json() for p in self.selections],
+            "joins": [j.to_json() for j in self.joins],
+            "projection": (
+                None if self.projection is None else list(self.projection)
+            ),
+            "group_by": list(self.group_by),
+            "aggregates": [a.to_json() for a in self.aggregates],
+            "order_by": self.order_by,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "QuerySpec":
+        projection = payload["projection"]
+        return cls(
+            relations=tuple(payload["relations"]),
+            selections=tuple(
+                PredicateSpec.from_json(p) for p in payload["selections"]
+            ),
+            joins=tuple(JoinSpec.from_json(j) for j in payload["joins"]),
+            projection=None if projection is None else tuple(projection),
+            group_by=tuple(payload["group_by"]),
+            aggregates=tuple(
+                AggregateItemSpec.from_json(a) for a in payload["aggregates"]
+            ),
+            order_by=payload["order_by"],
+        )
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One self-contained differential test case.
+
+    Everything needed to replay the case is here: the catalog (as relation
+    specs), the synthetic-data seed, the query, and the host-variable value
+    bindings.  ``analyze`` controls whether equi-depth histograms are built
+    before optimizing (they change literal-predicate estimates).
+    """
+
+    seed: str
+    relations: tuple[RelationSpec, ...]
+    data_seed: int
+    query: QuerySpec
+    bindings: dict[str, int] = field(default_factory=dict)
+    analyze: bool = False
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def build_catalog(self) -> Catalog:
+        """A fresh catalog holding exactly the case's relations."""
+        catalog = Catalog()
+        for spec in self.relations:
+            catalog.add_relation(
+                spec.name, list(spec.attributes), cardinality=spec.cardinality
+            )
+            for attr_name, clustered in spec.indexes:
+                catalog.create_index(
+                    f"ix_{spec.name}_{attr_name}",
+                    spec.name,
+                    attr_name,
+                    clustered=clustered,
+                )
+        return catalog
+
+    def expected_graph(self, catalog: Catalog) -> QueryGraph:
+        """The query graph the parser *should* produce for ``to_sql()``."""
+        query = self.query
+        selections: dict[str, list[SelectionPredicate]] = {}
+        space = ParameterSpace()
+        for spec in query.selections:
+            attribute = catalog.attribute(spec.attribute)
+            op = _OP_SYMBOLS[spec.op]
+            if spec.host is not None:
+                parameter = f"sel:{spec.host}"
+                if parameter not in space:
+                    space.add_selectivity(
+                        parameter, expected=DEFAULT_SELECTIVITY
+                    )
+                operand: Literal | HostVariable = HostVariable(
+                    spec.host, parameter
+                )
+            else:
+                operand = Literal(spec.literal)
+            selections.setdefault(spec.relation, []).append(
+                SelectionPredicate(attribute, op, operand)
+            )
+        joins = tuple(
+            JoinPredicate(catalog.attribute(j.left), catalog.attribute(j.right))
+            for j in query.joins
+        )
+        aggregate = None
+        projection: tuple[Attribute, ...] | None = None
+        if query.aggregates:
+            aggregate = AggregateSpec(
+                group_by=tuple(
+                    catalog.attribute(name) for name in query.group_by
+                ),
+                aggregates=tuple(
+                    AggregateExpr(
+                        AggregateFunction(item.function),
+                        None
+                        if item.attribute is None
+                        else catalog.attribute(item.attribute),
+                    )
+                    for item in query.aggregates
+                ),
+            )
+        elif query.projection is not None:
+            projection = tuple(
+                catalog.attribute(name) for name in query.projection
+            )
+        return QueryGraph(
+            relations=query.relations,
+            selections={r: tuple(p) for r, p in selections.items()},
+            joins=joins,
+            parameters=space,
+            projection=projection,
+            aggregate=aggregate,
+        )
+
+    def expected_order_by(self, catalog: Catalog) -> Attribute | None:
+        if self.query.order_by is None:
+            return None
+        return catalog.attribute(self.query.order_by)
+
+    def parameter_names(self) -> list[str]:
+        """Selectivity-parameter names in WHERE-clause order, deduplicated."""
+        names: list[str] = []
+        for predicate in self.query.host_predicates():
+            name = f"sel:{predicate.host}"
+            if name not in names:
+                names.append(name)
+        return names
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "seed": self.seed,
+            "relations": [r.to_json() for r in self.relations],
+            "data_seed": self.data_seed,
+            "query": self.query.to_json(),
+            "bindings": dict(self.bindings),
+            "analyze": self.analyze,
+            "sql": self.query.to_sql(),  # informational; regenerated on load
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FuzzCase":
+        return cls(
+            seed=str(payload["seed"]),
+            relations=tuple(
+                RelationSpec.from_json(r) for r in payload["relations"]
+            ),
+            data_seed=payload["data_seed"],
+            query=QuerySpec.from_json(payload["query"]),
+            bindings={k: v for k, v in payload["bindings"].items()},
+            analyze=bool(payload["analyze"]),
+        )
+
+    def with_query(self, query: QuerySpec) -> "FuzzCase":
+        return replace(self, query=query)
+
+
+class CaseGenerator:
+    """Draws :class:`FuzzCase` instances from a seeded PRNG."""
+
+    def __init__(self, seed: str) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Schema / catalog
+    # ------------------------------------------------------------------
+    def _draw_relations(self, count: int) -> list[RelationSpec]:
+        rng = self.rng
+        specs: list[RelationSpec] = []
+        names = [f"R{i + 1}" for i in range(count)]
+        if rng.random() < 0.2:
+            names.append("X1")  # distractor: in the catalog, not the query
+        for name in names:
+            n_attrs = rng.randint(2, 3)
+            attributes = tuple(
+                (attr, rng.randint(2, 50))
+                for attr in _ATTRIBUTE_NAMES[:n_attrs]
+            )
+            clustered_used = False
+            indexes: list[tuple[str, bool]] = []
+            for attr, _domain in attributes:
+                if rng.random() < 0.5:
+                    clustered = not clustered_used and rng.random() < 0.2
+                    clustered_used = clustered_used or clustered
+                    indexes.append((attr, clustered))
+            specs.append(
+                RelationSpec(
+                    name=name,
+                    attributes=attributes,
+                    cardinality=rng.randint(4, 40),
+                    indexes=tuple(indexes),
+                )
+            )
+        return specs
+
+    def _attributes_of(
+        self, specs: list[RelationSpec], relations: tuple[str, ...]
+    ) -> list[tuple[str, int]]:
+        """(qualified name, domain size) for every query-visible attribute."""
+        by_name = {s.name: s for s in specs}
+        out: list[tuple[str, int]] = []
+        for relation in relations:
+            for attr, domain in by_name[relation].attributes:
+                out.append((f"{relation}.{attr}", domain))
+        return out
+
+    # ------------------------------------------------------------------
+    # Query shape
+    # ------------------------------------------------------------------
+    def _draw_joins(
+        self, specs: list[RelationSpec], relations: tuple[str, ...]
+    ) -> tuple[JoinSpec, ...]:
+        rng = self.rng
+        by_name = {s.name: s for s in specs}
+
+        def random_attr(relation: str) -> str:
+            attr, _ = rng.choice(by_name[relation].attributes)
+            return f"{relation}.{attr}"
+
+        joins: list[JoinSpec] = []
+        for i in range(1, len(relations)):
+            partner = relations[rng.randrange(i)]
+            joins.append(
+                JoinSpec(random_attr(partner), random_attr(relations[i]))
+            )
+        if len(relations) >= 3 and rng.random() < 0.25:
+            left_rel, right_rel = rng.sample(relations, 2)
+            extra = JoinSpec(random_attr(left_rel), random_attr(right_rel))
+            pairs = {frozenset((j.left, j.right)) for j in joins}
+            if frozenset((extra.left, extra.right)) not in pairs:
+                joins.append(extra)
+        return tuple(joins)
+
+    def _draw_selections(
+        self,
+        attributes: list[tuple[str, int]],
+        host_counter: list[int],
+    ) -> tuple[PredicateSpec, ...]:
+        rng = self.rng
+        count = rng.choices((0, 1, 2, 3), weights=(20, 35, 30, 15))[0]
+        selections: list[PredicateSpec] = []
+        for _ in range(count):
+            qualified, domain = rng.choice(attributes)
+            op = rng.choices(
+                ("<", "<=", ">", ">=", "=", "<>"),
+                weights=(25, 25, 20, 20, 7, 3),
+            )[0]
+            if rng.random() < 0.45:
+                name = f"v{host_counter[0]}"
+                host_counter[0] += 1
+                selections.append(PredicateSpec(qualified, op, host=name))
+            else:
+                selections.append(
+                    PredicateSpec(
+                        qualified, op, literal=rng.randint(0, domain)
+                    )
+                )
+        return tuple(selections)
+
+    def _draw_aggregate(
+        self, attributes: list[tuple[str, int]]
+    ) -> tuple[tuple[str, ...], tuple[AggregateItemSpec, ...], str | None]:
+        rng = self.rng
+        n_group = rng.choices((0, 1, 2), weights=(30, 50, 20))[0]
+        n_group = min(n_group, len(attributes))
+        group_by = tuple(
+            name for name, _ in rng.sample(attributes, n_group)
+        )
+        functions = ("count", "sum", "min", "max", "avg")
+        items: list[AggregateItemSpec] = []
+        for _ in range(rng.randint(1, 2)):
+            function = rng.choice(functions)
+            if function == "count" and rng.random() < 0.6:
+                item = AggregateItemSpec("count", None)
+            else:
+                name, _ = rng.choice(attributes)
+                item = AggregateItemSpec(function, name)
+            if item not in items:  # the engine rejects duplicate aggregates
+                items.append(item)
+        order_by = None
+        if group_by and rng.random() < 0.3:
+            order_by = rng.choice(group_by)
+        return group_by, tuple(items), order_by
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def draw_case(self) -> FuzzCase:
+        rng = self.rng
+        counts, weights = zip(*_RELATION_COUNT_WEIGHTS)
+        n_relations = rng.choices(counts, weights=weights)[0]
+        specs = self._draw_relations(n_relations)
+        relations = tuple(f"R{i + 1}" for i in range(n_relations))
+        attributes = self._attributes_of(specs, relations)
+
+        joins = self._draw_joins(specs, relations)
+        host_counter = [0]
+        selections = self._draw_selections(attributes, host_counter)
+
+        group_by: tuple[str, ...] = ()
+        aggregates: tuple[AggregateItemSpec, ...] = ()
+        projection: tuple[str, ...] | None = None
+        order_by: str | None = None
+        if rng.random() < 0.25:
+            group_by, aggregates, order_by = self._draw_aggregate(attributes)
+        else:
+            if rng.random() < 0.5:
+                n_proj = rng.randint(1, min(4, len(attributes)))
+                projection = tuple(
+                    name for name, _ in rng.sample(attributes, n_proj)
+                )
+            if rng.random() < 0.3:
+                candidates = (
+                    projection
+                    if projection is not None
+                    else tuple(name for name, _ in attributes)
+                )
+                order_by = rng.choice(candidates)
+
+        query = QuerySpec(
+            relations=relations,
+            selections=selections,
+            joins=joins,
+            projection=projection,
+            group_by=group_by,
+            aggregates=aggregates,
+            order_by=order_by,
+        )
+
+        domains = dict(attributes)
+        bindings: dict[str, int] = {}
+        for predicate in query.host_predicates():
+            domain = domains[predicate.attribute]
+            bindings[predicate.host] = rng.randint(0, domain)
+
+        return FuzzCase(
+            seed=self.seed,
+            relations=tuple(specs),
+            data_seed=rng.getrandbits(32),
+            query=query,
+            bindings=bindings,
+            analyze=rng.random() < 0.5,
+        )
+
+
+def generate_case(seed: str) -> FuzzCase:
+    """One deterministic case for ``seed`` (str seeds hash stably)."""
+    return CaseGenerator(seed).draw_case()

@@ -1,0 +1,170 @@
+"""The fuzz loop: generate → check → shrink → persist → replay.
+
+Each case gets an independent sub-seed derived from the run seed, so any
+failing case replays in isolation without regenerating its predecessors.
+Failures are greedily shrunk and written as JSON artifacts; artifacts are
+fully self-contained (catalog, data seed, query, bindings) and replay
+through the exact same invariant checkers via :func:`replay_artifact`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.qa.generator import CaseGenerator, FuzzCase
+from repro.qa.invariants import CaseOutcome, Violation, run_case
+from repro.qa.shrinker import shrink_case
+
+Runner = Callable[[FuzzCase, bool], CaseOutcome]
+
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class FuzzFailure:
+    """One failing case: as generated, as shrunk, and where it was saved."""
+
+    index: int
+    case: FuzzCase
+    violations: list[Violation]
+    shrunk: FuzzCase | None = None
+    shrunk_violations: list[Violation] | None = None
+    artifact_path: Path | None = None
+
+    @property
+    def minimal_case(self) -> FuzzCase:
+        return self.shrunk if self.shrunk is not None else self.case
+
+
+@dataclass
+class FuzzReport:
+    """Summary of one fuzz run."""
+
+    seed: str
+    cases: int
+    failures: list[FuzzFailure] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    service_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"fuzz seed={self.seed} cases={self.cases} "
+            f"service-checked={self.service_checked} "
+            f"time={self.duration_seconds:.1f}s: {status}"
+        )
+
+
+def _default_runner(case: FuzzCase, check_service: bool) -> CaseOutcome:
+    return run_case(case, check_service=check_service)
+
+
+def run_fuzz(
+    seed: int | str,
+    cases: int,
+    shrink: bool = True,
+    artifact_dir: str | Path | None = None,
+    check_service_every: int = 4,
+    runner: Runner | None = None,
+    log: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Run ``cases`` generated cases and report failures.
+
+    ``check_service_every`` throttles the (comparatively expensive)
+    :class:`QueryService` byte-identity check to every Nth case; 0 disables
+    it.  ``runner`` lets tests substitute an instrumented
+    :func:`~repro.qa.invariants.run_case` (e.g. with an injected bug).
+    """
+    run = runner or _default_runner
+    report = FuzzReport(seed=str(seed), cases=cases)
+    started = time.perf_counter()
+    for index in range(cases):
+        case_seed = f"{seed}/{index}"
+        case = CaseGenerator(case_seed).draw_case()
+        check_service = bool(
+            check_service_every and index % check_service_every == 0
+        )
+        if check_service:
+            report.service_checked += 1
+        outcome = run(case, check_service)
+        if outcome.passed:
+            if log and (index + 1) % 25 == 0:
+                log(f"  ... {index + 1}/{cases} cases, all invariants hold")
+            continue
+        failure = FuzzFailure(
+            index=index, case=case, violations=outcome.violations
+        )
+        if log:
+            checks = sorted(outcome.checks)
+            log(f"  case {index} ({case_seed}) FAILED: {checks}")
+        if shrink:
+            shrunk = shrink_case(
+                case,
+                outcome.checks,
+                run=lambda c: run(c, True),
+            )
+            failure.shrunk = shrunk
+            failure.shrunk_violations = run(shrunk, True).violations
+            if log:
+                log(
+                    f"    shrunk to {len(shrunk.query.relations)} relation(s):"
+                    f" {shrunk.query.to_sql()}"
+                )
+        if artifact_dir is not None:
+            failure.artifact_path = write_artifact(
+                artifact_dir, failure
+            )
+            if log:
+                log(f"    artifact: {failure.artifact_path}")
+        report.failures.append(failure)
+    report.duration_seconds = time.perf_counter() - started
+    return report
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_]+", "-", text).strip("-")
+
+
+def write_artifact(directory: str | Path, failure: FuzzFailure) -> Path:
+    """Persist a failure as a replayable JSON artifact; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    minimal = failure.minimal_case
+    violations = (
+        failure.shrunk_violations
+        if failure.shrunk_violations is not None
+        else failure.violations
+    )
+    payload = {
+        "version": ARTIFACT_VERSION,
+        "generator_seed": failure.case.seed,
+        "case": minimal.to_json(),
+        "violations": [v.to_json() for v in violations],
+        "original_sql": failure.case.query.to_sql(),
+    }
+    path = directory / f"case-{_slug(failure.case.seed)}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_artifact(path: str | Path) -> FuzzCase:
+    """The minimal case stored in an artifact file."""
+    payload = json.loads(Path(path).read_text())
+    return FuzzCase.from_json(payload["case"])
+
+
+def replay_artifact(path: str | Path) -> CaseOutcome:
+    """Re-run every invariant checker on an artifact's stored case."""
+    return run_case(load_artifact(path), check_service=True)

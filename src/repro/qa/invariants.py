@@ -1,0 +1,331 @@
+"""Per-case invariant checkers: the differential heart of the fuzzer.
+
+For each generated case the checkers cross-validate every layer:
+
+* **parser** — the graph parsed from the generated SQL must equal the
+  graph rebuilt directly from the generator's specification.
+* **optimizer** — across random bindings, the dynamic plan's start-up
+  choice cost gᵢ must equal the from-scratch run-time optimum dᵢ (the
+  paper's ∀i gᵢ = dᵢ), and dᵢ must lie inside the dynamic plan's
+  compile-time interval [low, high] (minus the choose-plan overhead the
+  chooser deliberately excludes from execution cost).
+* **chooser** — resolving the same dynamic plan twice under one binding
+  must pick identical alternatives at identical cost.
+* **executor** — static, dynamic, and run-time plans must all return the
+  reference oracle's multiset of rows, and ORDER BY output must be sorted.
+* **service** — :class:`QueryService` (cold, then through the plan cache)
+  must return byte-identical canonical results to direct execution.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.cost.formulas import choose_plan_cost
+from repro.cost.model import CostModel
+from repro.executor.database import Database
+from repro.executor.executor import ExecutionResult, execute_plan
+from repro.logical.predicates import HostVariable
+from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.physical.plan import ChoosePlanNode, iter_plan_nodes
+from repro.qa.generator import FuzzCase
+from repro.qa.oracle import (
+    canonical_attributes,
+    canonical_rows,
+    evaluate_reference,
+)
+from repro.query.parser import parse_query
+from repro.runtime.chooser import resolve_plan
+
+REL_TOLERANCE = 1e-6
+ABS_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant; ``check`` names the invariant stably."""
+
+    check: str
+    detail: str
+
+    def to_json(self) -> dict:
+        return {"check": self.check, "detail": self.detail}
+
+
+@dataclass
+class CaseOutcome:
+    """Everything :func:`run_case` learned about one case."""
+
+    case: FuzzCase
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def checks(self) -> frozenset[str]:
+        return frozenset(v.check for v in self.violations)
+
+
+def _compare_parameters(expected, parsed, report) -> None:
+    if expected.names != parsed.names:
+        report(
+            "parser-parameters",
+            f"parameter names {parsed.names} != expected {expected.names}",
+        )
+        return
+    for name in expected.names:
+        want, got = expected.get(name), parsed.get(name)
+        if (want.kind, want.domain, want.expected) != (
+            got.kind,
+            got.domain,
+            got.expected,
+        ):
+            report("parser-parameters", f"parameter {name}: {got} != {want}")
+
+
+def _check_parser(case: FuzzCase, catalog, report):
+    """Parse the SQL and diff the graph against the spec-built one."""
+    sql = case.query.to_sql()
+    parsed = parse_query(sql, catalog)
+    expected = case.expected_graph(catalog)
+    graph = parsed.graph
+    if graph.relations != expected.relations:
+        report(
+            "parser-relations",
+            f"{graph.relations} != {expected.relations}",
+        )
+    if dict(graph.selections) != dict(expected.selections):
+        report(
+            "parser-selections",
+            f"{graph.selections} != {expected.selections}",
+        )
+    if graph.joins != expected.joins:
+        report("parser-joins", f"{graph.joins} != {expected.joins}")
+    if graph.projection != expected.projection:
+        report(
+            "parser-projection",
+            f"{graph.projection} != {expected.projection}",
+        )
+    if graph.aggregate != expected.aggregate:
+        report(
+            "parser-aggregate",
+            f"{graph.aggregate} != {expected.aggregate}",
+        )
+    _compare_parameters(expected.parameters, graph.parameters, report)
+    expected_order = case.expected_order_by(catalog)
+    if parsed.order_by != expected_order:
+        report(
+            "parser-order-by", f"{parsed.order_by} != {expected_order}"
+        )
+    return parsed
+
+
+def derive_parameter_values(
+    case: FuzzCase, graph, db: Database
+) -> dict[str, float]:
+    """Selectivity values the bound host variables imply for this database."""
+    values: dict[str, float] = {}
+    for relation in graph.relations:
+        for predicate in graph.selections_on(relation):
+            operand = predicate.operand
+            if isinstance(operand, HostVariable):
+                values[operand.selectivity_parameter] = (
+                    db.implied_selectivity(predicate, case.bindings)
+                )
+    return values
+
+
+def _choice_signature(plan, decision) -> list[tuple[int, int]]:
+    """(choose-node position, chosen-alternative index) pairs, stable order."""
+    signature: list[tuple[int, int]] = []
+    for position, node in enumerate(iter_plan_nodes(plan)):
+        if isinstance(node, ChoosePlanNode):
+            chosen = decision.choices[id(node)]
+            index = next(
+                i
+                for i, alternative in enumerate(node.alternatives)
+                if alternative is chosen
+            )
+            signature.append((position, index))
+    return signature
+
+
+def _choose_overhead(plan, model: CostModel) -> float:
+    total = 0.0
+    for node in iter_plan_nodes(plan):
+        if isinstance(node, ChoosePlanNode):
+            total += choose_plan_cost(model, len(node.alternatives)).high
+    return total
+
+
+def _canonical_payload(result: ExecutionResult, attributes) -> list[tuple]:
+    return canonical_rows(result.project(attributes))
+
+
+def _check_sorted(result: ExecutionResult, order_attr, check, report) -> None:
+    try:
+        position = result.schema.position(order_attr)
+    except Exception:
+        report(check, f"ORDER BY attribute {order_attr} missing from output")
+        return
+    keys = [row[position] for row in result.rows]
+    for previous, current in zip(keys, keys[1:]):
+        if current < previous:
+            report(check, f"output not sorted on {order_attr}: {keys[:20]}")
+            return
+
+
+def run_case(
+    case: FuzzCase,
+    check_service: bool = True,
+    model: CostModel | None = None,
+) -> CaseOutcome:
+    """Run every invariant checker against one case."""
+    outcome = CaseOutcome(case=case)
+
+    def report(check: str, detail: str) -> None:
+        outcome.violations.append(Violation(check, detail))
+
+    try:
+        _run_checks(case, check_service, model or CostModel(), report)
+    except Exception as exc:  # any crash is itself a finding
+        report("crash", f"{type(exc).__name__}: {exc}")
+    return outcome
+
+
+def _run_checks(case, check_service, model, report) -> None:
+    catalog = case.build_catalog()
+    db = Database(catalog, model)
+    db.load_synthetic(case.data_seed)
+    if case.analyze:
+        db.analyze()
+
+    parsed = _check_parser(case, catalog, report)
+    graph = parsed.graph
+    required_order = parsed.order_by
+
+    static = optimize_query(
+        graph,
+        catalog,
+        model,
+        mode=OptimizationMode.STATIC,
+        required_order=required_order,
+    )
+    dynamic = optimize_query(
+        graph,
+        catalog,
+        model,
+        mode=OptimizationMode.DYNAMIC,
+        required_order=required_order,
+    )
+    parameter_values = derive_parameter_values(case, graph, db)
+    bound_env = graph.parameters.bind(parameter_values)
+    runtime = optimize_query(
+        graph,
+        catalog,
+        model,
+        mode=OptimizationMode.RUN_TIME,
+        binding=parameter_values,
+        required_order=required_order,
+    )
+
+    # --- optimizer invariants -----------------------------------------
+    decision = resolve_plan(dynamic.plan, dynamic.ctx.with_env(bound_env))
+    g = decision.execution_cost
+    d = runtime.plan.cost.low
+    if not math.isclose(g, d, rel_tol=REL_TOLERANCE, abs_tol=ABS_TOLERANCE):
+        report(
+            "g-equals-d",
+            f"start-up choice cost g={g!r} != run-time optimum d={d!r} "
+            f"(bindings {parameter_values})",
+        )
+    interval = dynamic.plan.cost
+    slack = REL_TOLERANCE * max(1.0, abs(d))
+    overhead = _choose_overhead(dynamic.plan, model)
+    if d < interval.low - overhead - slack or d > interval.high + slack:
+        report(
+            "interval-containment",
+            f"run-time optimum {d!r} outside compile-time interval "
+            f"[{interval.low!r}, {interval.high!r}] "
+            f"(choose overhead {overhead!r})",
+        )
+
+    # --- chooser determinism ------------------------------------------
+    repeat = resolve_plan(dynamic.plan, dynamic.ctx.with_env(bound_env))
+    if repeat.execution_cost != decision.execution_cost or _choice_signature(
+        dynamic.plan, repeat
+    ) != _choice_signature(dynamic.plan, decision):
+        report(
+            "choose-determinism",
+            "resolving the same plan twice under one binding diverged: "
+            f"{decision.execution_cost!r} vs {repeat.execution_cost!r}",
+        )
+
+    # --- execution equivalence ----------------------------------------
+    attributes = canonical_attributes(case, db)
+    oracle = canonical_rows(evaluate_reference(case, db))
+    executions = {
+        "static": execute_plan(static.plan, db, bindings=case.bindings),
+        "dynamic": execute_plan(
+            dynamic.plan, db, bindings=case.bindings, choices=decision.choices
+        ),
+        "run-time": execute_plan(runtime.plan, db, bindings=case.bindings),
+    }
+    for label, result in executions.items():
+        rows = _canonical_payload(result, attributes)
+        if rows != oracle:
+            report(
+                f"results-{label}",
+                f"{label} plan returned {len(rows)} rows != oracle "
+                f"{len(oracle)}; first diff: "
+                f"{_first_diff(rows, oracle)}",
+            )
+        if required_order is not None:
+            _check_sorted(result, required_order, f"order-{label}", report)
+
+    # --- serving layer ------------------------------------------------
+    if check_service:
+        _check_service(
+            case, catalog, model, attributes, executions["dynamic"], report
+        )
+
+
+def _first_diff(rows: list[tuple], oracle: list[tuple]) -> str:
+    for i, (got, want) in enumerate(zip(rows, oracle)):
+        if got != want:
+            return f"row {i}: {got} != {want}"
+    return f"length {len(rows)} vs {len(oracle)}"
+
+
+def _check_service(case, catalog, model, attributes, direct, report) -> None:
+    from repro.service import QueryService
+
+    sql = case.query.to_sql()
+    direct_payload = json.dumps(_canonical_payload(direct, attributes))
+    service = QueryService(
+        catalog, model, workers=1, seed=case.data_seed
+    )
+    try:
+        first = service.execute(sql, case.bindings)
+        second = service.execute(sql, case.bindings)  # plan-cache hit path
+    finally:
+        service.close()
+    for label, result in (("cold", first), ("cached", second)):
+        payload = json.dumps(
+            _canonical_payload(result.execution, attributes)
+        )
+        if payload != direct_payload:
+            report(
+                f"service-{label}",
+                f"service ({label}) result differs from direct execution: "
+                f"{payload[:200]} != {direct_payload[:200]}",
+            )
+    if not second.cache_hit:
+        report(
+            "service-cache",
+            "second identical invocation did not hit the plan cache",
+        )

@@ -1,0 +1,180 @@
+"""Naive reference evaluator: nested loops, full materialization, no plans.
+
+The oracle deliberately shares nothing with the optimizer or the executor
+beyond the stored data itself: it evaluates the generator's *specification*
+of the query (not the parsed graph, not a physical plan) by folding
+relations left to right with nested-loop joins over fully materialized row
+sets.  Aggregation replicates the documented executor semantics exactly:
+COUNT counts rows (the engine has no NULLs, so COUNT(attr) == COUNT(*)),
+SUM accumulates as float, AVG is SUM/COUNT, and a scalar aggregate over
+zero rows yields exactly one row (COUNT 0, SUM 0.0, MIN/MAX/AVG None)
+while a grouped aggregate over zero rows yields none.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.catalog.schema import Attribute
+from repro.executor.database import Database
+from repro.logical.aggregates import AggregateExpr, AggregateFunction
+from repro.logical.predicates import CompareOp
+from repro.qa.generator import FuzzCase, QuerySpec
+
+_OPS = {
+    "=": CompareOp.EQ,
+    "<>": CompareOp.NE,
+    "<": CompareOp.LT,
+    "<=": CompareOp.LE,
+    ">": CompareOp.GT,
+    ">=": CompareOp.GE,
+}
+
+# A row during reference evaluation: qualified attribute name -> value.
+RefRow = dict[str, object]
+
+
+def canonical_attributes(case: FuzzCase, db: Database) -> tuple[Attribute, ...]:
+    """The fixed output-attribute order both sides are compared under.
+
+    Aggregates output their group-by keys then one column per aggregate
+    expression (matching ``AggregateSpec.output_attributes``); plain
+    queries output their projection, or every attribute of the FROM
+    relations in schema order for ``SELECT *``.
+    """
+    catalog = db.catalog
+    query = case.query
+    if query.aggregates:
+        out = [catalog.attribute(name) for name in query.group_by]
+        for item in query.aggregates:
+            expr = AggregateExpr(
+                AggregateFunction(item.function),
+                None
+                if item.attribute is None
+                else catalog.attribute(item.attribute),
+            )
+            out.append(expr.output_attribute())
+        return tuple(out)
+    if query.projection is not None:
+        return tuple(catalog.attribute(name) for name in query.projection)
+    out = []
+    for relation in query.relations:
+        out.extend(catalog.relation(relation).schema)
+    return tuple(out)
+
+
+def _relation_rows(db: Database, relation: str) -> list[RefRow]:
+    schema = db.catalog.relation(relation).schema
+    names = [attribute.qualified_name for attribute in schema]
+    return [
+        dict(zip(names, row)) for _rid, row in db.heap(relation).scan()
+    ]
+
+
+def _passes_selections(
+    row: RefRow, query: QuerySpec, relation: str, bindings: dict[str, int]
+) -> bool:
+    for predicate in query.selections:
+        if predicate.relation != relation:
+            continue
+        operand = (
+            bindings[predicate.host]
+            if predicate.host is not None
+            else predicate.literal
+        )
+        if not _OPS[predicate.op].evaluate(row[predicate.attribute], operand):
+            return False
+    return True
+
+
+def evaluate_reference(case: FuzzCase, db: Database) -> list[tuple]:
+    """Rows of the query under naive evaluation, in canonical column order.
+
+    Returned unsorted (callers compare as multisets); ORDER BY is a
+    presentation property checked separately against the engine's output.
+    """
+    query = case.query
+    accumulated: list[RefRow] | None = None
+    present: set[str] = set()
+    applied: set[int] = set()
+    for relation in query.relations:
+        rows = [
+            row
+            for row in _relation_rows(db, relation)
+            if _passes_selections(row, query, relation, case.bindings)
+        ]
+        if accumulated is None:
+            accumulated = rows
+        else:
+            accumulated = [
+                {**left, **right} for left in accumulated for right in rows
+            ]
+        present.add(relation)
+        for i, join in enumerate(query.joins):
+            if i in applied or not join.relations <= present:
+                continue
+            applied.add(i)
+            accumulated = [
+                row for row in accumulated if row[join.left] == row[join.right]
+            ]
+    assert accumulated is not None  # QuerySpec always has >= 1 relation
+
+    if query.aggregates:
+        return _aggregate(query, accumulated)
+    if query.projection is not None:
+        names: Iterable[str] = query.projection
+    else:
+        names = [
+            attribute.qualified_name
+            for relation in query.relations
+            for attribute in db.catalog.relation(relation).schema
+        ]
+    return [tuple(row[name] for name in names) for row in accumulated]
+
+
+def _aggregate(query: QuerySpec, rows: list[RefRow]) -> list[tuple]:
+    groups: dict[tuple, list[RefRow]] = {}
+    for row in rows:
+        key = tuple(row[name] for name in query.group_by)
+        groups.setdefault(key, []).append(row)
+    if not query.group_by and not groups:
+        groups[()] = []  # scalar aggregate over empty input: one row
+    out: list[tuple] = []
+    for key, members in groups.items():
+        values = list(key)
+        for item in query.aggregates:
+            column = (
+                None
+                if item.attribute is None
+                else [row[item.attribute] for row in members]
+            )
+            values.append(_apply(item.function, column, len(members)))
+        out.append(tuple(values))
+    return out
+
+
+def _apply(function: str, column: list | None, count: int) -> object:
+    if function == "count":
+        return count
+    assert column is not None
+    if function == "sum":
+        total = 0.0
+        for value in column:
+            total += value  # float accumulation, matching the executor
+        return total
+    if function == "min":
+        return min(column) if column else None
+    if function == "max":
+        return max(column) if column else None
+    # avg
+    return (sum(column, 0.0) / count) if count else None
+
+
+def sort_key(row: tuple) -> tuple:
+    """Total order over result rows that tolerates None cells."""
+    return tuple((value is None, 0 if value is None else value) for value in row)
+
+
+def canonical_rows(rows: list[tuple]) -> list[tuple]:
+    """Multiset-canonical form: rows sorted under :func:`sort_key`."""
+    return sorted(rows, key=sort_key)

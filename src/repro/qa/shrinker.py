@@ -1,0 +1,231 @@
+"""Greedy minimization of failing fuzz cases.
+
+The shrinker repeatedly proposes structurally smaller variants of a
+failing case — drop a relation (with its joins and predicates), drop a
+join or selection, strip aggregates, projections and ORDER BY, zero out
+constants, drop indexes, halve cardinalities — and keeps a variant iff it
+still violates at least one of the invariants the original case violated
+(matching on check name, so a shrink cannot wander onto an unrelated
+bug).  Every proposal keeps the query well-formed: at least one relation,
+a connected join graph, and no references to dropped relations.
+
+The result is deterministic: proposals are enumerated in a fixed order
+and the loop runs to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.qa.generator import FuzzCase, QuerySpec, RelationSpec
+from repro.qa.invariants import run_case
+
+MAX_ATTEMPTS = 400
+
+
+def _connected(relations: tuple[str, ...], joins) -> bool:
+    if len(relations) <= 1:
+        return True
+    adjacency: dict[str, set[str]] = {r: set() for r in relations}
+    for join in joins:
+        pair = tuple(join.relations)
+        if len(pair) == 1:
+            continue
+        a, b = pair
+        if a in adjacency and b in adjacency:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    seen = {relations[0]}
+    frontier = [relations[0]]
+    while frontier:
+        for neighbor in adjacency[frontier.pop()]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return len(seen) == len(relations)
+
+
+def _prune_bindings(case: FuzzCase, query: QuerySpec) -> dict[str, int]:
+    used = {p.host for p in query.host_predicates()}
+    return {k: v for k, v in case.bindings.items() if k in used}
+
+
+def _with_query(case: FuzzCase, query: QuerySpec) -> FuzzCase:
+    return replace(case, query=query, bindings=_prune_bindings(case, query))
+
+
+def _drop_relation(case: FuzzCase, name: str) -> FuzzCase | None:
+    query = case.query
+    relations = tuple(r for r in query.relations if r != name)
+    if not relations:
+        return None
+    joins = tuple(j for j in query.joins if name not in j.relations)
+    if not _connected(relations, joins):
+        return None
+
+    def keeps(attribute: str) -> bool:
+        return attribute.partition(".")[0] != name
+
+    projection = query.projection
+    if projection is not None:
+        projection = tuple(a for a in projection if keeps(a)) or None
+    group_by = tuple(a for a in query.group_by if keeps(a))
+    aggregates = tuple(
+        a
+        for a in query.aggregates
+        if a.attribute is None or keeps(a.attribute)
+    )
+    if not aggregates:
+        group_by = ()
+    order_by = query.order_by
+    if order_by is not None and (
+        not keeps(order_by) or (aggregates and order_by not in group_by)
+    ):
+        order_by = None
+    shrunk = QuerySpec(
+        relations=relations,
+        selections=tuple(s for s in query.selections if s.relation != name),
+        joins=joins,
+        projection=projection if not aggregates else None,
+        group_by=group_by,
+        aggregates=aggregates,
+        order_by=order_by,
+    )
+    return _with_query(case, shrunk)
+
+
+def _proposals(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Structurally smaller variants, biggest shrinks first."""
+    query = case.query
+
+    # Drop whole relations (largest single reduction).
+    for name in query.relations:
+        candidate = _drop_relation(case, name)
+        if candidate is not None:
+            yield candidate
+
+    # Strip the aggregate back to a plain SELECT *.
+    if query.aggregates:
+        yield _with_query(
+            case,
+            replace(
+                query,
+                aggregates=(),
+                group_by=(),
+                order_by=None,
+                projection=None,
+            ),
+        )
+        for i in range(len(query.aggregates)):
+            remaining = query.aggregates[:i] + query.aggregates[i + 1 :]
+            if remaining:
+                yield _with_query(case, replace(query, aggregates=remaining))
+        for i in range(len(query.group_by)):
+            remaining = query.group_by[:i] + query.group_by[i + 1 :]
+            order_by = (
+                query.order_by if query.order_by in remaining else None
+            )
+            yield _with_query(
+                case, replace(query, group_by=remaining, order_by=order_by)
+            )
+
+    # Drop ORDER BY and the projection.
+    if query.order_by is not None:
+        yield _with_query(case, replace(query, order_by=None))
+    if query.projection is not None:
+        yield _with_query(
+            case, replace(query, projection=None, order_by=None)
+        )
+
+    # Drop selections one at a time.
+    for i in range(len(query.selections)):
+        remaining = query.selections[:i] + query.selections[i + 1 :]
+        yield _with_query(case, replace(query, selections=remaining))
+
+    # Drop redundant joins (only where connectivity survives).
+    for i in range(len(query.joins)):
+        remaining = query.joins[:i] + query.joins[i + 1 :]
+        if _connected(query.relations, remaining):
+            yield _with_query(case, replace(query, joins=remaining))
+
+    # Simplify constants: literals and host-variable bindings toward 0.
+    for i, predicate in enumerate(query.selections):
+        if predicate.literal is not None and predicate.literal != 0:
+            for smaller in (0, predicate.literal // 2):
+                if smaller == predicate.literal:
+                    continue
+                simplified = replace(predicate, literal=smaller)
+                selections = (
+                    query.selections[:i]
+                    + (simplified,)
+                    + query.selections[i + 1 :]
+                )
+                yield _with_query(case, replace(query, selections=selections))
+    for name, value in case.bindings.items():
+        if value != 0:
+            for smaller in (0, value // 2):
+                if smaller == value:
+                    continue
+                yield replace(
+                    case, bindings={**case.bindings, name: smaller}
+                )
+
+    # Shrink the catalog: unused relations, indexes, cardinalities.
+    referenced = set(query.relations)
+    if any(spec.name not in referenced for spec in case.relations):
+        yield replace(
+            case,
+            relations=tuple(
+                s for s in case.relations if s.name in referenced
+            ),
+        )
+    for i, spec in enumerate(case.relations):
+        if spec.indexes:
+            stripped = replace(spec, indexes=())
+            yield replace(
+                case,
+                relations=case.relations[:i]
+                + (stripped,)
+                + case.relations[i + 1 :],
+            )
+        if spec.cardinality > 1:
+            smaller = replace(spec, cardinality=max(1, spec.cardinality // 2))
+            yield replace(
+                case,
+                relations=case.relations[:i]
+                + (smaller,)
+                + case.relations[i + 1 :],
+            )
+    if case.analyze:
+        yield replace(case, analyze=False)
+
+
+def shrink_case(
+    case: FuzzCase,
+    failing_checks: frozenset[str],
+    run: Callable[[FuzzCase], object] | None = None,
+    max_attempts: int = MAX_ATTEMPTS,
+) -> FuzzCase:
+    """Greedily minimize ``case`` while it still fails one of
+    ``failing_checks``.
+
+    ``run`` defaults to :func:`repro.qa.invariants.run_case`; tests inject
+    instrumented runners (e.g. with a bug-injecting monkeypatch active).
+    """
+    runner = run or run_case
+    attempts = 0
+    current = case
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _proposals(current):
+            attempts += 1
+            if attempts >= max_attempts:
+                break
+            outcome = runner(candidate)
+            if outcome.checks & failing_checks:
+                current = candidate
+                improved = True
+                break  # restart proposals from the smaller case
+    return current

@@ -160,13 +160,24 @@ class _Parser:
                 self._advance()
                 group_by.append(self._parse_attribute())
         order_by = None
+        order_by_position = 0
         if self._at_keyword("ORDER"):
             self._advance()
             self._expect_keyword("BY")
+            order_by_position = self._peek().position
             order_by = self._parse_attribute()
         end = self._advance()
         if end.kind is not TokenKind.END:
             raise ParseError(f"unexpected trailing {end.text!r}", end.position)
+        if order_by is not None and (aggregate_items or group_by):
+            # Aggregation replaces base columns with group keys; ordering
+            # by anything else cannot be evaluated over the output.
+            if order_by not in group_by:
+                raise ParseError(
+                    f"ORDER BY {order_by.qualified_name} must be a GROUP BY "
+                    "attribute in an aggregate query",
+                    order_by_position,
+                )
 
         resolved_select = None
         if select_list is not None:

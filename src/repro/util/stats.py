@@ -1,0 +1,50 @@
+"""Small statistics helpers (dependency-free).
+
+The validation tests only need Spearman rank correlation, which scipy
+provides but the test environment should not have to: rank both samples
+(ties get their average rank, matching ``scipy.stats.spearmanr``) and
+take the Pearson correlation of the ranks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def average_ranks(values: Sequence[float]) -> list[float]:
+    """1-based ranks; tied values share the mean of their rank range."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        mean_rank = (i + j) / 2 + 1  # ranks are 1-based
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def pearson_r(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation; NaN when either sample is constant."""
+    if len(xs) != len(ys):
+        raise ValueError("samples must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two observations")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return math.nan
+    return cov / math.sqrt(var_x * var_y)
+
+
+def spearman_rho(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (tie-aware, as ``scipy.stats.spearmanr``)."""
+    return pearson_r(average_ranks(xs), average_ranks(ys))

@@ -2,9 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.catalog.catalog import Catalog
+
+# CI runs want reproducible, deadline-free property tests: derandomize so
+# a red build replays locally, drop the per-example deadline so shared
+# runners' timing noise cannot flake a pass.  Select with
+# HYPOTHESIS_PROFILE=ci (the default profile stays untouched for local
+# exploratory runs).
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 from repro.cost.context import CostContext
 from repro.cost.model import CostModel
 from repro.logical.predicates import (

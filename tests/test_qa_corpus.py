@@ -1,0 +1,41 @@
+"""Replay every committed fuzz artifact through the invariant suite.
+
+The corpus under ``tests/qa_corpus/`` holds cases that once exposed real
+bugs (see its README).  Replaying them on every run turns each past
+failure into a permanent regression test — a new violation here means a
+fixed bug came back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.qa import load_artifact, replay_artifact
+
+CORPUS_DIR = Path(__file__).parent / "qa_corpus"
+ARTIFACTS = sorted(CORPUS_DIR.glob("case-*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert ARTIFACTS, f"no artifacts under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+def test_artifact_replays_clean(path: Path):
+    outcome = replay_artifact(path)
+    details = [f"{v.check}: {v.detail}" for v in outcome.violations]
+    assert outcome.passed, f"{path.name} regressed:\n" + "\n".join(details)
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+def test_artifact_is_well_formed(path: Path):
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert payload["generator_seed"]
+    assert payload["original_sql"].startswith("SELECT")
+    # The stored case round-trips through its JSON representation.
+    case = load_artifact(path)
+    assert case.to_json() == payload["case"]

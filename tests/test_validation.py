@@ -10,7 +10,6 @@ rank correlation across bindings and operators, not absolute agreement.
 from __future__ import annotations
 
 import pytest
-from scipy import stats
 
 from repro.executor.database import Database
 from repro.executor.executor import execute_plan
@@ -28,6 +27,7 @@ from repro.physical.plan import (
     SortNode,
 )
 from repro.runtime.chooser import resolve_plan
+from repro.util.stats import spearman_rho
 
 
 @pytest.fixture
@@ -54,8 +54,7 @@ class TestRankCorrelation:
             db.buffer.clear()
             out = execute_plan(static.plan, db, bindings={"v": v})
             observed.append(out.metrics.io_seconds)
-        rho, _ = stats.spearmanr(predicted, observed)
-        assert rho > 0.95
+        assert spearman_rho(predicted, observed) > 0.95
 
     def test_join_plan_cost_tracks_observed_io(self, join_query, catalog, db):
         dynamic = optimize_query(join_query, catalog, mode=OptimizationMode.DYNAMIC)
@@ -70,8 +69,7 @@ class TestRankCorrelation:
                 dynamic.plan, db, bindings={"v": v}, choices=decision.choices
             )
             observed.append(out.metrics.io_seconds)
-        rho, _ = stats.spearmanr(predicted, observed)
-        assert rho > 0.9
+        assert spearman_rho(predicted, observed) > 0.9
 
 
 class TestOperatorLevelAgreement:

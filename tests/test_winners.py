@@ -10,12 +10,17 @@ from repro.util.interval import Interval
 
 
 class FakePlan:
-    """Minimal stand-in carrying only a cost interval."""
+    """Minimal stand-in carrying only the cost annotations.
 
-    __slots__ = ("cost",)
+    Plans without embedded choose-plan operators have identical total and
+    execution costs, which is all these dominance tests need.
+    """
+
+    __slots__ = ("cost", "execution_cost")
 
     def __init__(self, low: float, high: float) -> None:
         self.cost = Interval.of(low, high)
+        self.execution_cost = self.cost
 
     def __repr__(self) -> str:
         return f"FakePlan({self.cost})"
