@@ -1,0 +1,71 @@
+"""Parallel speedup: exchange-partitioned hash join vs serial execution.
+
+Acceptance benchmark for the degree-of-parallelism binding: at DOP=4 the
+activated parallel plan must run at least 2x faster than the serial plan
+on the I/O-latency-bound join workload, while at DOP=1 the start-up
+decision must activate the serial alternative (zero exchange operators,
+so a serial binding pays no parallel overhead).  Results are published as
+a table and as ``benchmarks/results/BENCH_parallel.json``.
+
+``REPRO_PARALLEL_BENCH=smoke`` selects the reduced CI configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.parallel.bench import SMOKE_CONFIG, run_speedup_bench
+from repro.util.fmt import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def test_parallel_speedup(publish):
+    smoke = os.environ.get("REPRO_PARALLEL_BENCH") == "smoke"
+    payload = run_speedup_bench(**(SMOKE_CONFIG if smoke else {}))
+
+    serial = payload["serial"]
+    assert serial["active_exchanges"] == 0, (
+        "a DOP=1 binding must activate the serial alternative"
+    )
+    for run in payload["runs"]:
+        assert run["rows"] == serial["rows"]
+        assert run["active_exchanges"] >= 1, (
+            f"DOP={run['dop']} did not activate a parallel alternative"
+        )
+    top = max(payload["runs"], key=lambda run: run["dop"])
+    assert top["dop"] == 4
+    assert top["speedup"] >= 2.0, (
+        f"DOP=4 speedup {top['speedup']:.2f}x below the 2x acceptance bar"
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = [("serial", f"{serial['seconds']:.2f}", "1.00", 0)]
+    rows += [
+        (
+            f"DOP={run['dop']}",
+            f"{run['seconds']:.2f}",
+            f"{run['speedup']:.2f}",
+            run["active_exchanges"],
+        )
+        for run in payload["runs"]
+    ]
+    config = payload["config"]
+    publish(
+        "parallel_speedup",
+        format_table(
+            ("plan", "seconds", "speedup", "exchanges"),
+            rows,
+            title=(
+                f"Parallel hash join: {config['probe_rows']} probe rows x "
+                f"{config['build_rows']} build rows, latency scale "
+                f"{config['latency_scale']} ({serial['rows']} result rows)"
+            ),
+        ),
+    )

@@ -18,6 +18,11 @@ Commands:
     Run a Zipfian workload against the concurrent query service and
     report throughput, latency percentiles, and plan-cache hit rate;
     writes a JSON artifact (default ``benchmarks/results/serve_bench.json``).
+``parallel-bench``
+    Time the speedup benchmark: one hash join executed serially and
+    through the exchange operator at DOP 2 and 4, with the disk's
+    latency simulation on; writes a JSON artifact (default
+    ``benchmarks/results/BENCH_parallel.json``).
 ``fuzz``
     Differential fuzzing: generate random catalogs + parameterized
     queries, execute every optimization mode, and compare against a
@@ -214,6 +219,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.set_defaults(handler=_cmd_serve_bench)
 
+    parallel_cmd = commands.add_parser(
+        "parallel-bench",
+        help="serial vs exchange-parallel hash join wall time at "
+        "DOP 2 and 4 (I/O-latency-bound workload)",
+    )
+    parallel_cmd.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced configuration for CI (smaller relations, DOP=4 only)",
+    )
+    parallel_cmd.add_argument(
+        "--output",
+        type=Path,
+        default=Path("benchmarks/results/BENCH_parallel.json"),
+        metavar="FILE",
+        help="JSON benchmark artifact path",
+    )
+    parallel_cmd.set_defaults(handler=_cmd_parallel_bench)
+
     fuzz_cmd = commands.add_parser(
         "fuzz",
         help="differential fuzzing of the whole pipeline against a "
@@ -249,6 +273,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "(0 disables; default 4)",
     )
     fuzz_cmd.add_argument(
+        "--parallel-every",
+        type=int,
+        default=4,
+        metavar="N",
+        help="run the parallel-execution differential (DOP 1/2/4 vs "
+        "serial) every Nth case (0 disables; default 4)",
+    )
+    fuzz_cmd.add_argument(
         "--smoke",
         action="store_true",
         help="fixed-seed 150-case run for CI (overrides --seed/--cases)",
@@ -264,6 +296,7 @@ def _build_parser() -> argparse.ArgumentParser:
         analyze_cmd,
         experiments_cmd,
         serve_cmd,
+        parallel_cmd,
         fuzz_cmd,
         demo_cmd,
     ):
@@ -554,6 +587,33 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_parallel_bench(args: argparse.Namespace) -> int:
+    from repro.parallel.bench import SMOKE_CONFIG, run_speedup_bench
+
+    payload = run_speedup_bench(**(SMOKE_CONFIG if args.smoke else {}))
+    serial = payload["serial"]
+    print(
+        f"serial: {serial['seconds']:.2f}s "
+        f"({serial['rows']} rows, {serial['active_exchanges']} exchanges)"
+    )
+    ok = serial["active_exchanges"] == 0
+    for run in payload["runs"]:
+        print(
+            f"DOP={run['dop']}: {run['seconds']:.2f}s "
+            f"(speedup {run['speedup']:.2f}x, "
+            f"{run['active_exchanges']} exchange(s), {run['rows']} rows)"
+        )
+        ok = ok and run["rows"] == serial["rows"] and run["active_exchanges"] >= 1
+    top = max(payload["runs"], key=lambda run: run["dop"])
+    if top["speedup"] < 2.0:
+        print(f"FAIL: DOP={top['dop']} speedup below the 2x acceptance bar")
+        ok = False
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
 # The smoke configuration is pinned so CI runs are reproducible: any
 # violation at this seed is a regression, not fuzzing luck.
 SMOKE_SEED = "smoke-v1"
@@ -575,6 +635,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=args.shrink,
         artifact_dir=args.artifact_dir,
         check_service_every=args.service_every,
+        check_parallel_every=args.parallel_every,
         log=print,
     )
     print(report.summary())

@@ -17,6 +17,7 @@ from repro.params.parameter import Environment
 from repro.util.interval import Interval
 
 MEMORY_PARAMETER = "memory"
+DOP_PARAMETER = "dop"
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,14 @@ class CostContext:
         if MEMORY_PARAMETER in self.env.space:
             return self.env.interval(MEMORY_PARAMETER)
         return Interval.point(float(self.model.default_memory_pages))
+
+    @property
+    def degree_of_parallelism(self) -> Interval:
+        """Degree of parallelism: the ``dop`` parameter when declared,
+        otherwise a fixed serial point of 1."""
+        if DOP_PARAMETER in self.env.space:
+            return self.env.interval(DOP_PARAMETER)
+        return Interval.point(1.0)
 
     def with_env(self, env: Environment) -> "CostContext":
         """The same catalog and model under a different environment."""

@@ -350,3 +350,67 @@ def choose_plan_cost(model: CostModel, alternatives: int) -> Interval:
     if alternatives < 2:
         raise ValueError("choose-plan needs at least two alternatives")
     return Interval.point(model.choose_plan_overhead * (alternatives - 1))
+
+
+# ----------------------------------------------------------------------
+# Parallel execution (Volcano exchange)
+# ----------------------------------------------------------------------
+def _parallel_point_cost(
+    model: CostModel, subtree: float, tuples: float, dop: float
+) -> float:
+    """Scalar cost of running a ``subtree`` partitioned ``dop`` ways.
+
+    Ideal linear partitioning of the subtree's work, plus per-worker
+    startup and per-tuple transfer across the exchange.  At dop=1 this is
+    strictly greater than the serial subtree cost (startup + transfer),
+    which is what lets the start-up decision fall back to the serial
+    alternative when no parallelism is available.
+    """
+    return (
+        subtree / dop
+        + model.exchange_startup_seconds * dop
+        + tuples * model.exchange_tuple_seconds
+    )
+
+
+def parallel_execution_cost(
+    model: CostModel,
+    subtree_cost: Interval,
+    output_cardinality: Interval,
+    dop: Interval,
+) -> Interval:
+    """Interval cost of an exchange running its input subtree in parallel.
+
+    The cost is *not* monotone in the degree of parallelism — dividing the
+    subtree's work fights the per-worker startup charge, giving a convex
+    function of ``dop`` — so :func:`monotone_interval` cannot lift it.
+    Convexity means the maximum over a dop interval sits at a corner, while
+    the minimum may sit at the interior stationary point
+    ``sqrt(subtree / startup)``; both bounds are evaluated accordingly so
+    the compile-time interval still contains every run-time point value
+    (the containment invariant the fuzzer checks).
+    """
+
+    def min_over_dop(subtree: float, tuples: float) -> float:
+        candidates = [
+            _parallel_point_cost(model, subtree, tuples, dop.low),
+            _parallel_point_cost(model, subtree, tuples, dop.high),
+        ]
+        if model.exchange_startup_seconds > 0.0 and subtree > 0.0:
+            stationary = math.sqrt(subtree / model.exchange_startup_seconds)
+            if dop.low < stationary < dop.high:
+                candidates.append(
+                    _parallel_point_cost(model, subtree, tuples, stationary)
+                )
+        return min(candidates)
+
+    low = min_over_dop(subtree_cost.low, output_cardinality.low)
+    high = max(
+        _parallel_point_cost(
+            model, subtree_cost.high, output_cardinality.high, dop.low
+        ),
+        _parallel_point_cost(
+            model, subtree_cost.high, output_cardinality.high, dop.high
+        ),
+    )
+    return Interval(low, high)

@@ -5,10 +5,17 @@ the disk (charging simulated time).  The pool deliberately implements only
 what the reproduction needs — read caching with LRU replacement — because
 every write path in this engine is append-only (loads, sort runs, hash
 partitions) and bypasses the pool.
+
+The pool is thread-safe for exchange workers: one lock guards the frame
+map and the hit/miss counters.  A miss holds the lock across the disk read
+(single-flight per pool), trading a little concurrency on buffered paths
+for exact accounting — unbuffered scans, the parallel fast path, never
+touch the pool.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.errors import ExecutionError
@@ -24,33 +31,37 @@ class BufferPool:
         self.disk = disk
         self.capacity = capacity_pages
         self._frames: OrderedDict[PageId, list] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def read_page(self, file_name: str, page_no: int) -> list:
         """Read a page through the cache."""
         key: PageId = (file_name, page_no)
-        cached = self._frames.get(key)
-        if cached is not None:
-            self._frames.move_to_end(key)
-            self.hits += 1
-            return cached
-        payload = self.disk.read_page(file_name, page_no)
-        self.misses += 1
-        self._frames[key] = payload
-        if len(self._frames) > self.capacity:
-            self._frames.popitem(last=False)
-        return payload
+        with self._lock:
+            cached = self._frames.get(key)
+            if cached is not None:
+                self._frames.move_to_end(key)
+                self.hits += 1
+                return cached
+            payload = self.disk.read_page(file_name, page_no)
+            self.misses += 1
+            self._frames[key] = payload
+            if len(self._frames) > self.capacity:
+                self._frames.popitem(last=False)
+            return payload
 
     def invalidate_file(self, file_name: str) -> None:
         """Drop all cached frames of one file (after drop/rewrite)."""
-        stale = [key for key in self._frames if key[0] == file_name]
-        for key in stale:
-            del self._frames[key]
+        with self._lock:
+            stale = [key for key in self._frames if key[0] == file_name]
+            for key in stale:
+                del self._frames[key]
 
     def clear(self) -> None:
         """Empty the pool (between experiment runs)."""
-        self._frames.clear()
+        with self._lock:
+            self._frames.clear()
 
     @property
     def hit_ratio(self) -> float:

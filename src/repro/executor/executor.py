@@ -14,7 +14,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Mapping
 
-from repro.cost.context import CostContext
+from repro.cost.context import DOP_PARAMETER, CostContext
 from repro.errors import ExecutionError
 from repro.executor.database import Database
 from repro.executor.iterators import (
@@ -37,6 +37,14 @@ from repro.executor.iterators import (
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 from repro.executor.tuples import Row, RowSchema
+from repro.parallel.exchange import (
+    ExchangeIterator,
+    HashStripeIterator,
+    ModuloStripeIterator,
+    PartitionSpec,
+    StripedFileScanIterator,
+)
+from repro.parallel.plan import ExchangeMode, ExchangeNode
 from repro.physical.plan import (
     BtreeScanNode,
     ChoosePlanNode,
@@ -116,6 +124,7 @@ def execute_plan(
     memory_pages: int | None = None,
     materialized: Mapping[MaterializedKey, MaterializedIterator] | None = None,
     analyze: bool = False,
+    dop: int | None = None,
 ) -> ExecutionResult:
     """Execute ``plan`` against ``db``.
 
@@ -133,6 +142,10 @@ def execute_plan(
     :func:`repro.physical.explain.explain_analyze`.  A recording tracer
     implies analyze mode and additionally emits the counters as
     ``executor.operator`` trace events.
+
+    ``dop`` is the degree of parallelism exchange operators run at
+    (defaults to the ``dop`` entry of ``parameter_values``, else 1).
+    Serial plans ignore it entirely.
     """
     tracer = get_tracer()
     bindings = dict(bindings or {})
@@ -145,6 +158,9 @@ def execute_plan(
         env = ctx.env.space.bind(parameter_values)
         choices = resolve_plan(plan, ctx.with_env(env)).choices
     memory = memory_pages if memory_pages is not None else db.model.default_memory_pages
+    if dop is None and parameter_values is not None:
+        dop = int(parameter_values.get(DOP_PARAMETER, 1))
+    effective_dop = max(1, int(dop)) if dop is not None else 1
     operator_stats: dict[int, OperatorStats] | None = (
         {} if analyze or tracer.enabled else None
     )
@@ -152,7 +168,14 @@ def execute_plan(
     before = _snapshot(db)
     started = time.perf_counter()
     iterator = _build_iterator(
-        plan, db, bindings, choices or {}, memory, materialized or {}, operator_stats
+        plan,
+        db,
+        bindings,
+        choices or {},
+        memory,
+        materialized or {},
+        operator_stats,
+        dop=effective_dop,
     )
     rows = list(iterator.rows())
     elapsed = time.perf_counter() - started
@@ -169,6 +192,7 @@ def execute_plan(
         wall_seconds=elapsed,
     )
     _record_metrics(metrics)
+    get_metrics().gauge("executor.buffer_hit_ratio").set(db.buffer.hit_ratio)
     if tracer.enabled:
         tracer.event("executor.execute", **metrics.as_dict())
         for stats in (operator_stats or {}).values():
@@ -229,6 +253,8 @@ def _build_iterator(
     memory: int,
     materialized: Mapping[MaterializedKey, MaterializedIterator],
     operator_stats: dict[int, OperatorStats] | None = None,
+    dop: int = 1,
+    partition: PartitionSpec | None = None,
 ) -> PlanIterator:
     if isinstance(node, ChoosePlanNode):
         try:
@@ -240,10 +266,12 @@ def _build_iterator(
         # The choose-plan operator itself does no run-time work; it is
         # never metered — counters attach to the chosen alternative.
         return _build_iterator(
-            chosen, db, bindings, choices, memory, materialized, operator_stats
+            chosen, db, bindings, choices, memory, materialized, operator_stats,
+            dop, partition,
         )
     iterator = _instantiate_iterator(
-        node, db, bindings, choices, memory, materialized, operator_stats
+        node, db, bindings, choices, memory, materialized, operator_stats,
+        dop, partition,
     )
     if operator_stats is None or isinstance(iterator, MeteredIterator):
         return iterator
@@ -263,21 +291,43 @@ def _instantiate_iterator(
     memory: int,
     materialized: Mapping[MaterializedKey, MaterializedIterator],
     operator_stats: dict[int, OperatorStats] | None,
+    dop: int,
+    partition: PartitionSpec | None,
 ) -> PlanIterator:
     if materialized:
         info = leaf_access_info(node)
         if info is not None and info in materialized:
-            return materialized[info]
+            return _apply_partition(materialized[info], info[0], db, partition)
 
     def build(child: PlanNode) -> PlanIterator:
         return _build_iterator(
-            child, db, bindings, choices, memory, materialized, operator_stats
+            child, db, bindings, choices, memory, materialized, operator_stats,
+            dop, partition,
         )
 
+    if isinstance(node, ExchangeNode):
+        if partition is not None:
+            raise ExecutionError("nested exchange operators are not supported")
+        return _make_exchange(
+            node, db, bindings, choices, memory, materialized, dop
+        )
     if isinstance(node, FileScanNode):
-        return FileScanIterator(db, node.relation)
+        if (
+            partition is not None
+            and partition.mode is not ExchangeMode.REPARTITION
+            and partition.driver == node.relation
+        ):
+            return StripedFileScanIterator(
+                db, node.relation, partition.worker, partition.dop
+            )
+        return _apply_partition(
+            FileScanIterator(db, node.relation), node.relation, db, partition
+        )
     if isinstance(node, BtreeScanNode):
-        return BtreeScanIterator(db, node.relation, node.key, node.predicate, bindings)
+        iterator = BtreeScanIterator(
+            db, node.relation, node.key, node.predicate, bindings
+        )
+        return _apply_partition(iterator, node.relation, db, partition)
     if isinstance(node, FilterNode):
         return FilterIterator(build(node.inputs[0]), node.predicate, bindings)
     if isinstance(node, HashJoinNode):
@@ -293,10 +343,26 @@ def _instantiate_iterator(
             build(node.inputs[0]), build(node.inputs[1]), node.predicates, db, memory
         )
     if isinstance(node, IndexJoinNode):
-        return IndexJoinIterator(
+        iterator = IndexJoinIterator(
             build(node.inputs[0]), db, node.inner_relation, node.inner_key,
             node.predicates,
         )
+        if (
+            partition is not None
+            and partition.mode is not ExchangeMode.REPARTITION
+            and partition.driver == node.inner_relation
+        ):
+            # The activated alternative probes the driver instead of
+            # scanning it, so the driver's tuples enter the plan here.  The
+            # outer is replicated (the driver appears exactly once per
+            # activated plan), making this output stream deterministic
+            # across workers; a row-index stripe of it assigns each driver
+            # match to exactly one worker and stays a subsequence, so MERGE
+            # order survives.
+            return ModuloStripeIterator(
+                iterator, partition.worker, partition.dop
+            )
+        return iterator
     if isinstance(node, SortNode):
         return SortIterator(build(node.inputs[0]), node.key, db, memory)
     if isinstance(node, ProjectNode):
@@ -306,3 +372,66 @@ def _instantiate_iterator(
     if isinstance(node, SortedAggregateNode):
         return SortedAggregateIterator(build(node.inputs[0]), node.spec)
     raise ExecutionError(f"no iterator for node type {type(node).__name__}")
+
+
+def _apply_partition(
+    iterator: PlanIterator,
+    relation: str,
+    db: Database,
+    partition: PartitionSpec | None,
+) -> PlanIterator:
+    """Restrict a scan of ``relation`` to the worker's slice, if any.
+
+    Under REPARTITION, scans of keyed relations keep only the worker's
+    hash bucket.  Under PARTITION/MERGE, only the driver relation is
+    striped — other relations are replicated into every worker — and the
+    stripe is a row-index subsequence, preserving any scan order.
+    """
+    if partition is None:
+        return iterator
+    if partition.mode is ExchangeMode.REPARTITION:
+        key = partition.hash_keys.get(relation)
+        if key is None:
+            return iterator
+        return HashStripeIterator(
+            iterator, iterator.schema.position(key), partition.worker, partition.dop
+        )
+    if partition.driver != relation:
+        return iterator
+    return ModuloStripeIterator(iterator, partition.worker, partition.dop)
+
+
+def _make_exchange(
+    node: ExchangeNode,
+    db: Database,
+    bindings: Mapping[str, object],
+    choices: Mapping[int, PlanNode],
+    memory: int,
+    materialized: Mapping[MaterializedKey, MaterializedIterator],
+    dop: int,
+) -> ExchangeIterator:
+    """Instantiate an exchange: per-worker clones of the child subtree.
+
+    Each worker gets an equal share of the memory budget (the memory split
+    the parallel cost formulas assume) and runs unmetered — per-operator
+    stats objects are not thread-safe, so EXPLAIN ANALYZE counters stop at
+    the exchange boundary and attribute the whole subtree to it.
+    """
+    child = node.inputs[0]
+    worker_memory = max(1, memory // max(1, dop))
+    hash_keys = dict(node.partition_keys)
+
+    def build_worker(worker: int) -> PlanIterator:
+        spec = PartitionSpec(
+            mode=node.mode,
+            worker=worker,
+            dop=dop,
+            driver=node.driver,
+            hash_keys=hash_keys,
+        )
+        return _build_iterator(
+            child, db, bindings, choices, worker_memory, materialized, None,
+            dop=1, partition=spec,
+        )
+
+    return ExchangeIterator(node.label, dop, node.merge_key, build_worker)

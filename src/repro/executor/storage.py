@@ -9,11 +9,27 @@ immediately following the same file's previously accessed page, otherwise
 Temporary files (hash-join partitions, sort runs) are first-class: they are
 created and dropped through the same interface and their I/O is charged
 identically, so measured execution validates the operators' spill formulas.
+
+All accounting is guarded by one lock so exchange workers can share the
+disk: counter updates, the file map, temp-file naming, and the
+sequential/random classification state are atomic.  Sequentiality is
+tracked per *stream* (reading thread): each exchange worker scanning its
+own contiguous page stripe is charged sequential I/O even though the
+stripes interleave on the shared disk — the per-stream prefetch model of
+a striped disk array, and the assumption the parallel cost formulas make
+when they divide scan I/O by the degree of parallelism.
+
+``latency_scale`` (default 0: off) optionally turns charged I/O time into
+real ``time.sleep`` — performed *outside* the lock — making execution
+I/O-bound in wall-clock terms.  The speedup benchmark uses it so striped
+parallel scans genuinely overlap their waits; everything else (tests,
+paper experiments) keeps the zero-latency default.
 """
 
 from __future__ import annotations
 
-import itertools
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -40,87 +56,115 @@ class IoCounters:
 
 @dataclass
 class _File:
-    """One simulated file: a growable list of page payloads."""
+    """One simulated file: a growable list of page payloads.
+
+    ``last_read_by_stream`` maps a reading thread's ident to the page it
+    last read, the state behind per-stream sequential detection.  Thread
+    idents are recycled by the interpreter, so the map stays small even
+    under a long-lived service spawning exchange workers per query.
+    """
 
     name: str
     pages: list[list] = field(default_factory=list)
-    last_page_read: int | None = None
+    last_read_by_stream: dict[int, int] = field(default_factory=dict)
 
 
 class SimulatedDisk:
-    """Page store with metered access times."""
+    """Page store with metered, thread-safe access times."""
 
     def __init__(self, model: CostModel) -> None:
         self.model = model
         self.counters = IoCounters()
+        self.latency_scale: float = 0.0
         self._files: dict[str, _File] = {}
-        self._temp_names = (f"__temp_{i}" for i in itertools.count())
+        self._temp_counter = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # File lifecycle
     # ------------------------------------------------------------------
     def create_file(self, name: str) -> None:
         """Create an empty file; names must be unique."""
-        if name in self._files:
-            raise ExecutionError(f"file {name} already exists")
-        self._files[name] = _File(name)
+        with self._lock:
+            if name in self._files:
+                raise ExecutionError(f"file {name} already exists")
+            self._files[name] = _File(name)
 
     def create_temp_file(self) -> str:
         """Create a uniquely named temporary file and return its name."""
-        name = next(self._temp_names)
-        self.create_file(name)
-        return name
+        with self._lock:
+            name = f"__temp_{self._temp_counter}"
+            self._temp_counter += 1
+            self._files[name] = _File(name)
+            return name
 
     def drop_file(self, name: str) -> None:
         """Delete a file and free its pages."""
-        if name not in self._files:
-            raise ExecutionError(f"file {name} does not exist")
-        del self._files[name]
+        with self._lock:
+            if name not in self._files:
+                raise ExecutionError(f"file {name} does not exist")
+            del self._files[name]
 
     def file_exists(self, name: str) -> bool:
         """True when ``name`` is a live file."""
-        return name in self._files
+        with self._lock:
+            return name in self._files
 
     def page_count(self, name: str) -> int:
         """Number of pages currently in the file."""
-        return len(self._file(name).pages)
+        with self._lock:
+            return len(self._file(name).pages)
 
     # ------------------------------------------------------------------
     # Page access
     # ------------------------------------------------------------------
     def append_page(self, name: str, payload: list) -> int:
         """Write a new page at the end of the file; returns its number."""
-        file = self._file(name)
-        file.pages.append(payload)
-        self.counters.writes += 1
-        self.counters.seconds += self.model.sequential_page_io
-        return len(file.pages) - 1
+        with self._lock:
+            file = self._file(name)
+            file.pages.append(payload)
+            self.counters.writes += 1
+            charged = self.model.sequential_page_io
+            self.counters.seconds += charged
+            page_no = len(file.pages) - 1
+        self._sleep(charged)
+        return page_no
 
     def write_page(self, name: str, page_no: int, payload: list) -> None:
         """Overwrite an existing page in place."""
-        file = self._file(name)
-        self._check_page(file, page_no)
-        file.pages[page_no] = payload
-        self.counters.writes += 1
-        self.counters.seconds += self.model.random_page_io
+        with self._lock:
+            file = self._file(name)
+            self._check_page(file, page_no)
+            file.pages[page_no] = payload
+            self.counters.writes += 1
+            charged = self.model.random_page_io
+            self.counters.seconds += charged
+        self._sleep(charged)
 
     def read_page(self, name: str, page_no: int) -> list:
         """Read one page, charging sequential or random time.
 
-        The access is sequential when it follows the previously read page of
-        the same file; the payload is returned by reference (callers must
-        not mutate it unless they own the file).
+        The access is sequential when it follows the page this *stream*
+        (reading thread) previously read from the file; the payload is
+        returned by reference (callers must not mutate it unless they own
+        the file).
         """
-        file = self._file(name)
-        self._check_page(file, page_no)
-        if file.last_page_read is not None and page_no == file.last_page_read + 1:
-            self.counters.sequential_reads += 1
-            self.counters.seconds += self.model.sequential_page_io
-        else:
-            self.counters.random_reads += 1
-            self.counters.seconds += self.model.random_page_io
-        file.last_page_read = page_no
-        return file.pages[page_no]
+        stream = threading.get_ident()
+        with self._lock:
+            file = self._file(name)
+            self._check_page(file, page_no)
+            last = file.last_read_by_stream.get(stream)
+            if last is not None and page_no == last + 1:
+                self.counters.sequential_reads += 1
+                charged = self.model.sequential_page_io
+            else:
+                self.counters.random_reads += 1
+                charged = self.model.random_page_io
+            self.counters.seconds += charged
+            file.last_read_by_stream[stream] = page_no
+            payload = file.pages[page_no]
+        self._sleep(charged)
+        return payload
 
     def scan_pages(self, name: str) -> Iterator[tuple[int, list]]:
         """Read every page of a file in order (sequential after the first)."""
@@ -130,6 +174,10 @@ class SimulatedDisk:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _sleep(self, charged: float) -> None:
+        if self.latency_scale > 0.0:
+            time.sleep(charged * self.latency_scale)
+
     def _file(self, name: str) -> _File:
         try:
             return self._files[name]
@@ -150,6 +198,10 @@ class HeapFile:
 
     Records are stored ``records_per_page`` to a page; record ids are
     ``(page number, slot)`` pairs used by unclustered indexes.
+
+    Loading (``append``/``flush``) is single-threaded by design; scans and
+    fetches of a loaded file are safe to share across exchange workers
+    because they only read through the locked disk.
     """
 
     def __init__(self, disk: SimulatedDisk, name: str, records_per_page: int) -> None:
@@ -188,6 +240,21 @@ class HeapFile:
         """Yield ``(rid, record)`` for every record, sequentially."""
         self.flush()
         for page_no, payload in self.disk.scan_pages(self.name):
+            for slot, record in enumerate(payload):
+                yield (page_no, slot), record
+
+    def scan_pages(
+        self, first_page: int, last_page: int
+    ) -> Iterator[tuple[tuple[int, int], tuple]]:
+        """Yield ``(rid, record)`` for pages in ``[first_page, last_page)``.
+
+        The page-stripe primitive of partitioned scans: each exchange
+        worker reads a disjoint contiguous page range, so together the
+        workers read each page exactly once, sequentially within a stripe.
+        """
+        self.flush()
+        for page_no in range(first_page, last_page):
+            payload = self.disk.read_page(self.name, page_no)
             for slot, record in enumerate(payload):
                 yield (page_no, slot), record
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 
 from repro.catalog.schema import Attribute
-from repro.cost.context import CostContext
+from repro.cost.context import DOP_PARAMETER, CostContext
 from repro.errors import OptimizationError
 from repro.logical.estimation import estimate_selectivity
 from repro.logical.query import QueryGraph, enumerate_partitions
@@ -41,6 +41,7 @@ from repro.optimizer.rules import (
     JoinRule,
 )
 from repro.optimizer.winners import WinnerSet
+from repro.parallel.rules import parallel_alternative
 from repro.physical.plan import (
     ChoosePlanNode,
     HashAggregateNode,
@@ -100,9 +101,49 @@ class SearchEngine:
         if isinstance(result, Pruned):  # pragma: no cover - limit=None never prunes
             raise OptimizationError("root group pruned without a cost limit")
         plan = result.plan
+        if self._parallel_enabled():
+            plan = self._parallelize_root(result.winners, required_order)
         if self.query.projection is not None:
             plan = ProjectNode(self.ctx, plan, tuple(self.query.projection))
         return plan
+
+    def _parallel_enabled(self) -> bool:
+        """Parallel alternatives are produced only when the query declares a
+        degree-of-parallelism parameter — serial queries see zero change."""
+        return DOP_PARAMETER in self.ctx.env.space
+
+    def _parallelize_root(
+        self, winners: WinnerSet, required_order: Attribute | None
+    ) -> PlanNode:
+        """Augment the root winner set with parallel alternatives.
+
+        Each retained serial winner competes against its exchange-wrapped
+        twin in a fresh winner set.  Because the parallel cost transform is
+        strictly increasing in the serial subtree cost at every binding
+        (see :mod:`repro.parallel.rules`), re-considering only the *root*
+        winners loses nothing: a serial plan dominated before
+        parallelization is still dominated after, so the group-level search
+        need not know about exchanges at all.  With the DOP interval
+        spanning 1, a parallel plan's cost straddles its serial twin's
+        (startup-penalized at DOP=1, cheaper at high DOP) — the
+        incomparability that keeps both alive under a choose-plan until the
+        start-up decision binds the actual degree.
+        """
+        augmented = WinnerSet(keep_all=self.exhaustive, probe=self.probe)
+        for serial in winners.plans:
+            self._consider_with_parallel(augmented, serial, required_order)
+        return self._combined_plan(augmented)
+
+    def _consider_with_parallel(
+        self, winners: WinnerSet, plan: PlanNode, order: Attribute | None
+    ) -> None:
+        """Offer a candidate and, when enabled and safe, its parallel twin."""
+        self._consider(winners, plan, order)
+        if not self._parallel_enabled():
+            return
+        parallel = parallel_alternative(self.ctx, plan)
+        if parallel is not None:
+            self._consider(winners, parallel, order)
 
     def _optimize_aggregate(
         self, spec, required_order: Attribute | None = None
@@ -125,7 +166,11 @@ class SearchEngine:
         winners = WinnerSet(keep_all=self.exhaustive, probe=self.probe)
         base = self.optimize_group(self.query.relation_set, None, None)
         assert isinstance(base, GroupResult)
-        self._consider(
+        # Parallel variants of each aggregate implementation enter the same
+        # winner set as first-class candidates (the aggregate itself stays
+        # serial; only its input subtree is exchanged), preserving the
+        # frontier property that underlies gᵢ = dᵢ.
+        self._consider_with_parallel(
             winners,
             self._enforce_order(
                 HashAggregateNode(self.ctx, base.plan, spec), required_order
@@ -137,7 +182,7 @@ class SearchEngine:
                 self.query.relation_set, spec.group_by[0], None
             )
             assert isinstance(ordered, GroupResult)
-            self._consider(
+            self._consider_with_parallel(
                 winners,
                 self._enforce_order(
                     SortedAggregateNode(self.ctx, ordered.plan, spec),

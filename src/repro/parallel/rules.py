@@ -1,0 +1,194 @@
+"""Parallelization rules: build the parallel alternative of a serial plan.
+
+The optimizer calls :func:`parallel_alternative` on each retained root
+winner when the query declares a degree-of-parallelism parameter.  The
+returned plan wraps the largest safely partitionable subtree in an
+:class:`~repro.parallel.plan.ExchangeNode`; the serial winner and its
+parallel alternative then compete in the same winner set, where their
+overlapping cost intervals (cheap at high DOP, startup-penalized at DOP=1)
+keep both alive under a choose-plan operator.
+
+The parallel cost transform is *strictly increasing in the serial subtree
+cost* at every parameter binding (the exchange divides whatever the
+subtree costs and adds binding-independent overheads), so the ordering of
+serial winners is preserved under parallelization — the reason the
+``gᵢ = dᵢ`` invariant survives the new parameter: the run-time optimizer's
+winner and the dynamic plan's activated alternative transform identically.
+
+Safety conditions, checked structurally:
+
+* Only SPJ subtrees (scans, filters, joins, sorts, projections,
+  choose-plans) are partitioned.  Aggregates are never striped — a
+  partial group per worker would be wrong — so aggregate plans
+  parallelize their *input* subtree and aggregate serially above the
+  exchange.
+* The striped *driver* relation is preferably one never probed through an
+  index join inner; when every scanned relation is also probed somewhere
+  (possible once choose-plans union alternatives' probe sets), the
+  executor falls back to striping the probing join's output stream, which
+  stays correct at reduced I/O savings.
+* Ordered subtrees use a MERGE exchange: a stripe is a subsequence of the
+  serial stream, so each worker's output stays sorted and a heap merge
+  restores the global order.
+"""
+
+from __future__ import annotations
+
+from repro.cost.context import CostContext
+from repro.cost.formulas import pages_for
+from repro.errors import BindingError
+from repro.parallel.plan import ExchangeMode, ExchangeNode
+from repro.physical.plan import (
+    BtreeScanNode,
+    ChoosePlanNode,
+    FileScanNode,
+    FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
+    IndexJoinNode,
+    MergeJoinNode,
+    NestedLoopsJoinNode,
+    PlanNode,
+    ProjectNode,
+    SortedAggregateNode,
+    SortNode,
+    _intermediate_record_bytes,
+    iter_plan_nodes,
+    leaf_access_info,
+)
+
+_SPJ_NODE_TYPES = (
+    FileScanNode,
+    BtreeScanNode,
+    FilterNode,
+    HashJoinNode,
+    NestedLoopsJoinNode,
+    MergeJoinNode,
+    IndexJoinNode,
+    SortNode,
+    ProjectNode,
+    ChoosePlanNode,
+)
+
+
+def _is_spj(plan: PlanNode) -> bool:
+    """True when every node of the subtree is partitioning-safe."""
+    return all(isinstance(node, _SPJ_NODE_TYPES) for node in iter_plan_nodes(plan))
+
+
+def _choose_driver(ctx: CostContext, plan: PlanNode) -> str | None:
+    """Pick the relation whose tuples get striped across workers.
+
+    The largest scanned relation maximizes the striped I/O.  Relations that
+    appear as an index-join inner anywhere in the DAG are *deprioritized*
+    but not disqualified: if a chosen alternative probes the driver, the
+    executor stripes the index join's output stream instead of the scan
+    (each driver tuple still reaches exactly one worker, just with less
+    I/O saved).  Keeping the driver total — any plan with a scan leaf has
+    one — is what keeps parallelization symmetric between dynamic plans
+    (whose embedded choose-plans union the probed sets of *all*
+    alternatives) and run-time point plans, preserving gᵢ = dᵢ.
+    """
+    scanned: set[str] = set()
+    probed: set[str] = set()
+    for node in iter_plan_nodes(plan):
+        if isinstance(node, (FileScanNode, BtreeScanNode)):
+            scanned.add(node.relation)
+        elif isinstance(node, IndexJoinNode):
+            probed.add(node.inner_relation)
+    candidates = sorted(scanned - probed) or sorted(scanned)
+    if not candidates:
+        return None
+    return max(candidates, key=lambda r: ctx.catalog.relation(r).stats.cardinality)
+
+
+def _repartition_keys(
+    plan: HashJoinNode,
+) -> tuple[tuple[str, object], ...] | None:
+    """Hash keys for co-partitioning a join over two base-relation inputs.
+
+    Both inputs must be pure single-relation access subtrees.  Partitioning
+    on the first equijoin predicate is sufficient even with several
+    predicates: rows satisfying all predicates satisfy the first, so no
+    match crosses a partition boundary.
+    """
+    build_info = leaf_access_info(plan.inputs[0])
+    probe_info = leaf_access_info(plan.inputs[1])
+    if build_info is None or probe_info is None:
+        return None
+    build_relation, _ = build_info
+    probe_relation, _ = probe_info
+    predicate = plan.predicates[0]
+    try:
+        keys = (
+            (build_relation, predicate.attribute_for(build_relation)),
+            (probe_relation, predicate.attribute_for(probe_relation)),
+        )
+    except BindingError:
+        return None
+    return tuple(sorted(keys, key=lambda pair: pair[0]))
+
+
+def _build_spills(ctx: CostContext, plan: HashJoinNode) -> bool:
+    """True when the hash join's build side exceeds guaranteed memory."""
+    build_pages = pages_for(
+        plan.inputs[0].cardinality.high, _intermediate_record_bytes(ctx), ctx.model
+    )
+    return build_pages > ctx.memory_pages.low
+
+
+def _exchange(ctx: CostContext, plan: PlanNode) -> ExchangeNode | None:
+    """Wrap an SPJ subtree in the appropriate exchange, or None."""
+    if not _is_spj(plan):
+        return None
+    if plan.order is not None:
+        driver = _choose_driver(ctx, plan)
+        if driver is None:
+            return None
+        return ExchangeNode(
+            ctx, plan, ExchangeMode.MERGE, driver=driver, merge_key=plan.order
+        )
+    if isinstance(plan, HashJoinNode) and _build_spills(ctx, plan):
+        keys = _repartition_keys(plan)
+        if keys is not None:
+            return ExchangeNode(
+                ctx, plan, ExchangeMode.REPARTITION, partition_keys=keys
+            )
+    driver = _choose_driver(ctx, plan)
+    if driver is None:
+        return None
+    return ExchangeNode(ctx, plan, ExchangeMode.PARTITION, driver=driver)
+
+
+def parallel_alternative(ctx: CostContext, plan: PlanNode) -> PlanNode | None:
+    """The parallel twin of a serial plan, or None when none is safe.
+
+    The output is row-equivalent to ``plan`` (same multiset; same order
+    whenever ``plan`` delivers one).
+    """
+    if isinstance(plan, ProjectNode):
+        inner = parallel_alternative(ctx, plan.inputs[0])
+        if inner is None:
+            return None
+        return ProjectNode(ctx, inner, plan.attributes)
+    if isinstance(plan, SortNode):
+        if _is_spj(plan):
+            # Parallel sort: each worker sorts its stripe, merge restores
+            # the total order.
+            return _exchange(ctx, plan)
+        # Sort above an aggregate: parallelize below the aggregate.
+        inner = parallel_alternative(ctx, plan.inputs[0])
+        if inner is None:
+            return None
+        return SortNode(ctx, inner, plan.key)
+    if isinstance(plan, HashAggregateNode):
+        exchanged = _exchange(ctx, plan.inputs[0])
+        if exchanged is None:
+            return None
+        return HashAggregateNode(ctx, exchanged, plan.spec)
+    if isinstance(plan, SortedAggregateNode):
+        exchanged = _exchange(ctx, plan.inputs[0])
+        if exchanged is None or exchanged.order != plan.inputs[0].order:
+            return None
+        return SortedAggregateNode(ctx, exchanged, plan.spec)
+    return _exchange(ctx, plan)

@@ -32,6 +32,7 @@ class ParameterKind(enum.Enum):
     SELECTIVITY = "selectivity"
     MEMORY_PAGES = "memory_pages"
     CARDINALITY = "cardinality"
+    DEGREE_OF_PARALLELISM = "degree_of_parallelism"
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +56,14 @@ class Parameter:
             raise BindingError(
                 f"selectivity parameter {self.name} has domain {self.domain} "
                 "outside [0, 1]"
+            )
+        if (
+            self.kind is ParameterKind.DEGREE_OF_PARALLELISM
+            and self.domain.low < 1.0
+        ):
+            raise BindingError(
+                f"degree-of-parallelism parameter {self.name} has domain "
+                f"{self.domain} below 1"
             )
 
 
@@ -99,6 +108,24 @@ class ParameterSpace:
                 name=name,
                 kind=ParameterKind.MEMORY_PAGES,
                 domain=Interval.of(low, high),
+                expected=float(expected),
+            )
+        )
+
+    def add_dop(
+        self, name: str = "dop", low: int = 1, high: int = 8, expected: int = 1
+    ) -> Parameter:
+        """Shorthand for an uncertain degree-of-parallelism parameter.
+
+        The expected value defaults to 1: a traditional (static) optimizer
+        assumes serial execution, and queries stay serial unless a run-time
+        DOP is actually bound.
+        """
+        return self.add(
+            Parameter(
+                name=name,
+                kind=ParameterKind.DEGREE_OF_PARALLELISM,
+                domain=Interval.of(float(low), float(high)),
                 expected=float(expected),
             )
         )

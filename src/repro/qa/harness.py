@@ -20,7 +20,7 @@ from repro.qa.generator import CaseGenerator, FuzzCase
 from repro.qa.invariants import CaseOutcome, Violation, run_case
 from repro.qa.shrinker import shrink_case
 
-Runner = Callable[[FuzzCase, bool], CaseOutcome]
+Runner = Callable[[FuzzCase, bool, tuple[int, ...]], CaseOutcome]
 
 ARTIFACT_VERSION = 1
 
@@ -50,6 +50,7 @@ class FuzzReport:
     failures: list[FuzzFailure] = field(default_factory=list)
     duration_seconds: float = 0.0
     service_checked: int = 0
+    parallel_checked: int = 0
 
     @property
     def ok(self) -> bool:
@@ -60,12 +61,19 @@ class FuzzReport:
         return (
             f"fuzz seed={self.seed} cases={self.cases} "
             f"service-checked={self.service_checked} "
+            f"parallel-checked={self.parallel_checked} "
             f"time={self.duration_seconds:.1f}s: {status}"
         )
 
 
-def _default_runner(case: FuzzCase, check_service: bool) -> CaseOutcome:
-    return run_case(case, check_service=check_service)
+def _default_runner(
+    case: FuzzCase,
+    check_service: bool,
+    parallel_dops: tuple[int, ...] = (),
+) -> CaseOutcome:
+    return run_case(
+        case, check_service=check_service, parallel_dops=parallel_dops
+    )
 
 
 def run_fuzz(
@@ -74,6 +82,8 @@ def run_fuzz(
     shrink: bool = True,
     artifact_dir: str | Path | None = None,
     check_service_every: int = 4,
+    check_parallel_every: int = 4,
+    parallel_dops: tuple[int, ...] = (1, 2, 4),
     runner: Runner | None = None,
     log: Callable[[str], None] | None = None,
 ) -> FuzzReport:
@@ -81,7 +91,10 @@ def run_fuzz(
 
     ``check_service_every`` throttles the (comparatively expensive)
     :class:`QueryService` byte-identity check to every Nth case; 0 disables
-    it.  ``runner`` lets tests substitute an instrumented
+    it.  ``check_parallel_every`` does the same for the parallel-execution
+    differential (re-optimization with a DOP parameter plus one execution
+    and one run-time optimum per degree in ``parallel_dops``).  ``runner``
+    lets tests substitute an instrumented
     :func:`~repro.qa.invariants.run_case` (e.g. with an injected bug).
     """
     run = runner or _default_runner
@@ -95,7 +108,14 @@ def run_fuzz(
         )
         if check_service:
             report.service_checked += 1
-        outcome = run(case, check_service)
+        case_dops = (
+            parallel_dops
+            if check_parallel_every and index % check_parallel_every == 0
+            else ()
+        )
+        if case_dops:
+            report.parallel_checked += 1
+        outcome = run(case, check_service, case_dops)
         if outcome.passed:
             if log and (index + 1) % 25 == 0:
                 log(f"  ... {index + 1}/{cases} cases, all invariants hold")
@@ -107,13 +127,24 @@ def run_fuzz(
             checks = sorted(outcome.checks)
             log(f"  case {index} ({case_seed}) FAILED: {checks}")
         if shrink:
+            # Shrink on the cheapest reproducing signal: when a serial
+            # invariant failed, the parallel differential is dropped from
+            # the shrink loop (it costs several optimizer runs per
+            # proposal and steers the greedy walk into worse minima); it
+            # stays only when it is the sole failing signal.
+            serial_failure = any(
+                not check.startswith("parallel-") for check in outcome.checks
+            )
+            shrink_dops = () if serial_failure else case_dops
             shrunk = shrink_case(
                 case,
                 outcome.checks,
-                run=lambda c: run(c, True),
+                run=lambda c: run(c, True, shrink_dops),
             )
             failure.shrunk = shrunk
-            failure.shrunk_violations = run(shrunk, True).violations
+            failure.shrunk_violations = run(
+                shrunk, True, shrink_dops
+            ).violations
             if log:
                 log(
                     f"    shrunk to {len(shrunk.query.relations)} relation(s):"
@@ -165,6 +196,14 @@ def load_artifact(path: str | Path) -> FuzzCase:
     return FuzzCase.from_json(payload["case"])
 
 
-def replay_artifact(path: str | Path) -> CaseOutcome:
-    """Re-run every invariant checker on an artifact's stored case."""
-    return run_case(load_artifact(path), check_service=True)
+def replay_artifact(
+    path: str | Path, parallel_dops: tuple[int, ...] = ()
+) -> CaseOutcome:
+    """Re-run every invariant checker on an artifact's stored case.
+
+    ``parallel_dops`` additionally replays the case through parallel
+    execution at the given degrees (see :func:`~repro.qa.invariants.run_case`).
+    """
+    return run_case(
+        load_artifact(path), check_service=True, parallel_dops=parallel_dops
+    )

@@ -13,6 +13,12 @@ For each generated case the checkers cross-validate every layer:
   must pick identical alternatives at identical cost.
 * **executor** — static, dynamic, and run-time plans must all return the
   reference oracle's multiset of rows, and ORDER BY output must be sorted.
+* **parallel** — with a degree-of-parallelism parameter declared, the
+  dynamic plan's activation at each DOP in ``parallel_dops`` must return
+  byte-identical canonical rows to the serial oracle (and stay sorted
+  under ORDER BY); at DOP=1 the start-up decision must activate a purely
+  serial alternative (no exchange operators reachable); and gᵢ = dᵢ must
+  keep holding at every DOP binding.
 * **service** — :class:`QueryService` (cold, then through the plan cache)
   must return byte-identical canonical results to direct execution.
 """
@@ -183,21 +189,29 @@ def run_case(
     case: FuzzCase,
     check_service: bool = True,
     model: CostModel | None = None,
+    parallel_dops: tuple[int, ...] = (),
 ) -> CaseOutcome:
-    """Run every invariant checker against one case."""
+    """Run every invariant checker against one case.
+
+    ``parallel_dops`` lists degrees of parallelism to differentially test
+    (empty disables the parallel checkers); ``(1, 2, 4)`` is the standard
+    fuzzing configuration.
+    """
     outcome = CaseOutcome(case=case)
 
     def report(check: str, detail: str) -> None:
         outcome.violations.append(Violation(check, detail))
 
     try:
-        _run_checks(case, check_service, model or CostModel(), report)
+        _run_checks(
+            case, check_service, model or CostModel(), report, parallel_dops
+        )
     except Exception as exc:  # any crash is itself a finding
         report("crash", f"{type(exc).__name__}: {exc}")
     return outcome
 
 
-def _run_checks(case, check_service, model, report) -> None:
+def _run_checks(case, check_service, model, report, parallel_dops=()) -> None:
     catalog = case.build_catalog()
     db = Database(catalog, model)
     db.load_synthetic(case.data_seed)
@@ -287,11 +301,114 @@ def _run_checks(case, check_service, model, report) -> None:
         if required_order is not None:
             _check_sorted(result, required_order, f"order-{label}", report)
 
+    # --- parallel execution -------------------------------------------
+    if parallel_dops:
+        _check_parallel(
+            case,
+            catalog,
+            db,
+            model,
+            required_order,
+            parameter_values,
+            attributes,
+            oracle,
+            report,
+            parallel_dops,
+        )
+
     # --- serving layer ------------------------------------------------
     if check_service:
         _check_service(
             case, catalog, model, attributes, executions["dynamic"], report
         )
+
+
+def _check_parallel(
+    case,
+    catalog,
+    db,
+    model,
+    required_order,
+    parameter_values,
+    attributes,
+    oracle,
+    report,
+    parallel_dops,
+) -> None:
+    """Differential parallel-execution invariants.
+
+    A fresh graph (the serial checks above must not see the extra
+    parameter) is compiled once with DOP declared as an interval; each
+    requested degree then gets its own start-up activation, execution, and
+    from-scratch run-time optimum.
+    """
+    from repro.cost.context import DOP_PARAMETER
+    from repro.parallel.plan import ExchangeNode
+    from repro.runtime.chooser import effective_plan_nodes
+
+    graph = parse_query(case.query.to_sql(), catalog).graph
+    graph.parameters.add_dop(high=max(2, *parallel_dops))
+    dynamic = optimize_query(
+        graph,
+        catalog,
+        model,
+        mode=OptimizationMode.DYNAMIC,
+        required_order=required_order,
+    )
+    serial_payload = json.dumps(oracle)
+    for dop in parallel_dops:
+        binding = {**parameter_values, DOP_PARAMETER: float(dop)}
+        env = graph.parameters.bind(binding)
+        decision = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env))
+        exchanges = sum(
+            1
+            for node in effective_plan_nodes(dynamic.plan, decision.choices)
+            if isinstance(node, ExchangeNode)
+        )
+        if dop == 1 and exchanges:
+            report(
+                "parallel-serial-at-dop1",
+                f"start-up decision kept {exchanges} exchange operator(s) "
+                "active at DOP=1 instead of the serial alternative",
+            )
+        result = execute_plan(
+            dynamic.plan,
+            db,
+            bindings=case.bindings,
+            choices=decision.choices,
+            dop=dop,
+        )
+        payload = json.dumps(_canonical_payload(result, attributes))
+        if payload != serial_payload:
+            rows = _canonical_payload(result, attributes)
+            report(
+                f"parallel-results-dop{dop}",
+                f"parallel execution at DOP={dop} ({exchanges} exchange(s)) "
+                f"returned {len(rows)} rows != oracle {len(oracle)}; "
+                f"first diff: {_first_diff(rows, oracle)}",
+            )
+        if required_order is not None:
+            _check_sorted(
+                result, required_order, f"parallel-order-dop{dop}", report
+            )
+        runtime = optimize_query(
+            graph,
+            catalog,
+            model,
+            mode=OptimizationMode.RUN_TIME,
+            binding=binding,
+            required_order=required_order,
+        )
+        g = decision.execution_cost
+        d = runtime.plan.cost.low
+        if not math.isclose(
+            g, d, rel_tol=REL_TOLERANCE, abs_tol=ABS_TOLERANCE
+        ):
+            report(
+                "parallel-g-equals-d",
+                f"start-up choice cost g={g!r} != run-time optimum d={d!r} "
+                f"at DOP={dop} (bindings {parameter_values})",
+            )
 
 
 def _first_diff(rows: list[tuple], oracle: list[tuple]) -> str:

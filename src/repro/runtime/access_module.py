@@ -35,6 +35,7 @@ from repro.logical.predicates import (
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
+from repro.parallel.plan import ExchangeMode, ExchangeNode
 from repro.params.parameter import ParameterSpace
 from repro.physical.plan import (
     BtreeScanNode,
@@ -344,6 +345,15 @@ def rebuild_node(
         return SortedAggregateNode(ctx, inputs[0], node.spec)
     if isinstance(node, ChoosePlanNode):
         return ChoosePlanNode(ctx, inputs)
+    if isinstance(node, ExchangeNode):
+        return ExchangeNode(
+            ctx,
+            inputs[0],
+            node.mode,
+            driver=node.driver,
+            merge_key=node.merge_key,
+            partition_keys=node.partition_keys,
+        )
     raise PlanError(f"cannot rebuild unknown node type {type(node).__name__}")
 
 
@@ -437,6 +447,19 @@ def _encode_node(node: PlanNode) -> dict:
         }
     if isinstance(node, ChoosePlanNode):
         return {"kind": "choose-plan"}
+    if isinstance(node, ExchangeNode):
+        return {
+            "kind": "exchange",
+            "mode": node.mode.value,
+            "driver": node.driver,
+            "merge_key": (
+                node.merge_key.qualified_name if node.merge_key is not None else None
+            ),
+            "partition_keys": [
+                {"relation": relation, "attribute": attribute.qualified_name}
+                for relation, attribute in node.partition_keys
+            ],
+        }
     raise PlanError(f"cannot serialize unknown node type {type(node).__name__}")
 
 
@@ -514,6 +537,23 @@ def _decode_node(
         return node_type(ctx, inputs[0], spec)
     if kind == "choose-plan":
         return ChoosePlanNode(ctx, inputs)
+    if kind == "exchange":
+        merge_key = (
+            ctx.catalog.attribute(entry["merge_key"])
+            if entry["merge_key"] is not None
+            else None
+        )
+        return ExchangeNode(
+            ctx,
+            inputs[0],
+            ExchangeMode(entry["mode"]),
+            driver=entry["driver"],
+            merge_key=merge_key,
+            partition_keys=tuple(
+                (item["relation"], ctx.catalog.attribute(item["attribute"]))
+                for item in entry["partition_keys"]
+            ),
+        )
     raise PlanError(f"cannot deserialize unknown node kind {kind!r}")
 
 

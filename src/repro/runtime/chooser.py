@@ -19,6 +19,7 @@ from repro.cost.context import CostContext
 from repro.errors import BindingError
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
+from repro.parallel.plan import ExchangeNode
 from repro.physical.plan import ChoosePlanNode, PlanNode, iter_plan_nodes
 from repro.util.interval import Interval
 
@@ -128,6 +129,12 @@ def resolve_plan(plan: PlanNode, ctx: CostContext) -> ActivationDecision:
             # cost — keeping it out preserves the paper's g_i = d_i
             # invariant against run-time optimization.
             table[id(node)] = best_entry
+        elif isinstance(node, ExchangeNode):
+            # An exchange's total cost is a function of its child's *total*
+            # cost (the whole subtree's work is what gets divided across
+            # workers), which the generic recompute path cannot see.
+            (child_entry,) = [table[id(child)] for child in node.inputs]
+            table[id(node)] = node.bound_total(ctx, child_entry[0], child_entry[1])
         else:
             input_entries = [table[id(child)] for child in node.inputs]
             input_cards = [entry[0] for entry in input_entries]

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.catalog.catalog import Catalog
+from repro.cost.context import DOP_PARAMETER
 from repro.cost.model import CostModel
 from repro.errors import BindingError
 from repro.executor.database import Database
@@ -58,8 +59,16 @@ class PreparedQuery:
         model: CostModel | None = None,
         mode: OptimizationMode = OptimizationMode.DYNAMIC,
         shrink_after: int | None = None,
+        max_dop: int | None = None,
     ) -> "PreparedQuery":
-        """Compile SQL text or a query graph into a prepared query."""
+        """Compile SQL text or a query graph into a prepared query.
+
+        ``max_dop`` > 1 declares the degree-of-parallelism run-time
+        parameter (interval ``[1, max_dop]``, expected 1): the optimizer
+        then retains parallel alternatives alongside serial ones, and the
+        start-up decision activates one when :meth:`execute` binds the
+        actual DOP.  The default leaves the query entirely serial.
+        """
         model = model if model is not None else CostModel()
         if isinstance(query, str):
             from repro.query.parser import parse_query
@@ -67,6 +76,8 @@ class PreparedQuery:
             graph = parse_query(query, catalog).graph
         else:
             graph = query
+        if max_dop is not None and max_dop > 1 and DOP_PARAMETER not in graph.parameters:
+            graph.parameters.add_dop(name=DOP_PARAMETER, high=max_dop)
         result = optimize_query(graph, catalog, model, mode=mode)
         module = AccessModule.compile(result.plan, result.ctx, shrink_after)
         prepared = cls(
@@ -99,14 +110,17 @@ class PreparedQuery:
         value_bindings: Mapping[str, object],
         overrides: Mapping[str, float] | None = None,
         memory_pages: int | None = None,
+        dop: int | None = None,
     ) -> dict[str, float]:
         """Parameter values for one invocation.
 
         Selectivity parameters are derived from the bound host-variable
         values against the database's statistics (``implied_selectivity``);
         memory parameters take ``memory_pages`` when given, falling back to
-        the model's expected pages.  ``overrides`` wins for any parameter
-        it names; naming a parameter the query does not declare raises
+        the model's expected pages; degree-of-parallelism parameters take
+        ``dop`` (clamped to the declared domain), falling back to the
+        expected value (serial).  ``overrides`` wins for any parameter it
+        names; naming a parameter the query does not declare raises
         :class:`BindingError`.
         """
         values: dict[str, float] = {}
@@ -129,6 +143,15 @@ class PreparedQuery:
                     else self.model.default_memory_pages
                 )
                 values[parameter.name] = float(pages)
+                continue
+            if parameter.kind is ParameterKind.DEGREE_OF_PARALLELISM:
+                if dop is None:
+                    values[parameter.name] = parameter.expected
+                else:
+                    domain = parameter.domain
+                    values[parameter.name] = float(
+                        min(max(float(dop), domain.low), domain.high)
+                    )
                 continue
             predicate = self._predicate_of(parameter.name)
             if predicate is None:
@@ -172,18 +195,26 @@ class PreparedQuery:
         value_bindings: Mapping[str, object],
         parameter_values: Mapping[str, float] | None = None,
         memory_pages: int | None = None,
+        dop: int | None = None,
     ) -> ExecutionResult:
         """One full invocation: derive, activate, decide, execute.
 
         ``memory_pages`` reaches both sides of the invocation: the derived
         memory parameter (so choose-plan decisions see the caller's actual
         memory, not the cost model's default) and the executor's memory
-        bound.
+        bound.  ``dop`` does the same for parallelism: the decision
+        procedure sees the bound degree (activating a parallel alternative
+        only when it pays off) and the executor spawns that many exchange
+        workers.
         """
         if parameter_values is None:
             parameter_values = self.derive_parameters(
-                db, value_bindings, memory_pages=memory_pages
+                db, value_bindings, memory_pages=memory_pages, dop=dop
             )
+        elif dop is not None and DOP_PARAMETER in self.graph.parameters:
+            parameter_values = {**parameter_values, DOP_PARAMETER: float(dop)}
+        if dop is None:
+            dop = int(parameter_values.get(DOP_PARAMETER, 1))
         activation = self.activate(parameter_values)
         return execute_plan(
             self.module.plan,
@@ -191,4 +222,5 @@ class PreparedQuery:
             bindings=value_bindings,
             choices=activation.decision.choices,
             memory_pages=memory_pages,
+            dop=dop,
         )

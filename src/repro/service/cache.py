@@ -118,6 +118,7 @@ class PlanCache:
         capacity: int = 128,
         ttl_seconds: float | None = None,
         stale_threshold: float = 0.0,
+        max_dop: int | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if capacity < 1:
@@ -127,6 +128,7 @@ class PlanCache:
         self._capacity = capacity
         self._ttl_seconds = ttl_seconds
         self._stale_threshold = stale_threshold
+        self._max_dop = max_dop
         self._clock = clock
         self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
         self._inflight: dict[CacheKey, _InFlight] = {}
@@ -186,7 +188,7 @@ class PlanCache:
             return flight.entry, False
         try:
             prepared = PreparedQuery.prepare(
-                sql, self._catalog, self._model, mode=mode
+                sql, self._catalog, self._model, mode=mode, max_dop=self._max_dop
             )
             prepared.stale_threshold = self._stale_threshold
             entry = CacheEntry(

@@ -38,6 +38,7 @@ from time import perf_counter
 from typing import Callable, Mapping
 
 from repro.catalog.catalog import Catalog
+from repro.cost.context import DOP_PARAMETER
 from repro.cost.model import CostModel
 from repro.errors import ServiceClosedError, ServiceOverloadedError
 from repro.executor.database import Database
@@ -61,6 +62,7 @@ class _Request:
     mode: OptimizationMode
     parameter_values: Mapping[str, float] | None
     memory_pages: int | None
+    dop: int | None
 
 
 @dataclass(frozen=True)
@@ -95,6 +97,8 @@ class QueryService:
         cache_capacity: int = 128,
         cache_ttl_seconds: float | None = None,
         stale_threshold: float = 0.0,
+        max_dop: int | None = None,
+        parallel_worker_budget: int | None = None,
         database_factory: Callable[[], Database] | None = None,
         seed: int = 0,
     ) -> None:
@@ -105,12 +109,24 @@ class QueryService:
         self._catalog = catalog
         self._model = model if model is not None else CostModel()
         self._queue_limit = queue_limit
+        self._max_dop = max_dop
+        # Total exchange workers allowed across concurrent requests.  A
+        # request asking for more parallelism than currently available is
+        # granted a clamped degree rather than queued or rejected —
+        # degraded service beats no service, and DOP=1 is always free
+        # (serial execution reserves nothing).
+        if parallel_worker_budget is None:
+            parallel_worker_budget = workers * (max_dop if max_dop else 1)
+        self._parallel_budget = max(1, parallel_worker_budget)
+        self._parallel_lock = threading.Lock()
+        self._parallel_in_use = 0
         self.cache = PlanCache(
             catalog,
             self._model,
             capacity=cache_capacity,
             ttl_seconds=cache_ttl_seconds,
             stale_threshold=stale_threshold,
+            max_dop=max_dop,
         )
         self._database_factory = database_factory or (
             lambda: self._default_database(seed)
@@ -156,8 +172,13 @@ class QueryService:
         mode: OptimizationMode = OptimizationMode.DYNAMIC,
         parameter_values: Mapping[str, float] | None = None,
         memory_pages: int | None = None,
+        dop: int | None = None,
     ) -> "Future[ServiceResult]":
         """Admit one invocation; fast-rejects when the queue is full.
+
+        ``dop`` requests parallel execution; the granted degree is clamped
+        to the service's ``max_dop`` and to the exchange workers still
+        available under ``parallel_worker_budget`` at execution time.
 
         Raises :class:`ServiceClosedError` after :meth:`close`, and
         :class:`ServiceOverloadedError` when ``queue_limit`` requests are
@@ -174,6 +195,7 @@ class QueryService:
                 dict(parameter_values) if parameter_values is not None else None
             ),
             memory_pages=memory_pages,
+            dop=dop,
         )
         future: Future[ServiceResult] = Future()
         try:
@@ -196,6 +218,7 @@ class QueryService:
         mode: OptimizationMode = OptimizationMode.DYNAMIC,
         parameter_values: Mapping[str, float] | None = None,
         memory_pages: int | None = None,
+        dop: int | None = None,
     ) -> ServiceResult:
         """Synchronous invocation: :meth:`submit` plus waiting."""
         return self.submit(
@@ -204,6 +227,7 @@ class QueryService:
             mode=mode,
             parameter_values=parameter_values,
             memory_pages=memory_pages,
+            dop=dop,
         ).result()
 
     def close(self, *, drain: bool = True) -> None:
@@ -271,28 +295,42 @@ class QueryService:
         metrics = get_metrics()
         entry, hit = self.cache.get_or_compile(request.sql, request.mode)
         prepared = entry.prepared
-        parameter_values = request.parameter_values
-        if parameter_values is None:
-            parameter_values = prepared.derive_parameters(
-                db, request.value_bindings, memory_pages=request.memory_pages
+        granted = self._acquire_dop(request.dop)
+        try:
+            parameter_values = request.parameter_values
+            if parameter_values is None:
+                parameter_values = prepared.derive_parameters(
+                    db,
+                    request.value_bindings,
+                    memory_pages=request.memory_pages,
+                    dop=granted,
+                )
+            elif granted is not None and DOP_PARAMETER in prepared.graph.parameters:
+                parameter_values = {
+                    **parameter_values,
+                    DOP_PARAMETER: float(granted),
+                }
+            with entry.lock:
+                # PreparedQuery.activate transparently re-optimizes when DDL
+                # lands between key computation and activation; surface that
+                # in the cache's recompile counter so invalidations stay
+                # countable.
+                reoptimizations_before = prepared.reoptimizations
+                activation = prepared.activate(parameter_values)
+                if prepared.reoptimizations != reoptimizations_before:
+                    metrics.counter("plan_cache.recompiles").inc()
+                plan = prepared.module.plan
+                compiled_version = prepared.module.catalog_version
+            execution = execute_plan(
+                plan,
+                db,
+                bindings=request.value_bindings,
+                choices=activation.decision.choices,
+                memory_pages=request.memory_pages,
+                dop=granted,
             )
-        with entry.lock:
-            # PreparedQuery.activate transparently re-optimizes when DDL
-            # lands between key computation and activation; surface that in
-            # the cache's recompile counter so invalidations stay countable.
-            reoptimizations_before = prepared.reoptimizations
-            activation = prepared.activate(parameter_values)
-            if prepared.reoptimizations != reoptimizations_before:
-                metrics.counter("plan_cache.recompiles").inc()
-            plan = prepared.module.plan
-            compiled_version = prepared.module.catalog_version
-        execution = execute_plan(
-            plan,
-            db,
-            bindings=request.value_bindings,
-            choices=activation.decision.choices,
-            memory_pages=request.memory_pages,
-        )
+        finally:
+            self._release_dop(granted)
         elapsed = perf_counter() - started
         metrics.timer("service.latency").observe(elapsed)
         metrics.counter("service.completed").inc()
@@ -302,3 +340,40 @@ class QueryService:
             cache_hit=hit,
             compiled_catalog_version=compiled_version,
         )
+
+    # ------------------------------------------------------------------
+    # Parallel-worker admission control
+    # ------------------------------------------------------------------
+    def _acquire_dop(self, requested: int | None) -> int | None:
+        """Grant a degree of parallelism within the shared worker budget.
+
+        Serial requests (``None`` or 1) reserve nothing.  Parallel requests
+        are clamped twice — to ``max_dop`` and to the workers currently
+        unreserved — never queued: a busy service degrades toward serial
+        execution instead of stalling.
+        """
+        if requested is None:
+            return None
+        asked = max(1, int(requested))
+        granted = asked
+        if self._max_dop is not None:
+            granted = min(granted, self._max_dop)
+        if granted > 1:
+            with self._parallel_lock:
+                available = self._parallel_budget - self._parallel_in_use
+                granted = max(1, min(granted, available))
+                if granted > 1:
+                    self._parallel_in_use += granted
+                in_use = self._parallel_in_use
+            get_metrics().gauge("service.parallel_workers").set(float(in_use))
+        if granted < asked:
+            get_metrics().counter("service.dop_clamped").inc()
+        return granted
+
+    def _release_dop(self, granted: int | None) -> None:
+        if granted is None or granted <= 1:
+            return
+        with self._parallel_lock:
+            self._parallel_in_use -= granted
+            in_use = self._parallel_in_use
+        get_metrics().gauge("service.parallel_workers").set(float(in_use))

@@ -165,3 +165,44 @@ class TestReoptimization:
             if isinstance(node, BtreeScanNode)
         }
         assert "R.a" not in keys
+
+
+class TestCombinedOverrides:
+    """``memory_pages`` and ``dop`` compose in one call (ISSUE 4)."""
+
+    @pytest.fixture
+    def parallel_prepared(self, join_query_with_memory, catalog):
+        return PreparedQuery.prepare(join_query_with_memory, catalog, max_dop=4)
+
+    def test_both_knobs_reach_the_decision(self, parallel_prepared, db):
+        values = parallel_prepared.derive_parameters(
+            db, {"v": 100}, memory_pages=32, dop=4
+        )
+        assert values["memory"] == 32.0
+        assert values["dop"] == 4.0
+
+    def test_combined_execute_matches_serial(self, parallel_prepared, db):
+        serial = parallel_prepared.execute(db, {"v": 100}, memory_pages=32, dop=1)
+        parallel = parallel_prepared.execute(db, {"v": 100}, memory_pages=32, dop=4)
+        assert serial.metrics.rows == reference(db, 100)
+        assert sorted(parallel.rows) == sorted(serial.rows)
+
+    def test_dop_clamped_to_declared_maximum(self, parallel_prepared, db):
+        values = parallel_prepared.derive_parameters(db, {"v": 100}, dop=99)
+        assert values["dop"] == 4.0
+
+    def test_unknown_override_rejected_alongside_knobs(self, parallel_prepared, db):
+        with pytest.raises(BindingError, match="bogus"):
+            parallel_prepared.derive_parameters(
+                db,
+                {"v": 100},
+                overrides={"bogus": 1.0},
+                memory_pages=32,
+                dop=4,
+            )
+
+    def test_dop_without_declared_parameter_is_a_noop(self, prepared, db):
+        values = prepared.derive_parameters(db, {"v": 100}, dop=4)
+        assert "dop" not in values
+        out = prepared.execute(db, {"v": 100}, dop=4)
+        assert out.metrics.rows == reference(db, 100)

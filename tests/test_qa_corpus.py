@@ -31,6 +31,14 @@ def test_artifact_replays_clean(path: Path):
 
 
 @pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+def test_artifact_replays_clean_at_dop4(path: Path):
+    """Each corpus case also holds under parallel execution at DOP=4."""
+    outcome = replay_artifact(path, parallel_dops=(4,))
+    details = [f"{v.check}: {v.detail}" for v in outcome.violations]
+    assert outcome.passed, f"{path.name} regressed:\n" + "\n".join(details)
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
 def test_artifact_is_well_formed(path: Path):
     payload = json.loads(path.read_text())
     assert payload["version"] == 1
