@@ -23,6 +23,11 @@ Commands:
     through the exchange operator at DOP 2 and 4, with the disk's
     latency simulation on; writes a JSON artifact (default
     ``benchmarks/results/BENCH_parallel.json``).
+``exec-bench``
+    Time the vectorized executor against the row-at-a-time baseline on a
+    CPU-bound scan+join workload across a batch-size sweep; writes a
+    JSON artifact (default ``benchmarks/results/BENCH_exec.json``) and
+    fails if the default batch size is not at least 3x faster.
 ``fuzz``
     Differential fuzzing: generate random catalogs + parameterized
     queries, execute every optimization mode, and compare against a
@@ -238,6 +243,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parallel_cmd.set_defaults(handler=_cmd_parallel_bench)
 
+    exec_cmd = commands.add_parser(
+        "exec-bench",
+        help="row-at-a-time vs vectorized batch execution wall time "
+        "across a batch-size sweep (CPU-bound workload)",
+    )
+    exec_cmd.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced configuration for CI (smaller probe relation, "
+        "two batch sizes, no speedup assertion)",
+    )
+    exec_cmd.add_argument(
+        "--output",
+        type=Path,
+        default=Path("benchmarks/results/BENCH_exec.json"),
+        metavar="FILE",
+        help="JSON benchmark artifact path",
+    )
+    exec_cmd.set_defaults(handler=_cmd_exec_bench)
+
     fuzz_cmd = commands.add_parser(
         "fuzz",
         help="differential fuzzing of the whole pipeline against a "
@@ -281,6 +306,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "serial) every Nth case (0 disables; default 4)",
     )
     fuzz_cmd.add_argument(
+        "--batch-every",
+        type=int,
+        default=2,
+        metavar="N",
+        help="run the batch-vs-row executor byte-identity differential "
+        "every Nth case (0 disables; default 2)",
+    )
+    fuzz_cmd.add_argument(
         "--smoke",
         action="store_true",
         help="fixed-seed 150-case run for CI (overrides --seed/--cases)",
@@ -297,6 +330,7 @@ def _build_parser() -> argparse.ArgumentParser:
         experiments_cmd,
         serve_cmd,
         parallel_cmd,
+        exec_cmd,
         fuzz_cmd,
         demo_cmd,
     ):
@@ -614,6 +648,38 @@ def _cmd_parallel_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_exec_bench(args: argparse.Namespace) -> int:
+    from repro.executor.bench import SMOKE_CONFIG, run_exec_bench
+
+    payload = run_exec_bench(**(SMOKE_CONFIG if args.smoke else {}))
+    row = payload["row"]
+    print(f"row mode: {row['seconds'] * 1e3:.1f}ms ({row['rows']} rows)")
+    best = 0.0
+    at_default = None
+    for run in payload["batch_runs"]:
+        print(
+            f"batch_size={run['batch_size']}: {run['seconds'] * 1e3:.1f}ms "
+            f"(speedup {run['speedup']:.2f}x)"
+        )
+        best = max(best, run["speedup"])
+        if run["batch_size"] == 1024:
+            at_default = run["speedup"]
+    ok = True
+    # The smoke workload is too small to amortize batching fully; the 3x
+    # acceptance bar applies to the full configuration only.
+    if not args.smoke and (at_default is None or at_default < 3.0):
+        print(
+            f"FAIL: batch_size=1024 speedup "
+            f"{at_default if at_default is not None else 'missing'} below "
+            "the 3x acceptance bar"
+        )
+        ok = False
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
 # The smoke configuration is pinned so CI runs are reproducible: any
 # violation at this seed is a regression, not fuzzing luck.
 SMOKE_SEED = "smoke-v1"
@@ -636,6 +702,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         artifact_dir=args.artifact_dir,
         check_service_every=args.service_every,
         check_parallel_every=args.parallel_every,
+        check_batch_every=args.batch_every,
         log=print,
     )
     print(report.summary())

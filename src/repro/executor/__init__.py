@@ -19,13 +19,15 @@ database container with synthetic data loading
 from repro.executor.database import Database
 from repro.executor.executor import ExecutionMetrics, ExecutionResult, execute_plan
 from repro.executor.storage import SimulatedDisk
-from repro.executor.tuples import RowSchema
+from repro.executor.tuples import DEFAULT_BATCH_SIZE, RowBatch, RowSchema
 
 __all__ = [
     "Database",
+    "DEFAULT_BATCH_SIZE",
     "ExecutionMetrics",
     "ExecutionResult",
     "execute_plan",
     "SimulatedDisk",
+    "RowBatch",
     "RowSchema",
 ]

@@ -51,6 +51,50 @@ class BufferPool:
                 self._frames.popitem(last=False)
             return payload
 
+    def read_page_range(self, file_name: str, first: int, last: int) -> list[list]:
+        """Read pages ``[first, last)`` through the cache, lock held once.
+
+        Hits are served from the pool; contiguous runs of misses go to the
+        disk as a single :meth:`SimulatedDisk.read_page_range` call, so the
+        accounting (hit/miss counters, sequential/random classification)
+        is exactly what per-page reads would have produced while the
+        locking and bookkeeping are paid once per run instead of per page.
+        """
+        if last <= first:
+            return []
+        with self._lock:
+            payloads: list[list | None] = []
+            run_start: int | None = None  # first page of the current miss run
+
+            def fill_run(end: int) -> None:
+                nonlocal run_start
+                if run_start is None:
+                    return
+                fetched = self.disk.read_page_range(file_name, run_start, end)
+                self.misses += end - run_start
+                for offset, payload in enumerate(fetched):
+                    key = (file_name, run_start + offset)
+                    self._frames[key] = payload
+                    payloads[run_start + offset - first] = payload
+                run_start = None
+
+            for page_no in range(first, last):
+                key: PageId = (file_name, page_no)
+                cached = self._frames.get(key)
+                if cached is not None:
+                    fill_run(page_no)
+                    self._frames.move_to_end(key)
+                    self.hits += 1
+                    payloads.append(cached)
+                else:
+                    if run_start is None:
+                        run_start = page_no
+                    payloads.append(None)
+            fill_run(last)
+            while len(self._frames) > self.capacity:
+                self._frames.popitem(last=False)
+            return payloads  # type: ignore[return-value]
+
     def invalidate_file(self, file_name: str) -> None:
         """Drop all cached frames of one file (after drop/rewrite)."""
         with self._lock:

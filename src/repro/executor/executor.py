@@ -17,6 +17,23 @@ from typing import Mapping
 from repro.cost.context import DOP_PARAMETER, CostContext
 from repro.errors import ExecutionError
 from repro.executor.database import Database
+from repro.executor.batch import (
+    BatchBtreeScanIterator,
+    BatchFileScanIterator,
+    BatchFilterIterator,
+    BatchHashAggregateIterator,
+    BatchHashJoinIterator,
+    BatchIndexJoinIterator,
+    BatchIterator,
+    BatchMergeJoinIterator,
+    BatchNestedLoopsJoinIterator,
+    BatchProjectIterator,
+    BatchSortedAggregateIterator,
+    BatchSortIterator,
+    BatchTopNIterator,
+    MaterializedBatchIterator,
+    MeteredBatchIterator,
+)
 from repro.executor.iterators import (
     BtreeScanIterator,
     FileScanIterator,
@@ -33,11 +50,16 @@ from repro.executor.iterators import (
     ProjectIterator,
     SortedAggregateIterator,
     SortIterator,
+    TopNIterator,
 )
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
-from repro.executor.tuples import Row, RowSchema
+from repro.executor.tuples import DEFAULT_BATCH_SIZE, Row, RowSchema
 from repro.parallel.exchange import (
+    BatchExchangeIterator,
+    BatchHashStripeIterator,
+    BatchModuloStripeIterator,
+    BatchStripedFileScanIterator,
     ExchangeIterator,
     HashStripeIterator,
     ModuloStripeIterator,
@@ -59,6 +81,7 @@ from repro.physical.plan import (
     ProjectNode,
     SortedAggregateNode,
     SortNode,
+    TopNNode,
     leaf_access_info,
 )
 from repro.runtime.chooser import resolve_plan
@@ -125,6 +148,8 @@ def execute_plan(
     materialized: Mapping[MaterializedKey, MaterializedIterator] | None = None,
     analyze: bool = False,
     dop: int | None = None,
+    execution_mode: str = "batch",
+    batch_size: int | None = None,
 ) -> ExecutionResult:
     """Execute ``plan`` against ``db``.
 
@@ -146,6 +171,15 @@ def execute_plan(
     ``dop`` is the degree of parallelism exchange operators run at
     (defaults to the ``dop`` entry of ``parameter_values``, else 1).
     Serial plans ignore it entirely.
+
+    ``execution_mode`` selects the iterator family: ``"batch"`` (the
+    default) runs the vectorized engine — operators exchange
+    :class:`~repro.executor.tuples.RowBatch` blocks of ``batch_size``
+    rows (default :data:`~repro.executor.tuples.DEFAULT_BATCH_SIZE`)
+    processed by compiled predicate/projection closures — while
+    ``"row"`` runs the original row-at-a-time Volcano iterators.  Both
+    modes produce byte-identical rows in identical order; the cost model
+    and every plan decision are mode-independent.
     """
     tracer = get_tracer()
     bindings = dict(bindings or {})
@@ -164,20 +198,41 @@ def execute_plan(
     operator_stats: dict[int, OperatorStats] | None = (
         {} if analyze or tracer.enabled else None
     )
+    if execution_mode not in ("row", "batch"):
+        raise ExecutionError(
+            f"unknown execution mode {execution_mode!r}; use 'row' or 'batch'"
+        )
+    size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
+    if size <= 0:
+        raise ExecutionError("batch_size must be positive")
 
     before = _snapshot(db)
     started = time.perf_counter()
-    iterator = _build_iterator(
-        plan,
-        db,
-        bindings,
-        choices or {},
-        memory,
-        materialized or {},
-        operator_stats,
-        dop=effective_dop,
-    )
-    rows = list(iterator.rows())
+    if execution_mode == "batch":
+        iterator = _build_batch_iterator(
+            plan,
+            db,
+            bindings,
+            choices or {},
+            memory,
+            materialized or {},
+            operator_stats,
+            size,
+            dop=effective_dop,
+        )
+        rows = [row for batch in iterator.batches() for row in batch.rows]
+    else:
+        iterator = _build_iterator(
+            plan,
+            db,
+            bindings,
+            choices or {},
+            memory,
+            materialized or {},
+            operator_stats,
+            dop=effective_dop,
+        )
+        rows = list(iterator.rows())
     elapsed = time.perf_counter() - started
     after = _snapshot(db)
 
@@ -365,6 +420,8 @@ def _instantiate_iterator(
         return iterator
     if isinstance(node, SortNode):
         return SortIterator(build(node.inputs[0]), node.key, db, memory)
+    if isinstance(node, TopNNode):
+        return TopNIterator(build(node.inputs[0]), node.key, node.limit)
     if isinstance(node, ProjectNode):
         return ProjectIterator(build(node.inputs[0]), node.attributes)
     if isinstance(node, HashAggregateNode):
@@ -435,3 +492,213 @@ def _make_exchange(
         )
 
     return ExchangeIterator(node.label, dop, node.merge_key, build_worker)
+
+
+# ----------------------------------------------------------------------
+# Vectorized construction (execution_mode="batch")
+# ----------------------------------------------------------------------
+def _build_batch_iterator(
+    node: PlanNode,
+    db: Database,
+    bindings: Mapping[str, object],
+    choices: Mapping[int, PlanNode],
+    memory: int,
+    materialized: Mapping[MaterializedKey, MaterializedIterator],
+    operator_stats: dict[int, OperatorStats] | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    dop: int = 1,
+    partition: PartitionSpec | None = None,
+) -> BatchIterator:
+    """Batch-mode twin of :func:`_build_iterator`: same dispatch, same
+    choose-plan and metering rules, vectorized operators."""
+    if isinstance(node, ChoosePlanNode):
+        try:
+            chosen = choices[id(node)]
+        except KeyError:
+            raise ExecutionError(
+                "decision map lacks an entry for a choose-plan operator"
+            ) from None
+        return _build_batch_iterator(
+            chosen, db, bindings, choices, memory, materialized, operator_stats,
+            batch_size, dop, partition,
+        )
+    iterator = _instantiate_batch_iterator(
+        node, db, bindings, choices, memory, materialized, operator_stats,
+        batch_size, dop, partition,
+    )
+    if operator_stats is None or isinstance(iterator, MeteredBatchIterator):
+        return iterator
+    stats = operator_stats.get(id(node))
+    if stats is None:
+        stats = operator_stats[id(node)] = OperatorStats(label=node.label)
+    return MeteredBatchIterator(iterator, stats, db.disk.counters)
+
+
+def _instantiate_batch_iterator(
+    node: PlanNode,
+    db: Database,
+    bindings: Mapping[str, object],
+    choices: Mapping[int, PlanNode],
+    memory: int,
+    materialized: Mapping[MaterializedKey, MaterializedIterator],
+    operator_stats: dict[int, OperatorStats] | None,
+    batch_size: int,
+    dop: int,
+    partition: PartitionSpec | None,
+) -> BatchIterator:
+    if materialized:
+        info = leaf_access_info(node)
+        if info is not None and info in materialized:
+            temp = materialized[info]
+            return _apply_batch_partition(
+                MaterializedBatchIterator(
+                    temp.schema, temp.stored_rows, batch_size
+                ),
+                info[0],
+                db,
+                partition,
+            )
+
+    def build(child: PlanNode) -> BatchIterator:
+        return _build_batch_iterator(
+            child, db, bindings, choices, memory, materialized, operator_stats,
+            batch_size, dop, partition,
+        )
+
+    if isinstance(node, ExchangeNode):
+        if partition is not None:
+            raise ExecutionError("nested exchange operators are not supported")
+        return _make_batch_exchange(
+            node, db, bindings, choices, memory, materialized, batch_size, dop
+        )
+    if isinstance(node, FileScanNode):
+        if (
+            partition is not None
+            and partition.mode is not ExchangeMode.REPARTITION
+            and partition.driver == node.relation
+        ):
+            return BatchStripedFileScanIterator(
+                db, node.relation, partition.worker, partition.dop, batch_size
+            )
+        return _apply_batch_partition(
+            BatchFileScanIterator(db, node.relation, batch_size),
+            node.relation,
+            db,
+            partition,
+        )
+    if isinstance(node, BtreeScanNode):
+        iterator = BatchBtreeScanIterator(
+            db, node.relation, node.key, node.predicate, bindings, batch_size
+        )
+        return _apply_batch_partition(iterator, node.relation, db, partition)
+    if isinstance(node, FilterNode):
+        return BatchFilterIterator(
+            build(node.inputs[0]), node.predicate, bindings
+        )
+    if isinstance(node, HashJoinNode):
+        return BatchHashJoinIterator(
+            build(node.inputs[0]), build(node.inputs[1]), node.predicates,
+            db, memory, batch_size,
+        )
+    if isinstance(node, MergeJoinNode):
+        return BatchMergeJoinIterator(
+            build(node.inputs[0]), build(node.inputs[1]), node.predicates,
+            batch_size,
+        )
+    if isinstance(node, NestedLoopsJoinNode):
+        return BatchNestedLoopsJoinIterator(
+            build(node.inputs[0]), build(node.inputs[1]), node.predicates,
+            db, memory, batch_size,
+        )
+    if isinstance(node, IndexJoinNode):
+        iterator = BatchIndexJoinIterator(
+            build(node.inputs[0]), db, node.inner_relation, node.inner_key,
+            node.predicates, batch_size,
+        )
+        if (
+            partition is not None
+            and partition.mode is not ExchangeMode.REPARTITION
+            and partition.driver == node.inner_relation
+        ):
+            # Same striping rationale as the row path: the driver's tuples
+            # enter the plan through the probe output, which is striped by
+            # global row index (preserved across batch boundaries).
+            return BatchModuloStripeIterator(
+                iterator, partition.worker, partition.dop
+            )
+        return iterator
+    if isinstance(node, SortNode):
+        return BatchSortIterator(
+            build(node.inputs[0]), node.key, db, memory, batch_size
+        )
+    if isinstance(node, TopNNode):
+        return BatchTopNIterator(
+            build(node.inputs[0]), node.key, node.limit, batch_size
+        )
+    if isinstance(node, ProjectNode):
+        return BatchProjectIterator(build(node.inputs[0]), node.attributes)
+    if isinstance(node, HashAggregateNode):
+        return BatchHashAggregateIterator(
+            build(node.inputs[0]), node.spec, batch_size
+        )
+    if isinstance(node, SortedAggregateNode):
+        return BatchSortedAggregateIterator(
+            build(node.inputs[0]), node.spec, batch_size
+        )
+    raise ExecutionError(f"no batch iterator for node type {type(node).__name__}")
+
+
+def _apply_batch_partition(
+    iterator: BatchIterator,
+    relation: str,
+    db: Database,
+    partition: PartitionSpec | None,
+) -> BatchIterator:
+    """Batch twin of :func:`_apply_partition` (same striping rules)."""
+    if partition is None:
+        return iterator
+    if partition.mode is ExchangeMode.REPARTITION:
+        key = partition.hash_keys.get(relation)
+        if key is None:
+            return iterator
+        return BatchHashStripeIterator(
+            iterator, iterator.schema.position(key), partition.worker,
+            partition.dop,
+        )
+    if partition.driver != relation:
+        return iterator
+    return BatchModuloStripeIterator(iterator, partition.worker, partition.dop)
+
+
+def _make_batch_exchange(
+    node: ExchangeNode,
+    db: Database,
+    bindings: Mapping[str, object],
+    choices: Mapping[int, PlanNode],
+    memory: int,
+    materialized: Mapping[MaterializedKey, MaterializedIterator],
+    batch_size: int,
+    dop: int,
+) -> BatchExchangeIterator:
+    """Batch twin of :func:`_make_exchange`: per-worker vectorized clones
+    whose blocks ship through the exchange queues without re-batching."""
+    child = node.inputs[0]
+    worker_memory = max(1, memory // max(1, dop))
+    hash_keys = dict(node.partition_keys)
+
+    def build_worker(worker: int) -> BatchIterator:
+        spec = PartitionSpec(
+            mode=node.mode,
+            worker=worker,
+            dop=dop,
+            driver=node.driver,
+            hash_keys=hash_keys,
+        )
+        return _build_batch_iterator(
+            child, db, bindings, choices, worker_memory, materialized, None,
+            batch_size, dop=1, partition=spec,
+        )
+
+    return BatchExchangeIterator(
+        node.label, dop, node.merge_key, build_worker, batch_size
+    )

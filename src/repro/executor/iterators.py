@@ -31,6 +31,8 @@ ValueBindings = Mapping[str, object]
 class PlanIterator:
     """Base class: an output schema plus a row generator."""
 
+    __slots__ = ("schema",)
+
     schema: RowSchema
 
     def rows(self) -> Iterator[Row]:
@@ -38,7 +40,7 @@ class PlanIterator:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class OperatorStats:
     """Per-operator runtime counters (EXPLAIN ANALYZE).
 
@@ -73,6 +75,8 @@ class MeteredIterator(PlanIterator):
     database's shared :class:`~repro.executor.storage.DiskCounters`
     object, sampled around each pull to attribute page reads.
     """
+
+    __slots__ = ("child", "stats", "counters")
 
     def __init__(
         self, child: PlanIterator, stats: OperatorStats, disk_counters
@@ -114,9 +118,16 @@ class MaterializedIterator(PlanIterator):
     directly.
     """
 
+    __slots__ = ("_rows",)
+
     def __init__(self, schema: RowSchema, rows: tuple[Row, ...]) -> None:
         self.schema = schema
         self._rows = rows
+
+    @property
+    def stored_rows(self) -> tuple[Row, ...]:
+        """The materialized result (read-only; batch mode re-blocks it)."""
+        return self._rows
 
     def rows(self) -> Iterator[Row]:
         return iter(self._rows)
@@ -127,6 +138,8 @@ class MaterializedIterator(PlanIterator):
 # ----------------------------------------------------------------------
 class FileScanIterator(PlanIterator):
     """Sequential heap-file scan."""
+
+    __slots__ = ("db", "relation")
 
     def __init__(self, db: Database, relation: str) -> None:
         self.db = db
@@ -145,6 +158,8 @@ class BtreeScanIterator(PlanIterator):
     scan whose value is the key order it delivers.  Unclustered, so every
     qualifying record costs one (possibly buffered) heap-page fetch.
     """
+
+    __slots__ = ("db", "relation", "key", "low", "high", "include_low", "include_high", "residual", "bindings")
 
     def __init__(
         self,
@@ -185,6 +200,8 @@ class BtreeScanIterator(PlanIterator):
 class FilterIterator(PlanIterator):
     """Predicate filter over any input."""
 
+    __slots__ = ("child", "predicate", "bindings")
+
     def __init__(
         self,
         child: PlanIterator,
@@ -205,6 +222,8 @@ class FilterIterator(PlanIterator):
 
 class ProjectIterator(PlanIterator):
     """Restrict/reorder output columns."""
+
+    __slots__ = ("child", "_positions")
 
     def __init__(self, child: PlanIterator, attributes) -> None:
         self.child = child
@@ -237,6 +256,8 @@ def _join_key_positions(
 class HashJoinIterator(PlanIterator):
     """Hybrid hash join; partitions to simulated disk when the build side
     exceeds the memory budget (Grace-style, one partitioning pass)."""
+
+    __slots__ = ("build", "probe", "predicates", "db", "memory_pages", "_build_keys", "_probe_keys")
 
     def __init__(
         self,
@@ -319,6 +340,8 @@ class NestedLoopsJoinIterator(PlanIterator):
     simulated I/O), then re-read for every memory-sized block of the outer.
     """
 
+    __slots__ = ("outer", "inner", "predicates", "db", "memory_pages", "_outer_keys", "_inner_keys")
+
     def __init__(
         self,
         outer: PlanIterator,
@@ -382,6 +405,8 @@ class NestedLoopsJoinIterator(PlanIterator):
 class MergeJoinIterator(PlanIterator):
     """Merge join of inputs sorted on the join attributes."""
 
+    __slots__ = ("left", "right", "predicates", "_left_keys", "_right_keys")
+
     def __init__(
         self,
         left: PlanIterator,
@@ -434,6 +459,8 @@ class MergeJoinIterator(PlanIterator):
 
 class IndexJoinIterator(PlanIterator):
     """Index nested-loops: probe the inner relation's B-tree per outer row."""
+
+    __slots__ = ("outer", "db", "inner_relation", "inner_key", "predicates", "inner_schema")
 
     def __init__(
         self,
@@ -534,6 +561,8 @@ def _finalize(spec, key: tuple, accumulator: _Accumulator) -> tuple:
 class _AggregateBase(PlanIterator):
     """Shared plumbing for both aggregate implementations."""
 
+    __slots__ = ("child", "spec", "_key_positions", "_value_positions")
+
     def __init__(self, child: PlanIterator, spec) -> None:
         self.child = child
         self.spec = spec
@@ -557,6 +586,8 @@ class _AggregateBase(PlanIterator):
 
 class HashAggregateIterator(_AggregateBase):
     """Hash aggregation: a dict of accumulators keyed by the group key."""
+
+    __slots__ = ()
 
     def rows(self) -> Iterator[Row]:
         table: dict[tuple, _Accumulator] = {}
@@ -588,6 +619,8 @@ class SortedAggregateIterator(_AggregateBase):
     single group and this degenerates to pure streaming.
     """
 
+    __slots__ = ()
+
     def rows(self) -> Iterator[Row]:
         n = len(self.spec.aggregates)
         current_lead: tuple | None = None
@@ -616,6 +649,8 @@ class SortedAggregateIterator(_AggregateBase):
 class SortIterator(PlanIterator):
     """Sort enforcer via external merge sort."""
 
+    __slots__ = ("child", "key", "db", "memory_pages")
+
     def __init__(
         self,
         child: PlanIterator,
@@ -638,6 +673,30 @@ class SortIterator(PlanIterator):
             memory_pages=self.memory_pages,
             rows_per_page=self.db.intermediate_rows_per_page,
         )
+
+
+class TopNIterator(PlanIterator):
+    """Top-N enforcer: the ``limit`` smallest rows by key, sorted.
+
+    Materializes the input and takes a stable ``sorted(...)[:limit]`` —
+    the reference semantics the batch implementation's incremental
+    pruning must reproduce exactly (ties keep first-encountered rows).
+    """
+
+    __slots__ = ("child", "key", "limit")
+
+    def __init__(self, child: PlanIterator, key: Attribute, limit: int) -> None:
+        if limit <= 0:
+            raise ExecutionError("top-n limit must be positive")
+        self.child = child
+        self.key = key
+        self.limit = limit
+        self.schema = child.schema
+
+    def rows(self) -> Iterator[Row]:
+        position = self.schema.position(self.key)
+        ranked = sorted(self.child.rows(), key=lambda row: row[position])
+        yield from ranked[: self.limit]
 
 
 # ----------------------------------------------------------------------

@@ -166,6 +166,40 @@ class SimulatedDisk:
         self._sleep(charged)
         return payload
 
+    def read_page_range(self, name: str, first: int, last: int) -> list[list]:
+        """Read pages ``[first, last)`` under one lock acquisition.
+
+        Charges exactly what ``last - first`` individual :meth:`read_page`
+        calls would: the first page is sequential iff it follows this
+        stream's previously read page, every later page in the range is
+        sequential by construction.  The vectorized scan path uses this to
+        amortize locking and accounting over a whole batch of pages.
+        """
+        if last <= first:
+            return []
+        stream = threading.get_ident()
+        with self._lock:
+            file = self._file(name)
+            self._check_page(file, first)
+            self._check_page(file, last - 1)
+            count = last - first
+            previous = file.last_read_by_stream.get(stream)
+            if previous is not None and first == previous + 1:
+                sequential = count
+            else:
+                sequential = count - 1
+            self.counters.sequential_reads += sequential
+            self.counters.random_reads += count - sequential
+            charged = (
+                sequential * self.model.sequential_page_io
+                + (count - sequential) * self.model.random_page_io
+            )
+            self.counters.seconds += charged
+            file.last_read_by_stream[stream] = last - 1
+            payloads = file.pages[first:last]
+        self._sleep(charged)
+        return payloads
+
     def scan_pages(self, name: str) -> Iterator[tuple[int, list]]:
         """Read every page of a file in order (sequential after the first)."""
         for page_no in range(self.page_count(name)):

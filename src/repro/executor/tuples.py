@@ -3,19 +3,64 @@
 Rows are plain Python tuples; a :class:`RowSchema` maps qualified attribute
 names to tuple positions.  Joins concatenate rows and schemas, mirroring
 :meth:`repro.catalog.schema.Schema.concat`.
+
+Vectorized execution moves rows in :class:`RowBatch` blocks — a thin
+wrapper around a ``list`` of row tuples.  Operators unwrap ``batch.rows``
+once and process the whole list with compiled closures, amortizing the
+per-``next()`` interpreter overhead of the Volcano model over
+``batch_size`` rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from repro.catalog.schema import Attribute, Schema
 from repro.errors import ExecutionError
 
 Row = tuple
 
+#: Default rows per :class:`RowBatch` in vectorized execution.
+DEFAULT_BATCH_SIZE = 1024
 
-@dataclass(frozen=True)
+
+class RowBatch:
+    """A block of rows flowing between vectorized operators.
+
+    ``rows`` is a plain ``list`` of row tuples, exposed directly so
+    operators can run list comprehensions over it without indirection.
+    Batches are never shared between operators after handoff, so a
+    consumer may keep (but not mutate) the list it receives.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: list) -> None:
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RowBatch({len(self.rows)} rows)"
+
+
+def batches_of(rows: Sequence[Row], batch_size: int) -> Iterator[RowBatch]:
+    """Slice a materialized sequence into :class:`RowBatch` blocks."""
+    if batch_size <= 0:
+        raise ExecutionError("batch_size must be positive")
+    for start in range(0, len(rows), batch_size):
+        yield RowBatch(list(rows[start : start + batch_size]))
+
+
+@dataclass(frozen=True, slots=True)
 class RowSchema:
     """Positional layout of rows flowing between iterators."""
 

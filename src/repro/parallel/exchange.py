@@ -29,8 +29,9 @@ from typing import Callable, Iterator, Mapping
 
 from repro.catalog.schema import Attribute
 from repro.executor.database import Database
+from repro.executor.batch import BatchIterator
 from repro.executor.iterators import PlanIterator
-from repro.executor.tuples import Row, RowSchema
+from repro.executor.tuples import Row, RowBatch, RowSchema
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 from repro.parallel.plan import ExchangeMode
@@ -67,6 +68,8 @@ class StripedFileScanIterator(PlanIterator):
     worker — together the workers read each page exactly once.
     """
 
+    __slots__ = ("db", "relation", "worker", "dop")
+
     def __init__(self, db: Database, relation: str, worker: int, dop: int) -> None:
         self.db = db
         self.relation = relation
@@ -91,6 +94,8 @@ class ModuloStripeIterator(PlanIterator):
     of the serial stream, so per-worker sort order is preserved.
     """
 
+    __slots__ = ("child", "worker", "dop")
+
     def __init__(self, child: PlanIterator, worker: int, dop: int) -> None:
         self.child = child
         self.worker = worker
@@ -106,6 +111,8 @@ class ModuloStripeIterator(PlanIterator):
 
 class HashStripeIterator(PlanIterator):
     """Keep rows whose key hash falls in this worker's bucket."""
+
+    __slots__ = ("child", "key_position", "worker", "dop")
 
     def __init__(
         self, child: PlanIterator, key_position: int, worker: int, dop: int
@@ -125,6 +132,15 @@ class HashStripeIterator(PlanIterator):
 
 class ExchangeIterator(PlanIterator):
     """Consumer end of an exchange: spawn workers, reassemble streams."""
+
+    __slots__ = (
+        "label",
+        "dop",
+        "_workers",
+        "merge_position",
+        "_worker_rows",
+        "_max_queue_depth",
+    )
 
     def __init__(
         self,
@@ -304,3 +320,208 @@ class ExchangeIterator(PlanIterator):
                 rows_per_worker=list(self._worker_rows),
                 max_queue_depth=self._max_queue_depth,
             )
+
+
+# ----------------------------------------------------------------------
+# Vectorized exchange
+# ----------------------------------------------------------------------
+class BatchStripedFileScanIterator(BatchIterator):
+    """Page-range stripe delivered as page-aligned batches.
+
+    The batch analogue of :class:`StripedFileScanIterator`, reading its
+    contiguous stripe through the buffer pool like the serial batch scan.
+    """
+
+    __slots__ = ("db", "relation", "worker", "dop", "batch_size")
+
+    def __init__(
+        self, db: Database, relation: str, worker: int, dop: int, batch_size: int
+    ) -> None:
+        self.db = db
+        self.relation = relation
+        self.worker = worker
+        self.dop = dop
+        self.batch_size = batch_size
+        self.schema = RowSchema.from_schema(db.catalog.relation(relation).schema)
+
+    def batches(self) -> Iterator[RowBatch]:
+        heap = self.db.heap(self.relation)
+        heap.flush()
+        pages = self.db.disk.page_count(heap.name)
+        first = self.worker * pages // self.dop
+        last = (self.worker + 1) * pages // self.dop
+        size = self.batch_size
+        chunk = max(1, -(-size // heap.records_per_page))
+        read_range = self.db.buffer.read_page_range
+        pending: list = []
+        for start in range(first, last, chunk):
+            for payload in read_range(heap.name, start, min(start + chunk, last)):
+                pending.extend(payload)
+            if len(pending) >= size:
+                yield RowBatch(pending)
+                pending = []
+        if pending:
+            yield RowBatch(pending)
+
+
+class BatchModuloStripeIterator(BatchIterator):
+    """Keep every ``dop``-th row of a deterministic batch stream.
+
+    The global row index carries across batch boundaries, so the kept
+    subsequence is identical to the row-mode stripe regardless of how the
+    input happens to be blocked.
+    """
+
+    __slots__ = ("child", "worker", "dop")
+
+    def __init__(self, child: BatchIterator, worker: int, dop: int) -> None:
+        self.child = child
+        self.worker = worker
+        self.dop = dop
+        self.schema = child.schema
+
+    def batches(self) -> Iterator[RowBatch]:
+        worker, dop = self.worker, self.dop
+        index = 0
+        for batch in self.child.batches():
+            rows = batch.rows
+            kept = [
+                row
+                for i, row in enumerate(rows, index)
+                if i % dop == worker
+            ]
+            index += len(rows)
+            if kept:
+                yield RowBatch(kept)
+
+
+class BatchHashStripeIterator(BatchIterator):
+    """Keep rows whose key hash falls in this worker's bucket."""
+
+    __slots__ = ("child", "key_position", "worker", "dop")
+
+    def __init__(
+        self, child: BatchIterator, key_position: int, worker: int, dop: int
+    ) -> None:
+        self.child = child
+        self.key_position = key_position
+        self.worker = worker
+        self.dop = dop
+        self.schema = child.schema
+
+    def batches(self) -> Iterator[RowBatch]:
+        position, worker, dop = self.key_position, self.worker, self.dop
+        for batch in self.child.batches():
+            kept = [
+                row for row in batch.rows if hash(row[position]) % dop == worker
+            ]
+            if kept:
+                yield RowBatch(kept)
+
+
+class BatchExchangeIterator(ExchangeIterator):
+    """Exchange over batch workers: blocks ship through the queues as-is.
+
+    Where the row exchange re-packs its child's row stream into
+    ``BATCH_ROWS``-sized lists before every ``put`` (one append per row),
+    the batch exchange enqueues each worker's ``RowBatch`` row list
+    *directly* — no re-batching copy, one queue operation per block.  The
+    queue bound still provides backpressure; it now counts blocks of the
+    executor's ``batch_size`` rather than ``BATCH_ROWS`` rows.
+
+    MERGE mode flattens the per-worker sorted streams for ``heapq.merge``
+    (order restoration is inherently per-row) and re-blocks the merged
+    output.
+    """
+
+    __slots__ = ("batch_size",)
+
+    def __init__(
+        self,
+        label: str,
+        dop: int,
+        merge_key: Attribute | None,
+        build_worker: Callable[[int], BatchIterator],
+        batch_size: int,
+    ) -> None:
+        super().__init__(label, dop, merge_key, build_worker)
+        self.batch_size = batch_size
+
+    def batches(self) -> Iterator[RowBatch]:
+        if self.dop == 1:
+            # Inline fast path, mirroring the row exchange at DOP=1.
+            yield from self._workers[0].batches()
+            return
+        if self.merge_position is None:
+            yield from self._run(shared_queue=True)
+        else:
+            yield from self._run(shared_queue=False)
+        self._record_metrics()
+
+    def rows(self) -> Iterator[Row]:
+        for batch in self.batches():
+            yield from batch.rows
+
+    def _produce(
+        self,
+        index: int,
+        iterator: BatchIterator,
+        out: queue.Queue,
+        cancel: threading.Event,
+    ) -> None:
+        produced = 0
+        try:
+            for batch in iterator.batches():
+                rows = batch.rows
+                produced += len(rows)
+                if not self._put(out, ("rows", index, rows), cancel):
+                    return
+            self._put(out, ("done", index, None), cancel)
+        except BaseException as exc:  # noqa: BLE001 — must cross the thread boundary
+            self._put(out, ("error", index, exc), cancel)
+        finally:
+            self._worker_rows[index] = produced
+
+    def _consume_interleaved(
+        self, source: queue.Queue, cancel: threading.Event
+    ) -> Iterator[RowBatch]:
+        remaining = self.dop
+        while remaining:
+            kind, _index, payload = self._get(source, cancel)
+            if kind == "rows":
+                yield RowBatch(payload)
+            elif kind == "done":
+                remaining -= 1
+            else:
+                cancel.set()
+                raise payload
+
+    def _consume_merge(
+        self, queues: list[queue.Queue], cancel: threading.Event
+    ) -> Iterator[RowBatch]:
+        position = self.merge_position
+        assert position is not None
+
+        def stream(source: queue.Queue) -> Iterator[Row]:
+            while True:
+                kind, _index, payload = self._get(source, cancel)
+                if kind == "rows":
+                    yield from payload
+                elif kind == "done":
+                    return
+                else:
+                    cancel.set()
+                    raise payload
+
+        merged = heapq.merge(
+            *(stream(q) for q in queues), key=lambda row: row[position]
+        )
+        size = self.batch_size
+        pending: list = []
+        for row in merged:
+            pending.append(row)
+            if len(pending) >= size:
+                yield RowBatch(pending)
+                pending = []
+        if pending:
+            yield RowBatch(pending)

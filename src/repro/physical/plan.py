@@ -508,6 +508,38 @@ class SortNode(PlanNode):
         return f"Sort {self.key.qualified_name}"
 
 
+class TopNNode(PlanNode):
+    """Top-N: the smallest ``limit`` rows by ``key``, delivered sorted.
+
+    An executor-level operator (``ORDER BY ... LIMIT n`` shape): the
+    optimizer's rule set never generates it, so the paper's plan spaces
+    and figures are unaffected; plans containing it are built by hand or
+    by callers that know their result budget.
+    """
+
+    __slots__ = ("key", "limit")
+
+    def __init__(
+        self, ctx: CostContext, input_plan: PlanNode, key: Attribute, limit: int
+    ) -> None:
+        if limit <= 0:
+            raise PlanError("top-n limit must be positive")
+        self.key = key
+        self.limit = limit
+        super().__init__(ctx, (input_plan,))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        (input_card,) = input_cards
+        # One pass over the input with a bounded heap: per-row CPU work,
+        # no I/O of its own.
+        cost = formulas.filter_cost(ctx.model, input_card, Interval.point(1.0))
+        return input_card.min_with(Interval.point(float(self.limit))), cost, self.key
+
+    @property
+    def label(self) -> str:
+        return f"Top-{self.limit} {self.key.qualified_name}"
+
+
 class ChoosePlanNode(PlanNode):
     """Choose-Plan enforcer: the plan-robustness property (Table 1).
 

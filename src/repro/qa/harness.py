@@ -20,7 +20,7 @@ from repro.qa.generator import CaseGenerator, FuzzCase
 from repro.qa.invariants import CaseOutcome, Violation, run_case
 from repro.qa.shrinker import shrink_case
 
-Runner = Callable[[FuzzCase, bool, tuple[int, ...]], CaseOutcome]
+Runner = Callable[[FuzzCase, bool, tuple[int, ...], bool], CaseOutcome]
 
 ARTIFACT_VERSION = 1
 
@@ -51,6 +51,7 @@ class FuzzReport:
     duration_seconds: float = 0.0
     service_checked: int = 0
     parallel_checked: int = 0
+    batch_checked: int = 0
 
     @property
     def ok(self) -> bool:
@@ -62,6 +63,7 @@ class FuzzReport:
             f"fuzz seed={self.seed} cases={self.cases} "
             f"service-checked={self.service_checked} "
             f"parallel-checked={self.parallel_checked} "
+            f"batch-checked={self.batch_checked} "
             f"time={self.duration_seconds:.1f}s: {status}"
         )
 
@@ -70,9 +72,13 @@ def _default_runner(
     case: FuzzCase,
     check_service: bool,
     parallel_dops: tuple[int, ...] = (),
+    check_batch: bool = False,
 ) -> CaseOutcome:
     return run_case(
-        case, check_service=check_service, parallel_dops=parallel_dops
+        case,
+        check_service=check_service,
+        parallel_dops=parallel_dops,
+        check_batch=check_batch,
     )
 
 
@@ -84,6 +90,7 @@ def run_fuzz(
     check_service_every: int = 4,
     check_parallel_every: int = 4,
     parallel_dops: tuple[int, ...] = (1, 2, 4),
+    check_batch_every: int = 2,
     runner: Runner | None = None,
     log: Callable[[str], None] | None = None,
 ) -> FuzzReport:
@@ -93,8 +100,9 @@ def run_fuzz(
     :class:`QueryService` byte-identity check to every Nth case; 0 disables
     it.  ``check_parallel_every`` does the same for the parallel-execution
     differential (re-optimization with a DOP parameter plus one execution
-    and one run-time optimum per degree in ``parallel_dops``).  ``runner``
-    lets tests substitute an instrumented
+    and one run-time optimum per degree in ``parallel_dops``), and
+    ``check_batch_every`` for the batch-vs-row executor byte-identity
+    differential.  ``runner`` lets tests substitute an instrumented
     :func:`~repro.qa.invariants.run_case` (e.g. with an injected bug).
     """
     run = runner or _default_runner
@@ -115,7 +123,12 @@ def run_fuzz(
         )
         if case_dops:
             report.parallel_checked += 1
-        outcome = run(case, check_service, case_dops)
+        check_batch = bool(
+            check_batch_every and index % check_batch_every == 0
+        )
+        if check_batch:
+            report.batch_checked += 1
+        outcome = run(case, check_service, case_dops, check_batch)
         if outcome.passed:
             if log and (index + 1) % 25 == 0:
                 log(f"  ... {index + 1}/{cases} cases, all invariants hold")
@@ -139,11 +152,11 @@ def run_fuzz(
             shrunk = shrink_case(
                 case,
                 outcome.checks,
-                run=lambda c: run(c, True, shrink_dops),
+                run=lambda c: run(c, True, shrink_dops, check_batch),
             )
             failure.shrunk = shrunk
             failure.shrunk_violations = run(
-                shrunk, True, shrink_dops
+                shrunk, True, shrink_dops, check_batch
             ).violations
             if log:
                 log(
@@ -203,7 +216,12 @@ def replay_artifact(
 
     ``parallel_dops`` additionally replays the case through parallel
     execution at the given degrees (see :func:`~repro.qa.invariants.run_case`).
+    Replay always includes the batch-vs-row differential — artifacts are
+    rare and worth the extra executions.
     """
     return run_case(
-        load_artifact(path), check_service=True, parallel_dops=parallel_dops
+        load_artifact(path),
+        check_service=True,
+        parallel_dops=parallel_dops,
+        check_batch=True,
     )

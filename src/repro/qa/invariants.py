@@ -13,6 +13,11 @@ For each generated case the checkers cross-validate every layer:
   must pick identical alternatives at identical cost.
 * **executor** — static, dynamic, and run-time plans must all return the
   reference oracle's multiset of rows, and ORDER BY output must be sorted.
+* **batch/row** — the vectorized (batch) executor, which is the default,
+  must return byte-identical rows *in order* to the row-at-a-time
+  executor and to a batch run with a pathological ``batch_size`` (2), for
+  the dynamic and run-time plans alike.  Batch boundaries are not part of
+  the executor contract; only the concatenated row stream is.
 * **parallel** — with a degree-of-parallelism parameter declared, the
   dynamic plan's activation at each DOP in ``parallel_dops`` must return
   byte-identical canonical rows to the serial oracle (and stay sorted
@@ -190,12 +195,14 @@ def run_case(
     check_service: bool = True,
     model: CostModel | None = None,
     parallel_dops: tuple[int, ...] = (),
+    check_batch: bool = False,
 ) -> CaseOutcome:
     """Run every invariant checker against one case.
 
     ``parallel_dops`` lists degrees of parallelism to differentially test
     (empty disables the parallel checkers); ``(1, 2, 4)`` is the standard
-    fuzzing configuration.
+    fuzzing configuration.  ``check_batch`` enables the batch-vs-row
+    executor byte-identity differential.
     """
     outcome = CaseOutcome(case=case)
 
@@ -204,14 +211,21 @@ def run_case(
 
     try:
         _run_checks(
-            case, check_service, model or CostModel(), report, parallel_dops
+            case,
+            check_service,
+            model or CostModel(),
+            report,
+            parallel_dops,
+            check_batch,
         )
     except Exception as exc:  # any crash is itself a finding
         report("crash", f"{type(exc).__name__}: {exc}")
     return outcome
 
 
-def _run_checks(case, check_service, model, report, parallel_dops=()) -> None:
+def _run_checks(
+    case, check_service, model, report, parallel_dops=(), check_batch=False
+) -> None:
     catalog = case.build_catalog()
     db = Database(catalog, model)
     db.load_synthetic(case.data_seed)
@@ -301,6 +315,34 @@ def _run_checks(case, check_service, model, report, parallel_dops=()) -> None:
         if required_order is not None:
             _check_sorted(result, required_order, f"order-{label}", report)
 
+    # --- batch/row executor identity ----------------------------------
+    if check_batch:
+        targets = {
+            "dynamic": (dynamic.plan, decision.choices),
+            "run-time": (runtime.plan, None),
+        }
+        for label, (plan, choices) in targets.items():
+            reference = executions[label].rows  # default (batch) output
+            for variant, kwargs in (
+                ("row", {"execution_mode": "row"}),
+                ("batch2", {"batch_size": 2}),
+            ):
+                other = execute_plan(
+                    plan,
+                    db,
+                    bindings=case.bindings,
+                    choices=choices,
+                    **kwargs,
+                )
+                if json.dumps(other.rows) != json.dumps(reference):
+                    report(
+                        f"batch-identity-{variant}-{label}",
+                        f"{variant} execution of the {label} plan returned "
+                        f"{len(other.rows)} rows != batch-mode "
+                        f"{len(reference)}; first diff: "
+                        f"{_first_diff(other.rows, reference)}",
+                    )
+
     # --- parallel execution -------------------------------------------
     if parallel_dops:
         _check_parallel(
@@ -314,6 +356,7 @@ def _run_checks(case, check_service, model, report, parallel_dops=()) -> None:
             oracle,
             report,
             parallel_dops,
+            check_batch,
         )
 
     # --- serving layer ------------------------------------------------
@@ -334,6 +377,7 @@ def _check_parallel(
     oracle,
     report,
     parallel_dops,
+    check_batch=False,
 ) -> None:
     """Differential parallel-execution invariants.
 
@@ -391,6 +435,30 @@ def _check_parallel(
             _check_sorted(
                 result, required_order, f"parallel-order-dop{dop}", report
             )
+        if check_batch:
+            # Row-mode parallel execution must agree with batch-mode.
+            # Interleaved exchange output order is scheduling-dependent at
+            # DOP > 1, so the comparison is multiset-canonical here.
+            row_result = execute_plan(
+                dynamic.plan,
+                db,
+                bindings=case.bindings,
+                choices=decision.choices,
+                dop=dop,
+                execution_mode="row",
+            )
+            row_payload = json.dumps(
+                _canonical_payload(row_result, attributes)
+            )
+            if row_payload != payload:
+                rows = _canonical_payload(row_result, attributes)
+                report(
+                    f"parallel-batch-identity-dop{dop}",
+                    f"row-mode parallel execution at DOP={dop} returned "
+                    f"{len(rows)} rows != batch-mode "
+                    f"{len(oracle)}; first diff: "
+                    f"{_first_diff(rows, _canonical_payload(result, attributes))}",
+                )
         runtime = optimize_query(
             graph,
             catalog,

@@ -51,6 +51,7 @@ from repro.physical.plan import (
     ProjectNode,
     SortedAggregateNode,
     SortNode,
+    TopNNode,
     count_plan_nodes,
     iter_plan_nodes,
 )
@@ -88,6 +89,14 @@ class AccessModule:
     invocations: int = 0
     compiled_cardinalities: dict[str, int] = field(default_factory=dict)
     _usage: dict[int, set[int]] = field(default_factory=dict)
+    # Memoized choose-plan resolutions, keyed by binding vector.  Under a
+    # given binding the decision procedure is deterministic, so repeated
+    # activations with the same parameter values can reuse the resolved
+    # decision instead of re-walking the shared plan DAG.  Invalidation:
+    # cleared whenever the catalog version moves or the plan is replaced
+    # by :meth:`shrink` (cached choices reference plan nodes by identity).
+    _decision_cache: dict[tuple, ActivationDecision] = field(default_factory=dict)
+    _decision_cache_version: int | None = None
 
     @classmethod
     def compile(
@@ -181,10 +190,19 @@ class AccessModule:
             raise PlanError(
                 "access module invalidated by catalog changes; re-optimize"
             )
-        env = self.ctx.env.space.bind(binding)
-        decision = resolve_plan(self.plan, self.ctx.with_env(env))
-        self.invocations += 1
         metrics = get_metrics()
+        if self._decision_cache_version != self.ctx.catalog.version:
+            self._decision_cache.clear()
+            self._decision_cache_version = self.ctx.catalog.version
+        cache_key = tuple(sorted(binding.items()))
+        decision = self._decision_cache.get(cache_key)
+        if decision is None:
+            env = self.ctx.env.space.bind(binding)
+            decision = resolve_plan(self.plan, self.ctx.with_env(env))
+            self._decision_cache[cache_key] = decision
+        else:
+            metrics.counter("access_module.decision_cache_hits").inc()
+        self.invocations += 1
         metrics.counter("access_module.activations").inc()
         metrics.timer("access_module.read_io").observe(self.read_seconds)
         tracer = get_tracer()
@@ -258,6 +276,8 @@ class AccessModule:
         self.plan = new_plan
         self._usage.clear()
         if changed:
+            # Cached decisions reference the old plan's nodes by identity.
+            self._decision_cache.clear()
             _LOG.info(
                 "access module shrunk: %d -> %d nodes after %d invocations",
                 nodes_before,
@@ -337,6 +357,8 @@ def rebuild_node(
         )
     if isinstance(node, SortNode):
         return SortNode(ctx, inputs[0], node.key)
+    if isinstance(node, TopNNode):
+        return TopNNode(ctx, inputs[0], node.key, node.limit)
     if isinstance(node, ProjectNode):
         return ProjectNode(ctx, inputs[0], node.attributes)
     if isinstance(node, HashAggregateNode):
@@ -422,6 +444,12 @@ def _encode_node(node: PlanNode) -> dict:
         }
     if isinstance(node, SortNode):
         return {"kind": "sort", "key": node.key.qualified_name}
+    if isinstance(node, TopNNode):
+        return {
+            "kind": "top-n",
+            "key": node.key.qualified_name,
+            "limit": node.limit,
+        }
     if isinstance(node, ProjectNode):
         return {
             "kind": "project",
@@ -502,6 +530,10 @@ def _decode_node(
         )
     if kind == "sort":
         return SortNode(ctx, inputs[0], ctx.catalog.attribute(entry["key"]))
+    if kind == "top-n":
+        return TopNNode(
+            ctx, inputs[0], ctx.catalog.attribute(entry["key"]), entry["limit"]
+        )
     if kind == "project":
         return ProjectNode(
             ctx,

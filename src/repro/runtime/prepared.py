@@ -196,6 +196,8 @@ class PreparedQuery:
         parameter_values: Mapping[str, float] | None = None,
         memory_pages: int | None = None,
         dop: int | None = None,
+        execution_mode: str = "batch",
+        batch_size: int | None = None,
     ) -> ExecutionResult:
         """One full invocation: derive, activate, decide, execute.
 
@@ -206,6 +208,10 @@ class PreparedQuery:
         procedure sees the bound degree (activating a parallel alternative
         only when it pays off) and the executor spawns that many exchange
         workers.
+
+        ``execution_mode`` and ``batch_size`` tune the executor only: the
+        activation decision is identical in either mode (the cost model
+        does not depend on the iterator family).
         """
         if parameter_values is None:
             parameter_values = self.derive_parameters(
@@ -223,4 +229,6 @@ class PreparedQuery:
             choices=activation.decision.choices,
             memory_pages=memory_pages,
             dop=dop,
+            execution_mode=execution_mode,
+            batch_size=batch_size,
         )

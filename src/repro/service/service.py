@@ -63,6 +63,8 @@ class _Request:
     parameter_values: Mapping[str, float] | None
     memory_pages: int | None
     dop: int | None
+    execution_mode: str
+    batch_size: int | None
 
 
 @dataclass(frozen=True)
@@ -101,11 +103,20 @@ class QueryService:
         parallel_worker_budget: int | None = None,
         database_factory: Callable[[], Database] | None = None,
         seed: int = 0,
+        execution_mode: str = "batch",
+        batch_size: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("query service needs at least one worker")
         if queue_limit < 1:
             raise ValueError("admission queue limit must be at least 1")
+        if execution_mode not in ("row", "batch"):
+            raise ValueError(
+                f"unknown execution mode {execution_mode!r}; use 'row' or 'batch'"
+            )
+        # Service-wide executor defaults; per-request values win.
+        self._execution_mode = execution_mode
+        self._batch_size = batch_size
         self._catalog = catalog
         self._model = model if model is not None else CostModel()
         self._queue_limit = queue_limit
@@ -173,12 +184,16 @@ class QueryService:
         parameter_values: Mapping[str, float] | None = None,
         memory_pages: int | None = None,
         dop: int | None = None,
+        execution_mode: str | None = None,
+        batch_size: int | None = None,
     ) -> "Future[ServiceResult]":
         """Admit one invocation; fast-rejects when the queue is full.
 
         ``dop`` requests parallel execution; the granted degree is clamped
         to the service's ``max_dop`` and to the exchange workers still
         available under ``parallel_worker_budget`` at execution time.
+        ``execution_mode`` / ``batch_size`` override the service-level
+        executor defaults for this invocation only.
 
         Raises :class:`ServiceClosedError` after :meth:`close`, and
         :class:`ServiceOverloadedError` when ``queue_limit`` requests are
@@ -196,6 +211,8 @@ class QueryService:
             ),
             memory_pages=memory_pages,
             dop=dop,
+            execution_mode=execution_mode or self._execution_mode,
+            batch_size=batch_size if batch_size is not None else self._batch_size,
         )
         future: Future[ServiceResult] = Future()
         try:
@@ -219,6 +236,8 @@ class QueryService:
         parameter_values: Mapping[str, float] | None = None,
         memory_pages: int | None = None,
         dop: int | None = None,
+        execution_mode: str | None = None,
+        batch_size: int | None = None,
     ) -> ServiceResult:
         """Synchronous invocation: :meth:`submit` plus waiting."""
         return self.submit(
@@ -228,6 +247,8 @@ class QueryService:
             parameter_values=parameter_values,
             memory_pages=memory_pages,
             dop=dop,
+            execution_mode=execution_mode,
+            batch_size=batch_size,
         ).result()
 
     def close(self, *, drain: bool = True) -> None:
@@ -328,6 +349,8 @@ class QueryService:
                 choices=activation.decision.choices,
                 memory_pages=request.memory_pages,
                 dop=granted,
+                execution_mode=request.execution_mode,
+                batch_size=request.batch_size,
             )
         finally:
             self._release_dop(granted)

@@ -130,6 +130,12 @@ class Interval:
 
     def __mul__(self, other: "Interval | Number") -> "Interval":
         other = _coerce(other)
+        # Fast path for the overwhelmingly common case in cost arithmetic:
+        # cardinalities, selectivities, and costs are all non-negative, so
+        # the product's extremes are the products of like bounds — no need
+        # to build and scan the 4-tuple of corner products.
+        if self.low >= 0.0 and other.low >= 0.0:
+            return Interval(self.low * other.low, self.high * other.high)
         products = (
             self.low * other.low,
             self.low * other.high,
@@ -144,6 +150,10 @@ class Interval:
         other = _coerce(other)
         if other.contains(0.0):
             raise ZeroDivisionError(f"division by interval containing zero: {other}")
+        # Same non-negative fast path as multiplication (divisor strictly
+        # positive here, since intervals containing zero were rejected).
+        if self.low >= 0.0 and other.low > 0.0:
+            return Interval(self.low / other.high, self.high / other.low)
         quotients = (
             self.low / other.low,
             self.low / other.high,

@@ -1,0 +1,185 @@
+"""Decision memoization and DAG-sharing call counts.
+
+The access module caches choose-plan resolutions per binding vector: the
+decision procedure is deterministic under a fully bound environment, so
+repeated activations with identical parameter values reuse the stored
+decision.  The cache invalidates when the catalog version moves or when
+:meth:`~repro.runtime.access_module.AccessModule.shrink` replaces the
+plan (cached choices reference plan nodes by identity).
+
+The diamond-DAG tests pin the complementary within-one-resolution
+memoization: a subplan shared by two alternatives is recomputed exactly
+once per resolve, never once per referencing path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.context import CostContext
+from repro.logical.predicates import CompareOp, HostVariable, SelectionPredicate
+from repro.obs.metrics import get_metrics
+from repro.params.parameter import ParameterSpace
+from repro.physical.plan import (
+    ChoosePlanNode,
+    FileScanNode,
+    FilterNode,
+    PlanNode,
+    TopNNode,
+)
+import repro.runtime.access_module as access_module_mod
+from repro.runtime.access_module import (
+    AccessModule,
+    deserialize_plan,
+    rebuild_node,
+    serialize_plan,
+)
+from repro.runtime.chooser import resolve_plan
+
+
+@pytest.fixture
+def space() -> ParameterSpace:
+    s = ParameterSpace()
+    s.add_selectivity("sel_v")
+    return s
+
+
+@pytest.fixture
+def ctx(catalog, model, space) -> CostContext:
+    return CostContext(
+        catalog=catalog, model=model, env=space.dynamic_environment()
+    )
+
+
+def build_diamond(ctx, catalog) -> ChoosePlanNode:
+    """A choose-plan whose two alternatives share one scan subplan."""
+    scan = FileScanNode(ctx, "R")
+    predicate = SelectionPredicate(
+        attribute=catalog.attribute("R.a"),
+        op=CompareOp.LT,
+        operand=HostVariable("v", "sel_v"),
+    )
+    return ChoosePlanNode(
+        ctx,
+        (FilterNode(ctx, scan, predicate), FilterNode(ctx, scan, predicate)),
+    )
+
+
+@pytest.fixture
+def count_resolves(monkeypatch):
+    """Instrument the module-level resolve_plan the access module calls."""
+    calls: list[object] = []
+    real = access_module_mod.resolve_plan
+
+    def counting(plan, ctx):
+        calls.append(plan)
+        return real(plan, ctx)
+
+    monkeypatch.setattr(access_module_mod, "resolve_plan", counting)
+    return calls
+
+
+class TestDiamondDag:
+    def test_shared_subplan_recomputed_once_per_resolve(
+        self, catalog, ctx, space, monkeypatch
+    ):
+        diamond = build_diamond(ctx, catalog)
+        recomputed: list[PlanNode] = []
+        original = PlanNode.recompute
+
+        def counting(self, *args, **kwargs):
+            recomputed.append(self)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(PlanNode, "recompute", counting)
+        decision = resolve_plan(diamond, ctx.with_env(space.bind({"sel_v": 0.5})))
+        # Tree-expanded the diamond has 5 nodes; the DAG walk recomputes
+        # the shared scan once and each filter once (the choose node takes
+        # its chosen alternative's entry without a recompute of its own).
+        assert len(recomputed) == 3
+        assert len({id(node) for node in recomputed}) == 3
+        assert decision.cost_evaluations == 4  # 3 recomputes + the choose
+
+    def test_memoized_activation_skips_recompute_entirely(
+        self, catalog, ctx, monkeypatch
+    ):
+        module = AccessModule.compile(build_diamond(ctx, catalog), ctx)
+        module.activate({"sel_v": 0.5})
+        recomputed: list[PlanNode] = []
+        original = PlanNode.recompute
+
+        def counting(self, *args, **kwargs):
+            recomputed.append(self)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(PlanNode, "recompute", counting)
+        module.activate({"sel_v": 0.5})
+        assert recomputed == []
+
+
+class TestDecisionMemoization:
+    def test_same_binding_resolves_once(self, catalog, ctx, count_resolves):
+        module = AccessModule.compile(build_diamond(ctx, catalog), ctx)
+        hits = get_metrics().counter("access_module.decision_cache_hits")
+        before = hits.value
+        first = module.activate({"sel_v": 0.5})
+        second = module.activate({"sel_v": 0.5})
+        assert len(count_resolves) == 1
+        assert second.decision is first.decision
+        assert hits.value == before + 1
+        # Bookkeeping still runs on cache hits.
+        assert module.invocations == 2
+        (used,) = module._usage.values()
+        assert used  # the chosen alternative is recorded
+
+    def test_different_binding_resolves_again(self, catalog, ctx, count_resolves):
+        module = AccessModule.compile(build_diamond(ctx, catalog), ctx)
+        module.activate({"sel_v": 0.5})
+        module.activate({"sel_v": 0.9})
+        assert len(count_resolves) == 2
+
+    def test_shrink_invalidates_cache(self, catalog, ctx, count_resolves):
+        module = AccessModule.compile(build_diamond(ctx, catalog), ctx)
+        module.activate({"sel_v": 0.5})
+        assert module._decision_cache
+        assert module.shrink()  # equal-cost tie always picks alternative 0
+        assert not module._decision_cache
+        # The cached decision referenced the old plan's nodes by identity;
+        # activation after the shrink must resolve against the new plan.
+        activation = module.activate({"sel_v": 0.5})
+        assert len(count_resolves) == 2
+        assert activation.decision.execution_cost > 0
+
+    def test_catalog_version_change_invalidates_cache(
+        self, catalog, ctx, count_resolves
+    ):
+        module = AccessModule.compile(build_diamond(ctx, catalog), ctx)
+        module.activate({"sel_v": 0.5})
+        # Bumps the catalog version without invalidating the module (the
+        # plan references no indexes at all).
+        catalog.drop_index("S_b")
+        module.activate({"sel_v": 0.5})
+        assert len(count_resolves) == 2
+
+
+class TestTopNPersistence:
+    def test_serialization_round_trip(self, catalog, model, space):
+        ctx = CostContext(
+            catalog=catalog, model=model, env=space.static_environment()
+        )
+        plan = TopNNode(ctx, FileScanNode(ctx, "R"), catalog.attribute("R.a"), 7)
+        rebuilt = deserialize_plan(serialize_plan(plan), ctx, space)
+        assert isinstance(rebuilt, TopNNode)
+        assert rebuilt.limit == 7
+        assert rebuilt.key == catalog.attribute("R.a")
+        assert rebuilt.cost == plan.cost
+
+    def test_rebuild_node_preserves_top_n(self, catalog, model, space):
+        ctx = CostContext(
+            catalog=catalog, model=model, env=space.static_environment()
+        )
+        plan = TopNNode(ctx, FileScanNode(ctx, "R"), catalog.attribute("R.a"), 7)
+        copy = rebuild_node(ctx, plan, (FileScanNode(ctx, "R"),))
+        assert isinstance(copy, TopNNode)
+        assert copy.limit == 7
+        assert copy.key == plan.key
