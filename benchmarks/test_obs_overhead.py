@@ -7,14 +7,30 @@ This benchmark measures dynamic optimization of query 5 (10 relations,
 the most search-intensive workload in the suite) three ways — untraced
 baseline, null tracer explicitly installed, and a full
 ``RecordingTracer`` — and publishes the comparison.
+
+A second benchmark covers the *execution* path, where the production
+telemetry pipeline lives: histogram observations, a rate-limited
+:class:`SamplingTracer`, and full telemetry (cardinality ledger +
+flight recorder + sampled traces).  The CI smoke bar is the acceptance
+criterion from the telemetry design: full telemetry within 10% of the
+untelemetered baseline.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.obs.trace import RecordingTracer, use_tracer
+from repro.executor.database import Database
+from repro.executor.executor import execute_plan
+from repro.obs.telemetry import (
+    get_flight_recorder,
+    get_ledger,
+    plan_signature,
+    reset_telemetry,
+)
+from repro.obs.trace import RecordingTracer, SamplingTracer, use_tracer
 from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.runtime.prepared import PreparedQuery
 from repro.util.fmt import format_table
 
 
@@ -74,3 +90,138 @@ def test_noop_tracer_overhead(catalog, model, publish):
     assert noop <= baseline * 1.25
     # A recording tracer costs real work; it just has to stay usable.
     assert recording <= baseline * 5.0
+
+
+TELEMETRY_SQL = (
+    "SELECT R1.a, COUNT(*) FROM R1, R2 WHERE R1.k = R2.j GROUP BY R1.a"
+)
+
+
+def _time_executions(prepared, db, rounds: int, per_round: int) -> float:
+    """Best-of-``rounds`` total wall time for ``per_round`` executions.
+
+    The flight recorder is fed per execution exactly the way the query
+    service feeds it, so a config that enables it pays its real cost.
+    """
+    values = prepared.derive_parameters(db, {})
+    activation = prepared.activate(values)
+    recorder = get_flight_recorder()
+    signature = plan_signature(prepared.module.plan)
+    alternatives = tuple(
+        node.label for node in activation.decision.choices.values()
+    )
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(per_round):
+            result = execute_plan(
+                prepared.module.plan,
+                db,
+                bindings={},
+                choices=activation.decision.choices,
+            )
+            if recorder.enabled:
+                recorder.record(
+                    TELEMETRY_SQL,
+                    signature,
+                    {},
+                    alternatives,
+                    result.metrics.wall_seconds,
+                    max_error_ratio=result.max_estimate_error,
+                )
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_execution_telemetry_overhead(catalog, publish):
+    db = Database(catalog)
+    db.load_synthetic(seed=23)
+    prepared = PreparedQuery.prepare(
+        TELEMETRY_SQL, catalog, mode=OptimizationMode.DYNAMIC
+    )
+    rounds, per_round = 5, 20
+
+    reset_telemetry()
+    _time_executions(prepared, db, 1, 3)  # warm buffers and closures
+
+    baseline = _time_executions(prepared, db, rounds, per_round)
+
+    # Histograms only: per-operator inclusive times observed into the
+    # shared log-bucket histogram (the EXPLAIN ANALYZE path, always on
+    # when an execution is metered).
+    with use_tracer(RecordingTracer()):
+        histograms = _time_executions(prepared, db, rounds, per_round)
+
+    # Sampled tracer: 1-in-10 requests recorded in full, the other nine
+    # pay one thread-local attribute check per site.
+    with use_tracer(SamplingTracer(rate=10)):
+        sampled = _time_executions(prepared, db, rounds, per_round)
+
+    # Full telemetry: cardinality ledger at every pipeline breaker +
+    # flight recorder per execution + sampled traces — the production
+    # serving configuration.
+    get_ledger().enable()
+    get_flight_recorder().enable()
+    try:
+        with use_tracer(SamplingTracer(rate=10)):
+            full = _time_executions(prepared, db, rounds, per_round)
+    finally:
+        reset_telemetry()
+
+    ledger_entries = 0  # reset above; recompute for the table from a probe run
+    get_ledger().enable()
+    try:
+        _time_executions(prepared, db, 1, 1)
+        ledger_entries = len(get_ledger().records())
+    finally:
+        reset_telemetry()
+
+    rows = [
+        ("no telemetry (default)", f"{baseline * 1e3:.1f}", "1.00"),
+        (
+            "histogram metering",
+            f"{histograms * 1e3:.1f}",
+            f"{histograms / baseline:.2f}",
+        ),
+        (
+            "sampled tracer (1/10)",
+            f"{sampled * 1e3:.1f}",
+            f"{sampled / baseline:.2f}",
+        ),
+        (
+            "full telemetry",
+            f"{full * 1e3:.1f}",
+            f"{full / baseline:.2f}",
+        ),
+    ]
+    publish(
+        "telemetry_overhead",
+        format_table(
+            ["configuration", f"{per_round} executions (ms)", "vs baseline"],
+            rows,
+            title=(
+                "Telemetry overhead — join + aggregation execution "
+                f"(best of {rounds} rounds; ledger records "
+                f"{ledger_entries} breaker(s) per execution)"
+            ),
+        ),
+    )
+
+    # CI smoke bar from the telemetry design: the full production
+    # pipeline stays within 10% of the untelemetered baseline (measured
+    # ~6% locally).  Shared runners hiccup; a failed bar gets exactly one
+    # clean re-measurement of both sides before failing the build.
+    if full > baseline * 1.10:
+        baseline = _time_executions(prepared, db, rounds, per_round)
+        get_ledger().enable()
+        get_flight_recorder().enable()
+        try:
+            with use_tracer(SamplingTracer(rate=10)):
+                full = _time_executions(prepared, db, rounds, per_round)
+        finally:
+            reset_telemetry()
+    assert full <= baseline * 1.10
+    assert sampled <= baseline * 1.10
+    # Always-on metering is allowed to cost real work, but must stay
+    # within the same order of magnitude.
+    assert histograms <= baseline * 3.0

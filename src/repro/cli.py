@@ -158,6 +158,15 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument(
         "--seed", type=int, default=0, help="synthetic-data RNG seed"
     )
+    analyze_cmd.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the N slowest operators by inclusive time and "
+        "the N worst cardinality-estimation errors from the telemetry "
+        "ledger",
+    )
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 
     experiments_cmd = commands.add_parser(
@@ -166,6 +175,38 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments_cmd.add_argument("--n", type=int, default=100)
     experiments_cmd.add_argument("--memory", action="store_true")
     experiments_cmd.set_defaults(handler=_cmd_experiments)
+
+    metrics_cmd = commands.add_parser(
+        "metrics",
+        help="drive a small workload with full telemetry and export the "
+        "metrics registry (OpenMetrics text or JSONL)",
+    )
+    _add_catalog_options(metrics_cmd)
+    metrics_cmd.add_argument(
+        "--workload",
+        type=int,
+        default=25,
+        metavar="N",
+        help="invocations to drive through a query service before "
+        "exporting (0 exports the empty registry; default 25)",
+    )
+    metrics_cmd.add_argument(
+        "--format",
+        choices=["openmetrics", "jsonl"],
+        default="openmetrics",
+        help="export format (default openmetrics)",
+    )
+    metrics_cmd.add_argument(
+        "--seed", type=int, default=0, help="data + workload RNG seed"
+    )
+    metrics_cmd.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the export to FILE instead of stdout",
+    )
+    metrics_cmd.set_defaults(handler=_cmd_metrics)
 
     serve_cmd = commands.add_parser(
         "serve-bench",
@@ -314,6 +355,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "every Nth case (0 disables; default 2)",
     )
     fuzz_cmd.add_argument(
+        "--ledger-every",
+        type=int,
+        default=4,
+        metavar="N",
+        help="run the telemetry-ledger differential (observed "
+        "cardinalities at pipeline breakers vs oracle intermediate "
+        "sizes) every Nth case (0 disables; default 4)",
+    )
+    fuzz_cmd.add_argument(
         "--smoke",
         action="store_true",
         help="fixed-seed 150-case run for CI (overrides --seed/--cases)",
@@ -328,6 +378,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choose_cmd,
         analyze_cmd,
         experiments_cmd,
+        metrics_cmd,
         serve_cmd,
         parallel_cmd,
         exec_cmd,
@@ -455,8 +506,11 @@ def _host_value(raw: str) -> object:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.executor.database import Database
     from repro.executor.executor import execute_plan
+    from repro.obs.telemetry import get_ledger
     from repro.runtime.prepared import PreparedQuery
 
+    if args.top:
+        get_ledger().enable()  # record estimation errors at breakers
     catalog = _load_catalog(args)
     value_bindings = _parse_assignments(args.values, "--set", _host_value)
     overrides = _parse_assignments(args.bind, "--bind", float)
@@ -505,7 +559,35 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         f"{activation.decision.cost_evaluations} cost evaluations, "
         f"predicted cost {activation.decision.execution_cost:.4f} s"
     )
+    if args.top:
+        _print_top(args.top, result.operator_stats, get_ledger())
     return 0
+
+
+def _print_top(n: int, operator_stats, ledger) -> None:
+    """The ``analyze --top N`` report: slowest operators by inclusive
+    time, then the worst estimation errors the ledger recorded."""
+    slowest = sorted(
+        operator_stats.values(), key=lambda s: -s.seconds
+    )[:n]
+    print(f"\ntop {n} operators by inclusive time:")
+    for rank, stats in enumerate(slowest, start=1):
+        print(
+            f"  {rank}. {stats.label}: {stats.seconds * 1000:.2f} ms, "
+            f"{stats.rows} rows, {stats.pages_read} pages"
+        )
+    worst = ledger.worst(n)
+    print(f"top {n} estimation errors (telemetry ledger):")
+    if not worst:
+        print("  (no pipeline breakers recorded)")
+    for rank, entry in enumerate(worst, start=1):
+        print(
+            f"  {rank}. {entry.label}: observed {entry.last_observed:.0f} "
+            f"vs estimate [{entry.estimate_low:.1f}, "
+            f"{entry.estimate_high:.1f}], error ratio "
+            f"{entry.max_error_ratio:.2f}x "
+            f"({entry.out_of_interval}/{entry.count} out of interval)"
+        )
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -533,8 +615,117 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import (
+        render_openmetrics,
+        snapshot_jsonl,
+        validate_openmetrics,
+    )
+    from repro.obs.telemetry import enable_telemetry
+    from repro.service import (
+        QueryService,
+        default_statements,
+        generate_invocations,
+        run_workload,
+    )
+
+    catalog = _load_catalog(args)
+    if args.workload:
+        enable_telemetry()
+        service = QueryService(
+            catalog, CostModel(), workers=2, seed=args.seed
+        )
+        try:
+            statements = default_statements(catalog)
+            run_workload(
+                service,
+                generate_invocations(
+                    statements, args.workload, seed=args.seed + 1
+                ),
+            )
+        finally:
+            service.close()
+    if args.format == "jsonl":
+        text = snapshot_jsonl()
+    else:
+        text = render_openmetrics()
+        validate_openmetrics(text)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _telemetry_drift_phase(service, catalog) -> dict:
+    """Exercise the telemetry feedback loop end to end, deterministically.
+
+    Two controlled provocations against the first catalog relation:
+
+    1. **Plan regression** — warm a grouped statement's runtime baseline
+       at a near-empty binding, then invoke it at full selectivity; the
+       flight recorder sees a multiple of the baseline, emits
+       ``plan.regression``, and flags the cached plan for recompile.
+    2. **Estimation drift** — deflate the relation's catalog cardinality
+       (the plan cache recompiles against the new statistics) while the
+       workers' loaded data keeps its original size; the aggregation
+       breaker observes far more rows than the compile-time interval
+       allows and the ledger records ``estimate.out_of_interval``.
+
+    Returns the telemetry evidence for the benchmark artifact.  The
+    catalog statistics are restored before returning.
+    """
+    from repro.obs.telemetry import get_flight_recorder, get_ledger
+
+    relation = catalog.relation_names[0]
+    info = catalog.relation(relation)
+    attribute = next(iter(info.schema))
+    qualified = f"{relation}.{attribute.name}"
+    recorder = get_flight_recorder()
+    ledger = get_ledger()
+
+    grouped = (
+        f"SELECT {qualified}, COUNT(*) FROM {relation} "
+        f"WHERE {qualified} < :v GROUP BY {qualified}"
+    )
+    floor = recorder.min_seconds
+    recorder.min_seconds = 0.0  # keep the demo deterministic across hosts
+    try:
+        for _ in range(recorder.warmup + 1):
+            service.execute(grouped, {"v": 2})
+        service.execute(grouped, {"v": attribute.domain_size})
+    finally:
+        recorder.min_seconds = floor
+
+    actual = info.stats.cardinality
+    catalog.set_cardinality(relation, max(1, actual // 5))
+    try:
+        service.execute(
+            f"SELECT {qualified}, COUNT(*) FROM {relation} "
+            f"GROUP BY {qualified}"
+        )
+    finally:
+        catalog.set_cardinality(relation, actual)
+
+    entries = ledger.records()
+    return {
+        "plan_regressions": len(recorder.regressions()),
+        "out_of_interval_entries": sum(
+            1 for entry in entries if entry.out_of_interval
+        ),
+        "worst_error_ratio": max(
+            (entry.max_error_ratio for entry in entries), default=1.0
+        ),
+        "ledger_entries": len(entries),
+        "flight_records": len(recorder.records()),
+    }
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.obs.metrics import get_metrics as _get_metrics
+    from repro.obs.telemetry import enable_telemetry
     from repro.service import (
         QueryService,
         default_statements,
@@ -563,11 +754,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         cache_ttl_seconds=args.cache_ttl,
         seed=args.seed,
     )
+    enable_telemetry()
     try:
         stream = generate_invocations(
             statements, invocations, zipf_s=args.zipf, seed=args.seed + 1
         )
         report = run_workload(service, stream)
+        drift = _telemetry_drift_phase(service, catalog)
     finally:
         service.close()
 
@@ -594,6 +787,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"backpressure: {report.rejections} overload rejections "
         f"(retried), {report.failed} failures"
     )
+    print(
+        f"telemetry drift phase: {drift['plan_regressions']} plan "
+        f"regression(s), {drift['out_of_interval_entries']} out-of-interval "
+        f"ledger entr(ies) (worst error ratio "
+        f"{drift['worst_error_ratio']:.2f}x, {drift['ledger_entries']} "
+        f"ledger entries, {drift['flight_records']} flight records)"
+    )
 
     snapshot = _get_metrics().snapshot()
     payload = {
@@ -609,10 +809,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "smoke": bool(args.smoke),
         },
         "report": report.as_dict(),
+        "telemetry": drift,
         "metrics": {
             name: value
             for name, value in snapshot.items()
-            if name.startswith(("plan_cache.", "service.", "optimizer.runs"))
+            if name.startswith(
+                ("plan_cache.", "service.", "optimizer.runs", "telemetry.")
+            )
         },
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -703,6 +906,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         check_service_every=args.service_every,
         check_parallel_every=args.parallel_every,
         check_batch_every=args.batch_every,
+        check_ledger_every=args.ledger_every,
         log=print,
     )
     print(report.summary())

@@ -121,6 +121,39 @@ class MeteredBatchIterator(BatchIterator):
             yield batch
 
 
+class LedgerProbeBatchIterator(BatchIterator):
+    """Batch twin of
+    :class:`~repro.executor.iterators.LedgerProbeIterator`: counts rows
+    across batches and records the observed cardinality into the
+    telemetry ledger on natural exhaustion.  Batch boundaries pass
+    through untouched, so the row stream stays byte-identical.
+    """
+
+    __slots__ = ("child", "ledger", "signature", "label", "interval", "catalog_version")
+
+    def __init__(
+        self, child: BatchIterator, ledger, signature: str, label: str,
+        interval, catalog_version: int,
+    ) -> None:
+        self.child = child
+        self.schema = child.schema
+        self.ledger = ledger
+        self.signature = signature
+        self.label = label
+        self.interval = interval
+        self.catalog_version = catalog_version
+
+    def batches(self) -> Iterator[RowBatch]:
+        count = 0
+        for batch in self.child.batches():
+            count += len(batch.rows)
+            yield batch
+        self.ledger.record(
+            self.signature, self.label, self.interval, count,
+            self.catalog_version,
+        )
+
+
 class MaterializedBatchIterator(BatchIterator):
     """Serves an already-materialized temporary result in blocks."""
 

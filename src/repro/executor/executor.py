@@ -11,6 +11,7 @@ whole point of dynamic plans.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from typing import Mapping
 
@@ -31,6 +32,7 @@ from repro.executor.batch import (
     BatchSortedAggregateIterator,
     BatchSortIterator,
     BatchTopNIterator,
+    LedgerProbeBatchIterator,
     MaterializedBatchIterator,
     MeteredBatchIterator,
 )
@@ -41,6 +43,7 @@ from repro.executor.iterators import (
     HashAggregateIterator,
     HashJoinIterator,
     IndexJoinIterator,
+    LedgerProbeIterator,
     MaterializedIterator,
     MergeJoinIterator,
     MeteredIterator,
@@ -53,6 +56,7 @@ from repro.executor.iterators import (
     TopNIterator,
 )
 from repro.obs.metrics import get_metrics
+from repro.obs.telemetry import CardinalityLedger, get_ledger, plan_signature
 from repro.obs.trace import get_tracer
 from repro.executor.tuples import DEFAULT_BATCH_SIZE, Row, RowSchema
 from repro.parallel.exchange import (
@@ -122,6 +126,11 @@ class ExecutionResult:
     # when executing with ``analyze=True`` (or a recording tracer); feed
     # :func:`repro.physical.explain.explain_analyze`.
     operator_stats: dict[int, OperatorStats] = field(default_factory=dict)
+    # Worst cardinality-estimation error ratio observed at any pipeline
+    # breaker during this execution (1.0 = every observation inside its
+    # compile-time interval; only populated while the telemetry ledger is
+    # enabled).  The flight recorder stores it alongside the duration.
+    max_estimate_error: float = 1.0
 
     def project(self, attributes) -> list[Row]:
         """Rows restricted/reordered to ``attributes``.
@@ -205,34 +214,46 @@ def execute_plan(
     size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
     if size <= 0:
         raise ExecutionError("batch_size must be positive")
+    ledger = get_ledger()
+    probe = (
+        _ProbeContext(ledger=ledger, catalog_version=db.catalog.version)
+        if ledger.enabled
+        else None
+    )
 
     before = _snapshot(db)
     started = time.perf_counter()
-    if execution_mode == "batch":
-        iterator = _build_batch_iterator(
-            plan,
-            db,
-            bindings,
-            choices or {},
-            memory,
-            materialized or {},
-            operator_stats,
-            size,
-            dop=effective_dop,
-        )
-        rows = [row for batch in iterator.batches() for row in batch.rows]
-    else:
-        iterator = _build_iterator(
-            plan,
-            db,
-            bindings,
-            choices or {},
-            memory,
-            materialized or {},
-            operator_stats,
-            dop=effective_dop,
-        )
-        rows = list(iterator.rows())
+    max_estimate_error = 1.0
+    with ledger.collect() if probe is not None else _no_collection() as collection:
+        if execution_mode == "batch":
+            iterator = _build_batch_iterator(
+                plan,
+                db,
+                bindings,
+                choices or {},
+                memory,
+                materialized or {},
+                operator_stats,
+                size,
+                dop=effective_dop,
+                probe=probe,
+            )
+            rows = [row for batch in iterator.batches() for row in batch.rows]
+        else:
+            iterator = _build_iterator(
+                plan,
+                db,
+                bindings,
+                choices or {},
+                memory,
+                materialized or {},
+                operator_stats,
+                dop=effective_dop,
+                probe=probe,
+            )
+            rows = list(iterator.rows())
+    if collection is not None:
+        max_estimate_error = collection.max_error_ratio
     elapsed = time.perf_counter() - started
     after = _snapshot(db)
 
@@ -247,7 +268,12 @@ def execute_plan(
         wall_seconds=elapsed,
     )
     _record_metrics(metrics)
-    get_metrics().gauge("executor.buffer_hit_ratio").set(db.buffer.hit_ratio)
+    registry = get_metrics()
+    registry.gauge("executor.buffer_hit_ratio").set(db.buffer.hit_ratio)
+    if operator_stats:
+        histogram = registry.histogram("executor.operator_seconds")
+        for stats in operator_stats.values():
+            histogram.observe(stats.seconds)
     if tracer.enabled:
         tracer.event("executor.execute", **metrics.as_dict())
         for stats in (operator_stats or {}).values():
@@ -257,7 +283,61 @@ def execute_plan(
         schema=iterator.schema,
         metrics=metrics,
         operator_stats=operator_stats or {},
+        max_estimate_error=max_estimate_error,
     )
+
+
+@dataclass(frozen=True)
+class _ProbeContext:
+    """Ledger wiring threaded through iterator construction.
+
+    Present only while the telemetry ledger is enabled and absent inside
+    exchange-worker subtrees (per-worker counts are partial; the exchange
+    itself reports the reassembled total).
+    """
+
+    ledger: CardinalityLedger
+    catalog_version: int
+
+
+#: Pipeline breakers whose *output* cardinality is a complete observation
+#: of the node's estimate once the iterator exhausts naturally.  The
+#: hash-join build side is the remaining breaker; it is probed at the
+#: join's construction site, and exchange partitions report through the
+#: exchange iterator.
+_BREAKER_NODES = (SortNode, HashAggregateNode, SortedAggregateNode)
+
+
+@contextmanager
+def _no_collection():
+    """Stand-in for ``ledger.collect()`` when telemetry is off."""
+    yield None
+
+
+def iter_probe_sites(
+    plan: PlanNode, choices: Mapping[int, PlanNode] | None = None
+):
+    """Yield ``(signature, node, kind)`` for every ledger probe the
+    executor would install in ``plan`` (choose-plans resolved through
+    ``choices``).  ``kind`` is ``"output"`` for sort/aggregation breakers
+    — the observation is the node's output cardinality — and ``"build"``
+    for a hash join's build input.  The differential fuzzer uses this to
+    predict exactly which ledger records an execution must produce.
+    """
+    choices = choices or {}
+
+    def walk(node: PlanNode):
+        if isinstance(node, ChoosePlanNode):
+            yield from walk(choices[id(node)])
+            return
+        if isinstance(node, _BREAKER_NODES):
+            yield (plan_signature(node), node, "output")
+        if isinstance(node, HashJoinNode):
+            yield (plan_signature(node.inputs[0]), node.inputs[0], "build")
+        for child in node.inputs:
+            yield from walk(child)
+
+    yield from walk(plan)
 
 
 def _record_metrics(metrics: ExecutionMetrics) -> None:
@@ -310,6 +390,7 @@ def _build_iterator(
     operator_stats: dict[int, OperatorStats] | None = None,
     dop: int = 1,
     partition: PartitionSpec | None = None,
+    probe: _ProbeContext | None = None,
 ) -> PlanIterator:
     if isinstance(node, ChoosePlanNode):
         try:
@@ -322,20 +403,25 @@ def _build_iterator(
         # never metered — counters attach to the chosen alternative.
         return _build_iterator(
             chosen, db, bindings, choices, memory, materialized, operator_stats,
-            dop, partition,
+            dop, partition, probe,
         )
     iterator = _instantiate_iterator(
         node, db, bindings, choices, memory, materialized, operator_stats,
-        dop, partition,
+        dop, partition, probe,
     )
-    if operator_stats is None or isinstance(iterator, MeteredIterator):
-        return iterator
-    # A shared subplan (DAG) may be instantiated once per parent; both
-    # instantiations accumulate into the same node-keyed stats record.
-    stats = operator_stats.get(id(node))
-    if stats is None:
-        stats = operator_stats[id(node)] = OperatorStats(label=node.label)
-    return MeteredIterator(iterator, stats, db.disk.counters)
+    if operator_stats is not None and not isinstance(iterator, MeteredIterator):
+        # A shared subplan (DAG) may be instantiated once per parent; both
+        # instantiations accumulate into the same node-keyed stats record.
+        stats = operator_stats.get(id(node))
+        if stats is None:
+            stats = operator_stats[id(node)] = OperatorStats(label=node.label)
+        iterator = MeteredIterator(iterator, stats, db.disk.counters)
+    if probe is not None and isinstance(node, _BREAKER_NODES):
+        iterator = LedgerProbeIterator(
+            iterator, probe.ledger, plan_signature(node), node.label,
+            node.cardinality, probe.catalog_version,
+        )
+    return iterator
 
 
 def _instantiate_iterator(
@@ -348,6 +434,7 @@ def _instantiate_iterator(
     operator_stats: dict[int, OperatorStats] | None,
     dop: int,
     partition: PartitionSpec | None,
+    probe: _ProbeContext | None = None,
 ) -> PlanIterator:
     if materialized:
         info = leaf_access_info(node)
@@ -357,14 +444,14 @@ def _instantiate_iterator(
     def build(child: PlanNode) -> PlanIterator:
         return _build_iterator(
             child, db, bindings, choices, memory, materialized, operator_stats,
-            dop, partition,
+            dop, partition, probe,
         )
 
     if isinstance(node, ExchangeNode):
         if partition is not None:
             raise ExecutionError("nested exchange operators are not supported")
         return _make_exchange(
-            node, db, bindings, choices, memory, materialized, dop
+            node, db, bindings, choices, memory, materialized, dop, probe
         )
     if isinstance(node, FileScanNode):
         if (
@@ -386,8 +473,18 @@ def _instantiate_iterator(
     if isinstance(node, FilterNode):
         return FilterIterator(build(node.inputs[0]), node.predicate, bindings)
     if isinstance(node, HashJoinNode):
+        build_side = build(node.inputs[0])
+        if probe is not None:
+            # The build side is a pipeline breaker: the join materializes
+            # it entirely before probing, so its consumed row count is a
+            # complete observation of the build child's estimate.
+            build_side = LedgerProbeIterator(
+                build_side, probe.ledger, plan_signature(node.inputs[0]),
+                f"{node.inputs[0].label} [build]", node.inputs[0].cardinality,
+                probe.catalog_version,
+            )
         return HashJoinIterator(
-            build(node.inputs[0]), build(node.inputs[1]), node.predicates, db, memory
+            build_side, build(node.inputs[1]), node.predicates, db, memory
         )
     if isinstance(node, MergeJoinNode):
         return MergeJoinIterator(
@@ -466,13 +563,16 @@ def _make_exchange(
     memory: int,
     materialized: Mapping[MaterializedKey, MaterializedIterator],
     dop: int,
+    probe: _ProbeContext | None = None,
 ) -> ExchangeIterator:
     """Instantiate an exchange: per-worker clones of the child subtree.
 
     Each worker gets an equal share of the memory budget (the memory split
     the parallel cost formulas assume) and runs unmetered — per-operator
     stats objects are not thread-safe, so EXPLAIN ANALYZE counters stop at
-    the exchange boundary and attribute the whole subtree to it.
+    the exchange boundary and attribute the whole subtree to it.  Ledger
+    probes likewise stop at the boundary (per-worker counts are partial
+    slices); the exchange reports the reassembled total itself.
     """
     child = node.inputs[0]
     worker_memory = max(1, memory // max(1, dop))
@@ -491,7 +591,21 @@ def _make_exchange(
             dop=1, partition=spec,
         )
 
-    return ExchangeIterator(node.label, dop, node.merge_key, build_worker)
+    return ExchangeIterator(
+        node.label, dop, node.merge_key, build_worker,
+        telemetry=_exchange_telemetry(node, probe),
+    )
+
+
+def _exchange_telemetry(
+    node: ExchangeNode, probe: _ProbeContext | None
+) -> tuple | None:
+    if probe is None:
+        return None
+    return (
+        probe.ledger, plan_signature(node), node.cardinality,
+        probe.catalog_version,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -508,9 +622,10 @@ def _build_batch_iterator(
     batch_size: int = DEFAULT_BATCH_SIZE,
     dop: int = 1,
     partition: PartitionSpec | None = None,
+    probe: _ProbeContext | None = None,
 ) -> BatchIterator:
     """Batch-mode twin of :func:`_build_iterator`: same dispatch, same
-    choose-plan and metering rules, vectorized operators."""
+    choose-plan, metering, and ledger-probe rules, vectorized operators."""
     if isinstance(node, ChoosePlanNode):
         try:
             chosen = choices[id(node)]
@@ -520,18 +635,25 @@ def _build_batch_iterator(
             ) from None
         return _build_batch_iterator(
             chosen, db, bindings, choices, memory, materialized, operator_stats,
-            batch_size, dop, partition,
+            batch_size, dop, partition, probe,
         )
     iterator = _instantiate_batch_iterator(
         node, db, bindings, choices, memory, materialized, operator_stats,
-        batch_size, dop, partition,
+        batch_size, dop, partition, probe,
     )
-    if operator_stats is None or isinstance(iterator, MeteredBatchIterator):
-        return iterator
-    stats = operator_stats.get(id(node))
-    if stats is None:
-        stats = operator_stats[id(node)] = OperatorStats(label=node.label)
-    return MeteredBatchIterator(iterator, stats, db.disk.counters)
+    if operator_stats is not None and not isinstance(
+        iterator, MeteredBatchIterator
+    ):
+        stats = operator_stats.get(id(node))
+        if stats is None:
+            stats = operator_stats[id(node)] = OperatorStats(label=node.label)
+        iterator = MeteredBatchIterator(iterator, stats, db.disk.counters)
+    if probe is not None and isinstance(node, _BREAKER_NODES):
+        iterator = LedgerProbeBatchIterator(
+            iterator, probe.ledger, plan_signature(node), node.label,
+            node.cardinality, probe.catalog_version,
+        )
+    return iterator
 
 
 def _instantiate_batch_iterator(
@@ -545,6 +667,7 @@ def _instantiate_batch_iterator(
     batch_size: int,
     dop: int,
     partition: PartitionSpec | None,
+    probe: _ProbeContext | None = None,
 ) -> BatchIterator:
     if materialized:
         info = leaf_access_info(node)
@@ -562,14 +685,15 @@ def _instantiate_batch_iterator(
     def build(child: PlanNode) -> BatchIterator:
         return _build_batch_iterator(
             child, db, bindings, choices, memory, materialized, operator_stats,
-            batch_size, dop, partition,
+            batch_size, dop, partition, probe,
         )
 
     if isinstance(node, ExchangeNode):
         if partition is not None:
             raise ExecutionError("nested exchange operators are not supported")
         return _make_batch_exchange(
-            node, db, bindings, choices, memory, materialized, batch_size, dop
+            node, db, bindings, choices, memory, materialized, batch_size, dop,
+            probe,
         )
     if isinstance(node, FileScanNode):
         if (
@@ -596,8 +720,17 @@ def _instantiate_batch_iterator(
             build(node.inputs[0]), node.predicate, bindings
         )
     if isinstance(node, HashJoinNode):
+        build_side = build(node.inputs[0])
+        if probe is not None:
+            # Same breaker rationale as the row path: the build input is
+            # consumed in full before any probe row flows.
+            build_side = LedgerProbeBatchIterator(
+                build_side, probe.ledger, plan_signature(node.inputs[0]),
+                f"{node.inputs[0].label} [build]", node.inputs[0].cardinality,
+                probe.catalog_version,
+            )
         return BatchHashJoinIterator(
-            build(node.inputs[0]), build(node.inputs[1]), node.predicates,
+            build_side, build(node.inputs[1]), node.predicates,
             db, memory, batch_size,
         )
     if isinstance(node, MergeJoinNode):
@@ -679,6 +812,7 @@ def _make_batch_exchange(
     materialized: Mapping[MaterializedKey, MaterializedIterator],
     batch_size: int,
     dop: int,
+    probe: _ProbeContext | None = None,
 ) -> BatchExchangeIterator:
     """Batch twin of :func:`_make_exchange`: per-worker vectorized clones
     whose blocks ship through the exchange queues without re-batching."""
@@ -700,5 +834,6 @@ def _make_batch_exchange(
         )
 
     return BatchExchangeIterator(
-        node.label, dop, node.merge_key, build_worker, batch_size
+        node.label, dop, node.merge_key, build_worker, batch_size,
+        telemetry=_exchange_telemetry(node, probe),
     )

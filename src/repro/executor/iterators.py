@@ -110,6 +110,41 @@ class MeteredIterator(PlanIterator):
             yield row
 
 
+class LedgerProbeIterator(PlanIterator):
+    """Transparent row counter feeding the cardinality-feedback ledger.
+
+    Wraps a pipeline breaker's output when the telemetry ledger is
+    enabled; on natural exhaustion it records the observed cardinality
+    against the node's compile-time interval.  Early termination (a
+    parent stops pulling, e.g. Top-N) records nothing — a truncated
+    count is not an observation of the breaker's true cardinality.
+    """
+
+    __slots__ = ("child", "ledger", "signature", "label", "interval", "catalog_version")
+
+    def __init__(
+        self, child: PlanIterator, ledger, signature: str, label: str,
+        interval, catalog_version: int,
+    ) -> None:
+        self.child = child
+        self.schema = child.schema
+        self.ledger = ledger
+        self.signature = signature
+        self.label = label
+        self.interval = interval
+        self.catalog_version = catalog_version
+
+    def rows(self) -> Iterator[Row]:
+        count = 0
+        for row in self.child.rows():
+            count += 1
+            yield row
+        self.ledger.record(
+            self.signature, self.label, self.interval, count,
+            self.catalog_version,
+        )
+
+
 class MaterializedIterator(PlanIterator):
     """Serves a temporary result that was materialized earlier.
 

@@ -30,6 +30,14 @@ span / event              emitted by
 ``chooser.resolved``      summary event per :func:`resolve_plan`
 ``executor.execute``      summary event per :func:`execute_plan`
 ``executor.operator``     per-operator runtime counters (EXPLAIN ANALYZE)
+``estimate.out_of_interval``  pipeline breaker observed a cardinality
+                          outside its compile-time interval (telemetry
+                          ledger; carries the error ratio)
+``plan.regression``       cached plan ran well above its runtime
+                          baseline (flight recorder)
+``service.invoke``        one span per service invocation (worker thread,
+                          re-parented under the submitter's span)
+``parallel.worker``       one span per exchange producer thread
 ========================  ============================================
 """
 
@@ -37,13 +45,32 @@ from repro.obs.log import get_logger, setup_logging
 from repro.obs.metrics import (
     Counter,
     Gauge,
+    Histogram,
     MetricsRegistry,
     Timer,
     get_metrics,
+    render_openmetrics,
+    set_metrics,
+    snapshot_jsonl,
+    use_metrics,
+    validate_openmetrics,
+)
+from repro.obs.telemetry import (
+    CardinalityLedger,
+    FlightRecord,
+    FlightRecorder,
+    LedgerEntry,
+    disable_telemetry,
+    enable_telemetry,
+    get_flight_recorder,
+    get_ledger,
+    plan_signature,
+    reset_telemetry,
 )
 from repro.obs.trace import (
     NULL_TRACER,
     RecordingTracer,
+    SamplingTracer,
     Span,
     Tracer,
     get_tracer,
@@ -52,18 +79,35 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CardinalityLedger",
     "Counter",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
+    "Histogram",
+    "LedgerEntry",
     "MetricsRegistry",
     "NULL_TRACER",
     "RecordingTracer",
+    "SamplingTracer",
     "Span",
     "Timer",
     "Tracer",
+    "disable_telemetry",
+    "enable_telemetry",
+    "get_flight_recorder",
+    "get_ledger",
     "get_logger",
     "get_metrics",
     "get_tracer",
+    "plan_signature",
+    "render_openmetrics",
+    "reset_telemetry",
+    "set_metrics",
     "set_tracer",
     "setup_logging",
+    "snapshot_jsonl",
+    "use_metrics",
     "use_tracer",
+    "validate_openmetrics",
 ]

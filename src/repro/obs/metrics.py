@@ -1,26 +1,42 @@
-"""Named metrics: counters, gauges, and timers in one registry.
+"""Named metrics: counters, gauges, timers, and histograms in one registry.
 
 Metric names form a dotted hierarchy mirroring the subsystems they
 measure, e.g. ``optimizer.candidates_considered``,
-``chooser.decisions``, ``executor.rows``.  The registry stays deliberately
-simple — plain Python numbers, no export protocol — because its job is to
-give the paper's quantitative claims one queryable home: ``snapshot()``
+``chooser.decisions``, ``executor.rows``.  The registry's job is to give
+the paper's quantitative claims one queryable home: ``snapshot()``
 returns a flat JSON-ready dict that the CLI's ``--stats`` flag and the
-experiment harness print verbatim.
+experiment harness print verbatim, and :func:`render_openmetrics` /
+:func:`snapshot_jsonl` export the same state for scraping.
 
 Every metric (and the registry's get-or-create path) is thread-safe: the
 serving layer updates counters and timers from a worker pool, so lost
 increments would silently corrupt cache-hit-rate and latency reports.
 Reads (``value``/``snapshot``) take the same per-metric locks, so a
 snapshot never observes a torn timer (seconds updated, count not).
+
+Histograms use *fixed* logarithmic bucket boundaries (powers of two from
+1 µs), so percentile estimates are mergeable across processes and the
+OpenMetrics exposition needs no per-process bucket negotiation.  A
+quantile is reported as the upper bound of the bucket containing it,
+clamped to the exact observed maximum — an overestimate by at most one
+bucket width (2x), which is the standard Prometheus trade-off.
 """
 
 from __future__ import annotations
 
+import json
+import re
 import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Iterator
+
+#: Default histogram boundaries: 1 µs · 2^i, spanning ~1 µs .. ~134 s.
+#: Latencies in this repository range from sub-millisecond cache hits to
+#: multi-second benchmark executions; 28 log buckets cover both ends at
+#: a constant factor-of-two resolution.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(1e-6 * (2.0**i) for i in range(28))
 
 
 class Counter:
@@ -101,13 +117,108 @@ class Timer:
             self.observe(time.perf_counter() - started)
 
 
+class Histogram:
+    """Fixed-boundary log-bucket distribution with quantile estimates.
+
+    ``boundaries`` are ascending bucket upper bounds; one implicit
+    overflow bucket catches everything above the last bound.  The exact
+    running maximum is tracked separately so ``max`` (and quantiles near
+    it) never overshoot the largest observation.
+    """
+
+    __slots__ = ("_boundaries", "_counts", "_sum", "_count", "_max", "_lock")
+
+    def __init__(self, boundaries: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not boundaries or list(boundaries) != sorted(boundaries):
+            raise ValueError("histogram boundaries must be ascending and non-empty")
+        self._boundaries = tuple(float(b) for b in boundaries)
+        self._counts = [0] * (len(self._boundaries) + 1)  # + overflow
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def boundaries(self) -> tuple[float, ...]:
+        return self._boundaries
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._boundaries, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket counts (last entry is the overflow bucket)."""
+        with self._lock:
+            return list(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]): the upper bound of
+        the bucket holding the q-th observation, clamped to the exact
+        maximum.  0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank and bucket_count:
+                    if index < len(self._boundaries):
+                        return min(self._boundaries[index], self._max)
+                    return self._max
+            return self._max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - started)
+
+
 class MetricsRegistry:
-    """Get-or-create registry of named counters/gauges/timers."""
+    """Get-or-create registry of named counters/gauges/timers/histograms."""
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -134,15 +245,26 @@ class MetricsRegistry:
                 metric = self._timers[name] = Timer()
             return metric
 
+    def histogram(
+        self, name: str, boundaries: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(boundaries)
+            return metric
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, float]:
-        """Flat name → value dict; timers expand to ``.seconds``/``.count``."""
+        """Flat name → value dict; timers expand to ``.seconds``/``.count``,
+        histograms to ``.p50``/``.p95``/``.p99``/``.max``/``.count``/``.sum``."""
         with self._lock:
             counters = sorted(self._counters.items())
             gauges = sorted(self._gauges.items())
             timers = sorted(self._timers.items())
+            histograms = sorted(self._histograms.items())
         out: dict[str, float] = {}
         for name, counter in counters:
             out[name] = counter.value
@@ -151,11 +273,28 @@ class MetricsRegistry:
         for name, timer in timers:
             out[f"{name}.seconds"] = timer.seconds
             out[f"{name}.count"] = float(timer.count)
+        for name, histogram in histograms:
+            out[f"{name}.p50"] = histogram.p50
+            out[f"{name}.p95"] = histogram.p95
+            out[f"{name}.p99"] = histogram.p99
+            out[f"{name}.max"] = histogram.max
+            out[f"{name}.count"] = float(histogram.count)
+            out[f"{name}.sum"] = histogram.sum
         return out
 
     def as_dict(self) -> dict[str, float]:
         """Alias of :meth:`snapshot` matching the repo's serialization idiom."""
         return self.snapshot()
+
+    def collect(self) -> dict[str, dict[str, object]]:
+        """Typed view of every metric, keyed by kind — the exporter input."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "timers": dict(sorted(self._timers.items())),
+                "histograms": dict(sorted(self._histograms.items())),
+            }
 
     def reset(self) -> None:
         """Drop every metric (tests and repeated CLI runs)."""
@@ -163,6 +302,141 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._timers.clear()
+            self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+=\"[^\"]*\"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\})?"
+    r" [-+]?([0-9]*\.)?[0-9]+([eE][-+]?[0-9]+)?$"
+)
+
+
+def _metric_name(name: str, prefix: str = "repro") -> str:
+    """Dotted registry name → Prometheus metric name (``repro_`` prefix)."""
+    return f"{prefix}_{_NAME_SANITIZER.sub('_', name)}"
+
+
+def _format_value(value: float) -> str:
+    # OpenMetrics floats: repr round-trips exactly and never produces
+    # locale-dependent output.
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(registry: "MetricsRegistry | None" = None) -> str:
+    """The registry in OpenMetrics/Prometheus text exposition format.
+
+    Counters expose ``<name>_total``; timers expose a summary-style
+    ``_sum``/``_count`` pair; histograms expose cumulative ``_bucket``
+    series with ``le`` labels plus ``_sum``/``_count``.  The output ends
+    with the mandatory ``# EOF`` terminator.
+    """
+    registry = registry if registry is not None else get_metrics()
+    collected = registry.collect()
+    lines: list[str] = []
+    for name, counter in collected["counters"].items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(counter.value)}")
+    for name, gauge in collected["gauges"].items():
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauge.value)}")
+    for name, timer in collected["timers"].items():
+        metric = _metric_name(f"{name}_seconds")
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_sum {_format_value(timer.seconds)}")
+        lines.append(f"{metric}_count {_format_value(float(timer.count))}")
+    for name, histogram in collected["histograms"].items():
+        metric = _metric_name(f"{name}_seconds")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        counts = histogram.bucket_counts()
+        for bound, bucket_count in zip(histogram.boundaries, counts):
+            cumulative += bucket_count
+            lines.append(
+                f'{metric}_bucket{{le="{repr(bound)}"}} {cumulative}'
+            )
+        cumulative += counts[-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(histogram.sum)}")
+        lines.append(f"{metric}_count {_format_value(float(histogram.count))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_jsonl(registry: "MetricsRegistry | None" = None) -> str:
+    """One JSON object per metric, newline-delimited — the log-shipping
+    twin of :func:`render_openmetrics`."""
+    registry = registry if registry is not None else get_metrics()
+    collected = registry.collect()
+    lines: list[str] = []
+    for name, counter in collected["counters"].items():
+        lines.append(
+            json.dumps({"metric": name, "type": "counter", "value": counter.value})
+        )
+    for name, gauge in collected["gauges"].items():
+        lines.append(
+            json.dumps({"metric": name, "type": "gauge", "value": gauge.value})
+        )
+    for name, timer in collected["timers"].items():
+        lines.append(
+            json.dumps(
+                {
+                    "metric": name,
+                    "type": "timer",
+                    "seconds": timer.seconds,
+                    "count": timer.count,
+                }
+            )
+        )
+    for name, histogram in collected["histograms"].items():
+        lines.append(
+            json.dumps(
+                {
+                    "metric": name,
+                    "type": "histogram",
+                    "count": histogram.count,
+                    "sum": histogram.sum,
+                    "max": histogram.max,
+                    "p50": histogram.p50,
+                    "p95": histogram.p95,
+                    "p99": histogram.p99,
+                }
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def validate_openmetrics(text: str) -> None:
+    """Raise ``ValueError`` unless ``text`` is well-formed OpenMetrics.
+
+    Structural validation only (no client library in this environment):
+    every line is a ``# TYPE``/``# HELP`` comment or a sample matching the
+    exposition grammar, type names are known, and the text ends with the
+    mandatory ``# EOF`` terminator.  Used by tests and the CI workflow.
+    """
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("OpenMetrics output must end with '# EOF'")
+    known_types = {"counter", "gauge", "summary", "histogram", "unknown"}
+    for number, line in enumerate(lines[:-1], 1):
+        if not line:
+            raise ValueError(f"line {number}: blank lines are not allowed")
+        if line.startswith("#"):
+            parts = line.split(" ")
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP"):
+                raise ValueError(f"line {number}: malformed comment {line!r}")
+            if parts[1] == "TYPE" and parts[3] not in known_types:
+                raise ValueError(f"line {number}: unknown metric type {parts[3]!r}")
+            continue
+        if not _SAMPLE_LINE.match(line):
+            raise ValueError(f"line {number}: malformed sample {line!r}")
 
 
 # ----------------------------------------------------------------------
@@ -172,5 +446,27 @@ _registry = MetricsRegistry()
 
 
 def get_metrics() -> MetricsRegistry:
-    """The process-global metrics registry."""
+    """The current process-global metrics registry."""
     return _registry
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` globally (None installs a fresh one); returns
+    the previous registry so callers can restore it."""
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else MetricsRegistry()
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Scoped registry swap: a private (or given) registry for the
+    ``with`` block, restoring the previous one afterwards.  The test
+    suite's isolation primitive — tests measure deltas against their own
+    registry instead of mutating the shared singleton in place."""
+    previous = set_metrics(registry)
+    try:
+        yield get_metrics()
+    finally:
+        set_metrics(previous)

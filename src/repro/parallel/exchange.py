@@ -140,6 +140,7 @@ class ExchangeIterator(PlanIterator):
         "merge_position",
         "_worker_rows",
         "_max_queue_depth",
+        "_telemetry",
     )
 
     def __init__(
@@ -148,6 +149,7 @@ class ExchangeIterator(PlanIterator):
         dop: int,
         merge_key: Attribute | None,
         build_worker: Callable[[int], PlanIterator],
+        telemetry: tuple | None = None,
     ) -> None:
         self.label = label
         self.dop = max(1, dop)
@@ -158,6 +160,11 @@ class ExchangeIterator(PlanIterator):
         )
         self._worker_rows = [0] * self.dop
         self._max_queue_depth = 0
+        # (ledger, plan signature, cardinality interval, catalog version):
+        # when set, the exchange reports its total produced rows — the
+        # partition breaker's observed cardinality — to the telemetry
+        # ledger after a threaded run.
+        self._telemetry = telemetry
 
     def rows(self) -> Iterator[Row]:
         if self.dop == 1:
@@ -182,10 +189,25 @@ class ExchangeIterator(PlanIterator):
             queues = [queue.Queue(maxsize=QUEUE_BATCHES) for _ in range(self.dop)]
             outputs = queues
         cancel = threading.Event()
+        tracer = get_tracer()
+        parent = tracer.current_span() if tracer.enabled else None
+
+        def worker_body(index: int, iterator, out) -> None:
+            if parent is None:
+                self._produce(index, iterator, out, cancel)
+                return
+            # Cross-thread propagation: adopt the coordinator's span so
+            # this worker's spans/events nest inside the query's trace.
+            with tracer.attach(parent):
+                with tracer.span(
+                    "parallel.worker", label=self.label, worker=index
+                ):
+                    self._produce(index, iterator, out, cancel)
+
         threads = [
             threading.Thread(
-                target=self._produce,
-                args=(index, iterator, outputs[index], cancel),
+                target=worker_body,
+                args=(index, iterator, outputs[index]),
                 name=f"exchange-worker-{index}",
                 daemon=True,
             )
@@ -320,6 +342,19 @@ class ExchangeIterator(PlanIterator):
                 rows_per_worker=list(self._worker_rows),
                 max_queue_depth=self._max_queue_depth,
             )
+        if self._telemetry is not None:
+            ledger, signature, interval, version = self._telemetry
+            ledger.record(
+                signature,
+                self.label,
+                interval,
+                float(total),
+                version,
+                detail={
+                    "rows_per_worker": list(self._worker_rows),
+                    "dop": self.dop,
+                },
+            )
 
 
 # ----------------------------------------------------------------------
@@ -443,8 +478,9 @@ class BatchExchangeIterator(ExchangeIterator):
         merge_key: Attribute | None,
         build_worker: Callable[[int], BatchIterator],
         batch_size: int,
+        telemetry: tuple | None = None,
     ) -> None:
-        super().__init__(label, dop, merge_key, build_worker)
+        super().__init__(label, dop, merge_key, build_worker, telemetry)
         self.batch_size = batch_size
 
     def batches(self) -> Iterator[RowBatch]:

@@ -20,7 +20,7 @@ from repro.qa.generator import CaseGenerator, FuzzCase
 from repro.qa.invariants import CaseOutcome, Violation, run_case
 from repro.qa.shrinker import shrink_case
 
-Runner = Callable[[FuzzCase, bool, tuple[int, ...], bool], CaseOutcome]
+Runner = Callable[[FuzzCase, bool, tuple[int, ...], bool, bool], CaseOutcome]
 
 ARTIFACT_VERSION = 1
 
@@ -52,6 +52,7 @@ class FuzzReport:
     service_checked: int = 0
     parallel_checked: int = 0
     batch_checked: int = 0
+    ledger_checked: int = 0
 
     @property
     def ok(self) -> bool:
@@ -64,6 +65,7 @@ class FuzzReport:
             f"service-checked={self.service_checked} "
             f"parallel-checked={self.parallel_checked} "
             f"batch-checked={self.batch_checked} "
+            f"ledger-checked={self.ledger_checked} "
             f"time={self.duration_seconds:.1f}s: {status}"
         )
 
@@ -73,12 +75,14 @@ def _default_runner(
     check_service: bool,
     parallel_dops: tuple[int, ...] = (),
     check_batch: bool = False,
+    check_ledger: bool = False,
 ) -> CaseOutcome:
     return run_case(
         case,
         check_service=check_service,
         parallel_dops=parallel_dops,
         check_batch=check_batch,
+        check_ledger=check_ledger,
     )
 
 
@@ -91,6 +95,7 @@ def run_fuzz(
     check_parallel_every: int = 4,
     parallel_dops: tuple[int, ...] = (1, 2, 4),
     check_batch_every: int = 2,
+    check_ledger_every: int = 4,
     runner: Runner | None = None,
     log: Callable[[str], None] | None = None,
 ) -> FuzzReport:
@@ -100,10 +105,13 @@ def run_fuzz(
     :class:`QueryService` byte-identity check to every Nth case; 0 disables
     it.  ``check_parallel_every`` does the same for the parallel-execution
     differential (re-optimization with a DOP parameter plus one execution
-    and one run-time optimum per degree in ``parallel_dops``), and
+    and one run-time optimum per degree in ``parallel_dops``),
     ``check_batch_every`` for the batch-vs-row executor byte-identity
-    differential.  ``runner`` lets tests substitute an instrumented
-    :func:`~repro.qa.invariants.run_case` (e.g. with an injected bug).
+    differential, and ``check_ledger_every`` for the telemetry-ledger
+    differential (observed cardinalities at pipeline breakers vs the
+    oracle's intermediate sizes).  ``runner`` lets tests substitute an
+    instrumented :func:`~repro.qa.invariants.run_case` (e.g. with an
+    injected bug).
     """
     run = runner or _default_runner
     report = FuzzReport(seed=str(seed), cases=cases)
@@ -128,7 +136,12 @@ def run_fuzz(
         )
         if check_batch:
             report.batch_checked += 1
-        outcome = run(case, check_service, case_dops, check_batch)
+        check_ledger = bool(
+            check_ledger_every and index % check_ledger_every == 0
+        )
+        if check_ledger:
+            report.ledger_checked += 1
+        outcome = run(case, check_service, case_dops, check_batch, check_ledger)
         if outcome.passed:
             if log and (index + 1) % 25 == 0:
                 log(f"  ... {index + 1}/{cases} cases, all invariants hold")
@@ -152,11 +165,11 @@ def run_fuzz(
             shrunk = shrink_case(
                 case,
                 outcome.checks,
-                run=lambda c: run(c, True, shrink_dops, check_batch),
+                run=lambda c: run(c, True, shrink_dops, check_batch, check_ledger),
             )
             failure.shrunk = shrunk
             failure.shrunk_violations = run(
-                shrunk, True, shrink_dops, check_batch
+                shrunk, True, shrink_dops, check_batch, check_ledger
             ).violations
             if log:
                 log(
@@ -216,12 +229,13 @@ def replay_artifact(
 
     ``parallel_dops`` additionally replays the case through parallel
     execution at the given degrees (see :func:`~repro.qa.invariants.run_case`).
-    Replay always includes the batch-vs-row differential — artifacts are
-    rare and worth the extra executions.
+    Replay always includes the batch-vs-row and telemetry-ledger
+    differentials — artifacts are rare and worth the extra executions.
     """
     return run_case(
         load_artifact(path),
         check_service=True,
         parallel_dops=parallel_dops,
         check_batch=True,
+        check_ledger=True,
     )

@@ -26,6 +26,12 @@ For each generated case the checkers cross-validate every layer:
   keep holding at every DOP binding.
 * **service** — :class:`QueryService` (cold, then through the plan cache)
   must return byte-identical canonical results to direct execution.
+* **ledger** — with the telemetry ledger enabled, the observed
+  cardinality recorded at every pipeline breaker (sort, hash-join build,
+  aggregation) must equal the oracle's intermediate result size for that
+  subtree, identically in batch and row mode, and the set of recorded
+  probe signatures must match exactly what
+  :func:`~repro.executor.executor.iter_probe_sites` predicts.
 """
 
 from __future__ import annotations
@@ -196,13 +202,15 @@ def run_case(
     model: CostModel | None = None,
     parallel_dops: tuple[int, ...] = (),
     check_batch: bool = False,
+    check_ledger: bool = False,
 ) -> CaseOutcome:
     """Run every invariant checker against one case.
 
     ``parallel_dops`` lists degrees of parallelism to differentially test
     (empty disables the parallel checkers); ``(1, 2, 4)`` is the standard
     fuzzing configuration.  ``check_batch`` enables the batch-vs-row
-    executor byte-identity differential.
+    executor byte-identity differential, ``check_ledger`` the telemetry
+    cardinality-ledger differential (two extra executions).
     """
     outcome = CaseOutcome(case=case)
 
@@ -217,6 +225,7 @@ def run_case(
             report,
             parallel_dops,
             check_batch,
+            check_ledger,
         )
     except Exception as exc:  # any crash is itself a finding
         report("crash", f"{type(exc).__name__}: {exc}")
@@ -224,7 +233,13 @@ def run_case(
 
 
 def _run_checks(
-    case, check_service, model, report, parallel_dops=(), check_batch=False
+    case,
+    check_service,
+    model,
+    report,
+    parallel_dops=(),
+    check_batch=False,
+    check_ledger=False,
 ) -> None:
     catalog = case.build_catalog()
     db = Database(catalog, model)
@@ -342,6 +357,12 @@ def _run_checks(
                         f"{len(reference)}; first diff: "
                         f"{_first_diff(other.rows, reference)}",
                     )
+
+    # --- telemetry ledger ---------------------------------------------
+    if check_ledger:
+        _check_ledger(
+            case, db, dynamic.plan, decision.choices, oracle, report
+        )
 
     # --- parallel execution -------------------------------------------
     if parallel_dops:
@@ -484,6 +505,189 @@ def _first_diff(rows: list[tuple], oracle: list[tuple]) -> str:
         if got != want:
             return f"row {i}: {got} != {want}"
     return f"length {len(rows)} vs {len(oracle)}"
+
+
+def _subtree_shape(node, choices):
+    """(base relations, contains-aggregate, contains-limit) of a physical
+    subtree, resolving choose-plans through ``choices``."""
+    from repro.physical.plan import (
+        HashAggregateNode,
+        SortedAggregateNode,
+        TopNNode,
+    )
+
+    relations: set[str] = set()
+    has_aggregate = False
+    has_limit = False
+
+    def walk(current) -> None:
+        nonlocal has_aggregate, has_limit
+        if isinstance(current, ChoosePlanNode):
+            walk(choices[id(current)])
+            return
+        if isinstance(current, (HashAggregateNode, SortedAggregateNode)):
+            has_aggregate = True
+        if isinstance(current, TopNNode):
+            has_limit = True
+        relation = getattr(current, "relation", None)
+        if relation is not None:
+            relations.add(relation)
+        inner = getattr(current, "inner_relation", None)
+        if inner is not None:
+            relations.add(inner)
+        for child in current.inputs:
+            walk(child)
+
+    walk(node)
+    return relations, has_aggregate, has_limit
+
+
+def _oracle_intermediate_count(case, db, relations: set[str]) -> int:
+    """Oracle row count of the join of ``relations`` only: the reference
+    fold of :func:`~repro.qa.oracle.evaluate_reference` restricted to a
+    subset of the FROM list — each relation filtered by its selections,
+    each join applied once both sides are present."""
+    from repro.qa.oracle import _passes_selections, _relation_rows
+
+    query = case.query
+    accumulated = None
+    present: set[str] = set()
+    applied: set[int] = set()
+    for relation in query.relations:
+        if relation not in relations:
+            continue
+        rows = [
+            row
+            for row in _relation_rows(db, relation)
+            if _passes_selections(row, query, relation, case.bindings)
+        ]
+        if accumulated is None:
+            accumulated = rows
+        else:
+            accumulated = [
+                {**left, **right} for left in accumulated for right in rows
+            ]
+        present.add(relation)
+        for i, join in enumerate(query.joins):
+            if i in applied or not join.relations <= present:
+                continue
+            applied.add(i)
+            accumulated = [
+                row for row in accumulated if row[join.left] == row[join.right]
+            ]
+    return len(accumulated or [])
+
+
+def _check_ledger(case, db, plan, choices, oracle, report) -> None:
+    """Telemetry differential: ledger observations vs oracle intermediates.
+
+    Executes the dynamic plan once per executor mode with the cardinality
+    ledger enabled and requires (1) batch and row mode to record identical
+    signature → observed-count maps, (2) the recorded signature set to be
+    exactly what :func:`~repro.executor.executor.iter_probe_sites`
+    predicts, and (3) every observed count to equal the oracle's size for
+    that subtree — the join of the subtree's relations, or the final
+    group count once aggregation is inside the subtree.
+    """
+    from repro.executor.executor import iter_probe_sites
+    from repro.obs.telemetry import get_ledger
+
+    ledger = get_ledger()
+    was_enabled = ledger.enabled
+    ledger.enable()
+    try:
+        observed: dict[str, dict[str, float]] = {}
+        for mode in ("batch", "row"):
+            ledger.reset()
+            execute_plan(
+                plan,
+                db,
+                bindings=case.bindings,
+                choices=choices,
+                execution_mode=mode,
+            )
+            observed[mode] = ledger.observed_by_signature()
+    finally:
+        ledger.reset()
+        if not was_enabled:
+            ledger.disable()
+    sites = list(iter_probe_sites(plan, choices))
+    site_signatures = {signature for signature, _node, _kind in sites}
+    for mode in ("batch", "row"):
+        extra = sorted(set(observed[mode]) - site_signatures)
+        if extra:
+            report(
+                "ledger-extra-records",
+                f"{mode}-mode ledger recorded signatures with no "
+                f"predicted probe site: {extra}",
+            )
+    # A probe records only on natural exhaustion.  Consumers that may
+    # legitimately stop pulling early — a merge join (either input ends
+    # the join) and a hash join's probe input (skipped when the build is
+    # empty) — make recording optional there, and since batch and row
+    # mode reach exhaustion at different pull granularities, presence may
+    # differ across modes for exactly those sites.  Everything *recorded*
+    # is a complete observation and must match the oracle.
+    exempt = _early_stop_sites(plan, choices)
+    for signature, node, kind in sites:
+        relations, has_aggregate, has_limit = _subtree_shape(node, choices)
+        expected = None
+        if not has_limit:  # a Top-N below the probe truncates legitimately
+            expected = (
+                len(oracle)
+                if has_aggregate
+                else _oracle_intermediate_count(case, db, relations)
+            )
+        for mode in ("batch", "row"):
+            got = observed[mode].get(signature)
+            if got is None:
+                if signature not in exempt:
+                    report(
+                        "ledger-missing-record",
+                        f"no {mode}-mode ledger record for predicted probe "
+                        f"site {node.label} ({kind}, {signature})",
+                    )
+                continue
+            if expected is not None and got != expected:
+                report(
+                    "ledger-oracle",
+                    f"{node.label} ({kind}, {mode} mode): ledger observed "
+                    f"{got:.0f} rows != oracle intermediate {expected} "
+                    f"over {sorted(relations)}",
+                )
+
+
+def _early_stop_sites(plan, choices) -> set[str]:
+    """Signatures of probe sites below an edge whose consumer may stop
+    pulling before exhaustion — a merge join's inputs (either side can
+    end the join) and a hash join's probe input (never pulled when the
+    build is empty).  Recording is optional anywhere under such an edge:
+    an unpulled iterator records nothing in its whole subtree."""
+    from repro.executor.executor import iter_probe_sites
+    from repro.physical.plan import HashJoinNode, MergeJoinNode
+
+    signatures: set[str] = set()
+
+    def resolve(node):
+        while isinstance(node, ChoosePlanNode):
+            node = choices[id(node)]
+        return node
+
+    def walk(node) -> None:
+        node = resolve(node)
+        edges = ()
+        if isinstance(node, MergeJoinNode):
+            edges = node.inputs
+        elif isinstance(node, HashJoinNode):
+            edges = (node.inputs[1],)
+        for child in edges:
+            for signature, _node, _kind in iter_probe_sites(child, choices):
+                signatures.add(signature)
+        for child in node.inputs:
+            walk(child)
+
+    walk(plan)
+    return signatures
 
 
 def _check_service(case, catalog, model, attributes, direct, report) -> None:

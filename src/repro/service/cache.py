@@ -133,6 +133,10 @@ class PlanCache:
         self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
         self._inflight: dict[CacheKey, _InFlight] = {}
         self._lock = threading.Lock()
+        # Normalized statement texts the flight recorder flagged for
+        # recompile after a runtime regression; checked (and cleared) on
+        # the next lookup so the entry takes the recompile path.
+        self._flagged: set[str] = set()
         self._listener = catalog.subscribe(self._on_catalog_change)
 
     def __len__(self) -> int:
@@ -187,9 +191,14 @@ class PlanCache:
             assert flight.entry is not None
             return flight.entry, False
         try:
-            prepared = PreparedQuery.prepare(
-                sql, self._catalog, self._model, mode=mode, max_dop=self._max_dop
-            )
+            with metrics.histogram("plan_cache.compile_seconds").time():
+                prepared = PreparedQuery.prepare(
+                    sql,
+                    self._catalog,
+                    self._model,
+                    mode=mode,
+                    max_dop=self._max_dop,
+                )
             prepared.stale_threshold = self._stale_threshold
             entry = CacheEntry(
                 key=key, prepared=prepared, expires_at=self._deadline()
@@ -223,12 +232,28 @@ class PlanCache:
         """Why a stored entry cannot be served, as a counter suffix."""
         if entry.expires_at is not None and self._clock() >= entry.expires_at:
             return "expirations"
+        if entry.key.query_text in self._flagged:
+            # Flight-recorder regression: treat exactly like statistics
+            # drift — drop and recompile through the same counter.
+            self._flagged.discard(entry.key.query_text)
+            return "recompiles"
         module = entry.prepared.module
         if not module.validate(self._catalog):
             return "recompiles"
         if module.is_stale(self._catalog, self._stale_threshold):
             return "recompiles"
         return None
+
+    def flag_recompile(self, sql: str) -> None:
+        """Mark ``sql``'s cached plan for recompilation at next lookup.
+
+        The flight recorder's reaction to a ``plan.regression``: the plan
+        still serves the current invocation, but the next lookup takes the
+        existing recompile path (``plan_cache.recompiles``) and re-optimizes
+        against current statistics.
+        """
+        with self._lock:
+            self._flagged.add(normalize_query_text(sql))
 
     # ------------------------------------------------------------------
     # Invalidation

@@ -44,7 +44,9 @@ from repro.errors import ServiceClosedError, ServiceOverloadedError
 from repro.executor.database import Database
 from repro.executor.executor import ExecutionResult, execute_plan
 from repro.obs.log import get_logger
-from repro.obs.metrics import get_metrics
+from repro.obs.metrics import get_metrics, render_openmetrics, snapshot_jsonl
+from repro.obs.telemetry import get_flight_recorder, plan_signature
+from repro.obs.trace import Span, get_tracer
 from repro.optimizer.optimizer import OptimizationMode
 from repro.service.cache import CacheEntry, PlanCache
 
@@ -65,6 +67,10 @@ class _Request:
     dop: int | None
     execution_mode: str
     batch_size: int | None
+    # The submitter's open span (if any): the worker re-parents its
+    # ``service.invoke`` span under it, so one trace covers submission,
+    # queueing, and execution across the thread boundary.
+    trace_parent: "Span | None" = None
 
 
 @dataclass(frozen=True)
@@ -202,6 +208,7 @@ class QueryService:
         metrics = get_metrics()
         if self._closed.is_set():
             raise ServiceClosedError("query service is closed")
+        tracer = get_tracer()
         request = _Request(
             sql=sql,
             value_bindings=dict(value_bindings or {}),
@@ -213,6 +220,7 @@ class QueryService:
             dop=dop,
             execution_mode=execution_mode or self._execution_mode,
             batch_size=batch_size if batch_size is not None else self._batch_size,
+            trace_parent=tracer.current_span() if tracer.enabled else None,
         )
         future: Future[ServiceResult] = Future()
         try:
@@ -286,6 +294,18 @@ class QueryService:
         self.close()
 
     # ------------------------------------------------------------------
+    # Telemetry export
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """The shared metrics registry in OpenMetrics text format — the
+        payload a ``/metrics`` scrape endpoint would serve."""
+        return render_openmetrics(get_metrics())
+
+    def metrics_jsonl(self) -> str:
+        """The shared metrics registry as one JSON object per line."""
+        return snapshot_jsonl(get_metrics())
+
+    # ------------------------------------------------------------------
     # Workers
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -311,6 +331,26 @@ class QueryService:
                 self._queue.task_done()
 
     def _invoke(
+        self, db: Database, request: _Request, started: float
+    ) -> ServiceResult:
+        tracer = get_tracer()
+        if request.trace_parent is None and not tracer.active:
+            return self._execute_request(db, request, started)
+        # Re-parent under the submitter's span so one trace covers
+        # submission, queueing, and execution across the thread boundary.
+        # Without a parent this opens a root span — which is exactly the
+        # sampling tracer's per-request decision point in serving.
+        with tracer.attach(request.trace_parent):
+            with tracer.span("service.invoke", query=request.sql) as span:
+                result = self._execute_request(db, request, started)
+                span.set(
+                    rows=result.row_count,
+                    cache_hit=result.cache_hit,
+                    latency_seconds=result.latency_seconds,
+                )
+                return result
+
+    def _execute_request(
         self, db: Database, request: _Request, started: float
     ) -> ServiceResult:
         metrics = get_metrics()
@@ -355,8 +395,27 @@ class QueryService:
         finally:
             self._release_dop(granted)
         elapsed = perf_counter() - started
-        metrics.timer("service.latency").observe(elapsed)
+        metrics.histogram("service.latency").observe(elapsed)
         metrics.counter("service.completed").inc()
+        recorder = get_flight_recorder()
+        if recorder.enabled:
+            # Baseline on pure execution wall time, not dequeue-to-result:
+            # a cold compile would otherwise look like a 10x regression of
+            # the very plan it just produced.
+            regressed = recorder.record(
+                entry.key.query_text,
+                plan_signature(plan),
+                dict(request.value_bindings),
+                tuple(
+                    node.label
+                    for node in activation.decision.choices.values()
+                ),
+                execution.metrics.wall_seconds,
+                max_error_ratio=execution.max_estimate_error,
+                cache_hit=hit,
+            )
+            if regressed:
+                self.cache.flag_recompile(entry.key.query_text)
         return ServiceResult(
             execution=execution,
             latency_seconds=elapsed,

@@ -17,6 +17,25 @@ from repro.catalog.catalog import Catalog
 settings.register_profile("ci", derandomize=True, deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 from repro.cost.context import CostContext
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    """Give every test a private metrics registry and clean telemetry.
+
+    Metrics use the scoped-registry swap (:func:`use_metrics`), so a test
+    that reads ``get_metrics()`` sees only its own increments and cannot
+    leak counts into a neighbour; the ledger and flight recorder are
+    process-global stateful singletons, so they are reset (and disabled)
+    on both sides of the test instead.
+    """
+    from repro.obs.metrics import use_metrics
+    from repro.obs.telemetry import reset_telemetry
+
+    reset_telemetry()
+    with use_metrics():
+        yield
+    reset_telemetry()
 from repro.cost.model import CostModel
 from repro.logical.predicates import (
     CompareOp,

@@ -445,7 +445,6 @@ class TestParallelExecution:
     def test_parallel_metrics_recorded(self, catalog, model, db):
         from repro.obs.metrics import get_metrics
 
-        get_metrics().reset()
         graph = parse_with_dop(JOIN_SQL, catalog)
         result = optimize_query(
             graph, catalog, model, mode=OptimizationMode.DYNAMIC
@@ -506,7 +505,6 @@ class TestServiceParallel:
         from repro.obs.metrics import get_metrics
         from repro.service import QueryService
 
-        get_metrics().reset()
         service = QueryService(
             catalog, CostModel(), workers=2, max_dop=4, seed=23
         )
