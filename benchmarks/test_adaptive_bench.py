@@ -1,0 +1,67 @@
+"""Adaptive re-optimization: mis-estimated skewed join, static vs adaptive.
+
+Acceptance benchmark for the mid-query re-optimization subsystem: on the
+skewed configuration (literal equality 20x under-estimated) the adaptive
+run must replan mid-query and beat the static plan by at least 1.5x in
+simulated I/O; on the uniform configuration (honest estimates) the guard
+must never fire and the adaptive run must charge exactly the same
+simulated I/O.  Results are published as a table and as
+``benchmarks/results/BENCH_adaptive.json``.
+
+``REPRO_ADAPTIVE_BENCH=smoke`` selects the reduced CI configuration
+(zero disk latency, no wall-clock bars — simulated I/O carries the
+decision deterministically).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.adaptive.bench import SMOKE_CONFIG, run_adaptive_bench
+from repro.util.fmt import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def test_adaptive_bench(publish):
+    smoke = os.environ.get("REPRO_ADAPTIVE_BENCH") == "smoke"
+    payload = run_adaptive_bench(**(SMOKE_CONFIG if smoke else {}))
+
+    for name, passed in payload["checks"].items():
+        assert passed, f"adaptive bench acceptance check failed: {name}"
+    assert payload["ok"]
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_adaptive.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = []
+    for config in ("skewed", "uniform"):
+        for label in ("static", "adaptive"):
+            run = payload[config][label]
+            rows.append(
+                (
+                    f"{config}/{label}",
+                    run["rows"],
+                    f"{run['io_seconds']:.2f}",
+                    f"{run['wall_seconds']:.2f}",
+                    run["replans"],
+                )
+            )
+    cfg = payload["config"]
+    publish(
+        "adaptive_bench",
+        format_table(
+            ("run", "rows", "io seconds", "wall seconds", "replans"),
+            rows,
+            title=(
+                f"Adaptive re-optimization: R={cfg['r_rows']} S={cfg['s_rows']} "
+                f"T={cfg['t_rows']}, latency scale {cfg['latency_scale']} "
+                f"(io speedup {payload['io_speedup']:.2f}x, wall speedup "
+                f"{payload['wall_speedup']:.2f}x)"
+            ),
+        ),
+    )

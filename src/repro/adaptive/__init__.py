@@ -1,0 +1,34 @@
+"""Mid-query re-optimization at pipeline breakers.
+
+The adaptive subsystem consumes out-of-interval cardinality
+observations *during* execution: every pipeline breaker (sort, hash
+aggregation, hash-join build, with exchange boundaries excluded)
+materializes its output anyway, so when the observed row count falls
+outside the compile-time interval the runtime can pin those rows as a
+synthetic base relation with exact statistics, re-enter the optimizer
+for the remaining subplan, re-run the choose-plan start-up decision
+over the narrowed intervals, and splice the winner into the running
+query — without repeating finished work.  See DESIGN.md, "Adaptive
+re-optimization".
+"""
+
+from repro.adaptive.controller import (
+    AdaptiveExecution,
+    ReplanEvent,
+    execute_adaptive_plan,
+)
+from repro.adaptive.guard import AdaptiveGuard, Checkpoint, ReplanSignal
+from repro.adaptive.policy import AdaptivePolicy
+from repro.adaptive.replan import ReplanOutcome, replan_remaining
+
+__all__ = [
+    "AdaptiveExecution",
+    "AdaptiveGuard",
+    "AdaptivePolicy",
+    "Checkpoint",
+    "ReplanEvent",
+    "ReplanOutcome",
+    "ReplanSignal",
+    "execute_adaptive_plan",
+    "replan_remaining",
+]

@@ -1,0 +1,207 @@
+"""Checkpoint collection and the mid-query replan trigger.
+
+The executor wraps eligible pipeline breakers (sort, hash-join build) in
+checkpoint iterators; each one drains its input, hands the buffered rows
+to the :class:`AdaptiveGuard`, and replays them.  The guard compares the
+observed cardinality against the breaker node's compile-time interval.
+When the observation misses the interval by at least the policy
+threshold, it raises :class:`ReplanSignal` — unwinding the execution —
+with the triggering :class:`Checkpoint` attached, so the controller can
+pin the materialized rows as a synthetic base relation and re-enter the
+optimizer for the remaining subplan.
+
+Eligibility (:meth:`AdaptiveGuard.wants`) is decided at iterator-build
+time, so ineligible breakers pay nothing: a breaker is checkpointable
+only when its resolved subtree covers a *strict, non-empty* subset of
+the query's relations through plain scan/filter/join operators.
+Aggregation, projection, Top-N, and exchange subtrees are excluded —
+their outputs are not expressible as a base relation joined against the
+remaining query — as is any subtree whose signature a previous failed
+replan suppressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.adaptive.policy import AdaptivePolicy
+from repro.executor.tuples import Row, RowSchema
+from repro.obs.metrics import get_metrics
+from repro.obs.telemetry import error_ratio, plan_signature
+from repro.obs.trace import get_tracer
+from repro.parallel.plan import ExchangeNode
+from repro.physical.plan import (
+    BtreeScanNode,
+    ChoosePlanNode,
+    FileScanNode,
+    HashAggregateNode,
+    IndexJoinNode,
+    PlanNode,
+    ProjectNode,
+    SortedAggregateNode,
+    TopNNode,
+)
+
+#: Subtree operators that make a breaker ineligible for checkpointing:
+#: their output cannot be modeled as a synthetic base relation whose join
+#: with the remaining relations reproduces the original query.
+_INELIGIBLE_NODES = (
+    HashAggregateNode,
+    SortedAggregateNode,
+    TopNNode,
+    ProjectNode,
+    ExchangeNode,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """One materialized pipeline-breaker output.
+
+    ``covered`` is the set of base relations the breaker's subtree has
+    fully joined and filtered — the relations the checkpoint *replaces*
+    when its rows are pinned as a synthetic base relation.
+    """
+
+    signature: str
+    node: PlanNode
+    schema: RowSchema
+    rows: tuple[Row, ...]
+    covered: frozenset[str]
+    observed: int
+    estimate_low: float
+    estimate_high: float
+    error_ratio: float
+    label: str
+
+    @property
+    def out_of_interval(self) -> bool:
+        return self.error_ratio > 1.0
+
+
+class ReplanSignal(Exception):
+    """Raised out of a checkpoint iterator to abandon the current plan.
+
+    Deliberately *not* an :class:`~repro.errors.ExecutionError`: it is a
+    control-flow signal for the adaptive controller, not a failure, and
+    must never be swallowed by error handlers that treat execution
+    errors as terminal.
+    """
+
+    def __init__(self, checkpoint: Checkpoint) -> None:
+        super().__init__(
+            f"observed {checkpoint.observed} rows at {checkpoint.label} "
+            f"vs interval [{checkpoint.estimate_low:g}, "
+            f"{checkpoint.estimate_high:g}] "
+            f"(error ratio {checkpoint.error_ratio:.2f})"
+        )
+        self.checkpoint = checkpoint
+
+
+class AdaptiveGuard:
+    """Per-execution-attempt checkpoint collector and trigger.
+
+    One guard serves one ``execute_plan`` attempt.  The executor calls
+    :meth:`wants` while building the iterator tree (eligible breakers
+    get a checkpoint wrapper, everything else runs untouched) and
+    :meth:`on_breaker` when a checkpointed breaker finishes draining.
+    ``checkpoints`` accumulates every completed breaker — including
+    in-interval ones — so the controller can pin *all* disjoint
+    completed units when one of them triggers, wasting none of the work
+    already performed.
+    """
+
+    def __init__(
+        self,
+        policy: AdaptivePolicy,
+        *,
+        query_relations: Iterable[str],
+        choices: Mapping[int, PlanNode] | None = None,
+        suppressed: Iterable[str] = (),
+    ) -> None:
+        self.policy = policy
+        self.query_relations = frozenset(query_relations)
+        self.choices = dict(choices or {})
+        self.suppressed = frozenset(suppressed)
+        self.checkpoints: dict[str, Checkpoint] = {}
+        self.kept = 0
+
+    # ------------------------------------------------------------------
+    # Build-time eligibility
+    # ------------------------------------------------------------------
+    def wants(self, node: PlanNode) -> bool:
+        """Should the executor checkpoint this breaker's output?"""
+        if plan_signature(node) in self.suppressed:
+            return False
+        covered = self._covered_relations(node)
+        if not covered:
+            return False
+        # A strict subset only: a breaker covering every relation (e.g.
+        # the root ORDER BY sort) leaves nothing to re-optimize.
+        return covered < self.query_relations
+
+    def _covered_relations(self, node: PlanNode) -> frozenset[str] | None:
+        """Base relations fully handled by ``node``'s resolved subtree,
+        or None when the subtree contains an ineligible operator."""
+        covered: set[str] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ChoosePlanNode):
+                chosen = self.choices.get(id(current))
+                if chosen is None:
+                    return None
+                stack.append(chosen)
+                continue
+            if isinstance(current, _INELIGIBLE_NODES):
+                return None
+            if isinstance(current, (FileScanNode, BtreeScanNode)):
+                covered.add(current.relation)
+            elif isinstance(current, IndexJoinNode):
+                covered.add(current.inner_relation)
+            stack.extend(current.inputs)
+        return frozenset(covered)
+
+    # ------------------------------------------------------------------
+    # Run-time observation
+    # ------------------------------------------------------------------
+    def on_breaker(
+        self, node: PlanNode, schema: RowSchema, rows: list[Row]
+    ) -> None:
+        """Record a drained breaker; raise :class:`ReplanSignal` when the
+        observation misses the interval by at least the policy threshold."""
+        interval = node.cardinality
+        observed = len(rows)
+        ratio = error_ratio(interval.low, interval.high, observed)
+        checkpoint = Checkpoint(
+            signature=plan_signature(node),
+            node=node,
+            schema=schema,
+            rows=tuple(rows),
+            covered=self._covered_relations(node) or frozenset(),
+            observed=observed,
+            estimate_low=interval.low,
+            estimate_high=interval.high,
+            error_ratio=ratio,
+            label=node.label,
+        )
+        self.checkpoints[checkpoint.signature] = checkpoint
+        if ratio <= 1.0:
+            return
+        if ratio >= self.policy.min_error_ratio:
+            raise ReplanSignal(checkpoint)
+        # Out of interval but under the trigger threshold: keep the plan.
+        self.kept += 1
+        get_metrics().counter("adaptive.kept").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "adaptive.kept",
+                signature=checkpoint.signature,
+                label=checkpoint.label,
+                observed=observed,
+                estimate_low=interval.low,
+                estimate_high=interval.high,
+                error_ratio=ratio,
+            )

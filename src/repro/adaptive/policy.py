@@ -1,0 +1,43 @@
+"""Trigger policy for mid-query re-optimization.
+
+The paper's dynamic plans spend their uncertainty budget at start-up
+time: choose-plan binds the run-time parameters once, before the first
+tuple flows.  The adaptive subsystem extends that decision into run time
+(Pavlopoulou & Carey, PAPERS.md), and this policy bounds how eagerly it
+does so: a re-optimization is only considered when a pipeline breaker's
+observed cardinality misses its compile-time interval by at least
+``min_error_ratio``, and at most ``max_reopts`` re-optimizations are
+spent per query.  Both bounds keep adaptive overhead predictable — a
+query can never pay more than ``max_reopts`` optimizer invocations, and
+near-miss observations (ratio below the threshold) are recorded as
+``adaptive.kept`` instead of triggering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class AdaptivePolicy:
+    """Bounds on mid-query re-optimization.
+
+    ``max_reopts`` is the per-query re-optimization budget (K in the
+    ROADMAP item); ``min_error_ratio`` is the symmetric estimation-error
+    ratio (see :func:`repro.obs.telemetry.error_ratio`, always ≥ 1) an
+    out-of-interval observation must reach before the plan is abandoned
+    mid-flight.  A ratio of exactly 1.0 means the observation landed
+    inside the compile-time interval and never triggers.
+    """
+
+    max_reopts: int = 2
+    min_error_ratio: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_reopts < 0:
+            raise ValueError("max_reopts must be non-negative")
+        if self.min_error_ratio < 1.0:
+            raise ValueError(
+                "min_error_ratio is a symmetric >=1 ratio; values below "
+                "1.0 are unsatisfiable"
+            )

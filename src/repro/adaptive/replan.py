@@ -1,0 +1,231 @@
+"""Optimizer re-entry for the remaining subplan after a mid-query trigger.
+
+The splice contract: when a checkpoint triggers, every completed,
+relation-disjoint checkpoint (the trigger first) becomes a *pinned unit*
+— its buffered rows are registered as a synthetic base relation in a
+derived catalog with **exact** statistics (cardinality = observed row
+count), and the query graph is rewritten so those units replace the
+relations their subtrees had already joined and filtered.  The optimizer
+then runs over the rewritten graph exactly as it would at compile time:
+
+* every derived cardinality interval is recomputed from the synthetic
+  relation's point statistics, so downstream estimates are clamped
+  consistently with the observation — not just at the breaker — and the
+  ``∀i gᵢ = dᵢ`` invariant holds for the re-entered search the same way
+  it holds for the original one (satellite: interval-clamping fix);
+* selectivity parameters referenced only by pinned relations disappear
+  (their predicates are already applied inside the pinned rows), while
+  parameters of the remaining relations keep their original domains —
+  that uncertainty is still real, so choose-plan operators regenerate
+  and the start-up decision re-runs with the narrowed intervals.
+
+Join predicates fully inside one pinned unit are dropped (the unit's
+subtree applied them exactly once — the memo only joins with the
+predicates connecting its operands); predicates crossing a pinned
+boundary are remapped onto the synthetic relation's attributes.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.adaptive.guard import Checkpoint
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Attribute
+from repro.cost.model import CostModel
+from repro.executor.iterators import MaterializedIterator
+from repro.executor.tuples import RowSchema
+from repro.logical.aggregates import AggregateExpr, AggregateSpec
+from repro.logical.predicates import JoinPredicate
+from repro.logical.query import QueryGraph
+from repro.optimizer.optimizer import (
+    OptimizationMode,
+    OptimizationResult,
+    optimize_query,
+)
+from repro.params.parameter import ParameterKind, ParameterSpace
+
+
+@dataclass(frozen=True)
+class ReplanOutcome:
+    """One successful optimizer re-entry, ready to splice."""
+
+    #: Optimizer output over the rewritten graph (plan, ctx with the
+    #: derived catalog, interval environment, search stats).
+    result: OptimizationResult
+    #: Rewritten query over synthetic + remaining base relations.
+    graph: QueryGraph
+    #: Old attribute → synthetic-relation attribute, for every attribute
+    #: produced by a pinned unit (plus remapped aggregate outputs).
+    attr_map: dict[Attribute, Attribute] = field(repr=False)
+    #: Materialized-substitution map for the executor: synthetic leaf
+    #: identity → the pinned rows.
+    pinned: dict[tuple[str, frozenset], MaterializedIterator] = field(repr=False)
+    #: The checkpoints that became synthetic relations (trigger first).
+    units: tuple[Checkpoint, ...]
+    #: ``required_order`` remapped through ``attr_map``.
+    required_order: Attribute | None
+
+    @property
+    def pinned_rows(self) -> int:
+        return sum(len(unit.rows) for unit in self.units)
+
+    @property
+    def pinned_relations(self) -> tuple[str, ...]:
+        """Original base relations replaced by synthetic temporaries."""
+        covered: set[str] = set()
+        for unit in self.units:
+            covered |= unit.covered
+        return tuple(sorted(covered))
+
+
+def replan_remaining(
+    *,
+    graph: QueryGraph,
+    catalog: Catalog,
+    model: CostModel,
+    mode: OptimizationMode,
+    trigger: Checkpoint,
+    completed: Mapping[str, Checkpoint],
+    round_no: int,
+    parameter_values: Mapping[str, float],
+    required_order: Attribute | None = None,
+) -> ReplanOutcome:
+    """Rewrite ``graph`` around the pinned units and re-optimize.
+
+    ``completed`` is the guard's checkpoint map for the aborted attempt;
+    every completed checkpoint disjoint from the trigger (and from units
+    already chosen, larger covered sets first) is pinned alongside it,
+    so work the old plan finished is never re-executed.  ``mode`` is the
+    original compilation mode: RUN_TIME re-entry binds the remaining
+    parameters to ``parameter_values``; DYNAMIC re-entry keeps them as
+    intervals so choose-plan start-up decisions regenerate.
+    """
+    units: list[Checkpoint] = [trigger]
+    pinned_relations: set[str] = set(trigger.covered)
+    for checkpoint in sorted(
+        completed.values(), key=lambda c: (-len(c.covered), c.signature)
+    ):
+        if checkpoint.signature == trigger.signature or not checkpoint.covered:
+            continue
+        if checkpoint.covered & pinned_relations:
+            continue
+        units.append(checkpoint)
+        pinned_relations |= checkpoint.covered
+
+    # Synthetic base relations with exact statistics, in a derived
+    # catalog (a deep copy: the live catalog must not see phantom DDL —
+    # its version, listeners, and cache invalidation stay untouched).
+    derived = copy.deepcopy(catalog)
+    attr_map: dict[Attribute, Attribute] = {}
+    pinned: dict[tuple[str, frozenset], MaterializedIterator] = {}
+    temp_names: list[str] = []
+    for index, unit in enumerate(units):
+        name = f"__adaptive{round_no}_{index}"
+        temp_names.append(name)
+        columns = [
+            (f"{a.relation}__{a.name}", a.domain_size)
+            for a in unit.schema.attributes
+        ]
+        derived.add_relation(name, columns, cardinality=len(unit.rows))
+        relation = derived.relation(name)
+        for old, new in zip(unit.schema.attributes, relation.schema.attributes):
+            attr_map[old] = new
+        pinned[(name, frozenset())] = MaterializedIterator(
+            RowSchema.from_schema(relation.schema), unit.rows
+        )
+
+    def remap(attribute: Attribute) -> Attribute:
+        return attr_map.get(attribute, attribute)
+
+    remaining_base = tuple(
+        r for r in graph.relations if r not in pinned_relations
+    )
+    selections = {
+        r: graph.selections[r]
+        for r in remaining_base
+        if graph.selections.get(r)
+    }
+    # A join fully inside one pinned unit was applied exactly once by
+    # that unit's subtree; everything else survives, remapped onto the
+    # synthetic attributes where an endpoint was pinned.
+    joins = tuple(
+        JoinPredicate(left=remap(j.left), right=remap(j.right))
+        for j in graph.joins
+        if not any(j.relations <= unit.covered for unit in units)
+    )
+
+    # Selectivity parameters referenced only by pinned predicates are
+    # gone (the rows are already filtered); every other parameter —
+    # remaining selectivities, memory, DOP — keeps its original domain.
+    needed = {
+        predicate.operand.selectivity_parameter
+        for r in remaining_base
+        for predicate in graph.selections_on(r)
+        if predicate.is_unbound
+    }
+    space = ParameterSpace()
+    for parameter in graph.parameters:
+        if (
+            parameter.kind is ParameterKind.SELECTIVITY
+            and parameter.name not in needed
+        ):
+            continue
+        space.add(parameter)
+
+    projection = (
+        tuple(remap(a) for a in graph.projection)
+        if graph.projection is not None
+        else None
+    )
+    aggregate = None
+    if graph.aggregate is not None:
+        spec = graph.aggregate
+        new_exprs = tuple(
+            AggregateExpr(
+                function=expr.function,
+                attribute=(
+                    None if expr.attribute is None else remap(expr.attribute)
+                ),
+            )
+            for expr in spec.aggregates
+        )
+        aggregate = AggregateSpec(
+            group_by=tuple(remap(a) for a in spec.group_by),
+            aggregates=new_exprs,
+        )
+        # Remapped inputs rename the synthetic output columns; record
+        # that so the controller's restore map composes through them.
+        for old_expr, new_expr in zip(spec.aggregates, new_exprs):
+            attr_map[old_expr.output_attribute()] = new_expr.output_attribute()
+
+    remaining = QueryGraph(
+        relations=tuple(temp_names) + remaining_base,
+        selections=selections,
+        joins=joins,
+        parameters=space,
+        projection=projection,
+        aggregate=aggregate,
+    )
+    mapped_order = None if required_order is None else remap(required_order)
+    binding = None
+    if mode is OptimizationMode.RUN_TIME:
+        binding = {p.name: float(parameter_values[p.name]) for p in space}
+    result = optimize_query(
+        remaining,
+        derived,
+        model,
+        mode=mode,
+        binding=binding,
+        required_order=mapped_order,
+    )
+    return ReplanOutcome(
+        result=result,
+        graph=remaining,
+        attr_map=attr_map,
+        pinned=pinned,
+        units=tuple(units),
+        required_order=mapped_order,
+    )

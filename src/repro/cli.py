@@ -11,7 +11,14 @@ Commands:
 ``analyze``
     Optimize, decide, and *execute* a query against synthetic data,
     printing the plan annotated with observed per-operator counters
-    (rows, time, pages) — EXPLAIN ANALYZE for dynamic plans.
+    (rows, time, pages) — EXPLAIN ANALYZE for dynamic plans.  With
+    ``--adaptive``, execution runs under the mid-query re-optimization
+    controller and the report gains an adaptive section (replan events,
+    pinned intermediates, re-opt latency).
+``run``
+    Execute a query against synthetic data and print result rows plus
+    execution metrics; ``--adaptive`` enables mid-query
+    re-optimization at pipeline breakers.
 ``experiments``
     Regenerate the paper's Section 6 evaluation tables.
 ``serve-bench``
@@ -28,6 +35,12 @@ Commands:
     CPU-bound scan+join workload across a batch-size sweep; writes a
     JSON artifact (default ``benchmarks/results/BENCH_exec.json``) and
     fails if the default batch size is not at least 3x faster.
+``adaptive-bench``
+    Static vs adaptive execution on a deliberately mis-estimated skewed
+    join (and a never-triggering control); writes a JSON artifact
+    (default ``benchmarks/results/BENCH_adaptive.json``) and fails if
+    the adaptive run does not beat static by 1.5x or the control run
+    pays more than the overhead budget.
 ``fuzz``
     Differential fuzzing: generate random catalogs + parameterized
     queries, execute every optimization mode, and compare against a
@@ -167,7 +180,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "the N worst cardinality-estimation errors from the telemetry "
         "ledger",
     )
+    analyze_cmd.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="execute under the mid-query re-optimization controller and "
+        "print the adaptive section (replan events, re-opt latency)",
+    )
     analyze_cmd.set_defaults(handler=_cmd_analyze)
+
+    run_cmd = commands.add_parser(
+        "run",
+        help="execute a query on synthetic data and print rows + metrics",
+    )
+    _add_catalog_options(run_cmd)
+    run_cmd.add_argument("sql")
+    run_cmd.add_argument(
+        "--mode",
+        choices=[m.value for m in OptimizationMode],
+        default=OptimizationMode.DYNAMIC.value,
+    )
+    run_cmd.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="values",
+        metavar="VAR=VALUE",
+        help="host-variable value, e.g. --set v=120 (repeatable)",
+    )
+    run_cmd.add_argument(
+        "--bind",
+        action="append",
+        default=[],
+        metavar="PARAM=VALUE",
+        help="override a derived parameter, e.g. --bind sel:v=0.3 (repeatable)",
+    )
+    run_cmd.add_argument(
+        "--seed", type=int, default=0, help="synthetic-data RNG seed"
+    )
+    run_cmd.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="print at most N result rows (0 prints none; default 10)",
+    )
+    run_cmd.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable mid-query re-optimization at pipeline breakers",
+    )
+    run_cmd.set_defaults(handler=_cmd_run)
 
     experiments_cmd = commands.add_parser(
         "experiments", help="regenerate the paper's Section 6 tables"
@@ -252,6 +314,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="data + workload RNG seed"
     )
     serve_cmd.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable mid-query re-optimization for every request "
+        "(replans also flag the cached plan for recompile)",
+    )
+    serve_cmd.add_argument(
         "--smoke",
         action="store_true",
         help="tiny fast run for CI (2 workers, 2 statements, 25 invocations)",
@@ -303,6 +371,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="JSON benchmark artifact path",
     )
     exec_cmd.set_defaults(handler=_cmd_exec_bench)
+
+    adaptive_cmd = commands.add_parser(
+        "adaptive-bench",
+        help="static vs adaptive execution on a mis-estimated skewed "
+        "join, plus a never-triggering accurate-estimate control",
+    )
+    adaptive_cmd.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced configuration for CI (smaller relations, zero disk "
+        "latency, no wall-clock assertions)",
+    )
+    adaptive_cmd.add_argument(
+        "--output",
+        type=Path,
+        default=Path("benchmarks/results/BENCH_adaptive.json"),
+        metavar="FILE",
+        help="JSON benchmark artifact path",
+    )
+    adaptive_cmd.set_defaults(handler=_cmd_adaptive_bench)
 
     fuzz_cmd = commands.add_parser(
         "fuzz",
@@ -364,6 +452,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "sizes) every Nth case (0 disables; default 4)",
     )
     fuzz_cmd.add_argument(
+        "--adaptive-every",
+        type=int,
+        default=4,
+        metavar="N",
+        help="run the adaptive-execution differential (mid-query "
+        "replans must be result-identical, deterministic, and keep "
+        "g = d post-splice) every Nth case (0 disables; default 4)",
+    )
+    fuzz_cmd.add_argument(
         "--smoke",
         action="store_true",
         help="fixed-seed 150-case run for CI (overrides --seed/--cases)",
@@ -377,11 +474,13 @@ def _build_parser() -> argparse.ArgumentParser:
         explain_cmd,
         choose_cmd,
         analyze_cmd,
+        run_cmd,
         experiments_cmd,
         metrics_cmd,
         serve_cmd,
         parallel_cmd,
         exec_cmd,
+        adaptive_cmd,
         fuzz_cmd,
         demo_cmd,
     ):
@@ -531,18 +630,48 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     db.load_synthetic(seed=args.seed)
     parameter_values = prepared.derive_parameters(db, value_bindings, overrides)
     activation = prepared.activate(parameter_values)
-    result = execute_plan(
-        prepared.module.plan,
-        db,
-        bindings=value_bindings,
-        choices=activation.decision.choices,
-        analyze=True,
-    )
+    adaptive_run = None
+    if args.adaptive:
+        from repro.adaptive.controller import execute_adaptive_plan
+
+        adaptive_run = execute_adaptive_plan(
+            prepared.module.plan,
+            prepared.graph,
+            db,
+            prepared.module.ctx,
+            bindings=value_bindings,
+            parameter_values=parameter_values,
+            choices=activation.decision.choices,
+            analyze=True,
+            mode=prepared.mode,
+        )
+        result = adaptive_run.result
+    else:
+        result = execute_plan(
+            prepared.module.plan,
+            db,
+            bindings=value_bindings,
+            choices=activation.decision.choices,
+            analyze=True,
+        )
+    # Per-operator counters come from the last execution attempt; after a
+    # mid-query replan that is the spliced remainder plan (its scans over
+    # __adaptive* relations read the pinned intermediates), so show it.
+    shown_plan = prepared.module.plan
+    shown_choices = activation.decision.choices
+    if adaptive_run is not None and adaptive_run.replans:
+        final = adaptive_run.replans[-1]
+        shown_plan = final.outcome.result.plan
+        shown_choices = final.decision.choices
+        print(
+            f"final spliced plan (after {len(adaptive_run.replans)} "
+            "mid-query replan(s)):\n"
+        )
     print(
         explain_analyze(
-            prepared.module.plan,
+            shown_plan,
             result.operator_stats,
-            choices=activation.decision.choices,
+            choices=shown_choices,
         )
     )
     metrics = result.metrics
@@ -559,9 +688,29 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         f"{activation.decision.cost_evaluations} cost evaluations, "
         f"predicted cost {activation.decision.execution_cost:.4f} s"
     )
+    if adaptive_run is not None:
+        _print_adaptive(adaptive_run)
     if args.top:
         _print_top(args.top, result.operator_stats, get_ledger())
     return 0
+
+
+def _print_adaptive(adaptive_run) -> None:
+    """The ``--adaptive`` report section: one line per replan event."""
+    print(
+        f"\nadaptive: {adaptive_run.triggered} trigger(s), "
+        f"{len(adaptive_run.replans)} replan(s), "
+        f"{adaptive_run.kept} kept, {adaptive_run.attempts} attempt(s)"
+    )
+    for rank, event in enumerate(adaptive_run.replans, start=1):
+        print(
+            f"  {rank}. {event.label}: observed {event.observed} vs "
+            f"estimate [{event.estimate_low:.1f}, {event.estimate_high:.1f}] "
+            f"(error {event.error_ratio:.2f}x); pinned "
+            f"{event.pinned_rows} rows across "
+            f"{len(event.pinned_relations)} intermediate(s), re-optimized "
+            f"in {event.reopt_seconds * 1000:.2f} ms"
+        )
 
 
 def _print_top(n: int, operator_stats, ledger) -> None:
@@ -588,6 +737,60 @@ def _print_top(n: int, operator_stats, ledger) -> None:
             f"{entry.max_error_ratio:.2f}x "
             f"({entry.out_of_interval}/{entry.count} out of interval)"
         )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.executor.database import Database
+    from repro.runtime.prepared import PreparedQuery
+
+    catalog = _load_catalog(args)
+    value_bindings = _parse_assignments(args.values, "--set", _host_value)
+    overrides = _parse_assignments(args.bind, "--bind", float)
+
+    prepared = PreparedQuery.prepare(
+        args.sql, catalog, CostModel(), mode=OptimizationMode(args.mode)
+    )
+    missing = sorted(
+        _host_variable_names(prepared.graph) - set(value_bindings)
+    )
+    if missing:
+        raise ValueError(
+            "missing host-variable value(s): "
+            + ", ".join(missing)
+            + " (pass --set NAME=VALUE)"
+        )
+    db = Database(catalog, prepared.model)
+    db.load_synthetic(seed=args.seed)
+    parameter_values = prepared.derive_parameters(db, value_bindings, overrides)
+    adaptive_run = None
+    if args.adaptive:
+        adaptive_run = prepared.execute_adaptive(
+            db, value_bindings, parameter_values=parameter_values
+        )
+        result = adaptive_run.result
+    else:
+        result = prepared.execute(
+            db, value_bindings, parameter_values=parameter_values
+        )
+
+    header = " | ".join(a.qualified_name for a in result.schema.attributes)
+    if args.limit and result.rows:
+        print(header)
+        print("-" * len(header))
+        for row in result.rows[: args.limit]:
+            print(" | ".join(str(value) for value in row))
+        if len(result.rows) > args.limit:
+            print(f"... ({len(result.rows) - args.limit} more)")
+    metrics = result.metrics
+    print(
+        f"\n{metrics.rows} rows in {metrics.wall_seconds * 1000:.2f} ms wall; "
+        f"simulated I/O {metrics.io_seconds:.4f} s "
+        f"({metrics.sequential_reads} sequential + {metrics.random_reads} "
+        f"random reads)"
+    )
+    if adaptive_run is not None:
+        _print_adaptive(adaptive_run)
+    return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -753,6 +956,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         cache_ttl_seconds=args.cache_ttl,
         seed=args.seed,
+        adaptive=args.adaptive,
     )
     enable_telemetry()
     try:
@@ -806,6 +1010,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "cache_capacity": args.cache_capacity,
             "cache_ttl_seconds": args.cache_ttl,
             "seed": args.seed,
+            "adaptive": bool(args.adaptive),
             "smoke": bool(args.smoke),
         },
         "report": report.as_dict(),
@@ -814,7 +1019,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             name: value
             for name, value in snapshot.items()
             if name.startswith(
-                ("plan_cache.", "service.", "optimizer.runs", "telemetry.")
+                (
+                    "plan_cache.",
+                    "service.",
+                    "optimizer.runs",
+                    "telemetry.",
+                    "adaptive.",
+                )
             )
         },
     }
@@ -883,6 +1094,34 @@ def _cmd_exec_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_adaptive_bench(args: argparse.Namespace) -> int:
+    from repro.adaptive.bench import SMOKE_CONFIG, run_adaptive_bench
+
+    payload = run_adaptive_bench(**(SMOKE_CONFIG if args.smoke else {}))
+    for config in ("skewed", "uniform"):
+        for label in ("static", "adaptive"):
+            run = payload[config][label]
+            print(
+                f"{config}/{label}: {run['rows']} rows, "
+                f"simulated I/O {run['io_seconds']:.2f}s, "
+                f"wall {run['wall_seconds']:.2f}s, "
+                f"{run['replans']} replan(s)"
+            )
+    print(
+        f"skewed: io speedup {payload['io_speedup']:.2f}x, "
+        f"wall speedup {payload['wall_speedup']:.2f}x; "
+        f"uniform: wall overhead "
+        f"{payload['uniform_wall_overhead'] * 100:+.1f}%"
+    )
+    for name, passed in payload["checks"].items():
+        if not passed:
+            print(f"FAIL: acceptance check {name}")
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if payload["ok"] else 1
+
+
 # The smoke configuration is pinned so CI runs are reproducible: any
 # violation at this seed is a regression, not fuzzing luck.
 SMOKE_SEED = "smoke-v1"
@@ -907,6 +1146,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         check_parallel_every=args.parallel_every,
         check_batch_every=args.batch_every,
         check_ledger_every=args.ledger_every,
+        check_adaptive_every=args.adaptive_every,
         log=print,
     )
     print(report.summary())

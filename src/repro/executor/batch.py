@@ -154,6 +154,29 @@ class LedgerProbeBatchIterator(BatchIterator):
         )
 
 
+class BatchCheckpointIterator(BatchIterator):
+    """Batch twin of
+    :class:`~repro.executor.iterators.CheckpointIterator`: buffers the
+    child's batches (boundaries preserved, so the replayed stream is
+    byte-identical), hands the flattened rows to the adaptive guard —
+    which may raise ``ReplanSignal`` — and re-emits the stored batches.
+    """
+
+    __slots__ = ("child", "node", "guard")
+
+    def __init__(self, child: BatchIterator, node, guard) -> None:
+        self.child = child
+        self.schema = child.schema
+        self.node = node
+        self.guard = guard
+
+    def batches(self) -> Iterator[RowBatch]:
+        stored = list(self.child.batches())
+        rows = [row for batch in stored for row in batch.rows]
+        self.guard.on_breaker(self.node, self.schema, rows)
+        return iter(stored)
+
+
 class MaterializedBatchIterator(BatchIterator):
     """Serves an already-materialized temporary result in blocks."""
 

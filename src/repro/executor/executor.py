@@ -20,6 +20,7 @@ from repro.errors import ExecutionError
 from repro.executor.database import Database
 from repro.executor.batch import (
     BatchBtreeScanIterator,
+    BatchCheckpointIterator,
     BatchFileScanIterator,
     BatchFilterIterator,
     BatchHashAggregateIterator,
@@ -38,6 +39,7 @@ from repro.executor.batch import (
 )
 from repro.executor.iterators import (
     BtreeScanIterator,
+    CheckpointIterator,
     FileScanIterator,
     FilterIterator,
     HashAggregateIterator,
@@ -159,6 +161,7 @@ def execute_plan(
     dop: int | None = None,
     execution_mode: str = "batch",
     batch_size: int | None = None,
+    guard=None,
 ) -> ExecutionResult:
     """Execute ``plan`` against ``db``.
 
@@ -189,6 +192,15 @@ def execute_plan(
     ``"row"`` runs the original row-at-a-time Volcano iterators.  Both
     modes produce byte-identical rows in identical order; the cost model
     and every plan decision are mode-independent.
+
+    ``guard`` is an adaptive-execution guard (see
+    :class:`repro.adaptive.guard.AdaptiveGuard`, duck-typed here):
+    when present, eligible pipeline breakers are wrapped in checkpoint
+    iterators that buffer their output and let the guard abandon the
+    plan mid-query by raising ``ReplanSignal``.  ``guard=None`` (the
+    default) constructs exactly the same iterator tree as before the
+    adaptive subsystem existed.  Guards never cross an exchange
+    boundary — per-worker partial counts are not observations.
     """
     tracer = get_tracer()
     bindings = dict(bindings or {})
@@ -237,6 +249,7 @@ def execute_plan(
                 size,
                 dop=effective_dop,
                 probe=probe,
+                guard=guard,
             )
             rows = [row for batch in iterator.batches() for row in batch.rows]
         else:
@@ -250,6 +263,7 @@ def execute_plan(
                 operator_stats,
                 dop=effective_dop,
                 probe=probe,
+                guard=guard,
             )
             rows = list(iterator.rows())
     if collection is not None:
@@ -391,6 +405,7 @@ def _build_iterator(
     dop: int = 1,
     partition: PartitionSpec | None = None,
     probe: _ProbeContext | None = None,
+    guard=None,
 ) -> PlanIterator:
     if isinstance(node, ChoosePlanNode):
         try:
@@ -403,11 +418,11 @@ def _build_iterator(
         # never metered — counters attach to the chosen alternative.
         return _build_iterator(
             chosen, db, bindings, choices, memory, materialized, operator_stats,
-            dop, partition, probe,
+            dop, partition, probe, guard,
         )
     iterator = _instantiate_iterator(
         node, db, bindings, choices, memory, materialized, operator_stats,
-        dop, partition, probe,
+        dop, partition, probe, guard,
     )
     if operator_stats is not None and not isinstance(iterator, MeteredIterator):
         # A shared subplan (DAG) may be instantiated once per parent; both
@@ -421,6 +436,10 @@ def _build_iterator(
             iterator, probe.ledger, plan_signature(node), node.label,
             node.cardinality, probe.catalog_version,
         )
+    # Checkpoint outermost, so the metering and ledger wrappers observe
+    # the drain exactly as they would a downstream consumer's pulls.
+    if guard is not None and isinstance(node, _BREAKER_NODES) and guard.wants(node):
+        iterator = CheckpointIterator(iterator, node, guard)
     return iterator
 
 
@@ -435,6 +454,7 @@ def _instantiate_iterator(
     dop: int,
     partition: PartitionSpec | None,
     probe: _ProbeContext | None = None,
+    guard=None,
 ) -> PlanIterator:
     if materialized:
         info = leaf_access_info(node)
@@ -444,7 +464,7 @@ def _instantiate_iterator(
     def build(child: PlanNode) -> PlanIterator:
         return _build_iterator(
             child, db, bindings, choices, memory, materialized, operator_stats,
-            dop, partition, probe,
+            dop, partition, probe, guard,
         )
 
     if isinstance(node, ExchangeNode):
@@ -483,6 +503,11 @@ def _instantiate_iterator(
                 f"{node.inputs[0].label} [build]", node.inputs[0].cardinality,
                 probe.catalog_version,
             )
+        if guard is not None and guard.wants(node.inputs[0]):
+            # The build side is itself a pipeline breaker: the join drains
+            # it entirely before probing, so its materialized rows are a
+            # free checkpoint (nothing is wasted when a replan pins them).
+            build_side = CheckpointIterator(build_side, node.inputs[0], guard)
         return HashJoinIterator(
             build_side, build(node.inputs[1]), node.predicates, db, memory
         )
@@ -623,9 +648,11 @@ def _build_batch_iterator(
     dop: int = 1,
     partition: PartitionSpec | None = None,
     probe: _ProbeContext | None = None,
+    guard=None,
 ) -> BatchIterator:
     """Batch-mode twin of :func:`_build_iterator`: same dispatch, same
-    choose-plan, metering, and ledger-probe rules, vectorized operators."""
+    choose-plan, metering, ledger-probe, and checkpoint rules,
+    vectorized operators."""
     if isinstance(node, ChoosePlanNode):
         try:
             chosen = choices[id(node)]
@@ -635,11 +662,11 @@ def _build_batch_iterator(
             ) from None
         return _build_batch_iterator(
             chosen, db, bindings, choices, memory, materialized, operator_stats,
-            batch_size, dop, partition, probe,
+            batch_size, dop, partition, probe, guard,
         )
     iterator = _instantiate_batch_iterator(
         node, db, bindings, choices, memory, materialized, operator_stats,
-        batch_size, dop, partition, probe,
+        batch_size, dop, partition, probe, guard,
     )
     if operator_stats is not None and not isinstance(
         iterator, MeteredBatchIterator
@@ -653,6 +680,8 @@ def _build_batch_iterator(
             iterator, probe.ledger, plan_signature(node), node.label,
             node.cardinality, probe.catalog_version,
         )
+    if guard is not None and isinstance(node, _BREAKER_NODES) and guard.wants(node):
+        iterator = BatchCheckpointIterator(iterator, node, guard)
     return iterator
 
 
@@ -668,6 +697,7 @@ def _instantiate_batch_iterator(
     dop: int,
     partition: PartitionSpec | None,
     probe: _ProbeContext | None = None,
+    guard=None,
 ) -> BatchIterator:
     if materialized:
         info = leaf_access_info(node)
@@ -685,7 +715,7 @@ def _instantiate_batch_iterator(
     def build(child: PlanNode) -> BatchIterator:
         return _build_batch_iterator(
             child, db, bindings, choices, memory, materialized, operator_stats,
-            batch_size, dop, partition, probe,
+            batch_size, dop, partition, probe, guard,
         )
 
     if isinstance(node, ExchangeNode):
@@ -728,6 +758,11 @@ def _instantiate_batch_iterator(
                 build_side, probe.ledger, plan_signature(node.inputs[0]),
                 f"{node.inputs[0].label} [build]", node.inputs[0].cardinality,
                 probe.catalog_version,
+            )
+        if guard is not None and guard.wants(node.inputs[0]):
+            # Same free-checkpoint rationale as the row path.
+            build_side = BatchCheckpointIterator(
+                build_side, node.inputs[0], guard
             )
         return BatchHashJoinIterator(
             build_side, build(node.inputs[1]), node.predicates,

@@ -145,6 +145,32 @@ class LedgerProbeIterator(PlanIterator):
         )
 
 
+class CheckpointIterator(PlanIterator):
+    """Materializes a pipeline breaker's output for the adaptive guard.
+
+    Installed outermost at eligible breaker sites when an adaptive guard
+    is active: it drains the child completely (so an inner ledger probe
+    records its observation first), hands the buffered rows to the guard
+    — which may raise :class:`~repro.adaptive.guard.ReplanSignal` to
+    abandon the plan — and otherwise replays them unchanged.  The guard
+    is duck-typed (any object with ``on_breaker(node, schema, rows)``)
+    so the executor stays free of adaptive-subsystem imports.
+    """
+
+    __slots__ = ("child", "node", "guard")
+
+    def __init__(self, child: PlanIterator, node, guard) -> None:
+        self.child = child
+        self.schema = child.schema
+        self.node = node
+        self.guard = guard
+
+    def rows(self) -> Iterator[Row]:
+        stored = list(self.child.rows())
+        self.guard.on_breaker(self.node, self.schema, stored)
+        return iter(stored)
+
+
 class MaterializedIterator(PlanIterator):
     """Serves a temporary result that was materialized earlier.
 

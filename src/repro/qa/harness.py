@@ -20,7 +20,9 @@ from repro.qa.generator import CaseGenerator, FuzzCase
 from repro.qa.invariants import CaseOutcome, Violation, run_case
 from repro.qa.shrinker import shrink_case
 
-Runner = Callable[[FuzzCase, bool, tuple[int, ...], bool, bool], CaseOutcome]
+Runner = Callable[
+    [FuzzCase, bool, tuple[int, ...], bool, bool, bool], CaseOutcome
+]
 
 ARTIFACT_VERSION = 1
 
@@ -53,6 +55,7 @@ class FuzzReport:
     parallel_checked: int = 0
     batch_checked: int = 0
     ledger_checked: int = 0
+    adaptive_checked: int = 0
 
     @property
     def ok(self) -> bool:
@@ -66,6 +69,7 @@ class FuzzReport:
             f"parallel-checked={self.parallel_checked} "
             f"batch-checked={self.batch_checked} "
             f"ledger-checked={self.ledger_checked} "
+            f"adaptive-checked={self.adaptive_checked} "
             f"time={self.duration_seconds:.1f}s: {status}"
         )
 
@@ -76,6 +80,7 @@ def _default_runner(
     parallel_dops: tuple[int, ...] = (),
     check_batch: bool = False,
     check_ledger: bool = False,
+    check_adaptive: bool = False,
 ) -> CaseOutcome:
     return run_case(
         case,
@@ -83,6 +88,7 @@ def _default_runner(
         parallel_dops=parallel_dops,
         check_batch=check_batch,
         check_ledger=check_ledger,
+        check_adaptive=check_adaptive,
     )
 
 
@@ -96,6 +102,7 @@ def run_fuzz(
     parallel_dops: tuple[int, ...] = (1, 2, 4),
     check_batch_every: int = 2,
     check_ledger_every: int = 4,
+    check_adaptive_every: int = 4,
     runner: Runner | None = None,
     log: Callable[[str], None] | None = None,
 ) -> FuzzReport:
@@ -109,7 +116,11 @@ def run_fuzz(
     ``check_batch_every`` for the batch-vs-row executor byte-identity
     differential, and ``check_ledger_every`` for the telemetry-ledger
     differential (observed cardinalities at pipeline breakers vs the
-    oracle's intermediate sizes).  ``runner`` lets tests substitute an
+    oracle's intermediate sizes), and ``check_adaptive_every`` for the
+    mid-query re-optimization differential (the dynamic plan re-executed
+    under the adaptive controller, hair-trigger threshold, across
+    executor modes and parallel degrees).  ``runner`` lets tests
+    substitute an
     instrumented :func:`~repro.qa.invariants.run_case` (e.g. with an
     injected bug).
     """
@@ -141,7 +152,15 @@ def run_fuzz(
         )
         if check_ledger:
             report.ledger_checked += 1
-        outcome = run(case, check_service, case_dops, check_batch, check_ledger)
+        check_adaptive = bool(
+            check_adaptive_every and index % check_adaptive_every == 0
+        )
+        if check_adaptive:
+            report.adaptive_checked += 1
+        outcome = run(
+            case, check_service, case_dops, check_batch, check_ledger,
+            check_adaptive,
+        )
         if outcome.passed:
             if log and (index + 1) % 25 == 0:
                 log(f"  ... {index + 1}/{cases} cases, all invariants hold")
@@ -165,11 +184,15 @@ def run_fuzz(
             shrunk = shrink_case(
                 case,
                 outcome.checks,
-                run=lambda c: run(c, True, shrink_dops, check_batch, check_ledger),
+                run=lambda c: run(
+                    c, True, shrink_dops, check_batch, check_ledger,
+                    check_adaptive,
+                ),
             )
             failure.shrunk = shrunk
             failure.shrunk_violations = run(
-                shrunk, True, shrink_dops, check_batch, check_ledger
+                shrunk, True, shrink_dops, check_batch, check_ledger,
+                check_adaptive,
             ).violations
             if log:
                 log(
@@ -229,8 +252,9 @@ def replay_artifact(
 
     ``parallel_dops`` additionally replays the case through parallel
     execution at the given degrees (see :func:`~repro.qa.invariants.run_case`).
-    Replay always includes the batch-vs-row and telemetry-ledger
-    differentials — artifacts are rare and worth the extra executions.
+    Replay always includes the batch-vs-row, telemetry-ledger, and
+    adaptive differentials — artifacts are rare and worth the extra
+    executions.
     """
     return run_case(
         load_artifact(path),
@@ -238,4 +262,5 @@ def replay_artifact(
         parallel_dops=parallel_dops,
         check_batch=True,
         check_ledger=True,
+        check_adaptive=True,
     )

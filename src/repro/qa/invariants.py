@@ -32,6 +32,16 @@ For each generated case the checkers cross-validate every layer:
   subtree, identically in batch and row mode, and the set of recorded
   probe signatures must match exactly what
   :func:`~repro.executor.executor.iter_probe_sites` predicts.
+* **adaptive** — executing the dynamic plan under the adaptive
+  controller (mid-query re-optimization armed at the lowest trigger
+  threshold) must return the oracle's multiset in batch mode, row mode,
+  and at every parallel degree; repeating a run must trigger and replan
+  identically (determinism per seed); and after every splice the
+  re-entered start-up choice cost g must equal the from-scratch run-time
+  optimum d of the remaining query — the paper's ∀i gᵢ = dᵢ, preserved
+  across mid-query re-entry.  Ordering note: a replan may re-sort pinned
+  breaker output, which can permute ties, so the identity is canonical
+  (multiset) plus the ORDER BY sortedness check, not byte order.
 """
 
 from __future__ import annotations
@@ -203,6 +213,7 @@ def run_case(
     parallel_dops: tuple[int, ...] = (),
     check_batch: bool = False,
     check_ledger: bool = False,
+    check_adaptive: bool = False,
 ) -> CaseOutcome:
     """Run every invariant checker against one case.
 
@@ -210,7 +221,9 @@ def run_case(
     (empty disables the parallel checkers); ``(1, 2, 4)`` is the standard
     fuzzing configuration.  ``check_batch`` enables the batch-vs-row
     executor byte-identity differential, ``check_ledger`` the telemetry
-    cardinality-ledger differential (two extra executions).
+    cardinality-ledger differential (two extra executions), and
+    ``check_adaptive`` the mid-query re-optimization differential
+    (several extra executions under the adaptive controller).
     """
     outcome = CaseOutcome(case=case)
 
@@ -226,6 +239,7 @@ def run_case(
             parallel_dops,
             check_batch,
             check_ledger,
+            check_adaptive,
         )
     except Exception as exc:  # any crash is itself a finding
         report("crash", f"{type(exc).__name__}: {exc}")
@@ -240,6 +254,7 @@ def _run_checks(
     parallel_dops=(),
     check_batch=False,
     check_ledger=False,
+    check_adaptive=False,
 ) -> None:
     catalog = case.build_catalog()
     db = Database(catalog, model)
@@ -378,6 +393,24 @@ def _run_checks(
             report,
             parallel_dops,
             check_batch,
+        )
+
+    # --- adaptive re-optimization -------------------------------------
+    if check_adaptive:
+        _check_adaptive(
+            case,
+            catalog,
+            db,
+            model,
+            graph,
+            required_order,
+            parameter_values,
+            attributes,
+            oracle,
+            dynamic,
+            decision,
+            report,
+            parallel_dops,
         )
 
     # --- serving layer ------------------------------------------------
@@ -688,6 +721,175 @@ def _early_stop_sites(plan, choices) -> set[str]:
 
     walk(plan)
     return signatures
+
+
+def _check_adaptive(
+    case,
+    catalog,
+    db,
+    model,
+    graph,
+    required_order,
+    parameter_values,
+    attributes,
+    oracle,
+    dynamic,
+    decision,
+    report,
+    parallel_dops,
+) -> None:
+    """Adaptive differential: mid-query replans must be invisible.
+
+    The controller runs with the lowest trigger threshold
+    (``min_error_ratio=1.0``: any out-of-interval observation replans),
+    so every case whose compile-time intervals miss the loaded data
+    exercises the full trigger → re-enter → splice path; cases with
+    honest intervals exercise the never-triggering overhead path.  Both
+    must return the oracle's canonical multiset in every executor
+    configuration, behave identically on repetition, and keep
+    ``g = d`` holding for the spliced remainder of the query.
+    """
+    from repro.adaptive import AdaptivePolicy, execute_adaptive_plan
+
+    policy = AdaptivePolicy(max_reopts=2, min_error_ratio=1.0)
+    oracle_payload = json.dumps(oracle)
+    runs = {}
+    for label, kwargs in (
+        ("batch", {}),
+        ("row", {"execution_mode": "row"}),
+        ("repeat", {}),
+    ):
+        run = execute_adaptive_plan(
+            dynamic.plan,
+            graph,
+            db,
+            dynamic.ctx,
+            policy=policy,
+            bindings=case.bindings,
+            parameter_values=parameter_values,
+            choices=decision.choices,
+            required_order=required_order,
+            **kwargs,
+        )
+        runs[label] = run
+        payload = json.dumps(_canonical_payload(run.result, attributes))
+        if payload != oracle_payload:
+            rows = _canonical_payload(run.result, attributes)
+            report(
+                f"adaptive-results-{label}",
+                f"adaptive ({label}, {len(run.replans)} replan(s)) returned "
+                f"{len(rows)} rows != oracle {len(oracle)}; first diff: "
+                f"{_first_diff(rows, oracle)}",
+            )
+        if required_order is not None:
+            _check_sorted(
+                run.result, required_order, f"adaptive-order-{label}", report
+            )
+    first, again = runs["batch"], runs["repeat"]
+    if (
+        len(first.replans) != len(again.replans)
+        or first.triggered != again.triggered
+        or [e.signature for e in first.replans]
+        != [e.signature for e in again.replans]
+    ):
+        report(
+            "adaptive-determinism",
+            "identical adaptive runs diverged: "
+            f"{len(first.replans)} replan(s) at "
+            f"{[e.label for e in first.replans]} vs "
+            f"{len(again.replans)} at {[e.label for e in again.replans]}",
+        )
+    # g = d must survive the splice: each re-entered start-up decision
+    # must match the from-scratch run-time optimum of the remaining
+    # query over the pinned (exact-statistics) catalog, and d must lie
+    # inside the re-entered compile-time interval.
+    for index, event in enumerate(first.replans):
+        sub = event.outcome
+        binding = {
+            p.name: event.parameter_values[p.name]
+            for p in sub.graph.parameters
+        }
+        runtime = optimize_query(
+            sub.graph,
+            sub.result.ctx.catalog,
+            model,
+            mode=OptimizationMode.RUN_TIME,
+            binding=binding,
+            required_order=sub.required_order,
+        )
+        g = event.decision.execution_cost
+        d = runtime.plan.cost.low
+        if not math.isclose(
+            g, d, rel_tol=REL_TOLERANCE, abs_tol=ABS_TOLERANCE
+        ):
+            report(
+                "adaptive-g-equals-d",
+                f"replan {index} ({event.label}): re-entered choice cost "
+                f"g={g!r} != run-time optimum d={d!r} of the remaining "
+                f"query (binding {binding})",
+            )
+        interval = sub.result.plan.cost
+        slack = REL_TOLERANCE * max(1.0, abs(d))
+        overhead = _choose_overhead(sub.result.plan, model)
+        if d < interval.low - overhead - slack or d > interval.high + slack:
+            report(
+                "adaptive-interval-containment",
+                f"replan {index} ({event.label}): run-time optimum {d!r} "
+                f"outside the re-entered compile-time interval "
+                f"[{interval.low!r}, {interval.high!r}] "
+                f"(choose overhead {overhead!r})",
+            )
+    # Parallel degrees: the spliced plan must stay correct through
+    # exchange operators (workers never carry guards; only the
+    # coordinator's breakers trigger).
+    dops = tuple(d for d in parallel_dops if d > 1)
+    if dops:
+        from repro.cost.context import DOP_PARAMETER
+
+        parallel_graph = parse_query(case.query.to_sql(), catalog).graph
+        parallel_graph.parameters.add_dop(high=max(2, *dops))
+        parallel = optimize_query(
+            parallel_graph,
+            catalog,
+            model,
+            mode=OptimizationMode.DYNAMIC,
+            required_order=required_order,
+        )
+        for dop in dops:
+            binding = {**parameter_values, DOP_PARAMETER: float(dop)}
+            env = parallel_graph.parameters.bind(binding)
+            dop_decision = resolve_plan(
+                parallel.plan, parallel.ctx.with_env(env)
+            )
+            run = execute_adaptive_plan(
+                parallel.plan,
+                parallel_graph,
+                db,
+                parallel.ctx,
+                policy=policy,
+                bindings=case.bindings,
+                parameter_values=binding,
+                choices=dop_decision.choices,
+                required_order=required_order,
+                dop=dop,
+            )
+            payload = json.dumps(_canonical_payload(run.result, attributes))
+            if payload != oracle_payload:
+                rows = _canonical_payload(run.result, attributes)
+                report(
+                    f"adaptive-results-dop{dop}",
+                    f"adaptive parallel execution at DOP={dop} "
+                    f"({len(run.replans)} replan(s)) returned {len(rows)} "
+                    f"rows != oracle {len(oracle)}; first diff: "
+                    f"{_first_diff(rows, oracle)}",
+                )
+            if required_order is not None:
+                _check_sorted(
+                    run.result,
+                    required_order,
+                    f"adaptive-order-dop{dop}",
+                    report,
+                )
 
 
 def _check_service(case, catalog, model, attributes, direct, report) -> None:

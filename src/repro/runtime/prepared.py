@@ -232,3 +232,56 @@ class PreparedQuery:
             execution_mode=execution_mode,
             batch_size=batch_size,
         )
+
+    def execute_adaptive(
+        self,
+        db: Database,
+        value_bindings: Mapping[str, object],
+        parameter_values: Mapping[str, float] | None = None,
+        memory_pages: int | None = None,
+        dop: int | None = None,
+        execution_mode: str = "batch",
+        batch_size: int | None = None,
+        policy=None,
+        analyze: bool = False,
+    ):
+        """Like :meth:`execute`, with mid-query re-optimization enabled.
+
+        The invocation lifecycle is identical — derive, activate, decide —
+        but execution runs under the adaptive controller: pipeline
+        breakers whose observed cardinality escapes the compile-time
+        interval pin their rows and re-enter the optimizer for the rest
+        of the query.  Returns an
+        :class:`~repro.adaptive.controller.AdaptiveExecution` (its
+        ``.result`` is the usual :class:`ExecutionResult`).
+        """
+        # Function-level import: repro.adaptive imports the executor,
+        # which sits below this module; importing it lazily keeps the
+        # runtime package importable without the adaptive subsystem.
+        from repro.adaptive.controller import execute_adaptive_plan
+
+        if parameter_values is None:
+            parameter_values = self.derive_parameters(
+                db, value_bindings, memory_pages=memory_pages, dop=dop
+            )
+        elif dop is not None and DOP_PARAMETER in self.graph.parameters:
+            parameter_values = {**parameter_values, DOP_PARAMETER: float(dop)}
+        if dop is None:
+            dop = int(parameter_values.get(DOP_PARAMETER, 1))
+        activation = self.activate(parameter_values)
+        return execute_adaptive_plan(
+            self.module.plan,
+            self.graph,
+            db,
+            self.module.ctx,
+            policy=policy,
+            bindings=value_bindings,
+            parameter_values=parameter_values,
+            choices=activation.decision.choices,
+            memory_pages=memory_pages,
+            dop=dop,
+            execution_mode=execution_mode,
+            batch_size=batch_size,
+            analyze=analyze,
+            mode=self.mode,
+        )

@@ -133,10 +133,17 @@ class PlanCache:
         self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
         self._inflight: dict[CacheKey, _InFlight] = {}
         self._lock = threading.Lock()
-        # Normalized statement texts the flight recorder flagged for
-        # recompile after a runtime regression; checked (and cleared) on
-        # the next lookup so the entry takes the recompile path.
-        self._flagged: set[str] = set()
+        # Normalized statement texts flagged for recompile after a
+        # runtime regression (flight recorder, adaptive replans), mapped
+        # to the catalog version current when the flag was raised;
+        # checked (and cleared) on the next lookup so the entry takes
+        # the recompile path.  ``_flag_history`` remembers the last
+        # version each text was flagged at, making repeated flags at the
+        # same catalog version no-ops: N worker threads reporting the
+        # same regression mid-query produce exactly one recompile, not a
+        # thrash of N.
+        self._flagged: dict[str, int] = {}
+        self._flag_history: dict[str, int] = {}
         self._listener = catalog.subscribe(self._on_catalog_change)
 
     def __len__(self) -> int:
@@ -232,11 +239,16 @@ class PlanCache:
         """Why a stored entry cannot be served, as a counter suffix."""
         if entry.expires_at is not None and self._clock() >= entry.expires_at:
             return "expirations"
-        if entry.key.query_text in self._flagged:
-            # Flight-recorder regression: treat exactly like statistics
-            # drift — drop and recompile through the same counter.
-            self._flagged.discard(entry.key.query_text)
-            return "recompiles"
+        flagged_version = self._flagged.get(entry.key.query_text)
+        if flagged_version is not None:
+            # Runtime regression: treat exactly like statistics drift —
+            # drop and recompile through the same counter.  A flag older
+            # than the entry's own catalog version is moot (the entry
+            # was already recompiled against newer statistics): consume
+            # it without forcing another recompile.
+            del self._flagged[entry.key.query_text]
+            if entry.key.catalog_version <= flagged_version:
+                return "recompiles"
         module = entry.prepared.module
         if not module.validate(self._catalog):
             return "recompiles"
@@ -247,13 +259,24 @@ class PlanCache:
     def flag_recompile(self, sql: str) -> None:
         """Mark ``sql``'s cached plan for recompilation at next lookup.
 
-        The flight recorder's reaction to a ``plan.regression``: the plan
+        The reaction to a runtime regression (flight-recorder
+        ``plan.regression``, or an adaptive mid-query replan): the plan
         still serves the current invocation, but the next lookup takes the
         existing recompile path (``plan_cache.recompiles``) and re-optimizes
         against current statistics.
+
+        Safe to call from worker threads mid-query, and idempotent per
+        catalog version: once a text has been flagged at the current
+        version, further flags at that version are no-ops, so a burst of
+        concurrent regression reports forces exactly one recompile.
         """
+        text = normalize_query_text(sql)
         with self._lock:
-            self._flagged.add(normalize_query_text(sql))
+            version = self._catalog.version
+            if self._flag_history.get(text) == version:
+                return
+            self._flag_history[text] = version
+            self._flagged[text] = version
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -269,6 +292,10 @@ class PlanCache:
             ]
             for key in stale:
                 del self._entries[key]
+            # DDL recompiles everything anyway; pending flags (and the
+            # per-version no-op history) are moot at the new version.
+            self._flagged.clear()
+            self._flag_history.clear()
             if stale:
                 metrics.counter("plan_cache.invalidations").inc(len(stale))
                 metrics.gauge("plan_cache.entries").set(

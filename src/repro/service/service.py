@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Mapping
 
+from repro.adaptive import AdaptiveExecution, AdaptivePolicy, execute_adaptive_plan
 from repro.catalog.catalog import Catalog
 from repro.cost.context import DOP_PARAMETER
 from repro.cost.model import CostModel
@@ -67,6 +68,7 @@ class _Request:
     dop: int | None
     execution_mode: str
     batch_size: int | None
+    adaptive: bool = False
     # The submitter's open span (if any): the worker re-parents its
     # ``service.invoke`` span under it, so one trace covers submission,
     # queueing, and execution across the thread boundary.
@@ -81,6 +83,9 @@ class ServiceResult:
     latency_seconds: float  # dequeue-to-result, as the latency timer sees it
     cache_hit: bool
     compiled_catalog_version: int
+    # Present only for adaptive invocations: the controller's full
+    # account (attempts, triggers, per-replan events).
+    adaptive: AdaptiveExecution | None = None
 
     @property
     def rows(self):
@@ -111,6 +116,7 @@ class QueryService:
         seed: int = 0,
         execution_mode: str = "batch",
         batch_size: int | None = None,
+        adaptive: "AdaptivePolicy | bool | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("query service needs at least one worker")
@@ -123,6 +129,17 @@ class QueryService:
         # Service-wide executor defaults; per-request values win.
         self._execution_mode = execution_mode
         self._batch_size = batch_size
+        # Adaptivity default and policy.  ``True`` enables the default
+        # policy for every request; an AdaptivePolicy enables with that
+        # policy; None/False leaves requests non-adaptive unless they
+        # opt in — and an opting-in request uses the configured policy if
+        # one was given, the defaults otherwise.
+        if isinstance(adaptive, AdaptivePolicy):
+            self._adaptive_policy = adaptive
+            self._adaptive_default = True
+        else:
+            self._adaptive_policy = AdaptivePolicy()
+            self._adaptive_default = bool(adaptive)
         self._catalog = catalog
         self._model = model if model is not None else CostModel()
         self._queue_limit = queue_limit
@@ -192,6 +209,7 @@ class QueryService:
         dop: int | None = None,
         execution_mode: str | None = None,
         batch_size: int | None = None,
+        adaptive: bool | None = None,
     ) -> "Future[ServiceResult]":
         """Admit one invocation; fast-rejects when the queue is full.
 
@@ -199,7 +217,12 @@ class QueryService:
         to the service's ``max_dop`` and to the exchange workers still
         available under ``parallel_worker_budget`` at execution time.
         ``execution_mode`` / ``batch_size`` override the service-level
-        executor defaults for this invocation only.
+        executor defaults for this invocation only.  ``adaptive`` opts
+        this invocation in to (True) or out of (False) mid-query
+        re-optimization, overriding the service-level default; a replan
+        also flags the cached plan for recompilation, so later
+        invocations start from a plan optimized against the observed
+        reality.
 
         Raises :class:`ServiceClosedError` after :meth:`close`, and
         :class:`ServiceOverloadedError` when ``queue_limit`` requests are
@@ -220,6 +243,9 @@ class QueryService:
             dop=dop,
             execution_mode=execution_mode or self._execution_mode,
             batch_size=batch_size if batch_size is not None else self._batch_size,
+            adaptive=(
+                self._adaptive_default if adaptive is None else bool(adaptive)
+            ),
             trace_parent=tracer.current_span() if tracer.enabled else None,
         )
         future: Future[ServiceResult] = Future()
@@ -246,6 +272,7 @@ class QueryService:
         dop: int | None = None,
         execution_mode: str | None = None,
         batch_size: int | None = None,
+        adaptive: bool | None = None,
     ) -> ServiceResult:
         """Synchronous invocation: :meth:`submit` plus waiting."""
         return self.submit(
@@ -257,6 +284,7 @@ class QueryService:
             dop=dop,
             execution_mode=execution_mode,
             batch_size=batch_size,
+            adaptive=adaptive,
         ).result()
 
     def close(self, *, drain: bool = True) -> None:
@@ -381,17 +409,37 @@ class QueryService:
                 if prepared.reoptimizations != reoptimizations_before:
                     metrics.counter("plan_cache.recompiles").inc()
                 plan = prepared.module.plan
+                ctx = prepared.module.ctx
                 compiled_version = prepared.module.catalog_version
-            execution = execute_plan(
-                plan,
-                db,
-                bindings=request.value_bindings,
-                choices=activation.decision.choices,
-                memory_pages=request.memory_pages,
-                dop=granted,
-                execution_mode=request.execution_mode,
-                batch_size=request.batch_size,
-            )
+            adaptive_run: AdaptiveExecution | None = None
+            if request.adaptive:
+                adaptive_run = execute_adaptive_plan(
+                    plan,
+                    prepared.graph,
+                    db,
+                    ctx,
+                    policy=self._adaptive_policy,
+                    bindings=request.value_bindings,
+                    parameter_values=parameter_values,
+                    choices=activation.decision.choices,
+                    memory_pages=request.memory_pages,
+                    dop=granted,
+                    execution_mode=request.execution_mode,
+                    batch_size=request.batch_size,
+                    mode=prepared.mode,
+                )
+                execution = adaptive_run.result
+            else:
+                execution = execute_plan(
+                    plan,
+                    db,
+                    bindings=request.value_bindings,
+                    choices=activation.decision.choices,
+                    memory_pages=request.memory_pages,
+                    dop=granted,
+                    execution_mode=request.execution_mode,
+                    batch_size=request.batch_size,
+                )
         finally:
             self._release_dop(granted)
         elapsed = perf_counter() - started
@@ -416,11 +464,22 @@ class QueryService:
             )
             if regressed:
                 self.cache.flag_recompile(entry.key.query_text)
+        if adaptive_run is not None and adaptive_run.replans:
+            # A mid-query replan is direct evidence the compiled plan's
+            # intervals missed reality: flag it so the next lookup
+            # recompiles against current statistics.  Idempotent per
+            # catalog version, so concurrent workers replanning the same
+            # statement force exactly one recompile.
+            metrics.counter("service.adaptive_replans").inc(
+                len(adaptive_run.replans)
+            )
+            self.cache.flag_recompile(entry.key.query_text)
         return ServiceResult(
             execution=execution,
             latency_seconds=elapsed,
             cache_hit=hit,
             compiled_catalog_version=compiled_version,
+            adaptive=adaptive_run,
         )
 
     # ------------------------------------------------------------------

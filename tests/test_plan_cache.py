@@ -240,3 +240,123 @@ class TestSingleFlight:
     def test_capacity_validation(self, catalog):
         with pytest.raises(ValueError):
             PlanCache(catalog, capacity=0)
+
+
+class TestFlagRecompile:
+    """Runtime-regression flags (flight recorder, adaptive replans):
+    raised from worker threads mid-query, consumed exactly once."""
+
+    def test_flag_forces_one_recompile_then_hits(self, catalog):
+        cache = PlanCache(catalog)
+        first, _ = cache.get_or_compile(SQL)
+        before = get_metrics().snapshot()
+        cache.flag_recompile(SQL)
+        second, hit = cache.get_or_compile(SQL)
+        assert not hit
+        assert second is not first
+        assert deltas(before)["plan_cache.recompiles"] == 1
+        _, hit = cache.get_or_compile(SQL)
+        assert hit
+
+    def test_concurrent_flags_force_exactly_one_recompile(self, catalog):
+        """A burst of regression reports from N worker threads at one
+        catalog version must not thrash: one recompile, not N."""
+        cache = PlanCache(catalog)
+        cache.get_or_compile(SQL)
+        before = get_metrics().snapshot()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            cache.flag_recompile(SQL)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        cache.get_or_compile(SQL)  # consumes the flag
+        cache.get_or_compile(SQL)  # must hit again
+        moved = deltas(before)
+        assert moved["plan_cache.recompiles"] == 1
+        assert moved["plan_cache.hits"] == 1
+
+    def test_no_lost_flags_under_flag_lookup_races(self, catalog):
+        """Flags racing lookups: regardless of interleaving, the flag is
+        eventually consumed by exactly one recompile and never lost."""
+        cache = PlanCache(catalog)
+        cache.get_or_compile(SQL)
+        before = get_metrics().snapshot()
+        barrier = threading.Barrier(8)
+
+        def flagger():
+            barrier.wait()
+            cache.flag_recompile(SQL)
+
+        def looker():
+            barrier.wait()
+            cache.get_or_compile(SQL)
+
+        threads = [
+            threading.Thread(target=flagger if i % 2 else looker)
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Drain: whatever interleaving happened, a pending flag (if any
+        # lookup raced ahead of every flag) is consumed now...
+        cache.get_or_compile(SQL)
+        assert deltas(before)["plan_cache.recompiles"] == 1
+        # ... and the cache is quiescent: pure hits from here on.
+        settled = get_metrics().snapshot()
+        cache.get_or_compile(SQL)
+        assert deltas(settled)["plan_cache.recompiles"] == 0
+
+    def test_flag_is_idempotent_per_catalog_version(self, catalog):
+        """Once consumed, re-flagging at the same version is a no-op —
+        the regression was already acted on at these statistics."""
+        cache = PlanCache(catalog)
+        cache.get_or_compile(SQL)
+        cache.flag_recompile(SQL)
+        cache.get_or_compile(SQL)  # recompile consumes the flag
+        before = get_metrics().snapshot()
+        cache.flag_recompile(SQL)  # same catalog version: no-op
+        _, hit = cache.get_or_compile(SQL)
+        assert hit
+        assert deltas(before).get("plan_cache.recompiles", 0.0) == 0
+
+    def test_ddl_clears_pending_flags_and_history(self, catalog):
+        cache = PlanCache(catalog)
+        cache.get_or_compile(SQL)
+        cache.flag_recompile(SQL)
+        catalog.set_cardinality("R", 2000)  # DDL recompiles everything
+        before = get_metrics().snapshot()
+        cache.get_or_compile(SQL)  # fresh key: plain miss, not a flag
+        assert deltas(before).get("plan_cache.recompiles", 0.0) == 0
+        # The no-op history was also cleared: a new regression at the
+        # new version flags (and forces a recompile) again.
+        cache.flag_recompile(SQL)
+        mid = get_metrics().snapshot()
+        cache.get_or_compile(SQL)
+        assert deltas(mid)["plan_cache.recompiles"] == 1
+
+    def test_flag_targets_only_its_statement(self, catalog):
+        cache = PlanCache(catalog)
+        cache.get_or_compile(SQL)
+        cache.get_or_compile(OTHER_SQL)
+        cache.flag_recompile(OTHER_SQL)
+        before = get_metrics().snapshot()
+        _, hit = cache.get_or_compile(SQL)
+        assert hit
+        assert deltas(before).get("plan_cache.recompiles", 0.0) == 0
+
+    def test_flag_normalizes_query_text(self, catalog):
+        cache = PlanCache(catalog)
+        cache.get_or_compile(SQL)
+        cache.flag_recompile("SELECT  *  FROM R\n WHERE R.a < :v;")
+        before = get_metrics().snapshot()
+        _, hit = cache.get_or_compile(SQL)
+        assert not hit
+        assert deltas(before)["plan_cache.recompiles"] == 1
