@@ -16,6 +16,7 @@ from repro.adaptive.controller import (
     AdaptiveExecution,
     ReplanEvent,
     execute_adaptive_plan,
+    execute_adaptive_statement,
 )
 from repro.adaptive.guard import AdaptiveGuard, Checkpoint, ReplanSignal
 from repro.adaptive.policy import AdaptivePolicy
@@ -30,5 +31,6 @@ __all__ = [
     "ReplanOutcome",
     "ReplanSignal",
     "execute_adaptive_plan",
+    "execute_adaptive_statement",
     "replan_remaining",
 ]

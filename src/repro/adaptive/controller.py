@@ -413,3 +413,148 @@ def execute_adaptive_plan(
         triggered=triggered,
         attempts=attempts,
     )
+
+
+def execute_adaptive_statement(
+    statement_result,
+    db: Database,
+    *,
+    policy: AdaptivePolicy | None = None,
+    bindings: Mapping[str, object] | None = None,
+    parameter_values: Mapping[str, float] | None = None,
+    memory_pages: int | None = None,
+    dop: int | None = None,
+    execution_mode: str = "batch",
+    batch_size: int | None = None,
+    mode: OptimizationMode = OptimizationMode.DYNAMIC,
+) -> AdaptiveExecution:
+    """Adaptive execution for a full statement (SPJU / outer / semi-join).
+
+    ``statement_result`` is an
+    :class:`~repro.optimizer.statement.StatementResult`.  Simple
+    statements delegate to :func:`execute_adaptive_plan` unchanged.
+    Compound statements run each branch *core* adaptively (all pipeline
+    breakers live inside the cores — the composed superstructure above
+    them is fixed and breaker-free), execute the single-relation
+    extension inputs directly, then execute the composed plan with every
+    component root substituted by its computed rows through the
+    executor's ``pinned_nodes`` path — so replans inside one branch never
+    disturb another branch or the composition.
+    """
+    statement = statement_result.statement
+    policy = policy if policy is not None else AdaptivePolicy()
+    if statement.is_simple:
+        branch_plan = statement_result.branch_plans[0]
+        return execute_adaptive_plan(
+            branch_plan.core.plan,
+            branch_plan.branch.graph,
+            db,
+            branch_plan.core.ctx,
+            policy=policy,
+            bindings=bindings,
+            parameter_values=parameter_values,
+            memory_pages=memory_pages,
+            dop=dop,
+            execution_mode=execution_mode,
+            batch_size=batch_size,
+            required_order=statement.order_by,
+            mode=mode,
+        )
+
+    supplied = dict(parameter_values or {})
+    values = {
+        p.name: float(supplied.get(p.name, p.expected))
+        for p in statement_result.ctx.env.space
+    }
+    pinned_nodes: dict[int, tuple[RowSchema, tuple[Row, ...]]] = {}
+    replans: list[ReplanEvent] = []
+    kept = 0
+    triggered = 0
+    attempts = 0
+    before = _snapshot(db)
+    started = time.perf_counter()
+    for branch_plan in statement_result.branch_plans:
+        run = execute_adaptive_plan(
+            branch_plan.core.plan,
+            branch_plan.branch.graph,
+            db,
+            branch_plan.core.ctx,
+            policy=policy,
+            bindings=bindings,
+            parameter_values=values,
+            memory_pages=memory_pages,
+            dop=dop,
+            execution_mode=execution_mode,
+            batch_size=batch_size,
+            mode=mode,
+        )
+        replans.extend(run.replans)
+        kept += run.kept
+        triggered += run.triggered
+        attempts += run.attempts
+        pinned_nodes[id(branch_plan.core.plan)] = (
+            run.result.schema,
+            tuple(run.result.rows),
+        )
+        extensions = list(branch_plan.semi_inners)
+        if branch_plan.outer_right is not None:
+            extensions.append(branch_plan.outer_right)
+        for extension in extensions:
+            # Single-relation access plans: no pipeline breakers, so the
+            # adaptive loop would never trigger — plain execution with
+            # the access-path choice resolved at the bound values.
+            result = execute_plan(
+                extension.plan,
+                db,
+                bindings=bindings,
+                ctx=extension.ctx,
+                parameter_values=values,
+                memory_pages=memory_pages,
+                execution_mode=execution_mode,
+                batch_size=batch_size,
+            )
+            pinned_nodes[id(extension.plan)] = (
+                result.schema,
+                tuple(result.rows),
+            )
+    # The composed superstructure: every choose-plan sits at or below a
+    # pinned root, so an empty decision map suffices.
+    final = execute_plan(
+        statement_result.plan,
+        db,
+        bindings=bindings,
+        choices={},
+        memory_pages=memory_pages,
+        execution_mode=execution_mode,
+        batch_size=batch_size,
+        pinned_nodes=pinned_nodes,
+    )
+    attempts += 1
+    elapsed = time.perf_counter() - started
+    after = _snapshot(db)
+    combined = ExecutionMetrics(
+        rows=len(final.rows),
+        io_seconds=after[0] - before[0],
+        sequential_reads=after[1] - before[1],
+        random_reads=after[2] - before[2],
+        writes=after[3] - before[3],
+        buffer_hits=after[4] - before[4],
+        buffer_misses=after[5] - before[5],
+        wall_seconds=elapsed,
+    )
+    max_error = final.max_estimate_error
+    for event in replans:
+        max_error = max(max_error, event.error_ratio)
+    return AdaptiveExecution(
+        result=ExecutionResult(
+            rows=final.rows,
+            schema=final.schema,
+            metrics=combined,
+            operator_stats=final.operator_stats,
+            max_estimate_error=max_error,
+        ),
+        replans=tuple(replans),
+        kept=kept,
+        triggered=triggered,
+        attempts=attempts,
+    )

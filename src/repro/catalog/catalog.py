@@ -63,6 +63,7 @@ class Catalog:
 
     _relations: dict[str, RelationInfo] = field(default_factory=dict)
     _histograms: dict[str, object] = field(default_factory=dict)
+    _unique: set[str] = field(default_factory=set)
     _version: int = 0
     _listeners: list[Callable[[int], None]] = field(
         default_factory=list, repr=False, compare=False
@@ -253,6 +254,30 @@ class Catalog:
         """The index keyed on ``attribute``, or None."""
         return self.relation(attribute.relation).index_on(attribute)
 
+    # ------------------------------------------------------------------
+    # Unary key constraints
+    # ------------------------------------------------------------------
+    def declare_unique(self, qualified_name: str) -> None:
+        """Declare ``relation.attribute`` a unary key (no duplicate values).
+
+        Key constraints tighten cardinality upper bounds on intermediates
+        (Chen & Schneider's SPJU size bounds): a join whose inner side is
+        unique on the join attribute yields at most one match per outer
+        row.  Declaring a key bumps the version — plans compiled without
+        the constraint remain sound but may under-use it.
+        """
+        attribute = self.attribute(qualified_name)  # validates existence
+        with self._lock:
+            if attribute.qualified_name in self._unique:
+                return
+            self._unique.add(attribute.qualified_name)
+            version, listeners = self._bump_locked()
+        self._notify(version, listeners)
+
+    def is_unique(self, qualified_name: str) -> bool:
+        """True when ``relation.attribute`` is a declared unary key."""
+        return qualified_name in self._unique
+
     def set_histogram(self, attribute: Attribute, histogram) -> None:
         """Attach a value histogram to an attribute (ANALYZE output).
 
@@ -299,6 +324,8 @@ class Catalog:
                 for info in self._relations.values()
             ]
         }
+        if self._unique:
+            payload["unique"] = sorted(self._unique)
         return json.dumps(payload, indent=2)
 
     @classmethod
@@ -320,6 +347,8 @@ class Catalog:
                     ix["attribute"],
                     clustered=ix.get("clustered", False),
                 )
+        for qualified_name in payload.get("unique", ()):
+            catalog.declare_unique(qualified_name)
         return catalog
 
     def set_cardinality(self, relation_name: str, cardinality: int) -> None:

@@ -463,7 +463,34 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument(
         "--smoke",
         action="store_true",
-        help="fixed-seed 150-case run for CI (overrides --seed/--cases)",
+        help="fixed-seed 150-case run for CI (overrides --seed/--cases; "
+        "failures always write artifacts, to fuzz-artifacts/ unless "
+        "--artifact-dir says otherwise)",
+    )
+    fuzz_cmd.add_argument(
+        "--coverage",
+        action="store_true",
+        help="plan-shape-coverage-guided fuzzing: fingerprint every "
+        "case's plans, and evolve the generator's catalog/data state "
+        "(statistics skew, index churn, relation growth, grammar mix) "
+        "whenever discovery of new shapes goes stale",
+    )
+    fuzz_cmd.add_argument(
+        "--coverage-report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the plan-shape coverage report as JSON to FILE "
+        "(implies --coverage)",
+    )
+    fuzz_cmd.add_argument(
+        "--coverage-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="fail (exit 1) if this run discovers fewer distinct plan "
+        "shapes than the checked-in baseline report at FILE "
+        "(implies --coverage)",
     )
     fuzz_cmd.set_defaults(handler=_cmd_fuzz)
 
@@ -1129,40 +1156,77 @@ SMOKE_CASES = 150
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.qa import run_fuzz
+    from repro.qa import load_baseline, run_fuzz
 
     seed = args.seed
     cases = args.cases
+    artifact_dir = args.artifact_dir
     if args.smoke:
         seed, cases = SMOKE_SEED, SMOKE_CASES
+        if artifact_dir is None:
+            # CI must always get a replayable artifact path on failure.
+            artifact_dir = Path("fuzz-artifacts")
     if cases < 1:
         raise ValueError("--cases must be at least 1")
+    coverage = bool(
+        args.coverage
+        or args.coverage_report is not None
+        or args.coverage_baseline is not None
+    )
     report = run_fuzz(
         seed,
         cases,
         shrink=args.shrink,
-        artifact_dir=args.artifact_dir,
+        artifact_dir=artifact_dir,
         check_service_every=args.service_every,
         check_parallel_every=args.parallel_every,
         check_batch_every=args.batch_every,
         check_ledger_every=args.ledger_every,
         check_adaptive_every=args.adaptive_every,
+        coverage=coverage,
         log=print,
     )
     print(report.summary())
+    failed = not report.ok
+    if coverage:
+        payload = report.coverage_json()
+        for dimension, count in payload["by_dimension"].items():
+            print(f"  shapes[{dimension}] = {count}")
+        if args.coverage_report is not None:
+            args.coverage_report.parent.mkdir(parents=True, exist_ok=True)
+            args.coverage_report.write_text(
+                json.dumps(payload, indent=2) + "\n"
+            )
+            print(f"coverage report: {args.coverage_report}")
+        if args.coverage_baseline is not None:
+            floor = load_baseline(args.coverage_baseline)
+            assert report.coverage is not None
+            found = report.coverage.distinct_shapes
+            if found < floor:
+                print(
+                    f"coverage REGRESSION: {found} distinct plan shapes "
+                    f"< baseline {floor} ({args.coverage_baseline})"
+                )
+                failed = True
+            else:
+                print(
+                    f"coverage ok: {found} distinct plan shapes "
+                    f">= baseline {floor}"
+                )
     if not report.ok:
         for failure in report.failures:
             case = failure.minimal_case
             print(f"\ncase {failure.index} ({failure.case.seed}):")
             print(f"  sql: {case.query.to_sql()}")
+            if failure.artifact_path is not None:
+                print(f"  artifact: {failure.artifact_path}")
             for violation in (
                 failure.shrunk_violations
                 if failure.shrunk_violations is not None
                 else failure.violations
             ):
                 print(f"  {violation.check}: {violation.detail}")
-        return 1
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:

@@ -18,7 +18,6 @@ row stream is specified, and it is byte-identical to row mode.
 from __future__ import annotations
 
 import time
-from operator import itemgetter
 from typing import Callable, Iterator, Mapping
 
 from repro.catalog.schema import Attribute
@@ -31,6 +30,7 @@ from repro.executor.iterators import (
     _Accumulator,
     _join_key_positions,
     _predicate_range,
+    null_last_key,
 )
 from repro.executor.sort import external_sort
 from repro.executor.tuples import Row, RowBatch, RowSchema
@@ -863,7 +863,7 @@ class BatchSortIterator(BatchIterator):
             external_sort(
                 self.db.disk,
                 flatten(self.child),
-                key=itemgetter(position),
+                key=lambda row: null_last_key(row[position]),
                 memory_pages=self.memory_pages,
                 rows_per_page=self.db.intermediate_rows_per_page,
             ),
@@ -897,7 +897,10 @@ class BatchTopNIterator(BatchIterator):
 
     def batches(self) -> Iterator[RowBatch]:
         position = self.schema.position(self.key)
-        key_of = itemgetter(position)
+
+        def key_of(row):
+            return null_last_key(row[position])
+
         limit = self.limit
         threshold = 4 * limit
         candidates: list = []
@@ -908,3 +911,125 @@ class BatchTopNIterator(BatchIterator):
         yield from rebatch(
             iter(sorted(candidates, key=key_of)[:limit]), self.batch_size
         )
+
+
+# ----------------------------------------------------------------------
+# Statement composition (SPJU / outer join / semi-join)
+# ----------------------------------------------------------------------
+class BatchSemiJoinIterator(BatchIterator):
+    """Batch twin of :class:`~repro.executor.iterators.SemiJoinIterator`.
+
+    The inner input is flattened into a value set; outer batches are then
+    filtered in place.  The concatenated row stream is independent of
+    batch boundaries, hence byte-identical to row mode.
+    """
+
+    __slots__ = ("outer", "inner", "outer_attr", "inner_attr")
+
+    def __init__(
+        self,
+        outer: BatchIterator,
+        inner: BatchIterator,
+        outer_attr: Attribute,
+        inner_attr: Attribute,
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.outer_attr = outer_attr
+        self.inner_attr = inner_attr
+        self.schema = outer.schema
+
+    def batches(self) -> Iterator[RowBatch]:
+        inner_position = self.inner.schema.position(self.inner_attr)
+        matches = {row[inner_position] for row in flatten(self.inner)}
+        outer_position = self.outer.schema.position(self.outer_attr)
+        for batch in self.outer.batches():
+            kept = [row for row in batch.rows if row[outer_position] in matches]
+            if kept:
+                yield RowBatch(kept)
+
+
+class BatchLeftOuterHashJoinIterator(BatchIterator):
+    """Batch twin of
+    :class:`~repro.executor.iterators.LeftOuterHashJoinIterator`: right
+    side built once, left batches probed with NULL padding on a miss.
+    Match order per left row follows build insertion order, matching the
+    row iterator exactly.
+    """
+
+    __slots__ = ("left", "right", "left_attr", "right_attr")
+
+    def __init__(
+        self,
+        left: BatchIterator,
+        right: BatchIterator,
+        left_attr: Attribute,
+        right_attr: Attribute,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_attr = left_attr
+        self.right_attr = right_attr
+        self.schema = left.schema.concat(right.schema)
+
+    def batches(self) -> Iterator[RowBatch]:
+        right_position = self.right.schema.position(self.right_attr)
+        table: dict[object, list[Row]] = {}
+        for row in flatten(self.right):
+            table.setdefault(row[right_position], []).append(row)
+        padding = (None,) * len(self.right.schema.attributes)
+        left_position = self.left.schema.position(self.left_attr)
+        empty: list[Row] = []
+        for batch in self.left.batches():
+            out: list[Row] = []
+            for left_row in batch.rows:
+                matches = table.get(left_row[left_position], empty)
+                if matches:
+                    for right_row in matches:
+                        out.append(left_row + right_row)
+                else:
+                    out.append(left_row + padding)
+            if out:
+                yield RowBatch(out)
+
+
+class BatchUnionAllIterator(BatchIterator):
+    """Concatenate children's batch streams in order (UNION ALL)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: list[BatchIterator]) -> None:
+        if len(children) < 2:
+            raise ExecutionError("union needs at least two inputs")
+        arities = {len(child.schema.attributes) for child in children}
+        if len(arities) != 1:
+            raise ExecutionError(
+                f"union inputs have mismatched arities {sorted(arities)}"
+            )
+        self.children = children
+        self.schema = children[0].schema
+
+    def batches(self) -> Iterator[RowBatch]:
+        for child in self.children:
+            yield from child.batches()
+
+
+class BatchDistinctIterator(BatchIterator):
+    """Duplicate elimination keeping first occurrences, batch at a time."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: BatchIterator) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def batches(self) -> Iterator[RowBatch]:
+        seen: set[Row] = set()
+        for batch in self.child.batches():
+            kept: list[Row] = []
+            for row in batch.rows:
+                if row not in seen:
+                    seen.add(row)
+                    kept.append(row)
+            if kept:
+                yield RowBatch(kept)

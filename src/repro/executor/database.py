@@ -55,13 +55,46 @@ class Database:
         rng = make_rng(seed)
         for name in self.catalog.relation_names:
             info = self.catalog.relation(name)
-            rows = [
-                tuple(
-                    rng.randrange(attribute.domain_size)
-                    for attribute in info.schema
-                )
-                for _ in range(info.stats.cardinality)
+            unique = [
+                self.catalog.is_unique(attribute.qualified_name)
+                for attribute in info.schema
             ]
+            if any(unique):
+                # Column-wise generation: declared unary keys sample
+                # without replacement so the key constraint actually holds
+                # in the data (the cardinality estimator relies on it).
+                cardinality = info.stats.cardinality
+                columns = []
+                for attribute, is_key in zip(info.schema, unique):
+                    if is_key:
+                        if attribute.domain_size < cardinality:
+                            raise ValueError(
+                                f"unique attribute {attribute.qualified_name} "
+                                f"has domain {attribute.domain_size} < "
+                                f"cardinality {cardinality}"
+                            )
+                        columns.append(
+                            rng.sample(range(attribute.domain_size), cardinality)
+                        )
+                    else:
+                        columns.append(
+                            [
+                                rng.randrange(attribute.domain_size)
+                                for _ in range(cardinality)
+                            ]
+                        )
+                rows = [tuple(column[i] for column in columns) for i in range(cardinality)]
+            else:
+                # Row-major draw order: relations without key constraints
+                # keep the historical RNG stream so existing seeds, fuzz
+                # artifacts, and experiments reproduce byte-identically.
+                rows = [
+                    tuple(
+                        rng.randrange(attribute.domain_size)
+                        for attribute in info.schema
+                    )
+                    for _ in range(info.stats.cardinality)
+                ]
             self.load_relation(name, rows)
 
     def load_relation(self, name: str, rows: list[tuple]) -> None:

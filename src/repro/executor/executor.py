@@ -30,9 +30,13 @@ from repro.executor.batch import (
     BatchMergeJoinIterator,
     BatchNestedLoopsJoinIterator,
     BatchProjectIterator,
+    BatchDistinctIterator,
+    BatchLeftOuterHashJoinIterator,
+    BatchSemiJoinIterator,
     BatchSortedAggregateIterator,
     BatchSortIterator,
     BatchTopNIterator,
+    BatchUnionAllIterator,
     LedgerProbeBatchIterator,
     MaterializedBatchIterator,
     MeteredBatchIterator,
@@ -40,12 +44,14 @@ from repro.executor.batch import (
 from repro.executor.iterators import (
     BtreeScanIterator,
     CheckpointIterator,
+    DistinctIterator,
     FileScanIterator,
     FilterIterator,
     HashAggregateIterator,
     HashJoinIterator,
     IndexJoinIterator,
     LedgerProbeIterator,
+    LeftOuterHashJoinIterator,
     MaterializedIterator,
     MergeJoinIterator,
     MeteredIterator,
@@ -53,9 +59,11 @@ from repro.executor.iterators import (
     OperatorStats,
     PlanIterator,
     ProjectIterator,
+    SemiJoinIterator,
     SortedAggregateIterator,
     SortIterator,
     TopNIterator,
+    UnionAllIterator,
 )
 from repro.obs.metrics import get_metrics
 from repro.obs.telemetry import CardinalityLedger, get_ledger, plan_signature
@@ -82,12 +90,16 @@ from repro.physical.plan import (
     HashJoinNode,
     IndexJoinNode,
     MergeJoinNode,
+    DistinctNode,
+    LeftOuterJoinNode,
     NestedLoopsJoinNode,
     PlanNode,
     ProjectNode,
+    SemiJoinNode,
     SortedAggregateNode,
     SortNode,
     TopNNode,
+    UnionAllNode,
     leaf_access_info,
 )
 from repro.runtime.chooser import resolve_plan
@@ -162,6 +174,7 @@ def execute_plan(
     execution_mode: str = "batch",
     batch_size: int | None = None,
     guard=None,
+    pinned_nodes: Mapping[int, tuple] | None = None,
 ) -> ExecutionResult:
     """Execute ``plan`` against ``db``.
 
@@ -201,6 +214,13 @@ def execute_plan(
     default) constructs exactly the same iterator tree as before the
     adaptive subsystem existed.  Guards never cross an exchange
     boundary — per-worker partial counts are not observations.
+
+    ``pinned_nodes`` maps plan-node identities (``id(node)``) to
+    ``(schema, rows)`` pairs whose rows substitute for the node's entire
+    subtree — how statement-level composition re-executes its fixed
+    superstructure over branch results produced elsewhere (e.g. by
+    adaptive per-branch execution).  Identity keys are checked before any
+    other dispatch, including choose-plan resolution.
     """
     tracer = get_tracer()
     bindings = dict(bindings or {})
@@ -250,6 +270,7 @@ def execute_plan(
                 dop=effective_dop,
                 probe=probe,
                 guard=guard,
+                pinned=pinned_nodes,
             )
             rows = [row for batch in iterator.batches() for row in batch.rows]
         else:
@@ -264,6 +285,7 @@ def execute_plan(
                 dop=effective_dop,
                 probe=probe,
                 guard=guard,
+                pinned=pinned_nodes,
             )
             rows = list(iterator.rows())
     if collection is not None:
@@ -406,7 +428,13 @@ def _build_iterator(
     partition: PartitionSpec | None = None,
     probe: _ProbeContext | None = None,
     guard=None,
+    pinned: Mapping[int, tuple] | None = None,
 ) -> PlanIterator:
+    if pinned:
+        entry = pinned.get(id(node))
+        if entry is not None:
+            schema, rows = entry
+            return MaterializedIterator(schema, tuple(rows))
     if isinstance(node, ChoosePlanNode):
         try:
             chosen = choices[id(node)]
@@ -418,11 +446,11 @@ def _build_iterator(
         # never metered — counters attach to the chosen alternative.
         return _build_iterator(
             chosen, db, bindings, choices, memory, materialized, operator_stats,
-            dop, partition, probe, guard,
+            dop, partition, probe, guard, pinned,
         )
     iterator = _instantiate_iterator(
         node, db, bindings, choices, memory, materialized, operator_stats,
-        dop, partition, probe, guard,
+        dop, partition, probe, guard, pinned,
     )
     if operator_stats is not None and not isinstance(iterator, MeteredIterator):
         # A shared subplan (DAG) may be instantiated once per parent; both
@@ -455,6 +483,7 @@ def _instantiate_iterator(
     partition: PartitionSpec | None,
     probe: _ProbeContext | None = None,
     guard=None,
+    pinned: Mapping[int, tuple] | None = None,
 ) -> PlanIterator:
     if materialized:
         info = leaf_access_info(node)
@@ -464,7 +493,7 @@ def _instantiate_iterator(
     def build(child: PlanNode) -> PlanIterator:
         return _build_iterator(
             child, db, bindings, choices, memory, materialized, operator_stats,
-            dop, partition, probe, guard,
+            dop, partition, probe, guard, pinned,
         )
 
     if isinstance(node, ExchangeNode):
@@ -550,6 +579,20 @@ def _instantiate_iterator(
         return HashAggregateIterator(build(node.inputs[0]), node.spec)
     if isinstance(node, SortedAggregateNode):
         return SortedAggregateIterator(build(node.inputs[0]), node.spec)
+    if isinstance(node, SemiJoinNode):
+        return SemiJoinIterator(
+            build(node.inputs[0]), build(node.inputs[1]),
+            node.outer_attr, node.inner_attr,
+        )
+    if isinstance(node, LeftOuterJoinNode):
+        return LeftOuterHashJoinIterator(
+            build(node.inputs[0]), build(node.inputs[1]),
+            node.left_attr, node.right_attr,
+        )
+    if isinstance(node, UnionAllNode):
+        return UnionAllIterator([build(child) for child in node.inputs])
+    if isinstance(node, DistinctNode):
+        return DistinctIterator(build(node.inputs[0]))
     raise ExecutionError(f"no iterator for node type {type(node).__name__}")
 
 
@@ -649,10 +692,16 @@ def _build_batch_iterator(
     partition: PartitionSpec | None = None,
     probe: _ProbeContext | None = None,
     guard=None,
+    pinned: Mapping[int, tuple] | None = None,
 ) -> BatchIterator:
     """Batch-mode twin of :func:`_build_iterator`: same dispatch, same
     choose-plan, metering, ledger-probe, and checkpoint rules,
     vectorized operators."""
+    if pinned:
+        entry = pinned.get(id(node))
+        if entry is not None:
+            schema, rows = entry
+            return MaterializedBatchIterator(schema, tuple(rows), batch_size)
     if isinstance(node, ChoosePlanNode):
         try:
             chosen = choices[id(node)]
@@ -662,11 +711,11 @@ def _build_batch_iterator(
             ) from None
         return _build_batch_iterator(
             chosen, db, bindings, choices, memory, materialized, operator_stats,
-            batch_size, dop, partition, probe, guard,
+            batch_size, dop, partition, probe, guard, pinned,
         )
     iterator = _instantiate_batch_iterator(
         node, db, bindings, choices, memory, materialized, operator_stats,
-        batch_size, dop, partition, probe, guard,
+        batch_size, dop, partition, probe, guard, pinned,
     )
     if operator_stats is not None and not isinstance(
         iterator, MeteredBatchIterator
@@ -698,6 +747,7 @@ def _instantiate_batch_iterator(
     partition: PartitionSpec | None,
     probe: _ProbeContext | None = None,
     guard=None,
+    pinned: Mapping[int, tuple] | None = None,
 ) -> BatchIterator:
     if materialized:
         info = leaf_access_info(node)
@@ -715,7 +765,7 @@ def _instantiate_batch_iterator(
     def build(child: PlanNode) -> BatchIterator:
         return _build_batch_iterator(
             child, db, bindings, choices, memory, materialized, operator_stats,
-            batch_size, dop, partition, probe, guard,
+            batch_size, dop, partition, probe, guard, pinned,
         )
 
     if isinstance(node, ExchangeNode):
@@ -813,6 +863,20 @@ def _instantiate_batch_iterator(
         return BatchSortedAggregateIterator(
             build(node.inputs[0]), node.spec, batch_size
         )
+    if isinstance(node, SemiJoinNode):
+        return BatchSemiJoinIterator(
+            build(node.inputs[0]), build(node.inputs[1]),
+            node.outer_attr, node.inner_attr,
+        )
+    if isinstance(node, LeftOuterJoinNode):
+        return BatchLeftOuterHashJoinIterator(
+            build(node.inputs[0]), build(node.inputs[1]),
+            node.left_attr, node.right_attr,
+        )
+    if isinstance(node, UnionAllNode):
+        return BatchUnionAllIterator([build(child) for child in node.inputs])
+    if isinstance(node, DistinctNode):
+        return BatchDistinctIterator(build(node.inputs[0]))
     raise ExecutionError(f"no batch iterator for node type {type(node).__name__}")
 
 

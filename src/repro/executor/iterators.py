@@ -28,6 +28,16 @@ from repro.logical.predicates import (
 ValueBindings = Mapping[str, object]
 
 
+def null_last_key(value: object) -> tuple[bool, object]:
+    """A sort key treating None (outer-join padding) as larger than any value.
+
+    For non-None values the key is ``(False, value)``, so streams without
+    NULLs sort exactly as they did under the raw value — byte-identity of
+    existing results is preserved.
+    """
+    return (value is None, 0 if value is None else value)
+
+
 class PlanIterator:
     """Base class: an output schema plus a row generator."""
 
@@ -730,7 +740,7 @@ class SortIterator(PlanIterator):
         yield from external_sort(
             self.db.disk,
             self.child.rows(),
-            key=lambda row: row[position],
+            key=lambda row: null_last_key(row[position]),
             memory_pages=self.memory_pages,
             rows_per_page=self.db.intermediate_rows_per_page,
         )
@@ -756,8 +766,123 @@ class TopNIterator(PlanIterator):
 
     def rows(self) -> Iterator[Row]:
         position = self.schema.position(self.key)
-        ranked = sorted(self.child.rows(), key=lambda row: row[position])
+        ranked = sorted(
+            self.child.rows(), key=lambda row: null_last_key(row[position])
+        )
         yield from ranked[: self.limit]
+
+
+# ----------------------------------------------------------------------
+# Statement composition (SPJU / outer join / semi-join)
+# ----------------------------------------------------------------------
+class SemiJoinIterator(PlanIterator):
+    """Semi-join: outer rows whose key appears in the inner input.
+
+    The inner input is fully consumed into a value set first; outer rows
+    then stream through unchanged (schema and order preserved), so a
+    single outer row is emitted at most once regardless of inner
+    duplicates.
+    """
+
+    __slots__ = ("outer", "inner", "outer_attr", "inner_attr")
+
+    def __init__(
+        self,
+        outer: PlanIterator,
+        inner: PlanIterator,
+        outer_attr: Attribute,
+        inner_attr: Attribute,
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.outer_attr = outer_attr
+        self.inner_attr = inner_attr
+        self.schema = outer.schema
+
+    def rows(self) -> Iterator[Row]:
+        inner_position = self.inner.schema.position(self.inner_attr)
+        matches = {row[inner_position] for row in self.inner.rows()}
+        outer_position = self.outer.schema.position(self.outer_attr)
+        for row in self.outer.rows():
+            if row[outer_position] in matches:
+                yield row
+
+
+class LeftOuterHashJoinIterator(PlanIterator):
+    """Hash left outer join: unmatched left rows padded with NULLs.
+
+    The right input is the build side.  Output order follows the left
+    input; per left row, matches stream in right-input (build insertion)
+    order — deterministic, so row and batch modes agree byte-for-byte.
+    """
+
+    __slots__ = ("left", "right", "left_attr", "right_attr")
+
+    def __init__(
+        self,
+        left: PlanIterator,
+        right: PlanIterator,
+        left_attr: Attribute,
+        right_attr: Attribute,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_attr = left_attr
+        self.right_attr = right_attr
+        self.schema = left.schema.concat(right.schema)
+
+    def rows(self) -> Iterator[Row]:
+        right_position = self.right.schema.position(self.right_attr)
+        table: dict[object, list[Row]] = {}
+        for row in self.right.rows():
+            table.setdefault(row[right_position], []).append(row)
+        padding = (None,) * len(self.right.schema.attributes)
+        left_position = self.left.schema.position(self.left_attr)
+        for left_row in self.left.rows():
+            matches = table.get(left_row[left_position])
+            if matches:
+                for right_row in matches:
+                    yield left_row + right_row
+            else:
+                yield left_row + padding
+
+
+class UnionAllIterator(PlanIterator):
+    """Concatenate the children's streams in order (UNION ALL)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: list[PlanIterator]) -> None:
+        if len(children) < 2:
+            raise ExecutionError("union needs at least two inputs")
+        arities = {len(child.schema.attributes) for child in children}
+        if len(arities) != 1:
+            raise ExecutionError(
+                f"union inputs have mismatched arities {sorted(arities)}"
+            )
+        self.children = children
+        self.schema = children[0].schema
+
+    def rows(self) -> Iterator[Row]:
+        for child in self.children:
+            yield from child.rows()
+
+
+class DistinctIterator(PlanIterator):
+    """Duplicate elimination keeping the first occurrence of each row."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: PlanIterator) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def rows(self) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for row in self.child.rows():
+            if row not in seen:
+                seen.add(row)
+                yield row
 
 
 # ----------------------------------------------------------------------

@@ -540,6 +540,203 @@ class TopNNode(PlanNode):
         return f"Top-{self.limit} {self.key.qualified_name}"
 
 
+# ----------------------------------------------------------------------
+# Statement-composition operators (SPJU / outer join / semi-join)
+# ----------------------------------------------------------------------
+def semi_join_cardinality(outer_card: Interval) -> Interval:
+    """Hard bounds for a semi-join: at most one output per outer row.
+
+    The unary-key property holds by construction (each outer row appears
+    at most once regardless of inner duplicates), so the upper bound is
+    the outer cardinality exactly — Chen & Schneider's tightest SPJ bound
+    for this shape.  The lower bound is zero: the inner may match nothing.
+    """
+    return Interval(0.0, outer_card.high)
+
+
+def left_outer_cardinality(
+    left_card: Interval, right_card: Interval, right_unique: bool
+) -> Interval:
+    """Hard bounds for a left outer join on ``left = right``.
+
+    Every left row survives (padded when unmatched), so the lower bound
+    is the left cardinality.  With a unary key on the right join
+    attribute each left row matches at most once, collapsing the interval
+    to the left cardinality exactly; otherwise a left row may match every
+    right row.
+    """
+    if right_unique:
+        return Interval(left_card.low, left_card.high)
+    return Interval(left_card.low, left_card.high * max(1.0, right_card.high))
+
+
+def union_all_cardinality(input_cards: tuple[Interval, ...]) -> Interval:
+    """UNION ALL concatenates: output bounds are the sums of the inputs."""
+    low = sum(card.low for card in input_cards)
+    high = sum(card.high for card in input_cards)
+    return Interval(low, high)
+
+
+def distinct_cardinality(
+    input_card: Interval, attributes: tuple[Attribute, ...]
+) -> Interval:
+    """Duplicate elimination: bounded by input size and the key domain."""
+    domains = 1.0
+    for attribute in attributes:
+        domains = min(domains * attribute.domain_size, 1e15)
+    low = min(input_card.low, 1.0) if input_card.low > 0 else input_card.low
+    return Interval(low, min(input_card.high, domains))
+
+
+class SemiJoinNode(PlanNode):
+    """Hash semi-join: outer rows with at least one inner match.
+
+    The IN/EXISTS subquery rewrite.  Built above the branch core by
+    statement composition (:mod:`repro.optimizer.statement`) — the
+    Volcano rule set never generates it, so existing plan spaces are
+    unaffected.  Inner is the build side; output preserves the outer
+    input's order and schema.
+    """
+
+    __slots__ = ("outer_attr", "inner_attr")
+
+    def __init__(
+        self,
+        ctx: CostContext,
+        outer: PlanNode,
+        inner: PlanNode,
+        outer_attr: Attribute,
+        inner_attr: Attribute,
+    ) -> None:
+        self.outer_attr = outer_attr
+        self.inner_attr = inner_attr
+        super().__init__(ctx, (outer, inner))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        outer_card, inner_card = input_cards
+        cardinality = semi_join_cardinality(outer_card)
+        cost = formulas.hash_join_cost(
+            ctx.model,
+            inner_card,
+            outer_card,
+            cardinality,
+            record_bytes=_intermediate_record_bytes(ctx),
+            memory_pages=ctx.memory_pages,
+        )
+        return cardinality, cost, input_orders[0]
+
+    @property
+    def label(self) -> str:
+        return (
+            f"Semi-Join [{self.outer_attr.qualified_name} = "
+            f"{self.inner_attr.qualified_name}]"
+        )
+
+
+class LeftOuterJoinNode(PlanNode):
+    """Hash left outer join: every left row, padded with NULLs on a miss.
+
+    The right side is the build input.  ``right_unique`` records a
+    declared unary key on the right join attribute, which collapses the
+    cardinality interval to the left input's (at most one match per left
+    row).
+    """
+
+    __slots__ = ("left_attr", "right_attr", "right_unique")
+
+    def __init__(
+        self,
+        ctx: CostContext,
+        left: PlanNode,
+        right: PlanNode,
+        left_attr: Attribute,
+        right_attr: Attribute,
+        right_unique: bool = False,
+    ) -> None:
+        self.left_attr = left_attr
+        self.right_attr = right_attr
+        self.right_unique = right_unique
+        super().__init__(ctx, (left, right))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        left_card, right_card = input_cards
+        cardinality = left_outer_cardinality(
+            left_card, right_card, self.right_unique
+        )
+        cost = formulas.hash_join_cost(
+            ctx.model,
+            right_card,
+            left_card,
+            cardinality,
+            record_bytes=_intermediate_record_bytes(ctx),
+            memory_pages=ctx.memory_pages,
+        )
+        return cardinality, cost, None
+
+    @property
+    def label(self) -> str:
+        suffix = " unique" if self.right_unique else ""
+        return (
+            f"Left-Outer-Join [{self.left_attr.qualified_name} = "
+            f"{self.right_attr.qualified_name}{suffix}]"
+        )
+
+
+class UnionAllNode(PlanNode):
+    """Concatenate two or more inputs of identical arity (UNION ALL)."""
+
+    __slots__ = ()
+
+    def __init__(self, ctx: CostContext, inputs: tuple[PlanNode, ...]) -> None:
+        if len(inputs) < 2:
+            raise PlanError("union needs at least two inputs")
+        super().__init__(ctx, inputs)
+
+    def _compute(self, ctx, input_cards, input_orders):
+        cardinality = union_all_cardinality(tuple(input_cards))
+        # Pure pass-through: per-row CPU work, no I/O of its own.
+        cost = formulas.filter_cost(ctx.model, cardinality, Interval.point(1.0))
+        return cardinality, cost, None
+
+    @property
+    def label(self) -> str:
+        return f"Union-All [{len(self.inputs)} inputs]"
+
+
+class DistinctNode(PlanNode):
+    """Hash-based duplicate elimination (UNION's distinct step)."""
+
+    __slots__ = ("attributes",)
+
+    def __init__(
+        self,
+        ctx: CostContext,
+        input_plan: PlanNode,
+        attributes: tuple[Attribute, ...],
+    ) -> None:
+        if not attributes:
+            raise PlanError("distinct needs at least one attribute")
+        self.attributes = attributes
+        super().__init__(ctx, (input_plan,))
+
+    def _compute(self, ctx, input_cards, input_orders):
+        (input_card,) = input_cards
+        cardinality = distinct_cardinality(input_card, self.attributes)
+        cost = formulas.hash_aggregate_cost(
+            ctx.model,
+            input_card,
+            cardinality,
+            record_bytes=_intermediate_record_bytes(ctx),
+            memory_pages=ctx.memory_pages,
+        )
+        return cardinality, cost, None
+
+    @property
+    def label(self) -> str:
+        names = ", ".join(a.qualified_name for a in self.attributes)
+        return f"Distinct [{names}]"
+
+
 class ChoosePlanNode(PlanNode):
     """Choose-Plan enforcer: the plan-robustness property (Table 1).
 

@@ -3,30 +3,54 @@
 The paper's correctness story rests on invariants (notably ∀i gᵢ = dᵢ:
 the dynamic plan's start-up choice costs exactly what from-scratch
 run-time optimization would) that the hand-written tests exercise only on
-chain queries.  This package generates random catalogs, data, and queries;
-evaluates each query with a deliberately naive reference evaluator; and
-checks a battery of invariants across the parser, the three optimization
-modes, the run-time chooser, the executor, and the serving layer.  Failing
-cases are greedily shrunk and written as replayable JSON artifacts.
+chain queries.  This package generates random catalogs, data, and queries
+over the full SPJU grammar (UNION / UNION ALL, LEFT OUTER JOIN, IN/EXISTS
+subqueries); evaluates each query with a deliberately naive reference
+evaluator; and checks a battery of invariants across the parser, the
+three optimization modes, the run-time chooser, the executor, and the
+serving layer — including a CERT-style monotonicity oracle on every case.
+Failing cases are greedily shrunk and written as replayable JSON
+artifacts.
+
+Fuzzing can run *coverage-guided*: every case's plans are fingerprinted
+into a plan-shape coverage map, and when discovery goes stale the
+generator's catalog/data state evolves (statistics skew, index churn,
+relation growth, grammar mix) to unlock new shapes.
 
 Everything here is stdlib-only, mirroring the repo's zero-dependency rule.
 
 * :mod:`repro.qa.generator` — seeded random schemas/catalogs/queries with
-  both the SQL text and the expected logical query graph.
+  both the SQL text and the expected logical statement.
 * :mod:`repro.qa.oracle` — nested-loops + full-sort reference evaluator.
 * :mod:`repro.qa.invariants` — per-case invariant checkers.
+* :mod:`repro.qa.coverage` — plan-shape fingerprints, the coverage map,
+  and the guided corpus-evolution sweep.
 * :mod:`repro.qa.shrinker` — greedy minimization of failing cases.
 * :mod:`repro.qa.harness` — the fuzz loop, artifacts, and replay.
 """
 
+from repro.qa.coverage import (
+    CoverageMap,
+    SweepResult,
+    collect_case_shapes,
+    coverage_sweep,
+    load_baseline,
+    plan_fingerprint,
+    plan_shape,
+    write_coverage_report,
+)
 from repro.qa.generator import (
+    PROFILE_SCHEDULE,
     AggregateItemSpec,
     CaseGenerator,
     FuzzCase,
+    GenerationProfile,
     JoinSpec,
+    OuterJoinSpec,
     PredicateSpec,
     QuerySpec,
     RelationSpec,
+    SemiJoinSpec,
     generate_case,
 )
 from repro.qa.harness import (
@@ -45,20 +69,32 @@ __all__ = [
     "AggregateItemSpec",
     "CaseGenerator",
     "CaseOutcome",
+    "CoverageMap",
     "FuzzCase",
     "FuzzFailure",
     "FuzzReport",
+    "GenerationProfile",
     "JoinSpec",
+    "OuterJoinSpec",
+    "PROFILE_SCHEDULE",
     "PredicateSpec",
     "QuerySpec",
     "RelationSpec",
+    "SemiJoinSpec",
+    "SweepResult",
     "Violation",
+    "collect_case_shapes",
+    "coverage_sweep",
     "evaluate_reference",
     "generate_case",
     "load_artifact",
+    "load_baseline",
+    "plan_fingerprint",
+    "plan_shape",
     "replay_artifact",
     "run_case",
     "run_fuzz",
     "shrink_case",
     "write_artifact",
+    "write_coverage_report",
 ]

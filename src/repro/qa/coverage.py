@@ -1,0 +1,364 @@
+"""Plan-shape coverage: fingerprints, the coverage map, and guided sweeps.
+
+A *plan shape* is what remains of a physical plan after forgetting
+everything run-specific: literals, host-variable values, and concrete
+relation names.  Two cases that both produce ``Filter o File-Scan``
+joined to a ``B-tree-Scan`` under a choose-plan cover the *same* shape
+even though they were generated from different seeds — so counting
+distinct shapes measures how much of the optimizer's plan space the
+fuzzer has actually exercised, not how many cases it has burned.
+
+:func:`plan_fingerprint` is the coverage-oriented sibling of the
+telemetry layer's :func:`~repro.obs.telemetry.plan_signature` (same
+node-label walk, same blake2b/12-hex-digit digest) with one crucial
+difference: the signature is *injective* over plan trees — every
+re-ordered join or re-named relation is a fresh signature, which is
+exactly right for correlating ledger observations and exactly wrong for
+coverage, where an unbounded fingerprint space means every generated
+case is "new" and saturation (the signal that drives corpus evolution)
+never occurs.  The fingerprint therefore digests a **bounded feature
+summary**: the *set* of operator kinds present (access-path kinds,
+join algorithms, aggregation strategies, choose-plan / exchange /
+semi-join / outer-join / union / distinct operators — first label token
+with numerals erased) plus the plan's depth bucketed at
+:data:`DEPTH_CAP`.  The feature space is finite, so a fixed generation
+profile exhausts it and the guided loop's staleness detector fires.
+
+With ``choices`` (an :class:`~repro.runtime.chooser.ActivationDecision`'s
+mapping) the walk traverses each choose-plan node only through its chosen
+alternative, yielding the *activated* shape; without it the full dynamic
+plan — alternatives and all — is fingerprinted.
+
+:class:`CoverageMap` accumulates fingerprints per dimension
+(``static`` / ``dynamic`` / ``run-time`` / ``activated`` / ``dop1`` /
+``dop4`` from the optimizer sweep, plus ``batch`` / ``row`` execution
+modes recorded by the harness), and :func:`coverage_sweep` runs the
+QPG-style corpus-evolution loop shared by ``repro fuzz --coverage`` and
+the benchmark test: when :data:`EVOLVE_AFTER` consecutive cases discover
+no new shape, the generator's catalog/data state mutates by advancing to
+the next :data:`~repro.qa.generator.PROFILE_SCHEDULE` stage (statistics
+skew, index add/drop probability, relation growth, grammar mix).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.cost.model import CostModel
+from repro.executor.database import Database
+from repro.optimizer.optimizer import OptimizationMode
+from repro.optimizer.statement import StatementResult, optimize_statement
+from repro.physical.plan import ChoosePlanNode, PlanNode
+from repro.qa.generator import (
+    PROFILE_SCHEDULE,
+    CaseGenerator,
+    FuzzCase,
+    GenerationProfile,
+)
+from repro.query.parser import parse_statement
+from repro.runtime.chooser import resolve_plan
+
+#: Consecutive no-new-shape cases before the guided loop mutates the
+#: generator's catalog/data state (advances the profile schedule).
+EVOLVE_AFTER = 6
+
+#: Anti-starvation budget: a stage rich enough to keep producing new
+#: shapes never goes stale, which would starve every later stage.  After
+#: this many cases in one stage the guided loop advances regardless.
+STAGE_BUDGET = 40
+
+#: Optimizer-sweep dimensions every case contributes to (the harness adds
+#: ``batch`` / ``row`` for cases whose executor differentials actually ran).
+SWEEP_DIMENSIONS = ("static", "dynamic", "run-time", "activated", "dop1", "dop4")
+
+_NUMERAL = re.compile(r"\b\d+(?:\.\d+)?\b")
+
+#: Plans deeper than this all land in one depth bucket: beyond it, extra
+#: depth is more of the same join spine, not a new shape family.
+DEPTH_CAP = 4
+
+
+def _operator_kind(label: str) -> str:
+    """The operator-kind token of a node label.
+
+    Numerals are erased first so ``Top-3`` and ``Top-7`` share the kind
+    ``Top-#``; then everything after the first space — relation names,
+    key attributes, predicate text — is dropped.  ``Filter-B-tree-Scan``
+    stays distinct from ``B-tree-Scan`` and ``File-Scan``, the join
+    algorithms stay distinct from each other, and the compound operators
+    (``Semi-Join``, ``Left-Outer-Join``, ``Union-All``, ``Distinct``)
+    and run-time operators (``Choose-Plan``, ``Exchange``) each keep
+    their own kind.
+    """
+    return _NUMERAL.sub("#", label).split(" ", 1)[0]
+
+
+def plan_shape(
+    plan: PlanNode, choices: Mapping[int, PlanNode] | None = None
+) -> tuple[tuple[str, ...], int]:
+    """The raw shape feature pair: (sorted operator-kind set, depth).
+
+    With ``choices`` the walk covers the *effective* plan — each
+    choose-plan node is traversed only through its chosen alternative,
+    matching the "components that have been used" notion the run-time
+    chooser exposes — so an activated plan never contributes the
+    ``Choose-Plan`` kind.  Without choices the full dynamic plan is
+    walked, alternatives and all, so a dynamic plan's shape differs from
+    every one of its resolutions.
+    """
+    kinds: set[str] = set()
+
+    def walk(node: PlanNode, depth: int) -> int:
+        if choices is not None and isinstance(node, ChoosePlanNode):
+            return walk(choices[id(node)], depth)
+        kinds.add(_operator_kind(node.label))
+        deepest = depth
+        for child in getattr(node, "inputs", ()):
+            deepest = max(deepest, walk(child, depth + 1))
+        return deepest
+
+    deepest = walk(plan, 1)
+    return tuple(sorted(kinds)), min(deepest, DEPTH_CAP)
+
+
+def plan_fingerprint(
+    plan: PlanNode, choices: Mapping[int, PlanNode] | None = None
+) -> str:
+    """Shape fingerprint of ``plan`` (12 hex digits, blake2b).
+
+    Digest of :func:`plan_shape` — a bounded feature summary, not an
+    injective tree hash; see the module docstring for why.
+    """
+    kinds, depth = plan_shape(plan, choices)
+    digest = blake2b(
+        "|".join((*kinds, f"depth={depth}")).encode(), digest_size=6
+    )
+    return digest.hexdigest()
+
+
+class CoverageMap:
+    """Distinct plan-shape fingerprints, bucketed per dimension."""
+
+    def __init__(self) -> None:
+        self._shapes: dict[str, set[str]] = {}
+
+    def record(self, dimension: str, fingerprint: str) -> bool:
+        """Record one shape; return True when it was new in its dimension."""
+        bucket = self._shapes.setdefault(dimension, set())
+        if fingerprint in bucket:
+            return False
+        bucket.add(fingerprint)
+        return True
+
+    def record_case(self, shapes: Mapping[str, Iterable[str]]) -> int:
+        """Record a case's shapes; return how many were new overall."""
+        return sum(
+            self.record(dimension, fingerprint)
+            for dimension, fingerprints in shapes.items()
+            for fingerprint in fingerprints
+        )
+
+    @property
+    def distinct_shapes(self) -> int:
+        """Distinct (dimension, fingerprint) pairs — the headline metric."""
+        return sum(len(bucket) for bucket in self._shapes.values())
+
+    @property
+    def distinct_fingerprints(self) -> int:
+        """Distinct fingerprints across all dimensions (union)."""
+        union: set[str] = set()
+        for bucket in self._shapes.values():
+            union |= bucket
+        return len(union)
+
+    def by_dimension(self) -> dict[str, int]:
+        return {
+            dimension: len(bucket)
+            for dimension, bucket in sorted(self._shapes.items())
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "distinct_shapes": self.distinct_shapes,
+            "distinct_fingerprints": self.distinct_fingerprints,
+            "dimensions": {
+                dimension: sorted(bucket)
+                for dimension, bucket in sorted(self._shapes.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "CoverageMap":
+        coverage = cls()
+        for dimension, fingerprints in payload.get("dimensions", {}).items():
+            for fingerprint in fingerprints:
+                coverage.record(dimension, fingerprint)
+        return coverage
+
+
+def collect_case_shapes(
+    case: FuzzCase, model: CostModel | None = None
+) -> dict[str, list[str]]:
+    """Resolve-only optimizer sweep: the case's shape in every dimension.
+
+    No plan is executed — the sweep parses, optimizes in all three modes,
+    and resolves the dynamic plan's choose-plan decisions under the
+    case's derived true-selectivity binding (and again with DOP declared,
+    bound to 1 and 4).  Cheap enough to run on every fuzz case.
+    """
+    from repro.cost.context import DOP_PARAMETER
+    from repro.qa.invariants import derive_parameter_values
+
+    model = model if model is not None else CostModel()
+    catalog = case.build_catalog()
+    db = Database(catalog, model)
+    db.load_synthetic(case.data_seed)
+    if case.analyze:
+        db.analyze()
+
+    statement = parse_statement(case.query.to_sql(), catalog).statement
+    parameter_values = derive_parameter_values(case, statement, db)
+
+    static = optimize_statement(
+        statement, catalog, model, mode=OptimizationMode.STATIC
+    )
+    dynamic = optimize_statement(
+        statement, catalog, model, mode=OptimizationMode.DYNAMIC
+    )
+    runtime = optimize_statement(
+        statement,
+        catalog,
+        model,
+        mode=OptimizationMode.RUN_TIME,
+        binding=parameter_values,
+    )
+    bound = statement.parameters.bind(parameter_values)
+    decision = resolve_plan(dynamic.plan, dynamic.ctx.with_env(bound))
+
+    shapes: dict[str, list[str]] = {
+        "static": [plan_fingerprint(static.plan)],
+        "dynamic": [plan_fingerprint(dynamic.plan)],
+        "run-time": [plan_fingerprint(runtime.plan)],
+        "activated": [plan_fingerprint(dynamic.plan, decision.choices)],
+    }
+
+    parallel_statement = parse_statement(case.query.to_sql(), catalog).statement
+    parallel_statement.parameters.add_dop(high=4)
+    parallel: StatementResult = optimize_statement(
+        parallel_statement, catalog, model, mode=OptimizationMode.DYNAMIC
+    )
+    for dop in (1, 4):
+        binding = {**parameter_values, DOP_PARAMETER: float(dop)}
+        env = parallel_statement.parameters.bind(binding)
+        dop_decision = resolve_plan(parallel.plan, parallel.ctx.with_env(env))
+        shapes[f"dop{dop}"] = [
+            plan_fingerprint(parallel.plan, dop_decision.choices)
+        ]
+    return shapes
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :func:`coverage_sweep`."""
+
+    coverage: CoverageMap
+    cases: int
+    guided: bool
+    profile_advances: int = 0
+    profile_names: list[str] = field(default_factory=list)
+    new_shape_cases: int = 0
+
+    def to_json(self) -> dict:
+        payload = self.coverage.to_json()
+        payload.update(
+            {
+                "cases": self.cases,
+                "guided": self.guided,
+                "profile_advances": self.profile_advances,
+                "profiles": self.profile_names,
+                "new_shape_cases": self.new_shape_cases,
+                "by_dimension": self.coverage.by_dimension(),
+            }
+        )
+        return payload
+
+
+def coverage_sweep(
+    seed: str,
+    cases: int,
+    guided: bool = True,
+    model: CostModel | None = None,
+    evolve_after: int = EVOLVE_AFTER,
+    stage_budget: int = STAGE_BUDGET,
+    coverage: CoverageMap | None = None,
+    on_case: Callable[[int, FuzzCase, int], None] | None = None,
+) -> SweepResult:
+    """Run ``cases`` generated cases through the resolve-only shape sweep.
+
+    ``guided=True`` runs the QPG-style corpus-evolution loop: after
+    ``evolve_after`` consecutive cases with no new shape — or after
+    ``stage_budget`` cases in one stage, whichever comes first — the
+    generator state mutates to the next :data:`PROFILE_SCHEDULE` stage
+    (the RNG stream continues uninterrupted, so guided and blind sweeps
+    see the same draws until the first mutation).  ``guided=False`` pins
+    the default profile for the whole run — the blind baseline the
+    acceptance benchmark compares against.
+
+    ``on_case(index, case, newly_covered)`` is invoked after each case,
+    letting the harness interleave invariant checking with coverage
+    accounting without a second generation pass.
+    """
+    model = model if model is not None else CostModel()
+    coverage = coverage if coverage is not None else CoverageMap()
+    schedule = PROFILE_SCHEDULE if guided else (GenerationProfile(),)
+    stage = 0
+    generator = CaseGenerator(seed, profile=schedule[stage])
+    result = SweepResult(coverage=coverage, cases=cases, guided=guided)
+    result.profile_names.append(schedule[stage].name)
+    stale = 0
+    in_stage = 0
+    for index in range(cases):
+        case = generator.draw_case()
+        in_stage += 1
+        try:
+            shapes = collect_case_shapes(case, model)
+        except Exception:
+            # A case the optimizer rejects contributes no shapes; the
+            # invariant harness (not the sweep) is where crashes are
+            # findings.  Still counts toward staleness so a profile that
+            # only produces failures cannot stall the loop.
+            shapes = {}
+        newly = coverage.record_case(shapes)
+        if newly:
+            result.new_shape_cases += 1
+            stale = 0
+        else:
+            stale += 1
+        exhausted = stale >= evolve_after or in_stage >= stage_budget
+        if guided and exhausted and stage + 1 < len(schedule):
+            stage += 1
+            generator.profile = schedule[stage]
+            result.profile_advances += 1
+            result.profile_names.append(schedule[stage].name)
+            stale = 0
+            in_stage = 0
+        if on_case is not None:
+            on_case(index, case, newly)
+    return result
+
+
+def write_coverage_report(path: Path, result: SweepResult) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result.to_json(), indent=2) + "\n")
+
+
+def load_baseline(path: Path) -> int:
+    """Distinct-shape floor from a checked-in baseline file."""
+    payload = json.loads(path.read_text())
+    return int(payload["distinct_shapes"])

@@ -16,7 +16,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.qa.generator import CaseGenerator, FuzzCase
+from repro.qa.coverage import (
+    EVOLVE_AFTER,
+    STAGE_BUDGET,
+    CoverageMap,
+    collect_case_shapes,
+)
+from repro.qa.generator import (
+    PROFILE_SCHEDULE,
+    CaseGenerator,
+    FuzzCase,
+    GenerationProfile,
+)
 from repro.qa.invariants import CaseOutcome, Violation, run_case
 from repro.qa.shrinker import shrink_case
 
@@ -24,7 +35,10 @@ Runner = Callable[
     [FuzzCase, bool, tuple[int, ...], bool, bool, bool], CaseOutcome
 ]
 
-ARTIFACT_VERSION = 1
+# Version 2: cases may carry compound-grammar fields (UNION branches,
+# LEFT OUTER JOIN, IN/EXISTS semi-joins) and unary-key declarations.
+# Version-1 artifacts still load — the new fields all default to empty.
+ARTIFACT_VERSION = 2
 
 
 @dataclass
@@ -56,6 +70,10 @@ class FuzzReport:
     batch_checked: int = 0
     ledger_checked: int = 0
     adaptive_checked: int = 0
+    coverage: CoverageMap | None = None
+    new_shape_cases: int = 0
+    profile_advances: int = 0
+    profile_names: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -63,6 +81,12 @@ class FuzzReport:
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        shapes = (
+            f"shapes={self.coverage.distinct_shapes} "
+            f"profile-advances={self.profile_advances} "
+            if self.coverage is not None
+            else ""
+        )
         return (
             f"fuzz seed={self.seed} cases={self.cases} "
             f"service-checked={self.service_checked} "
@@ -70,8 +94,25 @@ class FuzzReport:
             f"batch-checked={self.batch_checked} "
             f"ledger-checked={self.ledger_checked} "
             f"adaptive-checked={self.adaptive_checked} "
+            f"{shapes}"
             f"time={self.duration_seconds:.1f}s: {status}"
         )
+
+    def coverage_json(self) -> dict:
+        """JSON-ready plan-shape coverage report for this run."""
+        assert self.coverage is not None
+        payload = self.coverage.to_json()
+        payload.update(
+            {
+                "seed": self.seed,
+                "cases": self.cases,
+                "new_shape_cases": self.new_shape_cases,
+                "profile_advances": self.profile_advances,
+                "profiles": self.profile_names,
+                "by_dimension": self.coverage.by_dimension(),
+            }
+        )
+        return payload
 
 
 def _default_runner(
@@ -103,6 +144,9 @@ def run_fuzz(
     check_batch_every: int = 2,
     check_ledger_every: int = 4,
     check_adaptive_every: int = 4,
+    coverage: bool = False,
+    evolve_after: int = EVOLVE_AFTER,
+    stage_budget: int = STAGE_BUDGET,
     runner: Runner | None = None,
     log: Callable[[str], None] | None = None,
 ) -> FuzzReport:
@@ -123,13 +167,30 @@ def run_fuzz(
     substitute an
     instrumented :func:`~repro.qa.invariants.run_case` (e.g. with an
     injected bug).
+
+    ``coverage=True`` turns on plan-shape-coverage guidance: every case
+    additionally runs the resolve-only optimizer sweep
+    (:func:`~repro.qa.coverage.collect_case_shapes`), new shapes feed
+    the report's :class:`~repro.qa.coverage.CoverageMap`, and the
+    generator's catalog/data state evolves through
+    :data:`~repro.qa.generator.PROFILE_SCHEDULE` whenever
+    ``evolve_after`` consecutive cases yield no new shape (or a stage
+    exceeds ``stage_budget`` cases).  Coverage off (the default) keeps
+    the legacy generator stream bit-for-bit.
     """
     run = runner or _default_runner
     report = FuzzReport(seed=str(seed), cases=cases)
     started = time.perf_counter()
+    schedule = PROFILE_SCHEDULE if coverage else (GenerationProfile(),)
+    stage = 0
+    stale = 0
+    in_stage = 0
+    if coverage:
+        report.coverage = CoverageMap()
+        report.profile_names.append(schedule[stage].name)
     for index in range(cases):
         case_seed = f"{seed}/{index}"
-        case = CaseGenerator(case_seed).draw_case()
+        case = CaseGenerator(case_seed, profile=schedule[stage]).draw_case()
         check_service = bool(
             check_service_every and index % check_service_every == 0
         )
@@ -157,6 +218,44 @@ def run_fuzz(
         )
         if check_adaptive:
             report.adaptive_checked += 1
+        if coverage:
+            assert report.coverage is not None
+            in_stage += 1
+            try:
+                shapes = collect_case_shapes(case)
+            except Exception:
+                # Shape collection must never mask the invariant run —
+                # a case the sweep rejects still goes through run() and
+                # still counts toward staleness.
+                shapes = {}
+            # Executor-mode dimensions: the invariant run executes the
+            # activated plan in batch mode always, and additionally in
+            # row mode when the batch-vs-row differential is on.
+            if "activated" in shapes:
+                shapes["batch"] = shapes["activated"]
+                if check_batch:
+                    shapes["row"] = shapes["activated"]
+            newly = report.coverage.record_case(shapes)
+            if newly:
+                report.new_shape_cases += 1
+                stale = 0
+            else:
+                stale += 1
+            if (
+                stale >= evolve_after or in_stage >= stage_budget
+            ) and stage + 1 < len(schedule):
+                stage += 1
+                report.profile_advances += 1
+                report.profile_names.append(schedule[stage].name)
+                if log:
+                    log(
+                        f"  coverage stale at case {index} "
+                        f"({report.coverage.distinct_shapes} shapes); "
+                        f"evolving corpus to profile "
+                        f"'{schedule[stage].name}'"
+                    )
+                stale = 0
+                in_stage = 0
         outcome = run(
             case, check_service, case_dops, check_batch, check_ledger,
             check_adaptive,

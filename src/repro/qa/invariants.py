@@ -48,22 +48,24 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from repro.cost.formulas import choose_plan_cost
+from repro.cost.formulas import choose_plan_cost, filter_cost
+from repro.util.interval import Interval
 from repro.cost.model import CostModel
 from repro.executor.database import Database
 from repro.executor.executor import ExecutionResult, execute_plan
 from repro.logical.predicates import HostVariable
 from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.optimizer.statement import optimize_statement
 from repro.physical.plan import ChoosePlanNode, iter_plan_nodes
-from repro.qa.generator import FuzzCase
+from repro.qa.generator import FuzzCase, PredicateSpec
 from repro.qa.oracle import (
     canonical_attributes,
     canonical_rows,
     evaluate_reference,
 )
-from repro.query.parser import parse_query
+from repro.query.parser import parse_statement
 from repro.runtime.chooser import resolve_plan
 
 REL_TOLERANCE = 1e-6
@@ -115,34 +117,65 @@ def _compare_parameters(expected, parsed, report) -> None:
 
 
 def _check_parser(case: FuzzCase, catalog, report):
-    """Parse the SQL and diff the graph against the spec-built one."""
+    """Parse the SQL and diff the statement against the spec-built one."""
     sql = case.query.to_sql()
-    parsed = parse_query(sql, catalog)
-    expected = case.expected_graph(catalog)
-    graph = parsed.graph
-    if graph.relations != expected.relations:
+    parsed = parse_statement(sql, catalog)
+    expected = case.expected_statement(catalog)
+    statement = parsed.statement
+    if len(statement.branches) != len(expected.branches):
         report(
-            "parser-relations",
-            f"{graph.relations} != {expected.relations}",
+            "parser-branches",
+            f"{len(statement.branches)} branches != expected "
+            f"{len(expected.branches)}",
         )
-    if dict(graph.selections) != dict(expected.selections):
+        return parsed
+    for index, (got, want) in enumerate(
+        zip(statement.branches, expected.branches)
+    ):
+        tag = f" (branch {index})" if len(expected.branches) > 1 else ""
+        graph, egraph = got.graph, want.graph
+        if graph.relations != egraph.relations:
+            report(
+                "parser-relations",
+                f"{graph.relations} != {egraph.relations}{tag}",
+            )
+        if dict(graph.selections) != dict(egraph.selections):
+            report(
+                "parser-selections",
+                f"{graph.selections} != {egraph.selections}{tag}",
+            )
+        if graph.joins != egraph.joins:
+            report("parser-joins", f"{graph.joins} != {egraph.joins}{tag}")
+        if graph.projection != egraph.projection:
+            report(
+                "parser-projection",
+                f"{graph.projection} != {egraph.projection}{tag}",
+            )
+        if graph.aggregate != egraph.aggregate:
+            report(
+                "parser-aggregate",
+                f"{graph.aggregate} != {egraph.aggregate}{tag}",
+            )
+        if got.semijoins != want.semijoins:
+            report(
+                "parser-semijoins",
+                f"{got.semijoins} != {want.semijoins}{tag}",
+            )
+        if got.outer != want.outer:
+            report("parser-outer", f"{got.outer} != {want.outer}{tag}")
+        if got.projection != want.projection:
+            report(
+                "parser-branch-projection",
+                f"{got.projection} != {want.projection}{tag}",
+            )
+    if statement.union_all != expected.union_all:
         report(
-            "parser-selections",
-            f"{graph.selections} != {expected.selections}",
+            "parser-union-mode",
+            f"union_all={statement.union_all} != {expected.union_all}",
         )
-    if graph.joins != expected.joins:
-        report("parser-joins", f"{graph.joins} != {expected.joins}")
-    if graph.projection != expected.projection:
-        report(
-            "parser-projection",
-            f"{graph.projection} != {expected.projection}",
-        )
-    if graph.aggregate != expected.aggregate:
-        report(
-            "parser-aggregate",
-            f"{graph.aggregate} != {expected.aggregate}",
-        )
-    _compare_parameters(expected.parameters, graph.parameters, report)
+    _compare_parameters(
+        expected.parameters, statement.parameters, report
+    )
     expected_order = case.expected_order_by(catalog)
     if parsed.order_by != expected_order:
         report(
@@ -152,17 +185,37 @@ def _check_parser(case: FuzzCase, catalog, report):
 
 
 def derive_parameter_values(
-    case: FuzzCase, graph, db: Database
+    case: FuzzCase, statement_or_graph, db: Database
 ) -> dict[str, float]:
-    """Selectivity values the bound host variables imply for this database."""
+    """Selectivity values the bound host variables imply for this database.
+
+    Accepts either a :class:`~repro.logical.statement.Statement` (covering
+    every branch's selections and subquery predicates) or a bare
+    :class:`~repro.logical.query.QueryGraph` (the legacy shape).
+    """
+
+    def graph_predicates(graph):
+        for relation in graph.relations:
+            yield from graph.selections_on(relation)
+
+    def statement_predicates(statement):
+        for branch in statement.branches:
+            yield from graph_predicates(branch.graph)
+            for semijoin in branch.semijoins:
+                yield from semijoin.selections
+
+    predicates = (
+        statement_predicates(statement_or_graph)
+        if hasattr(statement_or_graph, "branches")
+        else graph_predicates(statement_or_graph)
+    )
     values: dict[str, float] = {}
-    for relation in graph.relations:
-        for predicate in graph.selections_on(relation):
-            operand = predicate.operand
-            if isinstance(operand, HostVariable):
-                values[operand.selectivity_parameter] = (
-                    db.implied_selectivity(predicate, case.bindings)
-                )
+    for predicate in predicates:
+        operand = predicate.operand
+        if isinstance(operand, HostVariable):
+            values[operand.selectivity_parameter] = db.implied_selectivity(
+                predicate, case.bindings
+            )
     return values
 
 
@@ -199,7 +252,11 @@ def _check_sorted(result: ExecutionResult, order_attr, check, report) -> None:
     except Exception:
         report(check, f"ORDER BY attribute {order_attr} missing from output")
         return
-    keys = [row[position] for row in result.rows]
+    # NULLS LAST, matching the executor's sort order for padded outer rows.
+    keys = [
+        (row[position] is None, 0 if row[position] is None else row[position])
+        for row in result.rows
+    ]
     for previous, current in zip(keys, keys[1:]):
         if current < previous:
             report(check, f"output not sorted on {order_attr}: {keys[:20]}")
@@ -214,6 +271,7 @@ def run_case(
     check_batch: bool = False,
     check_ledger: bool = False,
     check_adaptive: bool = False,
+    check_cert: bool = True,
 ) -> CaseOutcome:
     """Run every invariant checker against one case.
 
@@ -224,6 +282,11 @@ def run_case(
     cardinality-ledger differential (two extra executions), and
     ``check_adaptive`` the mid-query re-optimization differential
     (several extra executions under the adaptive controller).
+    ``check_cert`` (on by default — it runs on *every* fuzz case) is the
+    CERT-style monotonicity oracle: adding an always-true conjunctive
+    restriction must never increase the estimated cardinality, must not
+    increase the estimated cost beyond one filter pass, and must keep
+    g = d on the restricted statement.
     """
     outcome = CaseOutcome(case=case)
 
@@ -240,6 +303,7 @@ def run_case(
             check_batch,
             check_ledger,
             check_adaptive,
+            check_cert,
         )
     except Exception as exc:  # any crash is itself a finding
         report("crash", f"{type(exc).__name__}: {exc}")
@@ -255,6 +319,7 @@ def _run_checks(
     check_batch=False,
     check_ledger=False,
     check_adaptive=False,
+    check_cert=True,
 ) -> None:
     catalog = case.build_catalog()
     db = Database(catalog, model)
@@ -263,32 +328,25 @@ def _run_checks(
         db.analyze()
 
     parsed = _check_parser(case, catalog, report)
+    statement = parsed.statement
+    simple = statement.is_simple
     graph = parsed.graph
     required_order = parsed.order_by
 
-    static = optimize_query(
-        graph,
-        catalog,
-        model,
-        mode=OptimizationMode.STATIC,
-        required_order=required_order,
+    static = optimize_statement(
+        statement, catalog, model, mode=OptimizationMode.STATIC
     )
-    dynamic = optimize_query(
-        graph,
-        catalog,
-        model,
-        mode=OptimizationMode.DYNAMIC,
-        required_order=required_order,
+    dynamic = optimize_statement(
+        statement, catalog, model, mode=OptimizationMode.DYNAMIC
     )
-    parameter_values = derive_parameter_values(case, graph, db)
-    bound_env = graph.parameters.bind(parameter_values)
-    runtime = optimize_query(
-        graph,
+    parameter_values = derive_parameter_values(case, statement, db)
+    bound_env = statement.parameters.bind(parameter_values)
+    runtime = optimize_statement(
+        statement,
         catalog,
         model,
         mode=OptimizationMode.RUN_TIME,
         binding=parameter_values,
-        required_order=required_order,
     )
 
     # --- optimizer invariants -----------------------------------------
@@ -373,8 +431,14 @@ def _run_checks(
                         f"{_first_diff(other.rows, reference)}",
                     )
 
-    # --- telemetry ledger ---------------------------------------------
-    if check_ledger:
+    # --- CERT monotonicity oracle -------------------------------------
+    if check_cert:
+        _check_cert(
+            case, catalog, model, static, parameter_values, report
+        )
+
+    # --- telemetry ledger (probe-site prediction is SPJ-only) ---------
+    if check_ledger and simple:
         _check_ledger(
             case, db, dynamic.plan, decision.choices, oracle, report
         )
@@ -413,8 +477,8 @@ def _run_checks(
             parallel_dops,
         )
 
-    # --- serving layer ------------------------------------------------
-    if check_service:
+    # --- serving layer (the service speaks plain SPJ SQL only) --------
+    if check_service and simple:
         _check_service(
             case, catalog, model, attributes, executions["dynamic"], report
         )
@@ -444,19 +508,15 @@ def _check_parallel(
     from repro.parallel.plan import ExchangeNode
     from repro.runtime.chooser import effective_plan_nodes
 
-    graph = parse_query(case.query.to_sql(), catalog).graph
-    graph.parameters.add_dop(high=max(2, *parallel_dops))
-    dynamic = optimize_query(
-        graph,
-        catalog,
-        model,
-        mode=OptimizationMode.DYNAMIC,
-        required_order=required_order,
+    statement = parse_statement(case.query.to_sql(), catalog).statement
+    statement.parameters.add_dop(high=max(2, *parallel_dops))
+    dynamic = optimize_statement(
+        statement, catalog, model, mode=OptimizationMode.DYNAMIC
     )
     serial_payload = json.dumps(oracle)
     for dop in parallel_dops:
         binding = {**parameter_values, DOP_PARAMETER: float(dop)}
-        env = graph.parameters.bind(binding)
+        env = statement.parameters.bind(binding)
         decision = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env))
         exchanges = sum(
             1
@@ -513,13 +573,12 @@ def _check_parallel(
                     f"{len(oracle)}; first diff: "
                     f"{_first_diff(rows, _canonical_payload(result, attributes))}",
                 )
-        runtime = optimize_query(
-            graph,
+        runtime = optimize_statement(
+            statement,
             catalog,
             model,
             mode=OptimizationMode.RUN_TIME,
             binding=binding,
-            required_order=required_order,
         )
         g = decision.execution_cost
         d = runtime.plan.cost.low
@@ -749,7 +808,9 @@ def _check_adaptive(
     configuration, behave identically on repetition, and keep
     ``g = d`` holding for the spliced remainder of the query.
     """
-    from repro.adaptive import AdaptivePolicy, execute_adaptive_plan
+    from repro.adaptive import AdaptivePolicy, execute_adaptive_statement
+
+    del graph, decision  # the statement path re-resolves per run
 
     policy = AdaptivePolicy(max_reopts=2, min_error_ratio=1.0)
     oracle_payload = json.dumps(oracle)
@@ -759,16 +820,12 @@ def _check_adaptive(
         ("row", {"execution_mode": "row"}),
         ("repeat", {}),
     ):
-        run = execute_adaptive_plan(
-            dynamic.plan,
-            graph,
+        run = execute_adaptive_statement(
+            dynamic,
             db,
-            dynamic.ctx,
             policy=policy,
             bindings=case.bindings,
             parameter_values=parameter_values,
-            choices=decision.choices,
-            required_order=required_order,
             **kwargs,
         )
         runs[label] = run
@@ -846,31 +903,21 @@ def _check_adaptive(
     if dops:
         from repro.cost.context import DOP_PARAMETER
 
-        parallel_graph = parse_query(case.query.to_sql(), catalog).graph
-        parallel_graph.parameters.add_dop(high=max(2, *dops))
-        parallel = optimize_query(
-            parallel_graph,
-            catalog,
-            model,
-            mode=OptimizationMode.DYNAMIC,
-            required_order=required_order,
+        parallel_statement = parse_statement(
+            case.query.to_sql(), catalog
+        ).statement
+        parallel_statement.parameters.add_dop(high=max(2, *dops))
+        parallel = optimize_statement(
+            parallel_statement, catalog, model, mode=OptimizationMode.DYNAMIC
         )
         for dop in dops:
             binding = {**parameter_values, DOP_PARAMETER: float(dop)}
-            env = parallel_graph.parameters.bind(binding)
-            dop_decision = resolve_plan(
-                parallel.plan, parallel.ctx.with_env(env)
-            )
-            run = execute_adaptive_plan(
-                parallel.plan,
-                parallel_graph,
+            run = execute_adaptive_statement(
+                parallel,
                 db,
-                parallel.ctx,
                 policy=policy,
                 bindings=case.bindings,
                 parameter_values=binding,
-                choices=dop_decision.choices,
-                required_order=required_order,
                 dop=dop,
             )
             payload = json.dumps(_canonical_payload(run.result, attributes))
@@ -890,6 +937,107 @@ def _check_adaptive(
                     f"adaptive-order-dop{dop}",
                     report,
                 )
+
+
+def _check_cert(
+    case, catalog, model, base_static, parameter_values, report
+) -> None:
+    """CERT-style monotonicity oracle (after Rigger & Su's CERT: tighter
+    queries must not get looser estimates).
+
+    An always-true conjunctive restriction (``R.a <= domain_max``) is
+    appended to branch 0's WHERE clause.  Because every selectivity
+    estimate is at most 1 and all cardinality/cost formulas are monotone
+    in their input cardinalities, the restricted statement must satisfy:
+
+    * **cardinality** — estimated output bounds never exceed the base
+      statement's (low and high separately);
+    * **cost** — the estimated cost never grows by more than one filter
+      pass over the restricted relation per probe of that scan (the
+      optimizer may always keep the base plan and evaluate one more
+      predicate), so the allowance scales with the base plan's total
+      estimated row flow;
+    * **winner soundness** — the restricted dynamic plan's start-up
+      choice cost g still equals the restricted run-time optimum d: the
+      restriction must not make choose-plan drop the true winner.
+    """
+    query = case.query
+    spec = next(s for s in case.relations if s.name == query.relations[0])
+    attr, domain = spec.attributes[0]
+    restriction = PredicateSpec(
+        f"{spec.name}.{attr}", "<=", literal=domain
+    )
+    restricted_query = replace(
+        query, selections=query.selections + (restriction,)
+    )
+    restricted = parse_statement(
+        restricted_query.to_sql(), catalog
+    ).statement
+
+    r_static = optimize_statement(
+        restricted, catalog, model, mode=OptimizationMode.STATIC
+    )
+    base_card = base_static.plan.cardinality
+    r_card = r_static.plan.cardinality
+    for bound, base_value, r_value in (
+        ("low", base_card.low, r_card.low),
+        ("high", base_card.high, r_card.high),
+    ):
+        slack = REL_TOLERANCE * max(1.0, abs(base_value))
+        if r_value > base_value + slack:
+            report(
+                "cert-card-monotonic",
+                f"restricting with {restriction.to_sql()} raised the "
+                f"estimated cardinality {bound} bound from {base_value!r} "
+                f"to {r_value!r}",
+            )
+
+    # The optimizer may always answer the restricted statement with the
+    # base plan plus one more predicate evaluation wherever the restricted
+    # relation is scanned; nested-loop rescans repeat that work, so the
+    # allowance is one filter pass over the base plan's whole estimated
+    # row flow (an upper bound on tuples the extra predicate can touch).
+    row_flow = sum(
+        node.cardinality.high for node in iter_plan_nodes(base_static.plan)
+    )
+    allowance = filter_cost(
+        model,
+        Interval.point(float(spec.cardinality) + row_flow),
+        Interval.point(1.0),
+    ).high
+    base_cost = base_static.plan.cost.high
+    r_cost = r_static.plan.cost.high
+    slack = REL_TOLERANCE * max(1.0, abs(base_cost))
+    if r_cost > base_cost + allowance + slack:
+        report(
+            "cert-cost-monotonic",
+            f"restricting with {restriction.to_sql()} raised the estimated "
+            f"cost from {base_cost!r} to {r_cost!r} "
+            f"(> filter allowance {allowance!r})",
+        )
+
+    # Winner-set soundness: the restricted statement must keep g = d.
+    r_dynamic = optimize_statement(
+        restricted, catalog, model, mode=OptimizationMode.DYNAMIC
+    )
+    env = restricted.parameters.bind(parameter_values)
+    decision = resolve_plan(r_dynamic.plan, r_dynamic.ctx.with_env(env))
+    r_runtime = optimize_statement(
+        restricted,
+        catalog,
+        model,
+        mode=OptimizationMode.RUN_TIME,
+        binding=parameter_values,
+    )
+    g = decision.execution_cost
+    d = r_runtime.plan.cost.low
+    if not math.isclose(g, d, rel_tol=REL_TOLERANCE, abs_tol=ABS_TOLERANCE):
+        report(
+            "cert-winner-soundness",
+            f"restricted statement broke g = d: start-up choice cost "
+            f"g={g!r} != run-time optimum d={d!r} after adding "
+            f"{restriction.to_sql()}",
+        )
 
 
 def _check_service(case, catalog, model, attributes, direct, report) -> None:

@@ -40,7 +40,10 @@ def canonical_attributes(case: FuzzCase, db: Database) -> tuple[Attribute, ...]:
     Aggregates output their group-by keys then one column per aggregate
     expression (matching ``AggregateSpec.output_attributes``); plain
     queries output their projection, or every attribute of the FROM
-    relations in schema order for ``SELECT *``.
+    relations in schema order for ``SELECT *`` — plus the outer-joined
+    relation's attributes when the branch carries a LEFT OUTER JOIN
+    (semi-joins add no columns).  Compound statements share branch 0's
+    projection by construction.
     """
     catalog = db.catalog
     query = case.query
@@ -60,6 +63,8 @@ def canonical_attributes(case: FuzzCase, db: Database) -> tuple[Attribute, ...]:
     out = []
     for relation in query.relations:
         out.extend(catalog.relation(relation).schema)
+    if query.outer is not None:
+        out.extend(catalog.relation(query.outer.right_relation).schema)
     return tuple(out)
 
 
@@ -71,12 +76,10 @@ def _relation_rows(db: Database, relation: str) -> list[RefRow]:
     ]
 
 
-def _passes_selections(
-    row: RefRow, query: QuerySpec, relation: str, bindings: dict[str, int]
+def _passes(
+    row: RefRow, predicates, bindings: dict[str, int]
 ) -> bool:
-    for predicate in query.selections:
-        if predicate.relation != relation:
-            continue
+    for predicate in predicates:
         operand = (
             bindings[predicate.host]
             if predicate.host is not None
@@ -87,13 +90,21 @@ def _passes_selections(
     return True
 
 
-def evaluate_reference(case: FuzzCase, db: Database) -> list[tuple]:
-    """Rows of the query under naive evaluation, in canonical column order.
+def _passes_selections(
+    row: RefRow, query: QuerySpec, relation: str, bindings: dict[str, int]
+) -> bool:
+    return _passes(
+        row,
+        [p for p in query.selections if p.relation == relation],
+        bindings,
+    )
 
-    Returned unsorted (callers compare as multisets); ORDER BY is a
-    presentation property checked separately against the engine's output.
-    """
-    query = case.query
+
+def _branch_rows(
+    query: QuerySpec, db: Database, bindings: dict[str, int]
+) -> list[RefRow]:
+    """One branch evaluated naively: filtered nested-loop fold over the
+    FROM list, then semi-join filters, then the left outer join."""
     accumulated: list[RefRow] | None = None
     present: set[str] = set()
     applied: set[int] = set()
@@ -101,7 +112,7 @@ def evaluate_reference(case: FuzzCase, db: Database) -> list[tuple]:
         rows = [
             row
             for row in _relation_rows(db, relation)
-            if _passes_selections(row, query, relation, case.bindings)
+            if _passes_selections(row, query, relation, bindings)
         ]
         if accumulated is None:
             accumulated = rows
@@ -119,17 +130,69 @@ def evaluate_reference(case: FuzzCase, db: Database) -> list[tuple]:
             ]
     assert accumulated is not None  # QuerySpec always has >= 1 relation
 
-    if query.aggregates:
-        return _aggregate(query, accumulated)
-    if query.projection is not None:
-        names: Iterable[str] = query.projection
-    else:
-        names = [
-            attribute.qualified_name
-            for relation in query.relations
-            for attribute in db.catalog.relation(relation).schema
+    for semijoin in query.semijoins:
+        matches = {
+            row[semijoin.inner_attr]
+            for row in _relation_rows(db, semijoin.inner_relation)
+            if _passes(row, semijoin.selections, bindings)
+        }
+        accumulated = [
+            row for row in accumulated if row[semijoin.outer_attr] in matches
         ]
-    return [tuple(row[name] for name in names) for row in accumulated]
+
+    if query.outer is not None:
+        right_schema = db.catalog.relation(query.outer.right_relation).schema
+        padding: RefRow = {
+            attribute.qualified_name: None for attribute in right_schema
+        }
+        by_key: dict[object, list[RefRow]] = {}
+        for row in _relation_rows(db, query.outer.right_relation):
+            by_key.setdefault(row[query.outer.right_attr], []).append(row)
+        extended: list[RefRow] = []
+        for left in accumulated:
+            partners = by_key.get(left[query.outer.left_attr])
+            if partners:
+                extended.extend({**left, **right} for right in partners)
+            else:
+                extended.append({**left, **padding})
+        accumulated = extended
+    return accumulated
+
+
+def evaluate_reference(case: FuzzCase, db: Database) -> list[tuple]:
+    """Rows of the statement under naive evaluation, in canonical column
+    order.
+
+    Returned unsorted (callers compare as multisets); ORDER BY is a
+    presentation property checked separately against the engine's output.
+    UNION branches are evaluated independently and concatenated; plain
+    UNION then keeps one copy of each distinct row.
+    """
+    query = case.query
+    out: list[tuple] = []
+    for branch in query.all_branches():
+        accumulated = _branch_rows(branch, db, case.bindings)
+        if branch.aggregates:
+            out.extend(_aggregate(branch, accumulated))
+            continue
+        if branch.projection is not None:
+            names: Iterable[str] = branch.projection
+        else:
+            names = [
+                attribute.qualified_name
+                for relation in branch.output_relations_for_star()
+                for attribute in db.catalog.relation(relation).schema
+            ]
+        out.extend(tuple(row[name] for name in names) for row in accumulated)
+    if len(query.all_branches()) > 1 and not query.union_all:
+        seen: set[tuple] = set()
+        distinct: list[tuple] = []
+        for row in out:
+            if row not in seen:
+                seen.add(row)
+                distinct.append(row)
+        out = distinct
+    return out
 
 
 def _aggregate(query: QuerySpec, rows: list[RefRow]) -> list[tuple]:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Iterator
 
-from repro.qa.generator import FuzzCase, QuerySpec, RelationSpec
+from repro.qa.generator import FuzzCase, QuerySpec
 from repro.qa.invariants import run_case
 
 MAX_ATTEMPTS = 400
@@ -57,15 +57,28 @@ def _with_query(case: FuzzCase, query: QuerySpec) -> FuzzCase:
 
 def _drop_relation(case: FuzzCase, name: str) -> FuzzCase | None:
     query = case.query
+
+    def keeps(attribute: str) -> bool:
+        return attribute.partition(".")[0] != name
+
     relations = tuple(r for r in query.relations if r != name)
     if not relations:
+        return None
+    # Under UNION the first branch's projection fixes the statement's
+    # arity; dropping one of its relations would break every other
+    # branch.  Branch-level proposals run first and reduce to this case.
+    if query.branches:
+        return None
+    # A relation anchoring the outer join or a semi-join's outer side
+    # cannot be dropped without dropping that operator first — the
+    # compound proposals (which run earlier) handle those.
+    if query.outer is not None and not keeps(query.outer.left_attr):
+        return None
+    if any(not keeps(s.outer_attr) for s in query.semijoins):
         return None
     joins = tuple(j for j in query.joins if name not in j.relations)
     if not _connected(relations, joins):
         return None
-
-    def keeps(attribute: str) -> bool:
-        return attribute.partition(".")[0] != name
 
     projection = query.projection
     if projection is not None:
@@ -83,7 +96,8 @@ def _drop_relation(case: FuzzCase, name: str) -> FuzzCase | None:
         not keeps(order_by) or (aggregates and order_by not in group_by)
     ):
         order_by = None
-    shrunk = QuerySpec(
+    shrunk = replace(
+        query,
         relations=relations,
         selections=tuple(s for s in query.selections if s.relation != name),
         joins=joins,
@@ -96,8 +110,62 @@ def _drop_relation(case: FuzzCase, name: str) -> FuzzCase | None:
 
 
 def _proposals(case: FuzzCase) -> Iterator[FuzzCase]:
-    """Structurally smaller variants, biggest shrinks first."""
+    """Structurally smaller variants, biggest shrinks first.
+
+    Compound structure shrinks independently and *before* anything
+    inside a branch: a failing UNION loses whole branches (or keeps a
+    single non-first branch) before any branch loses a relation, a
+    semi-join disappears before its subquery's selections are touched,
+    and UNION decays to UNION ALL before row-level simplification — so
+    the minimal artifact for a branch-local bug is that branch alone.
+    """
     query = case.query
+
+    # Drop extra UNION branches one at a time; also try keeping one
+    # non-first branch as the entire (simple) statement, for failures
+    # that live in a later branch.
+    for i in range(len(query.branches)):
+        remaining = query.branches[:i] + query.branches[i + 1 :]
+        yield _with_query(case, replace(query, branches=remaining))
+    for branch in query.branches:
+        yield _with_query(
+            case, replace(branch, branches=(), order_by=None)
+        )
+    if query.branches and not query.union_all:
+        # UNION ALL drops the Distinct operator — strictly smaller.
+        yield _with_query(case, replace(query, union_all=True))
+
+    # Drop IN/EXISTS subqueries one at a time, then just their inner
+    # selections; an EXISTS simplifies to the equivalent IN.
+    for i, semijoin in enumerate(query.semijoins):
+        remaining = query.semijoins[:i] + query.semijoins[i + 1 :]
+        yield _with_query(case, replace(query, semijoins=remaining))
+        if semijoin.selections:
+            stripped = replace(semijoin, selections=())
+            yield _with_query(
+                case,
+                replace(
+                    query,
+                    semijoins=query.semijoins[:i]
+                    + (stripped,)
+                    + query.semijoins[i + 1 :],
+                ),
+            )
+        if semijoin.style == "exists":
+            as_in = replace(semijoin, style="in")
+            yield _with_query(
+                case,
+                replace(
+                    query,
+                    semijoins=query.semijoins[:i]
+                    + (as_in,)
+                    + query.semijoins[i + 1 :],
+                ),
+            )
+
+    # Drop the LEFT OUTER JOIN.
+    if query.outer is not None:
+        yield _with_query(case, replace(query, outer=None))
 
     # Drop whole relations (largest single reduction).
     for name in query.relations:
@@ -130,10 +198,11 @@ def _proposals(case: FuzzCase) -> Iterator[FuzzCase]:
                 case, replace(query, group_by=remaining, order_by=order_by)
             )
 
-    # Drop ORDER BY and the projection.
+    # Drop ORDER BY and the projection (kept under UNION, where the
+    # first branch's explicit projection fixes the statement arity).
     if query.order_by is not None:
         yield _with_query(case, replace(query, order_by=None))
-    if query.projection is not None:
+    if query.projection is not None and not query.branches:
         yield _with_query(
             case, replace(query, projection=None, order_by=None)
         )
@@ -171,8 +240,10 @@ def _proposals(case: FuzzCase) -> Iterator[FuzzCase]:
                     case, bindings={**case.bindings, name: smaller}
                 )
 
-    # Shrink the catalog: unused relations, indexes, cardinalities.
-    referenced = set(query.relations)
+    # Shrink the catalog: unused relations, indexes, key declarations,
+    # cardinalities.  "Used" includes subquery inners, the outer-joined
+    # relation, and every UNION branch's FROM list.
+    referenced = set(query.referenced_relations())
     if any(spec.name not in referenced for spec in case.relations):
         yield replace(
             case,
@@ -187,6 +258,14 @@ def _proposals(case: FuzzCase) -> Iterator[FuzzCase]:
                 case,
                 relations=case.relations[:i]
                 + (stripped,)
+                + case.relations[i + 1 :],
+            )
+        if spec.unique:
+            unkeyed = replace(spec, unique=())
+            yield replace(
+                case,
+                relations=case.relations[:i]
+                + (unkeyed,)
                 + case.relations[i + 1 :],
             )
         if spec.cardinality > 1:

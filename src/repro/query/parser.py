@@ -1,9 +1,13 @@
 """Recursive-descent parser: SQL text → normalized query graph.
 
-Grammar (conjunctive select-project-join-aggregate queries)::
+Grammar (conjunctive SPJU queries with aggregates, outer joins, and
+semi-join subqueries)::
 
-    query      :=  SELECT select_list FROM table_list [WHERE condition_list]
-                   [GROUP BY attribute (',' attribute)*] [ORDER BY attribute]
+    statement  :=  query (UNION [ALL] query)* [ORDER BY attribute]
+    query      :=  SELECT select_list FROM table_list
+                   [LEFT OUTER JOIN ident ON attribute '=' attribute]
+                   [WHERE condition_list]
+                   [GROUP BY attribute (',' attribute)*]
     select_list:=  '*' | select_item (',' select_item)*
     select_item:=  attribute | func '(' ('*' | attribute) ')'
     func       :=  COUNT | SUM | MIN | MAX | AVG
@@ -11,13 +15,24 @@ Grammar (conjunctive select-project-join-aggregate queries)::
     conditions :=  condition (AND condition)*
     condition  :=  attribute op operand        -- selection
                 |  attribute '=' attribute     -- equijoin
+                |  attribute IN '(' subquery ')'        -- semi-join
+                |  EXISTS '(' exists_subquery ')'       -- semi-join
+    subquery   :=  SELECT attribute FROM ident [WHERE simple_conditions]
+    exists_subq:=  SELECT ('*'|attribute) FROM ident WHERE correlation
+                   (AND simple_condition)*
     operand    :=  number | string | host_variable
     attribute  :=  ident '.' ident
 
 Host variables introduce uncertain selectivity parameters named
-``sel:<variable>``; literal predicates keep their static estimates.
+``sel:<variable>``; literal predicates keep their static estimates.  All
+UNION branches share one :class:`~repro.params.parameter.ParameterSpace`.
 Aggregate select lists produce an :class:`AggregateSpec` on the query
 graph; plain attributes in such lists must appear in GROUP BY.
+Aggregates cannot be combined with UNION, outer joins, or subqueries.
+
+:func:`parse_query` keeps the historical single-query contract (it
+rejects compound statements); :func:`parse_statement` accepts the full
+grammar.
 """
 
 from __future__ import annotations
@@ -40,6 +55,12 @@ from repro.logical.aggregates import (
     AggregateSpec,
 )
 from repro.logical.query import QueryGraph
+from repro.logical.statement import (
+    OuterJoin,
+    SemiJoin,
+    Statement,
+    StatementBranch,
+)
 from repro.params.parameter import ParameterSpace
 from repro.query.tokenizer import Token, TokenKind, tokenize
 
@@ -71,17 +92,86 @@ class ParsedQuery:
         return self.graph.aggregate is not None
 
 
+@dataclass(frozen=True)
+class ParsedStatement:
+    """Parser output for the full statement grammar."""
+
+    statement: Statement
+    order_by: Attribute | None
+    host_variables: tuple[str, ...]
+
+    @property
+    def graph(self) -> QueryGraph:
+        """The first branch's core graph (the whole graph when simple)."""
+        return self.statement.branches[0].graph
+
+    @property
+    def parameters(self) -> ParameterSpace:
+        """The shared parameter space of every branch."""
+        return self.statement.parameters
+
+
 def parse_query(
     text: str,
     catalog: Catalog,
     default_selectivity: float = 0.05,
 ) -> ParsedQuery:
-    """Parse ``text`` against ``catalog``.
+    """Parse a single SPJ(+aggregate) query against ``catalog``.
 
     ``default_selectivity`` is the expected value assigned to each host
     variable's selectivity parameter (the paper's static default is 0.05).
+    Compound statements (UNION, outer joins, subqueries) are rejected —
+    use :func:`parse_statement` for those.
     """
+    parsed = parse_statement(text, catalog, default_selectivity)
+    statement = parsed.statement
+    if statement.is_compound:
+        raise ParseError(
+            "compound statements (UNION / OUTER JOIN / subqueries) are not "
+            "supported here; use parse_statement",
+            0,
+        )
+    graph = statement.branches[0].graph
+    return ParsedQuery(
+        graph=graph,
+        select_list=graph.projection if graph.aggregate is None else None,
+        order_by=parsed.order_by,
+        host_variables=parsed.host_variables,
+    )
+
+
+def parse_statement(
+    text: str,
+    catalog: Catalog,
+    default_selectivity: float = 0.05,
+) -> ParsedStatement:
+    """Parse the full statement grammar (SPJU + outer joins + subqueries)."""
     return _Parser(text, catalog, default_selectivity).parse()
+
+
+class _BranchState:
+    """Mutable per-branch accumulation while one SELECT block parses."""
+
+    __slots__ = (
+        "relations",
+        "selections",
+        "joins",
+        "semijoins",
+        "outer",
+        "select_list",
+        "aggregate_items",
+        "group_by",
+    )
+
+    def __init__(self) -> None:
+        self.relations: list[str] = []
+        self.selections: dict[str, list[SelectionPredicate]] = {}
+        self.joins: list[JoinPredicate] = []
+        self.semijoins: list[SemiJoin] = []
+        self.outer: OuterJoin | None = None
+        self.select_list: list[tuple[str, int]] | None = None
+        self.aggregate_items: list = []
+        self.group_by: list[Attribute] = []
 
 
 class _Parser:
@@ -92,11 +182,9 @@ class _Parser:
         self.position = 0
         self.catalog = catalog
         self.default_selectivity = default_selectivity
-        self.relations: list[str] = []
-        self.selections: dict[str, list[SelectionPredicate]] = {}
-        self.joins: list[JoinPredicate] = []
         self.space = ParameterSpace()
         self.host_variables: list[str] = []
+        self.branch = _BranchState()
 
     # ------------------------------------------------------------------
     # Token plumbing
@@ -141,69 +229,154 @@ class _Parser:
         return token.kind is TokenKind.SYMBOL and token.text == symbol
 
     # ------------------------------------------------------------------
-    # Grammar
+    # Statement grammar
     # ------------------------------------------------------------------
-    def parse(self) -> ParsedQuery:
-        self._expect_keyword("SELECT")
-        select_list, aggregate_items = self._parse_select_list()
-        self._expect_keyword("FROM")
-        self._parse_table_list()
-        if self._at_keyword("WHERE"):
-            self._advance()
-            self._parse_conditions()
-        group_by: list[Attribute] = []
-        if self._at_keyword("GROUP"):
-            self._advance()
-            self._expect_keyword("BY")
-            group_by.append(self._parse_attribute())
-            while self._at_symbol(","):
+    def parse(self) -> ParsedStatement:
+        branches = [self._parse_branch()]
+        union_all: bool | None = None
+        while self._at_keyword("UNION"):
+            union_token = self._advance()
+            this_all = False
+            if self._at_keyword("ALL"):
                 self._advance()
-                group_by.append(self._parse_attribute())
+                this_all = True
+            if union_all is not None and union_all != this_all:
+                raise ParseError(
+                    "mixing UNION and UNION ALL in one statement is not "
+                    "supported",
+                    union_token.position,
+                )
+            union_all = this_all
+            branches.append(self._parse_branch())
         order_by = None
         order_by_position = 0
         if self._at_keyword("ORDER"):
             self._advance()
             self._expect_keyword("BY")
             order_by_position = self._peek().position
-            order_by = self._parse_attribute()
+            name, position = self._parse_attribute_name()
+            order_by = self._resolve_in_branch(branches[0], name, position)
         end = self._advance()
         if end.kind is not TokenKind.END:
             raise ParseError(f"unexpected trailing {end.text!r}", end.position)
-        if order_by is not None and (aggregate_items or group_by):
+
+        if len(branches) > 1:
+            for state in branches:
+                if state.aggregate_items or state.group_by:
+                    raise ParseError(
+                        "aggregates are not supported in UNION branches", 0
+                    )
+                if state.select_list is None:
+                    raise ParseError(
+                        "UNION branches must name their output columns "
+                        "(SELECT * is ambiguous across branches)",
+                        0,
+                    )
+        first = branches[0]
+        if order_by is not None and (first.aggregate_items or first.group_by):
             # Aggregation replaces base columns with group keys; ordering
             # by anything else cannot be evaluated over the output.
-            if order_by not in group_by:
+            if order_by not in first.group_by:
                 raise ParseError(
                     f"ORDER BY {order_by.qualified_name} must be a GROUP BY "
                     "attribute in an aggregate query",
                     order_by_position,
                 )
 
-        resolved_select = None
-        if select_list is not None:
-            resolved_select = tuple(
-                self._resolve(name, pos) for name, pos in select_list
-            )
-        aggregate = self._build_aggregate(
-            resolved_select, aggregate_items, group_by
+        built = tuple(
+            self._build_branch(state, compound=len(branches) > 1)
+            for state in branches
         )
-        graph = QueryGraph(
-            relations=tuple(self.relations),
-            selections={r: tuple(p) for r, p in self.selections.items()},
-            joins=tuple(self.joins),
+        statement = Statement(
+            branches=built,
+            union_all=True if union_all is None else union_all,
             parameters=self.space,
-            projection=None if aggregate is not None else resolved_select,
-            aggregate=aggregate,
+            order_by=order_by,
         )
-        return ParsedQuery(
-            graph=graph,
-            select_list=resolved_select if aggregate is None else None,
+        if len(built) > 1 and order_by is not None:
+            projection = built[0].projection or ()
+            if order_by not in projection:
+                raise ParseError(
+                    f"ORDER BY {order_by.qualified_name} must be projected "
+                    "by the first UNION branch",
+                    order_by_position,
+                )
+        return ParsedStatement(
+            statement=statement,
             order_by=order_by,
             host_variables=tuple(self.host_variables),
         )
 
+    # ------------------------------------------------------------------
+    # Branch grammar
+    # ------------------------------------------------------------------
+    def _parse_branch(self) -> _BranchState:
+        state = _BranchState()
+        self.branch = state
+        self._expect_keyword("SELECT")
+        state.select_list, state.aggregate_items = self._parse_select_list()
+        self._expect_keyword("FROM")
+        self._parse_table_list()
+        if self._at_keyword("LEFT"):
+            self._parse_outer_join()
+        if self._at_keyword("WHERE"):
+            self._advance()
+            self._parse_conditions()
+        if self._at_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            state.group_by.append(self._parse_attribute())
+            while self._at_symbol(","):
+                self._advance()
+                state.group_by.append(self._parse_attribute())
+        return state
+
+    def _build_branch(
+        self, state: _BranchState, compound: bool
+    ) -> StatementBranch:
+        is_extended = bool(state.semijoins) or state.outer is not None
+        if is_extended and (state.aggregate_items or state.group_by):
+            raise ParseError(
+                "aggregates are not supported with OUTER JOIN or "
+                "subqueries",
+                0,
+            )
+        resolved_select = None
+        if state.select_list is not None:
+            resolved_select = tuple(
+                self._resolve_in_branch(state, name, pos)
+                for name, pos in state.select_list
+            )
+        aggregate = self._build_aggregate(
+            state, resolved_select, state.aggregate_items, state.group_by
+        )
+        if compound or is_extended:
+            graph = QueryGraph(
+                relations=tuple(state.relations),
+                selections={
+                    r: tuple(p) for r, p in state.selections.items()
+                },
+                joins=tuple(state.joins),
+                parameters=self.space,
+            )
+            return StatementBranch(
+                graph=graph,
+                semijoins=tuple(state.semijoins),
+                outer=state.outer,
+                projection=resolved_select,
+            )
+        graph = QueryGraph(
+            relations=tuple(state.relations),
+            selections={r: tuple(p) for r, p in state.selections.items()},
+            joins=tuple(state.joins),
+            parameters=self.space,
+            projection=None if aggregate is not None else resolved_select,
+            aggregate=aggregate,
+        )
+        return StatementBranch(graph=graph)
+
     def _build_aggregate(
-        self, resolved_select, aggregate_items, group_by
+        self, state, resolved_select, aggregate_items, group_by
     ) -> AggregateSpec | None:
         if not aggregate_items and not group_by:
             return None
@@ -223,7 +396,10 @@ class _Parser:
                 aggregates.append(AggregateExpr(func, None))
             else:
                 aggregates.append(
-                    AggregateExpr(func, self._resolve(operand[0], operand[1]))
+                    AggregateExpr(
+                        func,
+                        self._resolve_in_branch(state, operand[0], operand[1]),
+                    )
                 )
         return AggregateSpec(group_by=tuple(group_by), aggregates=tuple(aggregates))
 
@@ -270,16 +446,62 @@ class _Parser:
         return plain or None, aggregates
 
     def _parse_table_list(self) -> None:
+        state = self.branch
         while True:
             token = self._expect_ident()
             name = token.text
-            if name in self.relations:
+            if name in state.relations:
                 raise ParseError(f"relation {name} listed twice", token.position)
             self.catalog.relation(name)  # existence check; raises CatalogError
-            self.relations.append(name)
+            state.relations.append(name)
             if not self._at_symbol(","):
                 break
             self._advance()
+
+    def _parse_outer_join(self) -> None:
+        state = self.branch
+        self._expect_keyword("LEFT")
+        self._expect_keyword("OUTER")
+        self._expect_keyword("JOIN")
+        token = self._expect_ident()
+        right_relation = token.text
+        if right_relation in state.relations:
+            raise ParseError(
+                f"outer-join relation {right_relation} already in FROM",
+                token.position,
+            )
+        self.catalog.relation(right_relation)
+        self._expect_keyword("ON")
+        first_name, first_pos = self._parse_attribute_name()
+        op = self._advance()
+        if op.kind is not TokenKind.SYMBOL or op.text != "=":
+            raise ParseError(
+                "outer-join condition must be an equality", op.position
+            )
+        second_name, second_pos = self._parse_attribute_name()
+        sides = {
+            name.partition(".")[0]: (name, pos)
+            for name, pos in ((first_name, first_pos), (second_name, second_pos))
+        }
+        if right_relation not in sides or len(sides) != 2:
+            raise ParseError(
+                "outer-join condition must compare a FROM attribute with "
+                f"an attribute of {right_relation}",
+                first_pos,
+            )
+        right_name, _ = sides.pop(right_relation)
+        (left_name, left_pos), = sides.values()
+        if left_name.partition(".")[0] not in state.relations:
+            raise ParseError(
+                f"outer-join attribute {left_name} references a relation "
+                "outside the FROM list",
+                left_pos,
+            )
+        state.outer = OuterJoin(
+            left_attr=self._attribute_of(left_name, left_pos),
+            right_relation=right_relation,
+            right_attr=self._attribute_of(right_name, second_pos),
+        )
 
     def _parse_conditions(self) -> None:
         while True:
@@ -289,7 +511,14 @@ class _Parser:
             self._advance()
 
     def _parse_condition(self) -> None:
+        if self._at_keyword("EXISTS"):
+            self._parse_exists_subquery()
+            return
         left = self._parse_attribute()
+        if self._at_keyword("IN"):
+            self._advance()
+            self._parse_in_subquery(left)
+            return
         op_token = self._advance()
         if op_token.kind is not TokenKind.SYMBOL or op_token.text not in _OPERATORS:
             raise ParseError(
@@ -304,8 +533,13 @@ class _Parser:
                 raise ParseError(
                     "join predicates must be equijoins", op_token.position
                 )
-            self.joins.append(JoinPredicate(left, right))
+            self.branch.joins.append(JoinPredicate(left, right))
             return
+        operand = self._parse_operand(token)
+        predicate = SelectionPredicate(left, op, operand)
+        self.branch.selections.setdefault(left.relation, []).append(predicate)
+
+    def _parse_operand(self, token: Token) -> Literal | HostVariable:
         if token.kind is TokenKind.HOST_VARIABLE:
             self._advance()
             parameter = f"sel:{token.text}"
@@ -314,18 +548,183 @@ class _Parser:
                     parameter, expected=self.default_selectivity
                 )
             self.host_variables.append(token.text)
-            operand: Literal | HostVariable = HostVariable(token.text, parameter)
-        elif token.kind in (TokenKind.NUMBER, TokenKind.STRING):
+            return HostVariable(token.text, parameter)
+        if token.kind in (TokenKind.NUMBER, TokenKind.STRING):
             self._advance()
-            operand = Literal(token.value)
-        else:
+            return Literal(token.value)
+        raise ParseError(
+            f"expected literal or host variable, found {token.text!r}",
+            token.position,
+        )
+
+    # ------------------------------------------------------------------
+    # Subqueries (semi-join rewrite)
+    # ------------------------------------------------------------------
+    def _subquery_relation(self, token: Token) -> str:
+        name = token.text
+        state = self.branch
+        if name in state.relations or any(
+            s.inner_relation == name for s in state.semijoins
+        ):
             raise ParseError(
-                f"expected literal or host variable, found {token.text!r}",
+                f"subquery relation {name} already appears in the branch",
                 token.position,
             )
-        predicate = SelectionPredicate(left, op, operand)
-        self.selections.setdefault(left.relation, []).append(predicate)
+        self.catalog.relation(name)
+        return name
 
+    def _parse_subquery_selections(
+        self, relation: str
+    ) -> list[SelectionPredicate]:
+        """WHERE clause of a subquery: selections on ``relation`` only."""
+        selections: list[SelectionPredicate] = []
+        while True:
+            name, position = self._parse_attribute_name()
+            if name.partition(".")[0] != relation:
+                raise ParseError(
+                    f"subquery predicate on {name} must reference "
+                    f"{relation}",
+                    position,
+                )
+            attribute = self._attribute_of(name, position)
+            op_token = self._advance()
+            if (
+                op_token.kind is not TokenKind.SYMBOL
+                or op_token.text not in _OPERATORS
+            ):
+                raise ParseError(
+                    f"expected comparison operator, found {op_token.text!r}",
+                    op_token.position,
+                )
+            operand = self._parse_operand(self._peek())
+            selections.append(
+                SelectionPredicate(attribute, _OPERATORS[op_token.text], operand)
+            )
+            if not self._at_keyword("AND"):
+                break
+            self._advance()
+        return selections
+
+    def _parse_in_subquery(self, outer_attr: Attribute) -> None:
+        """``attr IN (SELECT inner.attr FROM inner [WHERE ...])``"""
+        self._expect_symbol("(")
+        self._expect_keyword("SELECT")
+        inner_name, inner_pos = self._parse_attribute_name()
+        self._expect_keyword("FROM")
+        relation = self._subquery_relation(self._expect_ident())
+        if inner_name.partition(".")[0] != relation:
+            raise ParseError(
+                f"IN subquery must select from {relation}", inner_pos
+            )
+        selections: list[SelectionPredicate] = []
+        if self._at_keyword("WHERE"):
+            self._advance()
+            selections = self._parse_subquery_selections(relation)
+        self._expect_symbol(")")
+        self.branch.semijoins.append(
+            SemiJoin(
+                outer_attr=outer_attr,
+                inner_relation=relation,
+                inner_attr=self._attribute_of(inner_name, inner_pos),
+                selections=tuple(selections),
+                style="in",
+            )
+        )
+
+    def _parse_exists_subquery(self) -> None:
+        """``EXISTS (SELECT * FROM inner WHERE inner.a = outer.b ...)``"""
+        self._expect_keyword("EXISTS")
+        self._expect_symbol("(")
+        self._expect_keyword("SELECT")
+        if self._at_symbol("*"):
+            self._advance()
+        else:
+            self._parse_attribute_name()  # projection is irrelevant
+        self._expect_keyword("FROM")
+        token = self._expect_ident()
+        relation = self._subquery_relation(token)
+        self._expect_keyword("WHERE")
+        correlation: tuple[Attribute, Attribute] | None = None
+        selections: list[SelectionPredicate] = []
+        while True:
+            name, position = self._parse_attribute_name()
+            op_token = self._advance()
+            if (
+                op_token.kind is not TokenKind.SYMBOL
+                or op_token.text not in _OPERATORS
+            ):
+                raise ParseError(
+                    f"expected comparison operator, found {op_token.text!r}",
+                    op_token.position,
+                )
+            if self._peek().kind is TokenKind.IDENT:
+                other, other_pos = self._parse_attribute_name()
+                if op_token.text != "=" or correlation is not None:
+                    raise ParseError(
+                        "EXISTS supports exactly one correlated equality",
+                        op_token.position,
+                    )
+                pair = {
+                    name.partition(".")[0]: (name, position),
+                    other.partition(".")[0]: (other, other_pos),
+                }
+                if relation not in pair or len(pair) != 2:
+                    raise ParseError(
+                        "EXISTS correlation must compare the subquery "
+                        "relation with an outer attribute",
+                        position,
+                    )
+                inner_name, inner_pos = pair.pop(relation)
+                (outer_name, outer_pos), = pair.values()
+                if outer_name.partition(".")[0] not in self.branch.relations:
+                    raise ParseError(
+                        f"correlated attribute {outer_name} references a "
+                        "relation outside the FROM list",
+                        outer_pos,
+                    )
+                correlation = (
+                    self._attribute_of(outer_name, outer_pos),
+                    self._attribute_of(inner_name, inner_pos),
+                )
+            else:
+                if name.partition(".")[0] != relation:
+                    raise ParseError(
+                        f"subquery predicate on {name} must reference "
+                        f"{relation}",
+                        position,
+                    )
+                operand = self._parse_operand(self._peek())
+                selections.append(
+                    SelectionPredicate(
+                        self._attribute_of(name, position),
+                        _OPERATORS[op_token.text],
+                        operand,
+                    )
+                )
+            if not self._at_keyword("AND"):
+                break
+            self._advance()
+        self._expect_symbol(")")
+        if correlation is None:
+            raise ParseError(
+                "EXISTS subquery needs a correlated equality with the "
+                "outer query",
+                token.position,
+            )
+        outer_attr, inner_attr = correlation
+        self.branch.semijoins.append(
+            SemiJoin(
+                outer_attr=outer_attr,
+                inner_relation=relation,
+                inner_attr=inner_attr,
+                selections=tuple(selections),
+                style="exists",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Attribute resolution
+    # ------------------------------------------------------------------
     def _parse_attribute_name(self) -> tuple[str, int]:
         relation = self._expect_ident()
         self._expect_symbol(".")
@@ -333,17 +732,35 @@ class _Parser:
         return f"{relation.text}.{attribute.text}", relation.position
 
     def _parse_attribute(self) -> Attribute:
+        """Resolve an attribute of the current branch's FROM relations."""
         name, position = self._parse_attribute_name()
-        return self._resolve(name, position)
+        relation = name.partition(".")[0]
+        state = self.branch
+        if relation not in state.relations and state.relations:
+            raise ParseError(
+                f"attribute {name} references relation {relation}, "
+                "which is not in the FROM list",
+                position,
+            )
+        return self._attribute_of(name, position)
 
-    def _resolve(self, qualified_name: str, position: int) -> Attribute:
-        relation, _, _ = qualified_name.partition(".")
-        if relation not in {t for t in self.relations} and self.relations:
+    def _resolve_in_branch(
+        self, state: _BranchState, qualified_name: str, position: int
+    ) -> Attribute:
+        """Resolve against the branch's *extended* relations (FROM + outer)."""
+        relation = qualified_name.partition(".")[0]
+        allowed = set(state.relations)
+        if state.outer is not None:
+            allowed.add(state.outer.right_relation)
+        if relation not in allowed and allowed:
             raise ParseError(
                 f"attribute {qualified_name} references relation {relation}, "
                 "which is not in the FROM list",
                 position,
             )
+        return self._attribute_of(qualified_name, position)
+
+    def _attribute_of(self, qualified_name: str, position: int) -> Attribute:
         try:
             return self.catalog.attribute(qualified_name)
         except Exception as exc:

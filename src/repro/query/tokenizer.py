@@ -13,7 +13,24 @@ from dataclasses import dataclass
 from repro.errors import ParseError
 
 KEYWORDS = frozenset(
-    {"SELECT", "FROM", "WHERE", "AND", "AS", "ORDER", "GROUP", "BY"}
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "AS",
+        "ORDER",
+        "GROUP",
+        "BY",
+        "UNION",
+        "ALL",
+        "LEFT",
+        "OUTER",
+        "JOIN",
+        "ON",
+        "IN",
+        "EXISTS",
+    }
 )
 
 _SYMBOLS = ("<=", ">=", "<>", "=", "<", ">", ",", ".", "*", "(", ")")

@@ -33,10 +33,11 @@ from repro.experiments.queries import (
     host_variable_name,
     relation_name,
 )
-from repro.optimizer.optimizer import OptimizationMode, optimize_query
+from repro.optimizer.optimizer import OptimizationMode
+from repro.optimizer.statement import optimize_statement
 from repro.qa.harness import load_artifact
 from repro.qa.invariants import derive_parameter_values
-from repro.query.parser import parse_query
+from repro.query.parser import parse_statement
 from repro.runtime.prepared import PreparedQuery
 
 CORPUS_DIR = Path(__file__).parent / "qa_corpus"
@@ -52,14 +53,13 @@ def test_corpus_case_batch_row_identity(path):
     db.load_synthetic(case.data_seed)
     if case.analyze:
         db.analyze()
-    parsed = parse_query(case.query.to_sql(), catalog)
-    runtime = optimize_query(
-        parsed.graph,
+    statement = parse_statement(case.query.to_sql(), catalog).statement
+    runtime = optimize_statement(
+        statement,
         catalog,
         model,
         mode=OptimizationMode.RUN_TIME,
-        binding=derive_parameter_values(case, parsed.graph, db),
-        required_order=parsed.order_by,
+        binding=derive_parameter_values(case, statement, db),
     )
     reference = execute_plan(
         runtime.plan, db, bindings=case.bindings, execution_mode="row"

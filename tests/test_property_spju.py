@@ -1,0 +1,236 @@
+"""Property tests: SPJU interval tightening is sound against the oracle.
+
+The compound operators tighten cardinality upper bounds with the unary-key
+arguments of Chen & Schneider (a semi-join emits at most one row per outer
+row; a left outer join over a declared unary key emits exactly one row per
+left row; UNION ALL is an exact sum).  These are *hard* bounds, unlike the
+selectivity-based estimates inside a branch — so they must never exclude
+what the reference oracle actually observes, on any generated case.
+
+Each property drives the real generator (seeded, so the ``ci`` hypothesis
+profile stays deterministic) and compares the per-operator formulas
+against oracle-observed intermediate cardinalities, obtained by
+re-evaluating the branch with the compound operators peeled off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cost.model import CostModel
+from repro.executor.database import Database
+from repro.optimizer.optimizer import OptimizationMode
+from repro.optimizer.statement import optimize_statement
+from repro.physical.plan import (
+    LeftOuterJoinNode,
+    SemiJoinNode,
+    UnionAllNode,
+    iter_plan_nodes,
+    left_outer_cardinality,
+    semi_join_cardinality,
+    union_all_cardinality,
+)
+from repro.qa.generator import PROFILE_SCHEDULE, CaseGenerator, FuzzCase
+from repro.qa.oracle import _branch_rows, evaluate_reference
+from repro.query.parser import parse_statement
+
+EPS = 1e-6
+
+COMPOUND_PROFILES = tuple(
+    p for p in PROFILE_SCHEDULE
+    if p.name in ("union", "outer-unique", "semijoin", "all")
+)
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.filter_too_much,
+        HealthCheck.data_too_large,
+    ],
+)
+
+
+def _compound_case(seed: int, profile) -> FuzzCase | None:
+    generator = CaseGenerator(f"spju-prop-{seed}", profile=profile)
+    for _ in range(40):
+        case = generator.draw_case()
+        if case.query.is_compound:
+            return case
+    return None
+
+
+def _database(case: FuzzCase) -> Database:
+    db = Database(case.build_catalog(), CostModel())
+    db.load_synthetic(case.data_seed)
+    if case.analyze:
+        db.analyze()
+    return db
+
+
+case_strategy = st.builds(
+    _compound_case,
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(COMPOUND_PROFILES),
+)
+
+
+class TestObservedCardinalityWithinTightenedBounds:
+    @SETTINGS
+    @given(case_strategy)
+    def test_semijoin_never_exceeds_observed_outer_input(self, case):
+        """Peeling semi-joins one at a time: each application can only
+        shrink the observed row set, exactly as the tightened upper
+        bound (output <= outer input) promises."""
+        assume(case is not None)
+        assume(any(b.semijoins for b in case.query.all_branches()))
+        db = _database(case)
+        for branch in case.query.all_branches():
+            stripped = replace(branch, branches=(), outer=None)
+            previous = len(
+                _branch_rows(
+                    replace(stripped, semijoins=()), db, case.bindings
+                )
+            )
+            for k in range(1, len(branch.semijoins) + 1):
+                observed = len(
+                    _branch_rows(
+                        replace(
+                            stripped, semijoins=branch.semijoins[:k]
+                        ),
+                        db,
+                        case.bindings,
+                    )
+                )
+                bound = semi_join_cardinality(
+                    _point_interval(previous)
+                )
+                assert observed <= bound.high + EPS
+                assert observed >= bound.low - EPS
+                previous = observed
+
+    @SETTINGS
+    @given(case_strategy)
+    def test_outer_join_bounds_contain_observed_output(self, case):
+        """The left outer join's interval — [left, left] under a unary
+        key, [left, left*right] otherwise — always contains the observed
+        output cardinality."""
+        assume(case is not None)
+        assume(any(b.outer for b in case.query.all_branches()))
+        db = _database(case)
+        for branch in case.query.all_branches():
+            if branch.outer is None:
+                continue
+            stripped = replace(branch, branches=())
+            left_in = len(
+                _branch_rows(
+                    replace(stripped, outer=None), db, case.bindings
+                )
+            )
+            observed = len(_branch_rows(stripped, db, case.bindings))
+            right = branch.outer.right_relation
+            right_rows = len(list(db.heap(right).scan()))
+            right_spec = next(
+                s for s in case.relations if s.name == right
+            )
+            unique = (
+                branch.outer.right_attr.partition(".")[2]
+                in right_spec.unique
+            )
+            bound = left_outer_cardinality(
+                _point_interval(left_in),
+                _point_interval(right_rows),
+                unique,
+            )
+            assert observed >= bound.low - EPS  # never loses a left row
+            assert observed <= bound.high + EPS
+            if unique:
+                assert observed == left_in  # exact under a unary key
+
+    @SETTINGS
+    @given(case_strategy)
+    def test_union_totals_match_branch_sums(self, case):
+        """UNION ALL output is exactly the sum of its branch outputs;
+        UNION never exceeds it (and never undershoots the largest
+        branch)."""
+        assume(case is not None)
+        assume(case.query.branches)
+        db = _database(case)
+        query = case.query
+        branch_counts = [
+            len(
+                evaluate_reference(
+                    replace(case, query=replace(b, branches=())), db
+                )
+            )
+            for b in query.all_branches()
+        ]
+        total = len(evaluate_reference(case, db))
+        bound = union_all_cardinality(
+            tuple(_point_interval(c) for c in branch_counts)
+        )
+        if query.union_all:
+            assert total == sum(branch_counts)
+            assert bound.low - EPS <= total <= bound.high + EPS
+        else:
+            assert total <= sum(branch_counts)
+            assert total <= bound.high + EPS
+            if sum(branch_counts):
+                assert total >= 1  # dedup keeps at least one row
+
+
+class TestPlanLevelTightening:
+    @SETTINGS
+    @given(case_strategy)
+    def test_compound_nodes_tighten_against_their_inputs(self, case):
+        """In every optimized plan, each compound operator's interval
+        obeys its tightening formula relative to its actual inputs."""
+        assume(case is not None)
+        catalog = case.build_catalog()
+        statement = parse_statement(case.query.to_sql(), catalog).statement
+        for mode in (OptimizationMode.STATIC, OptimizationMode.DYNAMIC):
+            plan = optimize_statement(
+                statement, catalog, CostModel(), mode=mode
+            ).plan
+            for node in iter_plan_nodes(plan):
+                if isinstance(node, SemiJoinNode):
+                    outer = node.inputs[0]
+                    assert (
+                        node.cardinality.high
+                        <= outer.cardinality.high + EPS
+                    )
+                    assert node.cardinality.low <= EPS
+                elif isinstance(node, LeftOuterJoinNode):
+                    left, right = node.inputs
+                    assert (
+                        node.cardinality.low
+                        >= left.cardinality.low - EPS
+                    )
+                    if node.right_unique:
+                        assert node.cardinality.high == pytest.approx(
+                            left.cardinality.high
+                        )
+                    else:
+                        assert node.cardinality.high <= (
+                            left.cardinality.high
+                            * max(1.0, right.cardinality.high)
+                            + EPS
+                        )
+                elif isinstance(node, UnionAllNode):
+                    assert node.cardinality.high == pytest.approx(
+                        sum(c.cardinality.high for c in node.inputs)
+                    )
+                    assert node.cardinality.low == pytest.approx(
+                        sum(c.cardinality.low for c in node.inputs)
+                    )
+
+
+def _point_interval(count: int):
+    from repro.util.interval import Interval
+
+    return Interval.point(float(count))

@@ -1,0 +1,388 @@
+"""The expanded fuzz grammar: UNION/UNION ALL, LEFT OUTER JOIN, IN/EXISTS.
+
+Unit tests for the generator's compound specs (SQL rendering, versioned
+JSON round-trip), the parser/oracle/optimizer agreement on compound
+cases, the unary-key upper-bound tightening, the CERT monotonicity
+oracle, and the shrinker's compound-first minimization order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.optimizer.optimizer import OptimizationMode
+from repro.optimizer.statement import optimize_statement
+from repro.physical.plan import LeftOuterJoinNode, iter_plan_nodes
+from repro.qa import (
+    CaseGenerator,
+    FuzzCase,
+    OuterJoinSpec,
+    PredicateSpec,
+    QuerySpec,
+    RelationSpec,
+    SemiJoinSpec,
+    run_case,
+    shrink_case,
+)
+from repro.qa.generator import PROFILE_SCHEDULE
+from repro.qa.invariants import _check_parser
+from repro.qa.oracle import evaluate_reference
+from repro.qa.shrinker import _proposals
+from repro.query.parser import parse_statement
+
+ALL = PROFILE_SCHEDULE[-1]
+
+
+def _violations(case: FuzzCase) -> list:
+    collected = []
+    catalog = case.build_catalog()
+    _check_parser(case, catalog, lambda check, detail: collected.append(check))
+    return collected
+
+
+def _compound_cases(seed: str, count: int) -> list[FuzzCase]:
+    generator = CaseGenerator(seed, profile=ALL)
+    cases = []
+    while len(cases) < count:
+        case = generator.draw_case()
+        if case.query.is_compound:
+            cases.append(case)
+    return cases
+
+
+class TestSpecRendering:
+    def test_in_subquery_sql(self):
+        semijoin = SemiJoinSpec(
+            outer_attr="R1.a",
+            inner_relation="S1",
+            inner_attr="S1.b",
+            selections=(PredicateSpec("S1.c", "<=", literal=4),),
+            style="in",
+        )
+        assert semijoin.to_sql() == (
+            "R1.a IN (SELECT S1.b FROM S1 WHERE S1.c <= 4)"
+        )
+
+    def test_exists_subquery_sql(self):
+        semijoin = SemiJoinSpec(
+            outer_attr="R1.a",
+            inner_relation="S1",
+            inner_attr="S1.b",
+            style="exists",
+        )
+        assert semijoin.to_sql() == (
+            "EXISTS (SELECT * FROM S1 WHERE S1.b = R1.a)"
+        )
+
+    def test_outer_join_sql(self):
+        outer = OuterJoinSpec(
+            left_attr="R1.a", right_relation="T1", right_attr="T1.b"
+        )
+        assert outer.to_sql() == "LEFT OUTER JOIN T1 ON R1.a = T1.b"
+
+    def test_union_sql_renders_each_branch(self):
+        main = QuerySpec(
+            relations=("R1",),
+            projection=("R1.a",),
+            branches=(
+                QuerySpec(relations=("R2",), projection=("R2.b",)),
+            ),
+            union_all=False,
+        )
+        assert main.to_sql() == (
+            "SELECT R1.a FROM R1 UNION SELECT R2.b FROM R2"
+        )
+        assert replace(main, union_all=True).to_sql() == (
+            "SELECT R1.a FROM R1 UNION ALL SELECT R2.b FROM R2"
+        )
+
+
+class TestArtifactVersioning:
+    def test_plain_case_stays_version_1(self):
+        case = CaseGenerator("v1-case").draw_case()
+        assert not case.query.is_compound
+        assert case.to_json()["version"] == 1
+
+    def test_compound_case_is_version_2_and_round_trips(self):
+        for case in _compound_cases("v2-case", 5):
+            payload = case.to_json()
+            assert payload["version"] == 2
+            rebuilt = FuzzCase.from_json(payload)
+            assert rebuilt == case
+            assert rebuilt.query.to_sql() == case.query.to_sql()
+
+    def test_unique_key_forces_version_2(self):
+        case = CaseGenerator("v1-case").draw_case()
+        spec = replace(
+            case.relations[0], unique=(case.relations[0].attributes[0][0],)
+        )
+        keyed = replace(case, relations=(spec,) + case.relations[1:])
+        payload = keyed.to_json()
+        assert payload["version"] == 2
+        assert FuzzCase.from_json(payload) == keyed
+
+
+class TestParserAgreement:
+    def test_parser_reproduces_expected_statement_on_compound_cases(self):
+        for case in _compound_cases("parser-compound", 10):
+            assert _violations(case) == [], case.query.to_sql()
+
+
+class TestOracleSemantics:
+    def _outer_case(self) -> FuzzCase:
+        # Left attribute ranges over 40 values, the right relation holds
+        # 3 rows over a domain of 40: most left rows find no partner and
+        # must come back NULL-padded.
+        return FuzzCase(
+            seed="outer-padding",
+            relations=(
+                RelationSpec("R1", (("a", 40), ("b", 5)), 25),
+                RelationSpec("T1", (("a", 40), ("b", 3)), 3),
+            ),
+            data_seed=7,
+            query=QuerySpec(
+                relations=("R1",),
+                outer=OuterJoinSpec("R1.a", "T1", "T1.a"),
+            ),
+        )
+
+    def test_outer_join_pads_unmatched_rows_with_none(self):
+        from repro.executor.database import Database
+
+        case = self._outer_case()
+        db = Database(case.build_catalog(), CostModel())
+        db.load_synthetic(case.data_seed)
+        rows = evaluate_reference(case, db)
+        assert len(rows) >= 25  # never loses a left row
+        assert any(row[2] is None for row in rows)  # T1 columns padded
+
+    def test_outer_join_case_passes_all_invariants(self):
+        outcome = run_case(self._outer_case(), check_service=False)
+        details = [f"{v.check}: {v.detail}" for v in outcome.violations]
+        assert outcome.passed, details
+
+    def test_union_distinct_removes_duplicates(self):
+        from repro.executor.database import Database
+
+        branch = QuerySpec(relations=("R1",), projection=("R1.b",))
+        case = FuzzCase(
+            seed="union-dedup",
+            relations=(RelationSpec("R1", (("a", 10), ("b", 2)), 20),),
+            data_seed=3,
+            # Same branch twice: UNION ALL doubles, UNION dedups to the
+            # distinct R1.b values.
+            query=replace(branch, branches=(branch,), union_all=False),
+        )
+        db = Database(case.build_catalog(), CostModel())
+        db.load_synthetic(case.data_seed)
+        distinct = evaluate_reference(case, db)
+        assert len(distinct) == len(set(distinct)) <= 2
+        doubled = evaluate_reference(
+            replace(case, query=replace(case.query, union_all=True)), db
+        )
+        assert len(doubled) == 40
+
+
+class TestUniqueKeyTightening:
+    def test_unique_right_key_tightens_outer_join_upper_bound(self):
+        case = self._case(unique=True)
+        loose = self._outer_bound(self._case(unique=False))
+        tight = self._outer_bound(case)
+        assert tight < loose
+        # With a unary key the outer join emits exactly one row per left
+        # row: its bound collapses to the left input's.
+        plan = self._plan(case)
+        node = next(
+            n for n in iter_plan_nodes(plan)
+            if isinstance(n, LeftOuterJoinNode)
+        )
+        left = node.inputs[0]
+        assert node.cardinality.high == pytest.approx(left.cardinality.high)
+        assert node.cardinality.low == pytest.approx(left.cardinality.low)
+
+    def _case(self, unique: bool) -> FuzzCase:
+        return FuzzCase(
+            seed="unique-tighten",
+            relations=(
+                RelationSpec("R1", (("a", 6), ("b", 5)), 12),
+                RelationSpec(
+                    "T1",
+                    (("a", 8), ("b", 6)),
+                    8,
+                    unique=("b",) if unique else (),
+                ),
+            ),
+            data_seed=11,
+            query=QuerySpec(
+                relations=("R1",),
+                outer=OuterJoinSpec("R1.a", "T1", "T1.b"),
+            ),
+        )
+
+    def _plan(self, case: FuzzCase):
+        catalog = case.build_catalog()
+        statement = parse_statement(case.query.to_sql(), catalog).statement
+        return optimize_statement(
+            statement, catalog, CostModel(), mode=OptimizationMode.STATIC
+        ).plan
+
+    def _outer_bound(self, case: FuzzCase) -> float:
+        plan = self._plan(case)
+        node = next(
+            n for n in iter_plan_nodes(plan)
+            if isinstance(n, LeftOuterJoinNode)
+        )
+        return node.cardinality.high
+
+
+class TestCertOracle:
+    def test_cert_runs_on_every_case_by_default(self, monkeypatch):
+        import repro.qa.invariants as invariants
+
+        calls = []
+        original = invariants._check_cert
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(invariants, "_check_cert", spy)
+        case = CaseGenerator("cert-spy").draw_case()
+        assert run_case(case, check_service=False).passed
+        assert calls, "CERT oracle did not run"
+        calls.clear()
+        assert run_case(
+            case, check_service=False, check_cert=False
+        ).passed
+        assert not calls
+
+    def test_cert_passes_on_compound_cases(self):
+        for case in _compound_cases("cert-compound", 5):
+            outcome = run_case(case, check_service=False)
+            cert = [
+                f"{v.check}: {v.detail}"
+                for v in outcome.violations
+                if v.check.startswith("cert-")
+            ]
+            assert not cert, cert
+
+
+class TestCompoundShrinking:
+    def _union_case(self) -> FuzzCase:
+        culprit = QuerySpec(relations=("R3",), projection=("R3.a",))
+        return FuzzCase(
+            seed="shrink-union",
+            relations=(
+                RelationSpec("R1", (("a", 5), ("b", 5)), 10),
+                RelationSpec("R2", (("a", 5), ("b", 5)), 10),
+                RelationSpec("R3", (("a", 5), ("b", 5)), 10),
+            ),
+            data_seed=5,
+            query=QuerySpec(
+                relations=("R1",),
+                selections=(PredicateSpec("R1.b", "<=", literal=3),),
+                projection=("R1.a",),
+                branches=(
+                    QuerySpec(relations=("R2",), projection=("R2.a",)),
+                    culprit,
+                ),
+                union_all=False,
+            ),
+        )
+
+    def test_branch_drops_come_before_relation_drops(self):
+        proposals = list(_proposals(self._union_case()))
+        first = proposals[0].query
+        # The very first proposal removes a whole UNION branch.
+        assert len(first.branches) == 1
+
+    def test_shrinks_to_the_culprit_branch_alone(self):
+        """A failure living in one UNION branch minimizes to that branch
+        as a simple statement — branches are shrunk independently,
+        before any relation inside a branch is touched."""
+
+        def runner(case: FuzzCase) -> SimpleNamespace:
+            failing = "R3" in case.query.referenced_relations()
+            return SimpleNamespace(
+                checks=frozenset({"results-static"}) if failing else frozenset()
+            )
+
+        shrunk = shrink_case(
+            self._union_case(), frozenset({"results-static"}), run=runner
+        )
+        assert shrunk.query.branches == ()
+        assert shrunk.query.relations == ("R3",)
+        assert shrunk.query.selections == ()
+        assert [spec.name for spec in shrunk.relations] == ["R3"]
+
+    def test_semijoin_dropped_before_its_selections(self):
+        case = FuzzCase(
+            seed="shrink-semi",
+            relations=(
+                RelationSpec("R1", (("a", 5), ("b", 5)), 10),
+                RelationSpec("S1", (("a", 5), ("b", 5)), 6),
+            ),
+            data_seed=9,
+            query=QuerySpec(
+                relations=("R1",),
+                semijoins=(
+                    SemiJoinSpec(
+                        "R1.a",
+                        "S1",
+                        "S1.a",
+                        selections=(
+                            PredicateSpec("S1.b", "<=", literal=2),
+                        ),
+                        style="exists",
+                    ),
+                ),
+            ),
+        )
+
+        def runner(shrinking: FuzzCase) -> SimpleNamespace:
+            failing = bool(shrinking.query.semijoins)
+            return SimpleNamespace(
+                checks=frozenset({"g-equals-d"}) if failing else frozenset()
+            )
+
+        shrunk = shrink_case(case, frozenset({"g-equals-d"}), run=runner)
+        # The semi-join must survive (it is the failure) but loses its
+        # inner selections and decays from EXISTS to IN.
+        assert len(shrunk.query.semijoins) == 1
+        assert shrunk.query.semijoins[0].selections == ()
+        assert shrunk.query.semijoins[0].style == "in"
+
+    def test_outer_join_dropped_when_innocent(self):
+        case = FuzzCase(
+            seed="shrink-outer",
+            relations=(
+                RelationSpec("R1", (("a", 5), ("b", 5)), 10),
+                RelationSpec("T1", (("a", 5), ("b", 5)), 4),
+            ),
+            data_seed=2,
+            query=QuerySpec(
+                relations=("R1",),
+                selections=(PredicateSpec("R1.a", "<=", literal=3),),
+                outer=OuterJoinSpec("R1.a", "T1", "T1.a"),
+            ),
+        )
+
+        def runner(shrinking: FuzzCase) -> SimpleNamespace:
+            failing = any(
+                p.literal is not None for p in shrinking.query.selections
+            )
+            return SimpleNamespace(
+                checks=frozenset({"interval-containment"})
+                if failing
+                else frozenset()
+            )
+
+        shrunk = shrink_case(
+            case, frozenset({"interval-containment"}), run=runner
+        )
+        assert shrunk.query.outer is None
+        assert [spec.name for spec in shrunk.relations] == ["R1"]

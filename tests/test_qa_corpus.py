@@ -41,7 +41,7 @@ def test_artifact_replays_clean_at_dop4(path: Path):
 @pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
 def test_artifact_is_well_formed(path: Path):
     payload = json.loads(path.read_text())
-    assert payload["version"] == 1
+    assert payload["version"] in (1, 2)
     assert payload["generator_seed"]
     assert payload["original_sql"].startswith("SELECT")
     # The stored case round-trips through its JSON representation.

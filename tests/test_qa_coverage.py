@@ -1,0 +1,211 @@
+"""Plan-shape coverage: fingerprints, the coverage map, guided sweeps.
+
+Includes the acceptance benchmark: at equal case count, the
+coverage-guided fuzzer (corpus evolution through the profile schedule)
+must discover at least 1.5x the distinct plan shapes of the blind
+fuzzer (fixed default profile).  The measured numbers are written to
+``benchmarks/results/BENCH_qa_coverage.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.optimizer.optimizer import OptimizationMode
+from repro.optimizer.statement import optimize_statement
+from repro.qa import (
+    CaseGenerator,
+    CoverageMap,
+    collect_case_shapes,
+    coverage_sweep,
+    load_baseline,
+    plan_fingerprint,
+    plan_shape,
+    run_fuzz,
+)
+from repro.qa.coverage import SWEEP_DIMENSIONS
+from repro.qa.generator import PROFILE_SCHEDULE
+from repro.query.parser import parse_statement
+from repro.runtime.chooser import resolve_plan
+
+RESULTS = Path(__file__).parent.parent / "benchmarks" / "results"
+BASELINE = Path(__file__).parent / "qa_corpus" / "coverage_baseline.json"
+
+BENCH_SEED = "bench-qa-coverage-v1"
+BENCH_CASES = 240
+
+
+def _static_plan(case):
+    catalog = case.build_catalog()
+    statement = parse_statement(case.query.to_sql(), catalog).statement
+    return optimize_statement(
+        statement, catalog, CostModel(), mode=OptimizationMode.STATIC
+    ).plan
+
+
+class TestPlanFingerprint:
+    def test_deterministic_across_compilations(self):
+        case = CaseGenerator("fp-a").draw_case()
+        assert plan_fingerprint(_static_plan(case)) == plan_fingerprint(
+            _static_plan(case)
+        )
+        assert len(plan_fingerprint(_static_plan(case))) == 12
+
+    def test_insensitive_to_literals_and_names(self):
+        """Shape forgets run-specific detail: two different seeds that
+        compile to the same operator-kind set at the same depth share a
+        fingerprint even though relations, literals, and attributes all
+        differ."""
+        shapes = {}
+        generator = CaseGenerator("fp-collide")
+        for _ in range(40):
+            case = generator.draw_case()
+            plan = _static_plan(case)
+            shapes.setdefault(plan_shape(plan), set()).add(
+                plan_fingerprint(plan)
+            )
+        assert shapes, "no cases generated"
+        for fingerprints in shapes.values():
+            assert len(fingerprints) == 1  # same shape -> same fingerprint
+        assert len(shapes) < 40  # and distinct seeds do collide
+
+    def test_activated_shape_differs_from_dynamic(self):
+        """Resolving a dynamic plan removes the Choose-Plan operator
+        kind, so an activated fingerprint never equals the dynamic one
+        when decisions exist."""
+        from repro.qa.invariants import derive_parameter_values
+        from repro.executor.database import Database
+
+        generator = CaseGenerator("fp-dynamic")
+        for _ in range(30):
+            case = generator.draw_case()
+            catalog = case.build_catalog()
+            statement = parse_statement(
+                case.query.to_sql(), catalog
+            ).statement
+            dynamic = optimize_statement(
+                statement, catalog, CostModel(), mode=OptimizationMode.DYNAMIC
+            )
+            if dynamic.choose_plan_count == 0:
+                continue
+            db = Database(catalog, CostModel())
+            db.load_synthetic(case.data_seed)
+            values = derive_parameter_values(case, statement, db)
+            decision = resolve_plan(
+                dynamic.plan,
+                dynamic.ctx.with_env(statement.parameters.bind(values)),
+            )
+            kinds, _depth = plan_shape(dynamic.plan)
+            assert "Choose-Plan" in kinds
+            activated_kinds, _ = plan_shape(dynamic.plan, decision.choices)
+            assert "Choose-Plan" not in activated_kinds
+            assert plan_fingerprint(dynamic.plan) != plan_fingerprint(
+                dynamic.plan, decision.choices
+            )
+            return
+        pytest.fail("no dynamic plan with choose-plan decisions generated")
+
+
+class TestCoverageMap:
+    def test_record_reports_newness_per_dimension(self):
+        coverage = CoverageMap()
+        assert coverage.record("static", "abc") is True
+        assert coverage.record("static", "abc") is False
+        assert coverage.record("dynamic", "abc") is True  # new dimension
+        assert coverage.distinct_shapes == 2
+        assert coverage.distinct_fingerprints == 1
+
+    def test_json_round_trip(self):
+        coverage = CoverageMap()
+        coverage.record("static", "aaa")
+        coverage.record("dop4", "bbb")
+        rebuilt = CoverageMap.from_json(coverage.to_json())
+        assert rebuilt.to_json() == coverage.to_json()
+        assert rebuilt.distinct_shapes == 2
+
+    def test_collect_case_shapes_covers_all_sweep_dimensions(self):
+        case = CaseGenerator("fp-dims").draw_case()
+        shapes = collect_case_shapes(case)
+        assert set(shapes) == set(SWEEP_DIMENSIONS)
+        for fingerprints in shapes.values():
+            assert fingerprints
+
+
+class TestGuidedLoop:
+    def test_guided_prefix_matches_blind_until_first_evolution(self):
+        """Same seed, same draws: guidance must not perturb generation
+        until the corpus actually evolves."""
+        blind = coverage_sweep("prefix-check", 20, guided=False)
+        guided = coverage_sweep("prefix-check", 20, guided=True)
+        if guided.profile_advances == 0:
+            assert (
+                guided.coverage.to_json() == blind.coverage.to_json()
+            )
+
+    def test_guided_advances_through_schedule(self):
+        result = coverage_sweep("advance-check", 120, guided=True)
+        assert result.profile_advances >= 1
+        assert result.profile_names[0] == "default"
+        assert result.profile_names == [
+            p.name
+            for p in PROFILE_SCHEDULE[: result.profile_advances + 1]
+        ]
+
+    def test_run_fuzz_coverage_report(self, tmp_path):
+        report = run_fuzz(
+            "fuzz-cov-unit",
+            cases=12,
+            shrink=False,
+            coverage=True,
+            check_service_every=0,
+            check_parallel_every=0,
+            check_ledger_every=0,
+            check_adaptive_every=0,
+        )
+        assert report.ok
+        payload = report.coverage_json()
+        assert payload["distinct_shapes"] == report.coverage.distinct_shapes
+        assert payload["cases"] == 12
+        # The executor-mode dimensions ride along with the sweep's.
+        assert "batch" in payload["by_dimension"]
+        for dimension in SWEEP_DIMENSIONS:
+            assert dimension in payload["by_dimension"]
+
+
+class TestCoverageBenchmark:
+    def test_guided_discovers_1_5x_shapes_of_blind(self):
+        """Acceptance: coverage guidance beats blind fuzzing >= 1.5x on
+        distinct plan shapes at equal case count."""
+        blind = coverage_sweep(BENCH_SEED, BENCH_CASES, guided=False)
+        guided = coverage_sweep(BENCH_SEED, BENCH_CASES, guided=True)
+        b = blind.coverage.distinct_shapes
+        g = guided.coverage.distinct_shapes
+        ratio = g / b
+        RESULTS.mkdir(parents=True, exist_ok=True)
+        (RESULTS / "BENCH_qa_coverage.json").write_text(
+            json.dumps(
+                {
+                    "seed": BENCH_SEED,
+                    "cases": BENCH_CASES,
+                    "blind": blind.to_json(),
+                    "guided": guided.to_json(),
+                    "ratio": ratio,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        assert ratio >= 1.5, (
+            f"guided fuzzing found {g} distinct shapes vs blind {b} "
+            f"({ratio:.2f}x < 1.5x) over {BENCH_CASES} cases"
+        )
+
+    def test_checked_in_baseline_matches_loader(self):
+        floor = load_baseline(BASELINE)
+        assert floor > 0
+        payload = json.loads(BASELINE.read_text())
+        assert payload["distinct_shapes"] == floor

@@ -132,7 +132,7 @@ class TestInjectedCostModelBug:
         assert report.failures
         path = report.failures[0].artifact_path
         payload = json.loads(path.read_text())
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["generator_seed"] == "inject-a/8"
         assert payload["violations"]
         case = load_artifact(path)
