@@ -351,6 +351,28 @@ class Catalog:
             catalog.declare_unique(qualified_name)
         return catalog
 
+    def replace_statistics(self, relation_name: str, cardinality: int) -> None:
+        """Replace a relation's cardinality *without* bumping the version.
+
+        This is the shard-local statistics derivation hook: a shard's
+        catalog must differ from the coordinator's only in its numbers —
+        the version has to stay identical so access modules compiled by
+        the coordinator still validate shard-side (same rationale as
+        :meth:`set_histogram`: better statistics never invalidate a plan).
+        Simulated database growth should keep using
+        :meth:`set_cardinality`, which does bump.
+        """
+        with self._lock:
+            info = self.relation(relation_name)
+            self._relations[relation_name] = RelationInfo(
+                name=info.name,
+                schema=info.schema,
+                stats=RelationStats(
+                    cardinality=cardinality, record_bytes=info.stats.record_bytes
+                ),
+                indexes=info.indexes,
+            )
+
     def set_cardinality(self, relation_name: str, cardinality: int) -> None:
         """Update a relation's cardinality (simulates database growth)."""
         with self._lock:

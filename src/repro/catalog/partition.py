@@ -1,0 +1,112 @@
+"""Horizontal partitioning: row placement and shard-local catalog stats.
+
+The sharded serving layer partitions ONE relation per query (the
+"driver") across shards and gives every shard a full copy of the rest,
+so the union of per-shard results equals the single-process result for
+any join shape — partitioning every relation independently would lose
+cross-shard join pairs.  This module owns the two deterministic pieces
+of that contract:
+
+* **row placement** — which rows of a relation a given shard stores,
+  computed identically on the coordinator and on every shard from
+  ``(rows, shard_id, shard_count, mode)`` alone.  Hash placement uses
+  ``int(value) % shard_count`` on the partition column (never
+  ``hash(str)``: spawn children randomize the string hash seed), and
+  round-robin uses the row index, so both are stable across processes.
+* **shard-local statistics** — a derived catalog whose numbers describe
+  the shard's partition while its *version stays the coordinator's*, so
+  access modules compiled centrally still validate shard-side but their
+  choose-plan start-up decisions run against local cardinalities (the
+  paper's start-up decision, made N times with N different answers).
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from typing import Mapping, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.errors import CatalogError
+
+
+class PartitionMode(str, enum.Enum):
+    """How a driver relation's rows are placed across shards."""
+
+    HASH = "hash"
+    ROUND_ROBIN = "round-robin"
+
+
+def partition_column(catalog: Catalog, relation: str) -> int:
+    """Position of the partition key column for hash placement.
+
+    Prefers the first declared unary key (perfectly even spread for
+    sampled-without-replacement key columns); falls back to the first
+    attribute.
+    """
+    info = catalog.relation(relation)
+    for position, attribute in enumerate(info.schema):
+        if catalog.is_unique(attribute.qualified_name):
+            return position
+    return 0
+
+
+def partition_rows(
+    rows: Sequence[tuple],
+    shard_id: int,
+    shard_count: int,
+    mode: PartitionMode = PartitionMode.HASH,
+    key_position: int = 0,
+) -> list[tuple]:
+    """The slice of ``rows`` that shard ``shard_id`` stores.
+
+    Every shard (and the coordinator) computes this from the same full
+    row list, so no row ever ships over a pipe: partitions are
+    *re-derived*, not transferred.  The two modes cover both the
+    disjoint-union invariant (each row lands on exactly one shard) and
+    determinism across processes.
+    """
+    if not 0 <= shard_id < shard_count:
+        raise CatalogError(
+            f"shard_id {shard_id} out of range for {shard_count} shards"
+        )
+    if mode is PartitionMode.ROUND_ROBIN:
+        return list(rows[shard_id::shard_count])
+    return [
+        row for row in rows if int(row[key_position]) % shard_count == shard_id
+    ]
+
+
+def partition_cardinalities(
+    rows: Sequence[tuple],
+    shard_count: int,
+    mode: PartitionMode = PartitionMode.HASH,
+    key_position: int = 0,
+) -> list[int]:
+    """Per-shard partition sizes for one relation (coordinator-side view)."""
+    counts = [0] * shard_count
+    if mode is PartitionMode.ROUND_ROBIN:
+        for index in range(len(rows)):
+            counts[index % shard_count] += 1
+    else:
+        for row in rows:
+            counts[int(row[key_position]) % shard_count] += 1
+    return counts
+
+
+def derive_shard_catalog(
+    catalog: Catalog, cardinalities: Mapping[str, int]
+) -> Catalog:
+    """A shard-local catalog: given relations re-sized, version preserved.
+
+    ``cardinalities`` maps partitioned relation names to their shard-local
+    row counts; every other relation keeps its full statistics (the shard
+    holds a full copy).  The clone's version equals ``catalog.version`` —
+    statistics replacement is not DDL — which is exactly what lets a
+    centrally compiled access module validate on the shard while its
+    start-up decisions legitimately diverge.
+    """
+    clone = copy.deepcopy(catalog)
+    for name, cardinality in cardinalities.items():
+        clone.replace_statistics(name, cardinality)
+    return clone

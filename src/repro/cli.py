@@ -186,6 +186,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execute under the mid-query re-optimization controller and "
         "print the adaptive section (replan events, re-opt latency)",
     )
+    analyze_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also execute through a sharded service at N in-process "
+        "shards and print each shard's start-up decision vs the "
+        "coordinator baseline (shard-local statistics may legitimately "
+        "change choose-plan outcomes)",
+    )
     analyze_cmd.set_defaults(handler=_cmd_analyze)
 
     run_cmd = commands.add_parser(
@@ -352,6 +362,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parallel_cmd.set_defaults(handler=_cmd_parallel_bench)
 
+    shard_cmd = commands.add_parser(
+        "shard-bench",
+        help="single-process thread pool vs multiprocess sharded serving "
+        "on a Zipfian point-lookup + analytics workload (asserts "
+        "byte-identical results; full mode gates on the 5x speedup "
+        "target at 8 shards)",
+    )
+    shard_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard process count (default: 8 full, 2 smoke)",
+    )
+    shard_cmd.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced configuration for CI (2 shards, small relations, "
+        "correctness asserted, no speedup gate)",
+    )
+    shard_cmd.add_argument(
+        "--output",
+        type=Path,
+        default=Path("benchmarks/results/BENCH_shard.json"),
+        metavar="FILE",
+        help="JSON benchmark artifact path",
+    )
+    shard_cmd.set_defaults(handler=_cmd_shard_bench)
+
     exec_cmd = commands.add_parser(
         "exec-bench",
         help="row-at-a-time vs vectorized batch execution wall time "
@@ -461,6 +500,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "g = d post-splice) every Nth case (0 disables; default 4)",
     )
     fuzz_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the sharded differential (coordinator + N in-process "
+        "shards vs the oracle, per-shard g = d by exhaustive choose-plan "
+        "enumeration) every --sharded-every cases (0 disables; default 0)",
+    )
+    fuzz_cmd.add_argument(
+        "--sharded-every",
+        type=int,
+        default=4,
+        metavar="N",
+        help="throttle for the --shards differential: every Nth case "
+        "(0 disables; default 4)",
+    )
+    fuzz_cmd.add_argument(
         "--smoke",
         action="store_true",
         help="fixed-seed 150-case run for CI (overrides --seed/--cases; "
@@ -506,6 +562,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metrics_cmd,
         serve_cmd,
         parallel_cmd,
+        shard_cmd,
         exec_cmd,
         adaptive_cmd,
         fuzz_cmd,
@@ -717,9 +774,64 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
     if adaptive_run is not None:
         _print_adaptive(adaptive_run)
+    if args.shards:
+        _print_sharded(
+            args.sql,
+            catalog,
+            value_bindings,
+            OptimizationMode(args.mode),
+            args.seed,
+            args.shards,
+        )
     if args.top:
         _print_top(args.top, result.operator_stats, get_ledger())
     return 0
+
+
+def _print_sharded(
+    sql, catalog, value_bindings, mode, seed, shards
+) -> None:
+    """The ``analyze --shards N`` report section: each shard re-runs the
+    start-up decision against its local statistics; divergence from the
+    coordinator's baseline is expected behaviour worth seeing."""
+    from repro.shard.coordinator import ShardedQueryService
+
+    service = ShardedQueryService(
+        catalog,
+        CostModel(),
+        shards=shards,
+        workers=1,
+        in_process=True,
+        seed=seed,
+    )
+    try:
+        sharded = service.execute(sql, value_bindings, mode=mode)
+    finally:
+        service.close()
+    print(
+        f"\nsharded ({shards} in-process shards, driver "
+        f"{sharded.driver!r}): {sharded.row_count} rows, "
+        f"{sharded.decision_divergence} diverged start-up decision(s)"
+    )
+    print(
+        "  coordinator baseline: "
+        f"{[list(pair) for pair in sharded.baseline_decision]}"
+    )
+    if len(sharded.shard_decisions) < shards:
+        print(
+            f"  (partition-pruned: routed to "
+            f"{len(sharded.shard_decisions)} shard(s))"
+        )
+    for shard_id, signature in enumerate(sharded.shard_decisions):
+        marker = (
+            "  <- diverged"
+            if signature != sharded.baseline_decision
+            else ""
+        )
+        print(
+            f"  shard {shard_id}: "
+            f"{[list(pair) for pair in signature]}{marker}"
+        )
 
 
 def _print_adaptive(adaptive_run) -> None:
@@ -1018,6 +1130,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"backpressure: {report.rejections} overload rejections "
         f"(retried), {report.failed} failures"
     )
+    if report.rejections:
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(report.shed_load_reasons.items())
+        )
+        print(
+            f"shed load: {reasons} (max retry_after_hint "
+            f"{report.max_retry_after_hint * 1e3:.2f} ms, max queue depth "
+            f"{report.max_rejection_queue_depth})"
+        )
     print(
         f"telemetry drift phase: {drift['plan_regressions']} plan "
         f"regression(s), {drift['out_of_interval_entries']} out-of-interval "
@@ -1082,6 +1204,60 @@ def _cmd_parallel_bench(args: argparse.Namespace) -> int:
     top = max(payload["runs"], key=lambda run: run["dop"])
     if top["speedup"] < 2.0:
         print(f"FAIL: DOP={top['dop']} speedup below the 2x acceptance bar")
+        ok = False
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+def _cmd_shard_bench(args: argparse.Namespace) -> int:
+    from repro.shard.bench import SMOKE_CONFIG, SPEEDUP_TARGET, run_shard_bench
+
+    config = dict(SMOKE_CONFIG) if args.smoke else {}
+    if args.shards is not None:
+        if args.shards < 1:
+            raise ValueError("--shards must be at least 1")
+        config["shards"] = args.shards
+    payload = run_shard_bench(**config)
+
+    correctness = payload["correctness"]
+    print(
+        f"correctness: {correctness['statements_verified']} statement(s) "
+        f"byte-identical to single-process execution"
+    )
+    for index, round_ in enumerate(payload["rounds"]):
+        print(
+            f"round {index}: baseline {round_['baseline_qps']:,.1f} qps, "
+            f"sharded {round_['sharded_qps']:,.1f} qps "
+            f"(speedup {round_['speedup']:.2f}x)"
+        )
+    base, shard = payload["baseline"], payload["sharded"]
+    print(
+        f"best: {payload['speedup']:.2f}x at "
+        f"{payload['config']['shards']} shards "
+        f"(baseline p99 {base['latency_p99_seconds'] * 1e3:.1f} ms, "
+        f"sharded p99 {shard['latency_p99_seconds'] * 1e3:.1f} ms)"
+    )
+    routed = payload["metrics"].get("shard.routed", 0)
+    scattered = payload["metrics"].get("shard.scattered", 0)
+    print(
+        f"routing: {routed} partition-pruned invocation(s), "
+        f"{scattered} scatter/gather invocation(s)"
+    )
+    for sql, stat in payload["decision_divergence"].items():
+        if stat["diverged_invocations"]:
+            print(
+                f"divergence: {stat['diverged_shards']} shard decision(s) "
+                f"across {stat['diverged_invocations']}/"
+                f"{stat['invocations']} invocation(s) for {sql!r}"
+            )
+    ok = True
+    if not args.smoke and not payload["speedup_ok"]:
+        print(
+            f"FAIL: speedup {payload['speedup']:.2f}x below the "
+            f"{SPEEDUP_TARGET:.0f}x acceptance bar"
+        )
         ok = False
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -1183,6 +1359,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         check_batch_every=args.batch_every,
         check_ledger_every=args.ledger_every,
         check_adaptive_every=args.adaptive_every,
+        shards=args.shards,
+        check_sharded_every=args.sharded_every,
         coverage=coverage,
         log=print,
     )

@@ -52,9 +52,53 @@ class ServiceError(ReproError):
 class ServiceOverloadedError(ServiceError):
     """Admission control rejected the invocation: the queue is full.
 
-    Backpressure signal — callers should retry later or shed load."""
+    Backpressure signal — callers should retry later or shed load.
+    ``retry_after_hint`` is the service's machine-readable estimate (in
+    seconds) of when capacity should free up — queue depth times the
+    recent per-request latency, divided across the workers —
+    and ``queue_depth`` is the number of requests pending at rejection
+    time.  Both are carried on the exception so clients and load drivers
+    can implement informed backoff instead of parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_hint: float = 0.0,
+        queue_depth: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_hint = retry_after_hint
+        self.queue_depth = queue_depth
+
+    def as_dict(self) -> dict[str, object]:
+        """Machine-readable shed-load record (CLI and benchmark reports)."""
+        return {
+            "reason": str(self),
+            "retry_after_hint": self.retry_after_hint,
+            "queue_depth": self.queue_depth,
+        }
 
 
 class ServiceClosedError(ServiceError):
     """The query service is shut down (or shutting down) and accepts no
     new invocations."""
+
+
+class ShardFailedError(ServiceError):
+    """A shard process died or stopped responding mid-request.
+
+    Raised by the scatter/gather coordinator after its retry-once policy
+    is exhausted: the failed shard owns a horizontal partition of the
+    data, so its loss can never be papered over with partial results.
+    ``shard_id`` names the failed shard; ``retried`` records whether a
+    restart-and-resend was already attempted for the request.
+    """
+
+    def __init__(
+        self, message: str, *, shard_id: int = -1, retried: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.retried = retried

@@ -22,6 +22,68 @@ from repro.logical.predicates import CompareOp, HostVariable, SelectionPredicate
 from repro.util.rng import make_rng
 
 
+def synthetic_rows(catalog: Catalog, seed: int = 0) -> dict[str, list[tuple]]:
+    """The synthetic dataset for ``catalog``, keyed by relation name.
+
+    This is the generator behind :meth:`Database.load_synthetic`, exposed
+    separately so shard processes can regenerate the exact same dataset
+    from ``(catalog, seed)`` and slice out their partition locally instead
+    of shipping rows over a pipe.  The RNG draw order is part of the
+    contract: one stream, relations in ``catalog.relation_names`` order,
+    column-wise for relations with declared unary keys and row-major
+    otherwise — changing it would silently re-deal every seeded dataset.
+    """
+    rng = make_rng(seed)
+    dataset: dict[str, list[tuple]] = {}
+    for name in catalog.relation_names:
+        info = catalog.relation(name)
+        unique = [
+            catalog.is_unique(attribute.qualified_name)
+            for attribute in info.schema
+        ]
+        if any(unique):
+            # Column-wise generation: declared unary keys sample
+            # without replacement so the key constraint actually holds
+            # in the data (the cardinality estimator relies on it).
+            cardinality = info.stats.cardinality
+            columns = []
+            for attribute, is_key in zip(info.schema, unique):
+                if is_key:
+                    if attribute.domain_size < cardinality:
+                        raise ValueError(
+                            f"unique attribute {attribute.qualified_name} "
+                            f"has domain {attribute.domain_size} < "
+                            f"cardinality {cardinality}"
+                        )
+                    columns.append(
+                        rng.sample(range(attribute.domain_size), cardinality)
+                    )
+                else:
+                    columns.append(
+                        [
+                            rng.randrange(attribute.domain_size)
+                            for _ in range(cardinality)
+                        ]
+                    )
+            rows = [
+                tuple(column[i] for column in columns)
+                for i in range(cardinality)
+            ]
+        else:
+            # Row-major draw order: relations without key constraints
+            # keep the historical RNG stream so existing seeds, fuzz
+            # artifacts, and experiments reproduce byte-identically.
+            rows = [
+                tuple(
+                    rng.randrange(attribute.domain_size)
+                    for attribute in info.schema
+                )
+                for _ in range(info.stats.cardinality)
+            ]
+        dataset[name] = rows
+    return dataset
+
+
 class Database:
     """Catalog + stored data + indexes over one simulated disk."""
 
@@ -52,49 +114,7 @@ class Database:
         Each attribute draws uniformly from ``range(domain_size)``; indexes
         are bulk-built from the loaded data.  Deterministic given ``seed``.
         """
-        rng = make_rng(seed)
-        for name in self.catalog.relation_names:
-            info = self.catalog.relation(name)
-            unique = [
-                self.catalog.is_unique(attribute.qualified_name)
-                for attribute in info.schema
-            ]
-            if any(unique):
-                # Column-wise generation: declared unary keys sample
-                # without replacement so the key constraint actually holds
-                # in the data (the cardinality estimator relies on it).
-                cardinality = info.stats.cardinality
-                columns = []
-                for attribute, is_key in zip(info.schema, unique):
-                    if is_key:
-                        if attribute.domain_size < cardinality:
-                            raise ValueError(
-                                f"unique attribute {attribute.qualified_name} "
-                                f"has domain {attribute.domain_size} < "
-                                f"cardinality {cardinality}"
-                            )
-                        columns.append(
-                            rng.sample(range(attribute.domain_size), cardinality)
-                        )
-                    else:
-                        columns.append(
-                            [
-                                rng.randrange(attribute.domain_size)
-                                for _ in range(cardinality)
-                            ]
-                        )
-                rows = [tuple(column[i] for column in columns) for i in range(cardinality)]
-            else:
-                # Row-major draw order: relations without key constraints
-                # keep the historical RNG stream so existing seeds, fuzz
-                # artifacts, and experiments reproduce byte-identically.
-                rows = [
-                    tuple(
-                        rng.randrange(attribute.domain_size)
-                        for attribute in info.schema
-                    )
-                    for _ in range(info.stats.cardinality)
-                ]
+        for name, rows in synthetic_rows(self.catalog, seed).items():
             self.load_relation(name, rows)
 
     def load_relation(self, name: str, rows: list[tuple]) -> None:

@@ -108,6 +108,12 @@ class Timer:
             self._seconds += seconds
             self._count += 1
 
+    def merge(self, seconds: float, count: int) -> None:
+        """Fold another process's accumulated duration into this timer."""
+        with self._lock:
+            self._seconds += seconds
+            self._count += count
+
     @contextmanager
     def time(self) -> Iterator[None]:
         started = time.perf_counter()
@@ -189,6 +195,33 @@ class Histogram:
                         return min(self._boundaries[index], self._max)
                     return self._max
             return self._max
+
+    def merge(
+        self,
+        counts: list[int],
+        total: float,
+        count: int,
+        maximum: float,
+        boundaries: tuple[float, ...] | None = None,
+    ) -> None:
+        """Fold another histogram's state into this one.
+
+        The fixed logarithmic boundaries make bucket counts directly
+        addable across processes; ``boundaries`` (when given) must match
+        ours exactly — merging histograms with different bucket layouts
+        would silently corrupt quantiles.
+        """
+        if boundaries is not None and tuple(boundaries) != self._boundaries:
+            raise ValueError("cannot merge histograms with different boundaries")
+        if len(counts) != len(self._counts):
+            raise ValueError("cannot merge histograms with different bucket counts")
+        with self._lock:
+            for index, bucket_count in enumerate(counts):
+                self._counts[index] += bucket_count
+            self._sum += total
+            self._count += count
+            if maximum > self._max:
+                self._max = maximum
 
     @property
     def p50(self) -> float:
@@ -295,6 +328,59 @@ class MetricsRegistry:
                 "timers": dict(sorted(self._timers.items())),
                 "histograms": dict(sorted(self._histograms.items())),
             }
+
+    # ------------------------------------------------------------------
+    # Cross-process merge
+    # ------------------------------------------------------------------
+    def dump_state(self) -> dict[str, object]:
+        """JSON-compatible full state, for shipping across process
+        boundaries and folding into another registry with
+        :meth:`merge_state`.  Unlike :meth:`snapshot` this keeps raw
+        histogram bucket counts so quantiles stay mergeable."""
+        collected = self.collect()
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in collected["counters"].items()
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in collected["gauges"].items()
+            },
+            "timers": {
+                name: {"seconds": timer.seconds, "count": timer.count}
+                for name, timer in collected["timers"].items()
+            },
+            "histograms": {
+                name: {
+                    "boundaries": list(histogram.boundaries),
+                    "counts": histogram.bucket_counts(),
+                    "sum": histogram.sum,
+                    "count": histogram.count,
+                    "max": histogram.max,
+                }
+                for name, histogram in collected["histograms"].items()
+            },
+        }
+
+    def merge_state(self, state: dict[str, object]) -> None:
+        """Fold a :meth:`dump_state` payload (typically from a shard
+        process) into this registry: counters and timers add, gauges keep
+        the maximum (they report high-water marks here), histograms add
+        bucket counts."""
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).max(value)
+        for name, data in state.get("timers", {}).items():
+            self.timer(name).merge(data["seconds"], data["count"])
+        for name, data in state.get("histograms", {}).items():
+            self.histogram(name, tuple(data["boundaries"])).merge(
+                data["counts"],
+                data["sum"],
+                data["count"],
+                data["max"],
+                boundaries=tuple(data["boundaries"]),
+            )
 
     def reset(self) -> None:
         """Drop every metric (tests and repeated CLI runs)."""

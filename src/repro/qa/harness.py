@@ -32,7 +32,7 @@ from repro.qa.invariants import CaseOutcome, Violation, run_case
 from repro.qa.shrinker import shrink_case
 
 Runner = Callable[
-    [FuzzCase, bool, tuple[int, ...], bool, bool, bool], CaseOutcome
+    [FuzzCase, bool, tuple[int, ...], bool, bool, bool, int], CaseOutcome
 ]
 
 # Version 2: cases may carry compound-grammar fields (UNION branches,
@@ -70,6 +70,7 @@ class FuzzReport:
     batch_checked: int = 0
     ledger_checked: int = 0
     adaptive_checked: int = 0
+    sharded_checked: int = 0
     coverage: CoverageMap | None = None
     new_shape_cases: int = 0
     profile_advances: int = 0
@@ -94,6 +95,7 @@ class FuzzReport:
             f"batch-checked={self.batch_checked} "
             f"ledger-checked={self.ledger_checked} "
             f"adaptive-checked={self.adaptive_checked} "
+            f"sharded-checked={self.sharded_checked} "
             f"{shapes}"
             f"time={self.duration_seconds:.1f}s: {status}"
         )
@@ -122,6 +124,7 @@ def _default_runner(
     check_batch: bool = False,
     check_ledger: bool = False,
     check_adaptive: bool = False,
+    shards: int = 0,
 ) -> CaseOutcome:
     return run_case(
         case,
@@ -130,6 +133,7 @@ def _default_runner(
         check_batch=check_batch,
         check_ledger=check_ledger,
         check_adaptive=check_adaptive,
+        shards=shards,
     )
 
 
@@ -144,6 +148,8 @@ def run_fuzz(
     check_batch_every: int = 2,
     check_ledger_every: int = 4,
     check_adaptive_every: int = 4,
+    shards: int = 0,
+    check_sharded_every: int = 4,
     coverage: bool = False,
     evolve_after: int = EVOLVE_AFTER,
     stage_budget: int = STAGE_BUDGET,
@@ -163,7 +169,12 @@ def run_fuzz(
     oracle's intermediate sizes), and ``check_adaptive_every`` for the
     mid-query re-optimization differential (the dynamic plan re-executed
     under the adaptive controller, hair-trigger threshold, across
-    executor modes and parallel degrees).  ``runner`` lets tests
+    executor modes and parallel degrees).  ``shards`` > 0 turns on the
+    sharded differential (the case executed through an in-process
+    :class:`~repro.shard.coordinator.ShardedQueryService` at that many
+    shards, compared against the oracle, with per-shard gᵢ = dᵢ verified
+    by exhaustive choose-plan enumeration), throttled to every
+    ``check_sharded_every``-th case.  ``runner`` lets tests
     substitute an
     instrumented :func:`~repro.qa.invariants.run_case` (e.g. with an
     injected bug).
@@ -218,6 +229,15 @@ def run_fuzz(
         )
         if check_adaptive:
             report.adaptive_checked += 1
+        case_shards = (
+            shards
+            if shards
+            and check_sharded_every
+            and index % check_sharded_every == 0
+            else 0
+        )
+        if case_shards:
+            report.sharded_checked += 1
         if coverage:
             assert report.coverage is not None
             in_stage += 1
@@ -258,7 +278,7 @@ def run_fuzz(
                 in_stage = 0
         outcome = run(
             case, check_service, case_dops, check_batch, check_ledger,
-            check_adaptive,
+            check_adaptive, case_shards,
         )
         if outcome.passed:
             if log and (index + 1) % 25 == 0:
@@ -277,21 +297,31 @@ def run_fuzz(
             # proposal and steers the greedy walk into worse minima); it
             # stays only when it is the sole failing signal.
             serial_failure = any(
-                not check.startswith("parallel-") for check in outcome.checks
+                not check.startswith(("parallel-", "sharded-"))
+                for check in outcome.checks
             )
             shrink_dops = () if serial_failure else case_dops
+            # The sharded differential joins the shrink loop only when a
+            # sharded invariant is the sole reproducing signal (it costs
+            # a full service per proposal).
+            shrink_shards = (
+                case_shards
+                if not serial_failure
+                and any(c.startswith("sharded-") for c in outcome.checks)
+                else 0
+            )
             shrunk = shrink_case(
                 case,
                 outcome.checks,
                 run=lambda c: run(
                     c, True, shrink_dops, check_batch, check_ledger,
-                    check_adaptive,
+                    check_adaptive, shrink_shards,
                 ),
             )
             failure.shrunk = shrunk
             failure.shrunk_violations = run(
                 shrunk, True, shrink_dops, check_batch, check_ledger,
-                check_adaptive,
+                check_adaptive, shrink_shards,
             ).violations
             if log:
                 log(
@@ -345,12 +375,16 @@ def load_artifact(path: str | Path) -> FuzzCase:
 
 
 def replay_artifact(
-    path: str | Path, parallel_dops: tuple[int, ...] = ()
+    path: str | Path,
+    parallel_dops: tuple[int, ...] = (),
+    shards: int = 0,
 ) -> CaseOutcome:
     """Re-run every invariant checker on an artifact's stored case.
 
     ``parallel_dops`` additionally replays the case through parallel
-    execution at the given degrees (see :func:`~repro.qa.invariants.run_case`).
+    execution at the given degrees (see :func:`~repro.qa.invariants.run_case`);
+    ``shards`` > 0 additionally replays it through the sharded
+    differential at that many in-process shards.
     Replay always includes the batch-vs-row, telemetry-ledger, and
     adaptive differentials — artifacts are rare and worth the extra
     executions.
@@ -362,4 +396,5 @@ def replay_artifact(
         check_batch=True,
         check_ledger=True,
         check_adaptive=True,
+        shards=shards,
     )

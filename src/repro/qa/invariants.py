@@ -26,6 +26,15 @@ For each generated case the checkers cross-validate every layer:
   keep holding at every DOP binding.
 * **service** — :class:`QueryService` (cold, then through the plan cache)
   must return byte-identical canonical results to direct execution.
+* **sharded** — :class:`ShardedQueryService` over N in-process shards
+  (identical :class:`~repro.shard.executor.ShardExecutor` code to the
+  spawned processes) must return the oracle's canonical multiset and
+  stay sorted under ORDER BY; and per shard i the activated module's
+  start-up choice cost gᵢ must equal dᵢ, the *exhaustive-enumeration*
+  optimum over every choose-plan assignment of the shard's activated
+  plan re-costed under the shard's local statistics — the paper's
+  ∀i gᵢ = dᵢ, evaluated once per shard against a brute-force oracle
+  that shares nothing with the chooser's greedy bottom-up procedure.
 * **ledger** — with the telemetry ledger enabled, the observed
   cardinality recorded at every pipeline breaker (sort, hash-join build,
   aggregation) must equal the oracle's intermediate result size for that
@@ -272,6 +281,7 @@ def run_case(
     check_ledger: bool = False,
     check_adaptive: bool = False,
     check_cert: bool = True,
+    shards: int = 0,
 ) -> CaseOutcome:
     """Run every invariant checker against one case.
 
@@ -286,7 +296,11 @@ def run_case(
     CERT-style monotonicity oracle: adding an always-true conjunctive
     restriction must never increase the estimated cardinality, must not
     increase the estimated cost beyond one filter pass, and must keep
-    g = d on the restricted statement.
+    g = d on the restricted statement.  ``shards`` > 0 enables the
+    sharded differential: the case is additionally executed through a
+    :class:`~repro.shard.coordinator.ShardedQueryService` at that many
+    in-process shards and compared against the oracle, with per-shard
+    gᵢ = dᵢ verified against an exhaustive choose-plan enumeration.
     """
     outcome = CaseOutcome(case=case)
 
@@ -304,6 +318,7 @@ def run_case(
             check_ledger,
             check_adaptive,
             check_cert,
+            shards,
         )
     except Exception as exc:  # any crash is itself a finding
         report("crash", f"{type(exc).__name__}: {exc}")
@@ -320,6 +335,7 @@ def _run_checks(
     check_ledger=False,
     check_adaptive=False,
     check_cert=True,
+    shards=0,
 ) -> None:
     catalog = case.build_catalog()
     db = Database(catalog, model)
@@ -481,6 +497,19 @@ def _run_checks(
     if check_service and simple:
         _check_service(
             case, catalog, model, attributes, executions["dynamic"], report
+        )
+
+    # --- sharded serving (same SPJ front door) ------------------------
+    if shards and simple:
+        _check_sharded(
+            case,
+            catalog,
+            model,
+            attributes,
+            oracle,
+            required_order,
+            report,
+            shards,
         )
 
 
@@ -1068,3 +1097,151 @@ def _check_service(case, catalog, model, attributes, direct, report) -> None:
             "service-cache",
             "second identical invocation did not hit the plan cache",
         )
+
+
+#: Exhaustive-enumeration budget for the per-shard d_i oracle; plans
+#: with more choose-plan assignment combinations skip the brute force
+#: (the end-to-end result differential still runs).
+_SHARD_ENUMERATION_LIMIT = 512
+
+
+def _forced_plan_cost(plan, nodes, forced, ctx) -> float:
+    """Total cost of ``plan`` with every choose-plan pinned by ``forced``.
+
+    An independent re-implementation of the chooser's bottom-up cost
+    fold — but with the decisions *given*, so enumerating all ``forced``
+    assignments yields the true optimum of the plan DAG without trusting
+    the chooser's greedy per-node minimization.
+    """
+    from repro.parallel.plan import ExchangeNode
+
+    table: dict[int, tuple] = {}
+    for node in nodes:
+        if isinstance(node, ChoosePlanNode):
+            table[id(node)] = table[id(forced[id(node)])]
+        elif isinstance(node, ExchangeNode):
+            (entry,) = [table[id(child)] for child in node.inputs]
+            table[id(node)] = node.bound_total(ctx, entry[0], entry[1])
+        else:
+            entries = [table[id(child)] for child in node.inputs]
+            card, self_cost, order = node.recompute(
+                ctx, [e[0] for e in entries], [e[2] for e in entries]
+            )
+            total = self_cost
+            for entry in entries:
+                total = total + entry[1]
+            table[id(node)] = (card, total, order)
+    return table[id(plan)][1].low
+
+
+def _exhaustive_plan_optimum(plan, ctx) -> float | None:
+    """Cheapest cost over *every* choose-plan assignment of ``plan``
+    under ``ctx``, or ``None`` when the assignment space exceeds the
+    enumeration budget."""
+    import itertools
+
+    nodes = list(iter_plan_nodes(plan))
+    chooses = [n for n in nodes if isinstance(n, ChoosePlanNode)]
+    combinations = 1
+    for node in chooses:
+        combinations *= len(node.alternatives)
+    if combinations > _SHARD_ENUMERATION_LIMIT:
+        return None
+    best: float | None = None
+    for assignment in itertools.product(
+        *(range(len(node.alternatives)) for node in chooses)
+    ):
+        forced = {
+            id(node): node.alternatives[index]
+            for node, index in zip(chooses, assignment)
+        }
+        cost = _forced_plan_cost(plan, nodes, forced, ctx)
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+def _check_sharded(
+    case, catalog, model, attributes, oracle, required_order, report, shards
+) -> None:
+    """Sharded differential: N in-process shards vs the serial oracle.
+
+    End to end, the coordinator's merged result must be the oracle's
+    canonical multiset (and sorted under ORDER BY).  Per shard, the
+    activated module's start-up choice cost gᵢ must equal dᵢ — the
+    exhaustive-enumeration optimum over the shard's activated plan,
+    re-costed under the shard's *local* catalog statistics.  dᵢ is
+    deliberately scoped to the shipped plan: shard-local cardinalities
+    are not declared parameters, so a from-scratch optimum may lie
+    outside the alternatives compile-time pruning kept; within the
+    shipped plan the chooser must still be exactly optimal.
+    """
+    from repro.shard.coordinator import ShardedQueryService
+
+    sql = case.query.to_sql()
+    service = ShardedQueryService(
+        catalog,
+        model,
+        shards=shards,
+        workers=1,
+        in_process=True,
+        seed=case.data_seed,
+    )
+    try:
+        result = service.execute(sql, case.bindings)
+        rows = canonical_rows(result.project(attributes))
+        if rows != oracle:
+            report(
+                "sharded-results",
+                f"sharded execution at {shards} shard(s) returned "
+                f"{len(rows)} rows != oracle {len(oracle)}; first diff: "
+                f"{_first_diff(rows, oracle)}",
+            )
+        if required_order is not None:
+            triple = (
+                required_order.relation,
+                required_order.name,
+                required_order.domain_size,
+            )
+            try:
+                position = result.schema.index(triple)
+            except ValueError:
+                report(
+                    "sharded-order",
+                    f"ORDER BY attribute {required_order} missing from "
+                    f"sharded output schema {result.schema}",
+                )
+            else:
+                keys = [
+                    (row[position] is None, row[position])
+                    for row in result.rows
+                ]
+                if any(b < a for a, b in zip(keys, keys[1:])):
+                    report(
+                        "sharded-order",
+                        f"sharded output not sorted on {required_order}: "
+                        f"{keys[:20]}",
+                    )
+        for shard_id, handle in enumerate(service._handles):
+            executor = handle._executor
+            for module in executor._modules.values():
+                for key, decision in module._decision_cache.items():
+                    env = module.ctx.env.space.bind(dict(key))
+                    d = _exhaustive_plan_optimum(
+                        module.plan, module.ctx.with_env(env)
+                    )
+                    if d is None:
+                        continue
+                    g = decision.execution_cost
+                    if not math.isclose(
+                        g, d, rel_tol=REL_TOLERANCE, abs_tol=ABS_TOLERANCE
+                    ):
+                        report(
+                            "sharded-g-equals-d",
+                            f"shard {shard_id}: start-up choice cost "
+                            f"g={g!r} != exhaustive optimum d={d!r} over "
+                            f"the activated plan under shard-local "
+                            f"statistics (binding {dict(key)})",
+                        )
+    finally:
+        service.close()

@@ -40,24 +40,35 @@ from repro.params.parameter import ParameterSpace
 from repro.physical.plan import (
     BtreeScanNode,
     ChoosePlanNode,
+    DistinctNode,
     FileScanNode,
     FilterNode,
     HashAggregateNode,
     HashJoinNode,
     IndexJoinNode,
+    LeftOuterJoinNode,
     MergeJoinNode,
     NestedLoopsJoinNode,
     PlanNode,
     ProjectNode,
+    SemiJoinNode,
     SortedAggregateNode,
     SortNode,
     TopNNode,
+    UnionAllNode,
     count_plan_nodes,
     iter_plan_nodes,
 )
 from repro.runtime.chooser import ActivationDecision, resolve_plan
 
 _LOG = get_logger(__name__)
+
+#: Version of the serialized access-module wire format.  The serialized
+#: module is the cross-process plan contract (coordinator -> shard), so the
+#: format is versioned explicitly: readers accept payloads without a
+#: ``wire_version`` field as version 1 (pre-versioning emitters) and reject
+#: anything newer than what they understand.
+WIRE_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -300,6 +311,7 @@ class AccessModule:
     def to_json(self) -> str:
         """Serialize the module (plan DAG + version) to JSON."""
         payload = {
+            "wire_version": WIRE_FORMAT_VERSION,
             "catalog_version": self.catalog_version,
             "plan": serialize_plan(self.plan),
         }
@@ -311,6 +323,12 @@ class AccessModule:
     ) -> "AccessModule":
         """Reconstruct a module from :meth:`to_json` output."""
         payload = json.loads(text)
+        wire_version = payload.get("wire_version", 1)
+        if wire_version > WIRE_FORMAT_VERSION:
+            raise PlanError(
+                f"unsupported access-module wire version {wire_version} "
+                f"(this reader understands <= {WIRE_FORMAT_VERSION})"
+            )
         plan = deserialize_plan(payload["plan"], ctx, parameters)
         return cls(
             plan=plan,
@@ -355,6 +373,23 @@ def rebuild_node(
         return IndexJoinNode(
             ctx, inputs[0], node.inner_relation, node.inner_key, node.predicates
         )
+    if isinstance(node, SemiJoinNode):
+        return SemiJoinNode(
+            ctx, inputs[0], inputs[1], node.outer_attr, node.inner_attr
+        )
+    if isinstance(node, LeftOuterJoinNode):
+        return LeftOuterJoinNode(
+            ctx,
+            inputs[0],
+            inputs[1],
+            node.left_attr,
+            node.right_attr,
+            right_unique=node.right_unique,
+        )
+    if isinstance(node, UnionAllNode):
+        return UnionAllNode(ctx, inputs)
+    if isinstance(node, DistinctNode):
+        return DistinctNode(ctx, inputs[0], node.attributes)
     if isinstance(node, SortNode):
         return SortNode(ctx, inputs[0], node.key)
     if isinstance(node, TopNNode):
@@ -442,6 +477,26 @@ def _encode_node(node: PlanNode) -> dict:
             "inner_key": node.inner_key.qualified_name,
             "predicates": _encode_joins(node.predicates),
         }
+    if isinstance(node, SemiJoinNode):
+        return {
+            "kind": "semi-join",
+            "outer_attr": node.outer_attr.qualified_name,
+            "inner_attr": node.inner_attr.qualified_name,
+        }
+    if isinstance(node, LeftOuterJoinNode):
+        return {
+            "kind": "left-outer-join",
+            "left_attr": node.left_attr.qualified_name,
+            "right_attr": node.right_attr.qualified_name,
+            "right_unique": node.right_unique,
+        }
+    if isinstance(node, UnionAllNode):
+        return {"kind": "union-all"}
+    if isinstance(node, DistinctNode):
+        return {
+            "kind": "distinct",
+            "attributes": [a.qualified_name for a in node.attributes],
+        }
     if isinstance(node, SortNode):
         return {"kind": "sort", "key": node.key.qualified_name}
     if isinstance(node, TopNNode):
@@ -527,6 +582,31 @@ def _decode_node(
             entry["inner_relation"],
             ctx.catalog.attribute(entry["inner_key"]),
             _decode_joins(entry["predicates"], ctx),
+        )
+    if kind == "semi-join":
+        return SemiJoinNode(
+            ctx,
+            inputs[0],
+            inputs[1],
+            ctx.catalog.attribute(entry["outer_attr"]),
+            ctx.catalog.attribute(entry["inner_attr"]),
+        )
+    if kind == "left-outer-join":
+        return LeftOuterJoinNode(
+            ctx,
+            inputs[0],
+            inputs[1],
+            ctx.catalog.attribute(entry["left_attr"]),
+            ctx.catalog.attribute(entry["right_attr"]),
+            right_unique=entry["right_unique"],
+        )
+    if kind == "union-all":
+        return UnionAllNode(ctx, inputs)
+    if kind == "distinct":
+        return DistinctNode(
+            ctx,
+            inputs[0],
+            tuple(ctx.catalog.attribute(name) for name in entry["attributes"]),
         )
     if kind == "sort":
         return SortNode(ctx, inputs[0], ctx.catalog.attribute(entry["key"]))

@@ -1,0 +1,187 @@
+"""AdmissionController: the shared front door of every serving backend.
+
+The thread-pool :class:`~repro.service.service.QueryService` and the
+multiprocess :class:`~repro.shard.coordinator.ShardedQueryService` differ
+only in what happens *after* a request is admitted; everything in front —
+the bounded queue, the fast-reject backpressure signal, the worker
+threads settling futures, graceful drain on close, and the
+``service.submitted`` / ``service.rejected`` / ``service.queue_depth`` /
+``service.errors`` metrics — is identical and lives here, so both
+backends present the same admission semantics to clients and load
+drivers.
+
+Rejections carry a machine-readable ``retry_after_hint``: an EWMA of
+recent request latencies scaled by the queue depth per worker, i.e. the
+controller's estimate of how long the backlog takes to clear.  Clients
+back off by the hint instead of guessing.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from time import perf_counter
+from typing import Callable, Generic, TypeVar
+
+from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.obs.metrics import get_metrics
+
+_SHUTDOWN = object()
+
+#: Smoothing factor of the latency EWMA behind ``retry_after_hint``.
+_EWMA_ALPHA = 0.2
+
+RequestT = TypeVar("RequestT")
+ResultT = TypeVar("ResultT")
+
+
+class AdmissionController(Generic[RequestT, ResultT]):
+    """Bounded admission queue + worker threads, backend-agnostic.
+
+    ``handler(state, request, started)`` executes one admitted request on
+    a worker thread; ``worker_state_factory`` builds each worker's
+    private state once at thread start (the thread-pool backend builds a
+    :class:`~repro.executor.database.Database` per worker, the shard
+    coordinator needs none).  Results and exceptions are delivered
+    through the future returned by :meth:`submit`.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        queue_limit: int,
+        handler: Callable[[object, RequestT, float], ResultT],
+        worker_state_factory: Callable[[], object] | None = None,
+        name_prefix: str = "repro-service",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("admission controller needs at least one worker")
+        if queue_limit < 1:
+            raise ValueError("admission queue limit must be at least 1")
+        self._queue_limit = queue_limit
+        self._worker_count = workers
+        self._handler = handler
+        self._state_factory = worker_state_factory
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._closed = threading.Event()
+        self._join_lock = threading.Lock()
+        self._latency_lock = threading.Lock()
+        self._latency_ewma = 0.0
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"{name_prefix}-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently admitted but not yet finished dequeuing."""
+        return self._queue.qsize()
+
+    def retry_after_hint(self) -> float:
+        """Estimated seconds until capacity frees: recent-latency EWMA
+        times the backlog per worker."""
+        with self._latency_lock:
+            ewma = self._latency_ewma
+        return ewma * self._queue.qsize() / self._worker_count
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, request: RequestT) -> "Future[ResultT]":
+        """Admit one request; fast-rejects when the queue is full.
+
+        Raises :class:`ServiceClosedError` after :meth:`close`, and
+        :class:`ServiceOverloadedError` (carrying ``retry_after_hint``
+        and ``queue_depth``) when ``queue_limit`` requests are already
+        pending — the typed backpressure signal.
+        """
+        metrics = get_metrics()
+        if self._closed.is_set():
+            raise ServiceClosedError("query service is closed")
+        future: Future[ResultT] = Future()
+        try:
+            self._queue.put_nowait((request, future))
+        except queue.Full:
+            metrics.counter("service.rejected").inc()
+            raise ServiceOverloadedError(
+                f"admission queue full ({self._queue_limit} pending); "
+                "retry later",
+                retry_after_hint=self.retry_after_hint(),
+                queue_depth=self._queue.qsize(),
+            ) from None
+        metrics.counter("service.submitted").inc()
+        metrics.gauge("service.queue_depth").max(float(self._queue.qsize()))
+        return future
+
+    def close(self, *, drain: bool = True) -> None:
+        """Refuse new work, settle pending work, join workers.
+
+        With ``drain=True`` every already-admitted request finishes and
+        its future resolves normally; with ``drain=False``
+        queued-but-not-started requests are cancelled.  Idempotent.
+        """
+        self._closed.set()
+        with self._join_lock:
+            if not self._workers:
+                return
+            if not drain:
+                while True:
+                    try:
+                        item = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    _, future = item
+                    future.cancel()
+                    self._queue.task_done()
+            for _ in self._workers:
+                self._queue.put(_SHUTDOWN)
+            for worker in self._workers:
+                worker.join()
+            self._workers = []
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _observe_latency(self, seconds: float) -> None:
+        with self._latency_lock:
+            if self._latency_ewma == 0.0:
+                self._latency_ewma = seconds
+            else:
+                self._latency_ewma += _EWMA_ALPHA * (
+                    seconds - self._latency_ewma
+                )
+
+    def _worker_loop(self) -> None:
+        state = self._state_factory() if self._state_factory is not None else None
+        metrics = get_metrics()
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SHUTDOWN:
+                    return
+                request, future = item
+                if not future.set_running_or_notify_cancel():
+                    continue
+                started = perf_counter()
+                try:
+                    result = self._handler(state, request, started)
+                except BaseException as error:  # delivered via the future
+                    metrics.counter("service.errors").inc()
+                    future.set_exception(error)
+                else:
+                    future.set_result(result)
+                    self._observe_latency(perf_counter() - started)
+            finally:
+                self._queue.task_done()

@@ -30,7 +30,6 @@ outside it.
 
 from __future__ import annotations
 
-import queue
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -41,7 +40,7 @@ from repro.adaptive import AdaptiveExecution, AdaptivePolicy, execute_adaptive_p
 from repro.catalog.catalog import Catalog
 from repro.cost.context import DOP_PARAMETER
 from repro.cost.model import CostModel
-from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.errors import ServiceClosedError
 from repro.executor.database import Database
 from repro.executor.executor import ExecutionResult, execute_plan
 from repro.obs.log import get_logger
@@ -50,10 +49,9 @@ from repro.obs.telemetry import get_flight_recorder, plan_signature
 from repro.obs.trace import Span, get_tracer
 from repro.optimizer.optimizer import OptimizationMode
 from repro.service.cache import CacheEntry, PlanCache
+from repro.service.frontend import AdmissionController
 
 _LOG = get_logger(__name__)
-
-_SHUTDOWN = object()
 
 
 @dataclass(frozen=True)
@@ -165,19 +163,15 @@ class QueryService:
         self._database_factory = database_factory or (
             lambda: self._default_database(seed)
         )
-        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
-        self._closed = threading.Event()
-        self._join_lock = threading.Lock()
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop,
-                name=f"repro-service-{i}",
-                daemon=True,
+        self._frontend: AdmissionController[_Request, ServiceResult] = (
+            AdmissionController(
+                workers=workers,
+                queue_limit=queue_limit,
+                handler=self._invoke,
+                worker_state_factory=self._database_factory,
+                name_prefix="repro-service",
             )
-            for i in range(workers)
-        ]
-        for worker in self._workers:
-            worker.start()
+        )
 
     def _default_database(self, seed: int) -> Database:
         db = Database(self._catalog, self._model)
@@ -193,7 +187,7 @@ class QueryService:
         mode: OptimizationMode = OptimizationMode.DYNAMIC,
     ) -> CacheEntry:
         """Warm the plan cache for ``sql`` (compiling if needed)."""
-        if self._closed.is_set():
+        if self._frontend.closed:
             raise ServiceClosedError("query service is closed")
         entry, _ = self.cache.get_or_compile(sql, mode)
         return entry
@@ -225,12 +219,10 @@ class QueryService:
         reality.
 
         Raises :class:`ServiceClosedError` after :meth:`close`, and
-        :class:`ServiceOverloadedError` when ``queue_limit`` requests are
-        already pending — the typed backpressure signal.
+        :class:`ServiceOverloadedError` (carrying ``retry_after_hint``
+        and ``queue_depth``) when ``queue_limit`` requests are already
+        pending — the typed backpressure signal.
         """
-        metrics = get_metrics()
-        if self._closed.is_set():
-            raise ServiceClosedError("query service is closed")
         tracer = get_tracer()
         request = _Request(
             sql=sql,
@@ -248,18 +240,7 @@ class QueryService:
             ),
             trace_parent=tracer.current_span() if tracer.enabled else None,
         )
-        future: Future[ServiceResult] = Future()
-        try:
-            self._queue.put_nowait((request, future))
-        except queue.Full:
-            metrics.counter("service.rejected").inc()
-            raise ServiceOverloadedError(
-                f"admission queue full ({self._queue_limit} pending); "
-                "retry later"
-            ) from None
-        metrics.counter("service.submitted").inc()
-        metrics.gauge("service.queue_depth").max(float(self._queue.qsize()))
-        return future
+        return self._frontend.submit(request)
 
     def execute(
         self,
@@ -295,24 +276,7 @@ class QueryService:
         With ``drain=False`` queued-but-not-started requests are
         cancelled.  Idempotent.
         """
-        self._closed.set()
-        with self._join_lock:
-            if not self._workers:
-                return
-            if not drain:
-                while True:
-                    try:
-                        item = self._queue.get_nowait()
-                    except queue.Empty:
-                        break
-                    _, future = item
-                    future.cancel()
-                    self._queue.task_done()
-            for _ in self._workers:
-                self._queue.put(_SHUTDOWN)
-            for worker in self._workers:
-                worker.join()
-            self._workers = []
+        self._frontend.close(drain=drain)
         self.cache.close()
 
     def __enter__(self) -> "QueryService":
@@ -336,28 +300,6 @@ class QueryService:
     # ------------------------------------------------------------------
     # Workers
     # ------------------------------------------------------------------
-    def _worker_loop(self) -> None:
-        db = self._database_factory()
-        metrics = get_metrics()
-        while True:
-            item = self._queue.get()
-            try:
-                if item is _SHUTDOWN:
-                    return
-                request, future = item
-                if not future.set_running_or_notify_cancel():
-                    continue
-                started = perf_counter()
-                try:
-                    result = self._invoke(db, request, started)
-                except BaseException as error:  # delivered via the future
-                    metrics.counter("service.errors").inc()
-                    future.set_exception(error)
-                else:
-                    future.set_result(result)
-            finally:
-                self._queue.task_done()
-
     def _invoke(
         self, db: Database, request: _Request, started: float
     ) -> ServiceResult:

@@ -142,8 +142,15 @@ class WorkloadReport:
     cache_misses: int
     cache_hit_rate: float
     optimizer_runs: int  # optimizations triggered during the run
+    # Shed-load accounting: the distinct machine-readable rejection
+    # reasons seen (message -> count) and the largest retry_after_hint /
+    # queue_depth the service reported, so overload shows up as data
+    # rather than a bare exception string.
+    shed_load_reasons: Mapping[str, int] = None  # type: ignore[assignment]
+    max_retry_after_hint: float = 0.0
+    max_rejection_queue_depth: int = 0
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, object]:
         """Flat JSON-ready form (CLI artifact and benchmark tables)."""
         return {
             "invocations": self.invocations,
@@ -159,6 +166,9 @@ class WorkloadReport:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "optimizer_runs": self.optimizer_runs,
+            "shed_load_reasons": dict(self.shed_load_reasons or {}),
+            "max_retry_after_hint": self.max_retry_after_hint,
+            "max_rejection_queue_depth": self.max_rejection_queue_depth,
         }
 
 
@@ -180,6 +190,9 @@ def run_workload(
     before = metrics.snapshot()
     futures = []
     rejections = 0
+    shed_reasons: dict[str, int] = {}
+    max_hint = 0.0
+    max_depth = 0
     started = perf_counter()
     for invocation in invocations:
         while True:
@@ -188,9 +201,25 @@ def run_workload(
                     service.submit(invocation.sql, invocation.value_bindings)
                 )
                 break
-            except ServiceOverloadedError:
+            except ServiceOverloadedError as overload:
                 rejections += 1
-                time.sleep(overload_backoff_seconds)
+                reason = str(overload)
+                shed_reasons[reason] = shed_reasons.get(reason, 0) + 1
+                max_hint = max(max_hint, overload.retry_after_hint)
+                max_depth = max(max_depth, overload.queue_depth)
+                # Back off by the service's own hint when it gives one
+                # (capped — the hint estimates full-backlog drain, one
+                # slot frees much sooner); the fixed backoff is the
+                # floor for hintless rejections.
+                time.sleep(
+                    min(
+                        max(
+                            overload_backoff_seconds,
+                            overload.retry_after_hint,
+                        ),
+                        0.05,
+                    )
+                )
     latencies: list[float] = []
     failed = 0
     for future in futures:
@@ -222,4 +251,7 @@ def run_workload(
         cache_misses=misses,
         cache_hit_rate=hits / looked_up if looked_up else 0.0,
         optimizer_runs=int(delta("optimizer.runs")),
+        shed_load_reasons=shed_reasons,
+        max_retry_after_hint=max_hint,
+        max_rejection_queue_depth=max_depth,
     )

@@ -1,0 +1,29 @@
+"""Multiprocess sharded serving.
+
+The paper's access module — a serialized plan whose choose-plan
+decisions are deferred to start-up — doubles as a cross-process plan
+wire format: the coordinator optimizes once, ships the module JSON to N
+shard processes, and each shard re-runs the start-up decisions against
+its *shard-local* statistics before executing its horizontal partition.
+The coordinator merges the partial results (multiset union, ordered
+merge, partial-aggregate recombination).
+
+Public surface::
+
+    from repro.shard import ShardedQueryService
+
+    service = ShardedQueryService(catalog, shards=8)
+    result = service.execute("SELECT * FROM R WHERE R.a < :v", {"v": 120})
+    service.close()
+"""
+
+from repro.shard.coordinator import ShardedQueryService, ShardedResult
+from repro.shard.merge import MergeSpec, build_merge_plan, merge_partials
+
+__all__ = [
+    "MergeSpec",
+    "ShardedQueryService",
+    "ShardedResult",
+    "build_merge_plan",
+    "merge_partials",
+]

@@ -1,0 +1,208 @@
+"""Shard-local execution: deserialize, re-decide, run the partition.
+
+A :class:`ShardExecutor` is the single-process brain of one shard.  It
+owns no transport — the spawned worker loop (:mod:`repro.shard.worker`)
+and the coordinator's in-process mode both drive the same object, so the
+sharded differential oracle exercises exactly the code the processes
+run.
+
+The shard's world is derived, never shipped: from ``(catalog, seed)`` it
+regenerates the full synthetic dataset, slices out its partition of a
+query's driver relation, and re-sizes the driver's statistics in a
+catalog clone whose *version stays the coordinator's*.  Centrally
+compiled access modules therefore validate locally, but their
+choose-plan start-up decisions run against the shard's own cardinalities
+— the paper's start-up decision made N times with N potentially
+different answers.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.partition import (
+    PartitionMode,
+    derive_shard_catalog,
+    partition_column,
+    partition_rows,
+)
+from repro.cost.context import CostContext
+from repro.cost.model import CostModel
+from repro.errors import ExecutionError
+from repro.executor.database import Database, synthetic_rows
+from repro.executor.executor import execute_plan
+from repro.obs.metrics import get_metrics
+from repro.optimizer.optimizer import OptimizationMode
+from repro.physical.plan import ChoosePlanNode, PlanNode, iter_plan_nodes
+from repro.runtime.access_module import AccessModule
+from repro.shard.wire import ExecuteRequest, ExecuteResponse, ShardConfig
+
+
+def decision_signature(
+    plan: PlanNode, choices: dict[int, PlanNode]
+) -> tuple[tuple[tuple[int, int], ...], tuple[str, ...]]:
+    """Position-based encoding of one activation's choose-plan outcome.
+
+    Returns ``(signature, labels)``: the signature pairs each decided
+    choose-plan's position in :func:`iter_plan_nodes` order with the
+    index of its chosen alternative, and the labels name the chosen
+    operator types.  Serialization preserves node-table order, so the
+    same plan shipped to N processes yields comparable signatures — the
+    basis of the ``shard.decision_divergence`` metric.
+    """
+    signature: list[tuple[int, int]] = []
+    labels: list[str] = []
+    for position, node in enumerate(iter_plan_nodes(plan)):
+        if isinstance(node, ChoosePlanNode) and id(node) in choices:
+            chosen = choices[id(node)]
+            signature.append((position, node.alternatives.index(chosen)))
+            labels.append(type(chosen).__name__)
+    return tuple(signature), tuple(labels)
+
+
+class ShardExecutor:
+    """One shard's state: partitioned data, local stats, module cache."""
+
+    def __init__(self, config: ShardConfig) -> None:
+        self.shard_id = config.shard_id
+        self.shard_count = config.shard_count
+        self.catalog = config.catalog
+        self.model: CostModel = config.model
+        self.seed = config.seed
+        self.partition_mode: PartitionMode = config.partition_mode
+        self.execution_mode = config.execution_mode
+        self.batch_size = config.batch_size
+        self.prewarm = config.prewarm
+        # Full synthetic dataset, regenerated rather than transferred; the
+        # byte-identical RNG contract of ``synthetic_rows`` guarantees
+        # every shard derives the same rows the coordinator would.
+        self._rows: dict[str, list[tuple]] = synthetic_rows(
+            self.catalog, self.seed
+        )
+        # One Database per driver relation: the driver holds this shard's
+        # partition, everything else a full copy.  Queries over different
+        # drivers coexist; DDL sync drops them all.
+        self._databases: dict[str, Database] = {}
+        # Deserialized-module cache so repeated invocations of a cached
+        # statement reuse memoized start-up decisions.
+        self._modules: dict[tuple[str, int, str], AccessModule] = {}
+        if config.prewarm:
+            for name in self.catalog.relation_names:
+                self.database_for(name)
+
+    # ------------------------------------------------------------------
+    # Local state derivation
+    # ------------------------------------------------------------------
+    def database_for(self, driver: str) -> Database:
+        """The shard's database view for queries partitioned on ``driver``."""
+        db = self._databases.get(driver)
+        if db is not None:
+            return db
+        key_position = partition_column(self.catalog, driver)
+        partition = partition_rows(
+            self._rows[driver],
+            self.shard_id,
+            self.shard_count,
+            self.partition_mode,
+            key_position,
+        )
+        local_catalog = derive_shard_catalog(
+            self.catalog, {driver: len(partition)}
+        )
+        db = Database(local_catalog, self.model)
+        for name, rows in self._rows.items():
+            db.load_relation(name, partition if name == driver else rows)
+        self._databases[driver] = db
+        return db
+
+    def sync_catalog(self, catalog: Catalog) -> None:
+        """Adopt a new coordinator catalog: rebuild the entire local world.
+
+        DDL or statistics changes invalidate everything derived — the
+        dataset (cardinalities drive generation), every per-driver
+        database, and all cached modules (their plans reference the old
+        catalog's attribute objects).
+        """
+        self.catalog = catalog
+        self._rows = synthetic_rows(self.catalog, self.seed)
+        self._databases.clear()
+        self._modules.clear()
+        if self.prewarm:
+            for name in self.catalog.relation_names:
+                self.database_for(name)
+        get_metrics().counter("shard.catalog_syncs").inc()
+
+    def _context_for(self, db: Database, request: ExecuteRequest) -> CostContext:
+        mode = OptimizationMode(request.mode)
+        if mode is OptimizationMode.DYNAMIC:
+            env = request.space.dynamic_environment()
+        else:
+            env = request.space.static_environment()
+        return CostContext(catalog=db.catalog, model=self.model, env=env)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, request: ExecuteRequest) -> ExecuteResponse:
+        """Run one scattered invocation and return the partial result."""
+        metrics = get_metrics()
+        started = perf_counter()
+        db = self.database_for(request.driver)
+        cache_key = (request.module_key, request.catalog_version, request.driver)
+        module = self._modules.get(cache_key)
+        cache_hit = module is not None
+        if module is None:
+            ctx = self._context_for(db, request)
+            module = AccessModule.from_json(request.wire, ctx, request.space)
+            self._modules[cache_key] = module
+            metrics.counter("shard.module_cache_misses").inc()
+        else:
+            metrics.counter("shard.module_cache_hits").inc()
+        activation = module.activate(dict(request.parameter_values))
+        signature, labels = decision_signature(
+            module.plan, activation.decision.choices
+        )
+        result = execute_plan(
+            module.plan,
+            db,
+            bindings=dict(request.value_bindings),
+            choices=activation.decision.choices,
+            memory_pages=request.memory_pages,
+            execution_mode=request.execution_mode or self.execution_mode,
+            batch_size=request.batch_size or self.batch_size,
+        )
+        rows = list(result.rows)
+        if request.order_key is not None:
+            rows = _sorted_partial(rows, result.schema, request.order_key)
+        metrics.counter("shard.executions").inc()
+        metrics.timer("shard.execution").observe(perf_counter() - started)
+        return ExecuteResponse(
+            request_id=request.request_id,
+            rows=rows,
+            schema=tuple(
+                (a.relation, a.name, a.domain_size)
+                for a in result.schema.attributes
+            ),
+            decision_signature=signature,
+            decision_labels=labels,
+            predicted_cost=activation.decision.execution_cost,
+            startup_seconds=activation.startup_seconds,
+            wall_seconds=perf_counter() - started,
+            cache_hit=cache_hit,
+        )
+
+
+def _sorted_partial(rows: list[tuple], schema, order_key: str) -> list[tuple]:
+    """Shard-side sort on ``order_key`` (NULLS LAST) so the coordinator
+    can stream-merge ordered partials instead of re-sorting the union."""
+    position = None
+    for index, attribute in enumerate(schema.attributes):
+        if f"{attribute.relation}.{attribute.name}" == order_key:
+            position = index
+            break
+    if position is None:
+        raise ExecutionError(
+            f"order key {order_key} not in shard result schema"
+        )
+    return sorted(rows, key=lambda row: (row[position] is None, row[position]))

@@ -1,0 +1,71 @@
+"""Shard process entry point: a request/response loop over one pipe.
+
+``shard_main`` is the target of the spawned process.  It answers
+strictly in arrival order (the coordinator's receiver thread routes by
+``request_id``, so ordering is a simplification, not a contract), and it
+never lets a per-request failure kill the process: execution errors
+travel back as :class:`ErrorResponse` and the loop continues — only pipe
+EOF (coordinator gone) or an explicit :class:`ShutdownRequest` ends it.
+
+Spawn-safety: the module imports everything it needs at module level, so
+``spawn`` children re-import cleanly without inheriting parent state; the
+per-process metrics registry starts empty and is harvested by the
+coordinator via :class:`MetricsRequest` before shutdown.
+"""
+
+from __future__ import annotations
+
+from multiprocessing.connection import Connection
+
+from repro.obs.metrics import get_metrics
+from repro.shard.executor import ShardExecutor
+from repro.shard.wire import (
+    AckResponse,
+    ErrorResponse,
+    ExecuteRequest,
+    MetricsRequest,
+    MetricsResponse,
+    ShardConfig,
+    ShutdownRequest,
+    SyncCatalogRequest,
+)
+
+
+def shard_main(conn: Connection, config: ShardConfig) -> None:
+    """Serve requests on ``conn`` until shutdown or coordinator EOF."""
+    executor = ShardExecutor(config)
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return
+        try:
+            if isinstance(request, ExecuteRequest):
+                response: object = executor.execute(request)
+            elif isinstance(request, SyncCatalogRequest):
+                executor.sync_catalog(request.catalog)
+                response = AckResponse(request_id=request.request_id)
+            elif isinstance(request, MetricsRequest):
+                response = MetricsResponse(
+                    request_id=request.request_id,
+                    state=get_metrics().dump_state(),
+                )
+            elif isinstance(request, ShutdownRequest):
+                conn.send(AckResponse(request_id=request.request_id))
+                return
+            else:
+                response = ErrorResponse(
+                    request_id=getattr(request, "request_id", -1),
+                    error_type="ServiceError",
+                    message=f"unknown request type {type(request).__name__}",
+                )
+        except BaseException as error:  # answered, never fatal
+            response = ErrorResponse(
+                request_id=getattr(request, "request_id", -1),
+                error_type=type(error).__name__,
+                message=str(error),
+            )
+        try:
+            conn.send(response)
+        except (BrokenPipeError, OSError):
+            return

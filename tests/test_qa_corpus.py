@@ -39,6 +39,15 @@ def test_artifact_replays_clean_at_dop4(path: Path):
 
 
 @pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+def test_artifact_replays_clean_at_shards4(path: Path):
+    """Each corpus case also holds through sharded serving at 4 shards
+    (scatter/gather differential plus per-shard g=d on activated plans)."""
+    outcome = replay_artifact(path, shards=4)
+    details = [f"{v.check}: {v.detail}" for v in outcome.violations]
+    assert outcome.passed, f"{path.name} regressed:\n" + "\n".join(details)
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
 def test_artifact_is_well_formed(path: Path):
     payload = json.loads(path.read_text())
     assert payload["version"] in (1, 2)

@@ -1,0 +1,43 @@
+"""Spawn-safety: every ``repro`` module must import in a spawn child.
+
+Shard processes use the ``spawn`` start method (the only portable one),
+so the whole package must be importable from a fresh interpreter with no
+inherited state — a module-level side effect that only works under fork
+(or an ``if __name__`` guard missing somewhere on the worker path) shows
+up here as a child-side import failure, before it can wedge a real
+shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+
+def _import_all(queue) -> None:
+    import importlib
+    import pkgutil
+
+    import repro
+
+    failures = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        try:
+            importlib.import_module(info.name)
+        except Exception as error:  # noqa: BLE001 - report, don't mask
+            failures.append(f"{info.name}: {type(error).__name__}: {error}")
+    queue.put(failures)
+
+
+def test_every_repro_module_imports_in_spawn_child():
+    ctx = mp.get_context("spawn")
+    queue = ctx.Queue()
+    child = ctx.Process(target=_import_all, args=(queue,), daemon=True)
+    child.start()
+    try:
+        failures = queue.get(timeout=120)
+    finally:
+        child.join(timeout=30)
+        if child.is_alive():
+            child.kill()
+    assert child.exitcode == 0
+    assert failures == []
