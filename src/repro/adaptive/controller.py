@@ -182,10 +182,10 @@ def execute_adaptive_plan(
     choices: Mapping[int, PlanNode] | None = None,
     memory_pages: int | None = None,
     dop: int | None = None,
-    execution_mode: str = "batch",
+    execution_mode: str = "fused",
     batch_size: int | None = None,
     analyze: bool = False,
-    required_order: Attribute | None = None,
+    required_order: Attribute | tuple[Attribute, ...] | None = None,
     mode: OptimizationMode = OptimizationMode.DYNAMIC,
 ) -> AdaptiveExecution:
     """Execute ``plan`` with mid-query re-optimization enabled.
@@ -424,7 +424,7 @@ def execute_adaptive_statement(
     parameter_values: Mapping[str, float] | None = None,
     memory_pages: int | None = None,
     dop: int | None = None,
-    execution_mode: str = "batch",
+    execution_mode: str = "fused",
     batch_size: int | None = None,
     mode: OptimizationMode = OptimizationMode.DYNAMIC,
 ) -> AdaptiveExecution:
@@ -457,7 +457,7 @@ def execute_adaptive_statement(
             dop=dop,
             execution_mode=execution_mode,
             batch_size=batch_size,
-            required_order=statement.order_by,
+            required_order=statement.order_by_keys or None,
             mode=mode,
         )
 

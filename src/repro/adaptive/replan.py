@@ -66,7 +66,7 @@ class ReplanOutcome:
     #: The checkpoints that became synthetic relations (trigger first).
     units: tuple[Checkpoint, ...]
     #: ``required_order`` remapped through ``attr_map``.
-    required_order: Attribute | None
+    required_order: Attribute | tuple[Attribute, ...] | None
 
     @property
     def pinned_rows(self) -> int:
@@ -91,7 +91,7 @@ def replan_remaining(
     completed: Mapping[str, Checkpoint],
     round_no: int,
     parameter_values: Mapping[str, float],
-    required_order: Attribute | None = None,
+    required_order: Attribute | tuple[Attribute, ...] | None = None,
 ) -> ReplanOutcome:
     """Rewrite ``graph`` around the pinned units and re-optimize.
 
@@ -209,7 +209,12 @@ def replan_remaining(
         projection=projection,
         aggregate=aggregate,
     )
-    mapped_order = None if required_order is None else remap(required_order)
+    if required_order is None:
+        mapped_order = None
+    elif isinstance(required_order, tuple):
+        mapped_order = tuple(remap(key) for key in required_order)
+    else:
+        mapped_order = remap(required_order)
     binding = None
     if mode is OptimizationMode.RUN_TIME:
         binding = {p.name: float(parameter_values[p.name]) for p in space}

@@ -187,6 +187,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "print the adaptive section (replan events, re-opt latency)",
     )
     analyze_cmd.add_argument(
+        "--show-fused",
+        action="store_true",
+        help="print the generated source of every fused pipeline the "
+        "plan compiles to under execution_mode=fused, with its "
+        "plan-signature cache key and the codegen cache counters",
+    )
+    analyze_cmd.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -500,6 +507,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "g = d post-splice) every Nth case (0 disables; default 4)",
     )
     fuzz_cmd.add_argument(
+        "--fused-every",
+        type=int,
+        default=2,
+        metavar="N",
+        help="run the fused-codegen differential (fused execution "
+        "byte-identical to plain batch at two batch sizes, plus "
+        "post-activation g = d at corner bindings) every Nth case "
+        "(0 disables; default 2)",
+    )
+    fuzz_cmd.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -621,7 +638,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         catalog,
         CostModel(),
         mode=OptimizationMode(args.mode),
-        required_order=parsed.order_by,
+        required_order=parsed.order_by_keys or None,
     )
     if args.dot:
         print(to_dot(result.plan, title=args.sql.strip()))
@@ -774,6 +791,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
     if adaptive_run is not None:
         _print_adaptive(adaptive_run)
+    if args.show_fused:
+        _print_fused(
+            prepared.module.plan,
+            db,
+            value_bindings,
+            activation.decision.choices,
+        )
     if args.shards:
         _print_sharded(
             args.sql,
@@ -832,6 +856,35 @@ def _print_sharded(
             f"  shard {shard_id}: "
             f"{[list(pair) for pair in signature]}{marker}"
         )
+
+
+def _print_fused(plan, db, bindings, choices) -> None:
+    """The ``analyze --show-fused`` report: each pipeline's generated
+    source with its plan-signature cache key, plus codegen counters.
+
+    ``analyze`` itself meters every operator, which disables fusion for
+    the measured run; the pipelines are therefore built here separately
+    (construction compiles but never executes, so no I/O is charged).
+    """
+    from repro.executor.executor import build_fused_pipelines
+    from repro.obs.metrics import get_metrics
+
+    pipelines = build_fused_pipelines(plan, db, bindings, choices)
+    print(f"\nfused pipelines: {len(pipelines)}")
+    for index, pipeline in enumerate(pipelines):
+        source = "scan" if pipeline.scan_fused else "batch"
+        print(
+            f"\n--- pipeline {index}: {pipeline.label} "
+            f"[cache key {pipeline.cache_key}, {source}-sourced] ---"
+        )
+        print(pipeline.source_text.rstrip())
+    registry = get_metrics()
+    hits = registry.counter("codegen.cache_hits").value
+    misses = registry.counter("codegen.cache_misses").value
+    print(
+        f"\ncodegen cache: {hits:.0f} hits / {misses:.0f} misses "
+        "(process-wide, keyed by plan signature + source shape)"
+    )
 
 
 def _print_adaptive(adaptive_run) -> None:
@@ -1149,6 +1202,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
 
     snapshot = _get_metrics().snapshot()
+    codegen_hits = float(snapshot.get("codegen.cache_hits", 0.0))
+    codegen_misses = float(snapshot.get("codegen.cache_misses", 0.0))
+    codegen_total = codegen_hits + codegen_misses
+    if codegen_total:
+        print(
+            f"codegen cache: {codegen_hits / codegen_total * 100:.1f}% hit "
+            f"rate ({codegen_hits:.0f} hits / {codegen_misses:.0f} misses) "
+            "— fused pipelines compile once per plan signature"
+        )
     payload = {
         "config": {
             "invocations": invocations,
@@ -1174,6 +1236,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                     "optimizer.runs",
                     "telemetry.",
                     "adaptive.",
+                    "codegen.",
                 )
             )
         },
@@ -1271,26 +1334,52 @@ def _cmd_exec_bench(args: argparse.Namespace) -> int:
     payload = run_exec_bench(**(SMOKE_CONFIG if args.smoke else {}))
     row = payload["row"]
     print(f"row mode: {row['seconds'] * 1e3:.1f}ms ({row['rows']} rows)")
-    best = 0.0
     at_default = None
     for run in payload["batch_runs"]:
         print(
-            f"batch_size={run['batch_size']}: {run['seconds'] * 1e3:.1f}ms "
-            f"(speedup {run['speedup']:.2f}x)"
+            f"batch: batch_size={run['batch_size']}: "
+            f"{run['seconds'] * 1e3:.1f}ms (speedup {run['speedup']:.2f}x)"
         )
-        best = max(best, run["speedup"])
         if run["batch_size"] == 1024:
             at_default = run["speedup"]
-    ok = True
-    # The smoke workload is too small to amortize batching fully; the 3x
-    # acceptance bar applies to the full configuration only.
-    if not args.smoke and (at_default is None or at_default < 3.0):
+    fused_vs_batch = 0.0
+    for run in payload["fused_runs"]:
         print(
-            f"FAIL: batch_size=1024 speedup "
-            f"{at_default if at_default is not None else 'missing'} below "
-            "the 3x acceptance bar"
+            f"fused: batch_size={run['batch_size']}: "
+            f"{run['seconds'] * 1e3:.1f}ms (speedup {run['speedup']:.2f}x, "
+            f"vs batch {run['speedup_vs_batch']:.2f}x)"
         )
-        ok = False
+        fused_vs_batch = max(fused_vs_batch, run["speedup_vs_batch"])
+    sort = payload["partial_sort_scenario"]
+    print(
+        f"near-sorted ORDER BY: partial sort "
+        f"{sort['partial_sort']['wall_seconds'] * 1e3:.1f}ms / "
+        f"{sort['partial_sort']['writes']} spill writes vs full sort "
+        f"{sort['full_sort']['wall_seconds'] * 1e3:.1f}ms / "
+        f"{sort['full_sort']['writes']} writes "
+        f"(wall {sort['wall_speedup']:.2f}x, "
+        f"io saved {sort['io_seconds_saved']:.3f}s)"
+    )
+    ok = True
+    # The smoke workload is too small to amortize batching or codegen
+    # fully; the acceptance bars apply to the full configuration only.
+    if not args.smoke:
+        if at_default is None or at_default < 3.0:
+            print(
+                f"FAIL: batch_size=1024 speedup "
+                f"{at_default if at_default is not None else 'missing'} "
+                "below the 3x acceptance bar"
+            )
+            ok = False
+        if fused_vs_batch < 2.0:
+            print(
+                f"FAIL: fused-over-batch speedup {fused_vs_batch:.2f} "
+                "below the 2x acceptance bar"
+            )
+            ok = False
+        if sort["writes_saved"] <= 0 or sort["io_seconds_saved"] <= 0:
+            print("FAIL: partial sort shows no I/O win over the full sort")
+            ok = False
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
@@ -1361,6 +1450,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         check_adaptive_every=args.adaptive_every,
         shards=args.shards,
         check_sharded_every=args.sharded_every,
+        check_fused_every=args.fused_every,
         coverage=coverage,
         log=print,
     )

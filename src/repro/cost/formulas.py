@@ -340,6 +340,61 @@ def sort_cost(
     )
 
 
+def partial_sort_cost(
+    model: CostModel,
+    cardinality: Interval,
+    run_cardinality: Interval,
+    record_bytes: int,
+    memory_pages: Interval,
+) -> Interval:
+    """Segmented sort of an input pre-sorted on a key prefix.
+
+    The input decomposes into ``run_cardinality`` runs of equal prefix
+    values; each run is sorted independently, so the comparison depth is
+    ``log(run length)`` rather than ``log(input)`` and I/O is charged
+    only when a single *run* overflows memory.  The result is clipped by
+    :func:`sort_cost` (pointwise ``min``): a partial sort degenerates to
+    a full sort in the worst case (one run), never worse — which keeps
+    choose-plan intervals sound when the optimizer credits the cheaper
+    enforcer.
+    """
+
+    def cost(card: float, runs: float, memory: float) -> float:
+        if card <= 0:
+            return 0.0
+        runs = max(1.0, min(runs, card))
+        per_run = card / runs
+        # One comparison per row detects run boundaries; sorting adds the
+        # per-run merge-sort depth.
+        cpu = (
+            card * model.cpu_per_compare
+            + card * math.log2(max(per_run, 2.0)) * model.cpu_per_compare
+        )
+        run_pages = pages_for(per_run, record_bytes, model)
+        if run_pages <= memory:
+            return cpu
+        fan_in = max(2.0, memory - 1.0)
+        sub_runs = run_pages / max(memory, 1.0)
+        passes = max(1.0, math.ceil(math.log(max(sub_runs, 2.0), fan_in)))
+        io = (
+            2.0
+            * pages_for(card, record_bytes, model)
+            * passes
+            * model.sequential_page_io
+        )
+        return cpu + io
+
+    interval = monotone_interval(
+        cost,
+        (cardinality, INCREASING),
+        (run_cardinality, DECREASING),
+        (memory_pages, DECREASING),
+    )
+    return interval.min_with(
+        sort_cost(model, cardinality, record_bytes, memory_pages)
+    )
+
+
 def choose_plan_cost(model: CostModel, alternatives: int) -> Interval:
     """Start-up-time overhead of one choose-plan decision.
 

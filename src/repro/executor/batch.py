@@ -30,6 +30,7 @@ from repro.executor.iterators import (
     _Accumulator,
     _join_key_positions,
     _predicate_range,
+    compile_sort_key,
     null_last_key,
 )
 from repro.executor.sort import external_sort
@@ -840,34 +841,100 @@ class BatchSortedAggregateIterator(_BatchAggregateBase):
 class BatchSortIterator(BatchIterator):
     """Sort enforcer: external merge sort, emitted in blocks."""
 
-    __slots__ = ("child", "key", "db", "memory_pages", "batch_size")
+    __slots__ = ("child", "keys", "db", "memory_pages", "batch_size")
 
     def __init__(
         self,
         child: BatchIterator,
-        key: Attribute,
+        keys: Attribute | tuple[Attribute, ...],
         db: Database,
         memory_pages: int,
         batch_size: int,
     ) -> None:
         self.child = child
-        self.key = key
+        self.keys = (keys,) if isinstance(keys, Attribute) else tuple(keys)
         self.db = db
         self.memory_pages = max(3, memory_pages)
         self.batch_size = batch_size
         self.schema = child.schema
 
     def batches(self) -> Iterator[RowBatch]:
-        position = self.schema.position(self.key)
+        key_of = compile_sort_key(
+            [self.schema.position(k) for k in self.keys]
+        )
         yield from rebatch(
             external_sort(
                 self.db.disk,
                 flatten(self.child),
-                key=lambda row: null_last_key(row[position]),
+                key=key_of,
                 memory_pages=self.memory_pages,
                 rows_per_page=self.db.intermediate_rows_per_page,
             ),
             self.batch_size,
+        )
+
+
+class BatchPartialSortIterator(BatchIterator):
+    """Batch twin of
+    :class:`~repro.executor.iterators.PartialSortIterator`: the input is
+    already sorted on ``keys[:prefix_len]``, so equal-prefix runs are
+    sorted one at a time and re-blocked.  Only the current run is ever
+    buffered; the concatenated row stream is byte-identical to a full
+    stable sort on the same keys.
+    """
+
+    __slots__ = ("child", "keys", "prefix_len", "db", "memory_pages", "batch_size")
+
+    def __init__(
+        self,
+        child: BatchIterator,
+        keys: tuple[Attribute, ...],
+        prefix_len: int,
+        db: Database,
+        memory_pages: int,
+        batch_size: int,
+    ) -> None:
+        self.child = child
+        self.keys = tuple(keys)
+        self.prefix_len = prefix_len
+        self.db = db
+        self.memory_pages = max(3, memory_pages)
+        self.batch_size = batch_size
+        self.schema = child.schema
+
+    def batches(self) -> Iterator[RowBatch]:
+        yield from rebatch(self._rows(), self.batch_size)
+
+    def _rows(self) -> Iterator[Row]:
+        schema = self.schema
+        prefix_positions = [
+            schema.position(k) for k in self.keys[: self.prefix_len]
+        ]
+        key_of = compile_sort_key([schema.position(k) for k in self.keys])
+        budget_rows = self.memory_pages * self.db.intermediate_rows_per_page
+        run: list[Row] = []
+        current: tuple = ()
+        for row in flatten(self.child):
+            lead = tuple(row[p] for p in prefix_positions)
+            if run and lead != current:
+                yield from self._sorted_run(run, key_of, budget_rows)
+                run = []
+            current = lead
+            run.append(row)
+        if run:
+            yield from self._sorted_run(run, key_of, budget_rows)
+
+    def _sorted_run(
+        self, run: list[Row], key_of, budget_rows: int
+    ) -> Iterator[Row]:
+        if len(run) <= budget_rows:
+            return iter(sorted(run, key=key_of))
+        return external_sort(
+            self.db.disk,
+            iter(run),
+            key=key_of,
+            memory_pages=self.memory_pages,
+            rows_per_page=self.db.intermediate_rows_per_page,
         )
 
 

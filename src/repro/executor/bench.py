@@ -1,32 +1,82 @@
-"""Executor speedup benchmark: row-at-a-time vs vectorized batches.
+"""Executor speedup benchmark: row-at-a-time vs batches vs fused codegen.
 
-The workload is a scan-heavy equijoin with a residual selection —
-``SELECT * FROM B, P WHERE B.j = P.j AND P.a < :v`` — over the same
-build/probe catalog shape the parallel benchmark uses, but with the
-simulated disk left at zero latency: execution is CPU-bound, so the wall
-clock measures exactly the per-row interpreter overhead that batching
-and compiled predicates amortize.
+The main workload is a scan-heavy star equijoin with a residual
+selection — ``SELECT D1.a, D2.a, P.a FROM D1, D2, P WHERE D1.j = P.j
+AND D2.k = P.k AND P.a < :v`` — a four-operator streaming pipeline
+(scan → filter → probe → probe → project) over a large probe relation
+with the simulated disk left at zero latency: execution is CPU-bound,
+so the wall clock measures exactly the per-row interpreter overhead
+that batching amortizes and whole-pipeline codegen eliminates.
 
-Both modes run the *same* prepared query with the *same* start-up
+All modes run the *same* prepared query with the *same* start-up
 decision; only the iterator family differs.  The buffer pool is cleared
-before every timed run so neither mode inherits the other's cached
-pages.
+before every timed run so no mode inherits another's cached pages.
+
+A second scenario times the order-enforcement side of the PR: an ORDER
+BY whose input already arrives sorted on a key prefix (a clustered
+B-tree scan) is finished by a :class:`~repro.physical.plan.
+PartialSortNode` run by run, against the full-sort twin that re-sorts
+the whole input — and, at a small memory budget, spills.  The partial
+sort buffers one run at a time, so it wins on simulated I/O (zero spill
+writes) and on wall clock.
 """
 
 from __future__ import annotations
 
 from time import perf_counter
 
+from repro.catalog.catalog import Catalog
+from repro.cost.context import CostContext
 from repro.cost.model import CostModel
 from repro.executor.database import Database
-from repro.parallel.bench import make_speedup_catalog
+from repro.executor.executor import execute_plan
+from repro.params.parameter import ParameterSpace
+from repro.physical.plan import (
+    BtreeScanNode,
+    PartialSortNode,
+    SortNode,
+    enforce_ordering,
+)
 from repro.runtime.prepared import PreparedQuery
 from repro.util.interval import Interval
 
-BENCH_SQL = "SELECT * FROM B, P WHERE B.j = P.j AND P.a < :v"
+BENCH_SQL = (
+    "SELECT D1.a, D2.a, P.a FROM D1, D2, P "
+    "WHERE D1.j = P.j AND D2.k = P.k AND P.a < :v"
+)
+
+RECORD_BYTES = 512
 
 #: Batch sizes swept by the full benchmark (the default is 1024).
 BATCH_SIZES = (64, 256, 1024, 4096)
+
+
+def make_fusion_catalog(probe_rows: int, build_rows: int) -> Catalog:
+    """Two small build relations and a much larger probe relation.
+
+    No indexes are declared, so every plan scans all three relations and
+    both joins are hash-based — the maximal streaming chain the fused
+    executor compiles into one generated function.
+    """
+    catalog = Catalog()
+    for name, key in (("D1", "j"), ("D2", "k")):
+        catalog.add_relation(
+            name,
+            [("a", max(2, build_rows // 2)), (key, max(2, build_rows))],
+            cardinality=build_rows,
+            record_bytes=RECORD_BYTES,
+        )
+    catalog.add_relation(
+        "P",
+        [
+            ("a", max(2, probe_rows // 2)),
+            ("j", max(2, build_rows)),
+            ("k", max(2, build_rows)),
+        ],
+        cardinality=probe_rows,
+        record_bytes=RECORD_BYTES,
+    )
+    return catalog
 
 
 def _timed_run(
@@ -84,6 +134,97 @@ def _interval_micro_note(iterations: int = 50_000) -> dict:
     }
 
 
+def run_partial_sort_bench(
+    *,
+    rows: int = 20_000,
+    groups: int = 200,
+    memory_pages: int = 32,
+    repeats: int = 3,
+    seed: int = 11,
+) -> dict:
+    """Near-sorted ORDER BY: partial sort vs the full-sort twin.
+
+    A clustered B-tree scan of ``S`` delivers ``k`` order for free;
+    ``ORDER BY k, a`` therefore needs only the ``a`` order *within* each
+    equal-``k`` run.  :func:`~repro.physical.plan.enforce_ordering`
+    credits that prefix with a :class:`PartialSortNode`; the twin plan
+    ignores the prefix and full-sorts the same scan.  At a small memory
+    budget the full sort spills to external runs while the partial sort
+    never buffers more than one group, so both the simulated I/O and the
+    wall clock separate.  Outputs are asserted byte-identical.
+    """
+    catalog = Catalog()
+    catalog.add_relation(
+        "S",
+        [("k", max(2, groups)), ("a", max(2, rows // 2))],
+        cardinality=rows,
+        record_bytes=256,
+    )
+    catalog.create_index("S_k", "S", "k", clustered=True)
+    model = CostModel()
+    db = Database(catalog, model)
+    db.load_synthetic(seed)
+    ctx = CostContext(
+        catalog=catalog,
+        model=model,
+        env=ParameterSpace().dynamic_environment(),
+    )
+    k = catalog.attribute("S.k")
+    a = catalog.attribute("S.a")
+    ordering = (k, a)
+    partial_plan = enforce_ordering(ctx, BtreeScanNode(ctx, "S", k), ordering)
+    assert isinstance(partial_plan, PartialSortNode), (
+        "clustered-scan prefix must be credited with a partial sort"
+    )
+    full_plan = SortNode(ctx, BtreeScanNode(ctx, "S", k), ordering)
+    # One untimed warm-up run flushes the loaded heap and index to the
+    # simulated disk, so neither timed plan is charged the one-time
+    # load-side writes.
+    execute_plan(partial_plan, db, memory_pages=memory_pages)
+
+    def timed(plan) -> dict:
+        best_wall = float("inf")
+        metrics = None
+        result_rows = None
+        for _ in range(repeats):
+            db.buffer.clear()
+            result = execute_plan(plan, db, memory_pages=memory_pages)
+            if result.metrics.wall_seconds < best_wall:
+                best_wall = result.metrics.wall_seconds
+                metrics = result.metrics
+            result_rows = result.rows
+        return {
+            "rows": len(result_rows),
+            "wall_seconds": best_wall,
+            "io_seconds": metrics.io_seconds,
+            "writes": metrics.writes,
+            "predicted_cost": [float(plan.cost.low), float(plan.cost.high)],
+            "_result": result_rows,
+        }
+
+    partial = timed(partial_plan)
+    full = timed(full_plan)
+    if partial.pop("_result") != full.pop("_result"):
+        raise AssertionError(
+            "partial sort and full sort disagree on the output stream"
+        )
+    return {
+        "rows": rows,
+        "groups": groups,
+        "memory_pages": memory_pages,
+        "order_by": [k.qualified_name, a.qualified_name],
+        "partial_sort": partial,
+        "full_sort": full,
+        "io_seconds_saved": full["io_seconds"] - partial["io_seconds"],
+        "writes_saved": full["writes"] - partial["writes"],
+        "wall_speedup": (
+            full["wall_seconds"] / partial["wall_seconds"]
+            if partial["wall_seconds"]
+            else 0.0
+        ),
+    }
+
+
 def run_exec_bench(
     *,
     probe_rows: int = 40_000,
@@ -92,29 +233,35 @@ def run_exec_bench(
     memory_pages: int = 512,
     repeats: int = 3,
     seed: int = 11,
+    sort_rows: int = 20_000,
+    sort_groups: int = 200,
+    sort_memory_pages: int = 32,
 ) -> dict:
-    """Time the join row-at-a-time, then at each batch size.
+    """Time the star join row-at-a-time, then batched and fused per size.
 
     Returns a self-describing JSON payload: configuration, the row-mode
-    baseline, and one record per batch size with its wall time and
-    speedup over the baseline.  Row counts are asserted equal across all
-    runs — a benchmark that changes the answer measures nothing.
+    baseline, one record per batch size for plain batch execution and
+    for fused codegen (each with its speedup over the row baseline, the
+    fused records additionally over same-size batch execution), and the
+    near-sorted ORDER BY scenario.  Row counts are asserted equal across
+    all runs — a benchmark that changes the answer measures nothing.
     """
-    catalog = make_speedup_catalog(probe_rows, build_rows)
+    catalog = make_fusion_catalog(probe_rows, build_rows)
     model = CostModel()
     db = Database(catalog, model)
     db.load_synthetic(seed)
     prepared = PreparedQuery.prepare(BENCH_SQL, catalog, model)
-    # ~50% selectivity on the probe's residual predicate: enough survivors
-    # that the join and filter both stay hot.
-    bindings = {"v": max(2, probe_rows // 2) // 2}
+    # ~90% selectivity on the probe's residual predicate: the joins and
+    # the projection dominate, which is the work fusion removes.
+    bindings = {"v": int(max(2, probe_rows // 2) * 0.9)}
 
     row_seconds, row_count = _timed_run(
         prepared, db, bindings, memory_pages, repeats, execution_mode="row"
     )
     batch_runs = []
+    fused_runs = []
     for batch_size in batch_sizes:
-        seconds, rows = _timed_run(
+        batch_seconds, batch_count = _timed_run(
             prepared,
             db,
             bindings,
@@ -123,17 +270,38 @@ def run_exec_bench(
             execution_mode="batch",
             batch_size=batch_size,
         )
-        if rows != row_count:
-            raise AssertionError(
-                f"batch_size={batch_size} returned {rows} rows, "
-                f"row mode returned {row_count}"
-            )
+        fused_seconds, fused_count = _timed_run(
+            prepared,
+            db,
+            bindings,
+            memory_pages,
+            repeats,
+            execution_mode="fused",
+            batch_size=batch_size,
+        )
+        for label, count in (("batch", batch_count), ("fused", fused_count)):
+            if count != row_count:
+                raise AssertionError(
+                    f"{label} batch_size={batch_size} returned {count} "
+                    f"rows, row mode returned {row_count}"
+                )
         batch_runs.append(
             {
                 "batch_size": batch_size,
-                "seconds": seconds,
-                "speedup": row_seconds / seconds if seconds else 0.0,
-                "rows": rows,
+                "seconds": batch_seconds,
+                "speedup": row_seconds / batch_seconds if batch_seconds else 0.0,
+                "rows": batch_count,
+            }
+        )
+        fused_runs.append(
+            {
+                "batch_size": batch_size,
+                "seconds": fused_seconds,
+                "speedup": row_seconds / fused_seconds if fused_seconds else 0.0,
+                "speedup_vs_batch": (
+                    batch_seconds / fused_seconds if fused_seconds else 0.0
+                ),
+                "rows": fused_count,
             }
         )
     return {
@@ -149,10 +317,23 @@ def run_exec_bench(
         },
         "row": {"seconds": row_seconds, "rows": row_count},
         "batch_runs": batch_runs,
+        "fused_runs": fused_runs,
+        "partial_sort_scenario": run_partial_sort_bench(
+            rows=sort_rows,
+            groups=sort_groups,
+            memory_pages=sort_memory_pages,
+            repeats=repeats,
+            seed=seed,
+        ),
         "micro_notes": _interval_micro_note(),
     }
 
 
 SMOKE_CONFIG = dict(
-    probe_rows=4_000, build_rows=120, batch_sizes=(256, 1024), repeats=1
+    probe_rows=4_000,
+    build_rows=120,
+    batch_sizes=(256, 1024),
+    repeats=1,
+    sort_rows=3_000,
+    sort_groups=60,
 )

@@ -31,6 +31,13 @@ class BufferPool:
         self.disk = disk
         self.capacity = capacity_pages
         self._frames: OrderedDict[PageId, list] = OrderedDict()
+        # Per-file high-water mark: 1 + the highest page number ever
+        # inserted.  A page at or past the mark was never read, so it
+        # cannot be cached — which lets sequential scans skip the
+        # per-page lookup entirely (see read_page_range).  Eviction
+        # never lowers the mark (it only removes pages below it), so
+        # the invariant survives replacement.
+        self._file_high: dict[str, int] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -47,6 +54,8 @@ class BufferPool:
             payload = self.disk.read_page(file_name, page_no)
             self.misses += 1
             self._frames[key] = payload
+            if page_no >= self._file_high.get(file_name, 0):
+                self._file_high[file_name] = page_no + 1
             if len(self._frames) > self.capacity:
                 self._frames.popitem(last=False)
             return payload
@@ -63,6 +72,8 @@ class BufferPool:
         if last <= first:
             return []
         with self._lock:
+            if first >= self._file_high.get(file_name, 0):
+                return self._read_all_miss(file_name, first, last)
             payloads: list[list | None] = []
             run_start: int | None = None  # first page of the current miss run
 
@@ -91,9 +102,39 @@ class BufferPool:
                         run_start = page_no
                     payloads.append(None)
             fill_run(last)
+            if last > self._file_high.get(file_name, 0):
+                self._file_high[file_name] = last
             while len(self._frames) > self.capacity:
                 self._frames.popitem(last=False)
             return payloads  # type: ignore[return-value]
+
+    def _read_all_miss(self, file_name: str, first: int, last: int) -> list[list]:
+        """Range read past the file's high-water mark (lock held).
+
+        Every page is a guaranteed miss, so the range goes to the disk as
+        one call — the same single sequential read ``fill_run`` would
+        have issued — and the per-page cache probes are skipped.  When
+        the range is at least as large as the pool, only its tail
+        survives replacement, so the leading pages are never inserted at
+        all; hit/miss counters and the final LRU state are exactly what
+        the general path produces.
+        """
+        payloads = self.disk.read_page_range(file_name, first, last)
+        count = last - first
+        self.misses += count
+        frames = self._frames
+        keep = min(count, self.capacity)
+        if keep < count:
+            frames.clear()  # the whole range evicts every older frame
+        tail_start = last - keep
+        for offset in range(keep):
+            frames[(file_name, tail_start + offset)] = payloads[
+                tail_start + offset - first
+            ]
+        self._file_high[file_name] = last
+        while len(frames) > self.capacity:
+            frames.popitem(last=False)
+        return payloads
 
     def invalidate_file(self, file_name: str) -> None:
         """Drop all cached frames of one file (after drop/rewrite)."""
@@ -101,11 +142,13 @@ class BufferPool:
             stale = [key for key in self._frames if key[0] == file_name]
             for key in stale:
                 del self._frames[key]
+            self._file_high.pop(file_name, None)
 
     def clear(self) -> None:
         """Empty the pool (between experiment runs)."""
         with self._lock:
             self._frames.clear()
+            self._file_high.clear()
 
     @property
     def hit_ratio(self) -> float:

@@ -96,34 +96,58 @@ def compile_filter(
     raise ExecutionError(f"unsupported operator {op}")
 
 
-def compile_project(
-    positions: Sequence[int],
-) -> BatchProject:
-    """Compile a positional projection into a whole-batch closure.
+def row_shape(positions: Sequence[int]) -> KeyFunc:
+    """The one shared row-shape extractor: positions → per-row tuple.
 
-    ``itemgetter`` with two or more positions already returns tuples; a
-    single position returns a bare value, so that case wraps explicitly
-    (the engine's rows are always tuples, even 1-wide).
-    """
-    positions = tuple(positions)
-    if len(positions) == 1:
-        p = positions[0]
-        return lambda rows: [(r[p],) for r in rows]
-    getter = itemgetter(*positions)
-    return lambda rows: [getter(r) for r in rows]
-
-
-def compile_key(positions: Sequence[int]) -> KeyFunc:
-    """Compile join/group key positions into a per-row tuple extractor.
-
-    Multi-position keys use :func:`operator.itemgetter` (which returns a
-    tuple); a single position wraps into a 1-tuple so the key shape —
-    and therefore ``hash()`` and equality — matches the interpreted
-    ``tuple(row[p] for p in positions)`` form the row path and the
-    Grace-partition spill files use.
+    Contract: the result is ALWAYS a tuple, even for a single position.
+    ``operator.itemgetter`` with two or more positions already returns
+    tuples, but with exactly one it returns the bare value — a silent
+    shape change that breaks hash-key equality against the interpreted
+    ``tuple(row[p] for p in positions)`` form (and the Grace-partition
+    spill files keyed by it).  Every tuple-shaped extraction in the
+    engine — projections, join/group keys, and the fused codegen's
+    inlined expressions (:func:`row_shape_expr`) — goes through this
+    helper so the 1-tuple contract is pinned in one place.
     """
     positions = tuple(positions)
     if len(positions) == 1:
         p = positions[0]
         return lambda row: (row[p],)
     return itemgetter(*positions)
+
+
+def row_shape_expr(positions: Sequence[int], var: str = "r") -> str:
+    """Source text of the :func:`row_shape` extraction, for codegen.
+
+    Renders ``(r[2],)`` / ``(r[1], r[4])`` — the same always-a-tuple
+    shape :func:`row_shape` produces, inlined into generated pipeline
+    source instead of paying a closure call per row.
+    """
+    positions = tuple(positions)
+    items = ", ".join(f"{var}[{p}]" for p in positions)
+    if len(positions) == 1:
+        return f"({items},)"
+    return f"({items})"
+
+
+def compile_project(
+    positions: Sequence[int],
+) -> BatchProject:
+    """Compile a positional projection into a whole-batch closure.
+
+    Row shape comes from :func:`row_shape`: always tuples, even 1-wide
+    (the engine's rows are always tuples).
+    """
+    getter = row_shape(positions)
+    return lambda rows: [getter(r) for r in rows]
+
+
+def compile_key(positions: Sequence[int]) -> KeyFunc:
+    """Compile join/group key positions into a per-row tuple extractor.
+
+    Delegates to :func:`row_shape`: the key shape — and therefore
+    ``hash()`` and equality — matches the interpreted
+    ``tuple(row[p] for p in positions)`` form the row path and the
+    Grace-partition spill files use.
+    """
+    return row_shape(positions)

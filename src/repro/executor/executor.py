@@ -29,6 +29,7 @@ from repro.executor.batch import (
     BatchIterator,
     BatchMergeJoinIterator,
     BatchNestedLoopsJoinIterator,
+    BatchPartialSortIterator,
     BatchProjectIterator,
     BatchDistinctIterator,
     BatchLeftOuterHashJoinIterator,
@@ -57,6 +58,7 @@ from repro.executor.iterators import (
     MeteredIterator,
     NestedLoopsJoinIterator,
     OperatorStats,
+    PartialSortIterator,
     PlanIterator,
     ProjectIterator,
     SemiJoinIterator,
@@ -65,6 +67,7 @@ from repro.executor.iterators import (
     TopNIterator,
     UnionAllIterator,
 )
+from repro.executor.fused import try_fuse
 from repro.obs.metrics import get_metrics
 from repro.obs.telemetry import CardinalityLedger, get_ledger, plan_signature
 from repro.obs.trace import get_tracer
@@ -93,6 +96,7 @@ from repro.physical.plan import (
     DistinctNode,
     LeftOuterJoinNode,
     NestedLoopsJoinNode,
+    PartialSortNode,
     PlanNode,
     ProjectNode,
     SemiJoinNode,
@@ -171,7 +175,7 @@ def execute_plan(
     materialized: Mapping[MaterializedKey, MaterializedIterator] | None = None,
     analyze: bool = False,
     dop: int | None = None,
-    execution_mode: str = "batch",
+    execution_mode: str = "fused",
     batch_size: int | None = None,
     guard=None,
     pinned_nodes: Mapping[int, tuple] | None = None,
@@ -197,14 +201,21 @@ def execute_plan(
     (defaults to the ``dop`` entry of ``parameter_values``, else 1).
     Serial plans ignore it entirely.
 
-    ``execution_mode`` selects the iterator family: ``"batch"`` (the
-    default) runs the vectorized engine — operators exchange
-    :class:`~repro.executor.tuples.RowBatch` blocks of ``batch_size``
-    rows (default :data:`~repro.executor.tuples.DEFAULT_BATCH_SIZE`)
-    processed by compiled predicate/projection closures — while
-    ``"row"`` runs the original row-at-a-time Volcano iterators.  Both
-    modes produce byte-identical rows in identical order; the cost model
-    and every plan decision are mode-independent.
+    ``execution_mode`` selects the iterator family: ``"fused"`` (the
+    default) runs the vectorized engine with whole-pipeline codegen —
+    maximal streaming chains between pipeline breakers are compiled into
+    one generated function per pipeline (see
+    :mod:`repro.executor.fused`), cached by plan signature — ``"batch"``
+    runs the same vectorized operators with per-operator dispatch, and
+    ``"row"`` runs the original row-at-a-time Volcano iterators.
+    Operators exchange :class:`~repro.executor.tuples.RowBatch` blocks
+    of ``batch_size`` rows (default
+    :data:`~repro.executor.tuples.DEFAULT_BATCH_SIZE`) in the vectorized
+    modes.  All three modes produce byte-identical rows in identical
+    order; the cost model and every plan decision are mode-independent.
+    ``analyze`` (per-operator metering) and adaptive guards disable
+    fusion for the affected run — fused falls back to plain batch
+    construction there, which is output-identical.
 
     ``guard`` is an adaptive-execution guard (see
     :class:`repro.adaptive.guard.AdaptiveGuard`, duck-typed here):
@@ -239,9 +250,10 @@ def execute_plan(
     operator_stats: dict[int, OperatorStats] | None = (
         {} if analyze or tracer.enabled else None
     )
-    if execution_mode not in ("row", "batch"):
+    if execution_mode not in ("row", "batch", "fused"):
         raise ExecutionError(
-            f"unknown execution mode {execution_mode!r}; use 'row' or 'batch'"
+            f"unknown execution mode {execution_mode!r}; "
+            "use 'fused', 'batch', or 'row'"
         )
     size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
     if size <= 0:
@@ -257,7 +269,15 @@ def execute_plan(
     started = time.perf_counter()
     max_estimate_error = 1.0
     with ledger.collect() if probe is not None else _no_collection() as collection:
-        if execution_mode == "batch":
+        if execution_mode in ("batch", "fused"):
+            # Metering and guards wrap every operator individually, which
+            # a fused chain cannot honor — those runs build the plain
+            # batch tree instead (byte-identical output).
+            fuse = (
+                execution_mode == "fused"
+                and operator_stats is None
+                and guard is None
+            )
             iterator = _build_batch_iterator(
                 plan,
                 db,
@@ -271,8 +291,14 @@ def execute_plan(
                 probe=probe,
                 guard=guard,
                 pinned=pinned_nodes,
+                fused=fuse,
             )
-            rows = [row for batch in iterator.batches() for row in batch.rows]
+            # Whole-block extends gather the result at C speed; a
+            # per-row comprehension here costs more than a short
+            # pipeline's own operator work.
+            rows = []
+            for batch in iterator.batches():
+                rows.extend(batch.rows)
         else:
             iterator = _build_iterator(
                 plan,
@@ -570,7 +596,11 @@ def _instantiate_iterator(
             )
         return iterator
     if isinstance(node, SortNode):
-        return SortIterator(build(node.inputs[0]), node.key, db, memory)
+        return SortIterator(build(node.inputs[0]), node.keys, db, memory)
+    if isinstance(node, PartialSortNode):
+        return PartialSortIterator(
+            build(node.inputs[0]), node.keys, node.prefix_len, db, memory
+        )
     if isinstance(node, TopNNode):
         return TopNIterator(build(node.inputs[0]), node.key, node.limit)
     if isinstance(node, ProjectNode):
@@ -677,8 +707,65 @@ def _exchange_telemetry(
 
 
 # ----------------------------------------------------------------------
-# Vectorized construction (execution_mode="batch")
+# Vectorized construction (execution_mode="batch"/"fused")
 # ----------------------------------------------------------------------
+def build_fused_pipelines(
+    plan: PlanNode,
+    db: Database,
+    bindings: Mapping[str, object] | None = None,
+    choices: Mapping[int, PlanNode] | None = None,
+    memory_pages: int | None = None,
+    batch_size: int | None = None,
+) -> list:
+    """Construct (without executing) the fused pipelines of ``plan``.
+
+    Builds the same iterator tree ``execution_mode="fused"`` runs —
+    rendering and compiling (or cache-hitting) each pipeline's generated
+    source — and returns its :class:`~repro.executor.fused.
+    FusedPipelineIterator` instances.  Construction is lazy: no batch is
+    pulled and no simulated I/O is charged, so this is safe for display
+    (``analyze --show-fused``).
+    """
+    from repro.executor.fused import iter_fused_pipelines
+
+    memory = (
+        memory_pages
+        if memory_pages is not None
+        else db.model.default_memory_pages
+    )
+    iterator = _build_batch_iterator(
+        plan,
+        db,
+        dict(bindings or {}),
+        choices or {},
+        memory,
+        {},
+        None,
+        batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+        fused=True,
+    )
+    return list(iter_fused_pipelines(iterator))
+
+
+def _fused_build_wrapper(probe: _ProbeContext | None):
+    """Ledger wrapping for hash-join build sides inside fused chains.
+
+    Mirrors the special-casing in :func:`_instantiate_batch_iterator`:
+    the build input is consumed in full before any probe row flows, so
+    it is a free observation point whether or not the chain is fused.
+    """
+    if probe is None:
+        return None
+
+    def wrap(side: PlanNode, iterator: BatchIterator) -> BatchIterator:
+        return LedgerProbeBatchIterator(
+            iterator, probe.ledger, plan_signature(side),
+            f"{side.label} [build]", side.cardinality, probe.catalog_version,
+        )
+
+    return wrap
+
+
 def _build_batch_iterator(
     node: PlanNode,
     db: Database,
@@ -693,15 +780,38 @@ def _build_batch_iterator(
     probe: _ProbeContext | None = None,
     guard=None,
     pinned: Mapping[int, tuple] | None = None,
+    fused: bool = False,
 ) -> BatchIterator:
     """Batch-mode twin of :func:`_build_iterator`: same dispatch, same
     choose-plan, metering, ledger-probe, and checkpoint rules,
-    vectorized operators."""
+    vectorized operators.  With ``fused=True``, maximal streaming chains
+    compile into generated pipelines (:mod:`repro.executor.fused`);
+    everything below a cut point recurses through this builder, so
+    breakers, exchanges, and their wrappers are untouched."""
     if pinned:
         entry = pinned.get(id(node))
         if entry is not None:
             schema, rows = entry
             return MaterializedBatchIterator(schema, tuple(rows), batch_size)
+    if fused and partition is None:
+        pipeline = try_fuse(
+            node,
+            lambda child: _build_batch_iterator(
+                child, db, bindings, choices, memory, materialized,
+                operator_stats, batch_size, dop, partition, probe, guard,
+                pinned, fused=True,
+            ),
+            choices,
+            pinned,
+            db,
+            bindings,
+            memory,
+            batch_size,
+            materialized=materialized,
+            wrap_build=_fused_build_wrapper(probe),
+        )
+        if pipeline is not None:
+            return pipeline
     if isinstance(node, ChoosePlanNode):
         try:
             chosen = choices[id(node)]
@@ -711,11 +821,11 @@ def _build_batch_iterator(
             ) from None
         return _build_batch_iterator(
             chosen, db, bindings, choices, memory, materialized, operator_stats,
-            batch_size, dop, partition, probe, guard, pinned,
+            batch_size, dop, partition, probe, guard, pinned, fused,
         )
     iterator = _instantiate_batch_iterator(
         node, db, bindings, choices, memory, materialized, operator_stats,
-        batch_size, dop, partition, probe, guard, pinned,
+        batch_size, dop, partition, probe, guard, pinned, fused,
     )
     if operator_stats is not None and not isinstance(
         iterator, MeteredBatchIterator
@@ -748,6 +858,7 @@ def _instantiate_batch_iterator(
     probe: _ProbeContext | None = None,
     guard=None,
     pinned: Mapping[int, tuple] | None = None,
+    fused: bool = False,
 ) -> BatchIterator:
     if materialized:
         info = leaf_access_info(node)
@@ -765,7 +876,7 @@ def _instantiate_batch_iterator(
     def build(child: PlanNode) -> BatchIterator:
         return _build_batch_iterator(
             child, db, bindings, choices, memory, materialized, operator_stats,
-            batch_size, dop, partition, probe, guard, pinned,
+            batch_size, dop, partition, probe, guard, pinned, fused,
         )
 
     if isinstance(node, ExchangeNode):
@@ -847,7 +958,12 @@ def _instantiate_batch_iterator(
         return iterator
     if isinstance(node, SortNode):
         return BatchSortIterator(
-            build(node.inputs[0]), node.key, db, memory, batch_size
+            build(node.inputs[0]), node.keys, db, memory, batch_size
+        )
+    if isinstance(node, PartialSortNode):
+        return BatchPartialSortIterator(
+            build(node.inputs[0]), node.keys, node.prefix_len, db, memory,
+            batch_size,
         )
     if isinstance(node, TopNNode):
         return BatchTopNIterator(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Callable, Iterator, Mapping
 
 from repro.catalog.schema import Attribute
 from repro.errors import BindingError, ExecutionError
@@ -36,6 +36,22 @@ def null_last_key(value: object) -> tuple[bool, object]:
     existing results is preserved.
     """
     return (value is None, 0 if value is None else value)
+
+
+def compile_sort_key(positions) -> "Callable[[Row], object]":
+    """Lexicographic NULLs-last sort key over the given column positions.
+
+    The single shared definition of "sorted on these columns" for every
+    sort-family operator (full sort, partial sort, batch twins): one
+    position compares by :func:`null_last_key` directly — identical to
+    the historical single-key behavior — and several compare as a tuple
+    of those keys, giving per-key NULLs-last lexicographic order.
+    """
+    positions = tuple(positions)
+    if len(positions) == 1:
+        p = positions[0]
+        return lambda row: null_last_key(row[p])
+    return lambda row: tuple(null_last_key(row[p]) for p in positions)
 
 
 class PlanIterator:
@@ -718,29 +734,94 @@ class SortedAggregateIterator(_AggregateBase):
 # Enforcers
 # ----------------------------------------------------------------------
 class SortIterator(PlanIterator):
-    """Sort enforcer via external merge sort."""
+    """Sort enforcer via external merge sort (multi-key lexicographic)."""
 
-    __slots__ = ("child", "key", "db", "memory_pages")
+    __slots__ = ("child", "keys", "db", "memory_pages")
 
     def __init__(
         self,
         child: PlanIterator,
-        key: Attribute,
+        keys: Attribute | tuple[Attribute, ...],
         db: Database,
         memory_pages: int,
     ) -> None:
         self.child = child
-        self.key = key
+        self.keys = (keys,) if isinstance(keys, Attribute) else tuple(keys)
         self.db = db
         self.memory_pages = max(3, memory_pages)
         self.schema = child.schema
 
     def rows(self) -> Iterator[Row]:
-        position = self.schema.position(self.key)
+        key_of = compile_sort_key(
+            [self.schema.position(k) for k in self.keys]
+        )
         yield from external_sort(
             self.db.disk,
             self.child.rows(),
-            key=lambda row: null_last_key(row[position]),
+            key=key_of,
+            memory_pages=self.memory_pages,
+            rows_per_page=self.db.intermediate_rows_per_page,
+        )
+
+
+class PartialSortIterator(PlanIterator):
+    """Segmented sort: the input is already sorted on ``keys[:prefix_len]``.
+
+    Rows arrive grouped into runs of equal prefix values; each run is
+    stably sorted on the *full* key tuple and emitted as soon as the next
+    run begins.  Because the external sort is stable, concatenating the
+    sorted runs is byte-identical to fully sorting the whole input — only
+    one run is ever buffered, so memory and spill I/O are bounded by the
+    largest run.
+    """
+
+    __slots__ = ("child", "keys", "prefix_len", "db", "memory_pages")
+
+    def __init__(
+        self,
+        child: PlanIterator,
+        keys: tuple[Attribute, ...],
+        prefix_len: int,
+        db: Database,
+        memory_pages: int,
+    ) -> None:
+        self.child = child
+        self.keys = tuple(keys)
+        self.prefix_len = prefix_len
+        self.db = db
+        self.memory_pages = max(3, memory_pages)
+        self.schema = child.schema
+
+    def rows(self) -> Iterator[Row]:
+        schema = self.schema
+        prefix_positions = [
+            schema.position(k) for k in self.keys[: self.prefix_len]
+        ]
+        key_of = compile_sort_key([schema.position(k) for k in self.keys])
+        budget_rows = self.memory_pages * self.db.intermediate_rows_per_page
+        run: list[Row] = []
+        current: tuple = ()
+        for row in self.child.rows():
+            lead = tuple(row[p] for p in prefix_positions)
+            if run and lead != current:
+                yield from self._sorted_run(run, key_of, budget_rows)
+                run = []
+            current = lead
+            run.append(row)
+        if run:
+            yield from self._sorted_run(run, key_of, budget_rows)
+
+    def _sorted_run(
+        self, run: list[Row], key_of, budget_rows: int
+    ) -> Iterator[Row]:
+        if len(run) <= budget_rows:
+            return iter(sorted(run, key=key_of))
+        # A single run overflowing memory degenerates to an external sort
+        # of just that run — still stable, still byte-identical.
+        return external_sort(
+            self.db.disk,
+            iter(run),
+            key=key_of,
             memory_pages=self.memory_pages,
             rows_per_page=self.db.intermediate_rows_per_page,
         )

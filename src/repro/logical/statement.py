@@ -156,10 +156,15 @@ class Statement:
     union_all: bool = True
     parameters: ParameterSpace = field(default_factory=ParameterSpace)
     order_by: Attribute | None = None
+    order_by_rest: tuple[Attribute, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.branches:
             raise OptimizationError("statement needs at least one branch")
+        if self.order_by_rest and self.order_by is None:
+            raise OptimizationError(
+                "order_by_rest requires a leading order_by attribute"
+            )
         if len(self.branches) > 1:
             arities = set()
             for branch in self.branches:
@@ -172,13 +177,20 @@ class Statement:
                 raise OptimizationError(
                     f"UNION branches have mismatched arities {sorted(arities)}"
                 )
-            if self.order_by is not None:
-                first = self.branches[0].projection or ()
-                if self.order_by not in first:
+            first = self.branches[0].projection or ()
+            for key in self.order_by_keys:
+                if key not in first:
                     raise OptimizationError(
-                        f"ORDER BY {self.order_by.qualified_name} must be "
+                        f"ORDER BY {key.qualified_name} must be "
                         "projected by the first UNION branch"
                     )
+
+    @property
+    def order_by_keys(self) -> tuple[Attribute, ...]:
+        """All ORDER BY attributes (leading key first), () when unordered."""
+        if self.order_by is None:
+            return ()
+        return (self.order_by,) + self.order_by_rest
 
     @property
     def is_simple(self) -> bool:

@@ -42,6 +42,7 @@ from repro.optimizer.rules import (
 )
 from repro.optimizer.winners import WinnerSet
 from repro.parallel.rules import parallel_alternative
+from repro.physical.ordering import Ordering, as_ordering
 from repro.physical.plan import (
     ChoosePlanNode,
     HashAggregateNode,
@@ -49,6 +50,7 @@ from repro.physical.plan import (
     ProjectNode,
     SortedAggregateNode,
     SortNode,
+    enforce_ordering,
 )
 from repro.util.interval import Interval
 
@@ -93,16 +95,56 @@ class SearchEngine:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def optimize(self, required_order: Attribute | None = None) -> PlanNode:
-        """Optimize the whole query; returns the (possibly dynamic) plan."""
+    def optimize(
+        self,
+        required_order: Attribute | tuple[Attribute, ...] | None = None,
+    ) -> PlanNode:
+        """Optimize the whole query; returns the (possibly dynamic) plan.
+
+        ``required_order`` is a single attribute, an attribute tuple (a
+        multi-key ORDER BY, leading key first), or None.
+        """
+        keys = as_ordering(required_order)
         if self.query.aggregate is not None:
-            return self._optimize_aggregate(self.query.aggregate, required_order)
-        result = self.optimize_group(self.query.relation_set, required_order, None)
+            return self._optimize_aggregate(self.query.aggregate, keys)
+        if len(keys) > 1:
+            return self._optimize_multikey_root(keys)
+        order = keys[0] if keys else None
+        result = self.optimize_group(self.query.relation_set, order, None)
         if isinstance(result, Pruned):  # pragma: no cover - limit=None never prunes
             raise OptimizationError("root group pruned without a cost limit")
         plan = result.plan
         if self._parallel_enabled():
-            plan = self._parallelize_root(result.winners, required_order)
+            plan = self._parallelize_root(result.winners, order)
+        if self.query.projection is not None:
+            plan = ProjectNode(self.ctx, plan, tuple(self.query.projection))
+        return plan
+
+    def _optimize_multikey_root(self, keys: Ordering) -> PlanNode:
+        """Root handling for a multi-attribute ORDER BY.
+
+        Memo groups are keyed on single sort attributes (the leading key),
+        so the full ordering is enforced per alternative at the root: a
+        full Sort over the unordered group's shared plan competes with
+        every winner of the leading-key-ordered group extended by
+        :func:`enforce_ordering` (a no-op when the winner's derived
+        ordering already covers the keys, a partial sort when only a
+        prefix does, a full sort otherwise).  Enforcement stays *below*
+        the combining choose-plan, preserving gᵢ = dᵢ.  Parallel twins
+        are skipped: the exchange merge restores order on a single merge
+        key only, which would destroy a multi-key global order.
+        """
+        winners = WinnerSet(keep_all=self.exhaustive, probe=self.probe)
+        base = self.optimize_group(self.query.relation_set, None, None)
+        assert isinstance(base, GroupResult)
+        self._consider(winners, SortNode(self.ctx, base.plan, keys), keys[0])
+        ordered = self.optimize_group(self.query.relation_set, keys[0], None)
+        assert isinstance(ordered, GroupResult)
+        for winner in ordered.winners.plans:
+            self._consider(
+                winners, enforce_ordering(self.ctx, winner, keys), keys[0]
+            )
+        plan = self._combined_plan(winners)
         if self.query.projection is not None:
             plan = ProjectNode(self.ctx, plan, tuple(self.query.projection))
         return plan
@@ -146,7 +188,7 @@ class SearchEngine:
             self._consider(winners, parallel, order)
 
     def _optimize_aggregate(
-        self, spec, required_order: Attribute | None = None
+        self, spec, required_order: Ordering = ()
     ) -> PlanNode:
         """Aggregation root: hash vs sorted implementations compete.
 
@@ -169,36 +211,46 @@ class SearchEngine:
         # Parallel variants of each aggregate implementation enter the same
         # winner set as first-class candidates (the aggregate itself stays
         # serial; only its input subtree is exchanged), preserving the
-        # frontier property that underlies gᵢ = dᵢ.
-        self._consider_with_parallel(
+        # frontier property that underlies gᵢ = dᵢ.  Under a *multi-key*
+        # ORDER BY parallel twins are skipped — the exchange merge restores
+        # a single merge key's order only.
+        self._consider_aggregate_candidate(
             winners,
             self._enforce_order(
                 HashAggregateNode(self.ctx, base.plan, spec), required_order
             ),
-            None,
+            required_order,
         )
         if spec.group_by:
             ordered = self.optimize_group(
                 self.query.relation_set, spec.group_by[0], None
             )
             assert isinstance(ordered, GroupResult)
-            self._consider_with_parallel(
+            self._consider_aggregate_candidate(
                 winners,
                 self._enforce_order(
                     SortedAggregateNode(self.ctx, ordered.plan, spec),
                     required_order,
                 ),
-                None,
+                required_order,
             )
         return self._combined_plan(winners)
 
+    def _consider_aggregate_candidate(
+        self, winners: WinnerSet, plan: PlanNode, required_order: Ordering
+    ) -> None:
+        if len(required_order) > 1:
+            self._consider(winners, plan, None)
+        else:
+            self._consider_with_parallel(winners, plan, None)
+
     def _enforce_order(
-        self, plan: PlanNode, required_order: Attribute | None
+        self, plan: PlanNode, required_order: Ordering
     ) -> PlanNode:
-        """Wrap ``plan`` in a Sort enforcer unless it delivers the order."""
-        if required_order is None or plan.order == required_order:
-            return plan
-        return SortNode(self.ctx, plan, required_order)
+        """Enforce the ordering above one alternative, never above a
+        choose-plan: a no-op when delivered, a partial sort when a usable
+        prefix is available, a full Sort otherwise."""
+        return enforce_ordering(self.ctx, plan, required_order)
 
     # ------------------------------------------------------------------
     # Group optimization

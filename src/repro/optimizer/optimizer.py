@@ -114,7 +114,7 @@ def optimize_query(
     model: CostModel | None = None,
     mode: OptimizationMode = OptimizationMode.DYNAMIC,
     binding: Mapping[str, float] | None = None,
-    required_order: Attribute | None = None,
+    required_order: Attribute | tuple[Attribute, ...] | None = None,
     pruning: bool = True,
     access_rules=None,
     join_rules=None,

@@ -47,10 +47,10 @@ from repro.physical.plan import (
     PlanNode,
     ProjectNode,
     SemiJoinNode,
-    SortNode,
     UnionAllNode,
     count_choose_plan_nodes,
     count_plan_nodes,
+    enforce_ordering,
 )
 
 
@@ -133,7 +133,7 @@ def optimize_statement(
             model,
             mode=mode,
             binding=binding,
-            required_order=statement.order_by,
+            required_order=statement.order_by_keys or None,
         )
         return StatementResult(
             statement=statement,
@@ -212,7 +212,7 @@ def optimize_statement(
             assert attributes is not None  # validated by Statement
             plan = DistinctNode(ctx, plan, attributes)
     if statement.order_by is not None:
-        plan = SortNode(ctx, plan, statement.order_by)
+        plan = enforce_ordering(ctx, plan, statement.order_by_keys)
 
     return StatementResult(
         statement=statement,

@@ -1,0 +1,71 @@
+"""Sort-order physical property: attribute-tuple (prefix) orderings.
+
+An *ordering* is a tuple of attributes ``(a1, a2, ...)`` meaning the
+stream is sorted lexicographically on ``a1``, then ``a2`` within equal
+``a1`` runs, and so on (always ascending, NULLs last — the engine's only
+collation).  The empty tuple means "no known order".
+
+Orderings form a prefix lattice: an available ordering *satisfies* a
+required one exactly when the required tuple is a prefix of the available
+tuple — sorting on ``(a, b)`` delivers every query interested in ``(a,)``
+or ``(a, b)`` but not ``(b,)`` or ``(a, c)``.  When satisfaction fails but
+a non-empty shared prefix exists, a *partial sort* can finish the job:
+the input already arrives in runs of equal prefix values, so each run can
+be sorted independently without a full external sort (Guravannavar &
+Sudarshan's order-enforcement reduction).
+
+These helpers are deliberately free of plan-node imports so both the
+optimizer and the executor can use them.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Attribute
+
+Ordering = tuple[Attribute, ...]
+
+
+def as_ordering(keys) -> Ordering:
+    """Normalize ``None`` / a single attribute / an iterable to a tuple."""
+    if keys is None:
+        return ()
+    if isinstance(keys, Attribute):
+        return (keys,)
+    return tuple(keys)
+
+
+def ordering_satisfies(available: Ordering, required: Ordering) -> bool:
+    """True when ``available`` delivers ``required``: required is a prefix."""
+    if len(required) > len(available):
+        return False
+    return available[: len(required)] == required
+
+
+def shared_prefix_len(available: Ordering, required: Ordering) -> int:
+    """Length of the common prefix of the two orderings.
+
+    This is the number of leading sort keys a partial sort can exploit:
+    the input arrives grouped into runs of equal values on that prefix,
+    and only the runs — never the whole stream — need sorting.
+    """
+    n = 0
+    for have, want in zip(available, required):
+        if have != want:
+            break
+        n += 1
+    return n
+
+
+def common_prefix(orderings: list[Ordering]) -> Ordering:
+    """Longest ordering that is a prefix of every input ordering.
+
+    The meet of the prefix lattice — what a choose-plan node can promise
+    when its alternatives deliver different orderings.
+    """
+    if not orderings:
+        return ()
+    shortest = min(orderings, key=len)
+    n = len(shortest)
+    for ordering in orderings:
+        n = min(n, shared_prefix_len(ordering, shortest))
+    return shortest[:n]

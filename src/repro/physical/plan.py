@@ -29,6 +29,13 @@ from repro.cost.context import CostContext
 from repro.errors import PlanError
 from repro.logical.estimation import estimate_selectivity
 from repro.logical.predicates import JoinPredicate, SelectionPredicate
+from repro.physical.ordering import (
+    Ordering,
+    as_ordering,
+    common_prefix,
+    ordering_satisfies,
+    shared_prefix_len,
+)
 from repro.util.interval import Interval
 
 
@@ -53,16 +60,27 @@ class PlanNode:
         also the quantity winner-set dominance must compare — pruning on
         overhead-inflated totals can discard the run-time optimum.
     ``order``
-        The attribute the output is sorted on, or None.
+        The attribute the output is sorted on, or None.  This is the
+        *leading* sort key — the quantity the memo's group keys and the
+        chooser's bottom-up tables track.
+    ``ordering``
+        The full prefix ordering of the output as an attribute tuple
+        (:mod:`repro.physical.ordering`): ``ordering[0] == order`` when
+        non-empty, ``()`` exactly when ``order`` is None.  The richer
+        property exists so enforcers can be downgraded to partial sorts;
+        the memo continues to key groups on the leading attribute alone.
     """
 
-    __slots__ = ("inputs", "cardinality", "cost", "execution_cost", "order")
+    __slots__ = (
+        "inputs", "cardinality", "cost", "execution_cost", "order", "ordering"
+    )
 
     inputs: tuple["PlanNode", ...]
     cardinality: Interval
     cost: Interval
     execution_cost: Interval
     order: Attribute | None
+    ordering: Ordering
 
     def __init__(self, ctx: CostContext, inputs: tuple["PlanNode", ...]) -> None:
         self.inputs = inputs
@@ -71,6 +89,9 @@ class PlanNode:
         cardinality, self_cost, order = self._compute(ctx, input_cards, input_orders)
         self.cardinality = cardinality
         self.order = order
+        self.ordering = self._derive_ordering(
+            [child.ordering for child in inputs]
+        )
         total = self_cost
         execution = self_cost
         for child in inputs:
@@ -90,6 +111,16 @@ class PlanNode:
     ) -> tuple[Interval, Interval, Attribute | None]:
         """Return (output cardinality, operator cost, output sort order)."""
         raise NotImplementedError
+
+    def _derive_ordering(self, input_orderings: list[Ordering]) -> Ordering:
+        """Refine the single-attribute ``order`` into a prefix ordering.
+
+        The default is the conservative singleton ``(order,)`` — correct
+        for every operator because ``order`` is already a sound leading
+        key.  Order-preserving operators override this to carry their
+        input's full prefix through.
+        """
+        return (self.order,) if self.order is not None else ()
 
     @property
     def label(self) -> str:
@@ -213,6 +244,10 @@ class FilterNode(PlanNode):
         cost = formulas.filter_cost(ctx.model, input_card, selectivity)
         return cardinality, cost, input_orders[0]
 
+    def _derive_ordering(self, input_orderings):
+        # Filtering drops rows but never reorders them.
+        return input_orderings[0]
+
     @property
     def label(self) -> str:
         return f"Filter [{self.predicate}]"
@@ -330,6 +365,11 @@ class MergeJoinNode(PlanNode):
         # Output inherits the left input's order on the merge attribute.
         return cardinality, cost, input_orders[0]
 
+    def _derive_ordering(self, input_orderings):
+        # Each left row's matches are emitted contiguously, so the output
+        # stays sorted by the left input's full prefix ordering.
+        return input_orderings[0]
+
     @property
     def label(self) -> str:
         return f"Merge-Join [{', '.join(map(str, self.predicates))}]"
@@ -380,6 +420,11 @@ class IndexJoinNode(PlanNode):
             clustered=index.clustered,
         )
         return cardinality, cost, input_orders[0]
+
+    def _derive_ordering(self, input_orderings):
+        # Probes happen per outer row, in outer order; matches per outer
+        # row are contiguous, preserving the outer prefix ordering.
+        return input_orderings[0]
 
     @property
     def label(self) -> str:
@@ -475,6 +520,16 @@ class ProjectNode(PlanNode):
         order = input_orders[0] if input_orders[0] in self.attributes else None
         return input_card, cost, order
 
+    def _derive_ordering(self, input_orderings):
+        # The longest leading prefix whose attributes all survive the
+        # projection; a dropped attribute cuts everything after it too.
+        kept = []
+        for attribute in input_orderings[0]:
+            if attribute not in self.attributes:
+                break
+            kept.append(attribute)
+        return tuple(kept)
+
     @property
     def label(self) -> str:
         names = ", ".join(a.qualified_name for a in self.attributes)
@@ -485,13 +540,29 @@ class ProjectNode(PlanNode):
 # Enforcers
 # ----------------------------------------------------------------------
 class SortNode(PlanNode):
-    """Sort enforcer: delivers the sort-order physical property."""
+    """Sort enforcer: delivers the sort-order physical property.
 
-    __slots__ = ("key",)
+    ``keys`` is a lexicographic key tuple; a bare attribute is accepted
+    for the (overwhelmingly common) single-key case and ``key`` exposes
+    the leading attribute for callers that only track that much.
+    """
 
-    def __init__(self, ctx: CostContext, input_plan: PlanNode, key: Attribute) -> None:
-        self.key = key
+    __slots__ = ("keys",)
+
+    def __init__(
+        self,
+        ctx: CostContext,
+        input_plan: PlanNode,
+        keys: Attribute | tuple[Attribute, ...],
+    ) -> None:
+        self.keys = as_ordering(keys)
+        if not self.keys:
+            raise PlanError("sort requires at least one key")
         super().__init__(ctx, (input_plan,))
+
+    @property
+    def key(self) -> Attribute:
+        return self.keys[0]
 
     def _compute(self, ctx, input_cards, input_orders):
         (input_card,) = input_cards
@@ -501,11 +572,89 @@ class SortNode(PlanNode):
             record_bytes=_intermediate_record_bytes(ctx),
             memory_pages=ctx.memory_pages,
         )
-        return input_card, cost, self.key
+        return input_card, cost, self.keys[0]
+
+    def _derive_ordering(self, input_orderings):
+        # The sort is stable, so rows tied on the full key tuple keep
+        # their input order — the input's ordering survives as a suffix.
+        return self.keys + tuple(
+            a for a in input_orderings[0] if a not in self.keys
+        )
 
     @property
     def label(self) -> str:
-        return f"Sort {self.key.qualified_name}"
+        names = ", ".join(k.qualified_name for k in self.keys)
+        return f"Sort {names}"
+
+
+class PartialSortNode(PlanNode):
+    """Segmented sort: finish ordering an input already sorted on a prefix.
+
+    The input arrives sorted on ``keys[:prefix_len]``, so it decomposes
+    into runs of equal prefix values.  Each run is sorted independently
+    (stably, by the full key tuple) and emitted as soon as its last row
+    arrives — the result is byte-identical to a full stable sort on
+    ``keys``, but the memory footprint and I/O are bounded by the largest
+    *run*, not the whole input (Guravannavar & Sudarshan's partial sort).
+
+    Unlike :class:`SortNode` this is *not* a pipeline breaker in the
+    blocking sense the telemetry ledger cares about — it still buffers at
+    most one run at a time — so it is deliberately kept out of the
+    executor's breaker-node set.
+    """
+
+    __slots__ = ("keys", "prefix_len")
+
+    def __init__(
+        self,
+        ctx: CostContext,
+        input_plan: PlanNode,
+        keys: Attribute | tuple[Attribute, ...],
+        prefix_len: int,
+    ) -> None:
+        self.keys = as_ordering(keys)
+        if not self.keys:
+            raise PlanError("partial sort requires at least one key")
+        if not 1 <= prefix_len <= len(self.keys):
+            raise PlanError(
+                f"partial-sort prefix length {prefix_len} out of range for "
+                f"{len(self.keys)} keys"
+            )
+        if not ordering_satisfies(input_plan.ordering, self.keys[:prefix_len]):
+            raise PlanError(
+                "partial sort requires the input ordered on the key prefix"
+            )
+        self.prefix_len = prefix_len
+        super().__init__(ctx, (input_plan,))
+
+    @property
+    def key(self) -> Attribute:
+        return self.keys[0]
+
+    def _compute(self, ctx, input_cards, input_orders):
+        (input_card,) = input_cards
+        domains = 1.0
+        for attribute in self.keys[: self.prefix_len]:
+            domains = min(domains * attribute.domain_size, 1e15)
+        runs = input_card.min_with(Interval.point(domains))
+        cost = formulas.partial_sort_cost(
+            ctx.model,
+            input_card,
+            runs,
+            record_bytes=_intermediate_record_bytes(ctx),
+            memory_pages=ctx.memory_pages,
+        )
+        return input_card, cost, self.keys[0]
+
+    def _derive_ordering(self, input_orderings):
+        return self.keys + tuple(
+            a for a in input_orderings[0] if a not in self.keys
+        )
+
+    @property
+    def label(self) -> str:
+        names = ", ".join(k.qualified_name for k in self.keys)
+        return f"Partial-Sort {names} [prefix {self.prefix_len}]"
 
 
 class TopNNode(PlanNode):
@@ -624,6 +773,10 @@ class SemiJoinNode(PlanNode):
             memory_pages=ctx.memory_pages,
         )
         return cardinality, cost, input_orders[0]
+
+    def _derive_ordering(self, input_orderings):
+        # A semi-join only filters the outer stream.
+        return input_orderings[0]
 
     @property
     def label(self) -> str:
@@ -776,6 +929,11 @@ class ChoosePlanNode(PlanNode):
         common = first_order if all(o == first_order for o in input_orders) else None
         return cardinality, overhead, common
 
+    def _derive_ordering(self, input_orderings):
+        # Whichever alternative runs, the output is sorted at least on
+        # the alternatives' common leading prefix.
+        return common_prefix(list(input_orderings))
+
     @property
     def alternatives(self) -> tuple[PlanNode, ...]:
         """The equivalent alternative subplans."""
@@ -784,6 +942,33 @@ class ChoosePlanNode(PlanNode):
     @property
     def label(self) -> str:
         return f"Choose-Plan ({len(self.inputs)} alternatives)"
+
+
+# ----------------------------------------------------------------------
+# Order enforcement
+# ----------------------------------------------------------------------
+def enforce_ordering(
+    ctx: CostContext,
+    plan: PlanNode,
+    keys: Attribute | tuple[Attribute, ...] | None,
+) -> PlanNode:
+    """Deliver ``keys`` order on top of ``plan`` as cheaply as possible.
+
+    Three rungs, per the order-property lattice: the plan's own ordering
+    already satisfies the requirement (no operator at all); a non-empty
+    shared prefix exists (a :class:`PartialSortNode` finishes the job run
+    by run); no usable prefix (a full :class:`SortNode`).  Callers must
+    apply this *per alternative* — below any choose-plan — so each
+    alternative is credited for the ordering it actually delivers and
+    g = d is preserved.
+    """
+    required = as_ordering(keys)
+    if not required or ordering_satisfies(plan.ordering, required):
+        return plan
+    prefix = shared_prefix_len(plan.ordering, required)
+    if prefix > 0:
+        return PartialSortNode(ctx, plan, required, prefix)
+    return SortNode(ctx, plan, required)
 
 
 # ----------------------------------------------------------------------

@@ -32,7 +32,7 @@ from repro.qa.invariants import CaseOutcome, Violation, run_case
 from repro.qa.shrinker import shrink_case
 
 Runner = Callable[
-    [FuzzCase, bool, tuple[int, ...], bool, bool, bool, int], CaseOutcome
+    [FuzzCase, bool, tuple[int, ...], bool, bool, bool, int, bool], CaseOutcome
 ]
 
 # Version 2: cases may carry compound-grammar fields (UNION branches,
@@ -71,6 +71,7 @@ class FuzzReport:
     ledger_checked: int = 0
     adaptive_checked: int = 0
     sharded_checked: int = 0
+    fused_checked: int = 0
     coverage: CoverageMap | None = None
     new_shape_cases: int = 0
     profile_advances: int = 0
@@ -96,6 +97,7 @@ class FuzzReport:
             f"ledger-checked={self.ledger_checked} "
             f"adaptive-checked={self.adaptive_checked} "
             f"sharded-checked={self.sharded_checked} "
+            f"fused-checked={self.fused_checked} "
             f"{shapes}"
             f"time={self.duration_seconds:.1f}s: {status}"
         )
@@ -125,6 +127,7 @@ def _default_runner(
     check_ledger: bool = False,
     check_adaptive: bool = False,
     shards: int = 0,
+    check_fused: bool = False,
 ) -> CaseOutcome:
     return run_case(
         case,
@@ -134,6 +137,7 @@ def _default_runner(
         check_ledger=check_ledger,
         check_adaptive=check_adaptive,
         shards=shards,
+        check_fused=check_fused,
     )
 
 
@@ -150,6 +154,7 @@ def run_fuzz(
     check_adaptive_every: int = 4,
     shards: int = 0,
     check_sharded_every: int = 4,
+    check_fused_every: int = 2,
     coverage: bool = False,
     evolve_after: int = EVOLVE_AFTER,
     stage_budget: int = STAGE_BUDGET,
@@ -174,7 +179,11 @@ def run_fuzz(
     :class:`~repro.shard.coordinator.ShardedQueryService` at that many
     shards, compared against the oracle, with per-shard gᵢ = dᵢ verified
     by exhaustive choose-plan enumeration), throttled to every
-    ``check_sharded_every``-th case.  ``runner`` lets tests
+    ``check_sharded_every``-th case.  ``check_fused_every`` throttles
+    the fused-codegen differential (fused execution byte-identical to
+    plain batch at two batch sizes, plus post-activation ∀i gᵢ = dᵢ at
+    corner bindings); ``1`` checks every case, ``0`` disables it.
+    ``runner`` lets tests
     substitute an
     instrumented :func:`~repro.qa.invariants.run_case` (e.g. with an
     injected bug).
@@ -238,6 +247,11 @@ def run_fuzz(
         )
         if case_shards:
             report.sharded_checked += 1
+        check_fused = bool(
+            check_fused_every and index % check_fused_every == 0
+        )
+        if check_fused:
+            report.fused_checked += 1
         if coverage:
             assert report.coverage is not None
             in_stage += 1
@@ -255,6 +269,8 @@ def run_fuzz(
                 shapes["batch"] = shapes["activated"]
                 if check_batch:
                     shapes["row"] = shapes["activated"]
+                if check_fused:
+                    shapes["fused"] = shapes["activated"]
             newly = report.coverage.record_case(shapes)
             if newly:
                 report.new_shape_cases += 1
@@ -278,7 +294,7 @@ def run_fuzz(
                 in_stage = 0
         outcome = run(
             case, check_service, case_dops, check_batch, check_ledger,
-            check_adaptive, case_shards,
+            check_adaptive, case_shards, check_fused,
         )
         if outcome.passed:
             if log and (index + 1) % 25 == 0:
@@ -315,13 +331,13 @@ def run_fuzz(
                 outcome.checks,
                 run=lambda c: run(
                     c, True, shrink_dops, check_batch, check_ledger,
-                    check_adaptive, shrink_shards,
+                    check_adaptive, shrink_shards, check_fused,
                 ),
             )
             failure.shrunk = shrunk
             failure.shrunk_violations = run(
                 shrunk, True, shrink_dops, check_batch, check_ledger,
-                check_adaptive, shrink_shards,
+                check_adaptive, shrink_shards, check_fused,
             ).violations
             if log:
                 log(
@@ -385,9 +401,9 @@ def replay_artifact(
     execution at the given degrees (see :func:`~repro.qa.invariants.run_case`);
     ``shards`` > 0 additionally replays it through the sharded
     differential at that many in-process shards.
-    Replay always includes the batch-vs-row, telemetry-ledger, and
-    adaptive differentials — artifacts are rare and worth the extra
-    executions.
+    Replay always includes the batch-vs-row, fused-codegen,
+    telemetry-ledger, and adaptive differentials — artifacts are rare
+    and worth the extra executions.
     """
     return run_case(
         load_artifact(path),
@@ -397,4 +413,5 @@ def replay_artifact(
         check_ledger=True,
         check_adaptive=True,
         shards=shards,
+        check_fused=True,
     )

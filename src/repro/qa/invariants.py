@@ -282,6 +282,7 @@ def run_case(
     check_adaptive: bool = False,
     check_cert: bool = True,
     shards: int = 0,
+    check_fused: bool = False,
 ) -> CaseOutcome:
     """Run every invariant checker against one case.
 
@@ -301,6 +302,11 @@ def run_case(
     :class:`~repro.shard.coordinator.ShardedQueryService` at that many
     in-process shards and compared against the oracle, with per-shard
     gᵢ = dᵢ verified against an exhaustive choose-plan enumeration.
+    ``check_fused`` enables the fused-codegen differential: fused
+    execution must be byte-identical to plain batch at the default and
+    a tiny batch size, and the start-up decision re-resolved *after*
+    fused execution must still satisfy gᵢ = dᵢ at every sampled corner
+    binding (codegen and its cache must not perturb optimizer state).
     """
     outcome = CaseOutcome(case=case)
 
@@ -319,6 +325,7 @@ def run_case(
             check_adaptive,
             check_cert,
             shards,
+            check_fused,
         )
     except Exception as exc:  # any crash is itself a finding
         report("crash", f"{type(exc).__name__}: {exc}")
@@ -336,6 +343,7 @@ def _run_checks(
     check_adaptive=False,
     check_cert=True,
     shards=0,
+    check_fused=False,
 ) -> None:
     catalog = case.build_catalog()
     db = Database(catalog, model)
@@ -426,9 +434,10 @@ def _run_checks(
             "run-time": (runtime.plan, None),
         }
         for label, (plan, choices) in targets.items():
-            reference = executions[label].rows  # default (batch) output
+            reference = executions[label].rows  # default (fused) output
             for variant, kwargs in (
                 ("row", {"execution_mode": "row"}),
+                ("batch", {"execution_mode": "batch"}),
                 ("batch2", {"batch_size": 2}),
             ):
                 other = execute_plan(
@@ -442,10 +451,25 @@ def _run_checks(
                     report(
                         f"batch-identity-{variant}-{label}",
                         f"{variant} execution of the {label} plan returned "
-                        f"{len(other.rows)} rows != batch-mode "
+                        f"{len(other.rows)} rows != default-mode "
                         f"{len(reference)}; first diff: "
                         f"{_first_diff(other.rows, reference)}",
                     )
+
+    # --- fused codegen identity + post-activation g = d ---------------
+    if check_fused:
+        _check_fused(
+            case,
+            db,
+            catalog,
+            model,
+            statement,
+            dynamic,
+            runtime,
+            decision,
+            parameter_values,
+            report,
+        )
 
     # --- CERT monotonicity oracle -------------------------------------
     if check_cert:
@@ -699,12 +723,90 @@ def _oracle_intermediate_count(case, db, relations: set[str]) -> int:
     return len(accumulated or [])
 
 
+def _check_fused(
+    case,
+    db,
+    catalog,
+    model,
+    statement,
+    dynamic,
+    runtime,
+    decision,
+    parameter_values,
+    report,
+) -> None:
+    """Fused-codegen differential: byte-identity plus post-activation g = d.
+
+    The activated dynamic plan and the fully-bound run-time plan both
+    execute in fused mode at the default and a deliberately tiny batch
+    size; the raw row stream — order included, no canonicalization —
+    must match plain batch mode exactly.  Afterwards the start-up
+    decision re-resolves at the derived binding and at the corner
+    bindings of the parameter space, and each resolution must still
+    satisfy gᵢ = dᵢ: whole-pipeline codegen and its process-wide code
+    cache must not perturb optimizer state or plan activation.
+    """
+    targets = {
+        "dynamic": (dynamic.plan, decision.choices),
+        "run-time": (runtime.plan, None),
+    }
+    for label, (plan, choices) in targets.items():
+        reference = execute_plan(
+            plan,
+            db,
+            bindings=case.bindings,
+            choices=choices,
+            execution_mode="batch",
+        )
+        for variant, kwargs in (("fused", {}), ("fused3", {"batch_size": 3})):
+            fused = execute_plan(
+                plan,
+                db,
+                bindings=case.bindings,
+                choices=choices,
+                execution_mode="fused",
+                **kwargs,
+            )
+            if json.dumps(fused.rows) != json.dumps(reference.rows):
+                report(
+                    f"fused-identity-{variant}-{label}",
+                    f"{variant} execution of the {label} plan returned "
+                    f"{len(fused.rows)} rows != batch-mode "
+                    f"{len(reference.rows)}; first diff: "
+                    f"{_first_diff(fused.rows, reference.rows)}",
+                )
+
+    # Post-activation ∀i gᵢ = dᵢ: sampled bindings cover the derived
+    # point plus the all-low / all-high corners of the parameter space.
+    space = statement.parameters
+    bindings = [dict(parameter_values)]
+    if len(space):
+        bindings.append({p.name: p.domain.low for p in space})
+        bindings.append({p.name: p.domain.high for p in space})
+    for index, binding in enumerate(bindings):
+        env = space.bind(binding)
+        g = resolve_plan(dynamic.plan, dynamic.ctx.with_env(env)).execution_cost
+        d = optimize_statement(
+            statement,
+            catalog,
+            model,
+            mode=OptimizationMode.RUN_TIME,
+            binding=binding,
+        ).plan.cost.low
+        if not math.isclose(g, d, rel_tol=REL_TOLERANCE, abs_tol=ABS_TOLERANCE):
+            report(
+                "fused-post-activation-g-equals-d",
+                f"after fused execution, binding #{index} {binding}: "
+                f"start-up choice cost g={g!r} != run-time optimum d={d!r}",
+            )
+
+
 def _check_ledger(case, db, plan, choices, oracle, report) -> None:
     """Telemetry differential: ledger observations vs oracle intermediates.
 
     Executes the dynamic plan once per executor mode with the cardinality
-    ledger enabled and requires (1) batch and row mode to record identical
-    signature → observed-count maps, (2) the recorded signature set to be
+    ledger enabled and requires (1) batch, row, and fused mode to record
+    identical signature → observed-count maps, (2) the recorded signature set to be
     exactly what :func:`~repro.executor.executor.iter_probe_sites`
     predicts, and (3) every observed count to equal the oracle's size for
     that subtree — the join of the subtree's relations, or the final
@@ -718,7 +820,7 @@ def _check_ledger(case, db, plan, choices, oracle, report) -> None:
     ledger.enable()
     try:
         observed: dict[str, dict[str, float]] = {}
-        for mode in ("batch", "row"):
+        for mode in ("batch", "row", "fused"):
             ledger.reset()
             execute_plan(
                 plan,
@@ -734,7 +836,7 @@ def _check_ledger(case, db, plan, choices, oracle, report) -> None:
             ledger.disable()
     sites = list(iter_probe_sites(plan, choices))
     site_signatures = {signature for signature, _node, _kind in sites}
-    for mode in ("batch", "row"):
+    for mode in ("batch", "row", "fused"):
         extra = sorted(set(observed[mode]) - site_signatures)
         if extra:
             report(
@@ -759,7 +861,7 @@ def _check_ledger(case, db, plan, choices, oracle, report) -> None:
                 if has_aggregate
                 else _oracle_intermediate_count(case, db, relations)
             )
-        for mode in ("batch", "row"):
+        for mode in ("batch", "row", "fused"):
             got = observed[mode].get(signature)
             if got is None:
                 if signature not in exempt:

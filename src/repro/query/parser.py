@@ -3,7 +3,8 @@
 Grammar (conjunctive SPJU queries with aggregates, outer joins, and
 semi-join subqueries)::
 
-    statement  :=  query (UNION [ALL] query)* [ORDER BY attribute]
+    statement  :=  query (UNION [ALL] query)*
+                   [ORDER BY attribute (',' attribute)*]
     query      :=  SELECT select_list FROM table_list
                    [LEFT OUTER JOIN ident ON attribute '=' attribute]
                    [WHERE condition_list]
@@ -85,11 +86,19 @@ class ParsedQuery:
     select_list: tuple[Attribute, ...] | None  # None means SELECT *
     order_by: Attribute | None
     host_variables: tuple[str, ...]
+    order_by_rest: tuple[Attribute, ...] = ()
 
     @property
     def is_aggregate(self) -> bool:
         """True when the query computes aggregates."""
         return self.graph.aggregate is not None
+
+    @property
+    def order_by_keys(self) -> tuple[Attribute, ...]:
+        """All ORDER BY attributes (leading key first), () when unordered."""
+        if self.order_by is None:
+            return ()
+        return (self.order_by,) + self.order_by_rest
 
 
 @dataclass(frozen=True)
@@ -99,6 +108,14 @@ class ParsedStatement:
     statement: Statement
     order_by: Attribute | None
     host_variables: tuple[str, ...]
+    order_by_rest: tuple[Attribute, ...] = ()
+
+    @property
+    def order_by_keys(self) -> tuple[Attribute, ...]:
+        """All ORDER BY attributes (leading key first), () when unordered."""
+        if self.order_by is None:
+            return ()
+        return (self.order_by,) + self.order_by_rest
 
     @property
     def graph(self) -> QueryGraph:
@@ -137,6 +154,7 @@ def parse_query(
         select_list=graph.projection if graph.aggregate is None else None,
         order_by=parsed.order_by,
         host_variables=parsed.host_variables,
+        order_by_rest=parsed.order_by_rest,
     )
 
 
@@ -248,14 +266,24 @@ class _Parser:
                 )
             union_all = this_all
             branches.append(self._parse_branch())
-        order_by = None
+        order_keys: list[Attribute] = []
         order_by_position = 0
         if self._at_keyword("ORDER"):
             self._advance()
             self._expect_keyword("BY")
             order_by_position = self._peek().position
-            name, position = self._parse_attribute_name()
-            order_by = self._resolve_in_branch(branches[0], name, position)
+            while True:
+                name, position = self._parse_attribute_name()
+                key = self._resolve_in_branch(branches[0], name, position)
+                if key in order_keys:
+                    raise ParseError(
+                        f"ORDER BY lists {key.qualified_name} twice", position
+                    )
+                order_keys.append(key)
+                if not self._at_symbol(","):
+                    break
+                self._advance()
+        order_by = order_keys[0] if order_keys else None
         end = self._advance()
         if end.kind is not TokenKind.END:
             raise ParseError(f"unexpected trailing {end.text!r}", end.position)
@@ -273,38 +301,42 @@ class _Parser:
                         0,
                     )
         first = branches[0]
-        if order_by is not None and (first.aggregate_items or first.group_by):
+        if order_keys and (first.aggregate_items or first.group_by):
             # Aggregation replaces base columns with group keys; ordering
             # by anything else cannot be evaluated over the output.
-            if order_by not in first.group_by:
-                raise ParseError(
-                    f"ORDER BY {order_by.qualified_name} must be a GROUP BY "
-                    "attribute in an aggregate query",
-                    order_by_position,
-                )
+            for key in order_keys:
+                if key not in first.group_by:
+                    raise ParseError(
+                        f"ORDER BY {key.qualified_name} must be a GROUP BY "
+                        "attribute in an aggregate query",
+                        order_by_position,
+                    )
 
         built = tuple(
             self._build_branch(state, compound=len(branches) > 1)
             for state in branches
         )
+        if len(built) > 1:
+            projection = built[0].projection or ()
+            for key in order_keys:
+                if key not in projection:
+                    raise ParseError(
+                        f"ORDER BY {key.qualified_name} must be projected "
+                        "by the first UNION branch",
+                        order_by_position,
+                    )
         statement = Statement(
             branches=built,
             union_all=True if union_all is None else union_all,
             parameters=self.space,
             order_by=order_by,
+            order_by_rest=tuple(order_keys[1:]),
         )
-        if len(built) > 1 and order_by is not None:
-            projection = built[0].projection or ()
-            if order_by not in projection:
-                raise ParseError(
-                    f"ORDER BY {order_by.qualified_name} must be projected "
-                    "by the first UNION branch",
-                    order_by_position,
-                )
         return ParsedStatement(
             statement=statement,
             order_by=order_by,
             host_variables=tuple(self.host_variables),
+            order_by_rest=tuple(order_keys[1:]),
         )
 
     # ------------------------------------------------------------------

@@ -49,6 +49,7 @@ from repro.physical.plan import (
     LeftOuterJoinNode,
     MergeJoinNode,
     NestedLoopsJoinNode,
+    PartialSortNode,
     PlanNode,
     ProjectNode,
     SemiJoinNode,
@@ -391,7 +392,9 @@ def rebuild_node(
     if isinstance(node, DistinctNode):
         return DistinctNode(ctx, inputs[0], node.attributes)
     if isinstance(node, SortNode):
-        return SortNode(ctx, inputs[0], node.key)
+        return SortNode(ctx, inputs[0], node.keys)
+    if isinstance(node, PartialSortNode):
+        return PartialSortNode(ctx, inputs[0], node.keys, node.prefix_len)
     if isinstance(node, TopNNode):
         return TopNNode(ctx, inputs[0], node.key, node.limit)
     if isinstance(node, ProjectNode):
@@ -498,7 +501,20 @@ def _encode_node(node: PlanNode) -> dict:
             "attributes": [a.qualified_name for a in node.attributes],
         }
     if isinstance(node, SortNode):
-        return {"kind": "sort", "key": node.key.qualified_name}
+        # "key" (the leading attribute) is kept alongside "keys" so
+        # modules written by this version decode under readers that
+        # predate multi-key sorts; "keys" wins when present.
+        return {
+            "kind": "sort",
+            "key": node.keys[0].qualified_name,
+            "keys": [k.qualified_name for k in node.keys],
+        }
+    if isinstance(node, PartialSortNode):
+        return {
+            "kind": "partial-sort",
+            "keys": [k.qualified_name for k in node.keys],
+            "prefix_len": node.prefix_len,
+        }
     if isinstance(node, TopNNode):
         return {
             "kind": "top-n",
@@ -609,7 +625,19 @@ def _decode_node(
             tuple(ctx.catalog.attribute(name) for name in entry["attributes"]),
         )
     if kind == "sort":
-        return SortNode(ctx, inputs[0], ctx.catalog.attribute(entry["key"]))
+        names = entry.get("keys") or [entry["key"]]
+        return SortNode(
+            ctx,
+            inputs[0],
+            tuple(ctx.catalog.attribute(name) for name in names),
+        )
+    if kind == "partial-sort":
+        return PartialSortNode(
+            ctx,
+            inputs[0],
+            tuple(ctx.catalog.attribute(name) for name in entry["keys"]),
+            entry["prefix_len"],
+        )
     if kind == "top-n":
         return TopNNode(
             ctx, inputs[0], ctx.catalog.attribute(entry["key"]), entry["limit"]

@@ -196,7 +196,7 @@ class PreparedQuery:
         parameter_values: Mapping[str, float] | None = None,
         memory_pages: int | None = None,
         dop: int | None = None,
-        execution_mode: str = "batch",
+        execution_mode: str = "fused",
         batch_size: int | None = None,
     ) -> ExecutionResult:
         """One full invocation: derive, activate, decide, execute.
@@ -240,7 +240,7 @@ class PreparedQuery:
         parameter_values: Mapping[str, float] | None = None,
         memory_pages: int | None = None,
         dop: int | None = None,
-        execution_mode: str = "batch",
+        execution_mode: str = "fused",
         batch_size: int | None = None,
         policy=None,
         analyze: bool = False,

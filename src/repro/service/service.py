@@ -112,7 +112,7 @@ class QueryService:
         parallel_worker_budget: int | None = None,
         database_factory: Callable[[], Database] | None = None,
         seed: int = 0,
-        execution_mode: str = "batch",
+        execution_mode: str = "fused",
         batch_size: int | None = None,
         adaptive: "AdaptivePolicy | bool | None" = None,
     ) -> None:
@@ -120,9 +120,10 @@ class QueryService:
             raise ValueError("query service needs at least one worker")
         if queue_limit < 1:
             raise ValueError("admission queue limit must be at least 1")
-        if execution_mode not in ("row", "batch"):
+        if execution_mode not in ("row", "batch", "fused"):
             raise ValueError(
-                f"unknown execution mode {execution_mode!r}; use 'row' or 'batch'"
+                f"unknown execution mode {execution_mode!r}; "
+                "use 'fused', 'batch', or 'row'"
             )
         # Service-wide executor defaults; per-request values win.
         self._execution_mode = execution_mode

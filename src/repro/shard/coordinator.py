@@ -362,7 +362,7 @@ class ShardedQueryService:
         stale_threshold: float = 0.0,
         seed: int = 0,
         partition_mode: PartitionMode = PartitionMode.HASH,
-        execution_mode: str = "batch",
+        execution_mode: str = "fused",
         batch_size: int | None = None,
         in_process: bool = False,
         prewarm: bool = False,

@@ -40,7 +40,7 @@ class ShardConfig:
     model: CostModel
     seed: int
     partition_mode: PartitionMode = PartitionMode.HASH
-    execution_mode: str = "batch"
+    execution_mode: str = "fused"
     batch_size: int | None = None
     # Build every per-driver database at startup instead of lazily on the
     # first query per driver — serving benchmarks warm this way so heap

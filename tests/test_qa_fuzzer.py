@@ -133,7 +133,7 @@ class TestInjectedCostModelBug:
         path = report.failures[0].artifact_path
         payload = json.loads(path.read_text())
         assert payload["version"] == 2
-        assert payload["generator_seed"] == "inject-a/8"
+        assert payload["generator_seed"] == "inject-a/4"
         assert payload["violations"]
         case = load_artifact(path)
         assert case.query.to_sql().startswith("SELECT")

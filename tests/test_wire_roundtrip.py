@@ -42,6 +42,7 @@ from repro.physical.plan import (
     LeftOuterJoinNode,
     MergeJoinNode,
     NestedLoopsJoinNode,
+    PartialSortNode,
     PlanNode,
     ProjectNode,
     SemiJoinNode,
@@ -147,6 +148,9 @@ def sample_plans(ctx: CostContext) -> dict[type, PlanNode]:
         UnionAllNode: UnionAllNode(ctx, (scan_r(), scan_r())),
         DistinctNode: DistinctNode(ctx, scan_r(), (r_a,)),
         SortNode: SortNode(ctx, scan_r(), r_a),
+        PartialSortNode: PartialSortNode(
+            ctx, SortNode(ctx, scan_r(), r_a), (r_a, r_k), 1
+        ),
         TopNNode: TopNNode(ctx, scan_r(), r_a, 5),
         ProjectNode: ProjectNode(ctx, scan_r(), (r_a,)),
         HashAggregateNode: HashAggregateNode(ctx, scan_r(), agg_spec),
